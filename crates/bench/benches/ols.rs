@@ -1,0 +1,53 @@
+//! Criterion bench: OLS fitting cost vs design size, classical vs HC3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_linalg::Matrix;
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+
+fn design(n: usize, p: usize) -> (Matrix, Vec<f64>) {
+    let mut m = Matrix::zeros(n, p);
+    let mut y = Vec::with_capacity(n);
+    let mut rng = pmc_cpusim::rng::SplitMix64::new(7);
+    for i in 0..n {
+        m[(i, 0)] = 1.0;
+        let mut target = 3.0;
+        for j in 1..p {
+            let v = rng.uniform(-1.0, 1.0);
+            m[(i, j)] = v;
+            target += v * (j as f64);
+        }
+        y.push(target + rng.normal());
+    }
+    (m, y)
+}
+
+fn bench_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ols_fit");
+    for &(n, p) in &[(280usize, 9usize), (280, 25), (1000, 9), (1000, 57)] {
+        let (x, y) = design(n, p);
+        group.bench_with_input(BenchmarkId::new("hc3", format!("{n}x{p}")), &(), |b, _| {
+            b.iter(|| OlsFit::fit(&x, &y).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("classical", format!("{n}x{p}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    OlsFit::fit_with(
+                        &x,
+                        &y,
+                        OlsOptions {
+                            covariance: CovarianceKind::Classical,
+                            centered_tss: true,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ols);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the trace pipeline — record, serialize, parse and
+//! post-process one acquisition run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_cpusim::rng::SplitMix64;
+use pmc_cpusim::{Machine, MachineConfig, PhaseContext};
+use pmc_events::scheduler::CounterScheduler;
+use pmc_events::PapiEvent;
+use pmc_trace::io::{read_trace, trace_to_string};
+use pmc_trace::plugin::{PapiPlugin, PowerPlugin, VoltagePlugin};
+use pmc_trace::record::TraceMeta;
+use pmc_trace::{extract_profiles, Tracer};
+use pmc_workloads::roco2;
+
+fn bench_trace(c: &mut Criterion) {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let kernel = &roco2::kernels()[3];
+    let phase = &kernel.phases(24)[0];
+    let obs = machine.observe(
+        &phase.activity,
+        &PhaseContext {
+            workload_id: kernel.id,
+            phase_id: 0,
+            run_id: 0,
+            threads: 24,
+            freq_mhz: 2400,
+            duration_s: 10.0,
+        },
+    );
+    let group = CounterScheduler::haswell_default()
+        .schedule(PapiEvent::ALL)
+        .unwrap()
+        .remove(0);
+    let tracer = Tracer::new()
+        .with_plugin(Box::new(PowerPlugin::default()))
+        .with_plugin(Box::new(VoltagePlugin::default()))
+        .with_plugin(Box::new(PapiPlugin::new(group)));
+    let meta = TraceMeta {
+        workload_id: kernel.id,
+        workload: kernel.name.into(),
+        suite: "roco2".into(),
+        threads: 24,
+        freq_mhz: 2400,
+        run_id: 0,
+    };
+    let phases = vec![("main".to_string(), obs)];
+
+    c.bench_function("record_run", |b| {
+        b.iter(|| {
+            let mut rng = SplitMix64::new(5);
+            tracer.record_run(meta.clone(), &phases, &mut rng)
+        })
+    });
+
+    let mut rng = SplitMix64::new(5);
+    let trace = tracer.record_run(meta, &phases, &mut rng);
+    c.bench_function("extract_profiles", |b| {
+        b.iter(|| extract_profiles(&trace).unwrap())
+    });
+    c.bench_function("serialize_jsonl", |b| {
+        b.iter(|| trace_to_string(&trace).unwrap())
+    });
+    let text = trace_to_string(&trace).unwrap();
+    c.bench_function("parse_jsonl", |b| {
+        b.iter(|| read_trace(text.as_bytes()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Calibration probe: shows the internals the repro harness hides —
+//! per-counter PCC ranking and, per greedy step, the top competing
+//! candidates with their R². Used while tuning the machine model; kept
+//! in-tree because it is the tool of record for how the ground truth
+//! was calibrated (see DESIGN.md §5).
+
+use pmc_bench::{paper_dataset, paper_machine, PAPER_SEED, SELECTION_FREQ_MHZ};
+use pmc_events::PapiEvent;
+use pmc_model::dataset::Dataset;
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+
+fn fit_r2(data: &Dataset, events: &[PapiEvent]) -> Option<f64> {
+    let x = data.selection_design(events);
+    let y = data.power();
+    OlsFit::fit_with(
+        &x,
+        &y,
+        OlsOptions {
+            covariance: CovarianceKind::Classical,
+            centered_tss: true,
+        },
+    )
+    .ok()
+    .map(|f| f.r_squared())
+}
+
+fn main() {
+    let seed = std::env::var("SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(PAPER_SEED);
+    eprintln!("# seed {seed}");
+    let machine = paper_machine(seed);
+    let data = paper_dataset(&machine).at_frequency(SELECTION_FREQ_MHZ);
+    eprintln!("# {} selection rows", data.len());
+
+    // PCC ranking.
+    let power = data.power();
+    let mut pcc: Vec<(PapiEvent, f64)> = PapiEvent::ALL
+        .iter()
+        .filter_map(|&e| {
+            pmc_stats::pearson(&data.rate_column(e), &power)
+                .ok()
+                .map(|r| (e, r))
+        })
+        .collect();
+    pcc.sort_by(|a, b| b.1.abs().partial_cmp(&a.1.abs()).unwrap());
+    println!("top-12 |PCC|:");
+    for (e, r) in pcc.iter().take(12) {
+        println!("  {:8} {:+.4}", e.mnemonic(), r);
+    }
+
+    // Greedy steps with top-5 candidates each.
+    let mut selected: Vec<PapiEvent> = Vec::new();
+    for step in 0..7 {
+        let mut ranked: Vec<(PapiEvent, f64)> = PapiEvent::ALL
+            .iter()
+            .filter(|e| !selected.contains(e))
+            .filter_map(|&e| {
+                let mut trial = selected.clone();
+                trial.push(e);
+                fit_r2(&data, &trial).map(|r2| (e, r2))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        println!("step {}:", step + 1);
+        for (e, r2) in ranked.iter().take(5) {
+            println!("  {:8} R2={:.4}", e.mnemonic(), r2);
+        }
+        for probe in [PapiEvent::STL_ICY, PapiEvent::BR_MSP, PapiEvent::CA_SNP] {
+            if let Some(pos) = ranked.iter().position(|(e, _)| *e == probe) {
+                println!("    [{} rank {} R2={:.4}]", probe.mnemonic(), pos + 1, ranked[pos].1);
+            }
+        }
+        selected.push(ranked[0].0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Shared experiment plumbing for the reproduction harness and the
+//! criterion benchmarks.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pmc_cpusim::{Machine, MachineConfig};
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+
+/// The master seed every published experiment uses. Changing it
+/// perturbs all noise draws but must not change any qualitative
+/// conclusion (see the `seed_robustness` integration test).
+pub const PAPER_SEED: u64 = 6;
+
+/// The frequency the paper fixes for counter selection, MHz.
+pub const SELECTION_FREQ_MHZ: u32 = 2400;
+
+/// Number of events the paper selects before the VIF blow-up.
+pub const SELECTED_EVENT_COUNT: usize = 6;
+
+/// Builds the paper's machine.
+pub fn paper_machine(seed: u64) -> Machine {
+    Machine::new(MachineConfig::haswell_ep(seed))
+}
+
+/// Runs the full paper acquisition (16 workloads × thread sweeps × 5
+/// DVFS states × 13 counter groups) and assembles the dataset.
+pub fn paper_dataset(machine: &Machine) -> Dataset {
+    let profiles = Campaign::new(machine, ExperimentPlan::paper_plan())
+        .run()
+        .expect("paper campaign failed");
+    Dataset::from_profiles(&profiles, machine.config().total_cores())
+        .expect("paper dataset assembly failed")
+}
+
+/// A reduced dataset for benchmarks: one kernel, two frequencies.
+pub fn quick_dataset(machine: &Machine) -> Dataset {
+    let set = pmc_workloads::WorkloadSet::from_workloads(
+        pmc_workloads::roco2::kernels()
+            .into_iter()
+            .filter(|w| w.name == "memory" || w.name == "compute")
+            .collect(),
+    );
+    let plan = ExperimentPlan::quick_plan(set, vec![1200, 2400]);
+    let profiles = Campaign::new(machine, plan).run().expect("quick campaign");
+    Dataset::from_profiles(&profiles, machine.config().total_cores()).expect("quick dataset")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_dataset_builds() {
+        let machine = paper_machine(7);
+        let d = quick_dataset(&machine);
+        // 2 kernels × 5 thread counts × 2 freqs.
+        assert_eq!(d.len(), 20);
+    }
+}

@@ -1,0 +1,106 @@
+//! Counter-significance analysis (paper §V): Pearson correlation of
+//! each counter's rate with power.
+//!
+//! The paper's observation: the statistically selected counters do
+//! *not* all correlate strongly with power — only the first does. The
+//! later ones contribute orthogonal information, which is exactly why
+//! their mean VIF stays low. Counters that individually correlate with
+//! power tend to correlate with each other and would inflate the VIF.
+
+use crate::dataset::Dataset;
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// The Pearson correlation of one counter's rate with power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterCorrelation {
+    /// The counter.
+    pub event: PapiEvent,
+    /// Pearson correlation coefficient with power, or `None` when the
+    /// counter was constant over the dataset (undefined PCC).
+    pub pcc: Option<f64>,
+}
+
+/// PCC of every candidate counter with power (paper Fig. 6), in
+/// [`PapiEvent::ALL`] order.
+pub fn counter_power_correlations(data: &Dataset) -> Result<Vec<CounterCorrelation>> {
+    if data.len() < 3 {
+        return Err(ModelError::BadDataset {
+            what: "counter_power_correlations",
+            reason: format!("{} rows are too few for correlation analysis", data.len()),
+        });
+    }
+    let power = data.power();
+    let mut out = Vec::with_capacity(PapiEvent::COUNT);
+    for &e in PapiEvent::ALL {
+        let rates = data.rate_column(e);
+        let pcc = match pmc_stats::pearson(&rates, &power) {
+            Ok(r) => Some(r),
+            Err(StatsError::Degenerate { .. }) => None,
+            Err(err) => return Err(err.into()),
+        };
+        out.push(CounterCorrelation { event: e, pcc });
+    }
+    Ok(out)
+}
+
+/// PCC for a specific counter subset (paper Table III: the selected
+/// counters), in the given order.
+pub fn selected_correlations(
+    data: &Dataset,
+    events: &[PapiEvent],
+) -> Result<Vec<CounterCorrelation>> {
+    let all = counter_power_correlations(data)?;
+    Ok(events
+        .iter()
+        .map(|&e| all[e.index()])
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    #[test]
+    fn driver_counters_correlate() {
+        let d = linear_dataset(60);
+        let all = counter_power_correlations(&d).unwrap();
+        assert_eq!(all.len(), 54);
+        // PRF_DM and TOT_CYC drive power in the fixture.
+        let prf = all[PapiEvent::PRF_DM.index()].pcc.unwrap();
+        assert!(prf.abs() > 0.1, "prf pcc {prf}");
+        let cyc = all[PapiEvent::TOT_CYC.index()].pcc.unwrap();
+        assert!(cyc.abs() > 0.1, "cyc pcc {cyc}");
+        // Constant counters report None rather than garbage.
+        assert!(all[PapiEvent::L1_TCA.index()].pcc.is_none());
+    }
+
+    #[test]
+    fn subset_matches_full_table() {
+        let d = linear_dataset(50);
+        let all = counter_power_correlations(&d).unwrap();
+        let sel = selected_correlations(&d, &[PapiEvent::TOT_CYC, PapiEvent::PRF_DM]).unwrap();
+        assert_eq!(sel[0].event, PapiEvent::TOT_CYC);
+        assert_eq!(sel[0].pcc, all[PapiEvent::TOT_CYC.index()].pcc);
+        assert_eq!(sel[1].pcc, all[PapiEvent::PRF_DM.index()].pcc);
+    }
+
+    #[test]
+    fn pcc_in_bounds() {
+        let d = linear_dataset(80);
+        for c in counter_power_correlations(&d).unwrap() {
+            if let Some(r) = c.pcc {
+                assert!((-1.0..=1.0).contains(&r), "{:?}", c);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_rejected() {
+        let d = linear_dataset(2);
+        assert!(counter_power_correlations(&d).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! Alternative selection criteria and strategies — the paper's stated
+//! future work (§VI: *"analyzing different statistical algorithms and
+//! heuristic criterions for selecting PMC events"*).
+//!
+//! [`select_events`](crate::selection::select_events) implements the
+//! paper's Algorithm 1 (greedy forward selection by raw R²). This module
+//! generalizes it:
+//!
+//! * forward selection under any [`Criterion`] — raw R², adjusted R²,
+//!   AIC or BIC (the information criteria penalize model size, so they
+//!   can stop adding counters on their own instead of needing a fixed
+//!   budget and a VIF gate);
+//! * [`backward_eliminate`] — start from a counter set and drop the
+//!   least useful event while the criterion improves, the classic
+//!   complement to forward selection.
+
+use crate::dataset::Dataset;
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+use pmc_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Model-quality criterion for stepwise selection. All criteria are
+/// oriented so that **larger is better**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Raw coefficient of determination (the paper's Algorithm 1).
+    RSquared,
+    /// R² adjusted for the number of predictors — only improves when a
+    /// counter adds more than chance.
+    AdjRSquared,
+    /// Negated Akaike information criterion (Gaussian likelihood):
+    /// `−(n·ln(RSS/n) + 2k)`.
+    Aic,
+    /// Negated Bayesian information criterion:
+    /// `−(n·ln(RSS/n) + k·ln n)` — the stiffest size penalty.
+    Bic,
+}
+
+impl Criterion {
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Criterion::RSquared => "R²",
+            Criterion::AdjRSquared => "adj. R²",
+            Criterion::Aic => "AIC",
+            Criterion::Bic => "BIC",
+        }
+    }
+
+    /// Evaluates the criterion for a fitted selection regression.
+    fn score(self, fit: &OlsFit) -> f64 {
+        let n = fit.n_observations() as f64;
+        let k = fit.n_predictors() as f64; // includes the intercept
+        match self {
+            Criterion::RSquared => fit.r_squared(),
+            Criterion::AdjRSquared => fit.adj_r_squared(),
+            Criterion::Aic => {
+                let rss = fit.rss().max(f64::MIN_POSITIVE);
+                -(n * (rss / n).ln() + 2.0 * k)
+            }
+            Criterion::Bic => {
+                let rss = fit.rss().max(f64::MIN_POSITIVE);
+                -(n * (rss / n).ln() + k * n.ln())
+            }
+        }
+    }
+}
+
+/// One step of a criterion-driven stepwise run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CriterionStep {
+    /// The event added (forward) or removed (backward).
+    pub event: PapiEvent,
+    /// Criterion value after the step.
+    pub score: f64,
+    /// Plain R² after the step, for comparability across criteria.
+    pub r_squared: f64,
+}
+
+/// Result of a criterion-driven selection.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CriterionReport {
+    /// Steps in order of application.
+    pub steps: Vec<CriterionStep>,
+    /// The final selected set, in selection order (forward) or the
+    /// surviving set (backward).
+    pub selected: Vec<PapiEvent>,
+}
+
+fn fit_selection(data: &Dataset, events: &[PapiEvent]) -> Option<OlsFit> {
+    let x = data.selection_design(events);
+    let y = data.power();
+    match OlsFit::fit_with(
+        &x,
+        &y,
+        OlsOptions {
+            covariance: CovarianceKind::Classical,
+            centered_tss: true,
+        },
+    ) {
+        Ok(f) => Some(f),
+        Err(StatsError::Linalg(_)) | Err(StatsError::Degenerate { .. }) => None,
+        Err(_) => None,
+    }
+}
+
+/// Forward selection under a criterion.
+///
+/// Adds the best candidate while the criterion improves, stopping
+/// either when no candidate improves it (information criteria stop on
+/// their own) or when `max_events` is reached. `max_events = 0` means
+/// "no budget — stop only on criterion saturation" (not allowed for raw
+/// R², which never stops improving in-sample).
+pub fn forward_select(
+    data: &Dataset,
+    candidates: &[PapiEvent],
+    criterion: Criterion,
+    max_events: usize,
+) -> Result<CriterionReport> {
+    if data.is_empty() {
+        return Err(ModelError::BadDataset {
+            what: "forward_select",
+            reason: "no rows".into(),
+        });
+    }
+    if candidates.is_empty() {
+        return Err(ModelError::Selection {
+            reason: "empty candidate set".into(),
+        });
+    }
+    if max_events == 0 && criterion == Criterion::RSquared {
+        return Err(ModelError::Selection {
+            reason: "raw R² never saturates in-sample; a max_events budget is required".into(),
+        });
+    }
+    let budget = if max_events == 0 {
+        candidates.len()
+    } else {
+        max_events.min(candidates.len())
+    };
+
+    let mut selected: Vec<PapiEvent> = Vec::new();
+    let mut steps = Vec::new();
+    // Baseline score: intercept-only model has R² 0; information
+    // criteria need an actual fit. Use None to mean "no baseline yet" —
+    // the first event is always accepted if any candidate fits.
+    let mut current: Option<f64> = None;
+
+    while selected.len() < budget {
+        let mut best: Option<(PapiEvent, f64, f64)> = None;
+        for &event in candidates {
+            if selected.contains(&event) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(event);
+            if let Some(fit) = fit_selection(data, &trial) {
+                let score = criterion.score(&fit);
+                if best.as_ref().map_or(true, |(_, s, _)| score > *s) {
+                    best = Some((event, score, fit.r_squared()));
+                }
+            }
+        }
+        let Some((event, score, r_squared)) = best else {
+            break; // nothing fits any more
+        };
+        if let Some(cur) = current {
+            if score <= cur {
+                break; // criterion saturated
+            }
+        }
+        current = Some(score);
+        selected.push(event);
+        steps.push(CriterionStep {
+            event,
+            score,
+            r_squared,
+        });
+    }
+    if selected.is_empty() {
+        return Err(ModelError::Selection {
+            reason: "no candidate produced a valid fit".into(),
+        });
+    }
+    Ok(CriterionReport { steps, selected })
+}
+
+/// Backward elimination under a criterion: starting from `initial`,
+/// repeatedly drop the event whose removal *most improves* the
+/// criterion, until no removal improves it (or only one event is left).
+pub fn backward_eliminate(
+    data: &Dataset,
+    initial: &[PapiEvent],
+    criterion: Criterion,
+) -> Result<CriterionReport> {
+    if initial.len() < 2 {
+        return Err(ModelError::Selection {
+            reason: "backward elimination needs at least two initial events".into(),
+        });
+    }
+    let mut selected: Vec<PapiEvent> = initial.to_vec();
+    let base = fit_selection(data, &selected).ok_or_else(|| ModelError::Selection {
+        reason: "initial event set does not produce a valid fit".into(),
+    })?;
+    let mut current = criterion.score(&base);
+    let mut steps = Vec::new();
+
+    while selected.len() > 1 {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for i in 0..selected.len() {
+            let mut trial = selected.clone();
+            let _removed = trial.remove(i);
+            if let Some(fit) = fit_selection(data, &trial) {
+                let score = criterion.score(&fit);
+                if best.as_ref().map_or(true, |(_, s, _)| score > *s) {
+                    best = Some((i, score, fit.r_squared()));
+                }
+            }
+        }
+        let Some((idx, score, r_squared)) = best else {
+            break;
+        };
+        if score <= current {
+            break; // no removal improves the criterion
+        }
+        current = score;
+        let event = selected.remove(idx);
+        steps.push(CriterionStep {
+            event,
+            score,
+            r_squared,
+        });
+    }
+    Ok(CriterionReport { steps, selected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    #[test]
+    fn criterion_names() {
+        assert_eq!(Criterion::Aic.name(), "AIC");
+        assert_eq!(Criterion::Bic.name(), "BIC");
+    }
+
+    #[test]
+    fn forward_r2_matches_algorithm1() {
+        let d = linear_dataset(150).at_frequency(2400);
+        let a = crate::selection::select_events(&d, PapiEvent::ALL, 2).unwrap();
+        let b = forward_select(&d, PapiEvent::ALL, Criterion::RSquared, 2).unwrap();
+        assert_eq!(a.selected_events(), b.selected);
+    }
+
+    #[test]
+    fn bic_stops_on_its_own() {
+        // The fixture's power is exactly linear in two rates (at fixed
+        // frequency); BIC must find both and then stop without a
+        // budget.
+        let d = linear_dataset(200).at_frequency(2400);
+        let report = forward_select(&d, PapiEvent::ALL, Criterion::Bic, 0).unwrap();
+        assert!(report.selected.contains(&PapiEvent::PRF_DM), "{:?}", report.selected);
+        assert!(report.selected.contains(&PapiEvent::TOT_CYC), "{:?}", report.selected);
+        // With an exact linear model, RSS hits machine epsilon and BIC
+        // can keep nibbling; it must at least remain small.
+        assert!(report.selected.len() <= 6, "{:?}", report.selected);
+    }
+
+    #[test]
+    fn r2_without_budget_is_rejected() {
+        let d = linear_dataset(40);
+        assert!(forward_select(&d, PapiEvent::ALL, Criterion::RSquared, 0).is_err());
+    }
+
+    #[test]
+    fn adj_r2_never_decreases_along_steps() {
+        let d = linear_dataset(100);
+        let report = forward_select(&d, PapiEvent::ALL, Criterion::AdjRSquared, 5).unwrap();
+        for w in report.steps.windows(2) {
+            assert!(w[1].score >= w[0].score);
+        }
+    }
+
+    #[test]
+    fn backward_drops_useless_events() {
+        let d = linear_dataset(120).at_frequency(2400);
+        // Start from the two true predictors plus two irrelevant ones.
+        let initial = [
+            PapiEvent::PRF_DM,
+            PapiEvent::TOT_CYC,
+            PapiEvent::BR_UCN,
+            PapiEvent::CA_SHR,
+        ];
+        let report = backward_eliminate(&d, &initial, Criterion::Bic).unwrap();
+        assert!(report.selected.contains(&PapiEvent::PRF_DM));
+        assert!(report.selected.contains(&PapiEvent::TOT_CYC));
+        assert!(
+            report.selected.len() < initial.len(),
+            "something must be eliminated: {:?}",
+            report.selected
+        );
+    }
+
+    #[test]
+    fn backward_requires_two_events() {
+        let d = linear_dataset(40);
+        assert!(backward_eliminate(&d, &[PapiEvent::PRF_DM], Criterion::Aic).is_err());
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        let d = Dataset::default();
+        assert!(forward_select(&d, PapiEvent::ALL, Criterion::Aic, 3).is_err());
+        let d = linear_dataset(30);
+        assert!(forward_select(&d, &[], Criterion::Aic, 3).is_err());
+    }
+
+    #[test]
+    fn scores_are_finite_and_comparable() {
+        let d = linear_dataset(80);
+        for criterion in [
+            Criterion::RSquared,
+            Criterion::AdjRSquared,
+            Criterion::Aic,
+            Criterion::Bic,
+        ] {
+            let r = forward_select(&d, PapiEvent::ALL, criterion, 3).unwrap();
+            for s in &r.steps {
+                assert!(s.score.is_finite(), "{criterion:?}");
+                assert!((0.0..=1.0 + 1e-12).contains(&s.r_squared));
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Regression dataset assembly.
+//!
+//! One [`SampleRow`] per merged phase profile: measured power and
+//! voltage plus all counter values normalized to **events per available
+//! core cycle** — the paper's `E_n`. Normalizing by available cycles
+//! (`total_cores · f_clk · duration`) rather than per second keeps the
+//! rate dimensionless and decouples it from the operating frequency
+//! (paper §III-C), and makes `TOT_CYC`'s rate the machine *utilization*
+//! (active unhalted fraction), which is why that counter carries
+//! information despite being "just cycles".
+
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_linalg::Matrix;
+use pmc_trace::MergedProfile;
+use serde::{Deserialize, Serialize};
+
+/// One regression observation (one workload phase at one operating
+/// point and thread count, averaged over acquisition runs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleRow {
+    /// Workload id.
+    pub workload_id: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Suite name (`"roco2"` or `"SPEC OMP2012"`).
+    pub suite: String,
+    /// Phase name.
+    pub phase: String,
+    /// Worker threads.
+    pub threads: u32,
+    /// Operating frequency, MHz.
+    pub freq_mhz: u32,
+    /// Phase duration, seconds.
+    pub duration_s: f64,
+    /// Measured core voltage, volts.
+    pub voltage: f64,
+    /// Measured average machine power, watts.
+    pub power: f64,
+    /// `E_n` for all 54 events: counts per available core cycle,
+    /// indexed by [`PapiEvent::index`].
+    pub rates: Vec<f64>,
+}
+
+impl SampleRow {
+    /// Rate of one event.
+    pub fn rate(&self, e: PapiEvent) -> f64 {
+        self.rates[e.index()]
+    }
+
+    /// Frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_mhz as f64 / 1000.0
+    }
+
+    /// The `V²·f` factor of Equation 1 for this row (f in GHz).
+    pub fn v2f(&self) -> f64 {
+        self.voltage * self.voltage * self.freq_ghz()
+    }
+}
+
+/// An immutable collection of sample rows.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    rows: Vec<SampleRow>,
+}
+
+impl Dataset {
+    /// Builds a dataset from merged profiles.
+    ///
+    /// Every profile must have full 54-counter coverage (the paper's
+    /// acquisition records all standardized counters); a gap is a
+    /// pipeline bug and is reported, not silently imputed.
+    pub fn from_profiles(profiles: &[MergedProfile], total_cores: u32) -> Result<Self> {
+        let mut rows = Vec::with_capacity(profiles.len());
+        for p in profiles {
+            if !p.has_full_coverage() {
+                let missing: Vec<&str> = PapiEvent::ALL
+                    .iter()
+                    .filter(|e| !p.counters.contains_key(e))
+                    .map(|e| e.mnemonic())
+                    .collect();
+                return Err(ModelError::BadDataset {
+                    what: "from_profiles",
+                    reason: format!(
+                        "profile {}/{} lacks counters: {}",
+                        p.workload,
+                        p.phase,
+                        missing.join(", ")
+                    ),
+                });
+            }
+            rows.push(Self::row_from_profile(p, total_cores)?);
+        }
+        Ok(Dataset { rows })
+    }
+
+    /// Builds one row from a profile that may have partial coverage
+    /// (missing counters become rate 0). Used by online estimation
+    /// where only the model's selected counters are recorded.
+    pub fn row_from_partial_profile(p: &MergedProfile, total_cores: u32) -> Result<SampleRow> {
+        Self::row_from_profile(p, total_cores)
+    }
+
+    fn row_from_profile(p: &MergedProfile, total_cores: u32) -> Result<SampleRow> {
+        if p.duration_s <= 0.0 {
+            return Err(ModelError::BadDataset {
+                what: "from_profiles",
+                reason: format!("profile {}/{} has non-positive duration", p.workload, p.phase),
+            });
+        }
+        let available_cycles = total_cores as f64 * p.freq_mhz as f64 * 1e6 * p.duration_s;
+        let mut rates = vec![0.0; PapiEvent::COUNT];
+        for (e, &count) in &p.counters {
+            rates[e.index()] = count / available_cycles;
+        }
+        Ok(SampleRow {
+            workload_id: p.workload_id,
+            workload: p.workload.clone(),
+            suite: p.suite.clone(),
+            phase: p.phase.clone(),
+            threads: p.threads,
+            freq_mhz: p.freq_mhz,
+            duration_s: p.duration_s,
+            voltage: p.voltage_avg,
+            power: p.power_avg,
+            rates,
+        })
+    }
+
+    /// Builds directly from rows (tests, synthetic fixtures).
+    pub fn from_rows(rows: Vec<SampleRow>) -> Self {
+        Dataset { rows }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[SampleRow] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The measured power vector.
+    pub fn power(&self) -> Vec<f64> {
+        self.rows.iter().map(|r| r.power).collect()
+    }
+
+    /// The rate column of one event.
+    pub fn rate_column(&self, e: PapiEvent) -> Vec<f64> {
+        self.rows.iter().map(|r| r.rate(e)).collect()
+    }
+
+    /// Matrix of rate columns for the given events (no intercept).
+    pub fn rate_matrix(&self, events: &[PapiEvent]) -> Matrix {
+        let mut m = Matrix::zeros(self.len(), events.len());
+        for (i, r) in self.rows.iter().enumerate() {
+            for (j, &e) in events.iter().enumerate() {
+                m[(i, j)] = r.rate(e);
+            }
+        }
+        m
+    }
+
+    /// Design matrix for the *selection* regression: `[1, E₁ … Eₖ]`.
+    pub fn selection_design(&self, events: &[PapiEvent]) -> Matrix {
+        let mut m = Matrix::zeros(self.len(), events.len() + 1);
+        for (i, r) in self.rows.iter().enumerate() {
+            m[(i, 0)] = 1.0;
+            for (j, &e) in events.iter().enumerate() {
+                m[(i, j + 1)] = r.rate(e);
+            }
+        }
+        m
+    }
+
+    /// Rows at one operating frequency (the paper selects counters at a
+    /// fixed 2400 MHz).
+    pub fn at_frequency(&self, freq_mhz: u32) -> Dataset {
+        self.filter(|r| r.freq_mhz == freq_mhz)
+    }
+
+    /// Rows from one suite (by suite name).
+    pub fn suite(&self, suite: &str) -> Dataset {
+        self.filter(|r| r.suite == suite)
+    }
+
+    /// Generic predicate filter into a new dataset.
+    pub fn filter(&self, pred: impl Fn(&SampleRow) -> bool) -> Dataset {
+        Dataset {
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// Subset by row indices (for CV folds); indices may repeat.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+        }
+    }
+
+    /// The distinct workload names, in first-appearance order.
+    pub fn workload_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for r in &self.rows {
+            if !names.contains(&r.workload) {
+                names.push(r.workload.clone());
+            }
+        }
+        names
+    }
+
+    /// The distinct frequencies, ascending.
+    pub fn frequencies(&self) -> Vec<u32> {
+        let mut f: Vec<u32> = self.rows.iter().map(|r| r.freq_mhz).collect();
+        f.sort_unstable();
+        f.dedup();
+        f
+    }
+
+    /// Concatenates two datasets.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Dataset { rows }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use super::*;
+
+    /// A tiny synthetic dataset with controllable structure: power is
+    /// an exact linear function of two rates plus V²f and V terms.
+    /// Every other counter carries small pseudo-random variation that
+    /// is unrelated to power (so auxiliary regressions are well-posed),
+    /// except `L1_TCA`, which is held constant to exercise the
+    /// degenerate-counter paths.
+    pub fn linear_dataset(n: usize) -> Dataset {
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+            let f = freq_mhz as f64 / 1000.0;
+            let v = 0.492857 + 0.214286 * f;
+            let e1 = 0.001 + 0.00002 * (i as f64); // PRF_DM-ish rate
+            let e2 = 0.2 + 0.01 * ((i * 7 % 13) as f64); // TOT_CYC-ish
+            let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
+                .map(|j| ((31 * i + 17 * j + i * i * (j + 3)) % 97) as f64 / 9700.0)
+                .collect();
+            rates[PapiEvent::PRF_DM.index()] = e1;
+            rates[PapiEvent::TOT_CYC.index()] = e2;
+            rates[PapiEvent::L1_TCA.index()] = 0.0;
+            let v2f = v * v * f;
+            let power = 5000.0 * e1 * v2f + 120.0 * e2 * v2f + 20.0 * v2f + 40.0 * v + 70.0;
+            rows.push(SampleRow {
+                workload_id: (i % 8) as u32,
+                workload: format!("w{}", i % 8),
+                suite: if i % 8 < 4 { "roco2" } else { "SPEC OMP2012" }.into(),
+                phase: "main".into(),
+                threads: 24,
+                freq_mhz,
+                duration_s: 10.0,
+                voltage: v,
+                power,
+                rates,
+            });
+        }
+        Dataset::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_trace::MergedProfile;
+    use std::collections::BTreeMap;
+
+    fn full_profile(power: f64, freq_mhz: u32) -> MergedProfile {
+        let counters: BTreeMap<PapiEvent, f64> = PapiEvent::ALL
+            .iter()
+            .map(|&e| (e, 1e6 * (e.index() as f64 + 1.0)))
+            .collect();
+        MergedProfile {
+            workload_id: 1,
+            workload: "sqrt".into(),
+            suite: "roco2".into(),
+            threads: 24,
+            freq_mhz,
+            phase: "main".into(),
+            duration_s: 10.0,
+            power_avg: power,
+            voltage_avg: 1.0,
+            counters,
+            runs: 13,
+        }
+    }
+
+    #[test]
+    fn rates_are_counts_per_available_cycle() {
+        let p = full_profile(200.0, 2000);
+        let d = Dataset::from_profiles(&[p], 24).unwrap();
+        let row = &d.rows()[0];
+        // available cycles = 24 · 2 GHz · 10 s = 4.8e11
+        let avail = 24.0 * 2.0e9 * 10.0;
+        let e = PapiEvent::L1_DCM; // index 0 → count 1e6
+        assert!((row.rate(e) - 1e6 / avail).abs() < 1e-20);
+    }
+
+    #[test]
+    fn incomplete_coverage_rejected_with_names() {
+        let mut p = full_profile(200.0, 2400);
+        p.counters.remove(&PapiEvent::BR_MSP);
+        let err = Dataset::from_profiles(&[p], 24).unwrap_err();
+        assert!(err.to_string().contains("BR_MSP"), "{err}");
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut p = full_profile(200.0, 2400);
+        p.duration_s = 0.0;
+        assert!(Dataset::from_profiles(&[p], 24).is_err());
+    }
+
+    #[test]
+    fn filters_and_frequencies() {
+        let d = Dataset::from_profiles(
+            &[full_profile(100.0, 1200), full_profile(200.0, 2400)],
+            24,
+        )
+        .unwrap();
+        assert_eq!(d.frequencies(), vec![1200, 2400]);
+        assert_eq!(d.at_frequency(2400).len(), 1);
+        assert_eq!(d.suite("roco2").len(), 2);
+        assert_eq!(d.suite("SPEC OMP2012").len(), 0);
+    }
+
+    #[test]
+    fn selection_design_has_intercept() {
+        let d = test_fixtures::linear_dataset(10);
+        let m = d.selection_design(&[PapiEvent::PRF_DM]);
+        assert_eq!(m.shape(), (10, 2));
+        for i in 0..10 {
+            assert_eq!(m[(i, 0)], 1.0);
+        }
+    }
+
+    #[test]
+    fn subset_and_concat() {
+        let d = test_fixtures::linear_dataset(6);
+        let a = d.subset(&[0, 2, 4]);
+        let b = d.subset(&[1, 3, 5]);
+        assert_eq!(a.len(), 3);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn workload_names_in_order() {
+        let d = test_fixtures::linear_dataset(8);
+        assert_eq!(
+            d.workload_names(),
+            vec!["w0", "w1", "w2", "w3", "w4", "w5", "w6", "w7"]
+        );
+    }
+
+    #[test]
+    fn v2f_matches_definition() {
+        let d = test_fixtures::linear_dataset(3);
+        for r in d.rows() {
+            assert!((r.v2f() - r.voltage * r.voltage * r.freq_ghz()).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the modeling pipeline.
+
+use std::fmt;
+
+/// Errors produced by the modeling workflow.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A statistics routine failed (rank deficiency, degenerate data…).
+    Stats(pmc_stats::StatsError),
+    /// Trace recording or post-processing failed.
+    Trace(pmc_trace::TraceError),
+    /// Run merging failed.
+    Merge(pmc_trace::merge::MergeError),
+    /// Counter scheduling failed.
+    Schedule(pmc_events::scheduler::ScheduleError),
+    /// The dataset is unusable for the requested operation.
+    BadDataset {
+        /// What was attempted.
+        what: &'static str,
+        /// Why the dataset can't support it.
+        reason: String,
+    },
+    /// Counter selection could not proceed.
+    Selection {
+        /// Why selection failed.
+        reason: String,
+    },
+    /// Serialization failed (model save/load).
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Stats(e) => write!(f, "statistics failure: {e}"),
+            ModelError::Trace(e) => write!(f, "trace failure: {e}"),
+            ModelError::Merge(e) => write!(f, "merge failure: {e}"),
+            ModelError::Schedule(e) => write!(f, "{e}"),
+            ModelError::BadDataset { what, reason } => {
+                write!(f, "dataset unusable for {what}: {reason}")
+            }
+            ModelError::Selection { reason } => write!(f, "counter selection failed: {reason}"),
+            ModelError::Serde(e) => write!(f, "model serialization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Stats(e) => Some(e),
+            ModelError::Trace(e) => Some(e),
+            ModelError::Merge(e) => Some(e),
+            ModelError::Schedule(e) => Some(e),
+            ModelError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pmc_stats::StatsError> for ModelError {
+    fn from(e: pmc_stats::StatsError) -> Self {
+        ModelError::Stats(e)
+    }
+}
+
+impl From<pmc_trace::TraceError> for ModelError {
+    fn from(e: pmc_trace::TraceError) -> Self {
+        ModelError::Trace(e)
+    }
+}
+
+impl From<pmc_trace::merge::MergeError> for ModelError {
+    fn from(e: pmc_trace::merge::MergeError) -> Self {
+        ModelError::Merge(e)
+    }
+}
+
+impl From<pmc_events::scheduler::ScheduleError> for ModelError {
+    fn from(e: pmc_events::scheduler::ScheduleError) -> Self {
+        ModelError::Schedule(e)
+    }
+}
+
+impl From<serde_json::Error> for ModelError {
+    fn from(e: serde_json::Error) -> Self {
+        ModelError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::BadDataset {
+            what: "selection",
+            reason: "no rows".into(),
+        };
+        assert!(e.to_string().contains("selection"));
+        let e = ModelError::Selection {
+            reason: "empty candidate set".into(),
+        };
+        assert!(e.to_string().contains("candidate"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let s: ModelError = pmc_stats::StatsError::TooFewObservations {
+            what: "x",
+            got: 0,
+            need: 1,
+        }
+        .into();
+        assert!(matches!(s, ModelError::Stats(_)));
+    }
+}

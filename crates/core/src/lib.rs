@@ -1,0 +1,67 @@
+//! # pmc-model
+//!
+//! The paper's contribution: a statistical workflow that builds
+//! run-time CPU power models for x86 processors from Performance
+//! Monitoring Counter (PMC) data — the Rust reproduction of
+//! *"A Statistical Approach to Power Estimation for x86 Processors"*
+//! (Chadha, Ilsche, Bielert, Nagel — IPDPSW 2017), which adapts the
+//! Walker et al. ARM methodology to a Haswell-EP system.
+//!
+//! ## The workflow (paper Fig. 1)
+//!
+//! 1. **Data acquisition & post-processing** — [`acquisition`] drives
+//!    a simulated instrumented machine through every (workload,
+//!    thread-count, frequency, counter-group) experiment, records
+//!    Score-P-style traces, extracts phase profiles and merges runs.
+//! 2. **Dataset assembly** — [`dataset`] turns merged profiles into
+//!    regression samples, normalizing counters to **events per
+//!    available core cycle** (the paper's `E_n`, which decouples
+//!    counter magnitudes from `f_clk` and reduces multicollinearity).
+//! 3. **PMC event selection** — [`selection`] implements Algorithm 1:
+//!    greedy forward selection by R², with mean-VIF stability
+//!    diagnostics.
+//! 4. **Model formulation** — [`model`] fits Equation 1,
+//!    `P = Σ αₙ·Eₙ·V²·f + β·V²·f + γ·V + δ·Z`, by OLS with the HC3
+//!    heteroscedasticity-consistent covariance.
+//! 5. **Validation** — [`validation`] (k-fold CV, per-workload MAPE)
+//!    and [`scenarios`] (the paper's four train/test scenarios), plus
+//!    the counter-significance [`analysis`] (Pearson correlations).
+//!
+//! ## Quick example
+//!
+//! ```no_run
+//! use pmc_cpusim::{Machine, MachineConfig};
+//! use pmc_model::acquisition::{Campaign, ExperimentPlan};
+//! use pmc_model::dataset::Dataset;
+//! use pmc_model::selection::select_events;
+//! use pmc_model::model::PowerModel;
+//!
+//! let machine = Machine::new(MachineConfig::haswell_ep(42));
+//! let plan = ExperimentPlan::paper_plan();
+//! let profiles = Campaign::new(&machine, plan).run().unwrap();
+//! let data = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap();
+//!
+//! let report = select_events(&data.at_frequency(2400), pmc_events::PapiEvent::ALL, 6).unwrap();
+//! let model = PowerModel::fit(&data, &report.selected_events()).unwrap();
+//! println!("R² = {:.4}", model.fit_r_squared);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod acquisition;
+pub mod analysis;
+pub mod criteria;
+pub mod dataset;
+mod error;
+pub mod model;
+pub mod report;
+pub mod scenarios;
+pub mod selection;
+pub mod validation;
+pub mod voltage;
+
+pub use error::ModelError;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

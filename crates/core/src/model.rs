@@ -1,0 +1,259 @@
+//! The Equation 1 power model.
+//!
+//! ```text
+//! P_total = Σₙ αₙ·Eₙ·V²·f  +  β·V²·f  +  γ·V  +  δ·Z
+//!           └── event-attributed ──┘   dynamic   static  system
+//!                dynamic power          floor
+//! ```
+//!
+//! with `Eₙ` = selected counter rates (events per available core
+//! cycle), `V` = measured core voltage, `f` = operating frequency in
+//! GHz, `Z ≡ 1`. Coefficients come from OLS with the HC3
+//! heteroscedasticity-consistent covariance (paper §III-C).
+
+use crate::dataset::{Dataset, SampleRow};
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_linalg::Matrix;
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+use serde::{Deserialize, Serialize};
+
+/// A fitted Equation 1 power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// The selected PMC events, in coefficient order.
+    pub events: Vec<PapiEvent>,
+    /// Event coefficients `αₙ` (watts per rate unit per `V²·GHz`).
+    pub alpha: Vec<f64>,
+    /// Residual dynamic power coefficient `β`.
+    pub beta: f64,
+    /// Static power coefficient `γ` (watts per volt).
+    pub gamma: f64,
+    /// System power `δ` (`Z ≡ 1`), watts.
+    pub delta: f64,
+    /// Training R².
+    pub fit_r_squared: f64,
+    /// Training adjusted R².
+    pub fit_adj_r_squared: f64,
+    /// HC3 standard errors, one per design column
+    /// (`α₀…α_{k−1}, β, γ, δ`).
+    pub std_errors: Vec<f64>,
+    /// Number of training observations.
+    pub n_observations: usize,
+}
+
+impl PowerModel {
+    /// Builds the Equation 1 design row for a sample:
+    /// `[E₁·V²f, …, Eₖ·V²f, V²f, V, 1]`.
+    pub fn design_row(row: &SampleRow, events: &[PapiEvent]) -> Vec<f64> {
+        let v2f = row.v2f();
+        let mut out = Vec::with_capacity(events.len() + 3);
+        for &e in events {
+            out.push(row.rate(e) * v2f);
+        }
+        out.push(v2f);
+        out.push(row.voltage);
+        out.push(1.0);
+        out
+    }
+
+    /// Builds the full design matrix for a dataset.
+    pub fn design_matrix(data: &Dataset, events: &[PapiEvent]) -> Matrix {
+        let cols = events.len() + 3;
+        let mut m = Matrix::zeros(data.len(), cols);
+        for (i, row) in data.rows().iter().enumerate() {
+            let r = Self::design_row(row, events);
+            for (j, v) in r.into_iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Fits the model on a dataset with the given selected events,
+    /// using OLS + HC3 as the paper does.
+    pub fn fit(data: &Dataset, events: &[PapiEvent]) -> Result<Self> {
+        if events.is_empty() {
+            return Err(ModelError::Selection {
+                reason: "cannot fit Equation 1 with zero selected events".into(),
+            });
+        }
+        if data.len() < events.len() + 4 {
+            return Err(ModelError::BadDataset {
+                what: "PowerModel::fit",
+                reason: format!(
+                    "{} rows cannot identify {} coefficients",
+                    data.len(),
+                    events.len() + 3
+                ),
+            });
+        }
+        let x = Self::design_matrix(data, events);
+        let y = data.power();
+        let fit = OlsFit::fit_with(
+            &x,
+            &y,
+            OlsOptions {
+                covariance: CovarianceKind::HC3,
+                centered_tss: true,
+            },
+        )?;
+        let coefs = fit.coefficients();
+        let k = events.len();
+        Ok(PowerModel {
+            events: events.to_vec(),
+            alpha: coefs[..k].to_vec(),
+            beta: coefs[k],
+            gamma: coefs[k + 1],
+            delta: coefs[k + 2],
+            fit_r_squared: fit.r_squared(),
+            fit_adj_r_squared: fit.adj_r_squared(),
+            std_errors: fit.std_errors(),
+            n_observations: fit.n_observations(),
+        })
+    }
+
+    /// Predicted power for one sample row, watts.
+    pub fn predict_row(&self, row: &SampleRow) -> f64 {
+        let design = Self::design_row(row, &self.events);
+        let mut p = 0.0;
+        for (a, d) in self.alpha.iter().zip(&design) {
+            p += a * d;
+        }
+        let k = self.events.len();
+        p + self.beta * design[k] + self.gamma * design[k + 1] + self.delta
+    }
+
+    /// Predicted power for every row of a dataset.
+    pub fn predict(&self, data: &Dataset) -> Vec<f64> {
+        data.rows().iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Predicts from raw inputs, for online estimation without a full
+    /// [`SampleRow`]: `rates` must align with [`Self::events`].
+    pub fn predict_raw(&self, rates: &[f64], voltage: f64, freq_mhz: u32) -> Result<f64> {
+        if rates.len() != self.events.len() {
+            return Err(ModelError::BadDataset {
+                what: "predict_raw",
+                reason: format!(
+                    "expected {} rates, got {}",
+                    self.events.len(),
+                    rates.len()
+                ),
+            });
+        }
+        let v2f = voltage * voltage * (freq_mhz as f64 / 1000.0);
+        let mut p = self.beta * v2f + self.gamma * voltage + self.delta;
+        for (a, r) in self.alpha.iter().zip(rates) {
+            p += a * r * v2f;
+        }
+        Ok(p)
+    }
+
+    /// Serializes the model to JSON (deployable artifact).
+    pub fn to_json(&self) -> Result<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Loads a model from JSON.
+    pub fn from_json(s: &str) -> Result<Self> {
+        Ok(serde_json::from_str(s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    const FIXTURE_EVENTS: [PapiEvent; 2] = [PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        // The fixture's power is exactly
+        // 5000·E_PRF·V²f + 120·E_CYC·V²f + 20·V²f + 40·V + 70.
+        let d = linear_dataset(80);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        assert!((m.alpha[0] - 5000.0).abs() < 1e-6, "{}", m.alpha[0]);
+        assert!((m.alpha[1] - 120.0).abs() < 1e-8, "{}", m.alpha[1]);
+        assert!((m.beta - 20.0).abs() < 1e-7, "{}", m.beta);
+        assert!((m.gamma - 40.0).abs() < 1e-6, "{}", m.gamma);
+        assert!((m.delta - 70.0).abs() < 1e-6, "{}", m.delta);
+        assert!(m.fit_r_squared > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn predictions_match_truth_on_fixture() {
+        let d = linear_dataset(50);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let pred = m.predict(&d);
+        for (p, row) in pred.iter().zip(d.rows()) {
+            assert!((p - row.power).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn predict_raw_matches_predict_row() {
+        let d = linear_dataset(30);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let row = &d.rows()[7];
+        let rates: Vec<f64> = m.events.iter().map(|&e| row.rate(e)).collect();
+        let a = m.predict_row(row);
+        let b = m.predict_raw(&rates, row.voltage, row.freq_mhz).unwrap();
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn predict_raw_checks_arity() {
+        let d = linear_dataset(30);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        assert!(m.predict_raw(&[0.1], 1.0, 2400).is_err());
+    }
+
+    #[test]
+    fn design_row_layout() {
+        let d = linear_dataset(5);
+        let row = &d.rows()[0];
+        let design = PowerModel::design_row(row, &FIXTURE_EVENTS);
+        assert_eq!(design.len(), 5);
+        assert_eq!(design[4], 1.0); // Z
+        assert!((design[3] - row.voltage).abs() < 1e-15);
+        assert!((design[2] - row.v2f()).abs() < 1e-15);
+        assert!((design[0] - row.rate(PapiEvent::PRF_DM) * row.v2f()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let d = linear_dataset(4);
+        assert!(PowerModel::fit(&d, &FIXTURE_EVENTS).is_err());
+    }
+
+    #[test]
+    fn zero_events_rejected() {
+        let d = linear_dataset(20);
+        assert!(PowerModel::fit(&d, &[]).is_err());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let s = m.to_json().unwrap();
+        let back = PowerModel::from_json(&s).unwrap();
+        assert_eq!(m.events, back.events);
+        assert_eq!(m.n_observations, back.n_observations);
+        for (a, b) in m.alpha.iter().zip(&back.alpha) {
+            assert!((a - b).abs() <= a.abs() * 1e-12);
+        }
+        assert!((m.beta - back.beta).abs() < 1e-9);
+        assert!((m.delta - back.delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn std_errors_cover_all_coefficients() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        assert_eq!(m.std_errors.len(), m.events.len() + 3);
+        assert!(m.std_errors.iter().all(|s| s.is_finite() && *s >= 0.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The repro harness prints the paper's tables and figure series as
+//! aligned ASCII tables; this module is the tiny formatting layer it
+//! uses (kept dependency-free on purpose).
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the cell count must match the header.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header (a report bug, not
+    /// a runtime condition).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "table row arity mismatch"
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with the given number of decimals.
+pub fn fnum(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Formats an optional float, printing `n/a` for `None` (the paper's
+/// convention for the first VIF entry).
+pub fn fopt(v: Option<f64>, decimals: usize) -> String {
+    match v {
+        Some(x) if x.is_finite() => fnum(x, decimals),
+        Some(_) => "inf".to_string(),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["Counter", "R2"]);
+        t.row(&["PRF_DM".into(), "0.735".into()]);
+        t.row(&["TOT_CYC".into(), "0.897".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Counter"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "R2" column starts at the same offset.
+        let off = lines[0].find("R2").unwrap();
+        assert_eq!(&lines[2][off..off + 5], "0.735");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        Table::new(&["a", "b"]).row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fnum(1.23456, 3), "1.235");
+        assert_eq!(fopt(None, 2), "n/a");
+        assert_eq!(fopt(Some(2.5), 1), "2.5");
+        assert_eq!(fopt(Some(f64::INFINITY), 1), "inf");
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["x"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! The paper's four training scenarios (§IV-B, Fig. 4 and Fig. 5).
+//!
+//! 1. Train on four random workloads, validate on the rest.
+//! 2. Train on all roco2 (synthetic) workloads, validate on all
+//!    SPEC OMP2012 workloads — the stress test that exposes how
+//!    un-diverse synthetic kernels are.
+//! 3. 10-fold cross-validation over all experiments.
+//! 4. 10-fold cross-validation over synthetic experiments only — the
+//!    most accurate and least realistic case.
+
+use crate::dataset::Dataset;
+use crate::model::PowerModel;
+use crate::validation::oof_predictions;
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use serde::{Deserialize, Serialize};
+
+/// Scenario selector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Scenario 1: train on `n_train` random workloads, validate on
+    /// the remaining workloads.
+    RandomWorkloads {
+        /// Number of workloads in the training set.
+        n_train: usize,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Scenario 2: train on roco2, validate on SPEC OMP2012.
+    SyntheticToSpec,
+    /// Scenario 3: k-fold CV over everything.
+    CvAll {
+        /// Fold count.
+        k: usize,
+        /// Fold seed.
+        seed: u64,
+    },
+    /// Scenario 4: k-fold CV over roco2 only.
+    CvSynthetic {
+        /// Fold count.
+        k: usize,
+        /// Fold seed.
+        seed: u64,
+    },
+}
+
+impl Scenario {
+    /// The paper's four scenarios with its parameters.
+    pub fn paper_scenarios(seed: u64) -> [Scenario; 4] {
+        [
+            Scenario::RandomWorkloads { n_train: 4, seed },
+            Scenario::SyntheticToSpec,
+            Scenario::CvAll { k: 10, seed },
+            Scenario::CvSynthetic { k: 10, seed },
+        ]
+    }
+
+    /// Short label for reports ("1" … "4").
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::RandomWorkloads { .. } => "1",
+            Scenario::SyntheticToSpec => "2",
+            Scenario::CvAll { .. } => "3",
+            Scenario::CvSynthetic { .. } => "4",
+        }
+    }
+
+    /// Human description, matching the paper's Fig. 4 caption.
+    pub fn description(&self) -> String {
+        match self {
+            Scenario::RandomWorkloads { n_train, .. } => {
+                format!("training on {n_train} random workloads, validation on rest")
+            }
+            Scenario::SyntheticToSpec => {
+                "training on synthetic workloads, validation on SPEC OMP2012".into()
+            }
+            Scenario::CvAll { k, .. } => format!("{k}-fold CV on all experiments"),
+            Scenario::CvSynthetic { k, .. } => {
+                format!("{k}-fold CV on all synthetic workload experiments")
+            }
+        }
+    }
+}
+
+/// One validation point: a (workload, frequency, threads) experiment's
+/// actual vs estimated average power — one dot in paper Fig. 5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScatterPoint {
+    /// Workload name.
+    pub workload: String,
+    /// Suite name.
+    pub suite: String,
+    /// Phase name.
+    pub phase: String,
+    /// Frequency, MHz.
+    pub freq_mhz: u32,
+    /// Threads.
+    pub threads: u32,
+    /// Measured power, W.
+    pub actual: f64,
+    /// Model-estimated power, W.
+    pub predicted: f64,
+}
+
+/// Result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario label ("1" … "4").
+    pub label: String,
+    /// Scenario description.
+    pub description: String,
+    /// Validation MAPE (percent) across all validation points.
+    pub mape: f64,
+    /// The actual-vs-estimated scatter (paper Fig. 5).
+    pub points: Vec<ScatterPoint>,
+}
+
+fn scatter(data: &Dataset, predicted: &[f64]) -> Vec<ScatterPoint> {
+    data.rows()
+        .iter()
+        .zip(predicted)
+        .map(|(r, &p)| ScatterPoint {
+            workload: r.workload.clone(),
+            suite: r.suite.clone(),
+            phase: r.phase.clone(),
+            freq_mhz: r.freq_mhz,
+            threads: r.threads,
+            actual: r.power,
+            predicted: p,
+        })
+        .collect()
+}
+
+/// Runs one scenario on a dataset with fixed selected events (the
+/// paper fixes the Table I counters across scenarios "due to practical
+/// considerations on the total amount of measurements").
+pub fn run_scenario(
+    data: &Dataset,
+    events: &[PapiEvent],
+    scenario: Scenario,
+) -> Result<ScenarioResult> {
+    let (validation, predicted) = match scenario {
+        Scenario::RandomWorkloads { n_train, seed } => {
+            let names = data.workload_names();
+            if n_train == 0 || n_train >= names.len() {
+                return Err(ModelError::BadDataset {
+                    what: "scenario 1",
+                    reason: format!(
+                        "cannot split {} workloads into {n_train} train + rest",
+                        names.len()
+                    ),
+                });
+            }
+            // Stratified deterministic draw: the training workloads are
+            // sampled half from each suite ("four random workloads from
+            // roco2 and SPEC OMP2012"), so one draw cannot end up with
+            // zero coverage of either suite's behaviour.
+            let mut rng = pmc_cpusim::rng::SplitMix64::derive(seed, &[names.len() as u64]);
+            let mut shuffled = |mut v: Vec<String>| {
+                for i in (1..v.len()).rev() {
+                    let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                    v.swap(i, j);
+                }
+                v
+            };
+            let roco2: Vec<String> = data
+                .suite("roco2")
+                .workload_names();
+            let spec: Vec<String> = data.suite("SPEC OMP2012").workload_names();
+            let half = n_train / 2;
+            let mut train_names = shuffled(roco2)
+                .into_iter()
+                .take(n_train - half)
+                .collect::<Vec<_>>();
+            train_names.extend(shuffled(spec).into_iter().take(half));
+            if train_names.len() < n_train {
+                return Err(ModelError::BadDataset {
+                    what: "scenario 1",
+                    reason: "not enough workloads per suite for a stratified draw".into(),
+                });
+            }
+            let train = data.filter(|r| train_names.iter().any(|n| *n == r.workload));
+            let validation = data.filter(|r| !train_names.iter().any(|n| *n == r.workload));
+            let model = PowerModel::fit(&train, events)?;
+            let predicted = model.predict(&validation);
+            (validation, predicted)
+        }
+        Scenario::SyntheticToSpec => {
+            let train = data.suite("roco2");
+            let validation = data.suite("SPEC OMP2012");
+            if train.is_empty() || validation.is_empty() {
+                return Err(ModelError::BadDataset {
+                    what: "scenario 2",
+                    reason: "need both roco2 and SPEC OMP2012 rows".into(),
+                });
+            }
+            let model = PowerModel::fit(&train, events)?;
+            let predicted = model.predict(&validation);
+            (validation, predicted)
+        }
+        Scenario::CvAll { k, seed } => {
+            let predicted = oof_predictions(data, events, k, seed)?;
+            (data.clone(), predicted)
+        }
+        Scenario::CvSynthetic { k, seed } => {
+            let synth = data.suite("roco2");
+            if synth.is_empty() {
+                return Err(ModelError::BadDataset {
+                    what: "scenario 4",
+                    reason: "no roco2 rows".into(),
+                });
+            }
+            let predicted = oof_predictions(&synth, events, k, seed)?;
+            (synth, predicted)
+        }
+    };
+
+    let mape = pmc_stats::mape(&validation.power(), &predicted)?;
+    Ok(ScenarioResult {
+        label: scenario.label().to_string(),
+        description: scenario.description(),
+        mape,
+        points: scatter(&validation, &predicted),
+    })
+}
+
+/// Runs all four paper scenarios.
+pub fn run_paper_scenarios(
+    data: &Dataset,
+    events: &[PapiEvent],
+    seed: u64,
+) -> Result<Vec<ScenarioResult>> {
+    Scenario::paper_scenarios(seed)
+        .into_iter()
+        .map(|s| run_scenario(data, events, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    const EVENTS: [PapiEvent; 2] = [PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
+
+    #[test]
+    fn all_scenarios_run_on_fixture() {
+        let d = linear_dataset(100);
+        let results = run_paper_scenarios(&d, &EVENTS, 42).unwrap();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            // Fixture is exactly linear: every scenario is near-perfect.
+            assert!(r.mape < 1e-6, "scenario {}: {}", r.label, r.mape);
+            assert!(!r.points.is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario2_validates_only_spec() {
+        let d = linear_dataset(60);
+        let r = run_scenario(&d, &EVENTS, Scenario::SyntheticToSpec).unwrap();
+        assert!(r.points.iter().all(|p| p.suite == "SPEC OMP2012"));
+    }
+
+    #[test]
+    fn scenario4_validates_only_synthetic() {
+        let d = linear_dataset(60);
+        let r = run_scenario(
+            &d,
+            &EVENTS,
+            Scenario::CvSynthetic { k: 5, seed: 1 },
+        )
+        .unwrap();
+        assert!(r.points.iter().all(|p| p.suite == "roco2"));
+    }
+
+    #[test]
+    fn scenario1_train_and_validation_disjoint() {
+        let d = linear_dataset(80);
+        let r = run_scenario(
+            &d,
+            &EVENTS,
+            Scenario::RandomWorkloads { n_train: 2, seed: 9 },
+        )
+        .unwrap();
+        let val_workloads: std::collections::BTreeSet<&str> =
+            r.points.iter().map(|p| p.workload.as_str()).collect();
+        // 8 fixture workloads, 2 trained → exactly 6 validated.
+        assert_eq!(val_workloads.len(), 6);
+    }
+
+    #[test]
+    fn scenario1_bad_split_rejected() {
+        let d = linear_dataset(40);
+        assert!(run_scenario(
+            &d,
+            &EVENTS,
+            Scenario::RandomWorkloads { n_train: 8, seed: 0 }, // == all 8
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn labels_and_descriptions() {
+        let s = Scenario::paper_scenarios(0);
+        assert_eq!(s[0].label(), "1");
+        assert_eq!(s[1].label(), "2");
+        assert!(s[1].description().contains("SPEC"));
+        assert!(s[3].description().contains("synthetic"));
+    }
+
+    #[test]
+    fn scenario1_deterministic_per_seed() {
+        let d = linear_dataset(60);
+        let s = Scenario::RandomWorkloads { n_train: 2, seed: 5 };
+        let a = run_scenario(&d, &EVENTS, s).unwrap();
+        let b = run_scenario(&d, &EVENTS, s).unwrap();
+        assert_eq!(a, b);
+    }
+}

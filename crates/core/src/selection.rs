@@ -1,0 +1,245 @@
+//! PMC event selection — the paper's Algorithm 1.
+//!
+//! Greedy forward selection: starting from the empty set (the paper
+//! deliberately does *not* seed with a cycle counter, unlike Walker et
+//! al.), repeatedly add the candidate event whose inclusion maximizes
+//! the R² of an OLS regression of power on the selected rates. After
+//! each step, the mean Variance Inflation Factor over the selected
+//! rates quantifies multicollinearity: a low mean VIF (≈1–2) means a
+//! stable model; the paper stops at 6 events because the 7th (`CA_SNP`)
+//! pushes the mean VIF to 26.4.
+
+use crate::dataset::Dataset;
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+use pmc_stats::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// One step of the greedy selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SelectionStep {
+    /// The event added at this step.
+    pub event: PapiEvent,
+    /// R² of the model after adding the event.
+    pub r_squared: f64,
+    /// Adjusted R² after adding the event.
+    pub adj_r_squared: f64,
+    /// Mean VIF over the selected events (`None` for the first step —
+    /// VIF needs at least two predictors; the paper prints "n/a").
+    pub mean_vif: Option<f64>,
+}
+
+/// Full record of a selection run (paper Table I / Table IV / Fig. 2).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SelectionReport {
+    /// Steps in selection order.
+    pub steps: Vec<SelectionStep>,
+}
+
+impl SelectionReport {
+    /// The selected events, in selection order.
+    pub fn selected_events(&self) -> Vec<PapiEvent> {
+        self.steps.iter().map(|s| s.event).collect()
+    }
+
+    /// R² trajectory (paper Fig. 2).
+    pub fn r_squared_curve(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.r_squared).collect()
+    }
+
+    /// Adjusted-R² trajectory (paper Fig. 2).
+    pub fn adj_r_squared_curve(&self) -> Vec<f64> {
+        self.steps.iter().map(|s| s.adj_r_squared).collect()
+    }
+}
+
+/// Fits the *selection regression* `power ~ 1 + E₁ + … + Eₖ` and
+/// returns `(R², adj R²)`, or `None` when the design is degenerate
+/// for this candidate set (collinear/constant columns).
+fn selection_fit(data: &Dataset, events: &[PapiEvent]) -> Option<(f64, f64)> {
+    let x = data.selection_design(events);
+    let y = data.power();
+    match OlsFit::fit_with(
+        &x,
+        &y,
+        OlsOptions {
+            covariance: CovarianceKind::Classical,
+            centered_tss: true,
+        },
+    ) {
+        Ok(fit) => Some((fit.r_squared(), fit.adj_r_squared())),
+        Err(StatsError::Linalg(_)) | Err(StatsError::Degenerate { .. }) => None,
+        Err(_) => None,
+    }
+}
+
+/// Algorithm 1: selects `count` events from `candidates` by greedy R²
+/// maximization on `data` (which the paper fixes to one frequency,
+/// 2400 MHz).
+pub fn select_events(
+    data: &Dataset,
+    candidates: &[PapiEvent],
+    count: usize,
+) -> Result<SelectionReport> {
+    if data.is_empty() {
+        return Err(ModelError::BadDataset {
+            what: "select_events",
+            reason: "no rows".into(),
+        });
+    }
+    if candidates.is_empty() || count == 0 {
+        return Err(ModelError::Selection {
+            reason: "empty candidate set or zero requested events".into(),
+        });
+    }
+    if count > candidates.len() {
+        return Err(ModelError::Selection {
+            reason: format!(
+                "requested {count} events but only {} candidates",
+                candidates.len()
+            ),
+        });
+    }
+
+    let mut selected: Vec<PapiEvent> = Vec::with_capacity(count);
+    let mut steps = Vec::with_capacity(count);
+
+    while selected.len() < count {
+        let mut best: Option<(PapiEvent, f64, f64)> = None;
+        for &event in candidates {
+            if selected.contains(&event) {
+                continue;
+            }
+            let mut trial = selected.clone();
+            trial.push(event);
+            if let Some((r2, adj)) = selection_fit(data, &trial) {
+                let better = match &best {
+                    None => true,
+                    Some((_, best_r2, _)) => r2 > *best_r2,
+                };
+                if better {
+                    best = Some((event, r2, adj));
+                }
+            }
+        }
+        let (event, r_squared, adj_r_squared) = best.ok_or_else(|| ModelError::Selection {
+            reason: format!(
+                "no candidate improves the model after {} events (all remaining \
+                 candidates give degenerate fits)",
+                selected.len()
+            ),
+        })?;
+        selected.push(event);
+
+        let mean_vif = if selected.len() >= 2 {
+            let rates = data.rate_matrix(&selected);
+            Some(pmc_stats::mean_vif(&rates)?)
+        } else {
+            None
+        };
+        steps.push(SelectionStep {
+            event,
+            r_squared,
+            adj_r_squared,
+            mean_vif,
+        });
+    }
+    Ok(SelectionReport { steps })
+}
+
+/// Evaluates what happens when one more event is appended to an
+/// existing selection (the paper's `CA_SNP` probe): returns the
+/// augmented step with its R² and mean VIF.
+pub fn probe_additional_event(
+    data: &Dataset,
+    selected: &[PapiEvent],
+    event: PapiEvent,
+) -> Result<SelectionStep> {
+    let mut trial = selected.to_vec();
+    trial.push(event);
+    let (r_squared, adj_r_squared) =
+        selection_fit(data, &trial).ok_or_else(|| ModelError::Selection {
+            reason: format!("appending {event} gives a degenerate fit"),
+        })?;
+    let rates = data.rate_matrix(&trial);
+    Ok(SelectionStep {
+        event,
+        r_squared,
+        adj_r_squared,
+        mean_vif: Some(pmc_stats::mean_vif(&rates)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    #[test]
+    fn finds_the_true_predictors_first() {
+        // At a fixed frequency the fixture's power is an exact linear
+        // function of the PRF_DM and TOT_CYC rates; greedy selection
+        // must find exactly those two.
+        let d = linear_dataset(150).at_frequency(2400);
+        let report = select_events(&d, PapiEvent::ALL, 2).unwrap();
+        let events = report.selected_events();
+        assert!(events.contains(&PapiEvent::PRF_DM), "{events:?}");
+        assert!(events.contains(&PapiEvent::TOT_CYC), "{events:?}");
+    }
+
+    #[test]
+    fn r_squared_monotone_nondecreasing() {
+        let d = linear_dataset(60);
+        let report = select_events(&d, PapiEvent::ALL, 4).unwrap();
+        let r2 = report.r_squared_curve();
+        for w in r2.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "{r2:?}");
+        }
+    }
+
+    #[test]
+    fn first_step_has_no_vif() {
+        let d = linear_dataset(40);
+        let report = select_events(&d, PapiEvent::ALL, 3).unwrap();
+        assert!(report.steps[0].mean_vif.is_none());
+        for s in &report.steps[1..] {
+            assert!(s.mean_vif.is_some());
+            assert!(s.mean_vif.unwrap() >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let d = Dataset::default();
+        assert!(select_events(&d, PapiEvent::ALL, 2).is_err());
+    }
+
+    #[test]
+    fn too_many_requested_rejected() {
+        let d = linear_dataset(30);
+        assert!(select_events(&d, &[PapiEvent::PRF_DM], 2).is_err());
+        assert!(select_events(&d, &[], 1).is_err());
+        assert!(select_events(&d, PapiEvent::ALL, 0).is_err());
+    }
+
+    #[test]
+    fn probe_reports_vif() {
+        let d = linear_dataset(50);
+        let selected = vec![PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
+        let step = probe_additional_event(&d, &selected, PapiEvent::TLB_IM).unwrap();
+        assert_eq!(step.event, PapiEvent::TLB_IM);
+        assert!(step.mean_vif.unwrap() >= 1.0 - 1e-9);
+        // Probing a constant counter must not panic either; it may
+        // yield a step (VIF convention 1) or a selection error.
+        let _ = probe_additional_event(&d, &selected, PapiEvent::L1_TCA);
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let d = linear_dataset(45);
+        let a = select_events(&d, PapiEvent::ALL, 3).unwrap();
+        let b = select_events(&d, PapiEvent::ALL, 3).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,250 @@
+//! Model validation: k-fold cross-validation and per-workload error
+//! breakdowns (paper Table II and Fig. 3).
+
+use crate::dataset::Dataset;
+use crate::model::PowerModel;
+use crate::{ModelError, Result};
+use pmc_events::PapiEvent;
+use pmc_stats::{CvOutcome, KFold, Summary};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Summary of a k-fold cross-validation run (paper Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CvSummary {
+    /// Min/max/mean of the per-fold training R².
+    pub r_squared: Summary,
+    /// Min/max/mean of the per-fold training adjusted R².
+    pub adj_r_squared: Summary,
+    /// Min/max/mean of the per-fold validation MAPE (percent).
+    pub mape: Summary,
+}
+
+/// Runs k-fold cross-validation of Equation 1 with random indexing.
+///
+/// Returns the Table II-style summary plus the per-fold outcomes.
+pub fn cross_validate_model(
+    data: &Dataset,
+    events: &[PapiEvent],
+    k: usize,
+    seed: u64,
+) -> Result<(CvSummary, Vec<CvOutcome>)> {
+    let kfold = KFold::new(data.len(), k, seed)?;
+    let outcomes = pmc_stats::cross_validate(
+        &kfold,
+        |train| {
+            let sub = data.subset(train);
+            let model =
+                PowerModel::fit(&sub, events).map_err(|e| model_as_stats(e))?;
+            Ok((model.fit_r_squared, model.fit_adj_r_squared, model))
+        },
+        |model, validate| {
+            let sub = data.subset(validate);
+            let actual = sub.power();
+            let predicted = model.predict(&sub);
+            Ok((actual, predicted))
+        },
+    )?;
+
+    let r2: Vec<f64> = outcomes.iter().map(|o| o.r_squared).collect();
+    let adj: Vec<f64> = outcomes.iter().map(|o| o.adj_r_squared).collect();
+    let mape: Vec<f64> = outcomes.iter().map(|o| o.mape).collect();
+    Ok((
+        CvSummary {
+            r_squared: Summary::of(&r2)?,
+            adj_r_squared: Summary::of(&adj)?,
+            mape: Summary::of(&mape)?,
+        },
+        outcomes,
+    ))
+}
+
+/// Maps a modeling error into the stats error space so it can flow
+/// through the generic `cross_validate` plumbing.
+fn model_as_stats(e: ModelError) -> pmc_stats::StatsError {
+    match e {
+        ModelError::Stats(s) => s,
+        other => pmc_stats::StatsError::Degenerate {
+            what: "power model fit inside CV",
+            reason: Box::leak(other.to_string().into_boxed_str()),
+        },
+    }
+}
+
+/// Out-of-fold predictions: every row predicted by the model of the
+/// fold that held it out. Together with the actual values this gives an
+/// unbiased scatter (paper Fig. 5b) and per-workload errors (Fig. 3).
+pub fn oof_predictions(
+    data: &Dataset,
+    events: &[PapiEvent],
+    k: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let kfold = KFold::new(data.len(), k, seed)?;
+    let mut pred = vec![f64::NAN; data.len()];
+    for fold in kfold.folds() {
+        let model = PowerModel::fit(&data.subset(&fold.train), events)?;
+        for &i in &fold.validate {
+            pred[i] = model.predict_row(&data.rows()[i]);
+        }
+    }
+    debug_assert!(pred.iter().all(|p| p.is_finite()));
+    Ok(pred)
+}
+
+/// MAPE per workload across all DVFS states, from pooled out-of-fold
+/// predictions (paper Fig. 3's bar chart).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadError {
+    /// Workload name.
+    pub workload: String,
+    /// Suite name.
+    pub suite: String,
+    /// Pooled MAPE across that workload's samples (percent).
+    pub mape: f64,
+    /// Number of samples pooled.
+    pub samples: usize,
+}
+
+/// Computes per-workload MAPE from a dataset and matching predictions.
+pub fn per_workload_mape(data: &Dataset, predicted: &[f64]) -> Result<Vec<WorkloadError>> {
+    if predicted.len() != data.len() {
+        return Err(ModelError::BadDataset {
+            what: "per_workload_mape",
+            reason: format!(
+                "{} predictions for {} rows",
+                predicted.len(),
+                data.len()
+            ),
+        });
+    }
+    let mut groups: BTreeMap<String, (String, Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (row, &p) in data.rows().iter().zip(predicted) {
+        let g = groups
+            .entry(row.workload.clone())
+            .or_insert_with(|| (row.suite.clone(), Vec::new(), Vec::new()));
+        g.1.push(row.power);
+        g.2.push(p);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (workload, (suite, actual, pred)) in groups {
+        out.push(WorkloadError {
+            workload,
+            suite,
+            mape: pmc_stats::mape(&actual, &pred)?,
+            samples: actual.len(),
+        });
+    }
+    Ok(out)
+}
+
+/// MAPE per (workload, frequency) cell — the full Fig. 3 matrix.
+pub fn per_workload_frequency_mape(
+    data: &Dataset,
+    predicted: &[f64],
+) -> Result<BTreeMap<(String, u32), f64>> {
+    if predicted.len() != data.len() {
+        return Err(ModelError::BadDataset {
+            what: "per_workload_frequency_mape",
+            reason: "prediction/row count mismatch".into(),
+        });
+    }
+    let mut groups: BTreeMap<(String, u32), (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for (row, &p) in data.rows().iter().zip(predicted) {
+        let g = groups
+            .entry((row.workload.clone(), row.freq_mhz))
+            .or_default();
+        g.0.push(row.power);
+        g.1.push(p);
+    }
+    let mut out = BTreeMap::new();
+    for (key, (actual, pred)) in groups {
+        out.insert(key, pmc_stats::mape(&actual, &pred)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    const EVENTS: [PapiEvent; 2] = [PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
+
+    #[test]
+    fn cv_on_exact_data_is_perfect() {
+        let d = linear_dataset(100);
+        let (summary, outcomes) = cross_validate_model(&d, &EVENTS, 10, 7).unwrap();
+        assert_eq!(outcomes.len(), 10);
+        assert!(summary.r_squared.min > 1.0 - 1e-10);
+        assert!(summary.mape.max < 1e-6, "{:?}", summary.mape);
+        assert!(summary.adj_r_squared.mean <= summary.r_squared.mean + 1e-12);
+    }
+
+    #[test]
+    fn cv_summary_ordering() {
+        let d = linear_dataset(60);
+        let (s, _) = cross_validate_model(&d, &EVENTS, 5, 3).unwrap();
+        assert!(s.mape.min <= s.mape.mean && s.mape.mean <= s.mape.max);
+        assert!(s.r_squared.min <= s.r_squared.mean);
+    }
+
+    #[test]
+    fn oof_predictions_cover_every_row() {
+        let d = linear_dataset(50);
+        let pred = oof_predictions(&d, &EVENTS, 10, 1).unwrap();
+        assert_eq!(pred.len(), 50);
+        for (p, row) in pred.iter().zip(d.rows()) {
+            assert!((p - row.power).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn per_workload_groups_correctly() {
+        let d = linear_dataset(40);
+        let pred = d.power(); // perfect predictions
+        let errors = per_workload_mape(&d, &pred).unwrap();
+        assert_eq!(errors.len(), 8); // fixture has 8 workloads
+        for e in &errors {
+            assert_eq!(e.mape, 0.0);
+            assert_eq!(e.samples, 5);
+        }
+    }
+
+    #[test]
+    fn per_workload_detects_biased_workload() {
+        let d = linear_dataset(40);
+        let pred: Vec<f64> = d
+            .rows()
+            .iter()
+            .map(|r| {
+                if r.workload == "w1" {
+                    r.power * 1.2
+                } else {
+                    r.power
+                }
+            })
+            .collect();
+        let errors = per_workload_mape(&d, &pred).unwrap();
+        let w1 = errors.iter().find(|e| e.workload == "w1").unwrap();
+        let w0 = errors.iter().find(|e| e.workload == "w0").unwrap();
+        assert!((w1.mape - 20.0).abs() < 1e-9);
+        assert_eq!(w0.mape, 0.0);
+    }
+
+    #[test]
+    fn frequency_matrix_has_all_cells() {
+        let d = linear_dataset(50);
+        let pred = d.power();
+        let m = per_workload_frequency_mape(&d, &pred).unwrap();
+        // 8 workloads × 5 frequencies, all covered by 50 rows.
+        assert_eq!(m.len(), 40);
+        assert!(m.values().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn prediction_length_mismatch_rejected() {
+        let d = linear_dataset(10);
+        assert!(per_workload_mape(&d, &[1.0]).is_err());
+    }
+}

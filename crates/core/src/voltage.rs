@@ -1,0 +1,159 @@
+//! CPU voltage model — the workflow step the paper *dropped*.
+//!
+//! Walker et al.'s original ARM methodology includes a "CPU voltage
+//! model" because their platform could not read core voltages at run
+//! time. The paper notes that on contemporary Intel hardware this step
+//! is unnecessary (§III: voltages are read via `x86_adapt`), so the
+//! main pipeline uses measured voltages. This module provides the
+//! Walker-style fallback anyway, for deployments where the voltage
+//! readout is unavailable (locked-down BIOS, virtualized guests): an
+//! affine V(f) model fitted from whatever calibration readouts exist.
+
+use crate::dataset::Dataset;
+use crate::{ModelError, Result};
+use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
+use serde::{Deserialize, Serialize};
+
+/// An affine voltage–frequency model `V(f) = v0 + k·f_GHz`, fitted by
+/// OLS from observed (frequency, voltage) pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageModel {
+    /// Intercept, volts.
+    pub v0: f64,
+    /// Slope, volts per GHz.
+    pub k: f64,
+    /// Fit R² over the calibration readouts.
+    pub fit_r_squared: f64,
+    /// Number of calibration observations.
+    pub n_observations: usize,
+}
+
+impl VoltageModel {
+    /// Fits from explicit (frequency MHz, voltage) pairs. Needs at
+    /// least two distinct frequencies.
+    pub fn fit_pairs(pairs: &[(u32, f64)]) -> Result<Self> {
+        if pairs.len() < 3 {
+            return Err(ModelError::BadDataset {
+                what: "VoltageModel::fit_pairs",
+                reason: format!("{} observations are too few", pairs.len()),
+            });
+        }
+        let mut x = pmc_linalg::Matrix::zeros(pairs.len(), 2);
+        let mut y = Vec::with_capacity(pairs.len());
+        for (i, &(f_mhz, v)) in pairs.iter().enumerate() {
+            x[(i, 0)] = 1.0;
+            x[(i, 1)] = f_mhz as f64 / 1000.0;
+            y.push(v);
+        }
+        let fit = OlsFit::fit_with(
+            &x,
+            &y,
+            OlsOptions {
+                covariance: CovarianceKind::Classical,
+                centered_tss: true,
+            },
+        )?;
+        Ok(VoltageModel {
+            v0: fit.coefficients()[0],
+            k: fit.coefficients()[1],
+            fit_r_squared: fit.r_squared(),
+            n_observations: pairs.len(),
+        })
+    }
+
+    /// Fits from a dataset's (frequency, measured voltage) columns.
+    pub fn fit(data: &Dataset) -> Result<Self> {
+        if data.frequencies().len() < 2 {
+            return Err(ModelError::BadDataset {
+                what: "VoltageModel::fit",
+                reason: "need readouts at ≥ 2 distinct frequencies".into(),
+            });
+        }
+        let pairs: Vec<(u32, f64)> = data
+            .rows()
+            .iter()
+            .map(|r| (r.freq_mhz, r.voltage))
+            .collect();
+        Self::fit_pairs(&pairs)
+    }
+
+    /// Predicted core voltage at a frequency, volts.
+    pub fn voltage_at(&self, freq_mhz: u32) -> f64 {
+        self.v0 + self.k * (freq_mhz as f64 / 1000.0)
+    }
+
+    /// Replaces every row's measured voltage with the model prediction —
+    /// what the pipeline would have to do on a platform without a
+    /// runtime voltage readout. Returns the new dataset.
+    pub fn impute(&self, data: &Dataset) -> Dataset {
+        let rows = data
+            .rows()
+            .iter()
+            .cloned()
+            .map(|mut r| {
+                r.voltage = self.voltage_at(r.freq_mhz);
+                r
+            })
+            .collect();
+        Dataset::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::test_fixtures::linear_dataset;
+
+    #[test]
+    fn recovers_the_machine_curve() {
+        // The fixture voltages follow V = 0.492857 + 0.214286·f.
+        let d = linear_dataset(60);
+        let m = VoltageModel::fit(&d).unwrap();
+        assert!((m.v0 - 0.492857).abs() < 1e-6, "{}", m.v0);
+        assert!((m.k - 0.214286).abs() < 1e-6, "{}", m.k);
+        assert!(m.fit_r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn prediction_matches_readout_on_clean_data() {
+        let d = linear_dataset(40);
+        let m = VoltageModel::fit(&d).unwrap();
+        for r in d.rows() {
+            assert!((m.voltage_at(r.freq_mhz) - r.voltage).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impute_replaces_voltages_only() {
+        let d = linear_dataset(30);
+        let m = VoltageModel::fit(&d).unwrap();
+        let imputed = m.impute(&d);
+        assert_eq!(imputed.len(), d.len());
+        for (a, b) in imputed.rows().iter().zip(d.rows()) {
+            assert_eq!(a.power, b.power);
+            assert_eq!(a.rates, b.rates);
+            assert!((a.voltage - m.voltage_at(a.freq_mhz)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        assert!(VoltageModel::fit_pairs(&[(1200, 0.75), (2600, 1.05)]).is_err());
+        let single_freq = linear_dataset(20).at_frequency(2400);
+        assert!(VoltageModel::fit(&single_freq).is_err());
+    }
+
+    #[test]
+    fn fit_pairs_with_noise_still_close() {
+        let pairs: Vec<(u32, f64)> = (0..20)
+            .map(|i| {
+                let f = 1200 + 70 * i;
+                let noise = if i % 2 == 0 { 0.002 } else { -0.002 };
+                (f, 0.5 + 0.2 * f as f64 / 1000.0 + noise)
+            })
+            .collect();
+        let m = VoltageModel::fit_pairs(&pairs).unwrap();
+        assert!((m.v0 - 0.5).abs() < 0.01);
+        assert!((m.k - 0.2).abs() < 0.01);
+    }
+}

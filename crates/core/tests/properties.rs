@@ -1,0 +1,128 @@
+//! Property-based tests for the modeling layer.
+
+use pmc_events::PapiEvent;
+use pmc_model::dataset::{Dataset, SampleRow};
+use pmc_model::model::PowerModel;
+use pmc_model::selection::select_events;
+use pmc_model::validation::{oof_predictions, per_workload_mape};
+use proptest::prelude::*;
+
+/// A synthetic dataset whose power is an exact Equation 1 function of
+/// two counters with caller-chosen coefficients.
+fn dataset(n: usize, a0: f64, a1: f64, beta: f64, gamma: f64, delta: f64) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+        let f = freq_mhz as f64 / 1000.0;
+        let v = 0.492857 + 0.214286 * f;
+        let e0 = 0.002 + 0.0001 * ((i * 13 % 29) as f64);
+        let e1 = 0.1 + 0.02 * ((i * 7 % 17) as f64);
+        let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
+            .map(|j| ((17 * i + 31 * j + i * i) % 89) as f64 / 8900.0)
+            .collect();
+        rates[PapiEvent::PRF_DM.index()] = e0;
+        rates[PapiEvent::TOT_CYC.index()] = e1;
+        let v2f = v * v * f;
+        let power = a0 * e0 * v2f + a1 * e1 * v2f + beta * v2f + gamma * v + delta;
+        rows.push(SampleRow {
+            workload_id: (i % 6) as u32,
+            workload: format!("w{}", i % 6),
+            suite: if i % 6 < 3 { "roco2" } else { "SPEC OMP2012" }.into(),
+            phase: "main".into(),
+            threads: 24,
+            freq_mhz,
+            duration_s: 10.0,
+            voltage: v,
+            power,
+            rates,
+        });
+    }
+    Dataset::from_rows(rows)
+}
+
+const EVENTS: [PapiEvent; 2] = [PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equation 1 recovers arbitrary ground-truth coefficients exactly
+    /// from noise-free data.
+    #[test]
+    fn model_recovers_arbitrary_coefficients(
+        a0 in 100.0f64..20000.0,
+        a1 in 10.0f64..500.0,
+        beta in -20.0f64..50.0,
+        gamma in 0.0f64..80.0,
+        delta in 20.0f64..120.0,
+    ) {
+        let d = dataset(80, a0, a1, beta, gamma, delta);
+        let m = PowerModel::fit(&d, &EVENTS).unwrap();
+        prop_assert!((m.alpha[0] - a0).abs() < a0.abs() * 1e-6 + 1e-6);
+        prop_assert!((m.alpha[1] - a1).abs() < a1.abs() * 1e-6 + 1e-6);
+        prop_assert!((m.beta - beta).abs() < 1e-4);
+        prop_assert!((m.gamma - gamma).abs() < 1e-4);
+        prop_assert!((m.delta - delta).abs() < 1e-4);
+    }
+
+    /// Prediction is invariant under model serialization.
+    #[test]
+    fn serialization_preserves_predictions(
+        a0 in 100.0f64..20000.0,
+        delta in 20.0f64..120.0,
+    ) {
+        let d = dataset(50, a0, 120.0, 10.0, 40.0, delta);
+        let m = PowerModel::fit(&d, &EVENTS).unwrap();
+        let back = PowerModel::from_json(&m.to_json().unwrap()).unwrap();
+        for row in d.rows() {
+            prop_assert!((m.predict_row(row) - back.predict_row(row)).abs() < 1e-9);
+        }
+    }
+
+    /// Out-of-fold predictions cover every row, and the per-workload
+    /// MAPE bookkeeping pools exactly the right sample counts.
+    #[test]
+    fn oof_and_grouping_bookkeeping(k in 2usize..=10, seed in 0u64..500) {
+        let d = dataset(60, 5000.0, 120.0, 20.0, 40.0, 70.0);
+        let pred = oof_predictions(&d, &EVENTS, k, seed).unwrap();
+        prop_assert_eq!(pred.len(), d.len());
+        prop_assert!(pred.iter().all(|p| p.is_finite()));
+        let groups = per_workload_mape(&d, &pred).unwrap();
+        prop_assert_eq!(groups.len(), 6);
+        let total: usize = groups.iter().map(|g| g.samples).sum();
+        prop_assert_eq!(total, d.len());
+        // Noise-free data: CV recovers the truth.
+        for g in &groups {
+            prop_assert!(g.mape < 1e-6, "{}: {}", g.workload, g.mape);
+        }
+    }
+
+    /// Selection on a known two-factor dataset finds both factors at
+    /// any fixed frequency, regardless of coefficient scale.
+    #[test]
+    fn selection_scale_invariant(
+        scale in 0.1f64..100.0,
+        freq in prop::sample::select(vec![1200u32, 2000, 2600]),
+    ) {
+        let d = dataset(150, 5000.0 * scale, 120.0 * scale, 20.0, 40.0, 70.0)
+            .at_frequency(freq);
+        let report = select_events(&d, PapiEvent::ALL, 2).unwrap();
+        let ev = report.selected_events();
+        prop_assert!(ev.contains(&PapiEvent::PRF_DM), "{ev:?}");
+        prop_assert!(ev.contains(&PapiEvent::TOT_CYC), "{ev:?}");
+        prop_assert!(report.steps[1].r_squared > 1.0 - 1e-9);
+    }
+
+    /// Dataset filters compose and partition: suite subsets are
+    /// disjoint and cover the whole set.
+    #[test]
+    fn suite_filters_partition(n in 10usize..=100) {
+        let d = dataset(n, 5000.0, 120.0, 20.0, 40.0, 70.0);
+        let a = d.suite("roco2");
+        let b = d.suite("SPEC OMP2012");
+        prop_assert_eq!(a.len() + b.len(), d.len());
+        prop_assert_eq!(a.concat(&b).len(), d.len());
+        for r in a.rows() {
+            prop_assert_eq!(r.suite.as_str(), "roco2");
+        }
+    }
+}

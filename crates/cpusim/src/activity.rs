@@ -1,0 +1,379 @@
+//! Microarchitectural activity vectors.
+//!
+//! An [`Activity`] is the latent, steady-state description of what a
+//! workload phase does to the core and memory hierarchy. It is the
+//! single source from which both the PMC values *and* the ground-truth
+//! power are synthesized — which is exactly the structural assumption
+//! behind PMC-based power modeling (counters and power share causes).
+//!
+//! The field `unobserved` is the deliberate exception: activity that
+//! contributes to power but is invisible to every counter
+//! (data-dependent switching factors, value-dependent datapath power).
+//! Its presence bounds the accuracy any counter-based model can reach,
+//! reproducing the paper's residual error floor.
+
+use serde::{Deserialize, Serialize};
+
+/// Steady-state activity rates of one workload phase, per active core.
+///
+/// All `*_mpki` rates are events per kilo-instruction; fractions are in
+/// `[0, 1]`; `ipc` is retired instructions per unhalted cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Activity {
+    /// Fraction of cycles the core is unhalted (1.0 = fully busy).
+    pub util: f64,
+    /// Retired instructions per unhalted cycle (0..4 on Haswell).
+    pub ipc: f64,
+    /// Fraction of unhalted cycles retiring the maximum number of
+    /// instructions (feeds `FUL_CCY` / `FUL_ICY`).
+    pub full_issue_frac: f64,
+    /// Fraction of unhalted cycles with no instruction completed
+    /// (feeds `STL_CCY` / `STL_ICY` / `RES_STL`).
+    pub stall_frac: f64,
+    /// Loads per instruction.
+    pub load_per_ins: f64,
+    /// Stores per instruction.
+    pub store_per_ins: f64,
+    /// Branches per instruction.
+    pub branch_per_ins: f64,
+    /// Mispredictions per branch.
+    pub misp_per_branch: f64,
+    /// L1 data-cache misses per kilo-instruction.
+    pub l1d_mpki: f64,
+    /// L1 instruction-cache misses per kilo-instruction.
+    pub l1i_mpki: f64,
+    /// L2 misses per kilo-instruction (demand, data).
+    pub l2_mpki: f64,
+    /// L3 misses per kilo-instruction (demand).
+    pub l3_mpki: f64,
+    /// Hardware-prefetch cache misses per kilo-instruction — the
+    /// memory-streaming proxy (`PRF_DM`).
+    pub prefetch_mpki: f64,
+    /// Data-TLB misses per kilo-instruction.
+    pub tlb_d_mpki: f64,
+    /// Instruction-TLB misses per kilo-instruction.
+    pub tlb_i_mpki: f64,
+    /// Scalar floating-point operations per instruction.
+    pub fp_scalar_per_ins: f64,
+    /// Vector (SIMD) floating-point instructions per instruction.
+    pub fp_vector_per_ins: f64,
+    /// Average vector width in elements (1..8; 4 = AVX double).
+    pub vector_width: f64,
+    /// Fraction of single-precision FP among all FP work.
+    pub fp_sp_frac: f64,
+    /// Fraction of cache traffic touching lines shared between cores
+    /// (drives coherence counters and uncore snoop power).
+    pub sharing_frac: f64,
+    /// Power-relevant activity invisible to all counters, `[0, 1]`.
+    pub unobserved: f64,
+}
+
+impl Default for Activity {
+    /// A moderate, integer-dominated baseline (roughly a scalar
+    /// compute kernel with light memory traffic).
+    fn default() -> Self {
+        Activity {
+            util: 1.0,
+            ipc: 1.5,
+            full_issue_frac: 0.1,
+            stall_frac: 0.15,
+            load_per_ins: 0.25,
+            store_per_ins: 0.10,
+            branch_per_ins: 0.15,
+            misp_per_branch: 0.02,
+            l1d_mpki: 5.0,
+            l1i_mpki: 0.5,
+            l2_mpki: 1.5,
+            l3_mpki: 0.3,
+            prefetch_mpki: 0.5,
+            tlb_d_mpki: 0.2,
+            tlb_i_mpki: 0.02,
+            fp_scalar_per_ins: 0.05,
+            fp_vector_per_ins: 0.0,
+            vector_width: 1.0,
+            fp_sp_frac: 0.0,
+            sharing_frac: 0.02,
+            unobserved: 0.3,
+        }
+    }
+}
+
+/// Validation error for an activity vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActivityError {
+    /// Offending field.
+    pub field: &'static str,
+    /// Why it is invalid.
+    pub reason: &'static str,
+}
+
+impl std::fmt::Display for ActivityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid activity field {}: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ActivityError {}
+
+impl Activity {
+    /// Checks physical plausibility of all fields.
+    pub fn validate(&self) -> Result<(), ActivityError> {
+        let frac_fields: [(&'static str, f64); 9] = [
+            ("util", self.util),
+            ("full_issue_frac", self.full_issue_frac),
+            ("stall_frac", self.stall_frac),
+            ("misp_per_branch", self.misp_per_branch),
+            ("fp_sp_frac", self.fp_sp_frac),
+            ("sharing_frac", self.sharing_frac),
+            ("unobserved", self.unobserved),
+            ("load_per_ins", self.load_per_ins),
+            ("store_per_ins", self.store_per_ins),
+        ];
+        for (name, v) in frac_fields {
+            if !(0.0..=1.0).contains(&v) || !v.is_finite() {
+                return Err(ActivityError {
+                    field: name,
+                    reason: "must be a finite fraction in [0, 1]",
+                });
+            }
+        }
+        let nonneg: [(&'static str, f64); 10] = [
+            ("branch_per_ins", self.branch_per_ins),
+            ("l1d_mpki", self.l1d_mpki),
+            ("l1i_mpki", self.l1i_mpki),
+            ("l2_mpki", self.l2_mpki),
+            ("l3_mpki", self.l3_mpki),
+            ("prefetch_mpki", self.prefetch_mpki),
+            ("tlb_d_mpki", self.tlb_d_mpki),
+            ("tlb_i_mpki", self.tlb_i_mpki),
+            ("fp_scalar_per_ins", self.fp_scalar_per_ins),
+            ("fp_vector_per_ins", self.fp_vector_per_ins),
+        ];
+        for (name, v) in nonneg {
+            if v < 0.0 || !v.is_finite() {
+                return Err(ActivityError {
+                    field: name,
+                    reason: "must be finite and non-negative",
+                });
+            }
+        }
+        if !(0.0..=4.5).contains(&self.ipc) {
+            return Err(ActivityError {
+                field: "ipc",
+                reason: "must be in [0, 4.5] on this 4-wide machine",
+            });
+        }
+        // Memory latency bounds throughput: a core cannot sustain both
+        // peak IPC and heavy off-core traffic.
+        let traffic = self.l3_mpki + self.prefetch_mpki;
+        if self.ipc > 4.5 / (1.0 + traffic / 15.0) + 1e-9 {
+            return Err(ActivityError {
+                field: "ipc",
+                reason: "IPC exceeds what the off-core traffic level permits",
+            });
+        }
+        if !(1.0..=8.0).contains(&self.vector_width) {
+            return Err(ActivityError {
+                field: "vector_width",
+                reason: "must be in [1, 8]",
+            });
+        }
+        if self.full_issue_frac + self.stall_frac > 1.0 + 1e-9 {
+            return Err(ActivityError {
+                field: "full_issue_frac",
+                reason: "full-issue and stall fractions cannot exceed 1 combined",
+            });
+        }
+        // Cache-hierarchy consistency: misses cannot increase down the
+        // hierarchy (every L3 miss was an L2 miss, every L2 miss an L1
+        // miss).
+        if self.l2_mpki > self.l1d_mpki + self.l1i_mpki + 1e-9 {
+            return Err(ActivityError {
+                field: "l2_mpki",
+                reason: "L2 misses cannot exceed L1 misses",
+            });
+        }
+        if self.l3_mpki > self.l2_mpki + self.prefetch_mpki + 1e-9 {
+            return Err(ActivityError {
+                field: "l3_mpki",
+                reason: "L3 demand misses cannot exceed L2 misses plus prefetch traffic",
+            });
+        }
+        Ok(())
+    }
+
+    /// Weighted blend of several activities (weights are normalized
+    /// internally). Used to compose SPEC-like phase mixtures from
+    /// archetype vectors.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or all weights are zero.
+    pub fn mix(parts: &[(f64, Activity)]) -> Activity {
+        assert!(!parts.is_empty(), "Activity::mix of nothing");
+        let total: f64 = parts.iter().map(|(w, _)| w).sum();
+        assert!(total > 0.0, "Activity::mix with zero total weight");
+        let mut out = Activity::zeroed();
+        for &(w, a) in parts {
+            let w = w / total;
+            out.util += w * a.util;
+            out.ipc += w * a.ipc;
+            out.full_issue_frac += w * a.full_issue_frac;
+            out.stall_frac += w * a.stall_frac;
+            out.load_per_ins += w * a.load_per_ins;
+            out.store_per_ins += w * a.store_per_ins;
+            out.branch_per_ins += w * a.branch_per_ins;
+            out.misp_per_branch += w * a.misp_per_branch;
+            out.l1d_mpki += w * a.l1d_mpki;
+            out.l1i_mpki += w * a.l1i_mpki;
+            out.l2_mpki += w * a.l2_mpki;
+            out.l3_mpki += w * a.l3_mpki;
+            out.prefetch_mpki += w * a.prefetch_mpki;
+            out.tlb_d_mpki += w * a.tlb_d_mpki;
+            out.tlb_i_mpki += w * a.tlb_i_mpki;
+            out.fp_scalar_per_ins += w * a.fp_scalar_per_ins;
+            out.fp_vector_per_ins += w * a.fp_vector_per_ins;
+            out.vector_width += w * a.vector_width;
+            out.fp_sp_frac += w * a.fp_sp_frac;
+            out.sharing_frac += w * a.sharing_frac;
+            out.unobserved += w * a.unobserved;
+        }
+        // Memory latency caps the blend's throughput: a mixture of a
+        // fast phase and a traffic-heavy phase runs at the traffic-
+        // limited rate, not the weighted average.
+        let traffic = out.l3_mpki + out.prefetch_mpki;
+        out.ipc = out.ipc.min(4.5 / (1.0 + traffic / 15.0));
+        // Clamp accumulated fractions against floating-point drift
+        // (weights that sum to 1.0 up to rounding).
+        out.util = out.util.clamp(0.0, 1.0);
+        out.full_issue_frac = out.full_issue_frac.clamp(0.0, 1.0);
+        out.stall_frac = out.stall_frac.clamp(0.0, 1.0);
+        out.misp_per_branch = out.misp_per_branch.clamp(0.0, 1.0);
+        out.fp_sp_frac = out.fp_sp_frac.clamp(0.0, 1.0);
+        out.sharing_frac = out.sharing_frac.clamp(0.0, 1.0);
+        out.unobserved = out.unobserved.clamp(0.0, 1.0);
+        out
+    }
+
+    /// All-zero vector (invalid on its own; building block for `mix`).
+    fn zeroed() -> Activity {
+        Activity {
+            util: 0.0,
+            ipc: 0.0,
+            full_issue_frac: 0.0,
+            stall_frac: 0.0,
+            load_per_ins: 0.0,
+            store_per_ins: 0.0,
+            branch_per_ins: 0.0,
+            misp_per_branch: 0.0,
+            l1d_mpki: 0.0,
+            l1i_mpki: 0.0,
+            l2_mpki: 0.0,
+            l3_mpki: 0.0,
+            prefetch_mpki: 0.0,
+            tlb_d_mpki: 0.0,
+            tlb_i_mpki: 0.0,
+            fp_scalar_per_ins: 0.0,
+            fp_vector_per_ins: 0.0,
+            vector_width: 0.0,
+            fp_sp_frac: 0.0,
+            sharing_frac: 0.0,
+            unobserved: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Activity::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_fraction() {
+        let mut a = Activity::default();
+        a.util = 1.5;
+        assert_eq!(a.validate().unwrap_err().field, "util");
+        a.util = f64::NAN;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_mpki() {
+        let mut a = Activity::default();
+        a.l2_mpki = -1.0;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_superscalar_overflow() {
+        let mut a = Activity::default();
+        a.ipc = 6.0;
+        assert_eq!(a.validate().unwrap_err().field, "ipc");
+    }
+
+    #[test]
+    fn rejects_incoherent_cache_hierarchy() {
+        let mut a = Activity::default();
+        a.l2_mpki = a.l1d_mpki + a.l1i_mpki + 5.0;
+        assert_eq!(a.validate().unwrap_err().field, "l2_mpki");
+
+        let mut b = Activity::default();
+        b.l3_mpki = b.l2_mpki + b.prefetch_mpki + 5.0;
+        assert_eq!(b.validate().unwrap_err().field, "l3_mpki");
+    }
+
+    #[test]
+    fn rejects_issue_fraction_overflow() {
+        let mut a = Activity::default();
+        a.full_issue_frac = 0.7;
+        a.stall_frac = 0.7;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn mix_identity() {
+        let a = Activity::default();
+        let m = Activity::mix(&[(1.0, a)]);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn mix_interpolates() {
+        let mut hot = Activity::default();
+        hot.ipc = 3.0;
+        let mut cold = Activity::default();
+        cold.ipc = 1.0;
+        let m = Activity::mix(&[(1.0, hot), (1.0, cold)]);
+        assert!((m.ipc - 2.0).abs() < 1e-12);
+        // Weights are normalized: scaling both doesn't change result.
+        let m2 = Activity::mix(&[(10.0, hot), (10.0, cold)]);
+        assert!((m2.ipc - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_of_valid_is_valid() {
+        let mut mem = Activity::default();
+        mem.ipc = 0.9; // memory-bound: latency caps throughput
+        mem.l1d_mpki = 40.0;
+        mem.l2_mpki = 30.0;
+        mem.prefetch_mpki = 20.0;
+        mem.l3_mpki = 25.0;
+        mem.validate().unwrap();
+        let cpu = Activity::default();
+        // Convexity of all constraints ⇒ any blend of valid vectors is
+        // valid.
+        for w in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let m = Activity::mix(&[(w, mem), (1.0 - w, cpu)]);
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mix of nothing")]
+    fn mix_empty_panics() {
+        let _ = Activity::mix(&[]);
+    }
+}

@@ -1,0 +1,423 @@
+//! Synthesis of the 54 PAPI counter values from an activity vector.
+//!
+//! Each counter is an analytic function of the latent [`Activity`] plus
+//! event-specific measurement noise. The functions encode the
+//! *structural* relationships that drive the paper's statistical
+//! findings:
+//!
+//! * distinct high-power activities have distinct best proxies
+//!   (`PRF_DM` ↔ prefetch/memory streaming, `TOT_CYC` ↔ active-core
+//!   utilization, `TLB_IM` ↔ code footprint, `FUL_CCY` ↔ peak issue,
+//!   `STL_ICY` ↔ memory-bound stalling, `BR_MSP` ↔ speculation waste),
+//! * most cache counters are near-linear mixtures of the same few
+//!   latent rates (redundant after the proxies above are selected),
+//! * `CA_SNP` is by construction a near-linear combination of memory
+//!   traffic and active-core count — the documented VIF blow-up when it
+//!   is added as a seventh counter.
+
+use crate::rng::SplitMix64;
+use crate::Activity;
+use pmc_events::PapiEvent;
+use serde::{Deserialize, Serialize};
+
+/// Execution context for one phase observation on the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SynthesisContext {
+    /// Cores actively running workload threads.
+    pub active_cores: u32,
+    /// Total cores in the machine (idle cores contribute OS background
+    /// activity only).
+    pub total_cores: u32,
+    /// Operating core frequency, Hz.
+    pub freq_hz: f64,
+    /// Reference (TSC/base) frequency for `REF_CYC`, Hz.
+    pub ref_freq_hz: f64,
+    /// Phase duration, seconds.
+    pub duration_s: f64,
+    /// Log-normal σ of per-counter measurement noise.
+    pub noise_sigma: f64,
+}
+
+/// DRAM-ish demand-miss service latency used for memory-wait-cycle
+/// estimation, in core cycles at nominal frequency.
+const MEM_LATENCY_CYCLES: f64 = 180.0;
+
+/// Synthesizes the *expected* (noise-free) values of all 54 counters,
+/// machine-wide totals for one phase. Output is indexed by
+/// [`PapiEvent::index`].
+pub fn expected_counts(activity: &Activity, ctx: &SynthesisContext) -> Vec<f64> {
+    let a = activity;
+    let active = ctx.active_cores as f64;
+    let idle = (ctx.total_cores.saturating_sub(ctx.active_cores)) as f64;
+    let t = ctx.duration_s;
+
+    // Active-core aggregates.
+    let unhalted = active * ctx.freq_hz * t * a.util;
+    let ins = unhalted * a.ipc;
+    let kins = ins / 1000.0;
+
+    // OS background on idle cores: timer ticks and housekeeping. Small
+    // but nonzero so idle phases still produce counter signal.
+    let bg_cycles = idle * ctx.freq_hz * t * 0.002;
+    let bg_ins = bg_cycles * 0.8;
+
+    let mut c = vec![0.0; PapiEvent::COUNT];
+    let mut set = |e: PapiEvent, v: f64| c[e.index()] = v.max(0.0);
+
+    // --- Fixed-function ---------------------------------------------
+    set(PapiEvent::TOT_CYC, unhalted + bg_cycles);
+    set(PapiEvent::TOT_INS, ins + bg_ins);
+    set(
+        PapiEvent::REF_CYC,
+        (active * a.util + idle * 0.002) * ctx.ref_freq_hz * t,
+    );
+
+    // --- Instruction mix --------------------------------------------
+    let ld = ins * a.load_per_ins;
+    let sr = ins * a.store_per_ins;
+    set(PapiEvent::LD_INS, ld + bg_ins * 0.2);
+    set(PapiEvent::SR_INS, sr + bg_ins * 0.08);
+    set(PapiEvent::LST_INS, ld + sr + bg_ins * 0.28);
+
+    // --- Branches ----------------------------------------------------
+    let br = ins * a.branch_per_ins + bg_ins * 0.15;
+    let br_cn = br * 0.82;
+    let br_msp = br_cn * a.misp_per_branch;
+    set(PapiEvent::BR_INS, br);
+    set(PapiEvent::BR_CN, br_cn);
+    set(PapiEvent::BR_UCN, br * 0.18);
+    set(PapiEvent::BR_TKN, br_cn * 0.58);
+    set(PapiEvent::BR_NTK, br_cn * 0.42);
+    set(PapiEvent::BR_MSP, br_msp);
+    set(PapiEvent::BR_PRC, br_cn - br_msp);
+
+    // --- L1 ------------------------------------------------------------
+    let l1_dcm = kins * a.l1d_mpki;
+    let l1_icm = kins * a.l1i_mpki + bg_ins * 1e-4;
+    let ld_share = if a.load_per_ins + a.store_per_ins > 0.0 {
+        a.load_per_ins / (a.load_per_ins + a.store_per_ins)
+    } else {
+        0.75
+    };
+    set(PapiEvent::L1_DCM, l1_dcm);
+    set(PapiEvent::L1_ICM, l1_icm);
+    set(PapiEvent::L1_TCM, l1_dcm + l1_icm);
+    set(PapiEvent::L1_LDM, l1_dcm * ld_share);
+    set(PapiEvent::L1_STM, l1_dcm * (1.0 - ld_share));
+
+    // --- L2 ------------------------------------------------------------
+    let l2_dcm = kins * a.l2_mpki;
+    let l2_icm = l1_icm * 0.15;
+    set(PapiEvent::L2_DCM, l2_dcm);
+    set(PapiEvent::L2_ICM, l2_icm);
+    set(PapiEvent::L2_TCM, l2_dcm + l2_icm);
+    set(PapiEvent::L2_LDM, l2_dcm * 0.75);
+    set(PapiEvent::L2_STM, l2_dcm * 0.25);
+
+    // Prefetcher traffic: requests that missed in L2 and were issued by
+    // the hardware prefetchers.
+    let prf = kins * a.prefetch_mpki;
+    set(PapiEvent::PRF_DM, prf);
+
+    // L2 accesses: every L1 miss plus prefetch lookups plus store
+    // writebacks.
+    // Prefetch requests bypass the L2 lookup path on this platform
+    // (LLC-prefetcher dominant), so L2 access counters see demand
+    // traffic only.
+    let l2_dca = l1_dcm + l1_dcm * (1.0 - ld_share) * 0.3;
+    set(PapiEvent::L2_DCA, l2_dca);
+    set(PapiEvent::L2_DCR, l1_dcm * ld_share);
+    set(
+        PapiEvent::L2_DCW,
+        l1_dcm * (1.0 - ld_share) * 1.3,
+    );
+    set(PapiEvent::L2_ICA, l1_icm);
+    set(PapiEvent::L2_ICR, l1_icm);
+    set(PapiEvent::L2_ICH, l1_icm - l2_icm);
+    set(PapiEvent::L2_TCA, l2_dca + l1_icm);
+    set(PapiEvent::L2_TCR, l1_dcm * ld_share + l1_icm);
+    set(PapiEvent::L2_TCW, l1_dcm * (1.0 - ld_share) * 1.3);
+
+    // --- L3 ------------------------------------------------------------
+    let l3_tcm = kins * a.l3_mpki;
+    // Only the LLC-streamer share of prefetches allocates through the
+    // L3 lookup port; the rest queue directly at the IMC.
+    let l3_tcw = l2_dcm * (1.0 - ld_share) * 1.1 + prf * 0.10;
+    let l3_tca = l2_dcm + l2_icm + prf * 0.55 + l3_tcw * 0.2;
+    set(PapiEvent::L3_TCM, l3_tcm);
+    set(PapiEvent::L3_LDM, l3_tcm * 0.8);
+    set(PapiEvent::L3_TCA, l3_tca);
+    set(PapiEvent::L3_TCR, l3_tca - l3_tcw);
+    set(PapiEvent::L3_TCW, l3_tcw);
+
+    // --- TLB -----------------------------------------------------------
+    set(PapiEvent::TLB_DM, kins * a.tlb_d_mpki);
+    set(PapiEvent::TLB_IM, kins * a.tlb_i_mpki + bg_ins * 2e-5);
+
+    // --- Cycle occupancy ------------------------------------------------
+    let stall = unhalted * a.stall_frac;
+    let full = unhalted * a.full_issue_frac;
+    // STL_ICY (no instruction *issue*) is the clean front-end view of
+    // stalled cycles. STL_CCY (no instruction *completed*) and RES_STL
+    // additionally count cycles with loads still in flight, so they
+    // over-weight memory-bound phases; FUL_ICY (issue-side full) counts
+    // speculative issue slots that never retire, which also skews
+    // toward miss-heavy phases. These are real divergences observed on
+    // hardware, and they make the *_ICY/RES events systematically
+    // worse proxies of occupancy power than their completion-side
+    // siblings.
+    let memskew = ((a.l3_mpki + a.prefetch_mpki) / 30.0).min(1.0);
+    set(PapiEvent::STL_ICY, stall * 0.92);
+    set(PapiEvent::STL_CCY, stall * (1.0 + 0.5 * memskew));
+    set(PapiEvent::FUL_CCY, full);
+    // Issue-side full cycles depend on the uop mix: vector instructions
+    // issue as single fused uops, so vector-heavy code reaches the
+    // 4-uop issue width in fewer cycles than it retires 4 instructions.
+    // This makes FUL_ICY a workload-skewed (strictly worse) proxy of
+    // retire-width occupancy than FUL_CCY.
+    set(
+        PapiEvent::FUL_ICY,
+        full * 0.85 * (1.2 - 0.6 * a.fp_vector_per_ins),
+    );
+    set(PapiEvent::RES_STL, stall * (0.95 + 0.3 * memskew));
+    // Cycles stalled on memory *writes*: the store-share of stall
+    // cycles (write-buffer drains), plus a small latency-bound floor.
+    let store_share = if a.load_per_ins + a.store_per_ins > 0.0 {
+        a.store_per_ins / (a.load_per_ins + a.store_per_ins)
+    } else {
+        0.25
+    };
+    // Write waits only occur when the machine is actually memory
+    // bound; compute-phase stalls never show up here.
+    let mem_wait = (stall * store_share * (0.15 + 0.85 * memskew) * 0.6
+        + (kins * a.l3_mpki * MEM_LATENCY_CYCLES * 0.005))
+        .min(unhalted);
+    set(PapiEvent::MEM_WCY, mem_wait);
+
+    // --- Coherence -------------------------------------------------------
+    // Snoop requests grow with off-core traffic and with the number of
+    // other active cores that must be snooped; sharing amplifies them.
+    // This makes CA_SNP a structural near-linear function of
+    // (L3 traffic, prefetch traffic, active cores) — the paper's
+    // VIF-26 event.
+    let peer_frac = if active > 1.0 {
+        (active - 1.0) / active
+    } else {
+        0.0
+    };
+    let snp = (l3_tcm + prf * 0.9 + l2_dcm * 0.3) * peer_frac * (1.0 + 3.0 * a.sharing_frac);
+    let shared_traffic = (l2_dcm + prf) * a.sharing_frac * peer_frac;
+    set(PapiEvent::CA_SNP, snp);
+    set(PapiEvent::CA_SHR, shared_traffic * 1.2);
+    set(PapiEvent::CA_CLN, shared_traffic * 0.6);
+    set(PapiEvent::CA_ITV, shared_traffic * 0.3);
+
+    // --- L1 accesses and total TLB ------------------------------------
+    // (Haswell exposes no FP-operation presets — Intel removed the
+    // FP_COMP_OPS events — so the preset list carries the access-side
+    // cache events instead, as `papi_avail` reports on that platform.)
+    let l1_dca = ld + sr;
+    let l1_ica = ins * 0.24 + l1_icm; // fetch lines per instruction
+    set(PapiEvent::L1_DCA, l1_dca);
+    set(PapiEvent::L1_ICA, l1_ica);
+    set(PapiEvent::L1_TCA, l1_dca + l1_ica);
+    set(
+        PapiEvent::TLB_TL,
+        kins * (a.tlb_d_mpki + a.tlb_i_mpki) + bg_ins * 2e-5,
+    );
+
+    c
+}
+
+/// Synthesizes *measured* counter values: expected counts with
+/// event-specific log-normal noise and a small additive acquisition
+/// floor (interrupt skid, sampling residue).
+pub fn synthesize(activity: &Activity, ctx: &SynthesisContext, rng: &mut SplitMix64) -> Vec<f64> {
+    let mut c = expected_counts(activity, ctx);
+    let floor = ctx.duration_s * ctx.total_cores as f64;
+    for (i, v) in c.iter_mut().enumerate() {
+        let event = PapiEvent::from_index(i).expect("dense index");
+        let sigma = ctx.noise_sigma * noise_multiplier(event);
+        let noisy = *v * rng.lognormal_factor(sigma) + floor * rng.uniform(0.0, 50.0);
+        *v = noisy.max(0.0);
+    }
+    c
+}
+
+/// Relative measurement-noise multiplier per event.
+fn noise_multiplier(event: PapiEvent) -> f64 {
+    use pmc_events::Category;
+    match event {
+        // REF_CYC increments in crystal-ratio chunks; coarser readout.
+        PapiEvent::REF_CYC => 1.5,
+        // Uncore-derived presets (L3, coherence) are sampled through
+        // the uncore PMU bridge with more jitter than core-local
+        // counters.
+        PapiEvent::L3_TCM
+        | PapiEvent::L3_LDM
+        | PapiEvent::L3_TCA
+        | PapiEvent::L3_TCR
+        | PapiEvent::L3_TCW => 2.0,
+        e if e.category() == Category::Coherence => 2.0,
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(active: u32) -> SynthesisContext {
+        SynthesisContext {
+            active_cores: active,
+            total_cores: 24,
+            freq_hz: 2.4e9,
+            ref_freq_hz: 2.6e9,
+            duration_s: 10.0,
+            noise_sigma: 0.02,
+        }
+    }
+
+    fn get(c: &[f64], e: PapiEvent) -> f64 {
+        c[e.index()]
+    }
+
+    #[test]
+    fn totals_scale_with_active_cores() {
+        let a = Activity::default();
+        let c12 = expected_counts(&a, &ctx(12));
+        let c24 = expected_counts(&a, &ctx(24));
+        let r = get(&c24, PapiEvent::TOT_CYC) / get(&c12, PapiEvent::TOT_CYC);
+        assert!((r - 2.0).abs() < 0.05, "ratio {r}");
+        assert!(get(&c24, PapiEvent::TOT_INS) > get(&c12, PapiEvent::TOT_INS));
+    }
+
+    #[test]
+    fn cycles_match_frequency_and_duration() {
+        let a = Activity::default();
+        let c = expected_counts(&a, &ctx(24));
+        // 24 cores × 2.4 GHz × 10 s × util 1.0 (+ tiny background).
+        let expect = 24.0 * 2.4e9 * 10.0;
+        let got = get(&c, PapiEvent::TOT_CYC);
+        assert!((got - expect).abs() / expect < 0.01, "got {got}");
+    }
+
+    #[test]
+    fn hierarchy_invariants_hold() {
+        let mut a = Activity::default();
+        a.l1d_mpki = 30.0;
+        a.l2_mpki = 12.0;
+        a.l3_mpki = 6.0;
+        a.prefetch_mpki = 8.0;
+        a.validate().unwrap();
+        let c = expected_counts(&a, &ctx(24));
+        assert!(get(&c, PapiEvent::L2_TCM) <= get(&c, PapiEvent::L1_TCM) + 1.0);
+        assert!(get(&c, PapiEvent::L3_TCM) <= get(&c, PapiEvent::L2_TCM) + get(&c, PapiEvent::PRF_DM));
+        assert!(get(&c, PapiEvent::L1_LDM) + get(&c, PapiEvent::L1_STM) <= get(&c, PapiEvent::L1_DCM) + 1.0);
+        // Branch identities.
+        let br_cn = get(&c, PapiEvent::BR_CN);
+        assert!((get(&c, PapiEvent::BR_MSP) + get(&c, PapiEvent::BR_PRC) - br_cn).abs() < 1.0);
+        assert!((get(&c, PapiEvent::BR_TKN) + get(&c, PapiEvent::BR_NTK) - br_cn).abs() < 1.0);
+        // Occupancy bounded by total cycles.
+        let cyc = get(&c, PapiEvent::TOT_CYC);
+        for e in [
+            PapiEvent::STL_CCY,
+            PapiEvent::STL_ICY,
+            PapiEvent::FUL_CCY,
+            PapiEvent::FUL_ICY,
+            PapiEvent::RES_STL,
+            PapiEvent::MEM_WCY,
+        ] {
+            assert!(get(&c, e) <= cyc, "{e} exceeds cycles");
+        }
+    }
+
+    #[test]
+    fn single_core_has_no_snoops() {
+        let mut a = Activity::default();
+        a.l3_mpki = 1.0;
+        a.prefetch_mpki = 5.0;
+        let c = expected_counts(&a, &ctx(1));
+        assert_eq!(get(&c, PapiEvent::CA_SNP), 0.0);
+        let c2 = expected_counts(&a, &ctx(12));
+        assert!(get(&c2, PapiEvent::CA_SNP) > 0.0);
+    }
+
+    #[test]
+    fn idle_machine_still_counts_background() {
+        let mut a = Activity::default();
+        a.util = 0.002; // idle kernel: nearly halted
+        a.ipc = 0.5;
+        let mut ctx0 = ctx(24);
+        ctx0.active_cores = 0;
+        let c = expected_counts(&a, &ctx0);
+        assert!(get(&c, PapiEvent::TOT_CYC) > 0.0);
+        assert!(get(&c, PapiEvent::TOT_INS) > 0.0);
+    }
+
+    #[test]
+    fn noise_is_deterministic_and_small() {
+        let a = Activity::default();
+        let context = ctx(24);
+        let mut r1 = SplitMix64::derive(1, &[1]);
+        let mut r2 = SplitMix64::derive(1, &[1]);
+        let s1 = synthesize(&a, &context, &mut r1);
+        let s2 = synthesize(&a, &context, &mut r2);
+        assert_eq!(s1, s2);
+
+        let exp = expected_counts(&a, &context);
+        let cyc = PapiEvent::TOT_CYC.index();
+        let rel = (s1[cyc] - exp[cyc]).abs() / exp[cyc];
+        assert!(rel < 0.15, "relative noise {rel}");
+    }
+
+    #[test]
+    fn different_runs_get_different_noise() {
+        let a = Activity::default();
+        let context = ctx(24);
+        let mut r1 = SplitMix64::derive(1, &[1]);
+        let mut r2 = SplitMix64::derive(1, &[2]);
+        let s1 = synthesize(&a, &context, &mut r1);
+        let s2 = synthesize(&a, &context, &mut r2);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn all_counters_nonnegative_and_finite() {
+        let mut a = Activity::default();
+        a.fp_vector_per_ins = 0.3;
+        a.vector_width = 4.0;
+        a.fp_sp_frac = 0.5;
+        let mut rng = SplitMix64::new(3);
+        let s = synthesize(&a, &ctx(24), &mut rng);
+        assert_eq!(s.len(), 54);
+        for (i, v) in s.iter().enumerate() {
+            assert!(v.is_finite() && *v >= 0.0, "counter {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn access_presets_obey_identities() {
+        let mut a = Activity::default();
+        a.fp_vector_per_ins = 0.4;
+        a.vector_width = 4.0;
+        a.fp_sp_frac = 0.0;
+        let c = expected_counts(&a, &ctx(24));
+        // FP presets are unavailable on Haswell; the access-side cache
+        // presets that replace them must obey their identities.
+        assert!(
+            (get(&c, PapiEvent::L1_TCA)
+                - get(&c, PapiEvent::L1_DCA)
+                - get(&c, PapiEvent::L1_ICA))
+            .abs()
+                < 1.0
+        );
+        assert!(
+            (get(&c, PapiEvent::TLB_TL)
+                - get(&c, PapiEvent::TLB_DM)
+                - get(&c, PapiEvent::TLB_IM))
+            .abs()
+                < get(&c, PapiEvent::TLB_TL) * 0.01 + 1.0
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! DVFS operating points and the voltage–frequency curve.
+//!
+//! The paper evaluates "5 distinct operating frequencies between 1200
+//! and 2600 MHz" and reads real core voltages at runtime via
+//! `x86_adapt` instead of modeling them. The simulator mirrors that: a
+//! V–f curve defines the *true* core voltage per operating point, and
+//! [`VoltageCurve::read_voltage`] models the runtime readout (small
+//! per-run jitter around the true value).
+
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// One DVFS state: the fixed operating frequency of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core frequency in MHz.
+    pub freq_mhz: u32,
+    /// Nominal (true) core voltage in volts at this frequency.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Frequency in GHz (convenient for `V²·f` model terms).
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_mhz as f64 / 1000.0
+    }
+
+    /// Frequency in Hz.
+    pub fn freq_hz(&self) -> f64 {
+        self.freq_mhz as f64 * 1e6
+    }
+}
+
+/// Piecewise-linear voltage–frequency curve of the simulated part.
+///
+/// Voltages follow the affine relation `V(f) = v0 + k·f_GHz`, a good
+/// approximation of published Haswell-EP P-state tables (≈0.75 V at
+/// 1.2 GHz rising to ≈1.05 V at 2.6 GHz), with an optional per-chip
+/// offset representing manufacturing variation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageCurve {
+    /// Voltage intercept at 0 GHz (extrapolated), volts.
+    pub v0: f64,
+    /// Slope in volts per GHz.
+    pub k: f64,
+    /// Per-chip calibration offset, volts.
+    pub chip_offset: f64,
+    /// Standard deviation of the runtime voltage readout jitter, volts.
+    pub readout_sigma: f64,
+}
+
+impl Default for VoltageCurve {
+    fn default() -> Self {
+        // 0.75 V @ 1.2 GHz, 1.05 V @ 2.6 GHz  =>  k ≈ 0.2143 V/GHz.
+        VoltageCurve {
+            v0: 0.492_857,
+            k: 0.214_286,
+            chip_offset: 0.0,
+            readout_sigma: 0.002,
+        }
+    }
+}
+
+impl VoltageCurve {
+    /// True core voltage at a frequency.
+    pub fn voltage_at(&self, freq_mhz: u32) -> f64 {
+        self.v0 + self.k * (freq_mhz as f64 / 1000.0) + self.chip_offset
+    }
+
+    /// Builds an operating point at the given frequency.
+    pub fn operating_point(&self, freq_mhz: u32) -> OperatingPoint {
+        OperatingPoint {
+            freq_mhz,
+            voltage: self.voltage_at(freq_mhz),
+        }
+    }
+
+    /// The paper's five evaluation frequencies (MHz).
+    pub fn paper_frequencies() -> [u32; 5] {
+        [1200, 1600, 2000, 2400, 2600]
+    }
+
+    /// The five paper operating points on this curve.
+    pub fn paper_operating_points(&self) -> Vec<OperatingPoint> {
+        Self::paper_frequencies()
+            .iter()
+            .map(|&f| self.operating_point(f))
+            .collect()
+    }
+
+    /// Simulates the runtime voltage readout (`x86_adapt` analog): the
+    /// true voltage plus small zero-mean jitter, deterministic per
+    /// derivation coordinates.
+    pub fn read_voltage(&self, freq_mhz: u32, rng: &mut SplitMix64) -> f64 {
+        self.voltage_at(freq_mhz) + self.readout_sigma * rng.normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_anchors_match_haswell() {
+        let c = VoltageCurve::default();
+        assert!((c.voltage_at(1200) - 0.75).abs() < 1e-3);
+        assert!((c.voltage_at(2600) - 1.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn voltage_monotonic_in_frequency() {
+        let c = VoltageCurve::default();
+        let mut prev = 0.0;
+        for f in [1200, 1600, 2000, 2400, 2600] {
+            let v = c.voltage_at(f);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn paper_operating_points_cover_range() {
+        let pts = VoltageCurve::default().paper_operating_points();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0].freq_mhz, 1200);
+        assert_eq!(pts[4].freq_mhz, 2600);
+        for p in &pts {
+            assert!(p.voltage > 0.6 && p.voltage < 1.2);
+        }
+    }
+
+    #[test]
+    fn operating_point_unit_conversions() {
+        let p = OperatingPoint {
+            freq_mhz: 2400,
+            voltage: 1.0,
+        };
+        assert!((p.freq_ghz() - 2.4).abs() < 1e-12);
+        assert!((p.freq_hz() - 2.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn readout_jitter_is_small_and_deterministic() {
+        let c = VoltageCurve::default();
+        let mut r1 = SplitMix64::derive(1, &[2, 3]);
+        let mut r2 = SplitMix64::derive(1, &[2, 3]);
+        let a = c.read_voltage(2400, &mut r1);
+        let b = c.read_voltage(2400, &mut r2);
+        assert_eq!(a, b);
+        assert!((a - c.voltage_at(2400)).abs() < 0.02);
+    }
+
+    #[test]
+    fn chip_offset_shifts_curve() {
+        let mut c = VoltageCurve::default();
+        let base = c.voltage_at(2000);
+        c.chip_offset = 0.01;
+        assert!((c.voltage_at(2000) - base - 0.01).abs() < 1e-12);
+    }
+}

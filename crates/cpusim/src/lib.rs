@@ -1,0 +1,47 @@
+//! # pmc-cpusim
+//!
+//! A simulated dual-socket Intel Haswell-EP class machine — the
+//! experimental platform of the paper (Xeon E5-2690 v3, 2 × 12 cores,
+//! DVFS between 1200 and 2600 MHz, calibrated 12 V power
+//! instrumentation per socket).
+//!
+//! The simulator is an **activity-vector machine model**: workloads are
+//! described by steady-state microarchitectural [`Activity`] rates
+//! (IPC, cache-miss rates, branch behaviour, FP mix, …). From an
+//! activity vector and an execution context (thread count, DVFS
+//! [`OperatingPoint`], duration) the model produces exactly what the
+//! real testbed produced:
+//!
+//! * the 54 PAPI preset counter values ([`counters`]) with
+//!   event-specific measurement noise and the structural cross-counter
+//!   correlations that drive the paper's multicollinearity findings,
+//! * per-core voltage readings ([`dvfs`]),
+//! * ground-truth machine power ([`power`]) with dynamic
+//!   (`∝ activity · V² · f`), static (`∝ V`) and constant system
+//!   components — plus power that **no counter can see** (data-dependent
+//!   switching, DRAM on a separate rail), which is what bounds the
+//!   achievable model accuracy at the paper's ~7.5 % MAPE level,
+//! * instrumented power measurements ([`sensors`]) with calibration
+//!   error and heteroscedastic noise (σ grows with P), reproducing the
+//!   residual structure that motivates the paper's HC3 estimator.
+//!
+//! Everything is deterministic given [`MachineConfig::seed`]: the same
+//! experiment context always yields the same observation, while
+//! different run ids model run-to-run variation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod activity;
+pub mod counters;
+pub mod dvfs;
+pub mod machine;
+pub mod power;
+pub mod rng;
+pub mod sensors;
+
+pub use activity::Activity;
+pub use dvfs::{OperatingPoint, VoltageCurve};
+pub use machine::{Machine, MachineConfig, PhaseContext, PhaseObservation};
+pub use power::PowerWeights;
+pub use sensors::SensorConfig;

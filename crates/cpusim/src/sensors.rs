@@ -1,0 +1,133 @@
+//! Instrumented power measurement.
+//!
+//! Models the paper's custom wattmeter: calibrated high-resolution
+//! sensors at the 12 V inputs of each socket, sampled on a separate
+//! system (so the measurement itself does not perturb the workload).
+//! Two imperfections matter statistically:
+//!
+//! * **calibration error** — a small gain/offset per sensor chain,
+//! * **heteroscedastic noise** — shunt/ADC noise whose standard
+//!   deviation grows with the measured power, producing exactly the
+//!   residual pattern the paper reports ("the absolute error grows with
+//!   increasing power values") and HC3 is meant to absorb.
+
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the power-measurement chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Multiplicative calibration gain (1.0 = perfect).
+    pub gain: f64,
+    /// Additive calibration offset, watts.
+    pub offset: f64,
+    /// Constant part of the noise σ, watts.
+    pub sigma_base: f64,
+    /// Power-proportional part of the noise σ (σ += sigma_rel · P).
+    pub sigma_rel: f64,
+    /// Sampling rate of the instrumentation, Hz. Averaging over a
+    /// phase reduces the effective noise by `√(rate · duration)`.
+    pub sample_rate_hz: f64,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            gain: 1.002,
+            offset: 0.4,
+            sigma_base: 1.2,
+            sigma_rel: 0.012,
+            sample_rate_hz: 1000.0,
+        }
+    }
+}
+
+impl SensorConfig {
+    /// Measured average power of a phase with true average power
+    /// `true_power` and the given duration.
+    ///
+    /// The per-sample noise σ is `sigma_base + sigma_rel·P`; averaging
+    /// `n = rate·duration` samples scales it by `1/√n` (floored at one
+    /// sample).
+    pub fn measure(&self, true_power: f64, duration_s: f64, rng: &mut SplitMix64) -> f64 {
+        let n_samples = (self.sample_rate_hz * duration_s).max(1.0);
+        let sigma = (self.sigma_base + self.sigma_rel * true_power) / n_samples.sqrt();
+        let measured = self.gain * true_power + self.offset + sigma * rng.normal();
+        measured.max(0.0)
+    }
+
+    /// The effective σ of a phase-averaged measurement — exposed for
+    /// tests and for documentation of the noise model.
+    pub fn effective_sigma(&self, true_power: f64, duration_s: f64) -> f64 {
+        let n_samples = (self.sample_rate_hz * duration_s).max(1.0);
+        (self.sigma_base + self.sigma_rel * true_power) / n_samples.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_close_to_truth() {
+        let s = SensorConfig::default();
+        let mut rng = SplitMix64::new(1);
+        let m = s.measure(200.0, 10.0, &mut rng);
+        // gain 1.002 → ~200.8 W; averaged noise is tiny.
+        assert!((m - 200.8).abs() < 1.0, "measured {m}");
+    }
+
+    #[test]
+    fn noise_grows_with_power() {
+        let s = SensorConfig::default();
+        assert!(s.effective_sigma(400.0, 1.0) > s.effective_sigma(100.0, 1.0));
+    }
+
+    #[test]
+    fn longer_phases_average_noise_down() {
+        let s = SensorConfig::default();
+        assert!(s.effective_sigma(200.0, 100.0) < s.effective_sigma(200.0, 1.0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = SensorConfig::default();
+        let a = s.measure(150.0, 5.0, &mut SplitMix64::derive(9, &[1]));
+        let b = s.measure(150.0, 5.0, &mut SplitMix64::derive(9, &[1]));
+        assert_eq!(a, b);
+        let c = s.measure(150.0, 5.0, &mut SplitMix64::derive(9, &[2]));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn heteroscedasticity_is_observable() {
+        // Empirical σ at high power must exceed σ at low power.
+        let mut s = SensorConfig::default();
+        s.sample_rate_hz = 1.0; // keep noise visible
+        let spread = |p: f64| {
+            let mut acc = 0.0;
+            let n = 2000;
+            for i in 0..n {
+                let mut rng = SplitMix64::derive(77, &[p as u64, i]);
+                let m = s.measure(p, 1.0, &mut rng);
+                let e = m - (s.gain * p + s.offset);
+                acc += e * e;
+            }
+            (acc / n as f64).sqrt()
+        };
+        let lo = spread(100.0);
+        let hi = spread(400.0);
+        assert!(hi > lo * 1.5, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn never_negative() {
+        let mut s = SensorConfig::default();
+        s.sigma_base = 100.0;
+        s.sample_rate_hz = 1.0;
+        for i in 0..100 {
+            let mut rng = SplitMix64::derive(5, &[i]);
+            assert!(s.measure(1.0, 1.0, &mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The 54 PAPI preset events and their metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Microarchitectural category of a counter, used for reporting and for
+/// sanity checks on the synthesized platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Category {
+    /// L1/L2/L3 cache misses, loads, stores, accesses.
+    Cache,
+    /// Cache-coherence traffic (snoops, interventions, shared/clean).
+    Coherence,
+    /// Translation look-aside buffer misses.
+    Tlb,
+    /// Hardware-prefetch events.
+    Prefetch,
+    /// Branch instructions and prediction outcomes.
+    Branch,
+    /// Retired instruction mixes.
+    Instruction,
+    /// Cycle counts (total, reference) and cycle-occupancy events.
+    Cycle,
+    /// Stall / idle / full-issue cycle classification.
+    Stall,
+    /// Floating-point operation counts.
+    FloatingPoint,
+    /// Memory subsystem wait cycles.
+    Memory,
+}
+
+macro_rules! papi_events {
+    ($(($variant:ident, $mnem:literal, $cat:ident, $fixed:literal, $desc:literal)),+ $(,)?) => {
+        /// One of the 54 standardized PAPI preset events available on
+        /// the (simulated) Haswell-EP platform.
+        ///
+        /// The discriminant is the stable column index used throughout
+        /// the workspace for counter matrices; [`PapiEvent::ALL`] lists
+        /// the events in that order.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[allow(non_camel_case_types)]
+        #[repr(u8)]
+        pub enum PapiEvent {
+            $(
+                #[doc = $desc]
+                $variant,
+            )+
+        }
+
+        impl PapiEvent {
+            /// Every preset, in stable column order.
+            pub const ALL: &'static [PapiEvent] = &[$(PapiEvent::$variant),+];
+
+            /// Number of presets (54 on this platform).
+            pub const COUNT: usize = PapiEvent::ALL.len();
+
+            /// Short mnemonic without the `PAPI_` prefix, as the paper
+            /// prints them (e.g. `PRF_DM`).
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $(PapiEvent::$variant => $mnem,)+
+                }
+            }
+
+            /// Human-readable description from the PAPI preset table.
+            pub fn description(self) -> &'static str {
+                match self {
+                    $(PapiEvent::$variant => $desc,)+
+                }
+            }
+
+            /// Microarchitectural category.
+            pub fn category(self) -> Category {
+                match self {
+                    $(PapiEvent::$variant => Category::$cat,)+
+                }
+            }
+
+            /// Whether this event maps to one of the fixed-function
+            /// counters (always available, never competes for a
+            /// programmable slot).
+            pub fn is_fixed(self) -> bool {
+                match self {
+                    $(PapiEvent::$variant => $fixed,)+
+                }
+            }
+        }
+
+        impl FromStr for PapiEvent {
+            type Err = UnknownEvent;
+
+            /// Parses either the bare mnemonic (`PRF_DM`) or the full
+            /// PAPI name (`PAPI_PRF_DM`).
+            fn from_str(s: &str) -> Result<Self, UnknownEvent> {
+                let bare = s.strip_prefix("PAPI_").unwrap_or(s);
+                match bare {
+                    $($mnem => Ok(PapiEvent::$variant),)+
+                    _ => Err(UnknownEvent(s.to_string())),
+                }
+            }
+        }
+    };
+}
+
+papi_events! {
+    (L1_DCM,  "L1_DCM",  Cache,         false, "Level 1 data cache misses"),
+    (L1_ICM,  "L1_ICM",  Cache,         false, "Level 1 instruction cache misses"),
+    (L2_DCM,  "L2_DCM",  Cache,         false, "Level 2 data cache misses"),
+    (L2_ICM,  "L2_ICM",  Cache,         false, "Level 2 instruction cache misses"),
+    (L1_TCM,  "L1_TCM",  Cache,         false, "Level 1 total cache misses"),
+    (L2_TCM,  "L2_TCM",  Cache,         false, "Level 2 total cache misses"),
+    (L3_TCM,  "L3_TCM",  Cache,         false, "Level 3 total cache misses"),
+    (L3_LDM,  "L3_LDM",  Cache,         false, "Level 3 load misses"),
+    (CA_SNP,  "CA_SNP",  Coherence,     false, "Requests for a snoop"),
+    (CA_SHR,  "CA_SHR",  Coherence,     false, "Requests for exclusive access to shared cache line"),
+    (CA_CLN,  "CA_CLN",  Coherence,     false, "Requests for exclusive access to clean cache line"),
+    (CA_ITV,  "CA_ITV",  Coherence,     false, "Requests for cache line intervention"),
+    (TLB_DM,  "TLB_DM",  Tlb,           false, "Data translation lookaside buffer misses"),
+    (TLB_IM,  "TLB_IM",  Tlb,           false, "Instruction translation lookaside buffer misses"),
+    (L1_LDM,  "L1_LDM",  Cache,         false, "Level 1 load misses"),
+    (L1_STM,  "L1_STM",  Cache,         false, "Level 1 store misses"),
+    (L2_LDM,  "L2_LDM",  Cache,         false, "Level 2 load misses"),
+    (L2_STM,  "L2_STM",  Cache,         false, "Level 2 store misses"),
+    (PRF_DM,  "PRF_DM",  Prefetch,      false, "Data prefetch cache misses"),
+    (MEM_WCY, "MEM_WCY", Memory,        false, "Cycles waiting for memory writes"),
+    (STL_ICY, "STL_ICY", Stall,         false, "Cycles with no instruction issue"),
+    (FUL_ICY, "FUL_ICY", Stall,         false, "Cycles with maximum instruction issue"),
+    (STL_CCY, "STL_CCY", Stall,         false, "Cycles with no instructions completed"),
+    (FUL_CCY, "FUL_CCY", Stall,         false, "Cycles with maximum instructions completed"),
+    (BR_UCN,  "BR_UCN",  Branch,        false, "Unconditional branch instructions"),
+    (BR_CN,   "BR_CN",   Branch,        false, "Conditional branch instructions"),
+    (BR_TKN,  "BR_TKN",  Branch,        false, "Conditional branch instructions taken"),
+    (BR_NTK,  "BR_NTK",  Branch,        false, "Conditional branch instructions not taken"),
+    (BR_MSP,  "BR_MSP",  Branch,        false, "Conditional branch instructions mispredicted"),
+    (BR_PRC,  "BR_PRC",  Branch,        false, "Conditional branch instructions correctly predicted"),
+    (TOT_INS, "TOT_INS", Instruction,   true,  "Instructions completed"),
+    (TOT_CYC, "TOT_CYC", Cycle,         true,  "Total cycles"),
+    (REF_CYC, "REF_CYC", Cycle,         true,  "Reference clock cycles"),
+    (LD_INS,  "LD_INS",  Instruction,   false, "Load instructions"),
+    (SR_INS,  "SR_INS",  Instruction,   false, "Store instructions"),
+    (BR_INS,  "BR_INS",  Branch,        false, "Branch instructions"),
+    (LST_INS, "LST_INS", Instruction,   false, "Load/store instructions completed"),
+    (RES_STL, "RES_STL", Stall,         false, "Cycles stalled on any resource"),
+    (L2_DCA,  "L2_DCA",  Cache,         false, "Level 2 data cache accesses"),
+    (L2_DCR,  "L2_DCR",  Cache,         false, "Level 2 data cache reads"),
+    (L2_DCW,  "L2_DCW",  Cache,         false, "Level 2 data cache writes"),
+    (L2_TCA,  "L2_TCA",  Cache,         false, "Level 2 total cache accesses"),
+    (L2_TCR,  "L2_TCR",  Cache,         false, "Level 2 total cache reads"),
+    (L2_TCW,  "L2_TCW",  Cache,         false, "Level 2 total cache writes"),
+    (L3_TCA,  "L3_TCA",  Cache,         false, "Level 3 total cache accesses"),
+    (L3_TCR,  "L3_TCR",  Cache,         false, "Level 3 total cache reads"),
+    (L3_TCW,  "L3_TCW",  Cache,         false, "Level 3 total cache writes"),
+    (L2_ICH,  "L2_ICH",  Cache,         false, "Level 2 instruction cache hits"),
+    (L2_ICA,  "L2_ICA",  Cache,         false, "Level 2 instruction cache accesses"),
+    (L2_ICR,  "L2_ICR",  Cache,         false, "Level 2 instruction cache reads"),
+    (L1_DCA,  "L1_DCA",  Cache,         false, "Level 1 data cache accesses"),
+    (L1_ICA,  "L1_ICA",  Cache,         false, "Level 1 instruction cache accesses"),
+    (L1_TCA,  "L1_TCA",  Cache,         false, "Level 1 total cache accesses"),
+    (TLB_TL,  "TLB_TL",  Tlb,           false, "Total translation lookaside buffer misses"),
+}
+
+impl PapiEvent {
+    /// Stable column index of this event in counter matrices
+    /// (position within [`PapiEvent::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Event at a given column index, if in range.
+    pub fn from_index(i: usize) -> Option<PapiEvent> {
+        PapiEvent::ALL.get(i).copied()
+    }
+
+    /// Full PAPI preset name, e.g. `PAPI_PRF_DM`.
+    pub fn papi_name(self) -> String {
+        format!("PAPI_{}", self.mnemonic())
+    }
+
+    /// The events served by fixed-function counters (always recordable,
+    /// in every run): retired instructions, core cycles, reference
+    /// cycles — mirroring the three Intel fixed counters.
+    pub fn fixed() -> Vec<PapiEvent> {
+        PapiEvent::ALL
+            .iter()
+            .copied()
+            .filter(|e| e.is_fixed())
+            .collect()
+    }
+
+    /// The events that require a programmable counter slot.
+    pub fn programmable() -> Vec<PapiEvent> {
+        PapiEvent::ALL
+            .iter()
+            .copied()
+            .filter(|e| !e.is_fixed())
+            .collect()
+    }
+}
+
+impl fmt::Display for PapiEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown event name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEvent(pub String);
+
+impl fmt::Display for UnknownEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown PAPI event name: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownEvent {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn exactly_54_presets() {
+        assert_eq!(PapiEvent::COUNT, 54);
+        assert_eq!(PapiEvent::ALL.len(), 54);
+    }
+
+    #[test]
+    fn indices_are_stable_and_dense() {
+        for (i, e) in PapiEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+            assert_eq!(PapiEvent::from_index(i), Some(*e));
+        }
+        assert_eq!(PapiEvent::from_index(54), None);
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let set: HashSet<&str> = PapiEvent::ALL.iter().map(|e| e.mnemonic()).collect();
+        assert_eq!(set.len(), 54);
+    }
+
+    #[test]
+    fn parse_roundtrip_both_forms() {
+        for e in PapiEvent::ALL {
+            assert_eq!(e.mnemonic().parse::<PapiEvent>().unwrap(), *e);
+            assert_eq!(e.papi_name().parse::<PapiEvent>().unwrap(), *e);
+        }
+        assert!("PAPI_NOPE".parse::<PapiEvent>().is_err());
+    }
+
+    #[test]
+    fn three_fixed_counters() {
+        let fixed = PapiEvent::fixed();
+        assert_eq!(fixed.len(), 3);
+        assert!(fixed.contains(&PapiEvent::TOT_INS));
+        assert!(fixed.contains(&PapiEvent::TOT_CYC));
+        assert!(fixed.contains(&PapiEvent::REF_CYC));
+        assert_eq!(PapiEvent::programmable().len(), 51);
+    }
+
+    #[test]
+    fn paper_counters_present() {
+        // The six counters the paper selects in Table I …
+        for name in ["PRF_DM", "TOT_CYC", "TLB_IM", "FUL_CCY", "STL_ICY", "BR_MSP"] {
+            assert!(name.parse::<PapiEvent>().is_ok(), "{name}");
+        }
+        // … the snoop counter from the VIF discussion …
+        assert_eq!("CA_SNP".parse::<PapiEvent>().unwrap(), PapiEvent::CA_SNP);
+        // … and the synthetic-only set of Table IV.
+        for name in ["L1_LDM", "REF_CYC", "BR_PRC", "L3_LDM"] {
+            assert!(name.parse::<PapiEvent>().is_ok(), "{name}");
+        }
+    }
+
+    #[test]
+    fn categories_sane() {
+        assert_eq!(PapiEvent::PRF_DM.category(), Category::Prefetch);
+        assert_eq!(PapiEvent::CA_SNP.category(), Category::Coherence);
+        assert_eq!(PapiEvent::BR_MSP.category(), Category::Branch);
+        assert_eq!(PapiEvent::TOT_CYC.category(), Category::Cycle);
+        assert_eq!(PapiEvent::FUL_CCY.category(), Category::Stall);
+    }
+
+    #[test]
+    fn display_and_descriptions_nonempty() {
+        for e in PapiEvent::ALL {
+            assert_eq!(format!("{e}"), e.mnemonic());
+            assert!(!e.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn papi_name_has_prefix() {
+        assert_eq!(PapiEvent::PRF_DM.papi_name(), "PAPI_PRF_DM");
+        assert_eq!(PapiEvent::TLB_TL.papi_name(), "PAPI_TLB_TL");
+    }
+}

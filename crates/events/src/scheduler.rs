@@ -1,0 +1,222 @@
+//! Counter-group scheduling under the simultaneous-recording limit.
+//!
+//! Real PMUs expose a small number of programmable counter slots (4 per
+//! core on Haswell with Hyper-Threading off, 8 without it — the paper's
+//! platform disables HT, but PAPI presets can each consume multiple
+//! native events, so 4 is the practically safe group size). Recording
+//! all 54 presets therefore requires *multiple runs of the same
+//! application*; this module plans those runs.
+
+use crate::{EventSet, PapiEvent};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One acquisition run's counter configuration: the fixed-function
+/// events (always present) plus at most `slots` programmable events.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterGroup {
+    /// Fixed-function events recorded in every run.
+    pub fixed: Vec<PapiEvent>,
+    /// Programmable events assigned to this run.
+    pub programmable: Vec<PapiEvent>,
+}
+
+impl CounterGroup {
+    /// All events this group records, fixed first.
+    pub fn events(&self) -> Vec<PapiEvent> {
+        self.fixed
+            .iter()
+            .chain(self.programmable.iter())
+            .copied()
+            .collect()
+    }
+}
+
+/// Error returned for invalid scheduler configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Description of the configuration problem.
+    pub reason: String,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "counter scheduling failed: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Plans counter groups given the hardware's programmable-slot count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterScheduler {
+    /// Programmable counter slots available per run.
+    pub slots: usize,
+}
+
+impl CounterScheduler {
+    /// The workspace's Haswell-EP default: 4 programmable slots.
+    pub fn haswell_default() -> Self {
+        CounterScheduler { slots: 4 }
+    }
+
+    /// Creates a scheduler with a custom slot count (≥ 1).
+    pub fn with_slots(slots: usize) -> Result<Self, ScheduleError> {
+        if slots == 0 {
+            return Err(ScheduleError {
+                reason: "at least one programmable slot is required".into(),
+            });
+        }
+        Ok(CounterScheduler { slots })
+    }
+
+    /// Packs the requested events into counter groups.
+    ///
+    /// Fixed-function events are recorded in *every* group whether or
+    /// not they were requested — they are wired into the PMU and cost
+    /// nothing (and the modeling pipeline always needs `TOT_CYC` to
+    /// normalize rates). Programmable events are packed greedily in
+    /// request order, `slots` per group. Duplicates in the request are
+    /// recorded once.
+    pub fn schedule(&self, events: &[PapiEvent]) -> Result<Vec<CounterGroup>, ScheduleError> {
+        if self.slots == 0 {
+            return Err(ScheduleError {
+                reason: "scheduler has zero slots".into(),
+            });
+        }
+        let requested = EventSet::from_events(events);
+        if requested.is_empty() {
+            return Err(ScheduleError {
+                reason: "no events requested".into(),
+            });
+        }
+        let fixed: Vec<PapiEvent> = PapiEvent::fixed();
+        let programmable: Vec<PapiEvent> = requested.iter().filter(|e| !e.is_fixed()).collect();
+
+        if programmable.is_empty() {
+            // Single run with only fixed counters.
+            return Ok(vec![CounterGroup {
+                fixed,
+                programmable: vec![],
+            }]);
+        }
+
+        let groups = programmable
+            .chunks(self.slots)
+            .map(|chunk| CounterGroup {
+                fixed: fixed.clone(),
+                programmable: chunk.to_vec(),
+            })
+            .collect();
+        Ok(groups)
+    }
+
+    /// Number of runs required to cover the given events.
+    pub fn runs_required(&self, events: &[PapiEvent]) -> usize {
+        let requested = EventSet::from_events(events);
+        let prog = requested.iter().filter(|e| !e.is_fixed()).count();
+        if prog == 0 {
+            usize::from(!requested.is_empty())
+        } else {
+            prog.div_ceil(self.slots)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_events_covered_exactly_once() {
+        let sched = CounterScheduler::haswell_default();
+        let groups = sched.schedule(PapiEvent::ALL).unwrap();
+        let mut seen: HashSet<PapiEvent> = HashSet::new();
+        for g in &groups {
+            assert!(g.programmable.len() <= 4);
+            for &e in &g.programmable {
+                assert!(seen.insert(e), "{e} scheduled twice");
+                assert!(!e.is_fixed());
+            }
+            // Fixed events present in every run.
+            assert_eq!(g.fixed.len(), 3);
+        }
+        assert_eq!(seen.len(), 51);
+        // 51 programmable events / 4 slots = 13 runs.
+        assert_eq!(groups.len(), 13);
+        assert_eq!(sched.runs_required(PapiEvent::ALL), 13);
+    }
+
+    #[test]
+    fn fixed_only_request_is_single_run() {
+        let sched = CounterScheduler::haswell_default();
+        let fixed = PapiEvent::fixed();
+        let groups = sched.schedule(&fixed).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert!(groups[0].programmable.is_empty());
+        assert_eq!(sched.runs_required(&fixed), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let sched = CounterScheduler::haswell_default();
+        let groups = sched
+            .schedule(&[PapiEvent::PRF_DM, PapiEvent::PRF_DM, PapiEvent::TLB_IM])
+            .unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(
+            groups[0].programmable,
+            vec![PapiEvent::PRF_DM, PapiEvent::TLB_IM]
+        );
+    }
+
+    #[test]
+    fn single_slot_means_one_event_per_run() {
+        let sched = CounterScheduler::with_slots(1).unwrap();
+        let groups = sched.schedule(PapiEvent::ALL).unwrap();
+        assert_eq!(groups.len(), 51);
+        assert!(groups.iter().all(|g| g.programmable.len() == 1));
+    }
+
+    #[test]
+    fn zero_slots_rejected() {
+        assert!(CounterScheduler::with_slots(0).is_err());
+    }
+
+    #[test]
+    fn empty_request_rejected() {
+        let sched = CounterScheduler::haswell_default();
+        assert!(sched.schedule(&[]).is_err());
+    }
+
+    #[test]
+    fn group_events_lists_fixed_first() {
+        let sched = CounterScheduler::haswell_default();
+        let groups = sched
+            .schedule(&[PapiEvent::TOT_CYC, PapiEvent::PRF_DM])
+            .unwrap();
+        let evs = groups[0].events();
+        // The three fixed events lead, then the programmable ones.
+        assert!(evs[..3].iter().all(|e| e.is_fixed()));
+        assert!(evs.contains(&PapiEvent::TOT_CYC));
+        assert!(evs.contains(&PapiEvent::PRF_DM));
+    }
+
+    #[test]
+    fn fixed_counters_always_included() {
+        // Even when not requested, the fixed counters ride along free.
+        let sched = CounterScheduler::haswell_default();
+        let groups = sched.schedule(&[PapiEvent::PRF_DM]).unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].fixed.len(), 3);
+        assert_eq!(groups[0].programmable, vec![PapiEvent::PRF_DM]);
+    }
+
+    #[test]
+    fn runs_required_divides_correctly() {
+        let sched = CounterScheduler::with_slots(10).unwrap();
+        assert_eq!(sched.runs_required(PapiEvent::ALL), 6); // ceil(51/10)
+        assert_eq!(sched.runs_required(&[]), 0);
+    }
+}

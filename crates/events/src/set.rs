@@ -1,0 +1,215 @@
+//! Ordered, duplicate-free sets of PAPI events.
+
+use crate::PapiEvent;
+use serde::{Deserialize, Serialize};
+
+/// An ordered set of PAPI events with O(1) membership tests.
+///
+/// Order matters throughout the pipeline: the selection algorithm
+/// reports counters *in the order they were chosen* (paper Table I), and
+/// model coefficients are keyed by position.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventSet {
+    order: Vec<PapiEvent>,
+    #[serde(skip)]
+    member: MemberMask,
+}
+
+/// Bitmask over the 54 presets; rebuilt after deserialization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct MemberMask(u64);
+
+impl MemberMask {
+    #[inline]
+    fn contains(self, e: PapiEvent) -> bool {
+        self.0 & (1u64 << e.index()) != 0
+    }
+
+    #[inline]
+    fn insert(&mut self, e: PapiEvent) {
+        self.0 |= 1u64 << e.index();
+    }
+
+    #[inline]
+    fn remove(&mut self, e: PapiEvent) {
+        self.0 &= !(1u64 << e.index());
+    }
+}
+
+impl EventSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set containing every preset, in column order.
+    pub fn all() -> Self {
+        let mut s = Self::new();
+        for &e in PapiEvent::ALL {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Builds from a list, ignoring duplicates (first occurrence wins).
+    pub fn from_events(events: &[PapiEvent]) -> Self {
+        let mut s = Self::new();
+        for &e in events {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Inserts an event at the end of the order; returns `true` if it
+    /// was newly added.
+    pub fn insert(&mut self, e: PapiEvent) -> bool {
+        if self.member.contains(e) {
+            return false;
+        }
+        self.member.insert(e);
+        self.order.push(e);
+        true
+    }
+
+    /// Removes an event, preserving the order of the rest; returns
+    /// `true` if it was present.
+    pub fn remove(&mut self, e: PapiEvent) -> bool {
+        if !self.member.contains(e) {
+            return false;
+        }
+        self.member.remove(e);
+        self.order.retain(|&x| x != e);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: PapiEvent) -> bool {
+        // `member` is skipped by serde; fall back to the order list if
+        // the mask looks stale (empty mask with nonempty order).
+        if self.member == MemberMask::default() && !self.order.is_empty() {
+            return self.order.contains(&e);
+        }
+        self.member.contains(e)
+    }
+
+    /// Events in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = PapiEvent> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Events in insertion order, as a slice.
+    pub fn as_slice(&self) -> &[PapiEvent] {
+        &self.order
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if no events are present.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Events of `self` not present in `other`, preserving order.
+    pub fn difference(&self, other: &EventSet) -> EventSet {
+        EventSet::from_events(
+            &self
+                .iter()
+                .filter(|&e| !other.contains(e))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Rebuilds the membership mask from the order list. Must be called
+    /// after deserializing (serde skips the mask); [`EventSet`] methods
+    /// tolerate a stale mask but run slower until normalized.
+    pub fn normalize(&mut self) {
+        self.member = MemberMask::default();
+        let order = std::mem::take(&mut self.order);
+        for e in order {
+            self.insert(e);
+        }
+    }
+}
+
+impl FromIterator<PapiEvent> for EventSet {
+    fn from_iter<T: IntoIterator<Item = PapiEvent>>(iter: T) -> Self {
+        let mut s = EventSet::new();
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_preserves_order_and_dedups() {
+        let mut s = EventSet::new();
+        assert!(s.insert(PapiEvent::TLB_IM));
+        assert!(s.insert(PapiEvent::PRF_DM));
+        assert!(!s.insert(PapiEvent::TLB_IM));
+        assert_eq!(s.as_slice(), &[PapiEvent::TLB_IM, PapiEvent::PRF_DM]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_order() {
+        let mut s =
+            EventSet::from_events(&[PapiEvent::L1_DCM, PapiEvent::L2_DCM, PapiEvent::L3_TCM]);
+        assert!(s.remove(PapiEvent::L2_DCM));
+        assert!(!s.remove(PapiEvent::L2_DCM));
+        assert_eq!(s.as_slice(), &[PapiEvent::L1_DCM, PapiEvent::L3_TCM]);
+        assert!(!s.contains(PapiEvent::L2_DCM));
+    }
+
+    #[test]
+    fn all_has_every_event() {
+        let s = EventSet::all();
+        assert_eq!(s.len(), 54);
+        for &e in PapiEvent::ALL {
+            assert!(s.contains(e));
+        }
+    }
+
+    #[test]
+    fn difference_preserves_order() {
+        let a = EventSet::from_events(&[PapiEvent::L1_DCM, PapiEvent::PRF_DM, PapiEvent::BR_MSP]);
+        let b = EventSet::from_events(&[PapiEvent::PRF_DM]);
+        let d = a.difference(&b);
+        assert_eq!(d.as_slice(), &[PapiEvent::L1_DCM, PapiEvent::BR_MSP]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: EventSet = PapiEvent::fixed().into_iter().collect();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = EventSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(PapiEvent::TOT_CYC));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn normalize_rebuilds_mask() {
+        let mut s = EventSet::from_events(&[PapiEvent::CA_SNP, PapiEvent::BR_PRC]);
+        // Simulate a post-deserialization state.
+        s.member = MemberMask::default();
+        assert!(s.contains(PapiEvent::CA_SNP)); // slow path works
+        s.normalize();
+        assert!(s.contains(PapiEvent::CA_SNP));
+        assert!(s.contains(PapiEvent::BR_PRC));
+        assert!(!s.contains(PapiEvent::L1_DCM));
+        assert_eq!(s.as_slice(), &[PapiEvent::CA_SNP, PapiEvent::BR_PRC]);
+    }
+}

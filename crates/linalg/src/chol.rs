@@ -1,0 +1,206 @@
+//! Cholesky factorization of symmetric positive definite matrices.
+
+use crate::{solve_lower, solve_upper, LinalgError, Matrix, Result};
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive definite
+/// matrix.
+///
+/// Used by the statistics layer for:
+/// * solving normal equations `(XᵀX)β = Xᵀy`,
+/// * forming the SPD inverse `(XᵀX)⁻¹` that appears in classical and
+///   heteroscedasticity-consistent covariance estimators.
+///
+/// Only the lower triangle of the input is read; the strict upper
+/// triangle is assumed to mirror it (no symmetry check is performed
+/// beyond that, matching LAPACK `dpotrf` semantics).
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Computes the factorization. Fails with
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is non-positive
+    /// (the matrix is indefinite or numerically singular).
+    pub fn decompose(a: &Matrix) -> Result<Self> {
+        if a.rows() != a.cols() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky",
+                left: a.shape(),
+                right: a.shape(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty { op: "cholesky" });
+        }
+        // Relative tolerance pegged to the largest diagonal entry; a
+        // pivot this small means the matrix is numerically semidefinite.
+        let maxdiag = (0..n).fold(0.0f64, |m, i| m.max(a[(i, i)].abs()));
+        let tol = if maxdiag == 0.0 {
+            f64::MIN_POSITIVE
+        } else {
+            maxdiag * 1e-13
+        };
+
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                let ljk = l[(j, k)];
+                d -= ljk * ljk;
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Borrow of the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` using the factorization (forward then backward
+    /// substitution).
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let y = solve_lower(&self.l, b)?;
+        solve_upper(&self.l.transpose(), &y)
+    }
+
+    /// Computes `A⁻¹` column by column. The result is exactly symmetric
+    /// (the computed upper triangle is mirrored).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            e[j] = 0.0;
+            for i in 0..n {
+                inv[(i, j)] = col[i];
+            }
+        }
+        // Symmetrize to kill round-off asymmetry.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = 0.5 * (inv[(i, j)] + inv[(j, i)]);
+                inv[(i, j)] = v;
+                inv[(j, i)] = v;
+            }
+        }
+        Ok(inv)
+    }
+
+    /// Log-determinant of `A`, i.e. `2·Σ log L[i,i]`. Cheap because the
+    /// factor is already available; used in information-criterion
+    /// calculations.
+    pub fn log_det(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> Matrix {
+        // A = B·Bᵀ + I for B = [[1,2],[3,4],[5,6]] — hand-expanded.
+        Matrix::from_rows(&[
+            &[6.0, 11.0, 17.0],
+            &[11.0, 26.0, 39.0],
+            &[17.0, 39.0, 62.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let llt = c.l().matmul(&c.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = spd3();
+        let c = Cholesky::decompose(&a).unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x = c.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for i in 0..3 {
+            assert!((ax[i] - b[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd3();
+        let inv = a.spd_inverse().unwrap();
+        let prod = inv.matmul(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((prod[(i, j)] - expect).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::decompose(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn semidefinite_matrix_rejected() {
+        // Rank-1 outer product: positive semidefinite, not definite.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(Cholesky::decompose(&a).is_err());
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(Cholesky::decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn log_det_of_identity_is_zero() {
+        let c = Cholesky::decompose(&Matrix::identity(5)).unwrap();
+        assert!(c.log_det().abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_det_scales() {
+        // det(4·I₂) = 16, ln 16
+        let a = Matrix::identity(2).scaled(4.0);
+        let c = Cholesky::decompose(&a).unwrap();
+        assert!((c.log_det() - 16.0f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,557 @@
+//! Row-major dense matrix.
+
+use crate::{vecops, Cholesky, LinalgError, Qr, Result};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major matrix of `f64`.
+///
+/// Sized for the regression workloads in this workspace: up to a few
+/// hundred thousand elements. Storage is a single contiguous `Vec<f64>`
+/// so row traversal is cache-friendly and rows can be handed out as
+/// slices without copies.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// Fails with [`LinalgError::BadConstruction`] if `data.len()`
+    /// differs from `rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::BadConstruction {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices. All rows must have equal length.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(LinalgError::Empty { op: "from_rows" });
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_rows",
+                    left: (1, cols),
+                    right: (1, rows[i].len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix column-by-column from equally long column slices.
+    pub fn from_columns(columns: &[&[f64]]) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(LinalgError::Empty { op: "from_columns" });
+        }
+        let rows = columns[0].len();
+        for c in columns {
+            if c.len() != rows {
+                return Err(LinalgError::ShapeMismatch {
+                    op: "from_columns",
+                    left: (rows, 1),
+                    right: (c.len(), 1),
+                });
+            }
+        }
+        let cols = columns.len();
+        let mut m = Matrix::zeros(rows, cols);
+        for (j, c) in columns.iter().enumerate() {
+            for (i, &v) in c.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        Ok(m)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Shape as `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Borrow of the underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let c = self.cols;
+        &mut self.data[i * c..(i + 1) * c]
+    }
+
+    /// Column `j` copied into a fresh vector (columns are strided in
+    /// row-major storage, so a copy is unavoidable without a view type).
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose as a new matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// Uses the classic i-k-j loop order so the innermost loop streams
+    /// both the output row and the `rhs` row sequentially.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                vecops::axpy(aik, rrow, orow);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| vecops::dot(self.row(i), x))
+            .collect())
+    }
+
+    /// Transposed matrix-vector product `selfᵀ * x`.
+    pub fn tmatvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "tmatvec",
+                left: (self.cols, self.rows),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vecops::axpy(x[i], self.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Gram matrix `selfᵀ * self`, exploiting symmetry (only the upper
+    /// triangle is computed, then mirrored).
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let ri = row[i];
+                if ri == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += ri * row[j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                g[(j, i)] = g[(i, j)];
+            }
+        }
+        g
+    }
+
+    /// Element-wise sum `self + rhs`.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Element-wise difference `self - rhs`.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// Scales every element by `alpha`, returning a new matrix.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        let mut out = self.clone();
+        vecops::scale(alpha, &mut out.data);
+        out
+    }
+
+    /// Returns a new matrix containing only the selected columns, in the
+    /// given order (columns may repeat).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_columns(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, indices.len());
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = &mut out.data[i * indices.len()..(i + 1) * indices.len()];
+            for (dj, &sj) in indices.iter().enumerate() {
+                dst[dj] = src[sj];
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix containing only the selected rows, in the
+    /// given order (rows may repeat). Useful for k-fold index splits.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (di, &si) in indices.iter().enumerate() {
+            out.data[di * self.cols..(di + 1) * self.cols].copy_from_slice(self.row(si));
+        }
+        out
+    }
+
+    /// Horizontally concatenates `self` and `rhs` (same row count).
+    pub fn hcat(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.rows != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hcat",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let cols = self.cols + rhs.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for i in 0..self.rows {
+            out.data[i * cols..i * cols + self.cols].copy_from_slice(self.row(i));
+            out.data[i * cols + self.cols..(i + 1) * cols].copy_from_slice(rhs.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element, `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if all elements are finite (no NaN / ±inf).
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Cholesky factorization of this matrix (must be symmetric positive
+    /// definite). See [`Cholesky`].
+    pub fn cholesky(&self) -> Result<Cholesky> {
+        Cholesky::decompose(self)
+    }
+
+    /// Householder QR factorization. See [`Qr`].
+    pub fn qr(&self) -> Result<Qr> {
+        Qr::decompose(self)
+    }
+
+    /// Solves the least-squares problem `min ||self·x − b||₂` via QR.
+    ///
+    /// Requires `rows ≥ cols` and full column rank; returns
+    /// [`LinalgError::RankDeficient`] otherwise.
+    pub fn least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        self.qr()?.solve(b)
+    }
+
+    /// Inverse of a symmetric positive definite matrix via Cholesky.
+    pub fn spd_inverse(&self) -> Result<Matrix> {
+        self.cholesky()?.inverse()
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(10) {
+                write!(f, "{:>11.4e}", self[(i, j)])?;
+                if j + 1 < self.cols.min(10) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 10 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > show {
+            writeln!(f, "  … ({} more rows)", self.rows - show)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn from_columns_matches_layout() {
+        let m = Matrix::from_columns(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t[(2, 1)], 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_hand_checked() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(approx(c[(0, 0)], 19.0));
+        assert!(approx(c[(0, 1)], 22.0));
+        assert!(approx(c[(1, 0)], 43.0));
+        assert!(approx(c[(1, 1)], 50.0));
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_and_tmatvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let y = a.matvec(&[1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 7.0, 11.0]);
+        let z = a.tmatvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(z, vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn gram_is_xtx() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let g = x.gram();
+        let xtx = x.transpose().matmul(&x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], xtx[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn select_columns_orders_and_repeats() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let s = m.select_columns(&[2, 0, 2]);
+        assert_eq!(s.row(0), &[3.0, 1.0, 3.0]);
+        assert_eq!(s.row(1), &[6.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let m = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.column(0), vec![3.0, 1.0]);
+    }
+
+    #[test]
+    fn hcat_concatenates() {
+        let a = Matrix::from_rows(&[&[1.0], &[2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let c = a.hcat(&b).unwrap();
+        assert_eq!(c.row(0), &[1.0, 3.0, 4.0]);
+        assert_eq!(c.row(1), &[2.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]).unwrap();
+        assert_eq!(a.add(&b).unwrap().row(0), &[11.0, 22.0]);
+        assert_eq!(b.sub(&a).unwrap().row(0), &[9.0, 18.0]);
+        assert_eq!(a.scaled(3.0).row(0), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn max_abs_and_finite() {
+        let m = Matrix::from_rows(&[&[-7.0, 2.0]]).unwrap();
+        assert_eq!(m.max_abs(), 7.0);
+        assert!(m.all_finite());
+        let bad = Matrix::from_vec(1, 2, vec![f64::NAN, 1.0]).unwrap();
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn debug_format_does_not_panic_on_large() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("more rows"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Forward and backward substitution for triangular systems.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// Relative threshold below which a triangular diagonal entry is treated
+/// as numerically zero (scaled by the largest diagonal magnitude).
+const REL_PIVOT_TOL: f64 = 1e-13;
+
+fn check_square_and_rhs(op: &'static str, l: &Matrix, b: &[f64]) -> Result<()> {
+    if l.rows() != l.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op,
+            left: l.shape(),
+            right: l.shape(),
+        });
+    }
+    if b.len() != l.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op,
+            left: l.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    if l.rows() == 0 {
+        return Err(LinalgError::Empty { op });
+    }
+    Ok(())
+}
+
+fn diag_tolerance(m: &Matrix) -> f64 {
+    let maxd = (0..m.rows()).fold(0.0f64, |acc, i| acc.max(m[(i, i)].abs()));
+    if maxd == 0.0 {
+        REL_PIVOT_TOL
+    } else {
+        maxd * REL_PIVOT_TOL
+    }
+}
+
+/// Solves `L x = b` where `L` is lower triangular (entries above the
+/// diagonal are ignored). Returns [`LinalgError::RankDeficient`] if a
+/// diagonal entry is negligible.
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs("solve_lower", l, b)?;
+    let n = l.rows();
+    let tol = diag_tolerance(l);
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut s = x[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            s -= row[j] * xj;
+        }
+        let d = row[i];
+        if d.abs() <= tol {
+            return Err(LinalgError::RankDeficient { column: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` where `U` is upper triangular (entries below the
+/// diagonal are ignored). Returns [`LinalgError::RankDeficient`] if a
+/// diagonal entry is negligible.
+pub fn solve_upper(u: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    check_square_and_rhs("solve_upper", u, b)?;
+    let n = u.rows();
+    let tol = diag_tolerance(u);
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= row[j] * x[j];
+        }
+        let d = row[i];
+        if d.abs() <= tol {
+            return Err(LinalgError::RankDeficient { column: i });
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_solve_hand_checked() {
+        // L = [[2,0],[1,3]], b = [4, 10] => x = [2, 8/3]
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 10.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 8.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_solve_hand_checked() {
+        // U = [[2,1],[0,3]], b = [5, 6] => x = [1.5? ] solve: x1 = 2, x0 = (5-2)/2 = 1.5
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]).unwrap();
+        let x = solve_upper(&u, &[5.0, 6.0]).unwrap();
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((x[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[5.0, 0.0]]).unwrap();
+        assert!(matches!(
+            solve_lower(&l, &[1.0, 1.0]),
+            Err(LinalgError::RankDeficient { column: 1 })
+        ));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let l = Matrix::zeros(2, 3);
+        assert!(solve_lower(&l, &[0.0, 0.0]).is_err());
+        let sq = Matrix::identity(2);
+        assert!(solve_upper(&sq, &[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn identity_solves_are_identity() {
+        let i = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve_lower(&i, &b).unwrap(), b.to_vec());
+        assert_eq!(solve_upper(&i, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn ignores_opposite_triangle() {
+        // Garbage above the diagonal must not affect a lower solve.
+        let l = Matrix::from_rows(&[&[2.0, 99.0], &[1.0, 3.0]]).unwrap();
+        let x = solve_lower(&l, &[4.0, 10.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,129 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! These are the handful of BLAS-1 style kernels the regression code
+//! needs. They operate on plain slices so callers can use `Vec<f64>`,
+//! arrays, or matrix rows interchangeably without conversions.
+
+/// Dot product of two equally long slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (standard `zip` semantics), which is never what
+/// you want — callers are expected to pass equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm `||a||₂`, computed with scaling to avoid overflow for
+/// large entries (relevant when raw counter values in the 1e9 range are
+/// involved before normalization).
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    let maxabs = a.iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+    if maxabs == 0.0 || !maxabs.is_finite() {
+        return maxabs;
+    }
+    let sumsq: f64 = a
+        .iter()
+        .map(|&x| {
+            let s = x / maxabs;
+            s * s
+        })
+        .sum();
+    maxabs * sumsq.sqrt()
+}
+
+/// `y ← y + alpha * x` (classic AXPY).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `a ← alpha * a` in place.
+#[inline]
+pub fn scale(alpha: f64, a: &mut [f64]) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Element-wise difference `a - b` into a fresh vector.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice (the callers in
+/// the stats crate guard emptiness themselves and document it).
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn norm2_matches_hand_value() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm2_zero_vector() {
+        assert_eq!(norm2(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn norm2_survives_huge_entries() {
+        // Naive sum-of-squares would overflow to infinity here.
+        let v = [1e200, 1e200];
+        let n = norm2(&v);
+        assert!(n.is_finite());
+        assert!((n - 1e200 * 2.0f64.sqrt()).abs() / n < 1e-12);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[10.0, 20.0], &mut y);
+        assert_eq!(y, vec![21.0, 41.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0];
+        scale(-3.0, &mut a);
+        assert_eq!(a, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[5.0, 7.0], &[2.0, 3.0]), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_basic_and_empty() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

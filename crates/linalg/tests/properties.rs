@@ -1,0 +1,127 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use pmc_linalg::{dot, norm2, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a well-scaled matrix with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v).unwrap())
+}
+
+fn vector(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, len)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(m in matrix(5, 3)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(m in matrix(4, 4)) {
+        let i = Matrix::identity(4);
+        let mi = m.matmul(&i).unwrap();
+        let im = i.matmul(&m).unwrap();
+        for r in 0..4 {
+            for c in 0..4 {
+                prop_assert!((mi[(r, c)] - m[(r, c)]).abs() < 1e-12);
+                prop_assert!((im[(r, c)] - m[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_equals_xtx(m in matrix(6, 3)) {
+        let g = m.gram();
+        let xtx = m.transpose().matmul(&m).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((g[(i, j)] - xtx[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_x(b in vector(4), m in matrix(6, 4)) {
+        // A = MᵀM + I is always SPD.
+        let a = m.gram().add(&Matrix::identity(4)).unwrap();
+        let chol = a.cholesky().unwrap();
+        // Solve A x = A b; x must equal b.
+        let ab = a.matvec(&b).unwrap();
+        let x = chol.solve(&ab).unwrap();
+        for i in 0..4 {
+            prop_assert!((x[i] - b[i]).abs() < 1e-6, "x[{}]={} b[{}]={}", i, x[i], i, b[i]);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(m in matrix(5, 3)) {
+        let a = m.gram().add(&Matrix::identity(3)).unwrap();
+        let c = a.cholesky().unwrap();
+        let llt = c.l().matmul(&c.l().transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_preserves_norm(m in matrix(7, 3), b in vector(7)) {
+        // Skip degenerate (rank-deficient) random draws.
+        let qr = m.qr().unwrap();
+        let qtb = qr.qt_mul(&b).unwrap();
+        prop_assert!((norm2(&b) - norm2(&qtb)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal_to_columns(
+        m in matrix(8, 3),
+        b in vector(8),
+    ) {
+        let qr = m.qr().unwrap();
+        if qr.rcond_estimate() < 1e-8 {
+            // Rank-deficient random draw; nothing to assert.
+            return Ok(());
+        }
+        let x = qr.solve(&b).unwrap();
+        let fitted = m.matvec(&x).unwrap();
+        let resid: Vec<f64> = b.iter().zip(&fitted).map(|(bi, fi)| bi - fi).collect();
+        for j in 0..3 {
+            let col = m.column(j);
+            // Normal equations: columns ⟂ residual.
+            prop_assert!(dot(&col, &resid).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn spd_inverse_is_inverse(m in matrix(6, 3)) {
+        let a = m.gram().add(&Matrix::identity(3)).unwrap();
+        let inv = a.spd_inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((prod[(i, j)] - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn select_columns_then_rows_commute(m in matrix(5, 4)) {
+        let a = m.select_columns(&[0, 2]).select_rows(&[1, 3]);
+        let b = m.select_rows(&[1, 3]).select_columns(&[0, 2]);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hcat_keeps_columns(m in matrix(4, 2), n in matrix(4, 3)) {
+        let c = m.hcat(&n).unwrap();
+        prop_assert_eq!(c.shape(), (4, 5));
+        prop_assert_eq!(c.column(0), m.column(0));
+        prop_assert_eq!(c.column(2), n.column(0));
+        prop_assert_eq!(c.column(4), n.column(2));
+    }
+}

@@ -1,0 +1,209 @@
+//! Descriptive statistics and the Pearson correlation coefficient.
+//!
+//! The Pearson Correlation Coefficient (PCC, paper Equation 2) drives
+//! the counter-significance analysis of paper §V: the first selected
+//! counter correlates strongly with power, while later ones contribute
+//! *orthogonal* information and show weak marginal correlation.
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean.
+///
+/// Returns an error for an empty slice (unlike the permissive helper in
+/// `pmc-linalg`, statistics callers must not silently treat empty data
+/// as zero).
+pub fn mean(x: &[f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(StatsError::TooFewObservations {
+            what: "mean",
+            got: 0,
+            need: 1,
+        });
+    }
+    Ok(x.iter().sum::<f64>() / x.len() as f64)
+}
+
+/// Unbiased sample variance (divides by `n − 1`).
+pub fn sample_variance(x: &[f64]) -> Result<f64> {
+    if x.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            what: "sample_variance",
+            got: x.len(),
+            need: 2,
+        });
+    }
+    let m = mean(x)?;
+    Ok(x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / (x.len() - 1) as f64)
+}
+
+/// Population variance (divides by `n`).
+pub fn population_variance(x: &[f64]) -> Result<f64> {
+    if x.is_empty() {
+        return Err(StatsError::TooFewObservations {
+            what: "population_variance",
+            got: 0,
+            need: 1,
+        });
+    }
+    let m = mean(x)?;
+    Ok(x.iter().map(|&v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64)
+}
+
+/// Sample standard deviation.
+pub fn stddev(x: &[f64]) -> Result<f64> {
+    Ok(sample_variance(x)?.sqrt())
+}
+
+/// Pearson correlation coefficient between two equally long series
+/// (paper Equation 2).
+///
+/// Returns [`StatsError::Degenerate`] when either series is constant
+/// (zero variance makes the coefficient undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            what: "pearson",
+            rows: x.len(),
+            response: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::TooFewObservations {
+            what: "pearson",
+            got: x.len(),
+            need: 2,
+        });
+    }
+    let mx = mean(x)?;
+    let my = mean(y)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::Degenerate {
+            what: "pearson",
+            reason: "one of the series is constant",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Min / max / mean summary of a series, as reported in the paper's
+/// Table II for the 10-fold cross-validation results.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarizes a non-empty series.
+    pub fn of(x: &[f64]) -> Result<Self> {
+        if x.is_empty() {
+            return Err(StatsError::TooFewObservations {
+                what: "Summary::of",
+                got: 0,
+                need: 1,
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in x {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Ok(Summary {
+            min: lo,
+            max: hi,
+            mean: mean(x)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_rejects_empty() {
+        assert!(mean(&[]).is_err());
+        assert_eq!(mean(&[2.0, 4.0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn variances_hand_checked() {
+        let x = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        // Known example: population variance 4, sample variance 32/7.
+        assert!((population_variance(&x).unwrap() - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&x).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((stddev(&x).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let yneg: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &yneg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_for_orthogonal() {
+        // Symmetric quadratic vs linear around the midpoint ⇒ r = 0.
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_textbook_value() {
+        // Verified against scipy.stats.pearsonr.
+        let x = [1.0, 2.0, 3.0, 5.0, 8.0];
+        let y = [0.11, 0.12, 0.13, 0.15, 0.18];
+        let r = pearson(&x, &y).unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "exactly linear mapping: r={r}");
+    }
+
+    #[test]
+    fn pearson_constant_series_degenerate() {
+        assert!(matches!(
+            pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]),
+            Err(StatsError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn pearson_length_mismatch() {
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn summary_of_series() {
+        let s = Summary::of(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn pearson_is_symmetric() {
+        let x = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let y = [2.0, 3.0, 7.0, 1.0, 4.0];
+        let a = pearson(&x, &y).unwrap();
+        let b = pearson(&y, &x).unwrap();
+        assert!((a - b).abs() < 1e-15);
+        assert!((-1.0..=1.0).contains(&a));
+    }
+}

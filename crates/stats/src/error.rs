@@ -1,0 +1,104 @@
+//! Error type for the statistics layer.
+
+use pmc_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced by statistical routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// The underlying linear algebra failed (typically a rank-deficient
+    /// design matrix from perfectly collinear regressors).
+    Linalg(LinalgError),
+    /// Inputs were empty or too short for the requested statistic.
+    TooFewObservations {
+        /// What was being computed.
+        what: &'static str,
+        /// Observations provided.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// Response and design dimensions disagree.
+    DimensionMismatch {
+        /// What was being computed.
+        what: &'static str,
+        /// Rows in the design matrix / first operand.
+        rows: usize,
+        /// Length of the response / second operand.
+        response: usize,
+    },
+    /// A statistic was undefined for the given data (e.g. Pearson
+    /// correlation of a constant series).
+    Degenerate {
+        /// What was being computed.
+        what: &'static str,
+        /// Why it is undefined.
+        reason: &'static str,
+    },
+    /// k-fold parameters were invalid (k < 2 or k > n).
+    BadFoldCount {
+        /// Requested number of folds.
+        k: usize,
+        /// Number of observations.
+        n: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            StatsError::TooFewObservations { what, got, need } => {
+                write!(f, "{what}: needs at least {need} observations, got {got}")
+            }
+            StatsError::DimensionMismatch {
+                what,
+                rows,
+                response,
+            } => write!(
+                f,
+                "{what}: design has {rows} rows but response has {response} entries"
+            ),
+            StatsError::Degenerate { what, reason } => write!(f, "{what} is undefined: {reason}"),
+            StatsError::BadFoldCount { k, n } => {
+                write!(f, "invalid fold count k={k} for n={n} observations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for StatsError {
+    fn from(e: LinalgError) -> Self {
+        StatsError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_linalg() {
+        let e: StatsError = LinalgError::RankDeficient { column: 2 }.into();
+        assert!(e.to_string().contains("rank deficient"));
+    }
+
+    #[test]
+    fn display_mentions_context() {
+        let e = StatsError::TooFewObservations {
+            what: "pearson",
+            got: 1,
+            need: 2,
+        };
+        assert!(e.to_string().contains("pearson"));
+    }
+}

@@ -1,0 +1,194 @@
+//! k-fold cross-validation with random indexing.
+//!
+//! The paper trains and validates Equation 1 "using 10-fold cross
+//! validation with random indexing" (§IV-B). [`KFold`] reproduces that:
+//! indices are shuffled with a seeded RNG, then split into `k`
+//! near-equal contiguous chunks, each serving once as the validation
+//! fold.
+
+use crate::{Result, StatsError};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One train/validation split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Indices of the training rows.
+    pub train: Vec<usize>,
+    /// Indices of the validation rows.
+    pub validate: Vec<usize>,
+}
+
+/// A k-fold splitter over `n` observations.
+#[derive(Debug, Clone)]
+pub struct KFold {
+    folds: Vec<Fold>,
+}
+
+impl KFold {
+    /// Builds `k` folds over `n` observations, shuffling indices with
+    /// the given seed ("random indexing"). Requires `2 ≤ k ≤ n`.
+    ///
+    /// Fold sizes differ by at most one; every index appears in exactly
+    /// one validation fold.
+    pub fn new(n: usize, k: usize, seed: u64) -> Result<Self> {
+        if k < 2 || k > n {
+            return Err(StatsError::BadFoldCount { k, n });
+        }
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+
+        let base = n / k;
+        let extra = n % k; // first `extra` folds get one more element
+        let mut folds = Vec::with_capacity(k);
+        let mut start = 0usize;
+        for f in 0..k {
+            let len = base + usize::from(f < extra);
+            let validate: Vec<usize> = idx[start..start + len].to_vec();
+            let train: Vec<usize> = idx[..start]
+                .iter()
+                .chain(&idx[start + len..])
+                .copied()
+                .collect();
+            folds.push(Fold { train, validate });
+            start += len;
+        }
+        Ok(KFold { folds })
+    }
+
+    /// The folds, in order.
+    pub fn folds(&self) -> &[Fold] {
+        &self.folds
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+}
+
+/// Per-fold outcome of a cross-validation run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CvOutcome {
+    /// Training R² of the fold's fit.
+    pub r_squared: f64,
+    /// Training adjusted R².
+    pub adj_r_squared: f64,
+    /// Validation MAPE (percent).
+    pub mape: f64,
+}
+
+/// Runs k-fold cross-validation with caller-supplied fit and predict
+/// closures, collecting the paper's Table II statistics per fold.
+///
+/// `fit(train_indices)` must return `(r², adj_r², model)`, and
+/// `predict(&model, validate_indices)` must return `(actual, predicted)`
+/// pairs for the validation rows. Errors from either closure abort the
+/// run.
+pub fn cross_validate<M>(
+    kfold: &KFold,
+    mut fit: impl FnMut(&[usize]) -> Result<(f64, f64, M)>,
+    mut predict: impl FnMut(&M, &[usize]) -> Result<(Vec<f64>, Vec<f64>)>,
+) -> Result<Vec<CvOutcome>> {
+    let mut out = Vec::with_capacity(kfold.k());
+    for fold in kfold.folds() {
+        let (r2, adj, model) = fit(&fold.train)?;
+        let (actual, predicted) = predict(&model, &fold.validate)?;
+        let mape = crate::metrics::mape(&actual, &predicted)?;
+        out.push(CvOutcome {
+            r_squared: r2,
+            adj_r_squared: adj,
+            mape,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn folds_partition_exactly() {
+        let kf = KFold::new(23, 10, 1).unwrap();
+        assert_eq!(kf.k(), 10);
+        let mut seen = BTreeSet::new();
+        for f in kf.folds() {
+            for &i in &f.validate {
+                assert!(seen.insert(i), "index {i} validated twice");
+            }
+            // Train and validate are disjoint and cover everything.
+            let t: BTreeSet<_> = f.train.iter().copied().collect();
+            for &i in &f.validate {
+                assert!(!t.contains(&i));
+            }
+            assert_eq!(f.train.len() + f.validate.len(), 23);
+        }
+        assert_eq!(seen.len(), 23);
+    }
+
+    #[test]
+    fn fold_sizes_balanced() {
+        let kf = KFold::new(25, 10, 2).unwrap();
+        let sizes: Vec<usize> = kf.folds().iter().map(|f| f.validate.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 1);
+        assert_eq!(sizes.iter().sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn seeded_determinism_and_seed_sensitivity() {
+        let a = KFold::new(50, 5, 7).unwrap();
+        let b = KFold::new(50, 5, 7).unwrap();
+        assert_eq!(a.folds(), b.folds());
+        let c = KFold::new(50, 5, 8).unwrap();
+        assert_ne!(a.folds(), c.folds());
+    }
+
+    #[test]
+    fn shuffling_actually_happens() {
+        let kf = KFold::new(100, 2, 3).unwrap();
+        // With random indexing, fold 0 should not be exactly 0..50.
+        let sorted_first: Vec<usize> = {
+            let mut v = kf.folds()[0].validate.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_ne!(sorted_first, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        assert!(KFold::new(5, 1, 0).is_err());
+        assert!(KFold::new(5, 6, 0).is_err());
+        assert!(KFold::new(5, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn cross_validate_plumbs_closures() {
+        let kf = KFold::new(10, 5, 11).unwrap();
+        // "Model" = mean of training indices; validate against identity.
+        let outcomes = cross_validate(
+            &kf,
+            |train| {
+                let m = train.iter().sum::<usize>() as f64 / train.len() as f64;
+                Ok((0.5, 0.4, m))
+            },
+            |m, val| {
+                let actual: Vec<f64> = val.iter().map(|&i| i as f64 + 1.0).collect();
+                let pred: Vec<f64> = val.iter().map(|_| *m).collect();
+                Ok((actual, pred))
+            },
+        )
+        .unwrap();
+        assert_eq!(outcomes.len(), 5);
+        for o in &outcomes {
+            assert_eq!(o.r_squared, 0.5);
+            assert!(o.mape > 0.0);
+        }
+    }
+}

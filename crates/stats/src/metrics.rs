@@ -1,0 +1,208 @@
+//! Prediction-error metrics.
+//!
+//! The paper reports accuracy as the Mean Absolute Percentage Error
+//! (MAPE) — per workload per DVFS state (Fig. 3), per training scenario
+//! (Fig. 4), and summarized over cross-validation folds (Table II).
+
+use crate::{Result, StatsError};
+
+/// Mean Absolute Percentage Error, in percent:
+/// `100/n · Σ |yᵢ − ŷᵢ| / |yᵢ|`.
+///
+/// Observations with `yᵢ == 0` would divide by zero; power measurements
+/// are strictly positive so this is rejected as degenerate input rather
+/// than skipped silently.
+pub fn mape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check("mape", actual, predicted)?;
+    let mut acc = 0.0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a == 0.0 {
+            return Err(StatsError::Degenerate {
+                what: "mape",
+                reason: "actual value of zero makes percentage error undefined",
+            });
+        }
+        acc += ((a - p) / a).abs();
+    }
+    Ok(100.0 * acc / actual.len() as f64)
+}
+
+/// Maximum absolute percentage error, in percent.
+pub fn max_ape(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check("max_ape", actual, predicted)?;
+    let mut worst = 0.0f64;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a == 0.0 {
+            return Err(StatsError::Degenerate {
+                what: "max_ape",
+                reason: "actual value of zero makes percentage error undefined",
+            });
+        }
+        worst = worst.max(((a - p) / a).abs());
+    }
+    Ok(100.0 * worst)
+}
+
+/// Mean absolute error.
+pub fn mae(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check("mae", actual, predicted)?;
+    Ok(actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p).abs())
+        .sum::<f64>()
+        / actual.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check("rmse", actual, predicted)?;
+    let ms = actual
+        .iter()
+        .zip(predicted)
+        .map(|(a, p)| (a - p) * (a - p))
+        .sum::<f64>()
+        / actual.len() as f64;
+    Ok(ms.sqrt())
+}
+
+/// Signed mean percentage error, in percent — positive means the model
+/// *underestimates* on average. Used to detect the systematic
+/// per-workload bias the paper shows in Fig. 5a.
+pub fn mean_signed_pe(actual: &[f64], predicted: &[f64]) -> Result<f64> {
+    check("mean_signed_pe", actual, predicted)?;
+    let mut acc = 0.0;
+    for (&a, &p) in actual.iter().zip(predicted) {
+        if a == 0.0 {
+            return Err(StatsError::Degenerate {
+                what: "mean_signed_pe",
+                reason: "actual value of zero makes percentage error undefined",
+            });
+        }
+        acc += (a - p) / a;
+    }
+    Ok(100.0 * acc / actual.len() as f64)
+}
+
+fn check(what: &'static str, actual: &[f64], predicted: &[f64]) -> Result<()> {
+    if actual.len() != predicted.len() {
+        return Err(StatsError::DimensionMismatch {
+            what,
+            rows: actual.len(),
+            response: predicted.len(),
+        });
+    }
+    if actual.is_empty() {
+        return Err(StatsError::TooFewObservations {
+            what,
+            got: 0,
+            need: 1,
+        });
+    }
+    Ok(())
+}
+
+/// Bundle of all error metrics for one (actual, predicted) pairing —
+/// what validation reports carry around.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ErrorMetrics {
+    /// Mean absolute percentage error (percent).
+    pub mape: f64,
+    /// Maximum absolute percentage error (percent).
+    pub max_ape: f64,
+    /// Mean absolute error (same unit as the response; watts here).
+    pub mae: f64,
+    /// Root mean squared error (watts).
+    pub rmse: f64,
+    /// Signed mean percentage error (percent, positive = underestimate).
+    pub bias: f64,
+}
+
+impl ErrorMetrics {
+    /// Computes all metrics in one pass over the data.
+    pub fn compute(actual: &[f64], predicted: &[f64]) -> Result<Self> {
+        Ok(ErrorMetrics {
+            mape: mape(actual, predicted)?,
+            max_ape: max_ape(actual, predicted)?,
+            mae: mae(actual, predicted)?,
+            rmse: rmse(actual, predicted)?,
+            bias: mean_signed_pe(actual, predicted)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mape_hand_checked() {
+        let a = [100.0, 200.0];
+        let p = [110.0, 180.0];
+        // |10|/100 = 0.10, |20|/200 = 0.10 → mean 10%
+        assert!((mape(&a, &p).unwrap() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_zero_for_perfect() {
+        let a = [5.0, 7.0, 9.0];
+        assert_eq!(mape(&a, &a).unwrap(), 0.0);
+        assert_eq!(max_ape(&a, &a).unwrap(), 0.0);
+        assert_eq!(rmse(&a, &a).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mape_rejects_zero_actual() {
+        assert!(matches!(
+            mape(&[0.0, 1.0], &[1.0, 1.0]),
+            Err(StatsError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn max_ape_finds_worst() {
+        let a = [100.0, 100.0, 100.0];
+        let p = [101.0, 95.0, 120.0];
+        assert!((max_ape(&a, &p).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_rmse_hand_checked() {
+        let a = [1.0, 2.0, 3.0];
+        let p = [2.0, 2.0, 5.0];
+        assert!((mae(&a, &p).unwrap() - 1.0).abs() < 1e-12);
+        assert!((rmse(&a, &p).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let a = [10.0, 20.0, 30.0, 40.0];
+        let p = [12.0, 19.0, 33.0, 36.0];
+        assert!(rmse(&a, &p).unwrap() >= mae(&a, &p).unwrap());
+    }
+
+    #[test]
+    fn signed_error_detects_bias() {
+        let a = [100.0, 100.0];
+        let over = [110.0, 110.0];
+        let under = [90.0, 90.0];
+        assert!(mean_signed_pe(&a, &over).unwrap() < 0.0);
+        assert!(mean_signed_pe(&a, &under).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(mape(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mape(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn bundle_is_consistent() {
+        let a = [100.0, 200.0, 300.0];
+        let p = [90.0, 210.0, 330.0];
+        let m = ErrorMetrics::compute(&a, &p).unwrap();
+        assert!((m.mape - mape(&a, &p).unwrap()).abs() < 1e-15);
+        assert!(m.max_ape >= m.mape);
+        assert!(m.rmse >= m.mae);
+    }
+}

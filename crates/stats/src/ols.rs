@@ -1,0 +1,512 @@
+//! Ordinary least squares with classical and heteroscedasticity-
+//! consistent (HC) covariance estimators.
+//!
+//! The paper fits Equation 1 with OLS and reports that the residuals are
+//! heteroscedastic (absolute error grows with power), so coefficient
+//! standard errors use the **HC3** estimator of MacKinnon & White,
+//! recommended by Long & Ervin (2000) for moderate sample sizes — the
+//! same choice `statsmodels` exposes as `cov_type="HC3"`.
+
+use crate::{Result, StatsError};
+use pmc_linalg::Matrix;
+
+/// Which coefficient-covariance estimator to compute alongside the fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum CovarianceKind {
+    /// Classical homoscedastic estimator `σ̂²(XᵀX)⁻¹`.
+    Classical,
+    /// White's original sandwich, weights `eᵢ²`.
+    HC0,
+    /// HC0 with the small-sample factor `n/(n−p)`.
+    HC1,
+    /// Leverage-adjusted weights `eᵢ²/(1−hᵢᵢ)`.
+    HC2,
+    /// Jackknife-style weights `eᵢ²/(1−hᵢᵢ)²` — the paper's choice.
+    #[default]
+    HC3,
+}
+
+/// Options controlling an OLS fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsOptions {
+    /// Covariance estimator for the coefficient standard errors.
+    pub covariance: CovarianceKind,
+    /// If true (default), R² uses the centered total sum of squares
+    /// `Σ(yᵢ−ȳ)²` — appropriate when the design contains a constant
+    /// column, as every model in this workspace does. If false, the
+    /// uncentered `Σyᵢ²` is used.
+    pub centered_tss: bool,
+}
+
+impl Default for OlsOptions {
+    fn default() -> Self {
+        OlsOptions {
+            covariance: CovarianceKind::HC3,
+            centered_tss: true,
+        }
+    }
+}
+
+/// A fitted ordinary-least-squares regression.
+///
+/// Produced by [`OlsFit::fit`] / [`OlsFit::fit_with`]; exposes the
+/// quantities the modeling pipeline consumes: coefficients, fit quality
+/// (R², adjusted R²), residuals, leverages, and the coefficient
+/// covariance under the selected estimator.
+#[derive(Debug, Clone)]
+pub struct OlsFit {
+    coefficients: Vec<f64>,
+    fitted: Vec<f64>,
+    residuals: Vec<f64>,
+    leverage: Vec<f64>,
+    cov: Matrix,
+    covariance_kind: CovarianceKind,
+    rss: f64,
+    tss: f64,
+    r_squared: f64,
+    adj_r_squared: f64,
+    sigma2: f64,
+    n: usize,
+    p: usize,
+}
+
+impl OlsFit {
+    /// Fits `y ≈ X·β` with the default options (HC3, centered TSS).
+    pub fn fit(x: &Matrix, y: &[f64]) -> Result<Self> {
+        Self::fit_with(x, y, OlsOptions::default())
+    }
+
+    /// Fits with explicit [`OlsOptions`].
+    ///
+    /// Requires strictly more observations than predictors; a collinear
+    /// design surfaces as [`StatsError::Linalg`] with a rank-deficiency
+    /// inner error.
+    pub fn fit_with(x: &Matrix, y: &[f64], opts: OlsOptions) -> Result<Self> {
+        let (n, p) = x.shape();
+        if y.len() != n {
+            return Err(StatsError::DimensionMismatch {
+                what: "ols",
+                rows: n,
+                response: y.len(),
+            });
+        }
+        if n <= p {
+            return Err(StatsError::TooFewObservations {
+                what: "ols",
+                got: n,
+                need: p + 1,
+            });
+        }
+
+        let qr = x.qr()?;
+        let coefficients = qr.solve(y)?;
+        let fitted = x.matvec(&coefficients)?;
+        let residuals: Vec<f64> = y.iter().zip(&fitted).map(|(yi, fi)| yi - fi).collect();
+        let rss: f64 = residuals.iter().map(|e| e * e).sum();
+
+        let tss = if opts.centered_tss {
+            let ybar = y.iter().sum::<f64>() / n as f64;
+            y.iter().map(|yi| (yi - ybar) * (yi - ybar)).sum()
+        } else {
+            y.iter().map(|yi| yi * yi).sum()
+        };
+        if tss <= 0.0 {
+            return Err(StatsError::Degenerate {
+                what: "ols R²",
+                reason: "response has zero variance",
+            });
+        }
+        let r_squared = 1.0 - rss / tss;
+        let adj_r_squared = 1.0 - (1.0 - r_squared) * (n as f64 - 1.0) / (n as f64 - p as f64);
+        let sigma2 = rss / (n - p) as f64;
+
+        // (XᵀX)⁻¹ — the "bread" of every covariance below. The gram
+        // matrix is SPD whenever QR succeeded, so Cholesky is safe.
+        let xtx_inv = x.gram().spd_inverse()?;
+
+        // Leverages hᵢᵢ = xᵢᵀ (XᵀX)⁻¹ xᵢ, needed by HC2/HC3 and useful
+        // diagnostics in their own right.
+        let mut leverage = Vec::with_capacity(n);
+        for i in 0..n {
+            let xi = x.row(i);
+            let v = xtx_inv.matvec(xi)?;
+            leverage.push(pmc_linalg::dot(xi, &v));
+        }
+
+        let cov = match opts.covariance {
+            CovarianceKind::Classical => xtx_inv.scaled(sigma2),
+            kind => {
+                // Sandwich: (XᵀX)⁻¹ · Xᵀ diag(w) X · (XᵀX)⁻¹
+                let weights: Vec<f64> = residuals
+                    .iter()
+                    .zip(&leverage)
+                    .map(|(e, &h)| {
+                        let e2 = e * e;
+                        match kind {
+                            CovarianceKind::HC0 => e2,
+                            CovarianceKind::HC1 => e2 * n as f64 / (n - p) as f64,
+                            CovarianceKind::HC2 => e2 / (1.0 - h).max(f64::MIN_POSITIVE),
+                            CovarianceKind::HC3 => {
+                                let d = (1.0 - h).max(f64::MIN_POSITIVE);
+                                e2 / (d * d)
+                            }
+                            CovarianceKind::Classical => unreachable!(),
+                        }
+                    })
+                    .collect();
+                // meat = Σ wᵢ · xᵢ xᵢᵀ
+                let mut meat = Matrix::zeros(p, p);
+                for i in 0..n {
+                    let xi = x.row(i);
+                    let w = weights[i];
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for a in 0..p {
+                        let wa = w * xi[a];
+                        for b in a..p {
+                            meat[(a, b)] += wa * xi[b];
+                        }
+                    }
+                }
+                for a in 0..p {
+                    for b in (a + 1)..p {
+                        meat[(b, a)] = meat[(a, b)];
+                    }
+                }
+                xtx_inv.matmul(&meat)?.matmul(&xtx_inv)?
+            }
+        };
+
+        Ok(OlsFit {
+            coefficients,
+            fitted,
+            residuals,
+            leverage,
+            cov,
+            covariance_kind: opts.covariance,
+            rss,
+            tss,
+            r_squared,
+            adj_r_squared,
+            sigma2,
+            n,
+            p,
+        })
+    }
+
+    /// Estimated coefficients `β̂`, in design-column order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// In-sample fitted values `X·β̂`.
+    pub fn fitted(&self) -> &[f64] {
+        &self.fitted
+    }
+
+    /// Residuals `y − X·β̂`.
+    pub fn residuals(&self) -> &[f64] {
+        &self.residuals
+    }
+
+    /// Hat-matrix diagonal (leverages) `hᵢᵢ`.
+    pub fn leverage(&self) -> &[f64] {
+        &self.leverage
+    }
+
+    /// Coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// R² adjusted for the number of predictors — increases only when a
+    /// new predictor improves the model more than chance would (paper
+    /// Fig. 2 plots both).
+    pub fn adj_r_squared(&self) -> f64 {
+        self.adj_r_squared
+    }
+
+    /// Residual sum of squares.
+    pub fn rss(&self) -> f64 {
+        self.rss
+    }
+
+    /// Total sum of squares (centered unless configured otherwise).
+    pub fn tss(&self) -> f64 {
+        self.tss
+    }
+
+    /// Unbiased residual variance estimate `RSS/(n−p)`.
+    pub fn sigma2(&self) -> f64 {
+        self.sigma2
+    }
+
+    /// Number of observations.
+    pub fn n_observations(&self) -> usize {
+        self.n
+    }
+
+    /// Number of predictors (design-matrix columns).
+    pub fn n_predictors(&self) -> usize {
+        self.p
+    }
+
+    /// Which covariance estimator [`Self::covariance`] holds.
+    pub fn covariance_kind(&self) -> CovarianceKind {
+        self.covariance_kind
+    }
+
+    /// Coefficient covariance matrix under the selected estimator.
+    pub fn covariance(&self) -> &Matrix {
+        &self.cov
+    }
+
+    /// Standard errors of the coefficients (square roots of the
+    /// covariance diagonal).
+    pub fn std_errors(&self) -> Vec<f64> {
+        (0..self.p).map(|i| self.cov[(i, i)].max(0.0).sqrt()).collect()
+    }
+
+    /// t-statistics `β̂ᵢ / se(β̂ᵢ)`; infinite when the standard error
+    /// underflows to zero.
+    pub fn t_stats(&self) -> Vec<f64> {
+        self.coefficients
+            .iter()
+            .zip(self.std_errors())
+            .map(|(&b, se)| if se > 0.0 { b / se } else { f64::INFINITY.copysign(b) })
+            .collect()
+    }
+
+    /// Predicts the response for one design row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        pmc_linalg::dot(row, &self.coefficients)
+    }
+
+    /// Predicts responses for a new design matrix with the same column
+    /// layout as the training design.
+    pub fn predict(&self, x: &Matrix) -> Result<Vec<f64>> {
+        if x.cols() != self.p {
+            return Err(StatsError::DimensionMismatch {
+                what: "ols predict",
+                rows: x.cols(),
+                response: self.p,
+            });
+        }
+        Ok(x.matvec(&self.coefficients)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 2 + 3x fitted exactly.
+    fn exact_line() -> (Matrix, Vec<f64>) {
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+            &[1.0, 4.0],
+        ])
+        .unwrap();
+        let y = vec![2.0, 5.0, 8.0, 11.0, 14.0];
+        (x, y)
+    }
+
+    /// Longley-style small fixture verified against statsmodels:
+    /// x = [1..8], y noisy line; coefficients and R² hard-coded from an
+    /// independent OLS computation (numpy.linalg.lstsq).
+    fn noisy_fixture() -> (Matrix, Vec<f64>) {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = vec![2.1, 3.9, 6.2, 8.1, 9.8, 12.2, 13.9, 16.1];
+        let rows: Vec<Vec<f64>> = xs.iter().map(|&v| vec![1.0, v]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs).unwrap(), y)
+    }
+
+    #[test]
+    fn exact_fit_has_r2_one() {
+        let (x, y) = exact_line();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-10);
+        assert!((fit.coefficients()[1] - 3.0).abs() < 1e-10);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+        assert!(fit.rss() < 1e-18);
+        assert!(fit.residuals().iter().all(|e| e.abs() < 1e-9));
+    }
+
+    #[test]
+    fn noisy_fit_matches_reference() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        // Reference values from the closed-form simple-regression
+        // solution: slope = Sxy/Sxx = 83.85/42, intercept = ȳ − b·x̄.
+        assert!((fit.coefficients()[0] - 0.0535714286).abs() < 1e-8);
+        assert!((fit.coefficients()[1] - 1.9964285714).abs() < 1e-8);
+        assert!(fit.r_squared() > 0.999 && fit.r_squared() < 1.0);
+        assert!(fit.adj_r_squared() < fit.r_squared());
+    }
+
+    #[test]
+    fn adj_r2_definition_holds() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let n = fit.n_observations() as f64;
+        let p = fit.n_predictors() as f64;
+        let expect = 1.0 - (1.0 - fit.r_squared()) * (n - 1.0) / (n - p);
+        assert!((fit.adj_r_squared() - expect).abs() < 1e-14);
+    }
+
+    #[test]
+    fn leverages_sum_to_p() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let sum: f64 = fit.leverage().iter().sum();
+        assert!((sum - fit.n_predictors() as f64).abs() < 1e-8);
+        assert!(fit.leverage().iter().all(|&h| (0.0..=1.0 + 1e-12).contains(&h)));
+    }
+
+    #[test]
+    fn hc_variants_ordering() {
+        // For designs with leverage < 1, HC3 ≥ HC2 ≥ HC0 element-wise on
+        // the diagonal; HC1 ≥ HC0 by its n/(n−p) factor.
+        let (x, y) = noisy_fixture();
+        let d = |kind| {
+            let fit = OlsFit::fit_with(
+                &x,
+                &y,
+                OlsOptions {
+                    covariance: kind,
+                    centered_tss: true,
+                },
+            )
+            .unwrap();
+            fit.std_errors()
+        };
+        let hc0 = d(CovarianceKind::HC0);
+        let hc1 = d(CovarianceKind::HC1);
+        let hc2 = d(CovarianceKind::HC2);
+        let hc3 = d(CovarianceKind::HC3);
+        for i in 0..2 {
+            assert!(hc1[i] >= hc0[i]);
+            assert!(hc2[i] >= hc0[i]);
+            assert!(hc3[i] >= hc2[i]);
+        }
+    }
+
+    #[test]
+    fn classical_covariance_matches_formula() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit_with(
+            &x,
+            &y,
+            OlsOptions {
+                covariance: CovarianceKind::Classical,
+                centered_tss: true,
+            },
+        )
+        .unwrap();
+        let manual = x.gram().spd_inverse().unwrap().scaled(fit.sigma2());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((fit.covariance()[(i, j)] - manual[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn hc3_matches_hand_sandwich() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        // Hand-build the sandwich.
+        let xtx_inv = x.gram().spd_inverse().unwrap();
+        let mut meat = Matrix::zeros(2, 2);
+        for i in 0..x.rows() {
+            let e = fit.residuals()[i];
+            let h = fit.leverage()[i];
+            let w = e * e / ((1.0 - h) * (1.0 - h));
+            let xi = x.row(i);
+            for a in 0..2 {
+                for b in 0..2 {
+                    meat[(a, b)] += w * xi[a] * xi[b];
+                }
+            }
+        }
+        let manual = xtx_inv.matmul(&meat).unwrap().matmul(&xtx_inv).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((fit.covariance()[(i, j)] - manual[(i, j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn predict_matches_fitted() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let pred = fit.predict(&x).unwrap();
+        for (p, f) in pred.iter().zip(fit.fitted()) {
+            assert!((p - f).abs() < 1e-12);
+        }
+        assert!((fit.predict_row(&[1.0, 10.0])
+            - (fit.coefficients()[0] + 10.0 * fit.coefficients()[1]))
+        .abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn collinear_design_is_an_error() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0, 4.0],
+            &[1.0, 3.0, 6.0],
+            &[1.0, 4.0, 8.0],
+            &[1.0, 5.0, 10.0],
+        ])
+        .unwrap();
+        let y = [1.0, 2.0, 3.0, 4.0];
+        assert!(matches!(
+            OlsFit::fit(&x, &y),
+            Err(StatsError::Linalg(_))
+        ));
+    }
+
+    #[test]
+    fn too_few_rows_is_an_error() {
+        let x = Matrix::identity(2);
+        assert!(matches!(
+            OlsFit::fit(&x, &[1.0, 2.0]),
+            Err(StatsError::TooFewObservations { .. })
+        ));
+    }
+
+    #[test]
+    fn constant_response_is_degenerate() {
+        let (x, _) = exact_line();
+        let y = vec![5.0; 5];
+        assert!(matches!(
+            OlsFit::fit(&x, &y),
+            Err(StatsError::Degenerate { .. })
+        ));
+    }
+
+    #[test]
+    fn r2_equals_squared_pearson_for_simple_regression() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let xs = x.column(1);
+        let r = crate::pearson(&xs, &y).unwrap();
+        assert!((fit.r_squared() - r * r).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_stats_have_coefficient_sign() {
+        let (x, y) = noisy_fixture();
+        let fit = OlsFit::fit(&x, &y).unwrap();
+        let t = fit.t_stats();
+        for (ti, bi) in t.iter().zip(fit.coefficients()) {
+            assert_eq!(ti.signum(), bi.signum());
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Variance Inflation Factors.
+//!
+//! The VIF of predictor *j* is `1/(1−R²ⱼ)` where `R²ⱼ` is the R² of an
+//! OLS regression predicting column *j* from all other predictors (plus
+//! an intercept). The paper uses the **mean VIF over the selected
+//! counters** as the stability gate: a mean VIF near 1 means the
+//! selected counters carry independent information; values above ~10
+//! signal multicollinearity that makes coefficients unstable across
+//! training sets (paper §III-B, Tables I and IV, and the CA_SNP
+//! blow-up to 26.4).
+
+use crate::ols::{CovarianceKind, OlsFit, OlsOptions};
+use crate::{Result, StatsError};
+use pmc_linalg::Matrix;
+
+/// VIF of column `j` of `x`, where `x` holds predictors only (no
+/// intercept column — one is added internally to the auxiliary
+/// regressions, matching the convention of `statsmodels`'
+/// `variance_inflation_factor` applied to a design with constant).
+///
+/// A column that is perfectly explained by the others yields
+/// `f64::INFINITY` rather than an error, because "infinite VIF" is a
+/// meaningful diagnostic the selection algorithm must be able to report.
+pub fn vif_for(x: &Matrix, j: usize) -> Result<f64> {
+    let (n, p) = x.shape();
+    if j >= p {
+        return Err(StatsError::DimensionMismatch {
+            what: "vif_for",
+            rows: p,
+            response: j,
+        });
+    }
+    if p < 2 {
+        return Err(StatsError::TooFewObservations {
+            what: "vif_for (needs >= 2 predictors)",
+            got: p,
+            need: 2,
+        });
+    }
+    if n < p + 1 {
+        return Err(StatsError::TooFewObservations {
+            what: "vif_for",
+            got: n,
+            need: p + 1,
+        });
+    }
+
+    let others: Vec<usize> = (0..p).filter(|&c| c != j).collect();
+    let mut design = Matrix::zeros(n, others.len() + 1);
+    for i in 0..n {
+        design[(i, 0)] = 1.0;
+        for (k, &c) in others.iter().enumerate() {
+            design[(i, k + 1)] = x[(i, c)];
+        }
+    }
+    let target = x.column(j);
+
+    let fit = OlsFit::fit_with(
+        &design,
+        &target,
+        OlsOptions {
+            covariance: CovarianceKind::Classical,
+            centered_tss: true,
+        },
+    );
+    match fit {
+        Ok(f) => {
+            let r2 = f.r_squared().clamp(0.0, 1.0);
+            if (1.0 - r2) <= f64::EPSILON {
+                Ok(f64::INFINITY)
+            } else {
+                Ok(1.0 / (1.0 - r2))
+            }
+        }
+        // Rank-deficient auxiliary design means column j (or the others)
+        // are exactly collinear: infinite inflation.
+        Err(StatsError::Linalg(_)) => Ok(f64::INFINITY),
+        // A constant target column has no variance to inflate; by
+        // convention its VIF is 1 (it carries no collinearity signal —
+        // the modeling layer rejects constant counters earlier anyway).
+        Err(StatsError::Degenerate { .. }) => Ok(1.0),
+        Err(e) => Err(e),
+    }
+}
+
+/// VIFs for every column of `x` (predictors only, no intercept column).
+pub fn vif_all(x: &Matrix) -> Result<Vec<f64>> {
+    (0..x.cols()).map(|j| vif_for(x, j)).collect()
+}
+
+/// Mean VIF across all columns — the paper's stability statistic.
+pub fn mean_vif(x: &Matrix) -> Result<f64> {
+    let v = vif_all(x)?;
+    Ok(v.iter().sum::<f64>() / v.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn independent_design(n: usize) -> Matrix {
+        // Deterministic pseudo-random, nearly orthogonal columns.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut m = Matrix::zeros(n, 3);
+        for i in 0..n {
+            for j in 0..3 {
+                m[(i, j)] = rng.gen_range(-1.0..1.0);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn independent_columns_have_vif_near_one() {
+        let x = independent_design(500);
+        let v = vif_all(&x).unwrap();
+        for vif in &v {
+            assert!(*vif >= 1.0 - 1e-9, "VIF must be >= 1, got {vif}");
+            assert!(*vif < 1.1, "independent columns should have VIF ~ 1, got {vif}");
+        }
+        assert!(mean_vif(&x).unwrap() < 1.1);
+    }
+
+    #[test]
+    fn correlated_columns_have_high_vif() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 300;
+        let mut m = Matrix::zeros(n, 3);
+        for i in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            m[(i, 0)] = a;
+            m[(i, 1)] = b;
+            // Column 2 ≈ a + b with small noise ⇒ all three inflate.
+            m[(i, 2)] = a + b + rng.gen_range(-0.01..0.01);
+        }
+        let v = vif_all(&m).unwrap();
+        assert!(v[2] > 100.0, "near-collinear column should blow up, got {}", v[2]);
+        assert!(mean_vif(&m).unwrap() > 10.0);
+    }
+
+    #[test]
+    fn exactly_collinear_column_is_infinite() {
+        let n = 50;
+        let mut m = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let t = i as f64;
+            m[(i, 0)] = t;
+            m[(i, 1)] = 2.0 * t + 1.0;
+        }
+        let v = vif_all(&m).unwrap();
+        assert!(v[0].is_infinite());
+        assert!(v[1].is_infinite());
+    }
+
+    #[test]
+    fn vif_known_value_two_predictors() {
+        // For two standardized predictors with correlation r,
+        // VIF = 1/(1−r²). Construct r exactly: x2 = r·x1 + sqrt(1−r²)·z
+        // with x1 ⟂ z by symmetric design.
+        let x1 = [1.0, -1.0, 1.0, -1.0, 2.0, -2.0];
+        let z = [1.0, 1.0, -1.0, -1.0, 0.0, 0.0];
+        let r = 0.8f64;
+        let s = (1.0 - r * r).sqrt();
+        let n = x1.len();
+        let mut m = Matrix::zeros(n, 2);
+        for i in 0..n {
+            m[(i, 0)] = x1[i];
+            m[(i, 1)] = r * x1[i] + s * z[i];
+        }
+        // Empirical correlation isn't exactly r because x1, z aren't
+        // variance-matched, so compute the expected VIF from data.
+        let c = crate::pearson(&m.column(0), &m.column(1)).unwrap();
+        let expect = 1.0 / (1.0 - c * c);
+        let got = vif_for(&m, 1).unwrap();
+        assert!((got - expect).abs() < 1e-8, "got {got}, expect {expect}");
+    }
+
+    #[test]
+    fn bad_column_index_is_error() {
+        let x = independent_design(20);
+        assert!(vif_for(&x, 5).is_err());
+    }
+
+    #[test]
+    fn single_predictor_is_error() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0]]).unwrap();
+        assert!(vif_for(&x, 0).is_err());
+    }
+
+    #[test]
+    fn constant_column_gets_conventional_one() {
+        let mut x = independent_design(50);
+        for i in 0..50 {
+            x[(i, 1)] = 3.0;
+        }
+        // Column 1 is constant: conventional VIF 1.
+        assert_eq!(vif_for(&x, 1).unwrap(), 1.0);
+    }
+}

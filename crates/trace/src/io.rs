@@ -1,0 +1,186 @@
+//! Trace serialization: JSON-lines, the workspace's OTF2 stand-in.
+//!
+//! Layout: line 1 is a header object (meta + definitions), every
+//! following line is one [`TraceRecord`]. The format is inspectable
+//! with standard tools (`jq`, `grep`) — the property that made OTF2 +
+//! existing tooling attractive to the paper's authors.
+
+use crate::record::{MetricDef, RegionDef, Trace, TraceError, TraceMeta, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, BufReader, Read, Write};
+
+#[derive(Serialize, Deserialize)]
+struct Header {
+    meta: TraceMeta,
+    regions: Vec<RegionDef>,
+    metrics: Vec<MetricDef>,
+}
+
+/// Writes a trace as JSON-lines.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
+    let header = Header {
+        meta: trace.meta.clone(),
+        regions: trace.regions.clone(),
+        metrics: trace.metrics.clone(),
+    };
+    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(b"\n")?;
+    for r in &trace.records {
+        serde_json::to_writer(&mut w, r)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from JSON-lines produced by [`write_trace`].
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let mut lines = BufReader::new(r).lines();
+    let header_line = lines
+        .next()
+        .ok_or_else(|| TraceError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "empty trace file",
+        )))??;
+    let header: Header = serde_json::from_str(&header_line)?;
+    let mut records = Vec::new();
+    for line in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        records.push(serde_json::from_str::<TraceRecord>(&line)?);
+    }
+    Ok(Trace {
+        meta: header.meta,
+        regions: header.regions,
+        metrics: header.metrics,
+        records,
+    })
+}
+
+/// Writes a trace to a file path, creating parent directories.
+pub fn write_trace_file(trace: &Trace, path: &std::path::Path) -> Result<(), TraceError> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let file = std::fs::File::create(path)?;
+    write_trace(trace, std::io::BufWriter::new(file))
+}
+
+/// Reads a trace from a file path written by [`write_trace_file`].
+pub fn read_trace_file(path: &std::path::Path) -> Result<Trace, TraceError> {
+    read_trace(std::fs::File::open(path)?)
+}
+
+/// Serializes a trace to an in-memory string (convenience for tests
+/// and examples).
+pub fn trace_to_string(trace: &Trace) -> Result<String, TraceError> {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| {
+        TraceError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetricKind, MetricMode};
+
+    fn sample_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                workload_id: 3,
+                workload: "compute".into(),
+                suite: "roco2".into(),
+                threads: 12,
+                freq_mhz: 2000,
+                run_id: 4,
+            },
+            regions: vec![RegionDef {
+                id: 1,
+                name: "main".into(),
+            }],
+            metrics: vec![MetricDef {
+                id: 0,
+                name: "power".into(),
+                unit: "W".into(),
+                mode: MetricMode::Absolute,
+                kind: MetricKind::Asynchronous,
+            }],
+            records: vec![
+                TraceRecord::Enter {
+                    time_ns: 0,
+                    region: 1,
+                },
+                TraceRecord::Metric {
+                    time_ns: 5,
+                    metric: 0,
+                    value: 123.456,
+                },
+                TraceRecord::Leave {
+                    time_ns: 10,
+                    region: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let s = trace_to_string(&t).unwrap();
+        let back = read_trace(s.as_bytes()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn format_is_line_oriented_json() {
+        let s = trace_to_string(&sample_trace()).unwrap();
+        let lines: Vec<&str> = s.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 4); // header + 3 records
+        for l in lines {
+            assert!(serde_json::from_str::<serde_json::Value>(l).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_trace(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn garbage_record_is_an_error() {
+        let mut s = trace_to_string(&sample_trace()).unwrap();
+        s.push_str("not json\n");
+        assert!(matches!(
+            read_trace(s.as_bytes()),
+            Err(TraceError::Serde(_))
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("pmc-trace-io-test");
+        let path = dir.join("nested").join("run0.trace.jsonl");
+        write_trace_file(&t, &path).unwrap();
+        let back = read_trace_file(&path).unwrap();
+        assert_eq!(t, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_trace_file(std::path::Path::new("/nonexistent/x.jsonl")).unwrap_err();
+        assert!(matches!(err, TraceError::Io(_)));
+    }
+
+    #[test]
+    fn blank_lines_tolerated() {
+        let mut s = trace_to_string(&sample_trace()).unwrap();
+        s.push('\n');
+        let back = read_trace(s.as_bytes()).unwrap();
+        assert_eq!(back.records.len(), 3);
+    }
+}

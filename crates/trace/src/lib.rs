@@ -1,0 +1,40 @@
+//! # pmc-trace
+//!
+//! The data-acquisition pipeline of the reproduction, mirroring the
+//! paper's Score-P / OTF2 workflow:
+//!
+//! * [`record`] — an OTF2-like trace: definitions (regions, metrics,
+//!   run metadata) plus a chronological stream of enter/leave events
+//!   and metric samples.
+//! * [`plugin`] — Score-P-style *metric plugins*: the power plugin
+//!   (`scorep_ni` analog), the per-core voltage plugin
+//!   (`scorep_x86_adapt` analog) and the asynchronous PAPI plugin
+//!   (`scorep_plugin_apapi` analog). Each turns a simulated phase
+//!   observation into timestamped metric samples.
+//! * [`io`] — JSON-lines serialization of traces (the OTF2 file-format
+//!   role: an inspectable interchange format).
+//! * [`profile`] — post-processing: turning a trace into *phase
+//!   profiles* (start/end, time-weighted averages of async metrics,
+//!   counter deltas, thread count, workload identity) — the custom
+//!   OTF2 post-processing tool of the paper.
+//! * [`merge`] — combining profiles from multiple runs of the same
+//!   experiment, because the counter-group limit means no single run
+//!   records all 54 counters.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod io;
+pub mod merge;
+pub mod plugin;
+pub mod profile;
+pub mod record;
+pub mod tracer;
+
+pub use merge::{merge_runs, MergedProfile};
+pub use tracer::Tracer;
+pub use plugin::{MetricPlugin, PapiPlugin, PowerPlugin, VoltagePlugin};
+pub use profile::{extract_profiles, PhaseProfile};
+pub use record::{
+    MetricDef, MetricKind, MetricMode, RegionDef, Trace, TraceError, TraceMeta, TraceRecord,
+};

@@ -1,0 +1,265 @@
+//! Run merging.
+//!
+//! The counter-group limit means a single run records only a handful of
+//! the 54 counters, so the paper runs each (workload, frequency,
+//! thread-count) experiment once per counter group and merges
+//! afterwards: "the data from multiple runs is processed to calculate
+//! average power and voltage across all runs. Furthermore, the phase
+//! profiles from multiple runs are combined together."
+
+use crate::profile::PhaseProfile;
+use pmc_events::PapiEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A phase profile with full counter coverage, assembled from all runs
+/// of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergedProfile {
+    /// Workload id.
+    pub workload_id: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Suite name.
+    pub suite: String,
+    /// Worker threads.
+    pub threads: u32,
+    /// Operating frequency, MHz.
+    pub freq_mhz: u32,
+    /// Phase name.
+    pub phase: String,
+    /// Phase duration, seconds (averaged across runs).
+    pub duration_s: f64,
+    /// Average measured power across runs, W.
+    pub power_avg: f64,
+    /// Average voltage readout across runs, V.
+    pub voltage_avg: f64,
+    /// Counter totals, averaged over the runs that recorded each
+    /// counter, keyed by event.
+    pub counters: BTreeMap<PapiEvent, f64>,
+    /// Number of runs merged.
+    pub runs: u32,
+}
+
+/// Merge key: one experiment's phase.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Clone)]
+struct Key {
+    workload_id: u32,
+    phase: String,
+    threads: u32,
+    freq_mhz: u32,
+}
+
+/// Errors from merging.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// A profile was missing power or voltage data.
+    IncompleteProfile {
+        /// Workload of the offending profile.
+        workload: String,
+        /// Phase of the offending profile.
+        phase: String,
+        /// What was missing.
+        missing: &'static str,
+    },
+    /// A counter name in a profile did not parse as a PAPI event.
+    UnknownCounter {
+        /// The unparseable name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::IncompleteProfile {
+                workload,
+                phase,
+                missing,
+            } => write!(f, "profile {workload}/{phase} is missing {missing}"),
+            MergeError::UnknownCounter { name } => {
+                write!(f, "profile contains unknown counter {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges per-run phase profiles into one profile per experiment phase
+/// with averaged power/voltage and unioned counters.
+pub fn merge_runs(profiles: &[PhaseProfile]) -> Result<Vec<MergedProfile>, MergeError> {
+    struct Acc {
+        workload: String,
+        suite: String,
+        power_sum: f64,
+        volt_sum: f64,
+        dur_sum: f64,
+        n: u32,
+        counters: BTreeMap<PapiEvent, (f64, u32)>,
+    }
+
+    let mut groups: BTreeMap<Key, Acc> = BTreeMap::new();
+
+    for p in profiles {
+        let power = p.power_avg.ok_or_else(|| MergeError::IncompleteProfile {
+            workload: p.workload.clone(),
+            phase: p.phase.clone(),
+            missing: "power",
+        })?;
+        let voltage = p.voltage_avg.ok_or_else(|| MergeError::IncompleteProfile {
+            workload: p.workload.clone(),
+            phase: p.phase.clone(),
+            missing: "voltage",
+        })?;
+
+        let key = Key {
+            workload_id: p.workload_id,
+            phase: p.phase.clone(),
+            threads: p.threads,
+            freq_mhz: p.freq_mhz,
+        };
+        let acc = groups.entry(key).or_insert_with(|| Acc {
+            workload: p.workload.clone(),
+            suite: p.suite.clone(),
+            power_sum: 0.0,
+            volt_sum: 0.0,
+            dur_sum: 0.0,
+            n: 0,
+            counters: BTreeMap::new(),
+        });
+        acc.power_sum += power;
+        acc.volt_sum += voltage;
+        acc.dur_sum += p.duration_s();
+        acc.n += 1;
+        for (name, &value) in &p.counters {
+            let event: PapiEvent = name
+                .parse()
+                .map_err(|_| MergeError::UnknownCounter { name: name.clone() })?;
+            let slot = acc.counters.entry(event).or_insert((0.0, 0));
+            slot.0 += value;
+            slot.1 += 1;
+        }
+    }
+
+    Ok(groups
+        .into_iter()
+        .map(|(key, acc)| MergedProfile {
+            workload_id: key.workload_id,
+            workload: acc.workload,
+            suite: acc.suite,
+            threads: key.threads,
+            freq_mhz: key.freq_mhz,
+            phase: key.phase,
+            duration_s: acc.dur_sum / acc.n as f64,
+            power_avg: acc.power_sum / acc.n as f64,
+            voltage_avg: acc.volt_sum / acc.n as f64,
+            counters: acc
+                .counters
+                .into_iter()
+                .map(|(e, (sum, n))| (e, sum / n as f64))
+                .collect(),
+            runs: acc.n,
+        })
+        .collect())
+}
+
+impl MergedProfile {
+    /// Counter value for an event, if covered.
+    pub fn counter(&self, e: PapiEvent) -> Option<f64> {
+        self.counters.get(&e).copied()
+    }
+
+    /// True when all 54 presets are covered.
+    pub fn has_full_coverage(&self) -> bool {
+        self.counters.len() == PapiEvent::COUNT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(run: u32, power: f64, counters: &[(&str, f64)]) -> PhaseProfile {
+        PhaseProfile {
+            workload_id: 4,
+            workload: "sqrt".into(),
+            suite: "roco2".into(),
+            threads: 24,
+            freq_mhz: 2400,
+            run_id: run,
+            phase: "main".into(),
+            start_ns: 0,
+            end_ns: 10_000_000_000,
+            power_avg: Some(power),
+            voltage_avg: Some(1.0),
+            counters: counters
+                .iter()
+                .map(|(n, v)| (n.to_string(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn power_averaged_counters_unioned() {
+        let p1 = profile(0, 200.0, &[("PAPI_TOT_CYC", 1e9), ("PAPI_PRF_DM", 5e6)]);
+        let p2 = profile(1, 210.0, &[("PAPI_TOT_CYC", 1.1e9), ("PAPI_TLB_IM", 3e4)]);
+        let merged = merge_runs(&[p1, p2]).unwrap();
+        assert_eq!(merged.len(), 1);
+        let m = &merged[0];
+        assert_eq!(m.runs, 2);
+        assert!((m.power_avg - 205.0).abs() < 1e-12);
+        // TOT_CYC seen twice → averaged; others once.
+        assert!((m.counter(PapiEvent::TOT_CYC).unwrap() - 1.05e9).abs() < 1.0);
+        assert_eq!(m.counter(PapiEvent::PRF_DM), Some(5e6));
+        assert_eq!(m.counter(PapiEvent::TLB_IM), Some(3e4));
+        assert_eq!(m.counter(PapiEvent::BR_MSP), None);
+        assert!(!m.has_full_coverage());
+    }
+
+    #[test]
+    fn distinct_experiments_stay_separate() {
+        let mut p1 = profile(0, 200.0, &[("PAPI_TOT_CYC", 1e9)]);
+        let mut p2 = profile(0, 150.0, &[("PAPI_TOT_CYC", 0.6e9)]);
+        p2.freq_mhz = 1200;
+        let mut p3 = profile(0, 180.0, &[("PAPI_TOT_CYC", 0.5e9)]);
+        p3.threads = 12;
+        p1.run_id = 0;
+        let merged = merge_runs(&[p1, p2, p3]).unwrap();
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn missing_power_rejected() {
+        let mut p = profile(0, 200.0, &[]);
+        p.power_avg = None;
+        assert!(matches!(
+            merge_runs(&[p]),
+            Err(MergeError::IncompleteProfile { missing: "power", .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_counter_rejected() {
+        let p = profile(0, 200.0, &[("PAPI_NOT_A_COUNTER", 1.0)]);
+        assert!(matches!(
+            merge_runs(&[p]),
+            Err(MergeError::UnknownCounter { .. })
+        ));
+    }
+
+    #[test]
+    fn duration_averaged() {
+        let mut p1 = profile(0, 100.0, &[]);
+        let mut p2 = profile(1, 100.0, &[]);
+        p1.end_ns = 10_000_000_000;
+        p2.end_ns = 20_000_000_000;
+        let m = merge_runs(&[p1, p2]).unwrap();
+        assert!((m[0].duration_s - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(merge_runs(&[]).unwrap().is_empty());
+    }
+}

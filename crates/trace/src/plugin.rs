@@ -1,0 +1,377 @@
+//! Score-P-style metric plugins.
+//!
+//! The paper attaches power, voltage and PAPI data to application
+//! traces through the Score-P metric-plugin interface
+//! (`scorep_ni`, `scorep_x86_adapt`, `scorep_plugin_apapi`). Here a
+//! [`MetricPlugin`] turns one simulated [`PhaseObservation`] into the
+//! timestamped samples those plugins would have recorded during the
+//! phase. Metric ids in the returned records are *plugin-local*
+//! (0-based); the tracer re-bases them when assembling a trace.
+
+use crate::record::{MetricDef, MetricKind, MetricMode, TraceRecord};
+use pmc_cpusim::rng::SplitMix64;
+use pmc_cpusim::PhaseObservation;
+use pmc_events::scheduler::CounterGroup;
+
+/// A source of asynchronous metric samples for phase windows.
+pub trait MetricPlugin {
+    /// Plugin name (for diagnostics).
+    fn name(&self) -> &str;
+
+    /// The metrics this plugin records, with plugin-local ids `0..n`.
+    fn metric_defs(&self) -> Vec<MetricDef>;
+
+    /// Samples for one phase window `[start_ns, end_ns]`, using
+    /// plugin-local metric ids. Records must be chronological.
+    fn sample_phase(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        obs: &PhaseObservation,
+        rng: &mut SplitMix64,
+    ) -> Vec<TraceRecord>;
+}
+
+/// Evenly spaced timestamps covering `[start, end]`, at least two.
+fn sample_times(start_ns: u64, end_ns: u64, rate_hz: f64) -> Vec<u64> {
+    let dur_s = (end_ns - start_ns) as f64 / 1e9;
+    let n = ((dur_s * rate_hz).ceil() as usize).max(2);
+    (0..=n)
+        .map(|i| start_ns + ((end_ns - start_ns) as f64 * i as f64 / n as f64) as u64)
+        .collect()
+}
+
+/// Jitter vector whose *trapezoidal* time-weighted average over evenly
+/// spaced samples is exactly zero: endpoints are pinned to zero and the
+/// interior is mean-corrected. This keeps phase-profile extraction
+/// (which integrates trapezoidally) in exact agreement with the
+/// instrument's phase average.
+fn zero_integral_jitter(n: usize, sigma: f64, rng: &mut SplitMix64) -> Vec<f64> {
+    let mut jit: Vec<f64> = (0..n).map(|_| sigma * rng.normal()).collect();
+    if n >= 2 {
+        jit[0] = 0.0;
+        jit[n - 1] = 0.0;
+    }
+    if n > 2 {
+        let interior_mean = jit[1..n - 1].iter().sum::<f64>() / (n - 2) as f64;
+        for j in &mut jit[1..n - 1] {
+            *j -= interior_mean;
+        }
+    }
+    jit
+}
+
+/// The wattmeter plugin (`scorep_ni` analog): absolute machine power
+/// samples whose time average equals the instrument's phase average.
+#[derive(Debug, Clone)]
+pub struct PowerPlugin {
+    /// Sampling rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Visual sample-to-sample jitter σ, watts (mean-corrected so the
+    /// phase average stays exact).
+    pub jitter_sigma: f64,
+}
+
+impl Default for PowerPlugin {
+    fn default() -> Self {
+        PowerPlugin {
+            sample_rate_hz: 20.0,
+            jitter_sigma: 1.5,
+        }
+    }
+}
+
+impl MetricPlugin for PowerPlugin {
+    fn name(&self) -> &str {
+        "power"
+    }
+
+    fn metric_defs(&self) -> Vec<MetricDef> {
+        vec![MetricDef {
+            id: 0,
+            name: "power".into(),
+            unit: "W".into(),
+            mode: MetricMode::Absolute,
+            kind: MetricKind::Asynchronous,
+        }]
+    }
+
+    fn sample_phase(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        obs: &PhaseObservation,
+        rng: &mut SplitMix64,
+    ) -> Vec<TraceRecord> {
+        let times = sample_times(start_ns, end_ns, self.sample_rate_hz);
+        // Jitter whose trapezoidal integral is zero, so the extracted
+        // phase average recovers the measured value exactly.
+        let jit = zero_integral_jitter(times.len(), self.jitter_sigma, rng);
+        times
+            .iter()
+            .zip(&jit)
+            .map(|(&t, &j)| TraceRecord::Metric {
+                time_ns: t,
+                metric: 0,
+                value: (obs.power_measured + j).max(0.0),
+            })
+            .collect()
+    }
+}
+
+/// The per-core voltage plugin (`scorep_x86_adapt` analog).
+#[derive(Debug, Clone)]
+pub struct VoltagePlugin {
+    /// Sampling rate, Hz.
+    pub sample_rate_hz: f64,
+    /// Readout LSB jitter σ, volts (mean-corrected).
+    pub jitter_sigma: f64,
+}
+
+impl Default for VoltagePlugin {
+    fn default() -> Self {
+        VoltagePlugin {
+            sample_rate_hz: 10.0,
+            jitter_sigma: 0.001,
+        }
+    }
+}
+
+impl MetricPlugin for VoltagePlugin {
+    fn name(&self) -> &str {
+        "voltage"
+    }
+
+    fn metric_defs(&self) -> Vec<MetricDef> {
+        vec![MetricDef {
+            id: 0,
+            name: "voltage".into(),
+            unit: "V".into(),
+            mode: MetricMode::Absolute,
+            kind: MetricKind::Asynchronous,
+        }]
+    }
+
+    fn sample_phase(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        obs: &PhaseObservation,
+        rng: &mut SplitMix64,
+    ) -> Vec<TraceRecord> {
+        let times = sample_times(start_ns, end_ns, self.sample_rate_hz);
+        let jit = zero_integral_jitter(times.len(), self.jitter_sigma, rng);
+        times
+            .iter()
+            .zip(&jit)
+            .map(|(&t, &j)| TraceRecord::Metric {
+                time_ns: t,
+                metric: 0,
+                value: obs.voltage + j,
+            })
+            .collect()
+    }
+}
+
+/// The asynchronous PAPI plugin (`scorep_plugin_apapi` analog):
+/// accumulating counter samples for one scheduled [`CounterGroup`].
+///
+/// Counts grow linearly across the phase (steady-state kernels), so
+/// `last − first` over any window recovers the window's share of the
+/// phase total.
+#[derive(Debug, Clone)]
+pub struct PapiPlugin {
+    /// The counter group this run records.
+    pub group: CounterGroup,
+    /// Sampling rate, Hz.
+    pub sample_rate_hz: f64,
+}
+
+impl PapiPlugin {
+    /// Creates the plugin for a scheduled group at the default 10 Hz.
+    pub fn new(group: CounterGroup) -> Self {
+        PapiPlugin {
+            group,
+            sample_rate_hz: 10.0,
+        }
+    }
+}
+
+impl MetricPlugin for PapiPlugin {
+    fn name(&self) -> &str {
+        "apapi"
+    }
+
+    fn metric_defs(&self) -> Vec<MetricDef> {
+        self.group
+            .events()
+            .iter()
+            .enumerate()
+            .map(|(i, e)| MetricDef {
+                id: i as u32,
+                name: e.papi_name(),
+                unit: "events".into(),
+                mode: MetricMode::Accumulated,
+                kind: MetricKind::Asynchronous,
+            })
+            .collect()
+    }
+
+    fn sample_phase(
+        &self,
+        start_ns: u64,
+        end_ns: u64,
+        obs: &PhaseObservation,
+        _rng: &mut SplitMix64,
+    ) -> Vec<TraceRecord> {
+        let times = sample_times(start_ns, end_ns, self.sample_rate_hz);
+        let span = (end_ns - start_ns) as f64;
+        let events = self.group.events();
+        let mut out = Vec::with_capacity(times.len() * events.len());
+        for &t in &times {
+            let frac = if span > 0.0 {
+                (t - start_ns) as f64 / span
+            } else {
+                1.0
+            };
+            for (i, e) in events.iter().enumerate() {
+                let total = obs.counters[e.index()];
+                out.push(TraceRecord::Metric {
+                    time_ns: t,
+                    metric: i as u32,
+                    value: total * frac,
+                });
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext};
+    use pmc_events::scheduler::CounterScheduler;
+    use pmc_events::PapiEvent;
+
+    fn obs() -> PhaseObservation {
+        let m = Machine::new(MachineConfig::haswell_ep(5));
+        m.observe(
+            &Activity::default(),
+            &PhaseContext {
+                workload_id: 1,
+                phase_id: 0,
+                run_id: 0,
+                threads: 24,
+                freq_mhz: 2400,
+                duration_s: 10.0,
+            },
+        )
+    }
+
+    #[test]
+    fn power_samples_average_to_measurement() {
+        let p = PowerPlugin::default();
+        let o = obs();
+        let mut rng = SplitMix64::new(1);
+        let recs = p.sample_phase(0, 10_000_000_000, &o, &mut rng);
+        assert!(recs.len() > 100);
+        let vals: Vec<f64> = recs
+            .iter()
+            .map(|r| match r {
+                TraceRecord::Metric { value, .. } => *value,
+                _ => panic!("non-metric record"),
+            })
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - o.power_measured).abs() < 1e-6, "mean {mean}");
+        // But individual samples do jitter.
+        assert!(vals.iter().any(|v| (v - o.power_measured).abs() > 0.1));
+    }
+
+    #[test]
+    fn voltage_samples_average_to_readout() {
+        let p = VoltagePlugin::default();
+        let o = obs();
+        let mut rng = SplitMix64::new(2);
+        let recs = p.sample_phase(0, 5_000_000_000, &o, &mut rng);
+        let vals: Vec<f64> = recs
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Metric { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - o.voltage).abs() < 1e-9);
+    }
+
+    #[test]
+    fn papi_samples_accumulate_to_totals() {
+        let groups = CounterScheduler::haswell_default()
+            .schedule(&[PapiEvent::PRF_DM, PapiEvent::TOT_CYC])
+            .unwrap();
+        let plugin = PapiPlugin::new(groups[0].clone());
+        let o = obs();
+        let mut rng = SplitMix64::new(3);
+        let recs = plugin.sample_phase(0, 10_000_000_000, &o, &mut rng);
+        let defs = plugin.metric_defs();
+        // For every metric, last − first must equal the phase total.
+        for d in &defs {
+            let vals: Vec<f64> = recs
+                .iter()
+                .filter_map(|r| match r {
+                    TraceRecord::Metric { metric, value, .. } if *metric == d.id => Some(*value),
+                    _ => None,
+                })
+                .collect();
+            let event: PapiEvent = d.name.parse().unwrap();
+            let total = o.counters[event.index()];
+            let delta = vals.last().unwrap() - vals.first().unwrap();
+            assert!(
+                (delta - total).abs() / total.max(1.0) < 1e-9,
+                "{}: {delta} vs {total}",
+                d.name
+            );
+            // Monotone accumulation.
+            for w in vals.windows(2) {
+                assert!(w[1] >= w[0] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn defs_are_local_and_named() {
+        let groups = CounterScheduler::haswell_default()
+            .schedule(&[PapiEvent::PRF_DM])
+            .unwrap();
+        let plugin = PapiPlugin::new(groups[0].clone());
+        let defs = plugin.metric_defs();
+        // 3 fixed + 1 programmable.
+        assert_eq!(defs.len(), 4);
+        for (i, d) in defs.iter().enumerate() {
+            assert_eq!(d.id, i as u32);
+            assert!(d.name.starts_with("PAPI_"));
+            assert_eq!(d.mode, MetricMode::Accumulated);
+        }
+    }
+
+    #[test]
+    fn sample_times_cover_window() {
+        let ts = sample_times(100, 1100, 1e9);
+        assert_eq!(*ts.first().unwrap(), 100);
+        assert_eq!(*ts.last().unwrap(), 1100);
+        for w in ts.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn degenerate_window_still_samples() {
+        let p = PowerPlugin::default();
+        let o = obs();
+        let mut rng = SplitMix64::new(4);
+        let recs = p.sample_phase(500, 500, &o, &mut rng);
+        assert!(recs.len() >= 2);
+    }
+}

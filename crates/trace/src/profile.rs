@@ -1,0 +1,314 @@
+//! Phase-profile extraction — the paper's OTF2 post-processing step.
+//!
+//! A *phase profile* condenses one region occurrence in a trace into
+//! the quantities the modeling layer consumes: start/end time, the
+//! time-weighted average of each absolute async metric (power,
+//! voltage), the in-window delta of each accumulating metric (PAPI
+//! counters), the thread count and the workload identity.
+
+use crate::record::{MetricMode, Trace, TraceError, TraceRecord};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The distilled result of one phase execution within one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseProfile {
+    /// Workload id from the run metadata.
+    pub workload_id: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Suite name.
+    pub suite: String,
+    /// Worker threads of the run.
+    pub threads: u32,
+    /// Operating frequency of the run, MHz.
+    pub freq_mhz: u32,
+    /// Acquisition run number.
+    pub run_id: u32,
+    /// Phase (region) name.
+    pub phase: String,
+    /// Window start, ns.
+    pub start_ns: u64,
+    /// Window end, ns.
+    pub end_ns: u64,
+    /// Time-weighted average power over the window, W (if recorded).
+    pub power_avg: Option<f64>,
+    /// Time-weighted average voltage over the window, V (if recorded).
+    pub voltage_avg: Option<f64>,
+    /// PAPI counter totals inside the window, keyed by full PAPI name.
+    pub counters: BTreeMap<String, f64>,
+}
+
+impl PhaseProfile {
+    /// Window duration in seconds.
+    pub fn duration_s(&self) -> f64 {
+        (self.end_ns - self.start_ns) as f64 / 1e9
+    }
+}
+
+/// Time-weighted (trapezoidal) average of `(t, v)` samples. Falls back
+/// to the plain mean when all samples share one timestamp.
+fn time_weighted_avg(samples: &[(u64, f64)]) -> Option<f64> {
+    match samples.len() {
+        0 => None,
+        1 => Some(samples[0].1),
+        _ => {
+            let span = (samples.last().unwrap().0 - samples[0].0) as f64;
+            if span == 0.0 {
+                let s: f64 = samples.iter().map(|&(_, v)| v).sum();
+                return Some(s / samples.len() as f64);
+            }
+            let mut acc = 0.0;
+            for w in samples.windows(2) {
+                let dt = (w[1].0 - w[0].0) as f64;
+                acc += 0.5 * (w[0].1 + w[1].1) * dt;
+            }
+            Some(acc / span)
+        }
+    }
+}
+
+/// Extracts one profile per region occurrence, in trace order.
+///
+/// The extractor walks the record stream positionally (samples between
+/// an `Enter` and its matching `Leave` belong to that phase), which is
+/// robust to equal timestamps at phase boundaries.
+pub fn extract_profiles(trace: &Trace) -> Result<Vec<PhaseProfile>, TraceError> {
+    trace.validate()?;
+
+    let mut out = Vec::new();
+    let mut active: Option<ActivePhase> = None;
+
+    for rec in &trace.records {
+        match *rec {
+            TraceRecord::Enter { time_ns, region } => {
+                // Sequential phases only (matches our traces); nested
+                // regions would have been rejected by acquisition.
+                active = Some(ActivePhase {
+                    region,
+                    start_ns: time_ns,
+                    samples: BTreeMap::new(),
+                });
+            }
+            TraceRecord::Leave { time_ns, region } => {
+                let phase = active.take().ok_or(TraceError::BrokenNesting { region })?;
+                out.push(phase.finish(trace, time_ns)?);
+            }
+            TraceRecord::Metric {
+                time_ns,
+                metric,
+                value,
+            } => {
+                if let Some(ph) = active.as_mut() {
+                    ph.samples.entry(metric).or_default().push((time_ns, value));
+                }
+                // Samples outside any region (warm-up) are dropped, as
+                // the paper's tooling does.
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ActivePhase {
+    region: u32,
+    start_ns: u64,
+    samples: BTreeMap<u32, Vec<(u64, f64)>>,
+}
+
+impl ActivePhase {
+    fn finish(self, trace: &Trace, end_ns: u64) -> Result<PhaseProfile, TraceError> {
+        let region_name = trace
+            .region(self.region)
+            .map(|r| r.name.clone())
+            .unwrap_or_else(|| format!("region-{}", self.region));
+
+        let mut power_avg = None;
+        let mut voltage_avg = None;
+        let mut counters = BTreeMap::new();
+
+        for (metric_id, samples) in &self.samples {
+            let def = trace
+                .metrics
+                .iter()
+                .find(|m| m.id == *metric_id)
+                .ok_or(TraceError::UndefinedId {
+                    what: "metric",
+                    id: *metric_id,
+                })?;
+            match def.mode {
+                MetricMode::Absolute => {
+                    let avg = time_weighted_avg(samples);
+                    match def.name.as_str() {
+                        "power" => power_avg = avg,
+                        "voltage" => voltage_avg = avg,
+                        // Other absolute metrics are currently ignored
+                        // by the profile (none are defined).
+                        _ => {}
+                    }
+                }
+                MetricMode::Accumulated => {
+                    if samples.len() < 2 {
+                        return Err(TraceError::MissingSamples {
+                            metric: def.name.clone(),
+                            region: self.region,
+                        });
+                    }
+                    let delta = samples.last().unwrap().1 - samples[0].1;
+                    counters.insert(def.name.clone(), delta.max(0.0));
+                }
+            }
+        }
+
+        Ok(PhaseProfile {
+            workload_id: trace.meta.workload_id,
+            workload: trace.meta.workload.clone(),
+            suite: trace.meta.suite.clone(),
+            threads: trace.meta.threads,
+            freq_mhz: trace.meta.freq_mhz,
+            run_id: trace.meta.run_id,
+            phase: region_name,
+            start_ns: self.start_ns,
+            end_ns,
+            power_avg,
+            voltage_avg,
+            counters,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetricDef, MetricKind, RegionDef, TraceMeta};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            workload_id: 6,
+            workload: "memory".into(),
+            suite: "roco2".into(),
+            threads: 24,
+            freq_mhz: 2400,
+            run_id: 2,
+        }
+    }
+
+    fn power_def() -> MetricDef {
+        MetricDef {
+            id: 0,
+            name: "power".into(),
+            unit: "W".into(),
+            mode: MetricMode::Absolute,
+            kind: MetricKind::Asynchronous,
+        }
+    }
+
+    fn counter_def(id: u32, name: &str) -> MetricDef {
+        MetricDef {
+            id,
+            name: name.into(),
+            unit: "events".into(),
+            mode: MetricMode::Accumulated,
+            kind: MetricKind::Asynchronous,
+        }
+    }
+
+    #[test]
+    fn time_weighted_avg_uneven_spacing() {
+        // v=0 for 1s then v=10 for 9s (trapezoid between points).
+        let s = vec![(0u64, 0.0), (1_000_000_000, 0.0), (10_000_000_000, 10.0)];
+        // Segments: [0,1s] avg 0 → area 0; [1s,10s] avg 5 over 9s → 45.
+        // Total 45 / 10 = 4.5.
+        assert!((time_weighted_avg(&s).unwrap() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_avg_edge_cases() {
+        assert_eq!(time_weighted_avg(&[]), None);
+        assert_eq!(time_weighted_avg(&[(5, 7.0)]), Some(7.0));
+        assert_eq!(time_weighted_avg(&[(5, 4.0), (5, 8.0)]), Some(6.0));
+    }
+
+    fn two_phase_trace() -> Trace {
+        Trace {
+            meta: meta(),
+            regions: vec![
+                RegionDef { id: 1, name: "warm".into() },
+                RegionDef { id: 2, name: "main".into() },
+            ],
+            metrics: vec![power_def(), counter_def(1, "PAPI_TOT_CYC")],
+            records: vec![
+                TraceRecord::Enter { time_ns: 0, region: 1 },
+                TraceRecord::Metric { time_ns: 0, metric: 0, value: 100.0 },
+                TraceRecord::Metric { time_ns: 0, metric: 1, value: 0.0 },
+                TraceRecord::Metric { time_ns: 1_000, metric: 0, value: 100.0 },
+                TraceRecord::Metric { time_ns: 1_000, metric: 1, value: 500.0 },
+                TraceRecord::Leave { time_ns: 1_000, region: 1 },
+                TraceRecord::Enter { time_ns: 1_000, region: 2 },
+                TraceRecord::Metric { time_ns: 1_000, metric: 0, value: 200.0 },
+                TraceRecord::Metric { time_ns: 1_000, metric: 1, value: 500.0 },
+                TraceRecord::Metric { time_ns: 3_000, metric: 0, value: 200.0 },
+                TraceRecord::Metric { time_ns: 3_000, metric: 1, value: 2500.0 },
+                TraceRecord::Leave { time_ns: 3_000, region: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn extracts_one_profile_per_phase() {
+        let profiles = extract_profiles(&two_phase_trace()).unwrap();
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].phase, "warm");
+        assert_eq!(profiles[1].phase, "main");
+        assert_eq!(profiles[0].power_avg, Some(100.0));
+        assert_eq!(profiles[1].power_avg, Some(200.0));
+        // Counter deltas are per window, not cumulative across phases.
+        assert_eq!(profiles[0].counters["PAPI_TOT_CYC"], 500.0);
+        assert_eq!(profiles[1].counters["PAPI_TOT_CYC"], 2000.0);
+    }
+
+    #[test]
+    fn boundary_samples_are_not_double_counted() {
+        // The sample at t=1000 appears once in each phase (each plugin
+        // emitted its own); positional extraction keeps them separate.
+        let profiles = extract_profiles(&two_phase_trace()).unwrap();
+        assert_eq!(profiles[0].end_ns, 1_000);
+        assert_eq!(profiles[1].start_ns, 1_000);
+        assert!((profiles[0].duration_s() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_with_single_sample_is_error() {
+        let mut t = two_phase_trace();
+        // Remove the second TOT_CYC sample of phase 1.
+        t.records.remove(4);
+        assert!(matches!(
+            extract_profiles(&t),
+            Err(TraceError::MissingSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn metadata_propagates() {
+        let p = &extract_profiles(&two_phase_trace()).unwrap()[0];
+        assert_eq!(p.workload, "memory");
+        assert_eq!(p.threads, 24);
+        assert_eq!(p.freq_mhz, 2400);
+        assert_eq!(p.run_id, 2);
+    }
+
+    #[test]
+    fn orphan_samples_outside_regions_dropped() {
+        let mut t = two_phase_trace();
+        t.records.insert(
+            0,
+            TraceRecord::Metric {
+                time_ns: 0,
+                metric: 0,
+                value: 9999.0,
+            },
+        );
+        let profiles = extract_profiles(&t).unwrap();
+        assert_eq!(profiles[0].power_avg, Some(100.0));
+    }
+}

@@ -1,0 +1,372 @@
+//! Trace structure: definitions and the event stream.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A region (code section) definition — one per workload phase here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegionDef {
+    /// Region id referenced by enter/leave records.
+    pub id: u32,
+    /// Region name (phase name).
+    pub name: String,
+}
+
+/// How successive samples of a metric relate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricMode {
+    /// Each sample is an instantaneous value (power, voltage).
+    Absolute,
+    /// Samples are monotonically accumulating counts; the value over a
+    /// window is `last − first` (PAPI counters).
+    Accumulated,
+}
+
+/// Whether a metric is sampled synchronously with events or
+/// asynchronously on its own timer (Score-P distinction; all plugins
+/// here are asynchronous, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Sampled at enter/leave points.
+    Synchronous,
+    /// Sampled on the plugin's own cadence.
+    Asynchronous,
+}
+
+/// A metric definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricDef {
+    /// Metric id referenced by samples.
+    pub id: u32,
+    /// Metric name, e.g. `"power"`, `"voltage"`, `"PAPI_PRF_DM"`.
+    pub name: String,
+    /// Unit string, e.g. `"W"`, `"V"`, `"events"`.
+    pub unit: String,
+    /// Accumulation mode.
+    pub mode: MetricMode,
+    /// Sampling kind.
+    pub kind: MetricKind,
+}
+
+/// Per-run metadata (what the paper encodes in trace properties and
+/// file naming).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Workload id.
+    pub workload_id: u32,
+    /// Workload name.
+    pub workload: String,
+    /// Suite name (`"roco2"` / `"SPEC OMP2012"`).
+    pub suite: String,
+    /// Worker threads.
+    pub threads: u32,
+    /// Fixed operating frequency of the run, MHz.
+    pub freq_mhz: u32,
+    /// Acquisition run number (counter-group index).
+    pub run_id: u32,
+}
+
+/// One trace record. Times are nanoseconds since trace start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum TraceRecord {
+    /// Enter a region.
+    Enter {
+        /// Timestamp, ns.
+        time_ns: u64,
+        /// Region id.
+        region: u32,
+    },
+    /// Leave a region.
+    Leave {
+        /// Timestamp, ns.
+        time_ns: u64,
+        /// Region id.
+        region: u32,
+    },
+    /// A metric sample.
+    Metric {
+        /// Timestamp, ns.
+        time_ns: u64,
+        /// Metric id.
+        metric: u32,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceRecord {
+    /// Timestamp of the record, ns.
+    pub fn time_ns(&self) -> u64 {
+        match *self {
+            TraceRecord::Enter { time_ns, .. }
+            | TraceRecord::Leave { time_ns, .. }
+            | TraceRecord::Metric { time_ns, .. } => time_ns,
+        }
+    }
+}
+
+/// A complete single-run trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Region definitions.
+    pub regions: Vec<RegionDef>,
+    /// Metric definitions.
+    pub metrics: Vec<MetricDef>,
+    /// Chronological record stream.
+    pub records: Vec<TraceRecord>,
+}
+
+/// Errors raised by trace construction, parsing or post-processing.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Records are not in chronological order.
+    OutOfOrder {
+        /// Index of the offending record.
+        index: usize,
+    },
+    /// A record referenced an undefined region or metric id.
+    UndefinedId {
+        /// What kind of id ("region" / "metric").
+        what: &'static str,
+        /// The undefined id.
+        id: u32,
+    },
+    /// Enter/leave nesting was broken (leave without enter, or
+    /// dangling enter at end of trace).
+    BrokenNesting {
+        /// Region involved.
+        region: u32,
+    },
+    /// A phase window contained no samples of a required metric.
+    MissingSamples {
+        /// Metric name.
+        metric: String,
+        /// Region id of the window.
+        region: u32,
+    },
+    /// Underlying serialization failure.
+    Serde(serde_json::Error),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::OutOfOrder { index } => {
+                write!(f, "trace records out of chronological order at index {index}")
+            }
+            TraceError::UndefinedId { what, id } => write!(f, "undefined {what} id {id}"),
+            TraceError::BrokenNesting { region } => {
+                write!(f, "broken enter/leave nesting for region {region}")
+            }
+            TraceError::MissingSamples { metric, region } => {
+                write!(f, "no samples of metric {metric:?} inside region {region}")
+            }
+            TraceError::Serde(e) => write!(f, "trace (de)serialization failed: {e}"),
+            TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Serde(e) => Some(e),
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for TraceError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceError::Serde(e)
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+impl Trace {
+    /// Validates structural invariants: chronological order, defined
+    /// ids, balanced nesting.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let mut last = 0u64;
+        for (i, r) in self.records.iter().enumerate() {
+            if r.time_ns() < last {
+                return Err(TraceError::OutOfOrder { index: i });
+            }
+            last = r.time_ns();
+            match *r {
+                TraceRecord::Enter { region, .. } | TraceRecord::Leave { region, .. } => {
+                    if !self.regions.iter().any(|d| d.id == region) {
+                        return Err(TraceError::UndefinedId {
+                            what: "region",
+                            id: region,
+                        });
+                    }
+                }
+                TraceRecord::Metric { metric, .. } => {
+                    if !self.metrics.iter().any(|d| d.id == metric) {
+                        return Err(TraceError::UndefinedId {
+                            what: "metric",
+                            id: metric,
+                        });
+                    }
+                }
+            }
+        }
+        // Nesting check (regions never overlap partially in our traces;
+        // a simple stack suffices).
+        let mut stack: Vec<u32> = Vec::new();
+        for r in &self.records {
+            match *r {
+                TraceRecord::Enter { region, .. } => stack.push(region),
+                TraceRecord::Leave { region, .. } => {
+                    if stack.pop() != Some(region) {
+                        return Err(TraceError::BrokenNesting { region });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(&region) = stack.last() {
+            return Err(TraceError::BrokenNesting { region });
+        }
+        Ok(())
+    }
+
+    /// Looks up a metric id by name.
+    pub fn metric_id(&self, name: &str) -> Option<u32> {
+        self.metrics.iter().find(|m| m.name == name).map(|m| m.id)
+    }
+
+    /// Looks up a region definition by id.
+    pub fn region(&self, id: u32) -> Option<&RegionDef> {
+        self.regions.iter().find(|r| r.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                workload_id: 1,
+                workload: "sqrt".into(),
+                suite: "roco2".into(),
+                threads: 24,
+                freq_mhz: 2400,
+                run_id: 0,
+            },
+            regions: vec![RegionDef {
+                id: 1,
+                name: "main".into(),
+            }],
+            metrics: vec![MetricDef {
+                id: 1,
+                name: "power".into(),
+                unit: "W".into(),
+                mode: MetricMode::Absolute,
+                kind: MetricKind::Asynchronous,
+            }],
+            records: vec![
+                TraceRecord::Enter {
+                    time_ns: 0,
+                    region: 1,
+                },
+                TraceRecord::Metric {
+                    time_ns: 100,
+                    metric: 1,
+                    value: 200.0,
+                },
+                TraceRecord::Leave {
+                    time_ns: 1000,
+                    region: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_trace_passes() {
+        tiny_trace().validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_order_detected() {
+        let mut t = tiny_trace();
+        t.records.swap(0, 2);
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::OutOfOrder { .. }) | Err(TraceError::BrokenNesting { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_metric_detected() {
+        let mut t = tiny_trace();
+        t.records.push(TraceRecord::Metric {
+            time_ns: 2000,
+            metric: 99,
+            value: 0.0,
+        });
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::UndefinedId { what: "metric", id: 99 })
+        ));
+    }
+
+    #[test]
+    fn dangling_enter_detected() {
+        let mut t = tiny_trace();
+        t.records.push(TraceRecord::Enter {
+            time_ns: 3000,
+            region: 1,
+        });
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::BrokenNesting { region: 1 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_leave_detected() {
+        let mut t = tiny_trace();
+        t.regions.push(RegionDef {
+            id: 2,
+            name: "other".into(),
+        });
+        t.records = vec![
+            TraceRecord::Enter {
+                time_ns: 0,
+                region: 1,
+            },
+            TraceRecord::Leave {
+                time_ns: 10,
+                region: 2,
+            },
+        ];
+        assert!(matches!(
+            t.validate(),
+            Err(TraceError::BrokenNesting { region: 2 })
+        ));
+    }
+
+    #[test]
+    fn lookups_work() {
+        let t = tiny_trace();
+        assert_eq!(t.metric_id("power"), Some(1));
+        assert_eq!(t.metric_id("nope"), None);
+        assert_eq!(t.region(1).unwrap().name, "main");
+    }
+}

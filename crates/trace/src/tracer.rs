@@ -1,0 +1,226 @@
+//! Run tracer: assembles one acquisition run's trace from phase
+//! observations and metric plugins.
+
+use crate::plugin::MetricPlugin;
+use crate::record::{RegionDef, Trace, TraceMeta, TraceRecord};
+use pmc_cpusim::rng::SplitMix64;
+use pmc_cpusim::PhaseObservation;
+
+/// Builds a [`Trace`] for one run: regions enter/leave around each
+/// phase, with every registered plugin contributing samples inside the
+/// phase windows. Plugin-local metric ids are re-based into one id
+/// space.
+pub struct Tracer {
+    plugins: Vec<Box<dyn MetricPlugin>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// Creates an empty tracer.
+    pub fn new() -> Self {
+        Tracer { plugins: Vec::new() }
+    }
+
+    /// Registers a metric plugin (Score-P `SCOREP_METRIC_PLUGINS`
+    /// analog). Returns `self` for chaining.
+    pub fn with_plugin(mut self, plugin: Box<dyn MetricPlugin>) -> Self {
+        self.plugins.push(plugin);
+        self
+    }
+
+    /// Number of registered plugins.
+    pub fn plugin_count(&self) -> usize {
+        self.plugins.len()
+    }
+
+    /// Records a run over sequential phases. Each element of `phases`
+    /// is `(phase_name, observation)`; phases execute back-to-back
+    /// starting at t = 0, each lasting `observation.duration_s`.
+    pub fn record_run(
+        &self,
+        meta: TraceMeta,
+        phases: &[(String, PhaseObservation)],
+        rng: &mut SplitMix64,
+    ) -> Trace {
+        // Re-based metric definitions.
+        let mut metrics = Vec::new();
+        let mut bases = Vec::with_capacity(self.plugins.len());
+        let mut next_id = 0u32;
+        for p in &self.plugins {
+            bases.push(next_id);
+            for mut def in p.metric_defs() {
+                def.id += next_id;
+                metrics.push(def);
+            }
+            let added = p.metric_defs().len() as u32;
+            next_id += added;
+        }
+
+        let mut regions = Vec::with_capacity(phases.len());
+        let mut records = Vec::new();
+        let mut t = 0u64;
+
+        for (i, (name, obs)) in phases.iter().enumerate() {
+            let region_id = i as u32 + 1;
+            regions.push(RegionDef {
+                id: region_id,
+                name: name.clone(),
+            });
+            let start = t;
+            let end = start + (obs.duration_s * 1e9) as u64;
+
+            records.push(TraceRecord::Enter {
+                time_ns: start,
+                region: region_id,
+            });
+            // Collect all plugin samples for this window, then order by
+            // time (stable merge keeps same-timestamp plugin order).
+            let mut window: Vec<TraceRecord> = Vec::new();
+            for (p, &base) in self.plugins.iter().zip(&bases) {
+                for mut rec in p.sample_phase(start, end, obs, rng) {
+                    if let TraceRecord::Metric { metric, .. } = &mut rec {
+                        *metric += base;
+                    }
+                    window.push(rec);
+                }
+            }
+            window.sort_by_key(TraceRecord::time_ns);
+            records.extend(window);
+            records.push(TraceRecord::Leave {
+                time_ns: end,
+                region: region_id,
+            });
+            t = end;
+        }
+
+        Trace {
+            meta,
+            regions,
+            metrics,
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::{PapiPlugin, PowerPlugin, VoltagePlugin};
+    use crate::profile::extract_profiles;
+    use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext};
+    use pmc_events::scheduler::CounterScheduler;
+    use pmc_events::PapiEvent;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            workload_id: 3,
+            workload: "compute".into(),
+            suite: "roco2".into(),
+            threads: 24,
+            freq_mhz: 2400,
+            run_id: 0,
+        }
+    }
+
+    fn observe(duration: f64) -> PhaseObservation {
+        Machine::new(MachineConfig::haswell_ep(9)).observe(
+            &Activity::default(),
+            &PhaseContext {
+                workload_id: 3,
+                phase_id: 0,
+                run_id: 0,
+                threads: 24,
+                freq_mhz: 2400,
+                duration_s: duration,
+            },
+        )
+    }
+
+    fn full_tracer() -> Tracer {
+        let group = CounterScheduler::haswell_default()
+            .schedule(&[PapiEvent::PRF_DM, PapiEvent::TLB_IM])
+            .unwrap()
+            .remove(0);
+        Tracer::new()
+            .with_plugin(Box::new(PowerPlugin::default()))
+            .with_plugin(Box::new(VoltagePlugin::default()))
+            .with_plugin(Box::new(PapiPlugin::new(group)))
+    }
+
+    #[test]
+    fn recorded_trace_validates() {
+        let tracer = full_tracer();
+        let mut rng = SplitMix64::new(5);
+        let trace = tracer.record_run(
+            meta(),
+            &[
+                ("warmup".to_string(), observe(2.0)),
+                ("main".to_string(), observe(8.0)),
+            ],
+            &mut rng,
+        );
+        trace.validate().unwrap();
+        assert_eq!(trace.regions.len(), 2);
+        // power + voltage + (3 fixed + 2 programmable) PAPI metrics.
+        assert_eq!(trace.metrics.len(), 7);
+    }
+
+    #[test]
+    fn metric_ids_are_rebased_uniquely() {
+        let tracer = full_tracer();
+        let mut rng = SplitMix64::new(6);
+        let trace = tracer.record_run(meta(), &[("main".to_string(), observe(1.0))], &mut rng);
+        let mut ids: Vec<u32> = trace.metrics.iter().map(|m| m.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), trace.metrics.len());
+    }
+
+    #[test]
+    fn end_to_end_profiles_recover_observation() {
+        let tracer = full_tracer();
+        let mut rng = SplitMix64::new(7);
+        let obs = observe(10.0);
+        let trace = tracer.record_run(meta(), &[("main".to_string(), obs.clone())], &mut rng);
+        let profiles = extract_profiles(&trace).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let p = &profiles[0];
+        assert!((p.power_avg.unwrap() - obs.power_measured).abs() < 1e-6);
+        assert!((p.voltage_avg.unwrap() - obs.voltage).abs() < 1e-9);
+        let prf = p.counters["PAPI_PRF_DM"];
+        let truth = obs.counters[PapiEvent::PRF_DM.index()];
+        assert!((prf - truth).abs() / truth.max(1.0) < 1e-9);
+        assert!((p.duration_s() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn phases_are_contiguous() {
+        let tracer = full_tracer();
+        let mut rng = SplitMix64::new(8);
+        let trace = tracer.record_run(
+            meta(),
+            &[
+                ("a".to_string(), observe(1.0)),
+                ("b".to_string(), observe(2.0)),
+            ],
+            &mut rng,
+        );
+        let profiles = extract_profiles(&trace).unwrap();
+        assert_eq!(profiles[0].end_ns, profiles[1].start_ns);
+    }
+
+    #[test]
+    fn empty_tracer_records_regions_only() {
+        let tracer = Tracer::new();
+        let mut rng = SplitMix64::new(9);
+        let trace = tracer.record_run(meta(), &[("main".to_string(), observe(1.0))], &mut rng);
+        trace.validate().unwrap();
+        assert_eq!(trace.records.len(), 2); // enter + leave
+        assert!(trace.metrics.is_empty());
+    }
+}

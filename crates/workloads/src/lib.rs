@@ -1,0 +1,37 @@
+//! # pmc-workloads
+//!
+//! The workload suite of the reproduction:
+//!
+//! * [`roco2`] — small synthetic workload kernels in the spirit of the
+//!   roco2 framework the paper uses (idle, busy-wait, integer compute,
+//!   square root, sinus, matrix multiply, memory streaming, packed
+//!   vector FP). Each kernel is a *single steady phase* whose activity
+//!   depends on the thread count (memory kernels saturate bandwidth,
+//!   coherence grows with core count).
+//! * [`spec`] — a SPEC-OMP2012-like suite: the ten benchmarks the paper
+//!   evaluates (md, bwaves, nab, bt331, botsalgn, ilbdc, fma3d, swim,
+//!   mgrid331, applu331) modeled as multi-phase schedules with internal
+//!   variability and workload-specific *unobservable* power components.
+//! * [`native`] — small executable Rust kernel bodies matching the
+//!   roco2 kernels, so examples can run real computations.
+//! * [`registry`] — the [`Workload`](registry::Workload) abstraction
+//!   and the paper's 16-workload evaluation set.
+//!
+//! The activity numbers are synthetic but microarchitecturally
+//! plausible (IPC, MPKI and branch statistics in the ranges published
+//! for these benchmark classes). What matters for the reproduction is
+//! the *diversity structure*: synthetic kernels are extreme, pure
+//! points in activity space; SPEC-like workloads are interior mixtures
+//! with behaviour outside the synthetic hull — which is exactly what
+//! makes "train on synthetic only" (paper scenario 2) unstable.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod archetypes;
+pub mod native;
+pub mod registry;
+pub mod roco2;
+pub mod spec;
+
+pub use registry::{Phase, Suite, Workload, WorkloadSet};

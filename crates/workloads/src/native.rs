@@ -1,0 +1,152 @@
+//! Executable kernel bodies matching the roco2 kernels.
+//!
+//! These run *real* computations so the examples can demonstrate the
+//! end-to-end story ("run this kernel, estimate its power") with actual
+//! CPU work rather than a sleep. Each kernel returns a checksum that
+//! must be consumed to keep the optimizer honest.
+//!
+//! They intentionally mirror the activity profiles in [`crate::roco2`]:
+//! `sqrt_kernel` issues dependent square roots, `compute_kernel` is a
+//! branchy integer mix, `memory_kernel` streams a large buffer,
+//! `matmul_kernel` is a blocked DGEMM, `sinus_kernel` evaluates a sine
+//! polynomial.
+
+use std::hint::black_box;
+
+/// Dependent scalar square roots; `iters` chained operations.
+pub fn sqrt_kernel(iters: u64) -> f64 {
+    let mut x = 2.0f64;
+    for _ in 0..iters {
+        x = (x + 3.0).sqrt() + 1.0;
+    }
+    black_box(x)
+}
+
+/// Branchy integer compute: xorshift PRNG with a data-dependent branch.
+pub fn compute_kernel(iters: u64) -> u64 {
+    let mut s = 0x9e3779b97f4a7c15u64;
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        // Data-dependent branch: mispredicts like the roco2 compute
+        // kernel's worklist.
+        if s & 0x8 == 0 {
+            acc = acc.wrapping_add(s);
+        } else {
+            acc ^= s.rotate_left(9);
+        }
+    }
+    black_box(acc)
+}
+
+/// Polynomial sine evaluation (range-reduced Taylor form).
+pub fn sinus_kernel(iters: u64) -> f64 {
+    let mut acc = 0.0f64;
+    let mut x = 0.001f64;
+    for _ in 0..iters {
+        let x2 = x * x;
+        // sin(x) ≈ x − x³/6 + x⁵/120 − x⁷/5040
+        let s = x * (1.0 - x2 / 6.0 * (1.0 - x2 / 20.0 * (1.0 - x2 / 42.0)));
+        acc += s;
+        x += 1e-6;
+        if x > 1.5 {
+            x -= 1.5;
+        }
+    }
+    black_box(acc)
+}
+
+/// Streams over a buffer of `words` u64s, `passes` times (read-modify-
+/// write, defeating the cache for large `words`).
+pub fn memory_kernel(words: usize, passes: u32) -> u64 {
+    let mut buf = vec![1u64; words];
+    let mut acc = 0u64;
+    for p in 0..passes {
+        for (i, w) in buf.iter_mut().enumerate() {
+            *w = w.wrapping_add(i as u64 ^ p as u64);
+            acc = acc.wrapping_add(*w);
+        }
+    }
+    black_box(acc)
+}
+
+/// Naive-blocked matrix multiply of two `n × n` matrices.
+pub fn matmul_kernel(n: usize) -> f64 {
+    let a: Vec<f64> = (0..n * n).map(|i| (i % 7) as f64 * 0.5).collect();
+    let b: Vec<f64> = (0..n * n).map(|i| (i % 5) as f64 * 0.25).collect();
+    let mut c = vec![0.0f64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let brow = &b[k * n..(k + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cj, bj) in crow.iter_mut().zip(brow) {
+                *cj += aik * bj;
+            }
+        }
+    }
+    black_box(c.iter().sum())
+}
+
+/// Spins until roughly `millis` of wall time have elapsed (pause-loop
+/// busy wait).
+pub fn busywait_kernel(millis: u64) -> u64 {
+    let start = std::time::Instant::now();
+    let mut spins = 0u64;
+    while start.elapsed().as_millis() < millis as u128 {
+        std::hint::spin_loop();
+        spins += 1;
+    }
+    black_box(spins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sqrt_kernel_converges_to_fixed_point() {
+        // x = sqrt(x+3)+1 has the fixed point (3+√17)/2 ≈ 3.5616.
+        let v = sqrt_kernel(1000);
+        let expect = (3.0 + 17.0f64.sqrt()) / 2.0;
+        assert!((v - expect).abs() < 1e-9, "{v}");
+    }
+
+    #[test]
+    fn compute_kernel_deterministic() {
+        assert_eq!(compute_kernel(10_000), compute_kernel(10_000));
+        assert_ne!(compute_kernel(10_000), compute_kernel(10_001));
+    }
+
+    #[test]
+    fn sinus_kernel_accumulates_positive() {
+        let v = sinus_kernel(10_000);
+        assert!(v > 0.0 && v.is_finite());
+    }
+
+    #[test]
+    fn memory_kernel_checksum_stable() {
+        assert_eq!(memory_kernel(1 << 12, 3), memory_kernel(1 << 12, 3));
+        assert_ne!(memory_kernel(1 << 12, 3), memory_kernel(1 << 12, 4));
+    }
+
+    #[test]
+    fn matmul_kernel_matches_reference_small() {
+        // 2×2 hand check with the same generator pattern:
+        // a = [[0,0.5],[1,1.5]], b = [[0,0.25],[0.5,0.75]]
+        // c = a·b = [[0.25,0.375],[0.75,1.375]]; sum = 2.75
+        let v = matmul_kernel(2);
+        assert!((v - 2.75).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn busywait_waits_roughly_right() {
+        let t0 = std::time::Instant::now();
+        let spins = busywait_kernel(20);
+        let elapsed = t0.elapsed().as_millis();
+        assert!(spins > 0);
+        assert!(elapsed >= 20, "{elapsed}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Workload abstraction and the paper's 16-workload evaluation set.
+
+use pmc_cpusim::Activity;
+use serde::{Deserialize, Serialize};
+
+/// Which suite a workload belongs to (drives the paper's training
+/// scenarios: scenario 2 trains on `Roco2` only and validates on
+/// `SpecOmp2012`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// Small synthetic steady-state kernels.
+    Roco2,
+    /// SPEC-OMP2012-like application benchmarks.
+    SpecOmp2012,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Suite::Roco2 => f.write_str("roco2"),
+            Suite::SpecOmp2012 => f.write_str("SPEC OMP2012"),
+        }
+    }
+}
+
+/// One execution phase of a workload: a named steady activity that
+/// lasts `duration_s` seconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase name (e.g. `"init"`, `"stream"`, `"solve"`).
+    pub name: String,
+    /// Duration in seconds at the reference frequency. (Phases of
+    /// compute-bound workloads shorten at higher frequency; the
+    /// acquisition layer accounts for that.)
+    pub duration_s: f64,
+    /// The steady activity during this phase.
+    pub activity: Activity,
+}
+
+/// A workload: either a roco2 kernel or a SPEC-like benchmark.
+///
+/// The activity schedule may depend on the thread count — memory
+/// kernels saturate shared bandwidth, coherence traffic needs peers —
+/// so phases are generated per thread count via [`Workload::phases`].
+#[derive(Clone)]
+pub struct Workload {
+    /// Stable numeric id (used for RNG derivation and trace region ids).
+    pub id: u32,
+    /// Human-readable name as the paper prints it.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Phase generator.
+    gen: fn(threads: u32) -> Vec<Phase>,
+    /// Thread counts this workload is evaluated at.
+    threads: &'static [u32],
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// Constructs a workload (used by the suite modules).
+    pub(crate) fn new(
+        id: u32,
+        name: &'static str,
+        suite: Suite,
+        gen: fn(u32) -> Vec<Phase>,
+        threads: &'static [u32],
+    ) -> Self {
+        Workload {
+            id,
+            name,
+            suite,
+            gen,
+            threads,
+        }
+    }
+
+    /// The phase schedule when run with `threads` worker threads.
+    pub fn phases(&self, threads: u32) -> Vec<Phase> {
+        (self.gen)(threads)
+    }
+
+    /// Thread counts this workload is evaluated at. Roco2 kernels sweep
+    /// thread counts (the paper varies them for the short-running
+    /// kernels); SPEC-like benchmarks always use all 24 cores.
+    pub fn thread_counts(&self) -> &[u32] {
+        self.threads
+    }
+
+    /// Total scheduled duration at a thread count, seconds.
+    pub fn total_duration(&self, threads: u32) -> f64 {
+        self.phases(threads).iter().map(|p| p.duration_s).sum()
+    }
+}
+
+/// A named collection of workloads.
+#[derive(Debug, Clone)]
+pub struct WorkloadSet {
+    workloads: Vec<Workload>,
+}
+
+impl WorkloadSet {
+    /// The paper's evaluation set: 6 roco2 kernels + 10 SPEC-OMP2012
+    /// benchmarks = 16 workloads (paper Fig. 3).
+    pub fn paper_set() -> Self {
+        let mut workloads = crate::roco2::kernels();
+        workloads.extend(crate::spec::benchmarks());
+        WorkloadSet { workloads }
+    }
+
+    /// Only the synthetic roco2 kernels.
+    pub fn roco2_only() -> Self {
+        WorkloadSet {
+            workloads: crate::roco2::kernels(),
+        }
+    }
+
+    /// Only the SPEC-OMP2012-like benchmarks.
+    pub fn spec_only() -> Self {
+        WorkloadSet {
+            workloads: crate::spec::benchmarks(),
+        }
+    }
+
+    /// Builds a set from explicit workloads.
+    pub fn from_workloads(workloads: Vec<Workload>) -> Self {
+        WorkloadSet { workloads }
+    }
+
+    /// All workloads, id order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// Number of workloads.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Finds a workload by name.
+    pub fn by_name(&self, name: &str) -> Option<&Workload> {
+        self.workloads.iter().find(|w| w.name == name)
+    }
+
+    /// The subset belonging to a suite.
+    pub fn suite(&self, suite: Suite) -> Vec<&Workload> {
+        self.workloads.iter().filter(|w| w.suite == suite).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_sixteen_workloads() {
+        let set = WorkloadSet::paper_set();
+        assert_eq!(set.len(), 16);
+        assert_eq!(set.suite(Suite::Roco2).len(), 6);
+        assert_eq!(set.suite(Suite::SpecOmp2012).len(), 10);
+    }
+
+    #[test]
+    fn ids_unique_and_names_unique() {
+        let set = WorkloadSet::paper_set();
+        let mut ids: Vec<u32> = set.workloads().iter().map(|w| w.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 16);
+        let mut names: Vec<&str> = set.workloads().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn all_phases_validate_across_thread_counts() {
+        let set = WorkloadSet::paper_set();
+        for w in set.workloads() {
+            for &t in w.thread_counts() {
+                let phases = w.phases(t);
+                assert!(!phases.is_empty(), "{} has no phases", w.name);
+                for p in &phases {
+                    assert!(p.duration_s > 0.0);
+                    p.activity
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{} / {} @ {t}: {e}", w.name, p.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roco2_sweeps_threads_spec_uses_all_cores() {
+        let set = WorkloadSet::paper_set();
+        for w in set.suite(Suite::Roco2) {
+            assert!(w.thread_counts().len() > 1, "{}", w.name);
+        }
+        for w in set.suite(Suite::SpecOmp2012) {
+            assert_eq!(w.thread_counts(), &[24], "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let set = WorkloadSet::paper_set();
+        assert!(set.by_name("sqrt").is_some());
+        assert!(set.by_name("ilbdc").is_some());
+        assert!(set.by_name("doesnotexist").is_none());
+    }
+
+    #[test]
+    fn total_duration_positive() {
+        let set = WorkloadSet::paper_set();
+        for w in set.workloads() {
+            assert!(w.total_duration(w.thread_counts()[0]) > 0.0);
+        }
+    }
+}

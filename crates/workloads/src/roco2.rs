@@ -1,0 +1,210 @@
+//! roco2-like synthetic workload kernels.
+//!
+//! Each kernel is one steady phase. Activity depends on the thread
+//! count where physics says it must: memory kernels contend for shared
+//! DRAM bandwidth (per-core traffic drops, stalls rise), and
+//! coherence-sensitive kernels need peers to talk to.
+
+use crate::archetypes;
+use crate::registry::{Phase, Suite, Workload};
+use pmc_cpusim::Activity;
+
+/// Thread counts the roco2 kernels sweep (the paper varies thread
+/// counts for the short-running kernels on the 24-core machine).
+pub const THREAD_SWEEP: &[u32] = &[1, 6, 12, 18, 24];
+
+/// Kernel phase duration, seconds.
+const KERNEL_DURATION_S: f64 = 10.0;
+
+/// Shared-bandwidth contention factor: fraction of the single-thread
+/// per-core memory traffic that survives when `t` threads compete for
+/// the two sockets' memory controllers.
+pub fn bandwidth_contention(threads: u32) -> f64 {
+    let t = threads as f64;
+    1.0 / (1.0 + (t / 16.0) * (t / 16.0) * 0.8)
+}
+
+/// Wraps a kernel activity into its single steady phase, stamping the
+/// unobservable power level from the shared baseline plus the kernel's
+/// deviation (see [`archetypes::unobserved_level`]).
+fn single_phase(mut activity: Activity, unobserved_delta: f64) -> Vec<Phase> {
+    activity.unobserved = archetypes::unobserved_level(&activity, unobserved_delta);
+    vec![Phase {
+        name: "main".to_string(),
+        duration_s: KERNEL_DURATION_S,
+        activity,
+    }]
+}
+
+fn idle_gen(_threads: u32) -> Vec<Phase> {
+    single_phase(archetypes::idle(), -0.12)
+}
+
+fn compute_gen(_threads: u32) -> Vec<Phase> {
+    // Integer compute with noticeable branch misprediction — one of the
+    // two workloads (with md) the paper says BR_MSP is informative for.
+    let mut a = archetypes::int_compute();
+    a.misp_per_branch = 0.07;
+    single_phase(a, 0.18)
+}
+
+fn sqrt_gen(_threads: u32) -> Vec<Phase> {
+    // Long-latency scalar square roots: the paper's *lowest-error*
+    // workload — steady, simple, fully proxied by counters.
+    let a = archetypes::scalar_fp_longlat();
+    single_phase(a, 0.04)
+}
+
+fn sinus_gen(_threads: u32) -> Vec<Phase> {
+    // sin() evaluation: scalar FP with moderate IPC and a polynomial
+    // kernel's branchless structure.
+    let mut a = archetypes::scalar_fp_longlat();
+    a.ipc = 1.3;
+    a.stall_frac = 0.25;
+    a.fp_scalar_per_ins = 0.45;
+    a.full_issue_frac = 0.05;
+    single_phase(a, 0.05)
+}
+
+fn matmul_gen(_threads: u32) -> Vec<Phase> {
+    // Blocked DGEMM: peak vector issue; sharing grows mildly with
+    // thread count (shared B-panel).
+    let mut a = archetypes::vector_fp();
+    a.sharing_frac = 0.03;
+    single_phase(a, 0.12)
+}
+
+fn memory_gen(threads: u32) -> Vec<Phase> {
+    // Streaming over a working set ≫ L3: per-core traffic shrinks with
+    // contention while stall fraction rises.
+    let mut a = archetypes::memory_stream();
+    let c = bandwidth_contention(threads);
+    a.l1d_mpki *= c;
+    a.l2_mpki *= c;
+    a.l3_mpki *= c;
+    a.prefetch_mpki *= c;
+    a.ipc *= 0.5 + 0.5 * c;
+    a.stall_frac = (a.stall_frac + (1.0 - c) * 0.15).min(1.0 - a.full_issue_frac);
+    single_phase(a, -0.15)
+}
+
+fn busywait_gen(_threads: u32) -> Vec<Phase> {
+    // Pause-loop spin: core unhalted but doing almost nothing.
+    let mut a = Activity::default();
+    a.ipc = 0.8;
+    a.full_issue_frac = 0.0;
+    a.stall_frac = 0.30;
+    a.branch_per_ins = 0.18;
+    a.misp_per_branch = 0.001;
+    a.l1d_mpki = 0.1;
+    a.l1i_mpki = 0.01;
+    a.l2_mpki = 0.02;
+    a.l3_mpki = 0.0;
+    a.prefetch_mpki = 0.01;
+    a.tlb_d_mpki = 0.005;
+    a.tlb_i_mpki = 0.001;
+    a.fp_scalar_per_ins = 0.0;
+    single_phase(a, 0.10)
+}
+
+fn addpd_gen(_threads: u32) -> Vec<Phase> {
+    // Packed double adds from registers: pure vector-unit power virus.
+    let mut a = archetypes::vector_fp();
+    a.l1d_mpki = 0.5;
+    a.l2_mpki = 0.1;
+    a.l3_mpki = 0.01;
+    a.prefetch_mpki = 0.05;
+    a.fp_vector_per_ins = 0.60;
+    a.full_issue_frac = 0.70;
+    a.stall_frac = 0.01;
+    single_phase(a, 0.35)
+}
+
+/// The six roco2 kernels in the paper's evaluation set.
+pub fn kernels() -> Vec<Workload> {
+    vec![
+        Workload::new(1, "idle", Suite::Roco2, idle_gen, THREAD_SWEEP),
+        Workload::new(2, "busywait", Suite::Roco2, busywait_gen, THREAD_SWEEP),
+        Workload::new(3, "compute", Suite::Roco2, compute_gen, THREAD_SWEEP),
+        Workload::new(4, "sqrt", Suite::Roco2, sqrt_gen, THREAD_SWEEP),
+        Workload::new(5, "matmul", Suite::Roco2, matmul_gen, THREAD_SWEEP),
+        Workload::new(6, "memory", Suite::Roco2, memory_gen, THREAD_SWEEP),
+    ]
+}
+
+/// Additional kernels beyond the paper set (available for extended
+/// experiments and examples).
+pub fn extended_kernels() -> Vec<Workload> {
+    vec![
+        Workload::new(7, "sinus", Suite::Roco2, sinus_gen, THREAD_SWEEP),
+        Workload::new(8, "addpd", Suite::Roco2, addpd_gen, THREAD_SWEEP),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_paper_kernels() {
+        assert_eq!(kernels().len(), 6);
+    }
+
+    #[test]
+    fn all_kernel_phases_validate() {
+        for w in kernels().iter().chain(extended_kernels().iter()) {
+            for &t in THREAD_SWEEP {
+                for p in w.phases(t) {
+                    p.activity
+                        .validate()
+                        .unwrap_or_else(|e| panic!("{} @ {t}: {e}", w.name));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_kernel_saturates_with_threads() {
+        let mem = kernels().into_iter().find(|w| w.name == "memory").unwrap();
+        let a1 = mem.phases(1)[0].activity;
+        let a24 = mem.phases(24)[0].activity;
+        assert!(a24.prefetch_mpki < a1.prefetch_mpki * 0.5);
+        assert!(a24.stall_frac > a1.stall_frac);
+    }
+
+    #[test]
+    fn compute_kernels_thread_invariant() {
+        for name in ["compute", "sqrt"] {
+            let w = kernels().into_iter().find(|w| w.name == name).unwrap();
+            assert_eq!(w.phases(1)[0].activity, w.phases(24)[0].activity, "{name}");
+        }
+    }
+
+    #[test]
+    fn bandwidth_contention_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for t in [1, 6, 12, 18, 24] {
+            let c = bandwidth_contention(t);
+            assert!(c < prev);
+            assert!(c > 0.0 && c <= 1.0);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn kernels_span_the_activity_envelope() {
+        let ks = kernels();
+        let get = |n: &str| {
+            ks.iter()
+                .find(|w| w.name == n)
+                .unwrap()
+                .phases(24)
+                .remove(0)
+                .activity
+        };
+        assert!(get("idle").util < 0.01);
+        assert!(get("matmul").fp_vector_per_ins > 0.3);
+        assert!(get("memory").l3_mpki > 2.0);
+        assert!(get("compute").ipc > 2.0);
+    }
+}

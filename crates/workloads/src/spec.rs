@@ -1,0 +1,268 @@
+//! SPEC-OMP2012-like application benchmarks.
+//!
+//! The paper evaluates the SPEC OMP2012 suite minus four benchmarks
+//! that failed to build or crashed (kdtree, imagick, smithwa,
+//! botsspar), leaving the ten modeled here. Each benchmark is a
+//! multi-phase schedule blending [`crate::archetypes`] vectors, with:
+//!
+//! * **internal variability** — several phases with different mixtures,
+//!   which is what lets SPEC workloads "even out the error on overall
+//!   average power estimation" (paper §IV-B);
+//! * **a workload-specific `unobserved` power level** — behaviour no
+//!   counter proxies. Workloads whose level sits *below* the synthetic
+//!   kernels' average (md, nab) get systematically **overestimated** by
+//!   a model trained only on synthetic kernels, reproducing the
+//!   paper's Fig. 5a observation; ilbdc sits far above it and is the
+//!   highest-MAPE workload, as in Fig. 3.
+
+use crate::archetypes as arch;
+use crate::registry::{Phase, Suite, Workload};
+use pmc_cpusim::Activity;
+
+/// SPEC-like benchmarks run with all cores, as the paper does.
+const SPEC_THREADS: &[u32] = &[24];
+
+/// Builds one phase: the mixed activity is bandwidth-saturated for the
+/// benchmark's thread count (SPEC runs use all 24 cores, so memory-
+/// heavy phases see exactly the contention the roco2 memory kernel
+/// sees), then stamped with its unobservable power level.
+///
+/// The unobservable level has two parts. A baseline grows with the
+/// phase's streaming activity (data movement drives data-dependent
+/// switching), and `delta` is the workload-specific deviation from
+/// that baseline — the part *no* counter can explain, which bounds the
+/// model accuracy and produces the paper's per-workload biases
+/// (negative delta ⇒ the workload is systematically overestimated by
+/// models trained elsewhere, as the paper observes for md and nab).
+fn phase(name: &str, duration_s: f64, activity: Activity, delta: f64) -> Phase {
+    let mut a = crate::archetypes::saturate_bandwidth(activity, 24);
+    a.unobserved = crate::archetypes::unobserved_level(&a, delta);
+    Phase {
+        name: name.to_string(),
+        duration_s,
+        activity: a,
+    }
+}
+
+fn md_gen(_t: u32) -> Vec<Phase> {
+    // Molecular dynamics: force loops (scalar FP + some vector),
+    // neighbor-list rebuilds (pointer chasing, mispredicts). The paper
+    // calls out md for its *relatively high* BR_MSP values.
+    let mut force = Activity::mix(&[
+        (0.45, arch::scalar_fp_longlat()),
+        (0.35, arch::int_compute()),
+        (0.20, arch::vector_fp()),
+    ]);
+    force.misp_per_branch = 0.06;
+    let mut neigh = Activity::mix(&[(0.35, arch::pointer_chase()), (0.65, arch::int_compute())]);
+    neigh.misp_per_branch = 0.08;
+    vec![
+        phase("forces", 22.0, force, -0.28),
+        phase("neighbors", 8.0, neigh, -0.28),
+        phase("integrate", 6.0, arch::int_compute(), -0.26),
+    ]
+}
+
+fn bwaves_gen(_t: u32) -> Vec<Phase> {
+    // Blast-wave CFD: vectorized stencils over huge grids.
+    let sweep = Activity::mix(&[(0.55, arch::memory_stream()), (0.45, arch::vector_fp())]);
+    let solve = Activity::mix(&[(0.35, arch::memory_stream()), (0.65, arch::vector_fp())]);
+    vec![
+        phase("sweep", 18.0, sweep, -0.10),
+        phase("solve", 14.0, solve, -0.10),
+        phase("bc", 4.0, arch::int_compute(), -0.05),
+    ]
+}
+
+fn nab_gen(_t: u32) -> Vec<Phase> {
+    // Nucleic-acid builder: scalar FP molecular mechanics, small
+    // working set — another workload with a *low* unobserved level
+    // (overestimated in scenario 2, like md).
+    let gb = Activity::mix(&[(0.7, arch::scalar_fp_longlat()), (0.3, arch::int_compute())]);
+    let pair = Activity::mix(&[(0.7, arch::scalar_fp_longlat()), (0.3, arch::pointer_chase())]);
+    vec![
+        phase("generalized-born", 20.0, gb, -0.33),
+        phase("pairlist", 8.0, pair, -0.33),
+    ]
+}
+
+fn bt331_gen(_t: u32) -> Vec<Phase> {
+    // Block-tridiagonal solver: alternating vector sweeps and memory
+    // transposes.
+    let x = Activity::mix(&[
+        (0.55, arch::vector_fp()),
+        (0.35, arch::memory_stream()),
+        (0.10, arch::code_footprint()),
+    ]);
+    let y = Activity::mix(&[
+        (0.45, arch::vector_fp()),
+        (0.45, arch::memory_stream()),
+        (0.10, arch::code_footprint()),
+    ]);
+    let z = Activity::mix(&[
+        (0.35, arch::vector_fp()),
+        (0.55, arch::memory_stream()),
+        (0.10, arch::code_footprint()),
+    ]);
+    vec![
+        phase("x-solve", 10.0, x, 0.10),
+        phase("y-solve", 10.0, y, 0.10),
+        phase("z-solve", 10.0, z, 0.10),
+        phase("rhs", 6.0, arch::int_compute(), 0.08),
+    ]
+}
+
+fn botsalgn_gen(_t: u32) -> Vec<Phase> {
+    // Protein alignment (task-parallel dynamic programming): integer,
+    // branchy, cache-resident, with a deep recursive call tree (task
+    // spawning) that pressures the front end.
+    let align = Activity::mix(&[(0.72, arch::int_compute()), (0.28, arch::code_footprint())]);
+    vec![
+        phase("align", 26.0, align, 0.12),
+        phase("reduce", 4.0, arch::shared_data(), 0.12),
+    ]
+}
+
+fn ilbdc_gen(_t: u32) -> Vec<Phase> {
+    // Lattice-Boltzmann kernel: extreme irregular streaming, DRAM-bound
+    // with data-dependent gather/scatter — the paper's *highest-MAPE*
+    // workload. Large unobserved level + heavy non-core (DRAM) power.
+    let mut stream = Activity::mix(&[(0.9, arch::memory_stream()), (0.1, arch::pointer_chase())]);
+    stream.sharing_frac = 0.05;
+    let collide = Activity::mix(&[(0.55, arch::memory_stream()), (0.45, arch::vector_fp())]);
+    vec![
+        phase("propagate", 16.0, stream, 0.45),
+        phase("collide", 14.0, collide, 0.40),
+    ]
+}
+
+fn fma3d_gen(_t: u32) -> Vec<Phase> {
+    // Crash simulation: huge code footprint (deep element library),
+    // scalar FP, irregular meshes.
+    let elem = Activity::mix(&[
+        (0.45, arch::code_footprint()),
+        (0.35, arch::scalar_fp_longlat()),
+        (0.20, arch::pointer_chase()),
+    ]);
+    let contact = Activity::mix(&[(0.6, arch::pointer_chase()), (0.4, arch::shared_data())]);
+    vec![
+        phase("elements", 20.0, elem, 0.05),
+        phase("contact", 9.0, contact, 0.05),
+    ]
+}
+
+fn swim_gen(_t: u32) -> Vec<Phase> {
+    // Shallow-water stencils: classic bandwidth-bound loops.
+    let calc = Activity::mix(&[(0.7, arch::memory_stream()), (0.3, arch::vector_fp())]);
+    vec![
+        phase("calc1", 11.0, calc, 0.18),
+        phase("calc2", 11.0, calc, 0.18),
+        phase("calc3", 10.0, Activity::mix(&[(0.8, arch::memory_stream()), (0.2, arch::vector_fp())]), 0.18),
+    ]
+}
+
+fn mgrid331_gen(_t: u32) -> Vec<Phase> {
+    // Multigrid: resolution ladder — fine levels stream memory, coarse
+    // levels fit in cache.
+    let fine = Activity::mix(&[(0.75, arch::memory_stream()), (0.25, arch::vector_fp())]);
+    let coarse = Activity::mix(&[(0.3, arch::memory_stream()), (0.7, arch::vector_fp())]);
+    vec![
+        phase("fine", 14.0, fine, -0.06),
+        phase("coarse", 8.0, coarse, -0.06),
+        phase("interp", 8.0, Activity::mix(&[(0.5, arch::memory_stream()), (0.5, arch::int_compute())]), -0.06),
+    ]
+}
+
+fn applu331_gen(_t: u32) -> Vec<Phase> {
+    // SSOR solver: wavefront dependencies (sharing), vector sweeps.
+    let ssor = Activity::mix(&[
+        (0.35, arch::vector_fp()),
+        (0.30, arch::memory_stream()),
+        (0.25, arch::shared_data()),
+        (0.10, arch::code_footprint()),
+    ]);
+    let jac = Activity::mix(&[(0.6, arch::vector_fp()), (0.4, arch::int_compute())]);
+    vec![
+        phase("ssor", 18.0, ssor, 0.06),
+        phase("jacobian", 10.0, jac, 0.06),
+    ]
+}
+
+/// The ten SPEC-OMP2012-like benchmarks of the paper's evaluation.
+pub fn benchmarks() -> Vec<Workload> {
+    vec![
+        Workload::new(10, "md", Suite::SpecOmp2012, md_gen, SPEC_THREADS),
+        Workload::new(11, "bwaves", Suite::SpecOmp2012, bwaves_gen, SPEC_THREADS),
+        Workload::new(12, "nab", Suite::SpecOmp2012, nab_gen, SPEC_THREADS),
+        Workload::new(13, "bt331", Suite::SpecOmp2012, bt331_gen, SPEC_THREADS),
+        Workload::new(14, "botsalgn", Suite::SpecOmp2012, botsalgn_gen, SPEC_THREADS),
+        Workload::new(15, "ilbdc", Suite::SpecOmp2012, ilbdc_gen, SPEC_THREADS),
+        Workload::new(16, "fma3d", Suite::SpecOmp2012, fma3d_gen, SPEC_THREADS),
+        Workload::new(17, "swim", Suite::SpecOmp2012, swim_gen, SPEC_THREADS),
+        Workload::new(18, "mgrid331", Suite::SpecOmp2012, mgrid331_gen, SPEC_THREADS),
+        Workload::new(19, "applu331", Suite::SpecOmp2012, applu331_gen, SPEC_THREADS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_benchmarks() {
+        assert_eq!(benchmarks().len(), 10);
+    }
+
+    #[test]
+    fn all_phases_validate() {
+        for w in benchmarks() {
+            for p in w.phases(24) {
+                p.activity
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{} / {}: {e}", w.name, p.name));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_workloads_are_multi_phase() {
+        for w in benchmarks() {
+            assert!(w.phases(24).len() >= 2, "{} lacks internal variability", w.name);
+        }
+    }
+
+    #[test]
+    fn unobserved_structure_matches_paper_narrative() {
+        let avg_unobserved = |name: &str| {
+            let w = benchmarks().into_iter().find(|w| w.name == name).unwrap();
+            let ps = w.phases(24);
+            let tot: f64 = ps.iter().map(|p| p.duration_s).sum();
+            ps.iter()
+                .map(|p| p.activity.unobserved * p.duration_s / tot)
+                .sum::<f64>()
+        };
+        // md and nab sit well below ilbdc; ilbdc is the extreme.
+        assert!(avg_unobserved("md") < 0.25);
+        assert!(avg_unobserved("nab") < 0.20);
+        assert!(avg_unobserved("ilbdc") > 0.75);
+        for w in benchmarks() {
+            assert!(avg_unobserved(w.name) <= avg_unobserved("ilbdc"));
+        }
+    }
+
+    #[test]
+    fn ilbdc_is_memory_extreme() {
+        let w = benchmarks().into_iter().find(|w| w.name == "ilbdc").unwrap();
+        let p = &w.phases(24)[0];
+        assert!(p.activity.l3_mpki > 5.0);
+        assert!(p.activity.stall_frac > 0.5);
+    }
+
+    #[test]
+    fn durations_are_realistic() {
+        for w in benchmarks() {
+            let d = w.total_duration(24);
+            assert!((20.0..=60.0).contains(&d), "{}: {d}", w.name);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Counter selection in depth: Algorithm 1, the VIF stability gate,
+//! and the snoop-counter trap (paper §IV-A).
+//!
+//! ```text
+//! cargo run --release --example counter_selection
+//! ```
+
+use pmc_cpusim::{Machine, MachineConfig};
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::selection::{probe_additional_event, select_events};
+use pmc_stats::{mean_vif, pearson};
+use pmc_workloads::WorkloadSet;
+
+fn main() {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let plan = ExperimentPlan::quick_plan(WorkloadSet::paper_set(), vec![2400]);
+    println!("acquiring selection dataset (all 16 workloads @ 2400 MHz)…");
+    let profiles = Campaign::new(&machine, plan).run().expect("acquisition");
+    let data = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap();
+
+    // The marginal-R² view: what each greedy step buys.
+    let report = select_events(&data, PapiEvent::ALL, 6).expect("selection");
+    println!("\ngreedy forward selection (Algorithm 1):");
+    let mut prev = 0.0;
+    for (i, s) in report.steps.iter().enumerate() {
+        println!(
+            "  step {}: +{:7} ΔR² = {:+.4} → R² {:.4}, mean VIF {}",
+            i + 1,
+            s.event.mnemonic(),
+            s.r_squared - prev,
+            s.r_squared,
+            s.mean_vif.map_or("n/a".into(), |v| format!("{v:.2}")),
+        );
+        prev = s.r_squared;
+    }
+
+    // Why the selected counters are NOT simply the most correlated
+    // ones (paper §V): show each selected counter's |PCC| rank.
+    let power = data.power();
+    let mut pcc_rank: Vec<(PapiEvent, f64)> = PapiEvent::ALL
+        .iter()
+        .filter_map(|&e| pearson(&data.rate_column(e), &power).ok().map(|r| (e, r.abs())))
+        .collect();
+    pcc_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nselected counters vs their raw-correlation rank:");
+    for s in &report.steps {
+        let rank = pcc_rank.iter().position(|(e, _)| *e == s.event).map(|p| p + 1);
+        println!(
+            "  {:8} |PCC| rank {:>2} of {}",
+            s.event.mnemonic(),
+            rank.map_or("—".into(), |r| r.to_string()),
+            pcc_rank.len()
+        );
+    }
+
+    // The snoop-counter trap: adding CA_SNP inflates the mean VIF past
+    // the stability threshold while barely moving R².
+    let events = report.selected_events();
+    match probe_additional_event(&data, &events, PapiEvent::CA_SNP) {
+        Ok(step) => {
+            println!(
+                "\nprobing CA_SNP as a 7th counter: R² {:.4} (was {:.4}), mean VIF {:.1}",
+                step.r_squared,
+                prev,
+                step.mean_vif.unwrap_or(f64::NAN)
+            );
+            println!("mean VIF > 10 ⇒ multicollinear, unstable coefficients — rejected.");
+        }
+        Err(e) => println!("\nCA_SNP probe failed: {e}"),
+    }
+
+    // Show the raw collinearity: mean VIF of the selected set vs the
+    // set plus each L3 counter.
+    let base = mean_vif(&data.rate_matrix(&events)).unwrap();
+    println!("\nmean VIF of the selected 6: {base:.2}");
+    for extra in [PapiEvent::L3_TCA, PapiEvent::L3_TCM, PapiEvent::CA_SNP] {
+        let mut trial = events.clone();
+        trial.push(extra);
+        let v = mean_vif(&data.rate_matrix(&trial)).unwrap();
+        println!("  + {:8} → {v:.2}", extra.mnemonic());
+    }
+}

@@ -1,0 +1,108 @@
+//! DVFS behaviour of the model: train across voltage–frequency states
+//! and verify Equation 1 transfers between them.
+//!
+//! Demonstrates the reason Equation 1 multiplies counter rates by
+//! `V²·f`: a model trained at *low* frequencies extrapolates to *high*
+//! frequencies because the physics is in the regressors.
+//!
+//! ```text
+//! cargo run --release --example dvfs_sweep
+//! ```
+
+use pmc_cpusim::{Machine, MachineConfig, VoltageCurve};
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_stats::mape;
+use pmc_workloads::WorkloadSet;
+
+/// The counters the paper's workflow selects on this platform.
+const EVENTS: [PapiEvent; 4] = [
+    PapiEvent::PRF_DM,
+    PapiEvent::REF_CYC,
+    PapiEvent::STL_ICY,
+    PapiEvent::FUL_CCY,
+];
+
+fn main() {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+
+    // Show the operating points the machine exposes.
+    println!("DVFS operating points:");
+    for op in machine.config().voltage_curve.paper_operating_points() {
+        println!(
+            "  {:>4} MHz  V = {:.3} V  V²f = {:.3}",
+            op.freq_mhz,
+            op.voltage,
+            op.voltage * op.voltage * op.freq_ghz()
+        );
+    }
+
+    let plan = ExperimentPlan::quick_plan(
+        WorkloadSet::roco2_only(),
+        VoltageCurve::paper_frequencies().to_vec(),
+    );
+    println!(
+        "\nacquiring {} experiments across 5 DVFS states…",
+        plan.experiment_count()
+    );
+    let profiles = Campaign::new(&machine, plan).run().expect("acquisition");
+    let data = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap();
+
+    // Train on the three lowest frequencies, test on the two highest:
+    // cross-frequency extrapolation.
+    let train = data.filter(|r| r.freq_mhz <= 2000);
+    let test = data.filter(|r| r.freq_mhz > 2000);
+    let model = PowerModel::fit(&train, &EVENTS).expect("fit");
+    println!(
+        "\ntrained on ≤2000 MHz ({} samples): R² = {:.4}",
+        train.len(),
+        model.fit_r_squared
+    );
+
+    for freq in [2400u32, 2600] {
+        let sub = test.at_frequency(freq);
+        let predicted = model.predict(&sub);
+        let err = mape(&sub.power(), &predicted).unwrap();
+        println!(
+            "extrapolating to {freq} MHz: MAPE {err:5.2}%  ({} samples)",
+            sub.len()
+        );
+    }
+
+    // Per-frequency in-distribution errors for comparison.
+    let full = PowerModel::fit(&data, &EVENTS).expect("fit all");
+    println!("\ntrained on all frequencies (reference):");
+    for freq in VoltageCurve::paper_frequencies() {
+        let sub = data.at_frequency(freq);
+        let err = mape(&sub.power(), &full.predict(&sub)).unwrap();
+        println!("  {freq:>4} MHz: MAPE {err:5.2}%");
+    }
+
+    // The decomposition Equation 1 gives for one operating point: how
+    // much power the model attributes to events vs V²f vs V vs system.
+    let row = data
+        .rows()
+        .iter()
+        .find(|r| r.freq_mhz == 2400 && r.threads == 24 && r.workload == "memory")
+        .expect("memory @ 2400 MHz, 24 threads");
+    let v2f = row.v2f();
+    let event_power: f64 = full
+        .events
+        .iter()
+        .zip(&full.alpha)
+        .map(|(&e, a)| a * row.rate(e) * v2f)
+        .sum();
+    println!(
+        "\nmemory kernel @ 2400 MHz / 24 threads — attribution:\n  \
+         events {:.1} W + dynamic floor {:.1} W + static {:.1} W + system {:.1} W \
+         = {:.1} W (measured {:.1} W)",
+        event_power,
+        full.beta * v2f,
+        full.gamma * row.voltage,
+        full.delta,
+        full.predict_row(row),
+        row.power
+    );
+}

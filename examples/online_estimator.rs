@@ -1,0 +1,96 @@
+//! Online power estimation: deploy a trained model as a software power
+//! meter that only ever records the model's selected counters.
+//!
+//! This is the production use case the paper motivates: once the six
+//! counters are known, a runtime needs just one counter group (plus
+//! voltage) to produce live power estimates — no wattmeter.
+//!
+//! ```text
+//! cargo run --release --example online_estimator
+//! ```
+
+use pmc_cpusim::{Machine, MachineConfig, PhaseContext};
+use pmc_events::scheduler::CounterScheduler;
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_model::selection::select_events;
+use pmc_workloads::{roco2, WorkloadSet};
+
+fn main() {
+    // --- Offline: calibrate once -----------------------------------
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let plan = ExperimentPlan::quick_plan(WorkloadSet::paper_set(), vec![1200, 2000, 2600]);
+    println!("calibration campaign: {} runs…", plan.run_count());
+    let profiles = Campaign::new(&machine, plan).run().expect("acquisition");
+    let data = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap();
+    let events = select_events(&data.at_frequency(2000), PapiEvent::ALL, 6)
+        .expect("selection")
+        .selected_events();
+    let model = PowerModel::fit(&data, &events).expect("fit");
+
+    // The deployable artifact: a JSON model file.
+    let json = model.to_json().expect("serialize");
+    println!(
+        "trained model: {} counters, R² = {:.4}, {} bytes as JSON",
+        model.events.len(),
+        model.fit_r_squared,
+        json.len()
+    );
+
+    // The runtime needs this single counter group — it fits in one
+    // hardware slot allocation, no multiplexing.
+    let groups = CounterScheduler::haswell_default()
+        .schedule(&model.events)
+        .expect("schedule");
+    println!(
+        "runtime counter groups needed: {} ({} programmable slots)",
+        groups.len(),
+        groups.iter().map(|g| g.programmable.len()).sum::<usize>()
+    );
+
+    // --- Online: estimate live phases ------------------------------
+    // A "live" stream of 1-second phases from mixed workloads; the
+    // estimator sees only counter deltas and the voltage readout.
+    let restored = PowerModel::from_json(&json).expect("deserialize");
+    let mut kernels = roco2::kernels();
+    kernels.extend(roco2::extended_kernels());
+
+    println!("\nlive estimation (1 s windows):");
+    println!("{:<10} {:>5} {:>9} {:>10} {:>7}", "phase", "MHz", "true W", "est. W", "err %");
+    let mut worst: f64 = 0.0;
+    for (i, w) in kernels.iter().enumerate() {
+        let freq = [1200u32, 2000, 2600][i % 3];
+        let phase = &w.phases(24)[0];
+        let obs = machine.observe(
+            &phase.activity,
+            &PhaseContext {
+                workload_id: w.id,
+                phase_id: 0,
+                run_id: 1000 + i as u32, // live run, unseen noise
+                threads: 24,
+                freq_mhz: freq,
+                duration_s: 1.0,
+            },
+        );
+        // Counter deltas → rates per available core cycle.
+        let avail =
+            machine.config().total_cores() as f64 * freq as f64 * 1e6 * obs.duration_s;
+        let rates: Vec<f64> = restored
+            .events
+            .iter()
+            .map(|e| obs.counters[e.index()] / avail)
+            .collect();
+        let estimate = restored
+            .predict_raw(&rates, obs.voltage, freq)
+            .expect("predict");
+        let err = 100.0 * (estimate - obs.power_true) / obs.power_true;
+        worst = worst.max(err.abs());
+        println!(
+            "{:<10} {:>5} {:>9.1} {:>10.1} {:>+7.2}",
+            w.name, freq, obs.power_true, estimate, err
+        );
+    }
+    println!("\nworst live error: {worst:.2}% — no wattmeter attached.");
+}

@@ -1,0 +1,93 @@
+//! Quickstart: build a PMC power model end-to-end and use it.
+//!
+//! Runs a reduced acquisition campaign on the simulated Haswell-EP
+//! machine, selects counters with Algorithm 1, fits Equation 1, and
+//! estimates the power of a workload the model has never seen.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pmc_cpusim::{Machine, MachineConfig};
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_model::selection::select_events;
+use pmc_workloads::WorkloadSet;
+
+fn main() {
+    // 1. A machine to measure: dual-socket Haswell-EP with calibrated
+    //    power instrumentation (simulated).
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+
+    // 2. Acquire training data: every roco2 kernel at three DVFS
+    //    states, 13 runs each (counter-group limit), through the full
+    //    trace pipeline.
+    let plan = ExperimentPlan::quick_plan(WorkloadSet::roco2_only(), vec![1200, 2000, 2600]);
+    println!(
+        "acquiring {} experiments ({} runs)…",
+        plan.experiment_count(),
+        plan.run_count()
+    );
+    let profiles = Campaign::new(&machine, plan).run().expect("acquisition failed");
+    let data = Dataset::from_profiles(&profiles, machine.config().total_cores())
+        .expect("dataset assembly failed");
+    println!("dataset: {} samples", data.len());
+
+    // 3. Select the most informative counters (Algorithm 1) on the
+    //    middle frequency.
+    let report = select_events(&data.at_frequency(2000), PapiEvent::ALL, 4)
+        .expect("selection failed");
+    println!("\nselected counters:");
+    for step in &report.steps {
+        println!(
+            "  {:8} R²={:.3}  mean VIF={}",
+            step.event.mnemonic(),
+            step.r_squared,
+            step.mean_vif.map_or("n/a".into(), |v| format!("{v:.2}")),
+        );
+    }
+
+    // 4. Fit Equation 1 across all DVFS states.
+    let events = report.selected_events();
+    let model = PowerModel::fit(&data, &events).expect("model fit failed");
+    println!(
+        "\nEquation 1 fit: R² = {:.4}, adj R² = {:.4} ({} samples)",
+        model.fit_r_squared, model.fit_adj_r_squared, model.n_observations
+    );
+    println!(
+        "coefficients: α = {:?}, β = {:.1}, γ = {:.1}, δ = {:.1}",
+        model
+            .alpha
+            .iter()
+            .map(|a| format!("{a:.1}"))
+            .collect::<Vec<_>>(),
+        model.beta,
+        model.gamma,
+        model.delta
+    );
+
+    // 5. Estimate the power of an *unseen* workload: the SPEC-like
+    //    bwaves benchmark at a frequency the model was trained on.
+    let spec = WorkloadSet::spec_only();
+    let bwaves = spec.by_name("bwaves").unwrap();
+    let plan = ExperimentPlan::quick_plan(
+        WorkloadSet::from_workloads(vec![bwaves.clone()]),
+        vec![2000],
+    );
+    let profiles = Campaign::new(&machine, plan).run().unwrap();
+    let test = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap();
+
+    println!("\nestimating bwaves (never seen during training):");
+    for row in test.rows() {
+        let predicted = model.predict_row(row);
+        println!(
+            "  phase {:10} measured {:6.1} W   estimated {:6.1} W   error {:+.1}%",
+            row.phase,
+            row.power,
+            predicted,
+            100.0 * (predicted - row.power) / row.power
+        );
+    }
+}

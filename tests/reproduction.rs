@@ -1,0 +1,203 @@
+//! Reproduction shape tests: the paper's qualitative findings must
+//! hold on the full evaluation dataset.
+//!
+//! These run the complete paper campaign (16 workloads × thread sweeps
+//! × 5 DVFS states × 13 counter groups), so they are release-profile
+//! friendly but still run in debug within a few minutes. They assert
+//! *shapes* — who wins, what blows up, orderings — not absolute
+//! numbers.
+
+use pmc_bench::{paper_dataset, paper_machine, PAPER_SEED, SELECTION_FREQ_MHZ};
+use pmc_events::{Category, PapiEvent};
+use pmc_model::analysis::counter_power_correlations;
+use pmc_model::scenarios::run_paper_scenarios;
+use pmc_model::selection::{probe_additional_event, select_events};
+use pmc_model::validation::{cross_validate_model, oof_predictions, per_workload_mape};
+use std::sync::OnceLock;
+
+struct Fixture {
+    data: pmc_model::dataset::Dataset,
+    selection: pmc_model::dataset::Dataset,
+    events: Vec<PapiEvent>,
+    report: pmc_model::selection::SelectionReport,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let machine = paper_machine(PAPER_SEED);
+        let data = paper_dataset(&machine);
+        let selection = data.at_frequency(SELECTION_FREQ_MHZ);
+        let report = select_events(&selection, PapiEvent::ALL, 6).unwrap();
+        let events = report.selected_events();
+        Fixture {
+            data,
+            selection,
+            events,
+            report,
+        }
+    })
+}
+
+/// Table I: a prefetch/memory counter is selected first with moderate
+/// R², six counters reach ≥0.97, and the R² curve is monotone.
+#[test]
+fn table1_selection_shape() {
+    let f = fixture();
+    assert_eq!(f.report.steps.len(), 6);
+    let first = &f.report.steps[0];
+    assert_eq!(first.event, PapiEvent::PRF_DM, "first counter is the prefetch-miss proxy");
+    assert!(
+        (0.70..=0.90).contains(&first.r_squared),
+        "first-counter R² {}",
+        first.r_squared
+    );
+    let last = f.report.steps.last().unwrap();
+    assert!(last.r_squared > 0.97, "six-counter R² {}", last.r_squared);
+    for w in f.report.r_squared_curve().windows(2) {
+        assert!(w[1] >= w[0] - 1e-12);
+    }
+    // Adjusted R² tracks R² closely (the paper's "predictors add
+    // relevant information" observation).
+    for s in &f.report.steps {
+        assert!(s.r_squared - s.adj_r_squared < 0.01);
+    }
+    // A cycle counter is selected second.
+    assert_eq!(f.report.steps[1].event.category(), Category::Cycle);
+}
+
+/// Table I: the mean VIF of the six selected counters stays below the
+/// instability threshold.
+#[test]
+fn table1_vif_is_stable() {
+    let f = fixture();
+    for s in &f.report.steps[1..] {
+        let v = s.mean_vif.unwrap();
+        assert!(v < 10.0, "{} mean VIF {v}", s.event);
+        assert!(v >= 1.0 - 1e-9);
+    }
+}
+
+/// §IV-A: probing the snoop counter as a 7th event barely improves R²
+/// while pushing the mean VIF past 10 — the paper's stability trap.
+#[test]
+fn seventh_counter_vif_blowup() {
+    let f = fixture();
+    let six_vif = f.report.steps.last().unwrap().mean_vif.unwrap();
+    let six_r2 = f.report.steps.last().unwrap().r_squared;
+    let snp = probe_additional_event(&f.selection, &f.events, PapiEvent::CA_SNP).unwrap();
+    assert!(snp.r_squared >= six_r2 - 1e-12);
+    assert!(snp.r_squared - six_r2 < 0.02, "CA_SNP adds little R²");
+    let snp_vif = snp.mean_vif.unwrap();
+    assert!(
+        snp_vif > 10.0 && snp_vif > 1.5 * six_vif,
+        "CA_SNP must blow up the mean VIF: {six_vif} → {snp_vif}"
+    );
+}
+
+/// Table II: 10-fold CV reaches high R² with a single-digit mean MAPE.
+#[test]
+fn table2_cross_validation_quality() {
+    let f = fixture();
+    let (summary, outcomes) =
+        cross_validate_model(&f.data, &f.events, 10, PAPER_SEED).unwrap();
+    assert_eq!(outcomes.len(), 10);
+    assert!(summary.r_squared.min > 0.97, "{:?}", summary.r_squared);
+    assert!(
+        (3.0..=12.0).contains(&summary.mape.mean),
+        "CV MAPE {:?}",
+        summary.mape
+    );
+    assert!(summary.adj_r_squared.mean <= summary.r_squared.mean);
+}
+
+/// Fig. 3: per-workload MAPE varies widely; the worst workload is a
+/// SPEC benchmark (the paper's ilbdc story) and is several times worse
+/// than the best.
+#[test]
+fn fig3_per_workload_error_spread() {
+    let f = fixture();
+    let pred = oof_predictions(&f.data, &f.events, 10, PAPER_SEED).unwrap();
+    let mut errors = per_workload_mape(&f.data, &pred).unwrap();
+    assert_eq!(errors.len(), 16);
+    errors.sort_by(|a, b| a.mape.partial_cmp(&b.mape).unwrap());
+    let best = errors.first().unwrap();
+    let worst = errors.last().unwrap();
+    assert!(worst.mape > 3.0 * best.mape, "spread {} vs {}", best.mape, worst.mape);
+    assert_eq!(worst.suite, "SPEC OMP2012", "worst workload is an application benchmark");
+}
+
+/// Fig. 4: the scenario ordering holds — synthetic-only training is
+/// the worst, synthetic-only CV the best, full CV in between.
+#[test]
+fn fig4_scenario_ordering() {
+    let f = fixture();
+    let results = run_paper_scenarios(&f.data, &f.events, PAPER_SEED).unwrap();
+    let mape: Vec<f64> = results.iter().map(|r| r.mape).collect();
+    // [random-4, synthetic→SPEC, CV-all, CV-synthetic]
+    assert!(mape[1] > mape[2], "scenario 2 must beat CV-all: {mape:?}");
+    assert!(mape[1] > 1.5 * mape[2], "scenario 2 ≥ 1.5× CV-all: {mape:?}");
+    assert!(mape[3] < mape[2], "synthetic CV is the easiest: {mape:?}");
+    assert!(mape[0] > mape[2], "unseen workloads are harder than CV: {mape:?}");
+}
+
+/// Fig. 5a: when trained on synthetic kernels only, md and nab are
+/// consistently overestimated (positive bias), as the paper observes.
+#[test]
+fn fig5a_md_nab_overestimated() {
+    let f = fixture();
+    let results = run_paper_scenarios(&f.data, &f.events, PAPER_SEED).unwrap();
+    let sc2 = &results[1];
+    for target in ["md", "nab"] {
+        let biases: Vec<f64> = sc2
+            .points
+            .iter()
+            .filter(|p| p.workload == target)
+            .map(|p| p.predicted - p.actual)
+            .collect();
+        assert!(!biases.is_empty());
+        let positive = biases.iter().filter(|b| **b > 0.0).count();
+        assert!(
+            positive as f64 >= 0.8 * biases.len() as f64,
+            "{target} must be consistently overestimated ({positive}/{})",
+            biases.len()
+        );
+    }
+}
+
+/// Table III / Fig. 6: the first selected counter correlates strongly
+/// with power, while later selections have markedly weaker marginal
+/// correlation — they carry orthogonal information.
+#[test]
+fn table3_selected_counter_correlations() {
+    let f = fixture();
+    let all = counter_power_correlations(&f.selection).unwrap();
+    let pcc = |e: PapiEvent| all[e.index()].pcc.unwrap_or(0.0);
+    let first = pcc(f.events[0]).abs();
+    assert!(first > 0.8, "first counter PCC {first}");
+    let weakest = f.events[1..]
+        .iter()
+        .map(|&e| pcc(e).abs())
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        weakest < 0.6,
+        "later selections include weakly-correlated counters (min {weakest})"
+    );
+}
+
+/// Table IV: selecting on synthetic workloads only yields a different
+/// counter set whose mean VIF explodes within six steps.
+#[test]
+fn table4_synthetic_only_selection_unstable() {
+    let f = fixture();
+    let synth = f.selection.suite("roco2");
+    let report = select_events(&synth, PapiEvent::ALL, 6).unwrap();
+    let synth_events = report.selected_events();
+    assert_ne!(synth_events, f.events, "different training data, different counters");
+    let max_vif = report
+        .steps
+        .iter()
+        .filter_map(|s| s.mean_vif)
+        .fold(0.0f64, f64::max);
+    assert!(max_vif > 10.0, "synthetic-only VIF must blow up, got {max_vif}");
+}

@@ -1,0 +1,212 @@
+//! Robustness and failure-injection tests: the pipeline must degrade
+//! loudly, not silently, and its qualitative conclusions must not
+//! depend on one lucky seed.
+
+use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext};
+use pmc_events::scheduler::CounterScheduler;
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::{Dataset, SampleRow};
+use pmc_model::model::PowerModel;
+use pmc_model::selection::select_events;
+use pmc_model::validation::cross_validate_model;
+use pmc_trace::record::{TraceRecord, TraceMeta};
+use pmc_trace::{extract_profiles, merge_runs, PhaseProfile};
+use pmc_workloads::{roco2, WorkloadSet};
+
+fn quick_data(seed: u64) -> (Machine, Dataset) {
+    let machine = Machine::new(MachineConfig::haswell_ep(seed));
+    let set = WorkloadSet::from_workloads(
+        roco2::kernels()
+            .into_iter()
+            .filter(|w| matches!(w.name, "sqrt" | "memory" | "compute", ))
+            .collect(),
+    );
+    let plan = ExperimentPlan::quick_plan(set, vec![1200, 2400]);
+    let profiles = Campaign::new(&machine, plan).run().unwrap();
+    let cores = machine.config().total_cores();
+    (machine, Dataset::from_profiles(&profiles, cores).unwrap())
+}
+
+/// The headline conclusions hold across seeds: the first selected
+/// counter is a memory-traffic proxy and the Equation 1 fit is strong.
+#[test]
+fn seed_robustness_of_conclusions() {
+    for seed in [1u64, 6, 23, 99] {
+        let (_machine, data) = quick_data(seed);
+        let report = select_events(&data.at_frequency(2400), PapiEvent::ALL, 3).unwrap();
+        let first = report.steps[0].event;
+        let memoryish = matches!(
+            first.category(),
+            pmc_events::Category::Prefetch | pmc_events::Category::Cache
+        );
+        assert!(memoryish, "seed {seed}: first counter {first} not memory-class");
+
+        let model = PowerModel::fit(&data, &report.selected_events()).unwrap();
+        assert!(model.fit_r_squared > 0.9, "seed {seed}: R² {}", model.fit_r_squared);
+    }
+}
+
+/// Collinear regressor sets are rejected with an error, not NaNs.
+#[test]
+fn collinear_counter_set_rejected() {
+    let (_machine, data) = quick_data(6);
+    // L1_TCM = L1_DCM + L1_ICM exactly (up to noise); with L1_LDM and
+    // L1_STM (whose sum is L1_DCM) the design is nearly singular. Use
+    // an exactly-duplicated event to force the failure.
+    let events = vec![PapiEvent::PRF_DM, PapiEvent::PRF_DM];
+    let result = PowerModel::fit(&data, &events);
+    assert!(result.is_err(), "duplicate regressors must not fit");
+}
+
+/// A constant (dead) counter cannot be selected and does not poison
+/// the run.
+#[test]
+fn dead_counter_is_skippable() {
+    let (_machine, data) = quick_data(6);
+    // Zero out one counter column to simulate a dead PMU event.
+    let rows: Vec<SampleRow> = data
+        .rows()
+        .iter()
+        .cloned()
+        .map(|mut r| {
+            r.rates[PapiEvent::CA_SNP.index()] = 0.0;
+            r
+        })
+        .collect();
+    let poisoned = Dataset::from_rows(rows);
+    let report = select_events(&poisoned.at_frequency(2400), PapiEvent::ALL, 3).unwrap();
+    assert!(!report.selected_events().contains(&PapiEvent::CA_SNP));
+}
+
+/// Too-small folds are rejected; CV on a small but valid dataset runs.
+#[test]
+fn cross_validation_bounds() {
+    let (_machine, data) = quick_data(6);
+    assert!(cross_validate_model(&data, &[PapiEvent::PRF_DM], 1, 0).is_err());
+    assert!(cross_validate_model(&data, &[PapiEvent::PRF_DM], data.len() + 1, 0).is_err());
+    let (summary, _) = cross_validate_model(
+        &data,
+        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC],
+        5,
+        0,
+    )
+    .unwrap();
+    assert!(summary.mape.mean.is_finite());
+}
+
+/// Dropped sensor data (missing power samples) fails merging loudly.
+#[test]
+fn sensor_dropout_detected() {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let kernel = roco2::kernels().remove(3);
+    let phase = &kernel.phases(24)[0];
+    let obs = machine.observe(
+        &phase.activity,
+        &PhaseContext {
+            workload_id: kernel.id,
+            phase_id: 0,
+            run_id: 0,
+            threads: 24,
+            freq_mhz: 2400,
+            duration_s: phase.duration_s,
+        },
+    );
+    // Trace recorded WITHOUT the power plugin: profile has no power.
+    let group = CounterScheduler::haswell_default()
+        .schedule(&[PapiEvent::PRF_DM])
+        .unwrap()
+        .remove(0);
+    let tracer = pmc_trace::Tracer::new()
+        .with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
+    let meta = TraceMeta {
+        workload_id: kernel.id,
+        workload: kernel.name.into(),
+        suite: "roco2".into(),
+        threads: 24,
+        freq_mhz: 2400,
+        run_id: 0,
+    };
+    let mut rng = pmc_cpusim::rng::SplitMix64::new(3);
+    let trace = tracer.record_run(meta, &[("main".into(), obs)], &mut rng);
+    let profiles = extract_profiles(&trace).unwrap();
+    assert!(profiles[0].power_avg.is_none());
+    assert!(merge_runs(&profiles).is_err(), "missing power must fail the merge");
+}
+
+/// Missing counter coverage fails dataset assembly with the counter
+/// names in the error.
+#[test]
+fn partial_coverage_detected() {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let mut plan = ExperimentPlan::quick_plan(
+        WorkloadSet::from_workloads(vec![roco2::kernels().remove(3)]),
+        vec![2400],
+    );
+    // Only record two events: coverage is far from complete.
+    plan.events = vec![PapiEvent::PRF_DM, PapiEvent::TLB_IM];
+    let profiles = Campaign::new(&machine, plan).run().unwrap();
+    let err = Dataset::from_profiles(&profiles, machine.config().total_cores()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("lacks counters"), "{msg}");
+    assert!(msg.contains("BR_MSP"), "{msg}");
+}
+
+/// Corrupt traces (broken nesting) are rejected by post-processing.
+#[test]
+fn corrupt_trace_rejected() {
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let group = CounterScheduler::haswell_default()
+        .schedule(&[PapiEvent::PRF_DM])
+        .unwrap()
+        .remove(0);
+    let tracer = pmc_trace::Tracer::new()
+        .with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
+    let obs = machine.observe(
+        &Activity::default(),
+        &PhaseContext {
+            workload_id: 1,
+            phase_id: 0,
+            run_id: 0,
+            threads: 24,
+            freq_mhz: 2400,
+            duration_s: 1.0,
+        },
+    );
+    let meta = TraceMeta {
+        workload_id: 1,
+        workload: "x".into(),
+        suite: "roco2".into(),
+        threads: 24,
+        freq_mhz: 2400,
+        run_id: 0,
+    };
+    let mut rng = pmc_cpusim::rng::SplitMix64::new(4);
+    let mut trace = tracer.record_run(meta, &[("main".into(), obs)], &mut rng);
+    // Drop the Leave record: broken nesting.
+    trace.records.retain(|r| !matches!(r, TraceRecord::Leave { .. }));
+    assert!(extract_profiles(&trace).is_err());
+}
+
+/// Merging profiles from *different* machines (seeds) still averages
+/// arithmetically — merge does not silently deduplicate.
+#[test]
+fn merge_is_arithmetic_not_dedup() {
+    let mk = |seed: u64, power: f64| PhaseProfile {
+        workload_id: 1,
+        workload: "w".into(),
+        suite: "roco2".into(),
+        threads: 24,
+        freq_mhz: 2400,
+        run_id: seed as u32,
+        phase: "main".into(),
+        start_ns: 0,
+        end_ns: 1_000_000_000,
+        power_avg: Some(power),
+        voltage_avg: Some(1.0),
+        counters: [("PAPI_TOT_CYC".to_string(), 1e9)].into_iter().collect(),
+    };
+    let merged = merge_runs(&[mk(0, 100.0), mk(1, 300.0)]).unwrap();
+    assert_eq!(merged.len(), 1);
+    assert!((merged[0].power_avg - 200.0).abs() < 1e-12);
+}
