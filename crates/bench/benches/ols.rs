@@ -1,6 +1,6 @@
-//! Criterion bench: OLS fitting cost vs design size, classical vs HC3.
+//! Micro-bench: OLS fitting cost vs design size, classical vs HC3.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmc_bench::harness::Harness;
 use pmc_linalg::Matrix;
 use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
 
@@ -21,33 +21,22 @@ fn design(n: usize, p: usize) -> (Matrix, Vec<f64>) {
     (m, y)
 }
 
-fn bench_ols(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ols_fit");
+fn main() {
+    let mut h = Harness::new("ols_fit");
     for &(n, p) in &[(280usize, 9usize), (280, 25), (1000, 9), (1000, 57)] {
         let (x, y) = design(n, p);
-        group.bench_with_input(BenchmarkId::new("hc3", format!("{n}x{p}")), &(), |b, _| {
-            b.iter(|| OlsFit::fit(&x, &y).unwrap())
+        h.bench(&format!("hc3/{n}x{p}"), || OlsFit::fit(&x, &y).unwrap());
+        h.bench(&format!("classical/{n}x{p}"), || {
+            OlsFit::fit_with(
+                &x,
+                &y,
+                OlsOptions {
+                    covariance: CovarianceKind::Classical,
+                    centered_tss: true,
+                },
+            )
+            .unwrap()
         });
-        group.bench_with_input(
-            BenchmarkId::new("classical", format!("{n}x{p}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    OlsFit::fit_with(
-                        &x,
-                        &y,
-                        OlsOptions {
-                            covariance: CovarianceKind::Classical,
-                            centered_tss: true,
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_ols);
-criterion_main!(benches);

@@ -1,12 +1,12 @@
-//! Criterion bench: online prediction latency — the per-window cost of
+//! Micro-bench: online prediction latency — the per-window cost of
 //! using the model as a live software power meter.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_bench::harness::Harness;
 use pmc_bench::{paper_machine, quick_dataset};
 use pmc_events::PapiEvent;
 use pmc_model::model::PowerModel;
 
-fn bench_predict(c: &mut Criterion) {
+fn main() {
     let machine = paper_machine(6);
     let data = quick_dataset(&machine);
     let events = vec![
@@ -21,15 +21,14 @@ fn bench_predict(c: &mut Criterion) {
     let row = data.rows()[0].clone();
     let rates: Vec<f64> = events.iter().map(|&e| row.rate(e)).collect();
 
-    c.bench_function("predict_row", |b| b.iter(|| model.predict_row(&row)));
-    c.bench_function("predict_raw", |b| {
-        b.iter(|| model.predict_raw(&rates, row.voltage, row.freq_mhz).unwrap())
+    let mut h = Harness::new("predict");
+    h.bench("predict_row", || model.predict_row(&row));
+    h.bench("predict_raw", || {
+        model
+            .predict_raw(&rates, row.voltage, row.freq_mhz)
+            .unwrap()
     });
-    c.bench_function("predict_dataset", |b| b.iter(|| model.predict(&data)));
-    c.bench_function("fit_model_6ev", |b| {
-        b.iter(|| PowerModel::fit(&data, &events).unwrap())
-    });
+    h.bench("predict_dataset", || model.predict(&data));
+    h.bench("fit_model_6ev", || PowerModel::fit(&data, &events).unwrap());
+    h.finish();
 }
-
-criterion_group!(benches, bench_predict);
-criterion_main!(benches);

@@ -1,29 +1,28 @@
-//! Criterion bench: Algorithm 1 — one full greedy pass over all 54
+//! Micro-bench: Algorithm 1 — one full greedy pass over all 54
 //! candidate counters (the dominant offline cost of the workflow).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_bench::harness::Harness;
 use pmc_bench::{paper_machine, quick_dataset};
 use pmc_events::PapiEvent;
 use pmc_model::selection::select_events;
 use pmc_stats::mean_vif;
 
-fn bench_selection(c: &mut Criterion) {
+fn main() {
     let machine = paper_machine(6);
     let data = quick_dataset(&machine).at_frequency(2400);
 
-    c.bench_function("select_6_of_54", |b| {
-        b.iter(|| select_events(&data, PapiEvent::ALL, 6).unwrap())
+    let mut h = Harness::new("selection");
+    h.bench("select_6_of_54", || {
+        select_events(&data, PapiEvent::ALL, 6).unwrap()
     });
-    c.bench_function("select_2_of_54", |b| {
-        b.iter(|| select_events(&data, PapiEvent::ALL, 2).unwrap())
+    h.bench("select_2_of_54", || {
+        select_events(&data, PapiEvent::ALL, 2).unwrap()
     });
 
     let events = select_events(&data, PapiEvent::ALL, 6)
         .unwrap()
         .selected_events();
     let rates = data.rate_matrix(&events);
-    c.bench_function("mean_vif_6", |b| b.iter(|| mean_vif(&rates).unwrap()));
+    h.bench("mean_vif_6", || mean_vif(&rates).unwrap());
+    h.finish();
 }
-
-criterion_group!(benches, bench_selection);
-criterion_main!(benches);

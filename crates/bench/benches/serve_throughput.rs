@@ -1,0 +1,65 @@
+//! Micro-bench: serving-layer throughput — the batched prediction hot
+//! path against the per-row loop it replaces, and the full engine
+//! ingest path (validation + normalization + window bookkeeping).
+
+use pmc_bench::harness::Harness;
+use pmc_bench::{paper_machine, quick_dataset};
+use pmc_events::PapiEvent;
+use pmc_model::model::PowerModel;
+use pmc_serve::{CounterSample, EngineConfig, EstimatorEngine, ModelArtifact};
+use std::sync::Arc;
+
+fn main() {
+    let machine = paper_machine(6);
+    let data = quick_dataset(&machine);
+    let events = vec![
+        PapiEvent::PRF_DM,
+        PapiEvent::REF_CYC,
+        PapiEvent::TOT_CYC,
+        PapiEvent::STL_ICY,
+        PapiEvent::TLB_IM,
+        PapiEvent::FUL_CCY,
+    ];
+    let model = PowerModel::fit(&data, &events).unwrap();
+
+    // A 1000-row batch (rows repeated from the quick dataset).
+    let rows: Vec<_> = data.rows().iter().cycle().take(1000).cloned().collect();
+
+    let mut h = Harness::new("serve_throughput");
+    h.bench("predict_per_row_1000", || {
+        rows.iter().map(|r| model.predict_row(r)).sum::<f64>()
+    });
+    h.bench("predict_batch_1000", || {
+        model.predict_batch(&rows).iter().sum::<f64>()
+    });
+    let mut out = Vec::new();
+    h.bench("predict_batch_into_1000", || {
+        model.predict_batch_into(&rows, &mut out);
+        out.iter().sum::<f64>()
+    });
+
+    // Full engine ingest: one sample through validation, Dataset-style
+    // normalization, Equation 1, and the sliding window.
+    let total_cores = machine.config().total_cores();
+    let engine = EstimatorEngine::new(EngineConfig {
+        window: 8,
+        total_cores,
+        staleness_ns: 5_000_000_000,
+    });
+    let mut artifact = ModelArtifact::new("hsw-ep", model);
+    artifact.version = 1;
+    let artifact = Arc::new(artifact);
+    let row = &rows[0];
+    let avail = total_cores as f64 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+    let sample = CounterSample {
+        time_ns: 1,
+        duration_s: row.duration_s,
+        freq_mhz: row.freq_mhz,
+        voltage: row.voltage,
+        deltas: events.iter().map(|e| row.rate(*e) * avail).collect(),
+    };
+    h.bench("engine_ingest", || {
+        engine.ingest(1, &sample, &artifact).unwrap()
+    });
+    h.finish();
+}

@@ -1,60 +1,48 @@
-//! Criterion bench: machine-model observation throughput — the cost of
+//! Micro-bench: machine-model observation throughput — the cost of
 //! one simulated phase (counter synthesis + power + sensors).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_bench::harness::Harness;
 use pmc_cpusim::{Machine, MachineConfig, PhaseContext};
 use pmc_workloads::roco2;
 
-fn bench_simulate(c: &mut Criterion) {
+fn main() {
     let machine = Machine::new(MachineConfig::haswell_ep(6));
     let kernels = roco2::kernels();
     let memory = kernels.iter().find(|w| w.name == "memory").unwrap();
     let phase = &memory.phases(24)[0];
 
-    c.bench_function("observe_phase", |b| {
-        let mut run = 0u32;
-        b.iter(|| {
-            run = run.wrapping_add(1);
-            machine.observe(
-                &phase.activity,
-                &PhaseContext {
-                    workload_id: memory.id,
-                    phase_id: 0,
-                    run_id: run,
-                    threads: 24,
-                    freq_mhz: 2400,
-                    duration_s: 10.0,
-                },
-            )
-        })
+    let mut h = Harness::new("simulate");
+    let mut run = 0u32;
+    h.bench("observe_phase", || {
+        run = run.wrapping_add(1);
+        machine.observe(
+            &phase.activity,
+            &PhaseContext {
+                workload_id: memory.id,
+                phase_id: 0,
+                run_id: run,
+                threads: 24,
+                freq_mhz: 2400,
+                duration_s: 10.0,
+            },
+        )
     });
 
-    c.bench_function("true_power_only", |b| {
-        let op = machine.operating_point(2400);
-        b.iter(|| {
-            pmc_cpusim::power::true_power(
-                &phase.activity,
-                machine.power_weights(),
-                24,
-                24,
-                2,
-                &op,
-            )
-        })
+    let op = machine.operating_point(2400);
+    h.bench("true_power_only", || {
+        pmc_cpusim::power::true_power(&phase.activity, machine.power_weights(), 24, 24, 2, &op)
     });
 
-    c.bench_function("expected_counts_only", |b| {
-        let ctx = pmc_cpusim::counters::SynthesisContext {
-            active_cores: 24,
-            total_cores: 24,
-            freq_hz: 2.4e9,
-            ref_freq_hz: 2.6e9,
-            duration_s: 10.0,
-            noise_sigma: 0.008,
-        };
-        b.iter(|| pmc_cpusim::counters::expected_counts(&phase.activity, &ctx))
+    let ctx = pmc_cpusim::counters::SynthesisContext {
+        active_cores: 24,
+        total_cores: 24,
+        freq_hz: 2.4e9,
+        ref_freq_hz: 2.6e9,
+        duration_s: 10.0,
+        noise_sigma: 0.008,
+    };
+    h.bench("expected_counts_only", || {
+        pmc_cpusim::counters::expected_counts(&phase.activity, &ctx)
     });
+    h.finish();
 }
-
-criterion_group!(benches, bench_simulate);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
-//! Criterion bench: the trace pipeline — record, serialize, parse and
+//! Micro-bench: the trace pipeline — record, serialize, parse and
 //! post-process one acquisition run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pmc_bench::harness::Harness;
 use pmc_cpusim::rng::SplitMix64;
 use pmc_cpusim::{Machine, MachineConfig, PhaseContext};
 use pmc_events::scheduler::CounterScheduler;
@@ -12,7 +12,7 @@ use pmc_trace::record::TraceMeta;
 use pmc_trace::{extract_profiles, Tracer};
 use pmc_workloads::roco2;
 
-fn bench_trace(c: &mut Criterion) {
+fn main() {
     let machine = Machine::new(MachineConfig::haswell_ep(6));
     let kernel = &roco2::kernels()[3];
     let phase = &kernel.phases(24)[0];
@@ -45,26 +45,17 @@ fn bench_trace(c: &mut Criterion) {
     };
     let phases = vec![("main".to_string(), obs)];
 
-    c.bench_function("record_run", |b| {
-        b.iter(|| {
-            let mut rng = SplitMix64::new(5);
-            tracer.record_run(meta.clone(), &phases, &mut rng)
-        })
+    let mut h = Harness::new("trace");
+    h.bench("record_run", || {
+        let mut rng = SplitMix64::new(5);
+        tracer.record_run(meta.clone(), &phases, &mut rng)
     });
 
     let mut rng = SplitMix64::new(5);
-    let trace = tracer.record_run(meta, &phases, &mut rng);
-    c.bench_function("extract_profiles", |b| {
-        b.iter(|| extract_profiles(&trace).unwrap())
-    });
-    c.bench_function("serialize_jsonl", |b| {
-        b.iter(|| trace_to_string(&trace).unwrap())
-    });
+    let trace = tracer.record_run(meta.clone(), &phases, &mut rng);
+    h.bench("extract_profiles", || extract_profiles(&trace).unwrap());
+    h.bench("serialize_jsonl", || trace_to_string(&trace).unwrap());
     let text = trace_to_string(&trace).unwrap();
-    c.bench_function("parse_jsonl", |b| {
-        b.iter(|| read_trace(text.as_bytes()).unwrap())
-    });
+    h.bench("parse_jsonl", || read_trace(text.as_bytes()).unwrap());
+    h.finish();
 }
-
-criterion_group!(benches, bench_trace);
-criterion_main!(benches);

@@ -69,7 +69,12 @@ fn main() {
         }
         for probe in [PapiEvent::STL_ICY, PapiEvent::BR_MSP, PapiEvent::CA_SNP] {
             if let Some(pos) = ranked.iter().position(|(e, _)| *e == probe) {
-                println!("    [{} rank {} R2={:.4}]", probe.mnemonic(), pos + 1, ranked[pos].1);
+                println!(
+                    "    [{} rank {} R2={:.4}]",
+                    probe.mnemonic(),
+                    pos + 1,
+                    ranked[pos].1
+                );
             }
         }
         selected.push(ranked[0].0);

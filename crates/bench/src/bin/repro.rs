@@ -9,7 +9,9 @@
 //! Targets: `table1`, `fig2`, `vifcap`, `table2`, `fig3`, `fig4`,
 //! `fig5a`, `fig5b`, `table3`, `fig6`, `table4`, `all`.
 
-use pmc_bench::{paper_dataset, paper_machine, PAPER_SEED, SELECTED_EVENT_COUNT, SELECTION_FREQ_MHZ};
+use pmc_bench::{
+    paper_dataset, paper_machine, PAPER_SEED, SELECTED_EVENT_COUNT, SELECTION_FREQ_MHZ,
+};
 use pmc_events::PapiEvent;
 use pmc_model::analysis::{counter_power_correlations, selected_correlations};
 use pmc_model::dataset::Dataset;
@@ -46,7 +48,9 @@ impl Context {
 }
 
 fn table1(ctx: &Context) {
-    println!("\n== TABLE I: selected performance counters (all workloads @ {SELECTION_FREQ_MHZ} MHz) ==");
+    println!(
+        "\n== TABLE I: selected performance counters (all workloads @ {SELECTION_FREQ_MHZ} MHz) =="
+    );
     let mut t = Table::new(&["Counter", "R2", "Adj.R2", "mean VIF"]);
     for s in &ctx.report.steps {
         t.row(&[
@@ -76,8 +80,12 @@ fn vifcap(ctx: &Context) {
     println!("\n== §IV-A: the seventh counter (VIF blow-up probe) ==");
     // What would the greedy algorithm pick next, and what does that do
     // to the mean VIF?
-    let seventh = select_events(&ctx.selection_data, PapiEvent::ALL, SELECTED_EVENT_COUNT + 1)
-        .expect("7-counter selection failed");
+    let seventh = select_events(
+        &ctx.selection_data,
+        PapiEvent::ALL,
+        SELECTED_EVENT_COUNT + 1,
+    )
+    .expect("7-counter selection failed");
     let last = seventh.steps.last().unwrap();
     println!(
         "7th selected counter: {}  (R² {} → {}, mean VIF {} → {})",
@@ -170,10 +178,21 @@ fn fig5(results: &[ScenarioResult], which: usize) {
         if which == 1 { 'a' } else { 'b' },
         r.label
     );
-    let mut t = Table::new(&["Workload", "f MHz", "Thr", "Actual W", "Estimated W", "Err %"]);
+    let mut t = Table::new(&[
+        "Workload",
+        "f MHz",
+        "Thr",
+        "Actual W",
+        "Estimated W",
+        "Err %",
+    ]);
     let mut points = r.points.clone();
     points.sort_by(|a, b| {
-        (a.workload.as_str(), a.freq_mhz, a.threads).cmp(&(b.workload.as_str(), b.freq_mhz, b.threads))
+        (a.workload.as_str(), a.freq_mhz, a.threads).cmp(&(
+            b.workload.as_str(),
+            b.freq_mhz,
+            b.threads,
+        ))
     });
     for p in &points {
         let err = 100.0 * (p.predicted - p.actual) / p.actual;
@@ -206,22 +225,17 @@ fn fig5(results: &[ScenarioResult], which: usize) {
 
 fn table3(ctx: &Context) {
     println!("\n== TABLE III: PCC of selected counters with power ==");
-    let correlations =
-        selected_correlations(&ctx.selection_data, &ctx.events).expect("PCC failed");
+    let correlations = selected_correlations(&ctx.selection_data, &ctx.events).expect("PCC failed");
     let mut t = Table::new(&["Counter", "PCC"]);
     for c in &correlations {
-        t.row(&[
-            c.event.mnemonic().to_string(),
-            fopt(c.pcc, 2),
-        ]);
+        t.row(&[c.event.mnemonic().to_string(), fopt(c.pcc, 2)]);
     }
     println!("{}", t.render());
 }
 
 fn fig6(ctx: &Context) {
     println!("\n== FIGURE 6: PCC of all 54 PAPI counters with power ==");
-    let correlations =
-        counter_power_correlations(&ctx.selection_data).expect("PCC failed");
+    let correlations = counter_power_correlations(&ctx.selection_data).expect("PCC failed");
     let mut sorted = correlations.clone();
     sorted.sort_by(|a, b| {
         b.pcc
@@ -234,7 +248,12 @@ fn fig6(ctx: &Context) {
         t.row(&[
             c.event.mnemonic().to_string(),
             fopt(c.pcc, 2),
-            if ctx.events.contains(&c.event) { "*" } else { "" }.to_string(),
+            if ctx.events.contains(&c.event) {
+                "*"
+            } else {
+                ""
+            }
+            .to_string(),
         ]);
     }
     println!("{}", t.render());
@@ -268,7 +287,11 @@ fn residuals(ctx: &Context) {
         bp.lm_statistic,
         bp.df,
         bp.p_value,
-        if bp.is_heteroscedastic(0.05) { "ARE" } else { "are NOT" }
+        if bp.is_heteroscedastic(0.05) {
+            "ARE"
+        } else {
+            "are NOT"
+        }
     );
     let dw = durbin_watson(&residuals).expect("durbin-watson");
     println!("Durbin–Watson: {dw:.3} (≈2 ⇒ no serial correlation in row order)");
@@ -283,7 +306,11 @@ fn residuals(ctx: &Context) {
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let n = pairs.len();
     let mut t = Table::new(&["Power tercile", "mean |error| W"]);
-    for (name, lo, hi) in [("low", 0, n / 3), ("mid", n / 3, 2 * n / 3), ("high", 2 * n / 3, n)] {
+    for (name, lo, hi) in [
+        ("low", 0, n / 3),
+        ("mid", n / 3, 2 * n / 3),
+        ("high", 2 * n / 3, n),
+    ] {
         let m: f64 = pairs[lo..hi].iter().map(|p| p.1).sum::<f64>() / (hi - lo) as f64;
         t.row(&[name.to_string(), fnum(m, 2)]);
     }
@@ -300,7 +327,11 @@ fn ablation(ctx: &Context) {
         Criterion::Aic,
         Criterion::Bic,
     ] {
-        let budget = if criterion == Criterion::RSquared { 6 } else { 10 };
+        let budget = if criterion == Criterion::RSquared {
+            6
+        } else {
+            10
+        };
         match forward_select(&ctx.selection_data, PapiEvent::ALL, criterion, budget) {
             Ok(r) => {
                 t.row(&[
@@ -315,7 +346,12 @@ fn ablation(ctx: &Context) {
                 ]);
             }
             Err(e) => {
-                t.row(&[criterion.name().to_string(), "—".into(), format!("{e}"), "—".into()]);
+                t.row(&[
+                    criterion.name().to_string(),
+                    "—".into(),
+                    format!("{e}"),
+                    "—".into(),
+                ]);
             }
         }
     }
@@ -365,8 +401,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig2", "vifcap", "table2", "fig3", "fig4", "fig5a", "fig5b", "table3",
-            "fig6", "table4", "ablation", "residuals",
+            "table1",
+            "fig2",
+            "vifcap",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig5a",
+            "fig5b",
+            "table3",
+            "fig6",
+            "table4",
+            "ablation",
+            "residuals",
         ]
     } else {
         args.iter().map(|s| s.as_str()).collect()
@@ -386,8 +433,7 @@ fn main() {
     let need_scenarios = |ctx: &Context, cache: &mut Option<Vec<ScenarioResult>>| {
         if cache.is_none() {
             *cache = Some(
-                run_paper_scenarios(&ctx.data, &ctx.events, PAPER_SEED)
-                    .expect("scenarios failed"),
+                run_paper_scenarios(&ctx.data, &ctx.events, PAPER_SEED).expect("scenarios failed"),
             );
         }
     };

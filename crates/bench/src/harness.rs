@@ -1,0 +1,139 @@
+//! A minimal micro-benchmark runner.
+//!
+//! Criterion is unavailable offline, and these benchmarks only need
+//! wall-clock medians, not its full statistical machinery. The runner
+//! warms each benchmark up, then times batches until a sampling budget
+//! is spent and reports the median ns/iteration.
+//!
+//! Cargo invokes bench targets with `--bench` (and test harnesses with
+//! `--test`); [`Harness::finish`] therefore treats an argv containing
+//! `--test` as "list only" so `cargo test` stays fast.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+/// Number of timed samples the budget is split into.
+const SAMPLES: usize = 11;
+
+/// One benchmark's outcome.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, ns/iter.
+    pub min_ns: f64,
+    /// Slowest sample, ns/iter.
+    pub max_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+}
+
+/// A benchmark group: register closures with [`Harness::bench`], print
+/// the report with [`Harness::finish`].
+pub struct Harness {
+    group: String,
+    results: Vec<BenchResult>,
+    skip: bool,
+}
+
+impl Harness {
+    /// Creates a harness for a named group.
+    pub fn new(group: &str) -> Self {
+        // Under `cargo test` bench targets are built and run with
+        // `--test`; skip measurement there, it's only a compile check.
+        let skip = std::env::args().any(|a| a == "--test");
+        Harness {
+            group: group.to_string(),
+            results: Vec::new(),
+            skip,
+        }
+    }
+
+    /// Times `f`, keeping its return value alive via `black_box`.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) {
+        if self.skip {
+            println!("{}/{name}: skipped (--test)", self.group);
+            return;
+        }
+        // Warm-up while calibrating the per-sample iteration count.
+        let warm_start = Instant::now();
+        let mut iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            iters += 1;
+        }
+        let per_iter = WARMUP_BUDGET.as_nanos() as f64 / iters.max(1) as f64;
+        let sample_ns = MEASURE_BUDGET.as_nanos() as f64 / SAMPLES as f64;
+        let iters_per_sample = ((sample_ns / per_iter) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            name: name.to_string(),
+            median_ns: samples[SAMPLES / 2],
+            min_ns: samples[0],
+            max_ns: samples[SAMPLES - 1],
+            iters_per_sample,
+        };
+        println!(
+            "{}/{:<28} {:>14}/iter  (min {}, max {}, {} iters/sample)",
+            self.group,
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.max_ns),
+            result.iters_per_sample,
+        );
+        self.results.push(result);
+    }
+
+    /// The results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints a closing line. Call at the end of `main`.
+    pub fn finish(self) {
+        if !self.skip {
+            println!("{}: {} benchmarks", self.group, self.results.len());
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2.5e6), "2.500 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,8 +1,10 @@
 //! Shared experiment plumbing for the reproduction harness and the
-//! criterion benchmarks.
+//! in-tree micro-benchmarks (see [`harness`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod harness;
 
 use pmc_cpusim::{Machine, MachineConfig};
 use pmc_model::acquisition::{Campaign, ExperimentPlan};

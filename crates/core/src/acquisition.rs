@@ -9,11 +9,11 @@
 //! merges the runs into full-coverage profiles.
 //!
 //! Experiments are independent, so the campaign fans them out over a
-//! crossbeam scope; determinism is preserved because every observation
-//! derives its RNG from its own coordinates, not from execution order.
+//! scoped thread pool; determinism is preserved because every
+//! observation derives its RNG from its own coordinates, not from
+//! execution order.
 
 use crate::Result;
-use crossbeam::channel;
 use pmc_cpusim::rng::SplitMix64;
 use pmc_cpusim::{Machine, PhaseContext};
 use pmc_events::scheduler::CounterScheduler;
@@ -130,7 +130,7 @@ impl<'m> Campaign<'m> {
                 .min(experiments.len().max(1))
         };
 
-        let (tx, rx) = channel::unbounded::<Result<Vec<PhaseProfile>>>();
+        let (tx, rx) = std::sync::mpsc::channel::<Result<Vec<PhaseProfile>>>();
         let next = std::sync::atomic::AtomicUsize::new(0);
 
         std::thread::scope(|scope| {
@@ -279,7 +279,10 @@ mod tests {
         // 13 counter groups each.
         assert_eq!(plan.experiment_count(), 10);
         assert_eq!(plan.run_count(), 130);
-        assert_eq!(ExperimentPlan::paper_plan().experiment_count(), (6 * 5 + 10) * 5);
+        assert_eq!(
+            ExperimentPlan::paper_plan().experiment_count(),
+            (6 * 5 + 10) * 5
+        );
     }
 
     #[test]

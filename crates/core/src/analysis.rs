@@ -11,10 +11,9 @@ use crate::dataset::Dataset;
 use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
 use pmc_stats::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// The Pearson correlation of one counter's rate with power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterCorrelation {
     /// The counter.
     pub event: PapiEvent,
@@ -53,10 +52,7 @@ pub fn selected_correlations(
     events: &[PapiEvent],
 ) -> Result<Vec<CounterCorrelation>> {
     let all = counter_power_correlations(data)?;
-    Ok(events
-        .iter()
-        .map(|&e| all[e.index()])
-        .collect())
+    Ok(events.iter().map(|&e| all[e.index()]).collect())
 }
 
 #[cfg(test)]

@@ -19,11 +19,10 @@ use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
 use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
 use pmc_stats::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// Model-quality criterion for stepwise selection. All criteria are
 /// oriented so that **larger is better**.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Criterion {
     /// Raw coefficient of determination (the paper's Algorithm 1).
     RSquared,
@@ -69,7 +68,7 @@ impl Criterion {
 }
 
 /// One step of a criterion-driven stepwise run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CriterionStep {
     /// The event added (forward) or removed (backward).
     pub event: PapiEvent,
@@ -80,7 +79,7 @@ pub struct CriterionStep {
 }
 
 /// Result of a criterion-driven selection.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct CriterionReport {
     /// Steps in order of application.
     pub steps: Vec<CriterionStep>,
@@ -262,8 +261,16 @@ mod tests {
         // budget.
         let d = linear_dataset(200).at_frequency(2400);
         let report = forward_select(&d, PapiEvent::ALL, Criterion::Bic, 0).unwrap();
-        assert!(report.selected.contains(&PapiEvent::PRF_DM), "{:?}", report.selected);
-        assert!(report.selected.contains(&PapiEvent::TOT_CYC), "{:?}", report.selected);
+        assert!(
+            report.selected.contains(&PapiEvent::PRF_DM),
+            "{:?}",
+            report.selected
+        );
+        assert!(
+            report.selected.contains(&PapiEvent::TOT_CYC),
+            "{:?}",
+            report.selected
+        );
         // With an exact linear model, RSS hits machine epsilon and BIC
         // can keep nibbling; it must at least remain small.
         assert!(report.selected.len() <= 6, "{:?}", report.selected);

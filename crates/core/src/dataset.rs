@@ -13,11 +13,10 @@ use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
 use pmc_linalg::Matrix;
 use pmc_trace::MergedProfile;
-use serde::{Deserialize, Serialize};
 
 /// One regression observation (one workload phase at one operating
 /// point and thread count, averaged over acquisition runs).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleRow {
     /// Workload id.
     pub workload_id: u32,
@@ -60,7 +59,7 @@ impl SampleRow {
 }
 
 /// An immutable collection of sample rows.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Dataset {
     rows: Vec<SampleRow>,
 }
@@ -106,7 +105,10 @@ impl Dataset {
         if p.duration_s <= 0.0 {
             return Err(ModelError::BadDataset {
                 what: "from_profiles",
-                reason: format!("profile {}/{} has non-positive duration", p.workload, p.phase),
+                reason: format!(
+                    "profile {}/{} has non-positive duration",
+                    p.workload, p.phase
+                ),
             });
         }
         let available_cycles = total_cores as f64 * p.freq_mhz as f64 * 1e6 * p.duration_s;
@@ -330,11 +332,8 @@ mod tests {
 
     #[test]
     fn filters_and_frequencies() {
-        let d = Dataset::from_profiles(
-            &[full_profile(100.0, 1200), full_profile(200.0, 2400)],
-            24,
-        )
-        .unwrap();
+        let d = Dataset::from_profiles(&[full_profile(100.0, 1200), full_profile(200.0, 2400)], 24)
+            .unwrap();
         assert_eq!(d.frequencies(), vec![1200, 2400]);
         assert_eq!(d.at_frequency(2400).len(), 1);
         assert_eq!(d.suite("roco2").len(), 2);

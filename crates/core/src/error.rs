@@ -26,7 +26,7 @@ pub enum ModelError {
         reason: String,
     },
     /// Serialization failed (model save/load).
-    Serde(serde_json::Error),
+    Json(pmc_json::JsonError),
 }
 
 impl fmt::Display for ModelError {
@@ -40,7 +40,7 @@ impl fmt::Display for ModelError {
                 write!(f, "dataset unusable for {what}: {reason}")
             }
             ModelError::Selection { reason } => write!(f, "counter selection failed: {reason}"),
-            ModelError::Serde(e) => write!(f, "model serialization failed: {e}"),
+            ModelError::Json(e) => write!(f, "model serialization failed: {e}"),
         }
     }
 }
@@ -52,7 +52,7 @@ impl std::error::Error for ModelError {
             ModelError::Trace(e) => Some(e),
             ModelError::Merge(e) => Some(e),
             ModelError::Schedule(e) => Some(e),
-            ModelError::Serde(e) => Some(e),
+            ModelError::Json(e) => Some(e),
             _ => None,
         }
     }
@@ -82,9 +82,9 @@ impl From<pmc_events::scheduler::ScheduleError> for ModelError {
     }
 }
 
-impl From<serde_json::Error> for ModelError {
-    fn from(e: serde_json::Error) -> Self {
-        ModelError::Serde(e)
+impl From<pmc_json::JsonError> for ModelError {
+    fn from(e: pmc_json::JsonError) -> Self {
+        ModelError::Json(e)
     }
 }
 

@@ -14,12 +14,79 @@
 use crate::dataset::{Dataset, SampleRow};
 use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
+use pmc_json::{Json, JsonError};
 use pmc_linalg::Matrix;
 use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
-use serde::{Deserialize, Serialize};
+
+/// The operating region a model was trained over. Estimates for
+/// `(V, f)` points outside this box extrapolate beyond the data the
+/// coefficients were identified on, and downstream consumers (the
+/// serving engine) flag them as out-of-range rather than refusing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingEnvelope {
+    /// Lowest core voltage seen in training, volts.
+    pub voltage_min: f64,
+    /// Highest core voltage seen in training, volts.
+    pub voltage_max: f64,
+    /// Lowest operating frequency seen in training, MHz.
+    pub freq_mhz_min: u32,
+    /// Highest operating frequency seen in training, MHz.
+    pub freq_mhz_max: u32,
+}
+
+impl TrainingEnvelope {
+    /// Computes the envelope of a training dataset; `None` for an
+    /// empty dataset.
+    pub fn from_dataset(data: &Dataset) -> Option<Self> {
+        let rows = data.rows();
+        let first = rows.first()?;
+        let mut env = TrainingEnvelope {
+            voltage_min: first.voltage,
+            voltage_max: first.voltage,
+            freq_mhz_min: first.freq_mhz,
+            freq_mhz_max: first.freq_mhz,
+        };
+        for r in &rows[1..] {
+            env.voltage_min = env.voltage_min.min(r.voltage);
+            env.voltage_max = env.voltage_max.max(r.voltage);
+            env.freq_mhz_min = env.freq_mhz_min.min(r.freq_mhz);
+            env.freq_mhz_max = env.freq_mhz_max.max(r.freq_mhz);
+        }
+        Some(env)
+    }
+
+    /// Whether a `(V, f)` operating point lies inside the training
+    /// box. A tiny absolute slack on voltage absorbs representation
+    /// noise from serialized artifacts.
+    pub fn contains(&self, voltage: f64, freq_mhz: u32) -> bool {
+        const V_SLACK: f64 = 1e-9;
+        voltage >= self.voltage_min - V_SLACK
+            && voltage <= self.voltage_max + V_SLACK
+            && freq_mhz >= self.freq_mhz_min
+            && freq_mhz <= self.freq_mhz_max
+    }
+
+    fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("voltage_min", self.voltage_min.into()),
+            ("voltage_max", self.voltage_max.into()),
+            ("freq_mhz_min", self.freq_mhz_min.into()),
+            ("freq_mhz_max", self.freq_mhz_max.into()),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<Self> {
+        Ok(TrainingEnvelope {
+            voltage_min: v.f64_field("voltage_min")?,
+            voltage_max: v.f64_field("voltage_max")?,
+            freq_mhz_min: v.u32_field("freq_mhz_min")?,
+            freq_mhz_max: v.u32_field("freq_mhz_max")?,
+        })
+    }
+}
 
 /// A fitted Equation 1 power model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
     /// The selected PMC events, in coefficient order.
     pub events: Vec<PapiEvent>,
@@ -40,6 +107,9 @@ pub struct PowerModel {
     pub std_errors: Vec<f64>,
     /// Number of training observations.
     pub n_observations: usize,
+    /// The `(V, f)` region the model was trained over. `None` only for
+    /// artifacts predating envelope metadata.
+    pub envelope: Option<TrainingEnvelope>,
 }
 
 impl PowerModel {
@@ -110,6 +180,7 @@ impl PowerModel {
             fit_adj_r_squared: fit.adj_r_squared(),
             std_errors: fit.std_errors(),
             n_observations: fit.n_observations(),
+            envelope: TrainingEnvelope::from_dataset(data),
         })
     }
 
@@ -135,11 +206,7 @@ impl PowerModel {
         if rates.len() != self.events.len() {
             return Err(ModelError::BadDataset {
                 what: "predict_raw",
-                reason: format!(
-                    "expected {} rates, got {}",
-                    self.events.len(),
-                    rates.len()
-                ),
+                reason: format!("expected {} rates, got {}", self.events.len(), rates.len()),
             });
         }
         let v2f = voltage * voltage * (freq_mhz as f64 / 1000.0);
@@ -150,14 +217,113 @@ impl PowerModel {
         Ok(p)
     }
 
-    /// Serializes the model to JSON (deployable artifact).
-    pub fn to_json(&self) -> Result<String> {
-        Ok(serde_json::to_string_pretty(self)?)
+    /// Predicted power for a batch of rows, watts. The hot path for
+    /// serving: coefficients are hoisted once and no per-row design
+    /// vector is materialized.
+    pub fn predict_batch(&self, rows: &[SampleRow]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(rows.len());
+        self.predict_batch_into(rows, &mut out);
+        out
     }
 
-    /// Loads a model from JSON.
+    /// Batch prediction into a caller-owned buffer (cleared first), so
+    /// a long-running estimator allocates nothing per batch.
+    pub fn predict_batch_into(&self, rows: &[SampleRow], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(rows.len());
+        let alpha = &self.alpha[..self.events.len()];
+        for row in rows {
+            let v2f = row.v2f();
+            let mut p = self.beta * v2f + self.gamma * row.voltage + self.delta;
+            for (a, &e) in alpha.iter().zip(&self.events) {
+                p += a * row.rate(e) * v2f;
+            }
+            out.push(p);
+        }
+    }
+
+    /// Serializes the model to JSON (deployable artifact).
+    pub fn to_json(&self) -> Result<String> {
+        Ok(self.to_json_value().to_string_pretty())
+    }
+
+    /// The model as a JSON value (events as PAPI mnemonics).
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            (
+                "events",
+                Json::Arr(self.events.iter().map(|e| e.mnemonic().into()).collect()),
+            ),
+            ("alpha", self.alpha.as_slice().into()),
+            ("beta", self.beta.into()),
+            ("gamma", self.gamma.into()),
+            ("delta", self.delta.into()),
+            ("fit_r_squared", self.fit_r_squared.into()),
+            ("fit_adj_r_squared", self.fit_adj_r_squared.into()),
+            ("std_errors", self.std_errors.as_slice().into()),
+            ("n_observations", self.n_observations.into()),
+        ];
+        if let Some(env) = &self.envelope {
+            fields.push(("envelope", env.to_json_value()));
+        }
+        Json::obj(fields)
+    }
+
+    /// Loads a model from JSON. Fails with a typed [`ModelError`] on
+    /// malformed input — never panics.
     pub fn from_json(s: &str) -> Result<Self> {
-        Ok(serde_json::from_str(s)?)
+        Self::from_json_value(&Json::parse(s)?)
+    }
+
+    /// Decodes a model from a parsed JSON value, validating shape
+    /// (coefficient/σ arity must match the event list).
+    pub fn from_json_value(v: &Json) -> Result<Self> {
+        let events = v
+            .arr_field("events")?
+            .iter()
+            .map(|e| {
+                let name = e.as_str()?;
+                name.parse::<PapiEvent>().map_err(|_| JsonError::Range {
+                    what: format!("unknown PAPI event {name:?} in model artifact"),
+                })
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        let alpha = v.f64_vec_field("alpha")?;
+        if alpha.len() != events.len() {
+            return Err(ModelError::Json(JsonError::Range {
+                what: format!(
+                    "model artifact has {} events but {} alpha coefficients",
+                    events.len(),
+                    alpha.len()
+                ),
+            }));
+        }
+        let std_errors = v.f64_vec_field("std_errors")?;
+        if std_errors.len() != events.len() + 3 {
+            return Err(ModelError::Json(JsonError::Range {
+                what: format!(
+                    "model artifact has {} std errors, expected {}",
+                    std_errors.len(),
+                    events.len() + 3
+                ),
+            }));
+        }
+        let envelope = match v.get("envelope") {
+            Some(env) => Some(TrainingEnvelope::from_json_value(env)?),
+            None => None,
+        };
+        Ok(PowerModel {
+            events,
+            alpha,
+            beta: v.f64_field("beta")?,
+            gamma: v.f64_field("gamma")?,
+            delta: v.f64_field("delta")?,
+            fit_r_squared: v.f64_field("fit_r_squared")?,
+            fit_adj_r_squared: v.f64_field("fit_adj_r_squared")?,
+            std_errors,
+            n_observations: v.usize_field("n_observations")?,
+            envelope,
+        })
     }
 }
 
@@ -190,6 +356,57 @@ mod tests {
         for (p, row) in pred.iter().zip(d.rows()) {
             assert!((p - row.power).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn json_roundtrip_predictions_identical_on_100_rows() {
+        let d = linear_dataset(100);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let restored = PowerModel::from_json(&m.to_json().unwrap()).unwrap();
+        // Bit-identical predictions: the artifact must carry the exact
+        // coefficients, not a lossy rendering.
+        for row in d.rows() {
+            assert_eq!(
+                m.predict_row(row).to_bits(),
+                restored.predict_row(row).to_bits(),
+                "roundtrip changed a prediction"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_artifact_is_typed_error_never_panics() {
+        let d = linear_dataset(30);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let text = m.to_json().unwrap();
+        for cut in 0..text.len() {
+            if let Err(e) = PowerModel::from_json(&text[..cut]) {
+                assert!(matches!(e, ModelError::Json(_)), "cut {cut}: {e:?}");
+            } else {
+                panic!("truncation at {cut} of {} parsed", text.len());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_artifact_is_typed_error_never_panics() {
+        let d = linear_dataset(30);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let text = m.to_json().unwrap();
+        // Flip each character to garbage, one position at a time (on a
+        // stride to keep the test fast), and require a clean error or a
+        // clean parse — never a panic.
+        for i in (0..text.len()).step_by(7) {
+            let mut corrupted = text.clone();
+            corrupted.replace_range(i..i + 1, "\u{7f}");
+            let _ = PowerModel::from_json(&corrupted);
+        }
+        // Structurally valid JSON with a broken field is also typed.
+        let wrong = text.replace("\"events\"", "\"bogus\"");
+        assert!(matches!(
+            PowerModel::from_json(&wrong),
+            Err(ModelError::Json(_))
+        ));
     }
 
     #[test]
@@ -247,6 +464,83 @@ mod tests {
         }
         assert!((m.beta - back.beta).abs() < 1e-9);
         assert!((m.delta - back.delta).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict_row() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let batch = m.predict_batch(d.rows());
+        assert_eq!(batch.len(), d.len());
+        for (p, row) in batch.iter().zip(d.rows()) {
+            assert!((p - m.predict_row(row)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predict_batch_into_reuses_buffer() {
+        let d = linear_dataset(20);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let mut buf = vec![0.0; 3];
+        m.predict_batch_into(d.rows(), &mut buf);
+        assert_eq!(buf.len(), d.len());
+        m.predict_batch_into(&d.rows()[..5], &mut buf);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn fit_records_training_envelope() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let env = m.envelope.as_ref().expect("fit populates envelope");
+        for row in d.rows() {
+            assert!(env.contains(row.voltage, row.freq_mhz));
+        }
+        assert!(!env.contains(env.voltage_max + 1.0, env.freq_mhz_min));
+        assert!(!env.contains(env.voltage_min, env.freq_mhz_max + 1));
+    }
+
+    #[test]
+    fn envelope_survives_json_roundtrip() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let back = PowerModel::from_json(&m.to_json().unwrap()).unwrap();
+        assert_eq!(m.envelope, back.envelope);
+    }
+
+    #[test]
+    fn artifact_without_envelope_still_loads() {
+        let d = linear_dataset(40);
+        let mut m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        m.envelope = None;
+        let back = PowerModel::from_json(&m.to_json().unwrap()).unwrap();
+        assert_eq!(back.envelope, None);
+    }
+
+    #[test]
+    fn mismatched_arity_artifact_rejected() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let mut v = m.to_json_value();
+        if let Json::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "alpha" {
+                    *val = Json::Arr(vec![Json::Num(1.0)]);
+                }
+            }
+        }
+        assert!(matches!(
+            PowerModel::from_json_value(&v),
+            Err(ModelError::Json(JsonError::Range { .. }))
+        ));
+    }
+
+    #[test]
+    fn unknown_event_artifact_rejected() {
+        let d = linear_dataset(40);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let s = m.to_json().unwrap().replace("PRF_DM", "NOT_A_CTR");
+        assert!(PowerModel::from_json(&s).is_err());
     }
 
     #[test]

@@ -26,11 +26,7 @@ impl Table {
     /// Panics if the arity differs from the header (a report bug, not
     /// a runtime condition).
     pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.header.len(),
-            "table row arity mismatch"
-        );
+        assert_eq!(cells.len(), self.header.len(), "table row arity mismatch");
         self.rows.push(cells.to_vec());
         self
     }

@@ -13,10 +13,9 @@ use crate::model::PowerModel;
 use crate::validation::oof_predictions;
 use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
-use serde::{Deserialize, Serialize};
 
 /// Scenario selector.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Scenario {
     /// Scenario 1: train on `n_train` random workloads, validate on
     /// the remaining workloads.
@@ -84,7 +83,7 @@ impl Scenario {
 
 /// One validation point: a (workload, frequency, threads) experiment's
 /// actual vs estimated average power — one dot in paper Fig. 5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScatterPoint {
     /// Workload name.
     pub workload: String,
@@ -103,7 +102,7 @@ pub struct ScatterPoint {
 }
 
 /// Result of one scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioResult {
     /// Scenario label ("1" … "4").
     pub label: String,
@@ -163,9 +162,7 @@ pub fn run_scenario(
                 }
                 v
             };
-            let roco2: Vec<String> = data
-                .suite("roco2")
-                .workload_names();
+            let roco2: Vec<String> = data.suite("roco2").workload_names();
             let spec: Vec<String> = data.suite("SPEC OMP2012").workload_names();
             let half = n_train / 2;
             let mut train_names = shuffled(roco2)
@@ -179,8 +176,8 @@ pub fn run_scenario(
                     reason: "not enough workloads per suite for a stratified draw".into(),
                 });
             }
-            let train = data.filter(|r| train_names.iter().any(|n| *n == r.workload));
-            let validation = data.filter(|r| !train_names.iter().any(|n| *n == r.workload));
+            let train = data.filter(|r| train_names.contains(&r.workload));
+            let validation = data.filter(|r| !train_names.contains(&r.workload));
             let model = PowerModel::fit(&train, events)?;
             let predicted = model.predict(&validation);
             (validation, predicted)
@@ -265,12 +262,7 @@ mod tests {
     #[test]
     fn scenario4_validates_only_synthetic() {
         let d = linear_dataset(60);
-        let r = run_scenario(
-            &d,
-            &EVENTS,
-            Scenario::CvSynthetic { k: 5, seed: 1 },
-        )
-        .unwrap();
+        let r = run_scenario(&d, &EVENTS, Scenario::CvSynthetic { k: 5, seed: 1 }).unwrap();
         assert!(r.points.iter().all(|p| p.suite == "roco2"));
     }
 
@@ -280,7 +272,10 @@ mod tests {
         let r = run_scenario(
             &d,
             &EVENTS,
-            Scenario::RandomWorkloads { n_train: 2, seed: 9 },
+            Scenario::RandomWorkloads {
+                n_train: 2,
+                seed: 9,
+            },
         )
         .unwrap();
         let val_workloads: std::collections::BTreeSet<&str> =
@@ -295,7 +290,10 @@ mod tests {
         assert!(run_scenario(
             &d,
             &EVENTS,
-            Scenario::RandomWorkloads { n_train: 8, seed: 0 }, // == all 8
+            Scenario::RandomWorkloads {
+                n_train: 8,
+                seed: 0
+            }, // == all 8
         )
         .is_err());
     }
@@ -312,7 +310,10 @@ mod tests {
     #[test]
     fn scenario1_deterministic_per_seed() {
         let d = linear_dataset(60);
-        let s = Scenario::RandomWorkloads { n_train: 2, seed: 5 };
+        let s = Scenario::RandomWorkloads {
+            n_train: 2,
+            seed: 5,
+        };
         let a = run_scenario(&d, &EVENTS, s).unwrap();
         let b = run_scenario(&d, &EVENTS, s).unwrap();
         assert_eq!(a, b);

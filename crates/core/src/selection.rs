@@ -14,10 +14,9 @@ use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
 use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
 use pmc_stats::StatsError;
-use serde::{Deserialize, Serialize};
 
 /// One step of the greedy selection.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SelectionStep {
     /// The event added at this step.
     pub event: PapiEvent,
@@ -31,7 +30,7 @@ pub struct SelectionStep {
 }
 
 /// Full record of a selection run (paper Table I / Table IV / Fig. 2).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SelectionReport {
     /// Steps in selection order.
     pub steps: Vec<SelectionStep>,

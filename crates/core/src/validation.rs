@@ -6,11 +6,10 @@ use crate::model::PowerModel;
 use crate::{ModelError, Result};
 use pmc_events::PapiEvent;
 use pmc_stats::{CvOutcome, KFold, Summary};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Summary of a k-fold cross-validation run (paper Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CvSummary {
     /// Min/max/mean of the per-fold training R².
     pub r_squared: Summary,
@@ -34,8 +33,7 @@ pub fn cross_validate_model(
         &kfold,
         |train| {
             let sub = data.subset(train);
-            let model =
-                PowerModel::fit(&sub, events).map_err(|e| model_as_stats(e))?;
+            let model = PowerModel::fit(&sub, events).map_err(model_as_stats)?;
             Ok((model.fit_r_squared, model.fit_adj_r_squared, model))
         },
         |model, validate| {
@@ -94,7 +92,7 @@ pub fn oof_predictions(
 
 /// MAPE per workload across all DVFS states, from pooled out-of-fold
 /// predictions (paper Fig. 3's bar chart).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadError {
     /// Workload name.
     pub workload: String,
@@ -111,11 +109,7 @@ pub fn per_workload_mape(data: &Dataset, predicted: &[f64]) -> Result<Vec<Worklo
     if predicted.len() != data.len() {
         return Err(ModelError::BadDataset {
             what: "per_workload_mape",
-            reason: format!(
-                "{} predictions for {} rows",
-                predicted.len(),
-                data.len()
-            ),
+            reason: format!("{} predictions for {} rows", predicted.len(), data.len()),
         });
     }
     let mut groups: BTreeMap<String, (String, Vec<f64>, Vec<f64>)> = BTreeMap::new();

@@ -12,11 +12,10 @@
 use crate::dataset::Dataset;
 use crate::{ModelError, Result};
 use pmc_stats::ols::{CovarianceKind, OlsFit, OlsOptions};
-use serde::{Deserialize, Serialize};
 
 /// An affine voltage–frequency model `V(f) = v0 + k·f_GHz`, fitted by
 /// OLS from observed (frequency, voltage) pairs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoltageModel {
     /// Intercept, volts.
     pub v0: f64,

@@ -1,11 +1,14 @@
-//! Property-based tests for the modeling layer.
+//! Property-style tests for the modeling layer, swept over seeded
+//! pseudo-random coefficients (no proptest — the suite builds offline).
 
 use pmc_events::PapiEvent;
 use pmc_model::dataset::{Dataset, SampleRow};
 use pmc_model::model::PowerModel;
 use pmc_model::selection::select_events;
 use pmc_model::validation::{oof_predictions, per_workload_mape};
-use proptest::prelude::*;
+use pmc_stats::SplitMix64;
+
+const CASES: u64 = 64;
 
 /// A synthetic dataset whose power is an exact Equation 1 function of
 /// two counters with caller-chosen coefficients.
@@ -42,87 +45,98 @@ fn dataset(n: usize, a0: f64, a1: f64, beta: f64, gamma: f64, delta: f64) -> Dat
 
 const EVENTS: [PapiEvent; 2] = [PapiEvent::PRF_DM, PapiEvent::TOT_CYC];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Equation 1 recovers arbitrary ground-truth coefficients exactly
-    /// from noise-free data.
-    #[test]
-    fn model_recovers_arbitrary_coefficients(
-        a0 in 100.0f64..20000.0,
-        a1 in 10.0f64..500.0,
-        beta in -20.0f64..50.0,
-        gamma in 0.0f64..80.0,
-        delta in 20.0f64..120.0,
-    ) {
+/// Equation 1 recovers arbitrary ground-truth coefficients exactly
+/// from noise-free data.
+#[test]
+fn model_recovers_arbitrary_coefficients() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a0 = rng.uniform(100.0, 20000.0);
+        let a1 = rng.uniform(10.0, 500.0);
+        let beta = rng.uniform(-20.0, 50.0);
+        let gamma = rng.uniform(0.0, 80.0);
+        let delta = rng.uniform(20.0, 120.0);
         let d = dataset(80, a0, a1, beta, gamma, delta);
         let m = PowerModel::fit(&d, &EVENTS).unwrap();
-        prop_assert!((m.alpha[0] - a0).abs() < a0.abs() * 1e-6 + 1e-6);
-        prop_assert!((m.alpha[1] - a1).abs() < a1.abs() * 1e-6 + 1e-6);
-        prop_assert!((m.beta - beta).abs() < 1e-4);
-        prop_assert!((m.gamma - gamma).abs() < 1e-4);
-        prop_assert!((m.delta - delta).abs() < 1e-4);
+        assert!((m.alpha[0] - a0).abs() < a0.abs() * 1e-6 + 1e-6);
+        assert!((m.alpha[1] - a1).abs() < a1.abs() * 1e-6 + 1e-6);
+        assert!((m.beta - beta).abs() < 1e-4);
+        assert!((m.gamma - gamma).abs() < 1e-4);
+        assert!((m.delta - delta).abs() < 1e-4);
     }
+}
 
-    /// Prediction is invariant under model serialization.
-    #[test]
-    fn serialization_preserves_predictions(
-        a0 in 100.0f64..20000.0,
-        delta in 20.0f64..120.0,
-    ) {
+/// Prediction is invariant under model serialization.
+#[test]
+fn serialization_preserves_predictions() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 100);
+        let a0 = rng.uniform(100.0, 20000.0);
+        let delta = rng.uniform(20.0, 120.0);
         let d = dataset(50, a0, 120.0, 10.0, 40.0, delta);
         let m = PowerModel::fit(&d, &EVENTS).unwrap();
         let back = PowerModel::from_json(&m.to_json().unwrap()).unwrap();
         for row in d.rows() {
-            prop_assert!((m.predict_row(row) - back.predict_row(row)).abs() < 1e-9);
+            assert!((m.predict_row(row) - back.predict_row(row)).abs() < 1e-9);
         }
     }
+}
 
-    /// Out-of-fold predictions cover every row, and the per-workload
-    /// MAPE bookkeeping pools exactly the right sample counts.
-    #[test]
-    fn oof_and_grouping_bookkeeping(k in 2usize..=10, seed in 0u64..500) {
+/// Out-of-fold predictions cover every row, and the per-workload MAPE
+/// bookkeeping pools exactly the right sample counts.
+#[test]
+fn oof_and_grouping_bookkeeping() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case + 200);
+        let k = 2 + rng.below(9);
+        let seed = rng.below(500) as u64;
         let d = dataset(60, 5000.0, 120.0, 20.0, 40.0, 70.0);
         let pred = oof_predictions(&d, &EVENTS, k, seed).unwrap();
-        prop_assert_eq!(pred.len(), d.len());
-        prop_assert!(pred.iter().all(|p| p.is_finite()));
+        assert_eq!(pred.len(), d.len());
+        assert!(pred.iter().all(|p| p.is_finite()));
         let groups = per_workload_mape(&d, &pred).unwrap();
-        prop_assert_eq!(groups.len(), 6);
+        assert_eq!(groups.len(), 6);
         let total: usize = groups.iter().map(|g| g.samples).sum();
-        prop_assert_eq!(total, d.len());
+        assert_eq!(total, d.len());
         // Noise-free data: CV recovers the truth.
         for g in &groups {
-            prop_assert!(g.mape < 1e-6, "{}: {}", g.workload, g.mape);
+            assert!(g.mape < 1e-6, "{}: {}", g.workload, g.mape);
         }
     }
+}
 
-    /// Selection on a known two-factor dataset finds both factors at
-    /// any fixed frequency, regardless of coefficient scale.
-    #[test]
-    fn selection_scale_invariant(
-        scale in 0.1f64..100.0,
-        freq in prop::sample::select(vec![1200u32, 2000, 2600]),
-    ) {
-        let d = dataset(150, 5000.0 * scale, 120.0 * scale, 20.0, 40.0, 70.0)
-            .at_frequency(freq);
+/// Selection on a known two-factor dataset finds both factors at any
+/// fixed frequency, regardless of coefficient scale.
+#[test]
+fn selection_scale_invariant() {
+    let freqs = [1200u32, 2000, 2600];
+    for case in 0..16 {
+        let mut rng = SplitMix64::new(case + 300);
+        let scale = rng.uniform(0.1, 100.0);
+        let freq = freqs[rng.below(freqs.len())];
+        let d = dataset(150, 5000.0 * scale, 120.0 * scale, 20.0, 40.0, 70.0).at_frequency(freq);
         let report = select_events(&d, PapiEvent::ALL, 2).unwrap();
         let ev = report.selected_events();
-        prop_assert!(ev.contains(&PapiEvent::PRF_DM), "{ev:?}");
-        prop_assert!(ev.contains(&PapiEvent::TOT_CYC), "{ev:?}");
-        prop_assert!(report.steps[1].r_squared > 1.0 - 1e-9);
+        assert!(ev.contains(&PapiEvent::PRF_DM), "{ev:?}");
+        assert!(ev.contains(&PapiEvent::TOT_CYC), "{ev:?}");
+        assert!(report.steps[1].r_squared > 1.0 - 1e-9);
     }
+}
 
-    /// Dataset filters compose and partition: suite subsets are
-    /// disjoint and cover the whole set.
-    #[test]
-    fn suite_filters_partition(n in 10usize..=100) {
+/// Dataset filters compose and partition: suite subsets are disjoint
+/// and cover the whole set.
+#[test]
+fn suite_filters_partition() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(case + 400);
+        let n = 10 + rng.below(91);
         let d = dataset(n, 5000.0, 120.0, 20.0, 40.0, 70.0);
         let a = d.suite("roco2");
         let b = d.suite("SPEC OMP2012");
-        prop_assert_eq!(a.len() + b.len(), d.len());
-        prop_assert_eq!(a.concat(&b).len(), d.len());
+        assert_eq!(a.len() + b.len(), d.len());
+        assert_eq!(a.concat(&b).len(), d.len());
         for r in a.rows() {
-            prop_assert_eq!(r.suite.as_str(), "roco2");
+            assert_eq!(r.suite.as_str(), "roco2");
         }
     }
 }

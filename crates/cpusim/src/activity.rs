@@ -12,13 +12,11 @@
 //! Its presence bounds the accuracy any counter-based model can reach,
 //! reproducing the paper's residual error floor.
 
-use serde::{Deserialize, Serialize};
-
 /// Steady-state activity rates of one workload phase, per active core.
 ///
 /// All `*_mpki` rates are events per kilo-instruction; fractions are in
 /// `[0, 1]`; `ipc` is retired instructions per unhalted cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Activity {
     /// Fraction of cycles the core is unhalted (1.0 = fully busy).
     pub util: f64,

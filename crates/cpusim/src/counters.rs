@@ -18,10 +18,9 @@
 use crate::rng::SplitMix64;
 use crate::Activity;
 use pmc_events::PapiEvent;
-use serde::{Deserialize, Serialize};
 
 /// Execution context for one phase observation on the machine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SynthesisContext {
     /// Cores actively running workload threads.
     pub active_cores: u32,
@@ -127,10 +126,7 @@ pub fn expected_counts(activity: &Activity, ctx: &SynthesisContext) -> Vec<f64> 
     let l2_dca = l1_dcm + l1_dcm * (1.0 - ld_share) * 0.3;
     set(PapiEvent::L2_DCA, l2_dca);
     set(PapiEvent::L2_DCR, l1_dcm * ld_share);
-    set(
-        PapiEvent::L2_DCW,
-        l1_dcm * (1.0 - ld_share) * 1.3,
-    );
+    set(PapiEvent::L2_DCW, l1_dcm * (1.0 - ld_share) * 1.3);
     set(PapiEvent::L2_ICA, l1_icm);
     set(PapiEvent::L2_ICR, l1_icm);
     set(PapiEvent::L2_ICH, l1_icm - l2_icm);
@@ -312,8 +308,13 @@ mod tests {
         a.validate().unwrap();
         let c = expected_counts(&a, &ctx(24));
         assert!(get(&c, PapiEvent::L2_TCM) <= get(&c, PapiEvent::L1_TCM) + 1.0);
-        assert!(get(&c, PapiEvent::L3_TCM) <= get(&c, PapiEvent::L2_TCM) + get(&c, PapiEvent::PRF_DM));
-        assert!(get(&c, PapiEvent::L1_LDM) + get(&c, PapiEvent::L1_STM) <= get(&c, PapiEvent::L1_DCM) + 1.0);
+        assert!(
+            get(&c, PapiEvent::L3_TCM) <= get(&c, PapiEvent::L2_TCM) + get(&c, PapiEvent::PRF_DM)
+        );
+        assert!(
+            get(&c, PapiEvent::L1_LDM) + get(&c, PapiEvent::L1_STM)
+                <= get(&c, PapiEvent::L1_DCM) + 1.0
+        );
         // Branch identities.
         let br_cn = get(&c, PapiEvent::BR_CN);
         assert!((get(&c, PapiEvent::BR_MSP) + get(&c, PapiEvent::BR_PRC) - br_cn).abs() < 1.0);
@@ -406,17 +407,13 @@ mod tests {
         // FP presets are unavailable on Haswell; the access-side cache
         // presets that replace them must obey their identities.
         assert!(
-            (get(&c, PapiEvent::L1_TCA)
-                - get(&c, PapiEvent::L1_DCA)
-                - get(&c, PapiEvent::L1_ICA))
-            .abs()
+            (get(&c, PapiEvent::L1_TCA) - get(&c, PapiEvent::L1_DCA) - get(&c, PapiEvent::L1_ICA))
+                .abs()
                 < 1.0
         );
         assert!(
-            (get(&c, PapiEvent::TLB_TL)
-                - get(&c, PapiEvent::TLB_DM)
-                - get(&c, PapiEvent::TLB_IM))
-            .abs()
+            (get(&c, PapiEvent::TLB_TL) - get(&c, PapiEvent::TLB_DM) - get(&c, PapiEvent::TLB_IM))
+                .abs()
                 < get(&c, PapiEvent::TLB_TL) * 0.01 + 1.0
         );
     }

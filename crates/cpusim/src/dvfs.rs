@@ -8,10 +8,9 @@
 //! per-run jitter around the true value).
 
 use crate::rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// One DVFS state: the fixed operating frequency of a run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Core frequency in MHz.
     pub freq_mhz: u32,
@@ -37,7 +36,7 @@ impl OperatingPoint {
 /// approximation of published Haswell-EP P-state tables (≈0.75 V at
 /// 1.2 GHz rising to ≈1.05 V at 2.6 GHz), with an optional per-chip
 /// offset representing manufacturing variation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoltageCurve {
     /// Voltage intercept at 0 GHz (extrapolated), volts.
     pub v0: f64,

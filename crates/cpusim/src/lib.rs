@@ -29,6 +29,10 @@
 //! experiment context always yields the same observation, while
 //! different run ids model run-to-run variation.
 
+// Activity fixtures are built as `Default::default()` plus field
+// assignments on purpose: each line documents one deviation from the
+// baseline vector.
+#![allow(clippy::field_reassign_with_default)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

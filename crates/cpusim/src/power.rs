@@ -14,7 +14,6 @@
 //! * the `unobserved` activity term: dynamic power no counter proxies.
 
 use crate::{Activity, OperatingPoint};
-use serde::{Deserialize, Serialize};
 
 /// Weights of the ground-truth power function. Dynamic weights are in
 /// watts per unit activity per `V²·f_GHz`; see field docs.
@@ -22,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// Defaults are calibrated so the simulated dual-socket machine spans
 /// roughly 90 W (idle) to ~480 W (24-core AVX + streaming), matching the
 /// envelope of the paper's Xeon E5-2690 v3 testbed.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerWeights {
     /// Constant system power (fans, VR losses, chipset, disks): the
     /// paper's `δ·Z` term. Watts.
@@ -92,7 +91,7 @@ impl Default for PowerWeights {
 }
 
 /// Decomposition of the machine's true power for one phase.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerBreakdown {
     /// Total machine power, watts.
     pub total: f64,
@@ -141,7 +140,11 @@ pub fn true_power(
     let tlb_rate = ins_rate * a.tlb_i_mpki / 1000.0;
     let msp_rate = ins_rate * a.branch_per_ins * 0.82 * a.misp_per_branch;
     let vec_rate = ins_rate * a.fp_vector_per_ins * a.vector_width;
-    let peer_frac = if active > 1.0 { (active - 1.0) / active } else { 0.0 };
+    let peer_frac = if active > 1.0 {
+        (active - 1.0) / active
+    } else {
+        0.0
+    };
     let snoop_rate = mem_rate * peer_frac * (1.0 + 3.0 * a.sharing_frac) * 0.9;
 
     let dynamic_units = w.clock * busy
@@ -212,11 +215,7 @@ mod tests {
         a.ipc = 0.5;
         a.unobserved = 0.0;
         let p = true_power(&a, &PowerWeights::default(), 0, 24, 2, &op(1200));
-        assert!(
-            p.total > 80.0 && p.total < 130.0,
-            "idle power {}",
-            p.total
-        );
+        assert!(p.total > 80.0 && p.total < 130.0, "idle power {}", p.total);
     }
 
     #[test]
@@ -296,8 +295,8 @@ mod tests {
         let p2 = true_power(&a, &w, 24, 24, 2, &op(2600));
         let o1 = op(1200);
         let o2 = op(2600);
-        let expect = (o2.voltage * o2.voltage * o2.freq_ghz())
-            / (o1.voltage * o1.voltage * o1.freq_ghz());
+        let expect =
+            (o2.voltage * o2.voltage * o2.freq_ghz()) / (o1.voltage * o1.voltage * o1.freq_ghz());
         let got = p2.dynamic / p1.dynamic;
         assert!((got - expect).abs() < 1e-9);
     }

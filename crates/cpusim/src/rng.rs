@@ -66,6 +66,13 @@ impl SplitMix64 {
     pub fn lognormal_factor(&mut self, sigma: f64) -> f64 {
         (sigma * self.normal()).exp()
     }
+
+    /// Uniform integer in `[0, n)` via Lemire's multiply-shift
+    /// reduction (`n` must be non-zero). Used to draw test cases.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
 }
 
 #[inline]

@@ -12,10 +12,9 @@
 //!   increasing power values") and HC3 is meant to absorb.
 
 use crate::rng::SplitMix64;
-use serde::{Deserialize, Serialize};
 
 /// Configuration of the power-measurement chain.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorConfig {
     /// Multiplicative calibration gain (1.0 = perfect).
     pub gain: f64,

@@ -1,43 +1,43 @@
-//! Property-based tests for the machine model.
+//! Property-style tests for the machine model, swept over seeded
+//! pseudo-random activities (no proptest — the suite builds offline).
 
 use pmc_cpusim::counters::{expected_counts, SynthesisContext};
 use pmc_cpusim::power::true_power;
+use pmc_cpusim::rng::SplitMix64;
 use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext, PowerWeights, VoltageCurve};
 use pmc_events::PapiEvent;
-use proptest::prelude::*;
 
-/// Strategy: a physically valid activity vector.
-fn activity() -> impl Strategy<Value = Activity> {
-    (
-        0.0f64..=1.0,        // util
-        0.05f64..=3.5,       // ipc
-        0.0f64..=0.5,        // full
-        0.0f64..=0.5,        // stall
-        0.0f64..=0.1,        // misp/branch
-        0.0f64..=40.0,       // l1d
-        0.0f64..=5.0,        // l1i
-        0.0f64..=30.0,       // prefetch
-        0.0f64..=1.0,        // unobserved
-    )
-        .prop_map(
-            |(util, ipc, full, stall, misp, l1d, l1i, prf, unobserved)| {
-                let mut a = Activity::default();
-                a.util = util;
-                a.ipc = ipc;
-                a.full_issue_frac = full;
-                a.stall_frac = stall;
-                a.misp_per_branch = misp;
-                a.l1d_mpki = l1d;
-                a.l1i_mpki = l1i;
-                a.prefetch_mpki = prf;
-                // keep the hierarchy consistent
-                a.l2_mpki = l1d * 0.5;
-                a.l3_mpki = (l1d * 0.25).min(a.l2_mpki + prf);
-                a.unobserved = unobserved;
-                a
-            },
-        )
-        .prop_filter("valid", |a| a.validate().is_ok())
+const CASES: u64 = 48;
+
+/// A physically valid activity vector drawn from the same ranges the
+/// old proptest strategy used. Draws that fail validation are skipped
+/// by the caller (rare: the hierarchy is kept consistent below).
+fn activity(rng: &mut SplitMix64) -> Activity {
+    let mut a = Activity::default();
+    a.util = rng.uniform(0.0, 1.0);
+    a.ipc = rng.uniform(0.05, 3.5);
+    a.full_issue_frac = rng.uniform(0.0, 0.5);
+    a.stall_frac = rng.uniform(0.0, 0.5);
+    a.misp_per_branch = rng.uniform(0.0, 0.1);
+    a.l1d_mpki = rng.uniform(0.0, 40.0);
+    a.l1i_mpki = rng.uniform(0.0, 5.0);
+    a.prefetch_mpki = rng.uniform(0.0, 30.0);
+    // keep the hierarchy consistent
+    a.l2_mpki = a.l1d_mpki * 0.5;
+    a.l3_mpki = (a.l1d_mpki * 0.25).min(a.l2_mpki + a.prefetch_mpki);
+    a.unobserved = rng.uniform(0.0, 1.0);
+    a
+}
+
+/// Draws activities until one validates (bounded attempts).
+fn valid_activity(rng: &mut SplitMix64) -> Activity {
+    for _ in 0..100 {
+        let a = activity(rng);
+        if a.validate().is_ok() {
+            return a;
+        }
+    }
+    panic!("could not draw a valid activity in 100 attempts");
 }
 
 fn ctx(threads: u32, freq_mhz: u32) -> SynthesisContext {
@@ -51,120 +51,186 @@ fn ctx(threads: u32, freq_mhz: u32) -> SynthesisContext {
     }
 }
 
-proptest! {
-    /// Counter identities hold for every valid activity.
-    #[test]
-    fn counter_identities(a in activity(), threads in 1u32..=24) {
+/// Counter identities hold for every valid activity.
+#[test]
+fn counter_identities() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let a = valid_activity(&mut rng);
+        let threads = 1 + rng.below(24) as u32;
         let c = expected_counts(&a, &ctx(threads, 2400));
         let get = |e: PapiEvent| c[e.index()];
         // Branch taxonomy sums.
-        prop_assert!((get(PapiEvent::BR_MSP) + get(PapiEvent::BR_PRC)
-            - get(PapiEvent::BR_CN)).abs() < 1.0);
-        prop_assert!((get(PapiEvent::BR_TKN) + get(PapiEvent::BR_NTK)
-            - get(PapiEvent::BR_CN)).abs() < 1.0);
+        assert!(
+            (get(PapiEvent::BR_MSP) + get(PapiEvent::BR_PRC) - get(PapiEvent::BR_CN)).abs() < 1.0
+        );
+        assert!(
+            (get(PapiEvent::BR_TKN) + get(PapiEvent::BR_NTK) - get(PapiEvent::BR_CN)).abs() < 1.0
+        );
         // L1 split.
-        prop_assert!((get(PapiEvent::L1_LDM) + get(PapiEvent::L1_STM)
-            - get(PapiEvent::L1_DCM)).abs() < 1.0);
-        prop_assert!((get(PapiEvent::L1_TCM)
-            - get(PapiEvent::L1_DCM) - get(PapiEvent::L1_ICM)).abs() < 1.0);
+        assert!(
+            (get(PapiEvent::L1_LDM) + get(PapiEvent::L1_STM) - get(PapiEvent::L1_DCM)).abs() < 1.0
+        );
+        assert!(
+            (get(PapiEvent::L1_TCM) - get(PapiEvent::L1_DCM) - get(PapiEvent::L1_ICM)).abs() < 1.0
+        );
         // Hierarchy: misses shrink downward.
-        prop_assert!(get(PapiEvent::L2_TCM) <= get(PapiEvent::L1_TCM) + 1.0);
-        prop_assert!(get(PapiEvent::L3_TCM)
-            <= get(PapiEvent::L2_TCM) + get(PapiEvent::PRF_DM) + 1.0);
+        assert!(get(PapiEvent::L2_TCM) <= get(PapiEvent::L1_TCM) + 1.0);
+        assert!(get(PapiEvent::L3_TCM) <= get(PapiEvent::L2_TCM) + get(PapiEvent::PRF_DM) + 1.0);
         // Occupancy bounded by cycles.
         let cyc = get(PapiEvent::TOT_CYC);
-        for e in [PapiEvent::STL_ICY, PapiEvent::STL_CCY, PapiEvent::FUL_CCY,
-                  PapiEvent::FUL_ICY, PapiEvent::RES_STL, PapiEvent::MEM_WCY] {
-            prop_assert!(get(e) <= cyc + 1.0, "{e}");
+        for e in [
+            PapiEvent::STL_ICY,
+            PapiEvent::STL_CCY,
+            PapiEvent::FUL_CCY,
+            PapiEvent::FUL_ICY,
+            PapiEvent::RES_STL,
+            PapiEvent::MEM_WCY,
+        ] {
+            assert!(get(e) <= cyc + 1.0, "{e}");
         }
         // Everything finite and non-negative.
         for (i, v) in c.iter().enumerate() {
-            prop_assert!(v.is_finite() && *v >= 0.0, "counter {i}");
+            assert!(v.is_finite() && *v >= 0.0, "counter {i}");
         }
     }
+}
 
-    /// Power is finite, positive and bounded; components sum to total.
-    ///
-    /// The envelope bound additionally requires machine-level bandwidth
-    /// feasibility (`prf·ipc·threads` capped), which the workload layer
-    /// enforces through `saturate_bandwidth` — single-core traffic
-    /// profiles replayed unsaturated on 24 cores are unphysical.
-    #[test]
-    fn power_sane(a in activity(), threads in 0u32..=24, f in prop::sample::select(vec![1200u32, 1600, 2000, 2400, 2600])) {
-        prop_assume!(a.prefetch_mpki * a.ipc * threads as f64 <= 120.0);
+/// Power is finite, positive and bounded; components sum to total.
+///
+/// The envelope bound additionally requires machine-level bandwidth
+/// feasibility (`prf·ipc·threads` capped), which the workload layer
+/// enforces through `saturate_bandwidth` — single-core traffic
+/// profiles replayed unsaturated on 24 cores are unphysical.
+#[test]
+fn power_sane() {
+    let freqs = [1200u32, 1600, 2000, 2400, 2600];
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 100);
+        let a = valid_activity(&mut rng);
+        let threads = rng.below(25) as u32;
+        let f = freqs[rng.below(freqs.len())];
+        if a.prefetch_mpki * a.ipc * threads as f64 > 120.0 {
+            continue; // unphysical bandwidth draw
+        }
         let w = PowerWeights::default();
         let op = VoltageCurve::default().operating_point(f);
         let p = true_power(&a, &w, threads, 24, 2, &op);
-        prop_assert!(p.total.is_finite());
-        prop_assert!(p.total > 50.0, "machine never draws less than its floor: {}", p.total);
-        prop_assert!(p.total < 700.0, "bounded envelope: {}", p.total);
+        assert!(p.total.is_finite());
+        assert!(
+            p.total > 50.0,
+            "machine never draws less than its floor: {}",
+            p.total
+        );
+        assert!(p.total < 700.0, "bounded envelope: {}", p.total);
         let sum = p.dynamic + p.static_power + p.system + p.dram + p.thermal;
-        prop_assert!((sum - p.total).abs() < 1e-9);
-        prop_assert!(p.dynamic >= 0.0 && p.dram >= 0.0);
+        assert!((sum - p.total).abs() < 1e-9);
+        assert!(p.dynamic >= 0.0 && p.dram >= 0.0);
     }
+}
 
-    /// More threads never reduces power, all else equal.
-    #[test]
-    fn power_monotone_in_threads(a in activity(), f in prop::sample::select(vec![1200u32, 2000, 2600])) {
+/// More threads never reduces power, all else equal.
+#[test]
+fn power_monotone_in_threads() {
+    let freqs = [1200u32, 2000, 2600];
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 200);
+        let a = valid_activity(&mut rng);
+        let f = freqs[rng.below(freqs.len())];
         let w = PowerWeights::default();
         let op = VoltageCurve::default().operating_point(f);
         let mut prev = 0.0;
         for t in [1u32, 6, 12, 18, 24] {
             let p = true_power(&a, &w, t, 24, 2, &op).total;
-            prop_assert!(p >= prev - 1e-9, "t={t}: {p} < {prev}");
+            assert!(p >= prev - 1e-9, "t={t}: {p} < {prev}");
             prev = p;
         }
     }
+}
 
-    /// Observation determinism: identical coordinates → identical
-    /// observation; different run ids → different counter noise but
-    /// identical ground truth.
-    #[test]
-    fn observation_determinism(a in activity(), seed in 0u64..1000, run in 0u32..50) {
-        let m = Machine::new(MachineConfig::haswell_ep(seed));
-        let mk = |r: u32| m.observe(&a, &PhaseContext {
-            workload_id: 1, phase_id: 0, run_id: r,
-            threads: 12, freq_mhz: 2000, duration_s: 5.0,
-        });
+/// Observation determinism: identical coordinates → identical
+/// observation; different run ids → different counter noise but
+/// identical ground truth.
+#[test]
+fn observation_determinism() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 300);
+        let a = valid_activity(&mut rng);
+        let machine_seed = rng.below(1000) as u64;
+        let run = rng.below(50) as u32;
+        let m = Machine::new(MachineConfig::haswell_ep(machine_seed));
+        let mk = |r: u32| {
+            m.observe(
+                &a,
+                &PhaseContext {
+                    workload_id: 1,
+                    phase_id: 0,
+                    run_id: r,
+                    threads: 12,
+                    freq_mhz: 2000,
+                    duration_s: 5.0,
+                },
+            )
+        };
         let o1 = mk(run);
         let o2 = mk(run);
-        prop_assert_eq!(&o1, &o2);
+        assert_eq!(&o1, &o2);
         let o3 = mk(run + 1);
-        prop_assert_eq!(o1.power_true, o3.power_true);
-        prop_assert_ne!(o1.counters, o3.counters);
+        assert_eq!(o1.power_true, o3.power_true);
+        assert_ne!(o1.counters, o3.counters);
     }
+}
 
-    /// The sensor's relative error stays small for phase-length
-    /// averages at any power level in range.
-    #[test]
-    fn sensor_relative_error_bounded(a in activity(), seed in 0u64..500) {
-        let m = Machine::new(MachineConfig::haswell_ep(seed));
-        let o = m.observe(&a, &PhaseContext {
-            workload_id: 2, phase_id: 0, run_id: 0,
-            threads: 24, freq_mhz: 2400, duration_s: 10.0,
-        });
+/// The sensor's relative error stays small for phase-length averages
+/// at any power level in range.
+#[test]
+fn sensor_relative_error_bounded() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 400);
+        let a = valid_activity(&mut rng);
+        let machine_seed = rng.below(500) as u64;
+        let m = Machine::new(MachineConfig::haswell_ep(machine_seed));
+        let o = m.observe(
+            &a,
+            &PhaseContext {
+                workload_id: 2,
+                phase_id: 0,
+                run_id: 0,
+                threads: 24,
+                freq_mhz: 2400,
+                duration_s: 10.0,
+            },
+        );
         let rel = (o.power_measured - o.power_true).abs() / o.power_true;
-        prop_assert!(rel < 0.05, "relative sensor error {rel}");
+        assert!(rel < 0.05, "relative sensor error {rel}");
     }
+}
 
-    /// Activity::mix output always validates when inputs validate.
-    #[test]
-    fn mix_preserves_validity(a in activity(), b in activity(), w in 0.01f64..0.99) {
+/// Activity::mix output always validates when inputs validate.
+#[test]
+fn mix_preserves_validity() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 500);
+        let a = valid_activity(&mut rng);
+        let b = valid_activity(&mut rng);
+        let w = rng.uniform(0.01, 0.99);
         let m = Activity::mix(&[(w, a), (1.0 - w, b)]);
-        prop_assert!(m.validate().is_ok(), "{:?}", m.validate());
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
     }
+}
 
-    /// Voltage curve: reading voltage never strays far from the curve
-    /// and is monotone in frequency.
-    #[test]
-    fn voltage_readout_bounded(seed in 0u64..1000) {
+/// Voltage curve: reading voltage never strays far from the curve and
+/// is monotone in frequency.
+#[test]
+fn voltage_readout_bounded() {
+    for seed in 0..CASES {
         let c = VoltageCurve::default();
-        let mut rng = pmc_cpusim::rng::SplitMix64::new(seed);
+        let mut rng = SplitMix64::new(seed + 600);
         let mut prev = 0.0;
         for f in VoltageCurve::paper_frequencies() {
             let v = c.read_voltage(f, &mut rng);
-            prop_assert!((v - c.voltage_at(f)).abs() < 0.02);
-            prop_assert!(c.voltage_at(f) > prev);
+            assert!((v - c.voltage_at(f)).abs() < 0.02);
+            assert!(c.voltage_at(f) > prev);
             prev = c.voltage_at(f);
         }
     }

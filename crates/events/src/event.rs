@@ -1,12 +1,11 @@
 //! The 54 PAPI preset events and their metadata.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Microarchitectural category of a counter, used for reporting and for
 /// sanity checks on the synthesized platform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Category {
     /// L1/L2/L3 cache misses, loads, stores, accesses.
     Cache,
@@ -38,7 +37,7 @@ macro_rules! papi_events {
         /// The discriminant is the stable column index used throughout
         /// the workspace for counter matrices; [`PapiEvent::ALL`] lists
         /// the events in that order.
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
         #[allow(non_camel_case_types)]
         #[repr(u8)]
         pub enum PapiEvent {
@@ -265,7 +264,9 @@ mod tests {
     #[test]
     fn paper_counters_present() {
         // The six counters the paper selects in Table I …
-        for name in ["PRF_DM", "TOT_CYC", "TLB_IM", "FUL_CCY", "STL_ICY", "BR_MSP"] {
+        for name in [
+            "PRF_DM", "TOT_CYC", "TLB_IM", "FUL_CCY", "STL_ICY", "BR_MSP",
+        ] {
             assert!(name.parse::<PapiEvent>().is_ok(), "{name}");
         }
         // … the snoop counter from the VIF discussion …

@@ -8,12 +8,11 @@
 //! application*; this module plans those runs.
 
 use crate::{EventSet, PapiEvent};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One acquisition run's counter configuration: the fixed-function
 /// events (always present) plus at most `slots` programmable events.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CounterGroup {
     /// Fixed-function events recorded in every run.
     pub fixed: Vec<PapiEvent>,
@@ -48,7 +47,7 @@ impl fmt::Display for ScheduleError {
 impl std::error::Error for ScheduleError {}
 
 /// Plans counter groups given the hardware's programmable-slot count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterScheduler {
     /// Programmable counter slots available per run.
     pub slots: usize,
@@ -109,6 +108,29 @@ impl CounterScheduler {
             })
             .collect();
         Ok(groups)
+    }
+
+    /// Validation hook for online deployment: a model can be served
+    /// live only if its event set fits a *single* run — the fixed
+    /// counters plus at most `slots` programmable events — because a
+    /// runtime power meter cannot re-run the application per group.
+    /// Returns the one group the runtime should program.
+    pub fn validate_single_run(&self, events: &[PapiEvent]) -> Result<CounterGroup, ScheduleError> {
+        let groups = self.schedule(events)?;
+        if groups.len() > 1 {
+            let programmable = groups.iter().map(|g| g.programmable.len()).sum::<usize>();
+            return Err(ScheduleError {
+                reason: format!(
+                    "event set needs {programmable} programmable counters but only {} \
+                     slots are available in a single online run",
+                    self.slots
+                ),
+            });
+        }
+        Ok(groups
+            .into_iter()
+            .next()
+            .expect("schedule returned a group"))
     }
 
     /// Number of runs required to cover the given events.
@@ -211,6 +233,32 @@ mod tests {
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[0].fixed.len(), 3);
         assert_eq!(groups[0].programmable, vec![PapiEvent::PRF_DM]);
+    }
+
+    #[test]
+    fn single_run_validation() {
+        let sched = CounterScheduler::haswell_default();
+        // 4 programmable + fixed riders fit one run.
+        let ok = sched
+            .validate_single_run(&[
+                PapiEvent::PRF_DM,
+                PapiEvent::TLB_IM,
+                PapiEvent::STL_ICY,
+                PapiEvent::FUL_CCY,
+                PapiEvent::TOT_CYC,
+            ])
+            .unwrap();
+        assert_eq!(ok.programmable.len(), 4);
+        // 5 programmable events cannot be recorded simultaneously.
+        assert!(sched
+            .validate_single_run(&[
+                PapiEvent::PRF_DM,
+                PapiEvent::TLB_IM,
+                PapiEvent::STL_ICY,
+                PapiEvent::FUL_CCY,
+                PapiEvent::BR_MSP,
+            ])
+            .is_err());
     }
 
     #[test]

@@ -1,17 +1,15 @@
 //! Ordered, duplicate-free sets of PAPI events.
 
 use crate::PapiEvent;
-use serde::{Deserialize, Serialize};
 
 /// An ordered set of PAPI events with O(1) membership tests.
 ///
 /// Order matters throughout the pipeline: the selection algorithm
 /// reports counters *in the order they were chosen* (paper Table I), and
 /// model coefficients are keyed by position.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventSet {
     order: Vec<PapiEvent>,
-    #[serde(skip)]
     member: MemberMask,
 }
 
@@ -85,8 +83,8 @@ impl EventSet {
     /// Membership test.
     #[inline]
     pub fn contains(&self, e: PapiEvent) -> bool {
-        // `member` is skipped by serde; fall back to the order list if
-        // the mask looks stale (empty mask with nonempty order).
+        // The mask can be stale after manual (de)serialization; fall
+        // back to the order list if it looks empty but order is not.
         if self.member == MemberMask::default() && !self.order.is_empty() {
             return self.order.contains(&e);
         }
@@ -124,7 +122,7 @@ impl EventSet {
     }
 
     /// Rebuilds the membership mask from the order list. Must be called
-    /// after deserializing (serde skips the mask); [`EventSet`] methods
+    /// after reconstructing a set from serialized order; [`EventSet`] methods
     /// tolerate a stale mask but run slower until normalized.
     pub fn normalize(&mut self) {
         self.member = MemberMask::default();

@@ -1,0 +1,816 @@
+//! # pmc-json
+//!
+//! A minimal, dependency-free JSON implementation for the pmcpower
+//! workspace, in the repo's "from scratch" spirit. It backs the model
+//! artifact format ([`pmc-model`]'s `PowerModel::to_json`), the
+//! JSON-lines trace format in `pmc-trace`, and the `pmc-serve` wire
+//! protocol — all places where the previous revision pulled in
+//! `serde_json` and therefore could not build from a cold registry.
+//!
+//! Design points:
+//!
+//! * [`Json`] is an ordered document model — object keys keep insertion
+//!   order so serialized artifacts are stable and diffable.
+//! * The parser is a recursive-descent byte walker with a hard depth
+//!   limit (the serve wire protocol parses untrusted frames) and byte
+//!   offsets in every error.
+//! * Numbers are `f64`, like JSON itself; `Display`-based formatting is
+//!   shortest-roundtrip in Rust, so `parse(to_string(v))` is exact.
+//! * Non-finite numbers have no JSON representation; serialization maps
+//!   them to `null` and typed extraction reports them as missing.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deep enough for any
+/// artifact in this workspace, shallow enough that hostile input cannot
+/// blow the stack.
+pub const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Errors from parsing or typed extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonError {
+    /// The input is not valid JSON.
+    Parse {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A value had the wrong type for the requested extraction.
+    Type {
+        /// The type the caller asked for.
+        expected: &'static str,
+        /// The type actually present.
+        found: &'static str,
+    },
+    /// An object lacked a required field.
+    MissingField {
+        /// Name of the absent field.
+        field: String,
+    },
+    /// A numeric field was outside the representable/expected range.
+    Range {
+        /// Name or description of the offending value.
+        what: String,
+    },
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Parse { offset, msg } => {
+                write!(f, "JSON parse error at byte {offset}: {msg}")
+            }
+            JsonError::Type { expected, found } => {
+                write!(f, "JSON type error: expected {expected}, found {found}")
+            }
+            JsonError::MissingField { field } => {
+                write!(f, "JSON object is missing required field {field:?}")
+            }
+            JsonError::Range { what } => write!(f, "JSON value out of range: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, JsonError>;
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed,
+    /// trailing garbage rejected).
+    pub fn parse(s: &str) -> Result<Json> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    /// The JSON type name of this value (`"object"`, `"array"`, …).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+
+    /// Pretty serialization with two-space indentation.
+    /// (Compact serialization is the [`std::fmt::Display`] impl:
+    /// `json.to_string()`.)
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out
+    }
+
+    /// Builds an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The value of a field, if this is an object containing it.
+    pub fn get(&self, field: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == field).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value of a required field; typed error if absent.
+    pub fn field(&self, field: &str) -> Result<&Json> {
+        match self {
+            Json::Obj(_) => self.get(field).ok_or_else(|| JsonError::MissingField {
+                field: field.to_string(),
+            }),
+            other => Err(JsonError::Type {
+                expected: "object",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// This value as a bool.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(JsonError::Type {
+                expected: "bool",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// This value as an `f64`.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(JsonError::Type {
+                expected: "number",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// This value as a non-negative integer that fits in `u64`.
+    pub fn as_u64(&self) -> Result<u64> {
+        let n = self.as_f64()?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(JsonError::Range {
+                what: format!("{n} is not a u64"),
+            });
+        }
+        Ok(n as u64)
+    }
+
+    /// This value as a `u32`.
+    pub fn as_u32(&self) -> Result<u32> {
+        let n = self.as_u64()?;
+        u32::try_from(n).map_err(|_| JsonError::Range {
+            what: format!("{n} does not fit in u32"),
+        })
+    }
+
+    /// This value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize> {
+        let n = self.as_u64()?;
+        usize::try_from(n).map_err(|_| JsonError::Range {
+            what: format!("{n} does not fit in usize"),
+        })
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(JsonError::Type {
+                expected: "string",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json]> {
+        match self {
+            Json::Arr(v) => Ok(v),
+            other => Err(JsonError::Type {
+                expected: "array",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// This value as object fields.
+    pub fn as_obj(&self) -> Result<&[(String, Json)]> {
+        match self {
+            Json::Obj(v) => Ok(v),
+            other => Err(JsonError::Type {
+                expected: "object",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Required `f64` field of an object.
+    pub fn f64_field(&self, field: &str) -> Result<f64> {
+        self.field(field)?.as_f64()
+    }
+
+    /// Required `u32` field of an object.
+    pub fn u32_field(&self, field: &str) -> Result<u32> {
+        self.field(field)?.as_u32()
+    }
+
+    /// Required `u64` field of an object.
+    pub fn u64_field(&self, field: &str) -> Result<u64> {
+        self.field(field)?.as_u64()
+    }
+
+    /// Required `usize` field of an object.
+    pub fn usize_field(&self, field: &str) -> Result<usize> {
+        self.field(field)?.as_usize()
+    }
+
+    /// Required string field of an object.
+    pub fn str_field(&self, field: &str) -> Result<&str> {
+        self.field(field)?.as_str()
+    }
+
+    /// Required array field of an object.
+    pub fn arr_field(&self, field: &str) -> Result<&[Json]> {
+        self.field(field)?.as_arr()
+    }
+
+    /// Required array-of-numbers field of an object.
+    pub fn f64_vec_field(&self, field: &str) -> Result<Vec<f64>> {
+        self.arr_field(field)?.iter().map(Json::as_f64).collect()
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Self {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Self {
+        Json::Num(n)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Self {
+        Json::Num(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Self {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Self {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Arr(v)
+    }
+}
+impl From<&[f64]> for Json {
+    fn from(v: &[f64]) -> Self {
+        Json::Arr(v.iter().map(|&x| Json::Num(x)).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    /// Compact (single-line) serialization.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        f.write_str(&out)
+    }
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(v: &Json, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(items.len(), indent, level, out, '[', ']', |i, out| {
+            write_value(&items[i], indent, level + 1, out);
+        }),
+        Json::Obj(fields) => write_seq(fields.len(), indent, level, out, '{', '}', |i, out| {
+            write_string(&fields[i].0, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            write_value(&fields[i].1, indent, level + 1, out);
+        }),
+    }
+}
+
+fn write_seq(
+    n: usize,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut item: impl FnMut(usize, &mut String),
+) {
+    out.push(open);
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (level + 1)));
+        }
+        item(i, out);
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON cannot express NaN/inf; null is the least-surprising spelling.
+        out.push_str("null");
+        return;
+    }
+    // Rust's Display for f64 is shortest-roundtrip, so this is lossless.
+    let s = format!("{n}");
+    out.push_str(&s);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError::Parse {
+            offset: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character {:?}", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("invalid literal (expected {word:?})")))
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let c = self.unicode_escape()?;
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(_) => {
+                    // Copy one UTF-8 code point verbatim. The input is a
+                    // &str, so boundaries are already valid.
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xc0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..end]).unwrap());
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    /// Parses the 4 hex digits after `\u`, consuming a following
+    /// low-surrogate escape when the first unit is a high surrogate.
+    fn unicode_escape(&mut self) -> Result<char> {
+        let hi = self.hex4()?;
+        if (0xd800..0xdc00).contains(&hi) {
+            // Surrogate pair: require \uXXXX low half.
+            if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                self.pos += 2;
+                let lo = self.hex4()?;
+                if !(0xdc00..0xe000).contains(&lo) {
+                    return Err(self.err("invalid low surrogate"));
+                }
+                let c = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+            }
+            return Err(self.err("lone high surrogate"));
+        }
+        if (0xdc00..0xe000).contains(&hi) {
+            return Err(self.err("lone low surrogate"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("invalid unicode escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (c as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit in \\u escape"))?;
+            v = (v << 4) | d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(self.err("expected digits in number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.err("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("invalid number {text:?}")))?;
+        Ok(Json::Num(n))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_roundtrip() {
+        for text in ["null", "true", "false", "0", "-1.5", "1e300", "\"hi\""] {
+            let v = Json::parse(text).unwrap();
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn numbers_roundtrip_exactly() {
+        for n in [
+            0.0,
+            -0.0,
+            1.0,
+            std::f64::consts::PI,
+            1e-308,
+            1.7976931348623157e308,
+            -123.456_789_012_345_68,
+            0.1 + 0.2,
+        ] {
+            let s = Json::Num(n).to_string();
+            let back = Json::parse(&s).unwrap().as_f64().unwrap();
+            assert_eq!(n.to_bits(), back.to_bits(), "{n} via {s}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn nested_structure_roundtrips() {
+        let v = Json::obj(vec![
+            ("name", "power-model".into()),
+            ("alpha", Json::from(&[1.5, -2.0, 3e-9][..])),
+            (
+                "meta",
+                Json::obj(vec![("runs", 13u32.into()), ("ok", true.into())]),
+            ),
+            ("none", Json::Null),
+        ]);
+        for text in [v.to_string(), v.to_string_pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn object_key_order_is_preserved() {
+        let v = Json::parse(r#"{"z":1,"a":2,"m":3}"#).unwrap();
+        let keys: Vec<&str> = v
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z", "a", "m"]);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "quote \" backslash \\ newline \n tab \t nul \u{0} emoji \u{1F600} é";
+        let text = Json::Str(s.to_string()).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str().unwrap(), s);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            Json::parse(r#""é😀""#).unwrap().as_str().unwrap(),
+            "é\u{1F600}"
+        );
+        assert!(Json::parse(r#""\ud800""#).is_err()); // lone surrogate
+        assert!(Json::parse(r#""\u12g4""#).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_offsets() {
+        for text in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "nul",
+            "truex",
+            "01x",
+            "1.e3",
+            "--1",
+            "\"abc",
+            "{\"a\":1} trailing",
+            "[1,]",
+        ] {
+            let e = Json::parse(text).unwrap_err();
+            assert!(matches!(e, JsonError::Parse { .. }), "{text:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn typed_field_accessors() {
+        let v = Json::parse(r#"{"n": 3, "s": "x", "a": [1.0, 2.0], "b": true}"#).unwrap();
+        assert_eq!(v.u32_field("n").unwrap(), 3);
+        assert_eq!(v.str_field("s").unwrap(), "x");
+        assert_eq!(v.f64_vec_field("a").unwrap(), vec![1.0, 2.0]);
+        assert!(v.field("b").unwrap().as_bool().unwrap());
+        assert!(matches!(
+            v.field("missing").unwrap_err(),
+            JsonError::MissingField { .. }
+        ));
+        assert!(matches!(
+            v.f64_field("s").unwrap_err(),
+            JsonError::Type { .. }
+        ));
+        assert!(matches!(
+            Json::parse("1.5").unwrap().as_u64().unwrap_err(),
+            JsonError::Range { .. }
+        ));
+        assert!(matches!(
+            Json::Num(-1.0).as_u32().unwrap_err(),
+            JsonError::Range { .. }
+        ));
+    }
+
+    #[test]
+    fn whitespace_tolerated_everywhere() {
+        let v = Json::parse(" \n\t{ \"a\" :\r [ 1 , 2 ] , \"b\" : { } }  ").unwrap();
+        assert_eq!(v.arr_field("a").unwrap().len(), 2);
+        assert!(v.field("b").unwrap().as_obj().unwrap().is_empty());
+    }
+
+    #[test]
+    fn display_matches_to_string() {
+        let v = Json::parse(r#"{"a":[1,true,null]}"#).unwrap();
+        assert_eq!(format!("{v}"), v.to_string());
+    }
+}

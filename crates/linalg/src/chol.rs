@@ -124,12 +124,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B·Bᵀ + I for B = [[1,2],[3,4],[5,6]] — hand-expanded.
-        Matrix::from_rows(&[
-            &[6.0, 11.0, 17.0],
-            &[11.0, 26.0, 39.0],
-            &[17.0, 39.0, 62.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[6.0, 11.0, 17.0], &[11.0, 26.0, 39.0], &[17.0, 39.0, 62.0]]).unwrap()
     }
 
     #[test]

@@ -38,6 +38,9 @@
 //! assert!((x[1] - 3.0).abs() < 1e-10);
 //! ```
 
+// Index loops mirror the textbook formulations of the kernels and are
+// clearer than iterator chains for matrix math.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

@@ -243,13 +243,7 @@ mod tests {
     #[test]
     fn least_squares_overdetermined() {
         // Fit y = a + b t to points on a line with symmetric noise.
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         // y = 1 + 2t with noise [+e, -e, +e, -e]; e cancels for slope
         // on symmetric design? Use exact points to assert exactness.
         let y = [1.0, 3.0, 5.0, 7.0];

@@ -1,0 +1,160 @@
+//! Versioned model artifacts — the unit the registry stores.
+//!
+//! An artifact wraps a fitted [`PowerModel`] with a deployment name and
+//! a monotonically increasing version, and carries the metadata an
+//! operator needs to judge it: the selected events, the training-fit
+//! R², and the training operating envelope. Artifacts are validated on
+//! load: a model whose programmable events do not fit a *single*
+//! Haswell counter group cannot be driven by a live PMU session and is
+//! rejected before it can be activated.
+
+use crate::error::ServeError;
+use pmc_events::scheduler::{CounterGroup, CounterScheduler};
+use pmc_json::Json;
+use pmc_model::model::PowerModel;
+
+/// A named, versioned, deployable power model.
+#[derive(Debug, Clone)]
+pub struct ModelArtifact {
+    /// Deployment name (e.g. `"haswell-ep"`).
+    pub name: String,
+    /// Version within the name; assigned by the registry on load.
+    pub version: u32,
+    /// The fitted model.
+    pub model: PowerModel,
+}
+
+impl ModelArtifact {
+    /// Wraps a model under a deployment name. The version is a
+    /// placeholder until the registry assigns the real one on load.
+    pub fn new(name: impl Into<String>, model: PowerModel) -> Self {
+        ModelArtifact {
+            name: name.into(),
+            version: 0,
+            model,
+        }
+    }
+
+    /// Checks that this model can be served online: its event set must
+    /// schedule into one counter group on the given hardware. Returns
+    /// the group a runtime would program.
+    pub fn validate(&self, scheduler: &CounterScheduler) -> Result<CounterGroup, ServeError> {
+        if self.name.is_empty() {
+            return Err(ServeError::Registry {
+                reason: "artifact name must not be empty".into(),
+            });
+        }
+        Ok(scheduler.validate_single_run(&self.model.events)?)
+    }
+
+    /// Operator-facing metadata: events, fit quality, training span.
+    pub fn describe(&self) -> Json {
+        let events: Vec<Json> = self
+            .model
+            .events
+            .iter()
+            .map(|e| Json::from(e.mnemonic()))
+            .collect();
+        let mut fields = vec![
+            ("name", Json::from(self.name.as_str())),
+            ("version", Json::from(self.version)),
+            ("events", Json::Arr(events)),
+            ("fit_r_squared", Json::from(self.model.fit_r_squared)),
+            ("n_observations", Json::from(self.model.n_observations)),
+        ];
+        if let Some(env) = &self.model.envelope {
+            fields.push((
+                "training_envelope",
+                Json::obj(vec![
+                    ("voltage_min", Json::from(env.voltage_min)),
+                    ("voltage_max", Json::from(env.voltage_max)),
+                    ("freq_mhz_min", Json::from(env.freq_mhz_min)),
+                    ("freq_mhz_max", Json::from(env.freq_mhz_max)),
+                ]),
+            ));
+        }
+        Json::obj(fields)
+    }
+
+    /// Serializes the artifact (name + version + model) to a JSON value.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::from(self.name.as_str())),
+            ("version", Json::from(self.version)),
+            ("model", self.model.to_json_value()),
+        ])
+    }
+
+    /// Serializes the artifact to pretty JSON text.
+    pub fn to_json(&self) -> Result<String, ServeError> {
+        Ok(self.to_json_value().to_string_pretty())
+    }
+
+    /// Reads an artifact from a JSON value.
+    pub fn from_json_value(v: &Json) -> Result<Self, ServeError> {
+        Ok(ModelArtifact {
+            name: v.str_field("name")?.to_string(),
+            version: v.u32_field("version")?,
+            model: PowerModel::from_json_value(v.field("model")?)?,
+        })
+    }
+
+    /// Reads an artifact from JSON text.
+    pub fn from_json(s: &str) -> Result<Self, ServeError> {
+        Self::from_json_value(&Json::parse(s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::tiny_model;
+
+    #[test]
+    fn artifact_roundtrips_through_json() {
+        let a = ModelArtifact::new("hsw", tiny_model());
+        let text = a.to_json().unwrap();
+        let b = ModelArtifact::from_json(&text).unwrap();
+        assert_eq!(b.name, "hsw");
+        assert_eq!(b.model.events, a.model.events);
+        assert_eq!(b.model.alpha, a.model.alpha);
+    }
+
+    #[test]
+    fn six_event_model_is_servable() {
+        // tiny_model selects ≤ 4 programmable events + fixed riders.
+        let a = ModelArtifact::new("hsw", tiny_model());
+        let group = a.validate(&CounterScheduler::haswell_default()).unwrap();
+        assert!(group.programmable.len() <= 4);
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let a = ModelArtifact::new("", tiny_model());
+        assert!(matches!(
+            a.validate(&CounterScheduler::haswell_default()),
+            Err(ServeError::Registry { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_json_is_typed_error_not_panic() {
+        let a = ModelArtifact::new("hsw", tiny_model());
+        let text = a.to_json().unwrap();
+        for cut in [1, text.len() / 4, text.len() / 2, text.len() - 2] {
+            let err = ModelArtifact::from_json(&text[..cut]);
+            assert!(err.is_err(), "truncation at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn describe_carries_fit_metadata() {
+        let mut a = ModelArtifact::new("hsw", tiny_model());
+        a.version = 3;
+        let d = a.describe();
+        assert_eq!(d.str_field("name").unwrap(), "hsw");
+        assert_eq!(d.u32_field("version").unwrap(), 3);
+        assert!(d.f64_field("fit_r_squared").unwrap() > 0.9);
+        assert!(d.get("training_envelope").is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! `pmc-serve` — run the power-telemetry server or poke one.
+//!
+//! ```text
+//! pmc-serve serve  [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]
+//! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)
+//! ```
+//!
+//! `serve` binds (default `127.0.0.1:7717`), optionally pre-loads and
+//! activates model artifacts from JSON files, prints the bound
+//! address, and runs until stdin closes (pipe `/dev/null` to run until
+//! killed; an orchestrator holds the pipe open).
+
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{ModelArtifact, PowerClient};
+use std::io::Read;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("client") => client(&args[1..]),
+        _ => {
+            eprintln!("usage: pmc-serve serve [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]");
+            eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pmc-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ServerConfig {
+        addr: flag_value(args, "--addr")
+            .unwrap_or("127.0.0.1:7717")
+            .into(),
+        ..ServerConfig::default()
+    };
+    if let Some(w) = flag_value(args, "--workers") {
+        config.workers = w.parse()?;
+    }
+    if let Some(q) = flag_value(args, "--queue") {
+        config.queue_depth = q.parse()?;
+    }
+    if let Some(c) = flag_value(args, "--cores") {
+        config.engine.total_cores = c.parse()?;
+    }
+
+    let registry = Arc::new(ModelRegistry::default());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--model" {
+            let path = args.get(i + 1).ok_or("--model needs a file path")?;
+            let text = std::fs::read_to_string(path)?;
+            let artifact = ModelArtifact::from_json(&text)?;
+            let name = artifact.name.clone();
+            let (_, version) = registry.load_and_activate(artifact)?;
+            eprintln!("loaded and activated {name} v{version} from {path}");
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+
+    let mut server = PowerServer::start(config, registry)?;
+    println!("listening on {}", server.addr());
+    // Serve until stdin closes — the conventional "run me under a
+    // supervisor" lifetime without needing signal handling.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("stdin closed — shutting down");
+    server.shutdown();
+    Ok(())
+}
+
+fn client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7717");
+    let mut c = PowerClient::connect(addr)?;
+    // The verb is the first arg that isn't the --addr pair.
+    let mut verb_args: Vec<&String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--addr" {
+            i += 2;
+        } else {
+            verb_args.push(&args[i]);
+            i += 1;
+        }
+    }
+    match verb_args.first().map(|s| s.as_str()) {
+        Some("stats") => {
+            println!("{}", c.stats()?.to_string_pretty());
+        }
+        Some("load") => {
+            let name = verb_args.get(1).ok_or("load needs NAME FILE")?;
+            let path = verb_args.get(2).ok_or("load needs NAME FILE")?;
+            let activate = verb_args.iter().any(|a| *a == "--activate");
+            // Accept either a bare PowerModel JSON (what `to_json`
+            // writes) or a full artifact file as used by `serve --model`.
+            let text = std::fs::read_to_string(path)?;
+            let model = match pmc_model::model::PowerModel::from_json(&text) {
+                Ok(m) => m,
+                Err(_) => ModelArtifact::from_json(&text)?.model,
+            };
+            let version = c.load_model(name, &model, activate)?;
+            println!(
+                "loaded {name} v{version}{}",
+                if activate { " (active)" } else { "" }
+            );
+        }
+        Some("activate") => {
+            let name = verb_args.get(1).ok_or("activate needs NAME VERSION")?;
+            let version: u32 = verb_args
+                .get(2)
+                .ok_or("activate needs NAME VERSION")?
+                .parse()?;
+            c.activate(name, version)?;
+            println!("activated {name} v{version}");
+        }
+        Some("rollback") => {
+            let (name, version) = c.rollback()?;
+            println!("rolled back to {name} v{version}");
+        }
+        other => {
+            return Err(format!("unknown client verb {other:?}").into());
+        }
+    }
+    Ok(())
+}

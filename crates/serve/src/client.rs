@@ -1,0 +1,137 @@
+//! A blocking client for the pmc-serve wire protocol.
+
+use crate::engine::{CounterSample, Estimate};
+use crate::error::ServeError;
+use crate::protocol::{read_frame, unwrap_response, write_frame, Request};
+use pmc_json::Json;
+use pmc_model::model::PowerModel;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a power server. Each client owns its own
+/// estimator window on the server side; drop the client to release it.
+#[derive(Debug)]
+pub struct PowerClient {
+    stream: TcpStream,
+}
+
+impl PowerClient {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        Ok(PowerClient {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Sends a request and returns the unwrapped `result` payload.
+    pub fn call(&mut self, req: &Request) -> Result<Json, ServeError> {
+        write_frame(&mut self.stream, &req.to_json_value())?;
+        let frame = read_frame(&mut self.stream)?.ok_or(ServeError::Protocol {
+            reason: "server closed the connection".into(),
+        })?;
+        unwrap_response(frame)
+    }
+
+    /// Loads a model under `name`; optionally activates it. Returns
+    /// the assigned version.
+    pub fn load_model(
+        &mut self,
+        name: &str,
+        model: &PowerModel,
+        activate: bool,
+    ) -> Result<u32, ServeError> {
+        let r = self.call(&Request::LoadModel {
+            name: name.to_string(),
+            model: model.to_json_value(),
+            activate,
+        })?;
+        Ok(r.u32_field("version")?)
+    }
+
+    /// Activates a loaded model.
+    pub fn activate(&mut self, name: &str, version: u32) -> Result<(), ServeError> {
+        self.call(&Request::Activate {
+            name: name.to_string(),
+            version,
+        })?;
+        Ok(())
+    }
+
+    /// Rolls back to the previously active model; returns its id.
+    pub fn rollback(&mut self) -> Result<(String, u32), ServeError> {
+        let r = self.call(&Request::Rollback)?;
+        Ok((r.str_field("name")?.to_string(), r.u32_field("version")?))
+    }
+
+    /// Streams one counter sample; returns the updated estimate.
+    pub fn ingest(&mut self, sample: &CounterSample) -> Result<Estimate, ServeError> {
+        let r = self.call(&Request::Ingest(sample.clone()))?;
+        Estimate::from_json_value(&r)
+    }
+
+    /// Fetches the latest estimate (staleness judged against `now_ns`);
+    /// `None` until a sample has been ingested on this connection.
+    pub fn estimate(&mut self, now_ns: u64) -> Result<Option<Estimate>, ServeError> {
+        let r = self.call(&Request::Estimate { now_ns })?;
+        match r {
+            Json::Null => Ok(None),
+            v => Ok(Some(Estimate::from_json_value(&v)?)),
+        }
+    }
+
+    /// Server statistics snapshot.
+    pub fn stats(&mut self) -> Result<Json, ServeError> {
+        self.call(&Request::Stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ModelRegistry;
+    use crate::server::{PowerServer, ServerConfig};
+    use crate::test_fixtures::{tiny_dataset, tiny_model};
+    use std::sync::Arc;
+
+    #[test]
+    fn full_client_session() {
+        let mut server =
+            PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default()))
+                .unwrap();
+        let mut c = PowerClient::connect(server.addr()).unwrap();
+
+        let model = tiny_model();
+        assert_eq!(c.load_model("hsw", &model, true).unwrap(), 1);
+        assert_eq!(c.load_model("hsw", &model, false).unwrap(), 2);
+        assert!(c.estimate(0).unwrap().is_none());
+
+        // Stream a sample built from a training row.
+        let data = tiny_dataset(4);
+        let row = &data.rows()[0];
+        let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+        let sample = CounterSample {
+            time_ns: 10,
+            duration_s: row.duration_s,
+            freq_mhz: row.freq_mhz,
+            voltage: row.voltage,
+            deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+        };
+        let est = c.ingest(&sample).unwrap();
+        assert!((est.power_w - model.predict_row(row)).abs() < 1e-9);
+        assert_eq!(est.version, 1);
+
+        // v2 activate + rollback restores v1.
+        c.activate("hsw", 2).unwrap();
+        assert_eq!(c.rollback().unwrap(), ("hsw".to_string(), 1));
+
+        let stats = c.stats().unwrap();
+        assert_eq!(
+            stats
+                .field("server")
+                .unwrap()
+                .u64_field("samples_ingested")
+                .unwrap(),
+            1
+        );
+        server.shutdown();
+    }
+}

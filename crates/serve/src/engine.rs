@@ -1,0 +1,447 @@
+//! The streaming estimator engine.
+//!
+//! Each client streams timestamped counter-delta samples (one delta per
+//! model event, in model-event order) plus the voltage readout. The
+//! engine normalizes deltas to events per available core cycle exactly
+//! as the offline [`pmc_model::dataset`] assembly does —
+//! `count / (total_cores · f_clk · duration)` — evaluates Equation 1,
+//! and maintains a per-client sliding window whose mean smooths sensor
+//! noise the way the paper's trace post-processing averages runs.
+//!
+//! Every estimate carries quality flags: `out_of_envelope` when the
+//! sample's (V, f) operating point falls outside the model's training
+//! envelope (extrapolation — the estimate is untrustworthy), and
+//! `stale` when the estimate is queried long after the last sample
+//! arrived.
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+use pmc_json::Json;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Sliding-window length in samples.
+    pub window: usize,
+    /// Total cores of the monitored machine (normalization constant).
+    pub total_cores: u32,
+    /// An estimate older than this is flagged stale.
+    pub staleness_ns: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            window: 8,
+            total_cores: 24,
+            staleness_ns: 5_000_000_000, // 5 s
+        }
+    }
+}
+
+/// One timestamped counter-delta sample from a client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Client timestamp, nanoseconds (monotonic per client).
+    pub time_ns: u64,
+    /// Length of the sampling interval, seconds.
+    pub duration_s: f64,
+    /// Operating frequency during the interval, MHz.
+    pub freq_mhz: u32,
+    /// Core voltage readout, volts.
+    pub voltage: f64,
+    /// Raw counter deltas, one per model event in model-event order.
+    pub deltas: Vec<f64>,
+}
+
+impl CounterSample {
+    /// Serializes to a JSON value (the wire shape).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("time_ns", Json::from(self.time_ns)),
+            ("duration_s", Json::from(self.duration_s)),
+            ("freq_mhz", Json::from(self.freq_mhz)),
+            ("voltage", Json::from(self.voltage)),
+            ("deltas", Json::from(&self.deltas[..])),
+        ])
+    }
+
+    /// Reads a sample from a JSON value.
+    pub fn from_json_value(v: &Json) -> Result<Self, ServeError> {
+        Ok(CounterSample {
+            time_ns: v.u64_field("time_ns")?,
+            duration_s: v.f64_field("duration_s")?,
+            freq_mhz: v.u32_field("freq_mhz")?,
+            voltage: v.f64_field("voltage")?,
+            deltas: v.f64_vec_field("deltas")?,
+        })
+    }
+}
+
+/// A power estimate with quality flags.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Timestamp of the newest contributing sample.
+    pub time_ns: u64,
+    /// Instantaneous estimate from the newest sample, watts.
+    pub power_w: f64,
+    /// Sliding-window mean estimate, watts.
+    pub window_power_w: f64,
+    /// Samples currently in the window.
+    pub samples_in_window: usize,
+    /// True if (V, f) fell outside the model's training envelope.
+    pub out_of_envelope: bool,
+    /// True if the estimate is older than the staleness budget.
+    pub stale: bool,
+    /// Name of the model that produced the estimate.
+    pub model: String,
+    /// Version of the model that produced the estimate.
+    pub version: u32,
+}
+
+impl Estimate {
+    /// Serializes to a JSON value (the wire shape).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("time_ns", Json::from(self.time_ns)),
+            ("power_w", Json::from(self.power_w)),
+            ("window_power_w", Json::from(self.window_power_w)),
+            ("samples_in_window", Json::from(self.samples_in_window)),
+            ("out_of_envelope", Json::Bool(self.out_of_envelope)),
+            ("stale", Json::Bool(self.stale)),
+            ("model", Json::from(self.model.as_str())),
+            ("version", Json::from(self.version)),
+        ])
+    }
+
+    /// Reads an estimate from a JSON value.
+    pub fn from_json_value(v: &Json) -> Result<Self, ServeError> {
+        let as_bool = |name: &'static str| -> Result<bool, ServeError> {
+            v.field(name)?.as_bool().map_err(ServeError::from)
+        };
+        Ok(Estimate {
+            time_ns: v.u64_field("time_ns")?,
+            power_w: v.f64_field("power_w")?,
+            window_power_w: v.f64_field("window_power_w")?,
+            samples_in_window: v.usize_field("samples_in_window")?,
+            out_of_envelope: as_bool("out_of_envelope")?,
+            stale: as_bool("stale")?,
+            model: v.str_field("model")?.to_string(),
+            version: v.u32_field("version")?,
+        })
+    }
+}
+
+/// Per-client sliding-window state.
+#[derive(Debug, Default)]
+struct ClientState {
+    /// `(time_ns, instantaneous power)` of recent samples.
+    window: VecDeque<(u64, f64)>,
+    /// Model identity the window was built under; a model switch
+    /// invalidates the window (estimates are not comparable).
+    model_id: Option<(String, u32)>,
+    last: Option<Estimate>,
+}
+
+/// The multi-client streaming estimator.
+#[derive(Debug)]
+pub struct EstimatorEngine {
+    config: EngineConfig,
+    clients: Mutex<HashMap<u64, ClientState>>,
+}
+
+impl EstimatorEngine {
+    /// Creates an engine with the given tuning.
+    pub fn new(config: EngineConfig) -> Self {
+        EstimatorEngine {
+            config,
+            clients: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Validates and ingests one sample for `client`, returning the
+    /// updated estimate.
+    pub fn ingest(
+        &self,
+        client: u64,
+        sample: &CounterSample,
+        artifact: &Arc<ModelArtifact>,
+    ) -> Result<Estimate, ServeError> {
+        let model = &artifact.model;
+        if sample.deltas.len() != model.events.len() {
+            return Err(ServeError::BadSample {
+                reason: format!(
+                    "expected {} counter deltas (model events), got {}",
+                    model.events.len(),
+                    sample.deltas.len()
+                ),
+            });
+        }
+        if !(sample.duration_s > 0.0 && sample.duration_s.is_finite()) {
+            return Err(ServeError::BadSample {
+                reason: "duration_s must be positive and finite".into(),
+            });
+        }
+        if sample.freq_mhz == 0 {
+            return Err(ServeError::BadSample {
+                reason: "freq_mhz must be positive".into(),
+            });
+        }
+        if !sample.voltage.is_finite() || sample.voltage <= 0.0 {
+            return Err(ServeError::BadSample {
+                reason: "voltage must be positive and finite".into(),
+            });
+        }
+        if sample.deltas.iter().any(|d| !d.is_finite() || *d < 0.0) {
+            return Err(ServeError::BadSample {
+                reason: "counter deltas must be finite and non-negative".into(),
+            });
+        }
+
+        // Events per available core cycle — identical to the offline
+        // Dataset::from_profiles normalization.
+        let available_cycles =
+            self.config.total_cores as f64 * sample.freq_mhz as f64 * 1e6 * sample.duration_s;
+        let rates: Vec<f64> = sample.deltas.iter().map(|d| d / available_cycles).collect();
+        let power = model.predict_raw(&rates, sample.voltage, sample.freq_mhz)?;
+        let out_of_envelope = match &model.envelope {
+            Some(env) => !env.contains(sample.voltage, sample.freq_mhz),
+            None => false,
+        };
+
+        let id = (artifact.name.clone(), artifact.version);
+        let mut clients = self.clients.lock().expect("engine lock poisoned");
+        let state = clients.entry(client).or_default();
+        if state.model_id.as_ref() != Some(&id) {
+            state.window.clear();
+            state.model_id = Some(id.clone());
+        }
+        state.window.push_back((sample.time_ns, power));
+        while state.window.len() > self.config.window.max(1) {
+            state.window.pop_front();
+        }
+        let window_power_w =
+            state.window.iter().map(|(_, p)| p).sum::<f64>() / state.window.len() as f64;
+        let est = Estimate {
+            time_ns: sample.time_ns,
+            power_w: power,
+            window_power_w,
+            samples_in_window: state.window.len(),
+            out_of_envelope,
+            stale: false,
+            model: id.0,
+            version: id.1,
+        };
+        state.last = Some(est.clone());
+        Ok(est)
+    }
+
+    /// The latest estimate for `client`, with the staleness flag
+    /// evaluated against `now_ns` (the client's clock).
+    pub fn estimate(&self, client: u64, now_ns: u64) -> Option<Estimate> {
+        let clients = self.clients.lock().expect("engine lock poisoned");
+        let state = clients.get(&client)?;
+        let mut est = state.last.clone()?;
+        est.stale = now_ns.saturating_sub(est.time_ns) > self.config.staleness_ns;
+        Some(est)
+    }
+
+    /// Drops a client's window (connection closed).
+    pub fn forget(&self, client: u64) {
+        self.clients
+            .lock()
+            .expect("engine lock poisoned")
+            .remove(&client);
+    }
+
+    /// Number of clients with live state.
+    pub fn client_count(&self) -> usize {
+        self.clients.lock().expect("engine lock poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{tiny_artifact, tiny_dataset};
+
+    fn engine() -> EstimatorEngine {
+        EstimatorEngine::new(EngineConfig {
+            window: 4,
+            total_cores: 24,
+            staleness_ns: 1_000_000_000,
+        })
+    }
+
+    /// A sample whose normalized rates reproduce a dataset row exactly.
+    fn sample_from_row(
+        row: &pmc_model::dataset::SampleRow,
+        a: &Arc<ModelArtifact>,
+        t: u64,
+    ) -> CounterSample {
+        let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+        CounterSample {
+            time_ns: t,
+            duration_s: row.duration_s,
+            freq_mhz: row.freq_mhz,
+            voltage: row.voltage,
+            deltas: a
+                .model
+                .events
+                .iter()
+                .map(|e| row.rate(*e) * avail)
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_matches_offline_prediction() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(12);
+        for (i, row) in data.rows().iter().enumerate() {
+            let s = sample_from_row(row, &a, i as u64);
+            let est = eng.ingest(7, &s, &a).unwrap();
+            let offline = a.model.predict_row(row);
+            assert!(
+                (est.power_w - offline).abs() < 1e-9,
+                "row {i}: {} vs {offline}",
+                est.power_w
+            );
+        }
+    }
+
+    #[test]
+    fn window_caps_and_averages() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(10);
+        let mut last = None;
+        for (i, row) in data.rows().iter().enumerate() {
+            let s = sample_from_row(row, &a, i as u64);
+            last = Some(eng.ingest(1, &s, &a).unwrap());
+        }
+        let est = last.unwrap();
+        assert_eq!(est.samples_in_window, 4); // capped at window
+                                              // Window mean equals the mean of the last 4 instantaneous estimates.
+        let tail: Vec<f64> = data.rows()[6..]
+            .iter()
+            .map(|r| a.model.predict_row(r))
+            .collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!((est.window_power_w - mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(2);
+        let s = sample_from_row(&data.rows()[0], &a, 0);
+        eng.ingest(1, &s, &a).unwrap();
+        assert!(eng.estimate(2, 0).is_none());
+        assert!(eng.estimate(1, 0).is_some());
+        eng.forget(1);
+        assert!(eng.estimate(1, 0).is_none());
+        assert_eq!(eng.client_count(), 0);
+    }
+
+    #[test]
+    fn staleness_flag_tracks_clock() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let s = sample_from_row(&data.rows()[0], &a, 1_000);
+        eng.ingest(1, &s, &a).unwrap();
+        assert!(!eng.estimate(1, 1_000).unwrap().stale);
+        assert!(eng.estimate(1, 2_000_001_000).unwrap().stale);
+    }
+
+    #[test]
+    fn out_of_envelope_flagged() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(4);
+        let mut s = sample_from_row(&data.rows()[0], &a, 0);
+        assert!(!eng.ingest(1, &s, &a).unwrap().out_of_envelope);
+        // Training envelope spans the fixture's 1200–2600 MHz.
+        s.freq_mhz = 3600;
+        assert!(eng.ingest(1, &s, &a).unwrap().out_of_envelope);
+        s.freq_mhz = 2400;
+        s.voltage = 2.5;
+        assert!(eng.ingest(1, &s, &a).unwrap().out_of_envelope);
+    }
+
+    #[test]
+    fn bad_samples_are_typed_errors() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let good = sample_from_row(&data.rows()[0], &a, 0);
+
+        let mut s = good.clone();
+        s.deltas.pop();
+        assert!(matches!(
+            eng.ingest(1, &s, &a),
+            Err(ServeError::BadSample { .. })
+        ));
+
+        let mut s = good.clone();
+        s.duration_s = 0.0;
+        assert!(eng.ingest(1, &s, &a).is_err());
+
+        let mut s = good.clone();
+        s.voltage = f64::NAN;
+        assert!(eng.ingest(1, &s, &a).is_err());
+
+        let mut s = good.clone();
+        s.deltas[0] = -1.0;
+        assert!(eng.ingest(1, &s, &a).is_err());
+
+        let mut s = good;
+        s.freq_mhz = 0;
+        assert!(eng.ingest(1, &s, &a).is_err());
+    }
+
+    #[test]
+    fn model_switch_resets_window() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let mut b = tiny_artifact();
+        {
+            let m = Arc::get_mut(&mut b).unwrap();
+            m.version = 2;
+        }
+        let data = tiny_dataset(3);
+        for (i, row) in data.rows().iter().enumerate() {
+            let s = sample_from_row(row, &a, i as u64);
+            eng.ingest(1, &s, &a).unwrap();
+        }
+        let s = sample_from_row(&data.rows()[0], &b, 99);
+        let est = eng.ingest(1, &s, &b).unwrap();
+        assert_eq!(est.samples_in_window, 1); // fresh window under v2
+        assert_eq!(est.version, 2);
+    }
+
+    #[test]
+    fn sample_json_roundtrip() {
+        let s = CounterSample {
+            time_ns: 123,
+            duration_s: 0.25,
+            freq_mhz: 2400,
+            voltage: 1.01,
+            deltas: vec![1.0, 2.0, 3.0],
+        };
+        let v = s.to_json_value();
+        assert_eq!(CounterSample::from_json_value(&v).unwrap(), s);
+        // Malformed shape is a typed error.
+        assert!(CounterSample::from_json_value(&Json::obj(vec![("x", Json::Null)])).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type for the serving layer.
+
+use std::fmt;
+
+/// Errors produced by the registry, engine, protocol and server.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    Io(std::io::Error),
+    /// A frame payload was not valid JSON or had the wrong shape.
+    Json(pmc_json::JsonError),
+    /// A model operation (load, predict) failed.
+    Model(pmc_model::ModelError),
+    /// The model's event set cannot be recorded in a single online run.
+    Schedule(pmc_events::scheduler::ScheduleError),
+    /// A wire frame violated the protocol (oversized, bad op, …).
+    Protocol {
+        /// What was wrong with the frame.
+        reason: String,
+    },
+    /// A registry operation referenced a missing model or was invalid.
+    Registry {
+        /// Why the registry refused.
+        reason: String,
+    },
+    /// An ingested sample was unusable (arity, non-finite, duration…).
+    BadSample {
+        /// Why the sample was rejected.
+        reason: String,
+    },
+    /// The server shed the request because its queue was full.
+    Overloaded,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o failure: {e}"),
+            ServeError::Json(e) => write!(f, "frame payload invalid: {e}"),
+            ServeError::Model(e) => write!(f, "model failure: {e}"),
+            ServeError::Schedule(e) => write!(f, "model not servable online: {e}"),
+            ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            ServeError::Registry { reason } => write!(f, "registry refused: {reason}"),
+            ServeError::BadSample { reason } => write!(f, "sample rejected: {reason}"),
+            ServeError::Overloaded => write!(f, "server overloaded: request shed"),
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Json(e) => Some(e),
+            ServeError::Model(e) => Some(e),
+            ServeError::Schedule(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<pmc_json::JsonError> for ServeError {
+    fn from(e: pmc_json::JsonError) -> Self {
+        ServeError::Json(e)
+    }
+}
+
+impl From<pmc_model::ModelError> for ServeError {
+    fn from(e: pmc_model::ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<pmc_events::scheduler::ScheduleError> for ServeError {
+    fn from(e: pmc_events::scheduler::ScheduleError) -> Self {
+        ServeError::Schedule(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ServeError::Overloaded.to_string().contains("shed"));
+        let e = ServeError::Protocol {
+            reason: "frame too large".into(),
+        };
+        assert!(e.to_string().contains("frame too large"));
+        let e = ServeError::Registry {
+            reason: "no such model".into(),
+        };
+        assert!(e.to_string().contains("no such model"));
+    }
+
+    #[test]
+    fn conversions_work() {
+        let e: ServeError = std::io::Error::other("boom").into();
+        assert!(matches!(e, ServeError::Io(_)));
+    }
+}

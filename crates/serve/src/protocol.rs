@@ -1,0 +1,279 @@
+//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//!
+//! Every frame is a 4-byte big-endian payload length followed by that
+//! many bytes of UTF-8 JSON (one object). Requests carry an `"op"`
+//! field; responses carry `"status": "ok"` with a `"result"` payload
+//! or `"status": "error"` with an `"error"` message. Frames larger
+//! than [`MAX_FRAME_BYTES`] are rejected without being read — a
+//! malformed or hostile length prefix must not make the server
+//! allocate gigabytes.
+
+use crate::engine::CounterSample;
+use crate::error::ServeError;
+use pmc_json::Json;
+use std::io::{Read, Write};
+
+/// Hard cap on a frame payload (1 MiB) — far above any legitimate
+/// model artifact, far below an allocation attack.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Writes one frame: 4-byte big-endian length, then the JSON text.
+pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError> {
+    let text = payload.to_string();
+    let bytes = text.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(ServeError::Protocol {
+            reason: format!("outgoing frame of {} bytes exceeds cap", bytes.len()),
+        });
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (EOF at
+/// a frame boundary); mid-frame EOF, an oversized length prefix, or
+/// malformed JSON are errors.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, ServeError> {
+    let mut len_buf = [0u8; 4];
+    // Clean EOF only if the very first length byte is missing.
+    match r.read(&mut len_buf)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let got = r.read(&mut len_buf[n..])?;
+                if got == 0 {
+                    return Err(ServeError::Protocol {
+                        reason: "stream truncated inside a frame header".into(),
+                    });
+                }
+                n += got;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(ServeError::Protocol {
+            reason: format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}-byte cap"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ServeError::Protocol {
+                reason: "stream truncated inside a frame payload".into(),
+            }
+        } else {
+            ServeError::Io(e)
+        }
+    })?;
+    let text = std::str::from_utf8(&payload).map_err(|_| ServeError::Protocol {
+        reason: "frame payload is not UTF-8".into(),
+    })?;
+    Ok(Some(Json::parse(text)?))
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Stream one counter sample into this connection's estimator.
+    Ingest(CounterSample),
+    /// Fetch the latest estimate; `now_ns` drives the staleness flag.
+    Estimate {
+        /// The client's current clock, nanoseconds.
+        now_ns: u64,
+    },
+    /// Load a model artifact into the registry.
+    LoadModel {
+        /// Deployment name to load under.
+        name: String,
+        /// The serialized model (a [`pmc_model::model::PowerModel`] value).
+        model: Json,
+        /// Activate immediately after loading.
+        activate: bool,
+    },
+    /// Activate a loaded model.
+    Activate {
+        /// Deployment name.
+        name: String,
+        /// Version under that name.
+        version: u32,
+    },
+    /// Restore the previously active model.
+    Rollback,
+    /// Server and registry statistics.
+    Stats,
+}
+
+impl Request {
+    /// Serializes to the wire JSON shape.
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Request::Ingest(s) => Json::obj(vec![
+                ("op", Json::from("ingest")),
+                ("sample", s.to_json_value()),
+            ]),
+            Request::Estimate { now_ns } => Json::obj(vec![
+                ("op", Json::from("estimate")),
+                ("now_ns", Json::from(*now_ns)),
+            ]),
+            Request::LoadModel {
+                name,
+                model,
+                activate,
+            } => Json::obj(vec![
+                ("op", Json::from("load_model")),
+                ("name", Json::from(name.as_str())),
+                ("model", model.clone()),
+                ("activate", Json::Bool(*activate)),
+            ]),
+            Request::Activate { name, version } => Json::obj(vec![
+                ("op", Json::from("activate")),
+                ("name", Json::from(name.as_str())),
+                ("version", Json::from(*version)),
+            ]),
+            Request::Rollback => Json::obj(vec![("op", Json::from("rollback"))]),
+            Request::Stats => Json::obj(vec![("op", Json::from("stats"))]),
+        }
+    }
+
+    /// Parses a request frame.
+    pub fn from_json_value(v: &Json) -> Result<Self, ServeError> {
+        let op = v.str_field("op")?;
+        match op {
+            "ingest" => Ok(Request::Ingest(CounterSample::from_json_value(
+                v.field("sample")?,
+            )?)),
+            "estimate" => Ok(Request::Estimate {
+                now_ns: v.u64_field("now_ns")?,
+            }),
+            "load_model" => Ok(Request::LoadModel {
+                name: v.str_field("name")?.to_string(),
+                model: v.field("model")?.clone(),
+                activate: v.field("activate")?.as_bool()?,
+            }),
+            "activate" => Ok(Request::Activate {
+                name: v.str_field("name")?.to_string(),
+                version: v.u32_field("version")?,
+            }),
+            "rollback" => Ok(Request::Rollback),
+            "stats" => Ok(Request::Stats),
+            other => Err(ServeError::Protocol {
+                reason: format!("unknown op {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Wraps a result payload in an ok-response frame.
+pub fn ok_response(result: Json) -> Json {
+    Json::obj(vec![("status", Json::from("ok")), ("result", result)])
+}
+
+/// Wraps an error in an error-response frame.
+pub fn error_response(err: &ServeError) -> Json {
+    Json::obj(vec![
+        ("status", Json::from("error")),
+        ("error", Json::from(err.to_string())),
+    ])
+}
+
+/// Unwraps a response frame: the `result` payload, or the server's
+/// error surfaced as [`ServeError::Registry`]-style text.
+pub fn unwrap_response(v: Json) -> Result<Json, ServeError> {
+    match v.str_field("status")? {
+        "ok" => Ok(v.field("result")?.clone()),
+        "error" => Err(ServeError::Protocol {
+            reason: format!("server error: {}", v.str_field("error")?),
+        }),
+        other => Err(ServeError::Protocol {
+            reason: format!("unknown response status {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn roundtrip(req: Request) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json_value()).unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        assert_eq!(Request::from_json_value(&got).unwrap(), req);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip(Request::Ingest(CounterSample {
+            time_ns: 5,
+            duration_s: 0.5,
+            freq_mhz: 2400,
+            voltage: 1.0,
+            deltas: vec![1.0, 2.0],
+        }));
+        roundtrip(Request::Estimate { now_ns: 77 });
+        roundtrip(Request::Activate {
+            name: "hsw".into(),
+            version: 2,
+        });
+        roundtrip(Request::Rollback);
+        roundtrip(Request::Stats);
+        roundtrip(Request::LoadModel {
+            name: "hsw".into(),
+            model: Json::obj(vec![("k", Json::from(1.0))]),
+            activate: true,
+        });
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(read_frame(&mut Cursor::new(&[])).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_header_and_payload_are_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        // Cut inside the header.
+        assert!(read_frame(&mut Cursor::new(&buf[..2])).is_err());
+        // Cut inside the payload.
+        assert!(read_frame(&mut Cursor::new(&buf[..buf.len() - 3])).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocation() {
+        let buf = u32::MAX.to_be_bytes();
+        let err = read_frame(&mut Cursor::new(&buf)).unwrap_err();
+        assert!(matches!(err, ServeError::Protocol { .. }));
+    }
+
+    #[test]
+    fn non_json_payload_is_typed_error() {
+        let payload = b"not json";
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        buf.extend_from_slice(payload);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(&buf)),
+            Err(ServeError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let v = Json::obj(vec![("op", Json::from("dance"))]);
+        assert!(Request::from_json_value(&v).is_err());
+    }
+
+    #[test]
+    fn response_wrappers() {
+        let ok = ok_response(Json::from(1.0));
+        assert_eq!(unwrap_response(ok).unwrap(), Json::from(1.0));
+        let err = error_response(&ServeError::Overloaded);
+        let e = unwrap_response(err).unwrap_err();
+        assert!(e.to_string().contains("shed"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The model registry: named, versioned artifacts with one active
+//! serving model.
+//!
+//! Loading assigns the next version under the artifact's name and
+//! validates online schedulability; activation switches the serving
+//! model atomically (readers holding an [`std::sync::Arc`] to the old
+//! model finish their prediction unperturbed); rollback restores the
+//! previously active model, which is the operator's escape hatch when
+//! a freshly activated model turns out to estimate badly.
+
+use crate::artifact::ModelArtifact;
+use crate::error::ServeError;
+use pmc_events::scheduler::CounterScheduler;
+use pmc_json::Json;
+use std::sync::{Arc, RwLock};
+
+/// Identifier of a loaded artifact: `(name, version)`.
+pub type ModelId = (String, u32);
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    models: Vec<Arc<ModelArtifact>>,
+    active: Option<usize>,
+    previous: Option<usize>,
+}
+
+impl RegistryInner {
+    fn find(&self, name: &str, version: u32) -> Option<usize> {
+        self.models
+            .iter()
+            .position(|m| m.name == name && m.version == version)
+    }
+
+    fn next_version(&self, name: &str) -> u32 {
+        self.models
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| m.version)
+            .max()
+            .unwrap_or(0)
+            + 1
+    }
+}
+
+/// Thread-safe registry of deployable power models.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    inner: RwLock<RegistryInner>,
+    scheduler: CounterScheduler,
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::new(CounterScheduler::haswell_default())
+    }
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry that validates against the given
+    /// hardware counter budget.
+    pub fn new(scheduler: CounterScheduler) -> Self {
+        ModelRegistry {
+            inner: RwLock::new(RegistryInner::default()),
+            scheduler,
+        }
+    }
+
+    /// Loads an artifact: validates it, assigns the next version under
+    /// its name, and stores it *inactive*. Returns the assigned id.
+    pub fn load(&self, mut artifact: ModelArtifact) -> Result<ModelId, ServeError> {
+        artifact.validate(&self.scheduler)?;
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        artifact.version = inner.next_version(&artifact.name);
+        let id = (artifact.name.clone(), artifact.version);
+        inner.models.push(Arc::new(artifact));
+        Ok(id)
+    }
+
+    /// Loads and immediately activates an artifact.
+    pub fn load_and_activate(&self, artifact: ModelArtifact) -> Result<ModelId, ServeError> {
+        let id = self.load(artifact)?;
+        self.activate(&id.0, id.1)?;
+        Ok(id)
+    }
+
+    /// Makes `(name, version)` the serving model. The previously active
+    /// model is remembered for [`ModelRegistry::rollback`].
+    pub fn activate(&self, name: &str, version: u32) -> Result<ModelId, ServeError> {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let idx = inner
+            .find(name, version)
+            .ok_or_else(|| ServeError::Registry {
+                reason: format!("no loaded model {name} v{version}"),
+            })?;
+        if inner.active != Some(idx) {
+            inner.previous = inner.active;
+            inner.active = Some(idx);
+        }
+        Ok((name.to_string(), version))
+    }
+
+    /// Restores the previously active model. Errors if there is none.
+    pub fn rollback(&self) -> Result<ModelId, ServeError> {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let prev = inner.previous.ok_or_else(|| ServeError::Registry {
+            reason: "no previous model to roll back to".into(),
+        })?;
+        inner.previous = inner.active;
+        inner.active = Some(prev);
+        let m = &inner.models[prev];
+        Ok((m.name.clone(), m.version))
+    }
+
+    /// The currently serving model, if any.
+    pub fn active(&self) -> Option<Arc<ModelArtifact>> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.active.map(|i| Arc::clone(&inner.models[i]))
+    }
+
+    /// A specific loaded model.
+    pub fn get(&self, name: &str, version: u32) -> Option<Arc<ModelArtifact>> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner
+            .find(name, version)
+            .map(|i| Arc::clone(&inner.models[i]))
+    }
+
+    /// Number of loaded artifacts.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .models
+            .len()
+    }
+
+    /// True if nothing is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metadata for every loaded artifact, active one flagged.
+    pub fn list(&self) -> Json {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let items: Vec<Json> = inner
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let mut d = m.describe();
+                if let Json::Obj(fields) = &mut d {
+                    fields.push(("active".into(), Json::Bool(inner.active == Some(i))));
+                }
+                d
+            })
+            .collect();
+        Json::Arr(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{oversized_model, tiny_model};
+
+    fn registry() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    #[test]
+    fn load_assigns_monotone_versions_per_name() {
+        let r = registry();
+        let (_, v1) = r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+        let (_, v2) = r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+        let (_, u1) = r.load(ModelArtifact::new("b", tiny_model())).unwrap();
+        assert_eq!((v1, v2, u1), (1, 2, 1));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn nothing_active_until_activated() {
+        let r = registry();
+        r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+        assert!(r.active().is_none());
+        r.activate("a", 1).unwrap();
+        assert_eq!(r.active().unwrap().version, 1);
+    }
+
+    #[test]
+    fn activate_unknown_version_errors() {
+        let r = registry();
+        r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+        assert!(matches!(
+            r.activate("a", 7),
+            Err(ServeError::Registry { .. })
+        ));
+    }
+
+    #[test]
+    fn rollback_restores_previous_and_swaps() {
+        let r = registry();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+        assert_eq!(r.active().unwrap().version, 2);
+        assert_eq!(r.rollback().unwrap().1, 1);
+        assert_eq!(r.active().unwrap().version, 1);
+        // Rolling back again returns to v2 (swap semantics).
+        assert_eq!(r.rollback().unwrap().1, 2);
+    }
+
+    #[test]
+    fn rollback_without_history_errors() {
+        let r = registry();
+        assert!(r.rollback().is_err());
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+        // One activation: nothing was active before it.
+        assert!(r.rollback().is_err());
+    }
+
+    #[test]
+    fn unschedulable_model_rejected_on_load() {
+        let r = registry();
+        let err = r.load(ModelArtifact::new("fat", oversized_model()));
+        assert!(matches!(err, Err(ServeError::Schedule(_))), "{err:?}");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn list_reports_active_flag() {
+        let r = registry();
+        r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+        let l = r.list();
+        let items = l.as_arr().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].field("active").unwrap(), &Json::Bool(false));
+        assert_eq!(items[1].field("active").unwrap(), &Json::Bool(true));
+    }
+}

@@ -1,0 +1,455 @@
+//! The concurrent wire-protocol server.
+//!
+//! A localhost TCP acceptor feeds a **fixed worker-thread pool**
+//! through a **bounded pending-connection queue**. When the queue is
+//! full the acceptor sheds the connection *with an error frame* —
+//! clients see "server overloaded", never a silent hang. Each worker
+//! owns one connection at a time and processes its frames in order,
+//! which keeps per-connection responses sequenced without locks.
+//!
+//! Shutdown is graceful: the stop flag is raised, the listener is
+//! unblocked, live sockets are shut down so blocked reads return, and
+//! every worker is joined — in-flight frames finish, nothing is
+//! detached.
+
+use crate::artifact::ModelArtifact;
+use crate::engine::{EngineConfig, EstimatorEngine};
+use crate::error::ServeError;
+use crate::protocol::{error_response, ok_response, read_frame, write_frame, Request};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use pmc_json::Json;
+use pmc_model::model::PowerModel;
+use std::collections::HashMap;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Fixed worker-thread count (each serves one connection at a time).
+    pub workers: usize,
+    /// Bounded pending-connection queue depth; beyond it, shed.
+    pub queue_depth: usize,
+    /// Estimator-engine tuning.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 16,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// The request handler shared by all workers: registry + engine + stats.
+struct Service {
+    registry: Arc<ModelRegistry>,
+    engine: EstimatorEngine,
+    stats: Arc<ServerStats>,
+}
+
+impl Service {
+    fn handle(&self, client: u64, req: Request) -> Json {
+        match self.try_handle(client, req) {
+            Ok(result) => ok_response(result),
+            Err(e) => {
+                ServerStats::bump(&self.stats.frames_errored);
+                error_response(&e)
+            }
+        }
+    }
+
+    fn try_handle(&self, client: u64, req: Request) -> Result<Json, ServeError> {
+        match req {
+            Request::Ingest(sample) => {
+                let artifact = self.registry.active().ok_or_else(|| ServeError::Registry {
+                    reason: "no active model — load_model/activate first".into(),
+                })?;
+                let est = self.engine.ingest(client, &sample, &artifact)?;
+                ServerStats::bump(&self.stats.samples_ingested);
+                ServerStats::bump(&self.stats.estimates_served);
+                Ok(est.to_json_value())
+            }
+            Request::Estimate { now_ns } => match self.engine.estimate(client, now_ns) {
+                Some(est) => {
+                    ServerStats::bump(&self.stats.estimates_served);
+                    Ok(est.to_json_value())
+                }
+                // No samples yet on this connection: ok with null, so
+                // pollers can distinguish "not yet" from a failure.
+                None => Ok(Json::Null),
+            },
+            Request::LoadModel {
+                name,
+                model,
+                activate,
+            } => {
+                let model = PowerModel::from_json_value(&model)?;
+                let artifact = ModelArtifact::new(name, model);
+                let (name, version) = if activate {
+                    self.registry.load_and_activate(artifact)?
+                } else {
+                    self.registry.load(artifact)?
+                };
+                ServerStats::bump(&self.stats.models_loaded);
+                Ok(id_json(&name, version))
+            }
+            Request::Activate { name, version } => {
+                let (name, version) = self.registry.activate(&name, version)?;
+                Ok(id_json(&name, version))
+            }
+            Request::Rollback => {
+                let (name, version) = self.registry.rollback()?;
+                Ok(id_json(&name, version))
+            }
+            Request::Stats => Ok(Json::obj(vec![
+                ("server", self.stats.snapshot()),
+                ("models", self.registry.list()),
+                (
+                    "active",
+                    match self.registry.active() {
+                        Some(a) => a.describe(),
+                        None => Json::Null,
+                    },
+                ),
+                ("clients", Json::from(self.engine.client_count())),
+            ])),
+        }
+    }
+}
+
+fn id_json(name: &str, version: u32) -> Json {
+    Json::obj(vec![
+        ("name", Json::from(name)),
+        ("version", Json::from(version)),
+    ])
+}
+
+/// Handle to a running server; dropping it shuts the server down.
+pub struct PowerServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: Arc<ServerStats>,
+    registry: Arc<ModelRegistry>,
+}
+
+impl PowerServer {
+    /// Binds and starts the acceptor and worker pool.
+    pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> Result<Self, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::Registry {
+                reason: "server needs at least one worker".into(),
+            });
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let service = Arc::new(Service {
+            registry: Arc::clone(&registry),
+            engine: EstimatorEngine::new(config.engine),
+            stats: Arc::clone(&stats),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let (tx, rx) = sync_channel::<(u64, TcpStream)>(config.queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut workers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&rx, &service, &stop, &conns);
+            }));
+        }
+
+        let acceptor = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || {
+                let next_id = AtomicU64::new(1);
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match stream {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().expect("conn table poisoned").insert(id, clone);
+                    }
+                    match tx.try_send((id, stream)) {
+                        Ok(()) => ServerStats::bump(&stats.connections_accepted),
+                        Err(TrySendError::Full((id, mut stream))) => {
+                            // Shed with an explicit error frame.
+                            ServerStats::bump(&stats.connections_shed);
+                            let _ =
+                                write_frame(&mut stream, &error_response(&ServeError::Overloaded));
+                            let _ = stream.shutdown(Shutdown::Both);
+                            conns.lock().expect("conn table poisoned").remove(&id);
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+                // Dropping `tx` here disconnects idle workers.
+            })
+        };
+
+        Ok(PowerServer {
+            addr,
+            stop,
+            conns,
+            acceptor: Some(acceptor),
+            workers,
+            stats,
+            registry,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live operational counters.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// The registry the server serves from.
+    pub fn registry(&self) -> Arc<ModelRegistry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// Graceful shutdown: drains in-flight frames, joins every thread.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        // Unblock workers parked in read().
+        for (_, s) in self.conns.lock().expect("conn table poisoned").iter() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for PowerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<(u64, TcpStream)>>,
+    service: &Service,
+    stop: &AtomicBool,
+    conns: &Mutex<HashMap<u64, TcpStream>>,
+) {
+    loop {
+        let next = {
+            let guard = rx.lock().expect("worker queue poisoned");
+            guard.recv()
+        };
+        let (id, stream) = match next {
+            Ok(pair) => pair,
+            Err(_) => break, // acceptor gone, queue drained
+        };
+        handle_connection(id, stream, service, stop);
+        service.engine.forget(id);
+        conns.lock().expect("conn table poisoned").remove(&id);
+        // On shutdown the loop keeps draining the queue so queued
+        // clients are closed promptly (their sockets are already shut
+        // down); it exits when the acceptor drops the sender.
+    }
+}
+
+fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_frame(&mut stream) {
+            Ok(None) => break, // clean EOF
+            Ok(Some(frame)) => {
+                ServerStats::bump(&service.stats.frames_received);
+                let response = match Request::from_json_value(&frame) {
+                    Ok(req) => service.handle(id, req),
+                    Err(e) => {
+                        ServerStats::bump(&service.stats.frames_errored);
+                        error_response(&e)
+                    }
+                };
+                if write_frame(&mut stream, &response).is_err() {
+                    break; // client went away mid-response
+                }
+            }
+            // Payload was framed correctly but wasn't valid JSON: the
+            // stream is still in sync, so answer and keep serving.
+            Err(e @ ServeError::Json(_)) => {
+                ServerStats::bump(&service.stats.frames_errored);
+                if write_frame(&mut stream, &error_response(&e)).is_err() {
+                    break;
+                }
+            }
+            // Framing broken (truncation, oversized prefix) or socket
+            // error: report if possible, then drop the connection.
+            Err(e) => {
+                ServerStats::bump(&service.stats.frames_errored);
+                let _ = write_frame(&mut stream, &error_response(&e));
+                break;
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::unwrap_response;
+    use crate::test_fixtures::tiny_model;
+
+    fn request(stream: &mut TcpStream, req: &Request) -> Result<Json, ServeError> {
+        write_frame(stream, &req.to_json_value())?;
+        let frame = read_frame(stream)?.ok_or(ServeError::Protocol {
+            reason: "server closed connection".into(),
+        })?;
+        unwrap_response(frame)
+    }
+
+    fn started(workers: usize, queue_depth: usize) -> PowerServer {
+        let cfg = ServerConfig {
+            workers,
+            queue_depth,
+            ..ServerConfig::default()
+        };
+        PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap()
+    }
+
+    #[test]
+    fn load_activate_and_stats_over_the_wire() {
+        let mut server = started(2, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let m = tiny_model();
+        let r = request(
+            &mut c,
+            &Request::LoadModel {
+                name: "hsw".into(),
+                model: m.to_json_value(),
+                activate: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(r.u32_field("version").unwrap(), 1);
+        let stats = request(&mut c, &Request::Stats).unwrap();
+        assert_eq!(
+            stats.field("active").unwrap().str_field("name").unwrap(),
+            "hsw"
+        );
+        assert_eq!(
+            stats
+                .field("server")
+                .unwrap()
+                .u64_field("models_loaded")
+                .unwrap(),
+            1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn ingest_without_model_is_an_error_response() {
+        let mut server = started(1, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let err = request(
+            &mut c,
+            &Request::Ingest(crate::engine::CounterSample {
+                time_ns: 0,
+                duration_s: 1.0,
+                freq_mhz: 2400,
+                voltage: 1.0,
+                deltas: vec![0.0],
+            }),
+        );
+        assert!(err.unwrap_err().to_string().contains("no active model"));
+        // Connection still usable afterwards.
+        assert!(request(&mut c, &Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_json_frame_does_not_kill_the_connection() {
+        let mut server = started(1, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let garbage = b"{not json";
+        use std::io::Write;
+        c.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
+        c.write_all(garbage).unwrap();
+        let resp = read_frame(&mut c).unwrap().unwrap();
+        assert!(unwrap_response(resp).is_err());
+        // Same connection keeps working.
+        assert!(request(&mut c, &Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_sheds_with_error_frame() {
+        let mut server = started(1, 1);
+        // Occupy the single worker…
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        request(&mut busy, &Request::Stats).unwrap();
+        // …fill the single queue slot…
+        let _queued = TcpStream::connect(server.addr()).unwrap();
+        // Give the acceptor a moment to enqueue in order.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // …and the next connection is shed with an explicit error.
+        let mut shed = TcpStream::connect(server.addr()).unwrap();
+        let frame = read_frame(&mut shed).unwrap().unwrap();
+        let err = unwrap_response(frame).unwrap_err();
+        assert!(err.to_string().contains("overloaded"), "{err}");
+        assert_eq!(server.stats().connections_shed.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let mut server = started(2, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        request(&mut c, &Request::Stats).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // Listener is gone: new connections fail or see immediate EOF.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(mut s) => assert!(matches!(read_frame(&mut s), Ok(None) | Err(_))),
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Lock-free server counters, surfaced through the `stats` op.
+
+use pmc_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic operational counters. All counters are relaxed — they are
+/// observability, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections shed because the pending queue was full.
+    pub connections_shed: AtomicU64,
+    /// Request frames successfully parsed.
+    pub frames_received: AtomicU64,
+    /// Frames answered with an error response.
+    pub frames_errored: AtomicU64,
+    /// Samples ingested into the estimator engine.
+    pub samples_ingested: AtomicU64,
+    /// Estimates served (via `ingest` or `estimate`).
+    pub estimates_served: AtomicU64,
+    /// Models loaded into the registry.
+    pub models_loaded: AtomicU64,
+}
+
+impl ServerStats {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time JSON snapshot.
+    pub fn snapshot(&self) -> Json {
+        let read = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
+        Json::obj(vec![
+            ("connections_accepted", read(&self.connections_accepted)),
+            ("connections_shed", read(&self.connections_shed)),
+            ("frames_received", read(&self.frames_received)),
+            ("frames_errored", read(&self.frames_errored)),
+            ("samples_ingested", read(&self.samples_ingested)),
+            ("estimates_served", read(&self.estimates_served)),
+            ("models_loaded", read(&self.models_loaded)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.frames_received);
+        ServerStats::bump(&s.frames_received);
+        ServerStats::bump(&s.models_loaded);
+        let snap = s.snapshot();
+        assert_eq!(snap.u64_field("frames_received").unwrap(), 2);
+        assert_eq!(snap.u64_field("models_loaded").unwrap(), 1);
+        assert_eq!(snap.u64_field("connections_shed").unwrap(), 0);
+    }
+}

@@ -97,7 +97,7 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64> {
 
 /// Min / max / mean summary of a series, as reported in the paper's
 /// Table II for the 10-fold cross-validation results.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Minimum value.
     pub min: f64,

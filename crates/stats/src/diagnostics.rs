@@ -12,7 +12,7 @@ use crate::{Result, StatsError};
 use pmc_linalg::Matrix;
 
 /// Result of a Breusch–Pagan heteroscedasticity test.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BreuschPagan {
     /// The Lagrange-multiplier statistic `n·R²_aux`.
     pub lm_statistic: f64,
@@ -126,7 +126,7 @@ fn gamma_q(a: f64, x: f64) -> f64 {
 fn ln_gamma(z: f64) -> f64 {
     // Lanczos approximation (g = 7, n = 9), accurate to ~1e-13.
     const COEFFS: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
         -1_259.139_216_722_402_8,
         771.323_428_777_653_1,
@@ -196,8 +196,7 @@ fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::SplitMix64;
 
     #[test]
     fn chi2_sf_reference_values() {
@@ -215,11 +214,11 @@ mod tests {
         assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
     }
 
-    fn design_with_x(n: usize, rng: &mut StdRng) -> (Matrix, Vec<f64>) {
+    fn design_with_x(n: usize, rng: &mut SplitMix64) -> (Matrix, Vec<f64>) {
         let mut x = Matrix::zeros(n, 2);
         let mut xs = Vec::with_capacity(n);
         for i in 0..n {
-            let v: f64 = rng.gen_range(1.0..10.0);
+            let v = rng.uniform(1.0, 10.0);
             x[(i, 0)] = 1.0;
             x[(i, 1)] = v;
             xs.push(v);
@@ -229,32 +228,34 @@ mod tests {
 
     #[test]
     fn breusch_pagan_detects_heteroscedasticity() {
-        let mut rng = StdRng::seed_from_u64(99);
+        let mut rng = SplitMix64::new(99);
         let n = 400;
         let (x, xs) = design_with_x(n, &mut rng);
         // Error scale grows with x: textbook heteroscedasticity.
-        let resid: Vec<f64> = xs
-            .iter()
-            .map(|&v| v * rng.gen_range(-1.0..1.0))
-            .collect();
+        let resid: Vec<f64> = xs.iter().map(|&v| v * rng.uniform(-1.0, 1.0)).collect();
         let bp = breusch_pagan(&x, &resid).unwrap();
-        assert!(bp.is_heteroscedastic(0.05), "LM={} p={}", bp.lm_statistic, bp.p_value);
+        assert!(
+            bp.is_heteroscedastic(0.05),
+            "LM={} p={}",
+            bp.lm_statistic,
+            bp.p_value
+        );
     }
 
     #[test]
     fn breusch_pagan_accepts_homoscedasticity() {
-        let mut rng = StdRng::seed_from_u64(100);
+        let mut rng = SplitMix64::new(100);
         let n = 400;
         let (x, _xs) = design_with_x(n, &mut rng);
-        let resid: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let resid: Vec<f64> = (0..n).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let bp = breusch_pagan(&x, &resid).unwrap();
         assert!(!bp.is_heteroscedastic(0.01), "p={}", bp.p_value);
     }
 
     #[test]
     fn durbin_watson_near_two_for_iid() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let resid: Vec<f64> = (0..2000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = SplitMix64::new(5);
+        let resid: Vec<f64> = (0..2000).map(|_| rng.uniform(-1.0, 1.0)).collect();
         let dw = durbin_watson(&resid).unwrap();
         assert!((dw - 2.0).abs() < 0.15, "dw={dw}");
     }
@@ -262,11 +263,11 @@ mod tests {
     #[test]
     fn durbin_watson_low_for_positive_autocorrelation() {
         // A slow random walk has strongly positively correlated residuals.
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = SplitMix64::new(6);
         let mut v = 0.0;
         let resid: Vec<f64> = (0..500)
             .map(|_| {
-                v += rng.gen_range(-0.1..0.1);
+                v += rng.uniform(-0.1, 0.1);
                 v
             })
             .collect();
@@ -278,7 +279,9 @@ mod tests {
         assert!(durbin_watson(&[1.0]).is_err());
         assert!(durbin_watson(&[0.0, 0.0]).is_err());
         // Perfect alternation gives the maximum value 4 asymptotically.
-        let alt: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(durbin_watson(&alt).unwrap() > 3.9);
     }
 }

@@ -6,10 +6,8 @@
 //! near-equal contiguous chunks, each serving once as the validation
 //! fold.
 
+use crate::rng::SplitMix64;
 use crate::{Result, StatsError};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// One train/validation split.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,8 +35,7 @@ impl KFold {
             return Err(StatsError::BadFoldCount { k, n });
         }
         let mut idx: Vec<usize> = (0..n).collect();
-        let mut rng = StdRng::seed_from_u64(seed);
-        idx.shuffle(&mut rng);
+        SplitMix64::new(seed).shuffle(&mut idx);
 
         let base = n / k;
         let extra = n % k; // first `extra` folds get one more element
@@ -70,7 +67,7 @@ impl KFold {
 }
 
 /// Per-fold outcome of a cross-validation run.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CvOutcome {
     /// Training R² of the fold's fit.
     pub r_squared: f64,

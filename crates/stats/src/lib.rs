@@ -28,6 +28,7 @@ mod error;
 pub mod kfold;
 pub mod metrics;
 pub mod ols;
+pub mod rng;
 pub mod vif;
 
 pub use descriptive::{mean, pearson, population_variance, sample_variance, stddev, Summary};
@@ -36,6 +37,7 @@ pub use error::StatsError;
 pub use kfold::{cross_validate, CvOutcome, Fold, KFold};
 pub use metrics::{mae, mape, max_ape, rmse, ErrorMetrics};
 pub use ols::{CovarianceKind, OlsFit, OlsOptions};
+pub use rng::SplitMix64;
 pub use vif::{mean_vif, vif_all, vif_for};
 
 /// Convenience result alias for fallible statistics operations.

@@ -104,7 +104,7 @@ fn check(what: &'static str, actual: &[f64], predicted: &[f64]) -> Result<()> {
 
 /// Bundle of all error metrics for one (actual, predicted) pairing —
 /// what validation reports carry around.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ErrorMetrics {
     /// Mean absolute percentage error (percent).
     pub mape: f64,

@@ -11,7 +11,7 @@ use crate::{Result, StatsError};
 use pmc_linalg::Matrix;
 
 /// Which coefficient-covariance estimator to compute alongside the fit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CovarianceKind {
     /// Classical homoscedastic estimator `σ̂²(XᵀX)⁻¹`.
     Classical,
@@ -156,9 +156,8 @@ impl OlsFit {
                     .collect();
                 // meat = Σ wᵢ · xᵢ xᵢᵀ
                 let mut meat = Matrix::zeros(p, p);
-                for i in 0..n {
+                for (i, &w) in weights.iter().enumerate() {
                     let xi = x.row(i);
-                    let w = weights[i];
                     if w == 0.0 {
                         continue;
                     }
@@ -265,7 +264,9 @@ impl OlsFit {
     /// Standard errors of the coefficients (square roots of the
     /// covariance diagonal).
     pub fn std_errors(&self) -> Vec<f64> {
-        (0..self.p).map(|i| self.cov[(i, i)].max(0.0).sqrt()).collect()
+        (0..self.p)
+            .map(|i| self.cov[(i, i)].max(0.0).sqrt())
+            .collect()
     }
 
     /// t-statistics `β̂ᵢ / se(β̂ᵢ)`; infinite when the standard error
@@ -274,7 +275,13 @@ impl OlsFit {
         self.coefficients
             .iter()
             .zip(self.std_errors())
-            .map(|(&b, se)| if se > 0.0 { b / se } else { f64::INFINITY.copysign(b) })
+            .map(|(&b, se)| {
+                if se > 0.0 {
+                    b / se
+                } else {
+                    f64::INFINITY.copysign(b)
+                }
+            })
             .collect()
     }
 
@@ -365,7 +372,10 @@ mod tests {
         let fit = OlsFit::fit(&x, &y).unwrap();
         let sum: f64 = fit.leverage().iter().sum();
         assert!((sum - fit.n_predictors() as f64).abs() < 1e-8);
-        assert!(fit.leverage().iter().all(|&h| (0.0..=1.0 + 1e-12).contains(&h)));
+        assert!(fit
+            .leverage()
+            .iter()
+            .all(|&h| (0.0..=1.0 + 1e-12).contains(&h)));
     }
 
     #[test]
@@ -450,10 +460,12 @@ mod tests {
         for (p, f) in pred.iter().zip(fit.fitted()) {
             assert!((p - f).abs() < 1e-12);
         }
-        assert!((fit.predict_row(&[1.0, 10.0])
-            - (fit.coefficients()[0] + 10.0 * fit.coefficients()[1]))
-        .abs()
-            < 1e-12);
+        assert!(
+            (fit.predict_row(&[1.0, 10.0])
+                - (fit.coefficients()[0] + 10.0 * fit.coefficients()[1]))
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]
@@ -466,10 +478,7 @@ mod tests {
         ])
         .unwrap();
         let y = [1.0, 2.0, 3.0, 4.0];
-        assert!(matches!(
-            OlsFit::fit(&x, &y),
-            Err(StatsError::Linalg(_))
-        ));
+        assert!(matches!(OlsFit::fit(&x, &y), Err(StatsError::Linalg(_))));
     }
 
     #[test]

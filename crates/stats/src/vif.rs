@@ -97,16 +97,15 @@ pub fn mean_vif(x: &Matrix) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use crate::rng::SplitMix64;
 
     fn independent_design(n: usize) -> Matrix {
         // Deterministic pseudo-random, nearly orthogonal columns.
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let mut m = Matrix::zeros(n, 3);
         for i in 0..n {
             for j in 0..3 {
-                m[(i, j)] = rng.gen_range(-1.0..1.0);
+                m[(i, j)] = rng.uniform(-1.0, 1.0);
             }
         }
         m
@@ -118,26 +117,33 @@ mod tests {
         let v = vif_all(&x).unwrap();
         for vif in &v {
             assert!(*vif >= 1.0 - 1e-9, "VIF must be >= 1, got {vif}");
-            assert!(*vif < 1.1, "independent columns should have VIF ~ 1, got {vif}");
+            assert!(
+                *vif < 1.1,
+                "independent columns should have VIF ~ 1, got {vif}"
+            );
         }
         assert!(mean_vif(&x).unwrap() < 1.1);
     }
 
     #[test]
     fn correlated_columns_have_high_vif() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::new(7);
         let n = 300;
         let mut m = Matrix::zeros(n, 3);
         for i in 0..n {
-            let a: f64 = rng.gen_range(-1.0..1.0);
-            let b: f64 = rng.gen_range(-1.0..1.0);
+            let a = rng.uniform(-1.0, 1.0);
+            let b = rng.uniform(-1.0, 1.0);
             m[(i, 0)] = a;
             m[(i, 1)] = b;
             // Column 2 ≈ a + b with small noise ⇒ all three inflate.
-            m[(i, 2)] = a + b + rng.gen_range(-0.01..0.01);
+            m[(i, 2)] = a + b + rng.uniform(-0.01, 0.01);
         }
         let v = vif_all(&m).unwrap();
-        assert!(v[2] > 100.0, "near-collinear column should blow up, got {}", v[2]);
+        assert!(
+            v[2] > 100.0,
+            "near-collinear column should blow up, got {}",
+            v[2]
+        );
         assert!(mean_vif(&m).unwrap() > 10.0);
     }
 

@@ -1,61 +1,70 @@
-//! Property-based tests for the statistics layer.
+//! Property-style tests for the statistics layer, checked over seeded
+//! pseudo-random sweeps (no proptest — the suite builds offline).
 
 use pmc_linalg::Matrix;
 use pmc_stats::{
-    mape, mean_vif, pearson, rmse, vif_all, CovarianceKind, KFold, OlsFit, OlsOptions,
+    mape, mean_vif, pearson, rmse, vif_all, CovarianceKind, KFold, OlsFit, OlsOptions, SplitMix64,
 };
-use proptest::prelude::*;
 
-fn finite_vec(len: usize, lo: f64, hi: f64) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(lo..hi, len)
+const CASES: u64 = 32;
+
+fn finite_vec(rng: &mut SplitMix64, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.uniform(lo, hi)).collect()
 }
 
 /// Design with intercept + 2 independent-ish random columns.
-fn design(n: usize) -> impl Strategy<Value = Matrix> {
-    (finite_vec(n, -5.0, 5.0), finite_vec(n, -5.0, 5.0)).prop_map(move |(a, b)| {
-        let mut m = Matrix::zeros(n, 3);
-        for i in 0..n {
-            m[(i, 0)] = 1.0;
-            m[(i, 1)] = a[i];
-            m[(i, 2)] = b[i];
-        }
-        m
-    })
+fn design(rng: &mut SplitMix64, n: usize) -> Matrix {
+    let a = finite_vec(rng, n, -5.0, 5.0);
+    let b = finite_vec(rng, n, -5.0, 5.0);
+    let mut m = Matrix::zeros(n, 3);
+    for i in 0..n {
+        m[(i, 0)] = 1.0;
+        m[(i, 1)] = a[i];
+        m[(i, 2)] = b[i];
+    }
+    m
 }
 
-proptest! {
-    #[test]
-    fn ols_r2_in_unit_interval(x in design(30), y in finite_vec(30, 0.0, 100.0)) {
-        match OlsFit::fit(&x, &y) {
-            Ok(fit) => {
-                prop_assert!(fit.r_squared() <= 1.0 + 1e-12);
-                prop_assert!(fit.r_squared() >= -1e-12,
-                    "centered R² with intercept must be >= 0, got {}", fit.r_squared());
-                prop_assert!(fit.adj_r_squared() <= fit.r_squared() + 1e-12);
-            }
-            // Degenerate random draws (constant y / collinear X) are fine.
-            Err(_) => {}
+#[test]
+fn ols_r2_in_unit_interval() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let x = design(&mut rng, 30);
+        let y = finite_vec(&mut rng, 30, 0.0, 100.0);
+        // Degenerate draws (constant y / collinear X) may error; fine.
+        if let Ok(fit) = OlsFit::fit(&x, &y) {
+            assert!(fit.r_squared() <= 1.0 + 1e-12);
+            assert!(
+                fit.r_squared() >= -1e-12,
+                "centered R² with intercept must be >= 0, got {}",
+                fit.r_squared()
+            );
+            assert!(fit.adj_r_squared() <= fit.r_squared() + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn ols_residuals_sum_to_zero_with_intercept(
-        x in design(25),
-        y in finite_vec(25, -10.0, 10.0),
-    ) {
+#[test]
+fn ols_residuals_sum_to_zero_with_intercept() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 100);
+        let x = design(&mut rng, 25);
+        let y = finite_vec(&mut rng, 25, -10.0, 10.0);
         if let Ok(fit) = OlsFit::fit(&x, &y) {
             let s: f64 = fit.residuals().iter().sum();
-            prop_assert!(s.abs() < 1e-7, "residual sum {s}");
+            assert!(s.abs() < 1e-7, "residual sum {s}");
         }
     }
+}
 
-    #[test]
-    fn ols_fit_is_optimal_among_perturbations(
-        x in design(20),
-        y in finite_vec(20, -10.0, 10.0),
-        d0 in -0.5f64..0.5,
-        d1 in -0.5f64..0.5,
-    ) {
+#[test]
+fn ols_fit_is_optimal_among_perturbations() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 200);
+        let x = design(&mut rng, 20);
+        let y = finite_vec(&mut rng, 20, -10.0, 10.0);
+        let d0 = rng.uniform(-0.5, 0.5);
+        let d1 = rng.uniform(-0.5, 0.5);
         if let Ok(fit) = OlsFit::fit(&x, &y) {
             let mut beta = fit.coefficients().to_vec();
             beta[0] += d0;
@@ -66,81 +75,108 @@ proptest! {
                     (y[i] - p) * (y[i] - p)
                 })
                 .sum();
-            prop_assert!(perturbed + 1e-9 >= fit.rss());
+            assert!(perturbed + 1e-9 >= fit.rss());
         }
     }
+}
 
-    #[test]
-    fn hc3_standard_errors_nonnegative(x in design(40), y in finite_vec(40, 0.0, 50.0)) {
-        if let Ok(fit) = OlsFit::fit_with(&x, &y, OlsOptions {
-            covariance: CovarianceKind::HC3,
-            centered_tss: true,
-        }) {
+#[test]
+fn hc3_standard_errors_nonnegative() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 300);
+        let x = design(&mut rng, 40);
+        let y = finite_vec(&mut rng, 40, 0.0, 50.0);
+        if let Ok(fit) = OlsFit::fit_with(
+            &x,
+            &y,
+            OlsOptions {
+                covariance: CovarianceKind::HC3,
+                centered_tss: true,
+            },
+        ) {
             for se in fit.std_errors() {
-                prop_assert!(se >= 0.0 && se.is_finite());
+                assert!(se >= 0.0 && se.is_finite());
             }
         }
     }
+}
 
-    #[test]
-    fn vif_at_least_one(x in design(50)) {
+#[test]
+fn vif_at_least_one() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 400);
+        let x = design(&mut rng, 50);
         // Drop the intercept column: VIF operates on predictors.
         let pred = x.select_columns(&[1, 2]);
         if let Ok(v) = vif_all(&pred) {
             for vif in v {
-                prop_assert!(vif >= 1.0 - 1e-9);
+                assert!(vif >= 1.0 - 1e-9);
             }
-            prop_assert!(mean_vif(&pred).unwrap() >= 1.0 - 1e-9);
+            assert!(mean_vif(&pred).unwrap() >= 1.0 - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn pearson_bounded_and_scale_invariant(
-        xy in finite_vec(20, -100.0, 100.0).prop_flat_map(|x| {
-            (Just(x), finite_vec(20, -100.0, 100.0))
-        }),
-        a in 0.1f64..10.0,
-        b in -5.0f64..5.0,
-    ) {
-        let (x, y) = xy;
+#[test]
+fn pearson_bounded_and_scale_invariant() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 500);
+        let x = finite_vec(&mut rng, 20, -100.0, 100.0);
+        let y = finite_vec(&mut rng, 20, -100.0, 100.0);
+        let a = rng.uniform(0.1, 10.0);
+        let b = rng.uniform(-5.0, 5.0);
         if let Ok(r) = pearson(&x, &y) {
-            prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
+            assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&r));
             // Positive affine transforms leave r unchanged.
             let xs: Vec<f64> = x.iter().map(|v| a * v + b).collect();
             if let Ok(r2) = pearson(&xs, &y) {
-                prop_assert!((r - r2).abs() < 1e-9);
+                assert!((r - r2).abs() < 1e-9);
             }
         }
     }
+}
 
-    #[test]
-    fn mape_scale_invariant(
-        actual in finite_vec(15, 1.0, 1000.0),
-        rel in finite_vec(15, -0.5, 0.5),
-        scale in 0.1f64..100.0,
-    ) {
-        let predicted: Vec<f64> = actual.iter().zip(&rel).map(|(a, r)| a * (1.0 + r)).collect();
+#[test]
+fn mape_scale_invariant() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 600);
+        let actual = finite_vec(&mut rng, 15, 1.0, 1000.0);
+        let rel = finite_vec(&mut rng, 15, -0.5, 0.5);
+        let scale = rng.uniform(0.1, 100.0);
+        let predicted: Vec<f64> = actual
+            .iter()
+            .zip(&rel)
+            .map(|(a, r)| a * (1.0 + r))
+            .collect();
         let m1 = mape(&actual, &predicted).unwrap();
         let sa: Vec<f64> = actual.iter().map(|v| v * scale).collect();
         let sp: Vec<f64> = predicted.iter().map(|v| v * scale).collect();
         let m2 = mape(&sa, &sp).unwrap();
-        prop_assert!((m1 - m2).abs() < 1e-9);
-        prop_assert!(m1 <= 50.0 + 1e-9); // |rel| <= 0.5
+        assert!((m1 - m2).abs() < 1e-9);
+        assert!(m1 <= 50.0 + 1e-9); // |rel| <= 0.5
     }
+}
 
-    #[test]
-    fn rmse_triangle_like(actual in finite_vec(10, 1.0, 100.0)) {
+#[test]
+fn rmse_triangle_like() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 700);
+        let actual = finite_vec(&mut rng, 10, 1.0, 100.0);
         // rmse(a, a) == 0 and rmse symmetric in its arguments.
-        prop_assert_eq!(rmse(&actual, &actual).unwrap(), 0.0);
+        assert_eq!(rmse(&actual, &actual).unwrap(), 0.0);
         let shifted: Vec<f64> = actual.iter().map(|v| v + 1.0).collect();
         let ab = rmse(&actual, &shifted).unwrap();
         let ba = rmse(&shifted, &actual).unwrap();
-        prop_assert!((ab - ba).abs() < 1e-12);
-        prop_assert!((ab - 1.0).abs() < 1e-12);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((ab - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn kfold_covers_all_indices(n in 10usize..120, seed in 0u64..1000) {
+#[test]
+fn kfold_covers_all_indices() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed + 800);
+        let n = 10 + rng.below(110);
         let k = 10.min(n);
         let kf = KFold::new(n, k, seed).unwrap();
         let mut count = vec![0usize; n];
@@ -149,8 +185,8 @@ proptest! {
                 count[i] += 1;
             }
             // Train ∪ validate = all, disjoint.
-            prop_assert_eq!(f.train.len() + f.validate.len(), n);
+            assert_eq!(f.train.len() + f.validate.len(), n);
         }
-        prop_assert!(count.iter().all(|&c| c == 1));
+        assert!(count.iter().all(|&c| c == 1));
     }
 }

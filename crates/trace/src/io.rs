@@ -3,30 +3,177 @@
 //! Layout: line 1 is a header object (meta + definitions), every
 //! following line is one [`TraceRecord`]. The format is inspectable
 //! with standard tools (`jq`, `grep`) — the property that made OTF2 +
-//! existing tooling attractive to the paper's authors.
+//! existing tooling attractive to the paper's authors. Encoding is
+//! hand-rolled over [`pmc_json`] and byte-compatible with the earlier
+//! serde-derived format (tagged records, PascalCase enum values).
 
-use crate::record::{MetricDef, RegionDef, Trace, TraceError, TraceMeta, TraceRecord};
-use serde::{Deserialize, Serialize};
+use crate::record::{
+    MetricDef, MetricKind, MetricMode, RegionDef, Trace, TraceError, TraceMeta, TraceRecord,
+};
+use pmc_json::Json;
 use std::io::{BufRead, BufReader, Read, Write};
 
-#[derive(Serialize, Deserialize)]
-struct Header {
-    meta: TraceMeta,
-    regions: Vec<RegionDef>,
-    metrics: Vec<MetricDef>,
+// ------------------------------------------------------------ encoding
+
+fn meta_to_json(m: &TraceMeta) -> Json {
+    Json::obj(vec![
+        ("workload_id", m.workload_id.into()),
+        ("workload", m.workload.as_str().into()),
+        ("suite", m.suite.as_str().into()),
+        ("threads", m.threads.into()),
+        ("freq_mhz", m.freq_mhz.into()),
+        ("run_id", m.run_id.into()),
+    ])
 }
+
+fn meta_from_json(v: &Json) -> Result<TraceMeta, TraceError> {
+    Ok(TraceMeta {
+        workload_id: v.u32_field("workload_id")?,
+        workload: v.str_field("workload")?.to_string(),
+        suite: v.str_field("suite")?.to_string(),
+        threads: v.u32_field("threads")?,
+        freq_mhz: v.u32_field("freq_mhz")?,
+        run_id: v.u32_field("run_id")?,
+    })
+}
+
+fn region_to_json(r: &RegionDef) -> Json {
+    Json::obj(vec![("id", r.id.into()), ("name", r.name.as_str().into())])
+}
+
+fn region_from_json(v: &Json) -> Result<RegionDef, TraceError> {
+    Ok(RegionDef {
+        id: v.u32_field("id")?,
+        name: v.str_field("name")?.to_string(),
+    })
+}
+
+fn mode_tag(m: MetricMode) -> &'static str {
+    match m {
+        MetricMode::Absolute => "Absolute",
+        MetricMode::Accumulated => "Accumulated",
+    }
+}
+
+fn kind_tag(k: MetricKind) -> &'static str {
+    match k {
+        MetricKind::Synchronous => "Synchronous",
+        MetricKind::Asynchronous => "Asynchronous",
+    }
+}
+
+fn metric_to_json(m: &MetricDef) -> Json {
+    Json::obj(vec![
+        ("id", m.id.into()),
+        ("name", m.name.as_str().into()),
+        ("unit", m.unit.as_str().into()),
+        ("mode", mode_tag(m.mode).into()),
+        ("kind", kind_tag(m.kind).into()),
+    ])
+}
+
+fn metric_from_json(v: &Json) -> Result<MetricDef, TraceError> {
+    let mode = match v.str_field("mode")? {
+        "Absolute" => MetricMode::Absolute,
+        "Accumulated" => MetricMode::Accumulated,
+        other => {
+            return Err(TraceError::UnknownTag {
+                what: "metric mode",
+                value: other.to_string(),
+            })
+        }
+    };
+    let kind = match v.str_field("kind")? {
+        "Synchronous" => MetricKind::Synchronous,
+        "Asynchronous" => MetricKind::Asynchronous,
+        other => {
+            return Err(TraceError::UnknownTag {
+                what: "metric kind",
+                value: other.to_string(),
+            })
+        }
+    };
+    Ok(MetricDef {
+        id: v.u32_field("id")?,
+        name: v.str_field("name")?.to_string(),
+        unit: v.str_field("unit")?.to_string(),
+        mode,
+        kind,
+    })
+}
+
+/// Encodes one record as a tagged JSON object
+/// (`{"type":"enter","time_ns":…,"region":…}`).
+pub fn record_to_json(r: &TraceRecord) -> Json {
+    match *r {
+        TraceRecord::Enter { time_ns, region } => Json::obj(vec![
+            ("type", "enter".into()),
+            ("time_ns", time_ns.into()),
+            ("region", region.into()),
+        ]),
+        TraceRecord::Leave { time_ns, region } => Json::obj(vec![
+            ("type", "leave".into()),
+            ("time_ns", time_ns.into()),
+            ("region", region.into()),
+        ]),
+        TraceRecord::Metric {
+            time_ns,
+            metric,
+            value,
+        } => Json::obj(vec![
+            ("type", "metric".into()),
+            ("time_ns", time_ns.into()),
+            ("metric", metric.into()),
+            ("value", value.into()),
+        ]),
+    }
+}
+
+/// Decodes one tagged-record object.
+pub fn record_from_json(v: &Json) -> Result<TraceRecord, TraceError> {
+    match v.str_field("type")? {
+        "enter" => Ok(TraceRecord::Enter {
+            time_ns: v.u64_field("time_ns")?,
+            region: v.u32_field("region")?,
+        }),
+        "leave" => Ok(TraceRecord::Leave {
+            time_ns: v.u64_field("time_ns")?,
+            region: v.u32_field("region")?,
+        }),
+        "metric" => Ok(TraceRecord::Metric {
+            time_ns: v.u64_field("time_ns")?,
+            metric: v.u32_field("metric")?,
+            value: v.f64_field("value")?,
+        }),
+        other => Err(TraceError::UnknownTag {
+            what: "record type",
+            value: other.to_string(),
+        }),
+    }
+}
+
+fn header_to_json(trace: &Trace) -> Json {
+    Json::obj(vec![
+        ("meta", meta_to_json(&trace.meta)),
+        (
+            "regions",
+            Json::Arr(trace.regions.iter().map(region_to_json).collect()),
+        ),
+        (
+            "metrics",
+            Json::Arr(trace.metrics.iter().map(metric_to_json).collect()),
+        ),
+    ])
+}
+
+// ---------------------------------------------------------------- I/O
 
 /// Writes a trace as JSON-lines.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> {
-    let header = Header {
-        meta: trace.meta.clone(),
-        regions: trace.regions.clone(),
-        metrics: trace.metrics.clone(),
-    };
-    serde_json::to_writer(&mut w, &header)?;
+    w.write_all(header_to_json(trace).to_string().as_bytes())?;
     w.write_all(b"\n")?;
     for r in &trace.records {
-        serde_json::to_writer(&mut w, r)?;
+        w.write_all(record_to_json(r).to_string().as_bytes())?;
         w.write_all(b"\n")?;
     }
     Ok(())
@@ -35,25 +182,37 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceError> 
 /// Reads a trace from JSON-lines produced by [`write_trace`].
 pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
     let mut lines = BufReader::new(r).lines();
-    let header_line = lines
-        .next()
-        .ok_or_else(|| TraceError::Io(std::io::Error::new(
+    let header_line = lines.next().ok_or_else(|| {
+        TraceError::Io(std::io::Error::new(
             std::io::ErrorKind::UnexpectedEof,
             "empty trace file",
-        )))??;
-    let header: Header = serde_json::from_str(&header_line)?;
+        ))
+    })??;
+    let header = Json::parse(&header_line)?;
+    let meta = meta_from_json(header.field("meta")?)?;
+    let regions = header
+        .arr_field("regions")?
+        .iter()
+        .map(region_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    let metrics = header
+        .arr_field("metrics")?
+        .iter()
+        .map(metric_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+
     let mut records = Vec::new();
     for line in lines {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        records.push(serde_json::from_str::<TraceRecord>(&line)?);
+        records.push(record_from_json(&Json::parse(&line)?)?);
     }
     Ok(Trace {
-        meta: header.meta,
-        regions: header.regions,
-        metrics: header.metrics,
+        meta,
+        regions,
+        metrics,
         records,
     })
 }
@@ -77,9 +236,8 @@ pub fn read_trace_file(path: &std::path::Path) -> Result<Trace, TraceError> {
 pub fn trace_to_string(trace: &Trace) -> Result<String, TraceError> {
     let mut buf = Vec::new();
     write_trace(trace, &mut buf)?;
-    String::from_utf8(buf).map_err(|e| {
-        TraceError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e))
-    })
+    String::from_utf8(buf)
+        .map_err(|e| TraceError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))
 }
 
 #[cfg(test)]
@@ -140,8 +298,17 @@ mod tests {
         let lines: Vec<&str> = s.trim_end().split('\n').collect();
         assert_eq!(lines.len(), 4); // header + 3 records
         for l in lines {
-            assert!(serde_json::from_str::<serde_json::Value>(l).is_ok());
+            assert!(Json::parse(l).is_ok());
         }
+    }
+
+    #[test]
+    fn records_are_snake_case_tagged() {
+        let s = trace_to_string(&sample_trace()).unwrap();
+        let lines: Vec<&str> = s.trim_end().split('\n').collect();
+        assert!(lines[1].contains("\"type\":\"enter\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"type\":\"metric\""), "{}", lines[2]);
+        assert!(lines[3].contains("\"type\":\"leave\""), "{}", lines[3]);
     }
 
     #[test]
@@ -153,9 +320,19 @@ mod tests {
     fn garbage_record_is_an_error() {
         let mut s = trace_to_string(&sample_trace()).unwrap();
         s.push_str("not json\n");
+        assert!(matches!(read_trace(s.as_bytes()), Err(TraceError::Json(_))));
+    }
+
+    #[test]
+    fn unknown_record_type_is_an_error() {
+        let mut s = trace_to_string(&sample_trace()).unwrap();
+        s.push_str("{\"type\":\"warp\",\"time_ns\":11}\n");
         assert!(matches!(
             read_trace(s.as_bytes()),
-            Err(TraceError::Serde(_))
+            Err(TraceError::UnknownTag {
+                what: "record type",
+                ..
+            })
         ));
     }
 

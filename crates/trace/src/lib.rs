@@ -32,9 +32,9 @@ pub mod record;
 pub mod tracer;
 
 pub use merge::{merge_runs, MergedProfile};
-pub use tracer::Tracer;
 pub use plugin::{MetricPlugin, PapiPlugin, PowerPlugin, VoltagePlugin};
 pub use profile::{extract_profiles, PhaseProfile};
 pub use record::{
     MetricDef, MetricKind, MetricMode, RegionDef, Trace, TraceError, TraceMeta, TraceRecord,
 };
+pub use tracer::Tracer;

@@ -9,12 +9,11 @@
 
 use crate::profile::PhaseProfile;
 use pmc_events::PapiEvent;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A phase profile with full counter coverage, assembled from all runs
 /// of one experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MergedProfile {
     /// Workload id.
     pub workload_id: u32,
@@ -193,10 +192,7 @@ mod tests {
             end_ns: 10_000_000_000,
             power_avg: Some(power),
             voltage_avg: Some(1.0),
-            counters: counters
-                .iter()
-                .map(|(n, v)| (n.to_string(), *v))
-                .collect(),
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
         }
     }
 
@@ -235,7 +231,10 @@ mod tests {
         p.power_avg = None;
         assert!(matches!(
             merge_runs(&[p]),
-            Err(MergeError::IncompleteProfile { missing: "power", .. })
+            Err(MergeError::IncompleteProfile {
+                missing: "power",
+                ..
+            })
         ));
     }
 

@@ -7,11 +7,10 @@
 //! counters), the thread count and the workload identity.
 
 use crate::record::{MetricMode, Trace, TraceError, TraceRecord};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The distilled result of one phase execution within one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhaseProfile {
     /// Workload id from the run metadata.
     pub workload_id: u32,
@@ -128,14 +127,12 @@ impl ActivePhase {
         let mut counters = BTreeMap::new();
 
         for (metric_id, samples) in &self.samples {
-            let def = trace
-                .metrics
-                .iter()
-                .find(|m| m.id == *metric_id)
-                .ok_or(TraceError::UndefinedId {
+            let def = trace.metrics.iter().find(|m| m.id == *metric_id).ok_or(
+                TraceError::UndefinedId {
                     what: "metric",
                     id: *metric_id,
-                })?;
+                },
+            )?;
             match def.mode {
                 MetricMode::Absolute => {
                     let avg = time_weighted_avg(samples);
@@ -233,23 +230,73 @@ mod tests {
         Trace {
             meta: meta(),
             regions: vec![
-                RegionDef { id: 1, name: "warm".into() },
-                RegionDef { id: 2, name: "main".into() },
+                RegionDef {
+                    id: 1,
+                    name: "warm".into(),
+                },
+                RegionDef {
+                    id: 2,
+                    name: "main".into(),
+                },
             ],
             metrics: vec![power_def(), counter_def(1, "PAPI_TOT_CYC")],
             records: vec![
-                TraceRecord::Enter { time_ns: 0, region: 1 },
-                TraceRecord::Metric { time_ns: 0, metric: 0, value: 100.0 },
-                TraceRecord::Metric { time_ns: 0, metric: 1, value: 0.0 },
-                TraceRecord::Metric { time_ns: 1_000, metric: 0, value: 100.0 },
-                TraceRecord::Metric { time_ns: 1_000, metric: 1, value: 500.0 },
-                TraceRecord::Leave { time_ns: 1_000, region: 1 },
-                TraceRecord::Enter { time_ns: 1_000, region: 2 },
-                TraceRecord::Metric { time_ns: 1_000, metric: 0, value: 200.0 },
-                TraceRecord::Metric { time_ns: 1_000, metric: 1, value: 500.0 },
-                TraceRecord::Metric { time_ns: 3_000, metric: 0, value: 200.0 },
-                TraceRecord::Metric { time_ns: 3_000, metric: 1, value: 2500.0 },
-                TraceRecord::Leave { time_ns: 3_000, region: 2 },
+                TraceRecord::Enter {
+                    time_ns: 0,
+                    region: 1,
+                },
+                TraceRecord::Metric {
+                    time_ns: 0,
+                    metric: 0,
+                    value: 100.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 0,
+                    metric: 1,
+                    value: 0.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 1_000,
+                    metric: 0,
+                    value: 100.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 1_000,
+                    metric: 1,
+                    value: 500.0,
+                },
+                TraceRecord::Leave {
+                    time_ns: 1_000,
+                    region: 1,
+                },
+                TraceRecord::Enter {
+                    time_ns: 1_000,
+                    region: 2,
+                },
+                TraceRecord::Metric {
+                    time_ns: 1_000,
+                    metric: 0,
+                    value: 200.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 1_000,
+                    metric: 1,
+                    value: 500.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 3_000,
+                    metric: 0,
+                    value: 200.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 3_000,
+                    metric: 1,
+                    value: 2500.0,
+                },
+                TraceRecord::Leave {
+                    time_ns: 3_000,
+                    region: 2,
+                },
             ],
         }
     }

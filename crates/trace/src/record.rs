@@ -1,10 +1,9 @@
 //! Trace structure: definitions and the event stream.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A region (code section) definition — one per workload phase here.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RegionDef {
     /// Region id referenced by enter/leave records.
     pub id: u32,
@@ -13,7 +12,7 @@ pub struct RegionDef {
 }
 
 /// How successive samples of a metric relate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricMode {
     /// Each sample is an instantaneous value (power, voltage).
     Absolute,
@@ -25,7 +24,7 @@ pub enum MetricMode {
 /// Whether a metric is sampled synchronously with events or
 /// asynchronously on its own timer (Score-P distinction; all plugins
 /// here are asynchronous, as in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Sampled at enter/leave points.
     Synchronous,
@@ -34,7 +33,7 @@ pub enum MetricKind {
 }
 
 /// A metric definition.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricDef {
     /// Metric id referenced by samples.
     pub id: u32,
@@ -50,7 +49,7 @@ pub struct MetricDef {
 
 /// Per-run metadata (what the paper encodes in trace properties and
 /// file naming).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceMeta {
     /// Workload id.
     pub workload_id: u32,
@@ -67,8 +66,7 @@ pub struct TraceMeta {
 }
 
 /// One trace record. Times are nanoseconds since trace start.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "type", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum TraceRecord {
     /// Enter a region.
     Enter {
@@ -107,7 +105,7 @@ impl TraceRecord {
 }
 
 /// A complete single-run trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Run metadata.
     pub meta: TraceMeta,
@@ -148,7 +146,14 @@ pub enum TraceError {
         region: u32,
     },
     /// Underlying serialization failure.
-    Serde(serde_json::Error),
+    Json(pmc_json::JsonError),
+    /// A record or header carried an unknown tag or enum value.
+    UnknownTag {
+        /// What kind of tag ("record type" / "metric mode" / …).
+        what: &'static str,
+        /// The unrecognized value.
+        value: String,
+    },
     /// Underlying I/O failure.
     Io(std::io::Error),
 }
@@ -157,7 +162,10 @@ impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TraceError::OutOfOrder { index } => {
-                write!(f, "trace records out of chronological order at index {index}")
+                write!(
+                    f,
+                    "trace records out of chronological order at index {index}"
+                )
             }
             TraceError::UndefinedId { what, id } => write!(f, "undefined {what} id {id}"),
             TraceError::BrokenNesting { region } => {
@@ -166,7 +174,10 @@ impl fmt::Display for TraceError {
             TraceError::MissingSamples { metric, region } => {
                 write!(f, "no samples of metric {metric:?} inside region {region}")
             }
-            TraceError::Serde(e) => write!(f, "trace (de)serialization failed: {e}"),
+            TraceError::Json(e) => write!(f, "trace (de)serialization failed: {e}"),
+            TraceError::UnknownTag { what, value } => {
+                write!(f, "unknown {what} {value:?} in trace")
+            }
             TraceError::Io(e) => write!(f, "trace I/O failed: {e}"),
         }
     }
@@ -175,16 +186,16 @@ impl fmt::Display for TraceError {
 impl std::error::Error for TraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            TraceError::Serde(e) => Some(e),
+            TraceError::Json(e) => Some(e),
             TraceError::Io(e) => Some(e),
             _ => None,
         }
     }
 }
 
-impl From<serde_json::Error> for TraceError {
-    fn from(e: serde_json::Error) -> Self {
-        TraceError::Serde(e)
+impl From<pmc_json::JsonError> for TraceError {
+    fn from(e: pmc_json::JsonError) -> Self {
+        TraceError::Json(e)
     }
 }
 
@@ -229,10 +240,8 @@ impl Trace {
         for r in &self.records {
             match *r {
                 TraceRecord::Enter { region, .. } => stack.push(region),
-                TraceRecord::Leave { region, .. } => {
-                    if stack.pop() != Some(region) {
-                        return Err(TraceError::BrokenNesting { region });
-                    }
+                TraceRecord::Leave { region, .. } if stack.pop() != Some(region) => {
+                    return Err(TraceError::BrokenNesting { region });
                 }
                 _ => {}
             }
@@ -322,7 +331,10 @@ mod tests {
         });
         assert!(matches!(
             t.validate(),
-            Err(TraceError::UndefinedId { what: "metric", id: 99 })
+            Err(TraceError::UndefinedId {
+                what: "metric",
+                id: 99
+            })
         ));
     }
 

@@ -23,7 +23,9 @@ impl Default for Tracer {
 impl Tracer {
     /// Creates an empty tracer.
     pub fn new() -> Self {
-        Tracer { plugins: Vec::new() }
+        Tracer {
+            plugins: Vec::new(),
+        }
     }
 
     /// Registers a metric plugin (Score-P `SCOREP_METRIC_PLUGINS`

@@ -1,4 +1,5 @@
-//! Property-based tests for the trace pipeline.
+//! Property-style tests for the trace pipeline, swept over seeded
+//! pseudo-random parameters (no proptest — the suite builds offline).
 
 use pmc_cpusim::rng::SplitMix64;
 use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext};
@@ -8,13 +9,20 @@ use pmc_trace::io::{read_trace, trace_to_string};
 use pmc_trace::plugin::{PapiPlugin, PowerPlugin, VoltagePlugin};
 use pmc_trace::record::TraceMeta;
 use pmc_trace::{extract_profiles, merge_runs, Tracer};
-use proptest::prelude::*;
+
+const CASES: u64 = 48;
 
 fn machine() -> Machine {
     Machine::new(MachineConfig::haswell_ep(11))
 }
 
-fn observe(m: &Machine, run: u32, threads: u32, freq: u32, dur: f64) -> pmc_cpusim::PhaseObservation {
+fn observe(
+    m: &Machine,
+    run: u32,
+    threads: u32,
+    freq: u32,
+    dur: f64,
+) -> pmc_cpusim::PhaseObservation {
     m.observe(
         &Activity::default(),
         &PhaseContext {
@@ -39,18 +47,18 @@ fn meta(run: u32, threads: u32, freq: u32) -> TraceMeta {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Any recorded run validates, serializes, parses back identically and
+/// extracts profiles that recover the observation exactly.
+#[test]
+fn record_roundtrip_extract() {
+    let freqs = [1200u32, 2000, 2600];
+    for case in 0..CASES {
+        let mut draw = SplitMix64::new(case);
+        let seed = draw.below(500) as u64;
+        let threads = 1 + draw.below(24) as u32;
+        let freq = freqs[draw.below(freqs.len())];
+        let dur = draw.uniform(0.5, 20.0);
 
-    /// Any recorded run validates, serializes, parses back identically
-    /// and extracts profiles that recover the observation exactly.
-    #[test]
-    fn record_roundtrip_extract(
-        seed in 0u64..500,
-        threads in 1u32..=24,
-        freq in prop::sample::select(vec![1200u32, 2000, 2600]),
-        dur in 0.5f64..20.0,
-    ) {
         let m = machine();
         let obs = observe(&m, seed as u32, threads, freq, dur);
         let group = CounterScheduler::haswell_default()
@@ -62,31 +70,47 @@ proptest! {
             .with_plugin(Box::new(VoltagePlugin::default()))
             .with_plugin(Box::new(PapiPlugin::new(group)));
         let mut rng = SplitMix64::new(seed);
-        let trace = tracer.record_run(meta(0, threads, freq), &[("main".into(), obs.clone())], &mut rng);
+        let trace = tracer.record_run(
+            meta(0, threads, freq),
+            &[("main".into(), obs.clone())],
+            &mut rng,
+        );
 
         trace.validate().unwrap();
         let text = trace_to_string(&trace).unwrap();
         let back = read_trace(text.as_bytes()).unwrap();
-        prop_assert_eq!(&trace, &back);
+        assert_eq!(&trace, &back);
 
         let profiles = extract_profiles(&trace).unwrap();
-        prop_assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles.len(), 1);
         let p = &profiles[0];
-        prop_assert!((p.power_avg.unwrap() - obs.power_measured).abs() < 1e-6);
-        prop_assert!((p.voltage_avg.unwrap() - obs.voltage).abs() < 1e-9);
-        prop_assert!((p.duration_s() - dur).abs() < 1e-6);
-        for e in [PapiEvent::PRF_DM, PapiEvent::STL_ICY, PapiEvent::TLB_IM,
-                  PapiEvent::TOT_CYC, PapiEvent::TOT_INS, PapiEvent::REF_CYC] {
+        assert!((p.power_avg.unwrap() - obs.power_measured).abs() < 1e-6);
+        assert!((p.voltage_avg.unwrap() - obs.voltage).abs() < 1e-9);
+        assert!((p.duration_s() - dur).abs() < 1e-6);
+        for e in [
+            PapiEvent::PRF_DM,
+            PapiEvent::STL_ICY,
+            PapiEvent::TLB_IM,
+            PapiEvent::TOT_CYC,
+            PapiEvent::TOT_INS,
+            PapiEvent::REF_CYC,
+        ] {
             let got = p.counters[&e.papi_name()];
             let want = obs.counters[e.index()];
-            prop_assert!((got - want).abs() <= want.abs() * 1e-9 + 1e-6, "{e}");
+            assert!((got - want).abs() <= want.abs() * 1e-9 + 1e-6, "{e}");
         }
     }
+}
 
-    /// Merging N runs of the same experiment averages power exactly and
-    /// unions counters across groups.
-    #[test]
-    fn merge_averages_any_run_count(n_runs in 1usize..=13, seed in 0u64..200) {
+/// Merging N runs of the same experiment averages power exactly and
+/// unions counters across groups.
+#[test]
+fn merge_averages_any_run_count() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::new(case + 1000);
+        let n_runs = 1 + draw.below(13);
+        let seed = draw.below(200) as u64;
+
         let m = machine();
         let groups = CounterScheduler::haswell_default()
             .schedule(PapiEvent::ALL)
@@ -99,37 +123,54 @@ proptest! {
             let tracer = Tracer::new()
                 .with_plugin(Box::new(PowerPlugin::default()))
                 .with_plugin(Box::new(VoltagePlugin::default()))
-                .with_plugin(Box::new(PapiPlugin::new(groups[run % groups.len()].clone())));
+                .with_plugin(Box::new(PapiPlugin::new(
+                    groups[run % groups.len()].clone(),
+                )));
             let mut rng = SplitMix64::derive(seed, &[run as u64]);
-            let trace = tracer.record_run(meta(run as u32, 12, 2000), &[("main".into(), obs)], &mut rng);
+            let trace = tracer.record_run(
+                meta(run as u32, 12, 2000),
+                &[("main".into(), obs)],
+                &mut rng,
+            );
             profiles.extend(extract_profiles(&trace).unwrap());
         }
         let merged = merge_runs(&profiles).unwrap();
-        prop_assert_eq!(merged.len(), 1);
-        prop_assert_eq!(merged[0].runs, n_runs as u32);
-        prop_assert!((merged[0].power_avg - sum / n_runs as f64).abs() < 1e-9);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].runs, n_runs as u32);
+        assert!((merged[0].power_avg - sum / n_runs as f64).abs() < 1e-9);
         // Coverage grows with distinct groups used.
-        prop_assert!(merged[0].counters.len() >= 3 + groups[0].programmable.len().min(n_runs));
+        assert!(merged[0].counters.len() >= 3 + groups[0].programmable.len().min(n_runs));
     }
+}
 
-    /// Multi-phase runs stay contiguous and produce one profile per
-    /// phase, in order.
-    #[test]
-    fn multi_phase_contiguity(n_phases in 1usize..=6, seed in 0u64..200) {
+/// Multi-phase runs stay contiguous and produce one profile per phase,
+/// in order.
+#[test]
+fn multi_phase_contiguity() {
+    for case in 0..CASES {
+        let mut draw = SplitMix64::new(case + 2000);
+        let n_phases = 1 + draw.below(6);
+        let seed = draw.below(200) as u64;
+
         let m = machine();
         let tracer = Tracer::new().with_plugin(Box::new(PowerPlugin::default()));
         let phases: Vec<(String, pmc_cpusim::PhaseObservation)> = (0..n_phases)
-            .map(|i| (format!("p{i}"), observe(&m, i as u32, 24, 2400, 1.0 + i as f64)))
+            .map(|i| {
+                (
+                    format!("p{i}"),
+                    observe(&m, i as u32, 24, 2400, 1.0 + i as f64),
+                )
+            })
             .collect();
         let mut rng = SplitMix64::new(seed);
         let trace = tracer.record_run(meta(0, 24, 2400), &phases, &mut rng);
         trace.validate().unwrap();
         let profiles = extract_profiles(&trace).unwrap();
-        prop_assert_eq!(profiles.len(), n_phases);
+        assert_eq!(profiles.len(), n_phases);
         for (i, p) in profiles.iter().enumerate() {
-            prop_assert_eq!(p.phase.clone(), format!("p{i}"));
+            assert_eq!(p.phase, format!("p{i}"));
             if i > 0 {
-                prop_assert_eq!(p.start_ns, profiles[i - 1].end_ns);
+                assert_eq!(p.start_ns, profiles[i - 1].end_ns);
             }
         }
     }

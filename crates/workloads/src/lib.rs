@@ -25,6 +25,10 @@
 //! with behaviour outside the synthetic hull — which is exactly what
 //! makes "train on synthetic only" (paper scenario 2) unstable.
 
+// Activity fixtures are built as `Default::default()` plus field
+// assignments on purpose: each line documents one deviation from the
+// baseline vector.
+#![allow(clippy::field_reassign_with_default)]
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 

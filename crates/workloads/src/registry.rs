@@ -1,12 +1,11 @@
 //! Workload abstraction and the paper's 16-workload evaluation set.
 
 use pmc_cpusim::Activity;
-use serde::{Deserialize, Serialize};
 
 /// Which suite a workload belongs to (drives the paper's training
 /// scenarios: scenario 2 trains on `Roco2` only and validates on
 /// `SpecOmp2012`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// Small synthetic steady-state kernels.
     Roco2,
@@ -25,7 +24,7 @@ impl std::fmt::Display for Suite {
 
 /// One execution phase of a workload: a named steady activity that
 /// lasts `duration_s` seconds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Phase {
     /// Phase name (e.g. `"init"`, `"stream"`, `"solve"`).
     pub name: String,

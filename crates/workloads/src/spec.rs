@@ -79,7 +79,10 @@ fn nab_gen(_t: u32) -> Vec<Phase> {
     // working set — another workload with a *low* unobserved level
     // (overestimated in scenario 2, like md).
     let gb = Activity::mix(&[(0.7, arch::scalar_fp_longlat()), (0.3, arch::int_compute())]);
-    let pair = Activity::mix(&[(0.7, arch::scalar_fp_longlat()), (0.3, arch::pointer_chase())]);
+    let pair = Activity::mix(&[
+        (0.7, arch::scalar_fp_longlat()),
+        (0.3, arch::pointer_chase()),
+    ]);
     vec![
         phase("generalized-born", 20.0, gb, -0.33),
         phase("pairlist", 8.0, pair, -0.33),
@@ -157,7 +160,12 @@ fn swim_gen(_t: u32) -> Vec<Phase> {
     vec![
         phase("calc1", 11.0, calc, 0.18),
         phase("calc2", 11.0, calc, 0.18),
-        phase("calc3", 10.0, Activity::mix(&[(0.8, arch::memory_stream()), (0.2, arch::vector_fp())]), 0.18),
+        phase(
+            "calc3",
+            10.0,
+            Activity::mix(&[(0.8, arch::memory_stream()), (0.2, arch::vector_fp())]),
+            0.18,
+        ),
     ]
 }
 
@@ -169,7 +177,12 @@ fn mgrid331_gen(_t: u32) -> Vec<Phase> {
     vec![
         phase("fine", 14.0, fine, -0.06),
         phase("coarse", 8.0, coarse, -0.06),
-        phase("interp", 8.0, Activity::mix(&[(0.5, arch::memory_stream()), (0.5, arch::int_compute())]), -0.06),
+        phase(
+            "interp",
+            8.0,
+            Activity::mix(&[(0.5, arch::memory_stream()), (0.5, arch::int_compute())]),
+            -0.06,
+        ),
     ]
 }
 
@@ -195,12 +208,30 @@ pub fn benchmarks() -> Vec<Workload> {
         Workload::new(11, "bwaves", Suite::SpecOmp2012, bwaves_gen, SPEC_THREADS),
         Workload::new(12, "nab", Suite::SpecOmp2012, nab_gen, SPEC_THREADS),
         Workload::new(13, "bt331", Suite::SpecOmp2012, bt331_gen, SPEC_THREADS),
-        Workload::new(14, "botsalgn", Suite::SpecOmp2012, botsalgn_gen, SPEC_THREADS),
+        Workload::new(
+            14,
+            "botsalgn",
+            Suite::SpecOmp2012,
+            botsalgn_gen,
+            SPEC_THREADS,
+        ),
         Workload::new(15, "ilbdc", Suite::SpecOmp2012, ilbdc_gen, SPEC_THREADS),
         Workload::new(16, "fma3d", Suite::SpecOmp2012, fma3d_gen, SPEC_THREADS),
         Workload::new(17, "swim", Suite::SpecOmp2012, swim_gen, SPEC_THREADS),
-        Workload::new(18, "mgrid331", Suite::SpecOmp2012, mgrid331_gen, SPEC_THREADS),
-        Workload::new(19, "applu331", Suite::SpecOmp2012, applu331_gen, SPEC_THREADS),
+        Workload::new(
+            18,
+            "mgrid331",
+            Suite::SpecOmp2012,
+            mgrid331_gen,
+            SPEC_THREADS,
+        ),
+        Workload::new(
+            19,
+            "applu331",
+            Suite::SpecOmp2012,
+            applu331_gen,
+            SPEC_THREADS,
+        ),
     ]
 }
 
@@ -227,7 +258,11 @@ mod tests {
     #[test]
     fn spec_workloads_are_multi_phase() {
         for w in benchmarks() {
-            assert!(w.phases(24).len() >= 2, "{} lacks internal variability", w.name);
+            assert!(
+                w.phases(24).len() >= 2,
+                "{} lacks internal variability",
+                w.name
+            );
         }
     }
 
@@ -252,7 +287,10 @@ mod tests {
 
     #[test]
     fn ilbdc_is_memory_extreme() {
-        let w = benchmarks().into_iter().find(|w| w.name == "ilbdc").unwrap();
+        let w = benchmarks()
+            .into_iter()
+            .find(|w| w.name == "ilbdc")
+            .unwrap();
         let p = &w.phases(24)[0];
         assert!(p.activity.l3_mpki > 5.0);
         assert!(p.activity.stall_frac > 0.5);

@@ -1,80 +1,98 @@
-//! Property-based tests for the workload suite.
+//! Property-style tests for the workload suite. Thread counts and
+//! deltas are swept exhaustively or via seeded draws (no proptest —
+//! the suite builds offline).
 
+use pmc_cpusim::rng::SplitMix64;
 use pmc_cpusim::Activity;
 use pmc_workloads::archetypes::{self, saturate_bandwidth, unobserved_level};
 use pmc_workloads::roco2::bandwidth_contention;
 use pmc_workloads::{Suite, WorkloadSet};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every workload validates at every thread count, not just the
-    /// published sweep points.
-    #[test]
-    fn all_workloads_validate_at_any_thread_count(threads in 1u32..=24) {
+/// Every workload validates at every thread count, not just the
+/// published sweep points.
+#[test]
+fn all_workloads_validate_at_any_thread_count() {
+    for threads in 1u32..=24 {
         for w in WorkloadSet::paper_set().workloads() {
             for p in w.phases(threads) {
-                prop_assert!(p.activity.validate().is_ok(),
-                    "{} / {} @ {threads}: {:?}", w.name, p.name, p.activity.validate());
-                prop_assert!(p.duration_s > 0.0);
+                assert!(
+                    p.activity.validate().is_ok(),
+                    "{} / {} @ {threads}: {:?}",
+                    w.name,
+                    p.name,
+                    p.activity.validate()
+                );
+                assert!(p.duration_s > 0.0);
             }
         }
     }
+}
 
-    /// Saturation is monotone: more threads never increases per-core
-    /// memory traffic, never decreases stalls, and preserves validity.
-    #[test]
-    fn saturation_monotone(t1 in 1u32..=24, t2 in 1u32..=24) {
-        prop_assume!(t1 < t2);
-        for base in [
-            archetypes::memory_stream(),
-            archetypes::pointer_chase(),
-            archetypes::vector_fp(),
-            archetypes::int_compute(),
-        ] {
-            let a = saturate_bandwidth(base, t1);
-            let b = saturate_bandwidth(base, t2);
-            prop_assert!(b.prefetch_mpki <= a.prefetch_mpki + 1e-12);
-            prop_assert!(b.l3_mpki <= a.l3_mpki + 1e-12);
-            prop_assert!(b.stall_frac >= a.stall_frac - 1e-12);
-            prop_assert!(b.validate().is_ok());
+/// Saturation is monotone: more threads never increases per-core
+/// memory traffic, never decreases stalls, and preserves validity.
+#[test]
+fn saturation_monotone() {
+    for t1 in 1u32..24 {
+        for t2 in (t1 + 1)..=24 {
+            for base in [
+                archetypes::memory_stream(),
+                archetypes::pointer_chase(),
+                archetypes::vector_fp(),
+                archetypes::int_compute(),
+            ] {
+                let a = saturate_bandwidth(base, t1);
+                let b = saturate_bandwidth(base, t2);
+                assert!(b.prefetch_mpki <= a.prefetch_mpki + 1e-12);
+                assert!(b.l3_mpki <= a.l3_mpki + 1e-12);
+                assert!(b.stall_frac >= a.stall_frac - 1e-12);
+                assert!(b.validate().is_ok());
+            }
         }
     }
+}
 
-    /// The contention factor is a proper (0, 1] monotone decreasing
-    /// function of the thread count.
-    #[test]
-    fn contention_is_well_behaved(t in 1u32..=64) {
+/// The contention factor is a proper (0, 1] monotone decreasing
+/// function of the thread count.
+#[test]
+fn contention_is_well_behaved() {
+    for t in 1u32..=64 {
         let c = bandwidth_contention(t);
-        prop_assert!(c > 0.0 && c <= 1.0);
-        prop_assert!(bandwidth_contention(t + 1) < c);
+        assert!(c > 0.0 && c <= 1.0);
+        assert!(bandwidth_contention(t + 1) < c);
     }
+}
 
-    /// The unobserved level is always a valid fraction and responds
-    /// monotonically to its delta.
-    #[test]
-    fn unobserved_level_well_behaved(
-        d1 in -0.5f64..0.5,
-        d2 in -0.5f64..0.5,
-        prf in 0.0f64..30.0,
-    ) {
-        let mut a = Activity::default();
-        a.prefetch_mpki = prf;
+/// The unobserved level is always a valid fraction and responds
+/// monotonically to its delta.
+#[test]
+fn unobserved_level_well_behaved() {
+    let mut rng = SplitMix64::new(17);
+    for _ in 0..64 {
+        let d1 = rng.uniform(-0.5, 0.5);
+        let d2 = rng.uniform(-0.5, 0.5);
+        let prf = rng.uniform(0.0, 30.0);
+        let a = Activity {
+            prefetch_mpki: prf,
+            ..Activity::default()
+        };
         let u1 = unobserved_level(&a, d1);
         let u2 = unobserved_level(&a, d2);
-        prop_assert!((0.0..=1.0).contains(&u1));
+        assert!((0.0..=1.0).contains(&u1));
         if d1 < d2 {
-            prop_assert!(u1 <= u2 + 1e-12);
+            assert!(u1 <= u2 + 1e-12);
         }
     }
+}
 
-    /// Total durations are stable per workload: the schedule does not
-    /// depend on the thread count (only the activity does).
-    #[test]
-    fn durations_thread_invariant(threads in 1u32..=24) {
+/// Total durations are stable per workload: the schedule does not
+/// depend on the thread count (only the activity does).
+#[test]
+fn durations_thread_invariant() {
+    for threads in 1u32..=24 {
         for w in WorkloadSet::paper_set().workloads() {
             let d1 = w.total_duration(1);
             let dt = w.total_duration(threads);
-            prop_assert!((d1 - dt).abs() < 1e-12, "{}", w.name);
+            assert!((d1 - dt).abs() < 1e-12, "{}", w.name);
         }
     }
 }
@@ -97,7 +115,10 @@ fn native_kernels_do_real_work() {
     // iteration count — the optimizer did not remove the work.
     assert_ne!(native::compute_kernel(1000), native::compute_kernel(2000));
     assert_ne!(native::sinus_kernel(1000), native::sinus_kernel(2000));
-    assert_ne!(native::memory_kernel(1 << 10, 1), native::memory_kernel(1 << 10, 2));
+    assert_ne!(
+        native::memory_kernel(1 << 10, 1),
+        native::memory_kernel(1 << 10, 2)
+    );
     assert!(native::matmul_kernel(16).is_finite());
     assert!(native::sqrt_kernel(100).is_finite());
 }

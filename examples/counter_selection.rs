@@ -41,12 +41,19 @@ fn main() {
     let power = data.power();
     let mut pcc_rank: Vec<(PapiEvent, f64)> = PapiEvent::ALL
         .iter()
-        .filter_map(|&e| pearson(&data.rate_column(e), &power).ok().map(|r| (e, r.abs())))
+        .filter_map(|&e| {
+            pearson(&data.rate_column(e), &power)
+                .ok()
+                .map(|r| (e, r.abs()))
+        })
         .collect();
     pcc_rank.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\nselected counters vs their raw-correlation rank:");
     for s in &report.steps {
-        let rank = pcc_rank.iter().position(|(e, _)| *e == s.event).map(|p| p + 1);
+        let rank = pcc_rank
+            .iter()
+            .position(|(e, _)| *e == s.event)
+            .map(|p| p + 1);
         println!(
             "  {:8} |PCC| rank {:>2} of {}",
             s.event.mnemonic(),

@@ -58,7 +58,10 @@ fn main() {
     kernels.extend(roco2::extended_kernels());
 
     println!("\nlive estimation (1 s windows):");
-    println!("{:<10} {:>5} {:>9} {:>10} {:>7}", "phase", "MHz", "true W", "est. W", "err %");
+    println!(
+        "{:<10} {:>5} {:>9} {:>10} {:>7}",
+        "phase", "MHz", "true W", "est. W", "err %"
+    );
     let mut worst: f64 = 0.0;
     for (i, w) in kernels.iter().enumerate() {
         let freq = [1200u32, 2000, 2600][i % 3];
@@ -75,8 +78,7 @@ fn main() {
             },
         );
         // Counter deltas → rates per available core cycle.
-        let avail =
-            machine.config().total_cores() as f64 * freq as f64 * 1e6 * obs.duration_s;
+        let avail = machine.config().total_cores() as f64 * freq as f64 * 1e6 * obs.duration_s;
         let rates: Vec<f64> = restored
             .events
             .iter()

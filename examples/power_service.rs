@@ -1,0 +1,113 @@
+//! The full service loop in one process: train a model on the
+//! simulated machine, boot the telemetry server on an ephemeral port,
+//! and stream live phases through the wire protocol — the deployable
+//! "software power meter" the paper motivates, as a running service.
+//!
+//! ```text
+//! cargo run --release --example power_service
+//! ```
+
+use pmc_cpusim::{Machine, MachineConfig, PhaseContext};
+use pmc_events::PapiEvent;
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{CounterSample, EngineConfig, PowerClient};
+use pmc_workloads::{roco2, WorkloadSet};
+use std::sync::Arc;
+
+fn main() {
+    // --- Offline: calibrate ----------------------------------------
+    let machine = Machine::new(MachineConfig::haswell_ep(6));
+    let total_cores = machine.config().total_cores();
+    let plan = ExperimentPlan::quick_plan(WorkloadSet::paper_set(), vec![1200, 2000, 2600]);
+    println!("calibration campaign: {} runs…", plan.run_count());
+    let profiles = Campaign::new(&machine, plan).run().expect("acquisition");
+    let data = Dataset::from_profiles(&profiles, total_cores).unwrap();
+    // Six events that fit one counter group (4 programmable + 2 fixed);
+    // a greedy-selected set that needs multiplexing would be *rejected*
+    // by the registry — an online meter cannot re-run the application.
+    let events = vec![
+        PapiEvent::PRF_DM,
+        PapiEvent::REF_CYC,
+        PapiEvent::TOT_CYC,
+        PapiEvent::STL_ICY,
+        PapiEvent::TLB_IM,
+        PapiEvent::FUL_CCY,
+    ];
+    let model = PowerModel::fit(&data, &events).expect("fit");
+    println!(
+        "trained {}-counter model, R² = {:.4}",
+        model.events.len(),
+        model.fit_r_squared
+    );
+
+    // --- Boot the service ------------------------------------------
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        engine: EngineConfig {
+            window: 8,
+            total_cores,
+            staleness_ns: 5_000_000_000,
+        },
+    };
+    let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
+    println!("server listening on {}", server.addr());
+
+    let mut client = PowerClient::connect(server.addr()).unwrap();
+    let version = client.load_model("haswell-ep", &model, true).unwrap();
+    println!("loaded and activated haswell-ep v{version}\n");
+
+    // --- Stream live phases over the wire --------------------------
+    let mut kernels = roco2::kernels();
+    kernels.extend(roco2::extended_kernels());
+    println!(
+        "{:<10} {:>5} {:>9} {:>10} {:>10} {:>6}",
+        "phase", "MHz", "true W", "est. W", "window W", "flags"
+    );
+    for (i, w) in kernels.iter().enumerate() {
+        let freq_mhz = [1200u32, 2000, 2600][i % 3];
+        let phase = &w.phases(24)[0];
+        let obs = machine.observe(
+            &phase.activity,
+            &PhaseContext {
+                workload_id: w.id,
+                phase_id: 0,
+                run_id: 1000 + i as u32,
+                threads: 24,
+                freq_mhz,
+                duration_s: 1.0,
+            },
+        );
+        let sample = CounterSample {
+            time_ns: (i as u64 + 1) * 1_000_000_000,
+            duration_s: obs.duration_s,
+            freq_mhz,
+            voltage: obs.voltage,
+            deltas: events.iter().map(|e| obs.counters[e.index()]).collect(),
+        };
+        let est = client.ingest(&sample).expect("ingest");
+        println!(
+            "{:<10} {:>5} {:>9.1} {:>10.1} {:>10.1} {:>6}",
+            w.name,
+            freq_mhz,
+            obs.power_true,
+            est.power_w,
+            est.window_power_w,
+            if est.out_of_envelope { "OOE" } else { "ok" }
+        );
+    }
+
+    let stats = client.stats().unwrap();
+    let server_stats = stats.field("server").unwrap();
+    println!(
+        "\nserved {} estimates over {} frames — shutting down.",
+        server_stats.u64_field("estimates_served").unwrap(),
+        server_stats.u64_field("frames_received").unwrap()
+    );
+    server.shutdown();
+}

@@ -30,15 +30,17 @@ fn main() {
         plan.experiment_count(),
         plan.run_count()
     );
-    let profiles = Campaign::new(&machine, plan).run().expect("acquisition failed");
+    let profiles = Campaign::new(&machine, plan)
+        .run()
+        .expect("acquisition failed");
     let data = Dataset::from_profiles(&profiles, machine.config().total_cores())
         .expect("dataset assembly failed");
     println!("dataset: {} samples", data.len());
 
     // 3. Select the most informative counters (Algorithm 1) on the
     //    middle frequency.
-    let report = select_events(&data.at_frequency(2000), PapiEvent::ALL, 4)
-        .expect("selection failed");
+    let report =
+        select_events(&data.at_frequency(2000), PapiEvent::ALL, 4).expect("selection failed");
     println!("\nselected counters:");
     for step in &report.steps {
         println!(

@@ -27,7 +27,11 @@ fn main() {
         .selected_events();
     println!(
         "counters: {}",
-        events.iter().map(|e| e.mnemonic()).collect::<Vec<_>>().join(", ")
+        events
+            .iter()
+            .map(|e| e.mnemonic())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     println!("\nscenario MAPE (the paper's Fig. 4):");
@@ -35,7 +39,10 @@ fn main() {
     for scenario in Scenario::paper_scenarios(6) {
         match run_scenario(&data, &events, scenario) {
             Ok(r) => {
-                println!("  scenario {}: {:6.2}%  — {}", r.label, r.mape, r.description);
+                println!(
+                    "  scenario {}: {:6.2}%  — {}",
+                    r.label, r.mape, r.description
+                );
                 if r.label == "2" {
                     scenario2 = Some(r);
                 }

@@ -184,7 +184,9 @@ fn online_prediction_matches_batch_prediction() {
     let model = PowerModel::fit(&data, &events).unwrap();
     for row in data.rows().iter().take(5) {
         let rates: Vec<f64> = model.events.iter().map(|&e| row.rate(e)).collect();
-        let online = model.predict_raw(&rates, row.voltage, row.freq_mhz).unwrap();
+        let online = model
+            .predict_raw(&rates, row.voltage, row.freq_mhz)
+            .unwrap();
         assert!((online - model.predict_row(row)).abs() < 1e-9);
     }
 }

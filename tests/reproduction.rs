@@ -46,7 +46,11 @@ fn table1_selection_shape() {
     let f = fixture();
     assert_eq!(f.report.steps.len(), 6);
     let first = &f.report.steps[0];
-    assert_eq!(first.event, PapiEvent::PRF_DM, "first counter is the prefetch-miss proxy");
+    assert_eq!(
+        first.event,
+        PapiEvent::PRF_DM,
+        "first counter is the prefetch-miss proxy"
+    );
     assert!(
         (0.70..=0.90).contains(&first.r_squared),
         "first-counter R² {}",
@@ -99,8 +103,7 @@ fn seventh_counter_vif_blowup() {
 #[test]
 fn table2_cross_validation_quality() {
     let f = fixture();
-    let (summary, outcomes) =
-        cross_validate_model(&f.data, &f.events, 10, PAPER_SEED).unwrap();
+    let (summary, outcomes) = cross_validate_model(&f.data, &f.events, 10, PAPER_SEED).unwrap();
     assert_eq!(outcomes.len(), 10);
     assert!(summary.r_squared.min > 0.97, "{:?}", summary.r_squared);
     assert!(
@@ -123,8 +126,16 @@ fn fig3_per_workload_error_spread() {
     errors.sort_by(|a, b| a.mape.partial_cmp(&b.mape).unwrap());
     let best = errors.first().unwrap();
     let worst = errors.last().unwrap();
-    assert!(worst.mape > 3.0 * best.mape, "spread {} vs {}", best.mape, worst.mape);
-    assert_eq!(worst.suite, "SPEC OMP2012", "worst workload is an application benchmark");
+    assert!(
+        worst.mape > 3.0 * best.mape,
+        "spread {} vs {}",
+        best.mape,
+        worst.mape
+    );
+    assert_eq!(
+        worst.suite, "SPEC OMP2012",
+        "worst workload is an application benchmark"
+    );
 }
 
 /// Fig. 4: the scenario ordering holds — synthetic-only training is
@@ -136,9 +147,15 @@ fn fig4_scenario_ordering() {
     let mape: Vec<f64> = results.iter().map(|r| r.mape).collect();
     // [random-4, synthetic→SPEC, CV-all, CV-synthetic]
     assert!(mape[1] > mape[2], "scenario 2 must beat CV-all: {mape:?}");
-    assert!(mape[1] > 1.5 * mape[2], "scenario 2 ≥ 1.5× CV-all: {mape:?}");
+    assert!(
+        mape[1] > 1.5 * mape[2],
+        "scenario 2 ≥ 1.5× CV-all: {mape:?}"
+    );
     assert!(mape[3] < mape[2], "synthetic CV is the easiest: {mape:?}");
-    assert!(mape[0] > mape[2], "unseen workloads are harder than CV: {mape:?}");
+    assert!(
+        mape[0] > mape[2],
+        "unseen workloads are harder than CV: {mape:?}"
+    );
 }
 
 /// Fig. 5a: when trained on synthetic kernels only, md and nab are
@@ -193,11 +210,17 @@ fn table4_synthetic_only_selection_unstable() {
     let synth = f.selection.suite("roco2");
     let report = select_events(&synth, PapiEvent::ALL, 6).unwrap();
     let synth_events = report.selected_events();
-    assert_ne!(synth_events, f.events, "different training data, different counters");
+    assert_ne!(
+        synth_events, f.events,
+        "different training data, different counters"
+    );
     let max_vif = report
         .steps
         .iter()
         .filter_map(|s| s.mean_vif)
         .fold(0.0f64, f64::max);
-    assert!(max_vif > 10.0, "synthetic-only VIF must blow up, got {max_vif}");
+    assert!(
+        max_vif > 10.0,
+        "synthetic-only VIF must blow up, got {max_vif}"
+    );
 }

@@ -10,7 +10,7 @@ use pmc_model::dataset::{Dataset, SampleRow};
 use pmc_model::model::PowerModel;
 use pmc_model::selection::select_events;
 use pmc_model::validation::cross_validate_model;
-use pmc_trace::record::{TraceRecord, TraceMeta};
+use pmc_trace::record::{TraceMeta, TraceRecord};
 use pmc_trace::{extract_profiles, merge_runs, PhaseProfile};
 use pmc_workloads::{roco2, WorkloadSet};
 
@@ -19,7 +19,7 @@ fn quick_data(seed: u64) -> (Machine, Dataset) {
     let set = WorkloadSet::from_workloads(
         roco2::kernels()
             .into_iter()
-            .filter(|w| matches!(w.name, "sqrt" | "memory" | "compute", ))
+            .filter(|w| matches!(w.name, "sqrt" | "memory" | "compute",))
             .collect(),
     );
     let plan = ExperimentPlan::quick_plan(set, vec![1200, 2400]);
@@ -40,10 +40,17 @@ fn seed_robustness_of_conclusions() {
             first.category(),
             pmc_events::Category::Prefetch | pmc_events::Category::Cache
         );
-        assert!(memoryish, "seed {seed}: first counter {first} not memory-class");
+        assert!(
+            memoryish,
+            "seed {seed}: first counter {first} not memory-class"
+        );
 
         let model = PowerModel::fit(&data, &report.selected_events()).unwrap();
-        assert!(model.fit_r_squared > 0.9, "seed {seed}: R² {}", model.fit_r_squared);
+        assert!(
+            model.fit_r_squared > 0.9,
+            "seed {seed}: R² {}",
+            model.fit_r_squared
+        );
     }
 }
 
@@ -85,13 +92,8 @@ fn cross_validation_bounds() {
     let (_machine, data) = quick_data(6);
     assert!(cross_validate_model(&data, &[PapiEvent::PRF_DM], 1, 0).is_err());
     assert!(cross_validate_model(&data, &[PapiEvent::PRF_DM], data.len() + 1, 0).is_err());
-    let (summary, _) = cross_validate_model(
-        &data,
-        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC],
-        5,
-        0,
-    )
-    .unwrap();
+    let (summary, _) =
+        cross_validate_model(&data, &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC], 5, 0).unwrap();
     assert!(summary.mape.mean.is_finite());
 }
 
@@ -117,8 +119,8 @@ fn sensor_dropout_detected() {
         .schedule(&[PapiEvent::PRF_DM])
         .unwrap()
         .remove(0);
-    let tracer = pmc_trace::Tracer::new()
-        .with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
+    let tracer =
+        pmc_trace::Tracer::new().with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
     let meta = TraceMeta {
         workload_id: kernel.id,
         workload: kernel.name.into(),
@@ -131,7 +133,10 @@ fn sensor_dropout_detected() {
     let trace = tracer.record_run(meta, &[("main".into(), obs)], &mut rng);
     let profiles = extract_profiles(&trace).unwrap();
     assert!(profiles[0].power_avg.is_none());
-    assert!(merge_runs(&profiles).is_err(), "missing power must fail the merge");
+    assert!(
+        merge_runs(&profiles).is_err(),
+        "missing power must fail the merge"
+    );
 }
 
 /// Missing counter coverage fails dataset assembly with the counter
@@ -160,8 +165,8 @@ fn corrupt_trace_rejected() {
         .schedule(&[PapiEvent::PRF_DM])
         .unwrap()
         .remove(0);
-    let tracer = pmc_trace::Tracer::new()
-        .with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
+    let tracer =
+        pmc_trace::Tracer::new().with_plugin(Box::new(pmc_trace::plugin::PapiPlugin::new(group)));
     let obs = machine.observe(
         &Activity::default(),
         &PhaseContext {
@@ -184,7 +189,9 @@ fn corrupt_trace_rejected() {
     let mut rng = pmc_cpusim::rng::SplitMix64::new(4);
     let mut trace = tracer.record_run(meta, &[("main".into(), obs)], &mut rng);
     // Drop the Leave record: broken nesting.
-    trace.records.retain(|r| !matches!(r, TraceRecord::Leave { .. }));
+    trace
+        .records
+        .retain(|r| !matches!(r, TraceRecord::Leave { .. }));
     assert!(extract_profiles(&trace).is_err());
 }
 

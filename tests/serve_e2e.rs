@@ -1,0 +1,167 @@
+//! End-to-end serving test: train a model offline on the simulated
+//! machine, load it into a live `pmc-serve` server on an ephemeral
+//! port, stream >100 live phases over the wire, and check every online
+//! estimate against the offline `predict_row` reference to 1e-9 W.
+//! Also exercises the failure paths a real deployment hits: a
+//! malformed frame and a mid-stream client disconnect.
+
+use pmc_bench::{paper_machine, quick_dataset};
+use pmc_cpusim::PhaseContext;
+use pmc_events::PapiEvent;
+use pmc_model::dataset::SampleRow;
+use pmc_model::model::PowerModel;
+use pmc_serve::protocol::{read_frame, unwrap_response};
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{CounterSample, EngineConfig, PowerClient};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// Six paper-style events that fit one Haswell counter group: two
+/// fixed riders plus four programmable counters.
+fn servable_events() -> Vec<PapiEvent> {
+    vec![
+        PapiEvent::PRF_DM,
+        PapiEvent::REF_CYC,
+        PapiEvent::TOT_CYC,
+        PapiEvent::STL_ICY,
+        PapiEvent::TLB_IM,
+        PapiEvent::FUL_CCY,
+    ]
+}
+
+#[test]
+fn train_serve_and_stream_live_phases() {
+    // --- Offline: calibrate on the simulated machine ----------------
+    let machine = paper_machine(6);
+    let total_cores = machine.config().total_cores();
+    let data = quick_dataset(&machine);
+    let events = servable_events();
+    let model = PowerModel::fit(&data, &events).expect("fit");
+
+    // --- Serve on an ephemeral port ---------------------------------
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        engine: EngineConfig {
+            window: 8,
+            total_cores,
+            staleness_ns: 5_000_000_000,
+        },
+    };
+    let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
+    let mut client = PowerClient::connect(server.addr()).unwrap();
+    assert_eq!(client.load_model("hsw-ep", &model, true).unwrap(), 1);
+
+    // --- Stream live phases and check against the offline model -----
+    let mut kernels = pmc_workloads::roco2::kernels();
+    kernels.extend(pmc_workloads::roco2::extended_kernels());
+    let freqs = [1200u32, 1600, 2000, 2400];
+    let mut streamed = 0usize;
+    let mut last_t = 0u64;
+    for i in 0..120usize {
+        let w = &kernels[i % kernels.len()];
+        let phase = &w.phases(24)[0];
+        let freq_mhz = freqs[i % freqs.len()];
+        let obs = machine.observe(
+            &phase.activity,
+            &PhaseContext {
+                workload_id: w.id,
+                phase_id: 0,
+                run_id: 5000 + i as u32, // live runs, noise unseen in training
+                threads: 24,
+                freq_mhz,
+                duration_s: 0.25,
+            },
+        );
+        last_t = (i as u64 + 1) * 250_000_000;
+        let sample = CounterSample {
+            time_ns: last_t,
+            duration_s: obs.duration_s,
+            freq_mhz,
+            voltage: obs.voltage,
+            deltas: events.iter().map(|e| obs.counters[e.index()]).collect(),
+        };
+        let est = client.ingest(&sample).expect("ingest");
+
+        // Offline reference: the same deltas through Dataset-style
+        // normalization and PowerModel::predict_row.
+        let avail = total_cores as f64 * freq_mhz as f64 * 1e6 * obs.duration_s;
+        let rates: Vec<f64> = obs.counters.iter().map(|c| c / avail).collect();
+        let row = SampleRow {
+            workload_id: w.id,
+            workload: w.name.to_string(),
+            suite: "roco2".into(),
+            phase: "live".into(),
+            threads: 24,
+            freq_mhz,
+            duration_s: obs.duration_s,
+            voltage: obs.voltage,
+            power: obs.power_measured,
+            rates,
+        };
+        let offline = model.predict_row(&row);
+        assert!(
+            (est.power_w - offline).abs() < 1e-9,
+            "phase {i}: online {} vs offline {offline}",
+            est.power_w
+        );
+        assert_eq!(est.version, 1);
+        streamed += 1;
+    }
+    assert!(streamed >= 100, "streamed only {streamed} phases");
+
+    // --- Estimate op, staleness, envelope ---------------------------
+    let est = client.estimate(last_t).unwrap().expect("estimate");
+    assert!(!est.stale);
+    assert_eq!(est.samples_in_window, 8);
+    let est = client.estimate(last_t + 10_000_000_000).unwrap().unwrap();
+    assert!(
+        est.stale,
+        "estimate 10 s after the last sample must be stale"
+    );
+
+    // An operating point far outside the 1200–2400 MHz training span
+    // must be flagged as extrapolation.
+    let wild = CounterSample {
+        time_ns: last_t + 1,
+        duration_s: 0.25,
+        freq_mhz: 2400,
+        voltage: 2.0,
+        deltas: vec![1e6; events.len()],
+    };
+    assert!(client.ingest(&wild).unwrap().out_of_envelope);
+
+    // --- Malformed frame: answered with an error, server survives ---
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        let garbage = b"\x01\x02this is not json";
+        raw.write_all(&(garbage.len() as u32).to_be_bytes())
+            .unwrap();
+        raw.write_all(garbage).unwrap();
+        let resp = read_frame(&mut raw).unwrap().expect("error frame");
+        assert!(unwrap_response(resp).is_err());
+    }
+
+    // --- Mid-stream disconnect: server keeps serving others ---------
+    {
+        let mut doomed = PowerClient::connect(server.addr()).unwrap();
+        let sample = CounterSample {
+            time_ns: 1,
+            duration_s: 0.25,
+            freq_mhz: 2400,
+            voltage: 1.0,
+            deltas: vec![1e6; events.len()],
+        };
+        doomed.ingest(&sample).unwrap();
+        // Dropped here with a window still open on the server.
+    }
+    let stats = client.stats().unwrap();
+    let server_stats = stats.field("server").unwrap();
+    assert!(server_stats.u64_field("samples_ingested").unwrap() >= 120);
+    assert!(server_stats.u64_field("frames_errored").unwrap() >= 1);
+
+    server.shutdown();
+}
