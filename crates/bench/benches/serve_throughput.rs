@@ -57,6 +57,7 @@ fn main() {
         freq_mhz: row.freq_mhz,
         voltage: row.voltage,
         deltas: events.iter().map(|e| row.rate(*e) * avail).collect(),
+        missing: vec![],
     };
     h.bench("engine_ingest", || {
         engine.ingest(1, &sample, &artifact).unwrap()

@@ -15,7 +15,7 @@
 
 use crate::Result;
 use pmc_cpusim::rng::SplitMix64;
-use pmc_cpusim::{Machine, PhaseContext};
+use pmc_cpusim::{Machine, PhaseContext, PhaseObserver};
 use pmc_events::scheduler::CounterScheduler;
 use pmc_events::PapiEvent;
 use pmc_trace::plugin::{PapiPlugin, PowerPlugin, VoltagePlugin};
@@ -98,15 +98,17 @@ struct Experiment {
     freq_mhz: u32,
 }
 
-/// The campaign driver.
-pub struct Campaign<'m> {
-    machine: &'m Machine,
+/// The campaign driver. Generic over the observer so the same
+/// acquisition pipeline runs against the clean [`Machine`] or a
+/// fault-injecting wrapper (pmc-faults' `FaultyMachine`).
+pub struct Campaign<'m, M: PhaseObserver = Machine> {
+    machine: &'m M,
     plan: ExperimentPlan,
 }
 
-impl<'m> Campaign<'m> {
+impl<'m, M: PhaseObserver> Campaign<'m, M> {
     /// Creates a campaign on a machine.
-    pub fn new(machine: &'m Machine, plan: ExperimentPlan) -> Self {
+    pub fn new(machine: &'m M, plan: ExperimentPlan) -> Self {
         Campaign { machine, plan }
     }
 
@@ -249,7 +251,7 @@ impl<'m> Campaign<'m> {
 
 /// Convenience wrapper: run the paper's full acquisition on a machine
 /// and return the merged profiles.
-pub fn acquire_paper_dataset(machine: &Machine) -> Result<Vec<MergedProfile>> {
+pub fn acquire_paper_dataset<M: PhaseObserver>(machine: &M) -> Result<Vec<MergedProfile>> {
     Campaign::new(machine, ExperimentPlan::paper_plan()).run()
 }
 

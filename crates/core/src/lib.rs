@@ -55,6 +55,7 @@ pub mod criteria;
 pub mod dataset;
 mod error;
 pub mod model;
+pub mod quarantine;
 pub mod report;
 pub mod scenarios;
 pub mod selection;

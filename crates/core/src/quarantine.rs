@@ -1,0 +1,416 @@
+//! Quarantine: typed triage of damaged phase profiles.
+//!
+//! [`Dataset::from_profiles`](crate::dataset::Dataset::from_profiles) treats a
+//! bad profile as a pipeline bug and aborts the whole build — correct
+//! for the clean simulator, wrong for real instrumentation where a few
+//! phases per campaign arrive with sensor dropouts, counter gaps or
+//! saturated counts. [`Dataset::from_profiles_quarantining`] instead
+//! keeps every clean profile, diverts every damaged one into a
+//! [`QuarantineReport`] with typed per-fault reasons, and guarantees
+//! conservativeness: *(kept) ∪ (quarantined) = input*, and a fault-free
+//! campaign quarantines nothing.
+
+use crate::dataset::{Dataset, SampleRow};
+use pmc_events::PapiEvent;
+use pmc_trace::MergedProfile;
+use std::collections::BTreeMap;
+
+/// Why a profile was quarantined. One profile can carry several
+/// reasons (e.g. a sensor dropout and a counter gap in the same
+/// experiment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Duration was non-finite or non-positive.
+    BadDuration,
+    /// Measured power was non-finite or non-positive (sensor dropout).
+    BadPower,
+    /// Measured power exceeded the platform's physical envelope
+    /// (sensor spike).
+    ImplausiblePower,
+    /// Voltage readout was non-finite or outside the regulator's range
+    /// (voltage glitch).
+    BadVoltage,
+    /// Counter coverage was incomplete (multiplexing gap).
+    MissingCounters {
+        /// The uncovered events.
+        missing: Vec<PapiEvent>,
+    },
+    /// A counter value was non-finite (failed counter read).
+    NonFiniteCounter {
+        /// The offending event.
+        event: PapiEvent,
+    },
+    /// A counter implied an impossible event rate (saturation or
+    /// overflow).
+    ImplausibleCounter {
+        /// The offending event.
+        event: PapiEvent,
+    },
+}
+
+impl QuarantineReason {
+    /// Machine-readable class label (snake_case), stable across
+    /// parameterized variants.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuarantineReason::BadDuration => "bad_duration",
+            QuarantineReason::BadPower => "bad_power",
+            QuarantineReason::ImplausiblePower => "implausible_power",
+            QuarantineReason::BadVoltage => "bad_voltage",
+            QuarantineReason::MissingCounters { .. } => "missing_counters",
+            QuarantineReason::NonFiniteCounter { .. } => "non_finite_counter",
+            QuarantineReason::ImplausibleCounter { .. } => "implausible_counter",
+        }
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::MissingCounters { missing } => {
+                write!(f, "missing_counters:{}", missing.len())
+            }
+            QuarantineReason::NonFiniteCounter { event } => {
+                write!(f, "non_finite_counter:{}", event.mnemonic())
+            }
+            QuarantineReason::ImplausibleCounter { event } => {
+                write!(f, "implausible_counter:{}", event.mnemonic())
+            }
+            other => f.write_str(other.label()),
+        }
+    }
+}
+
+/// Plausibility envelope used for triage. The defaults bracket the
+/// simulated Haswell-EP platform generously: no clean campaign phase
+/// comes near them, every injected fault class lands outside.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuarantineConfig {
+    /// Maximum believable machine power, watts.
+    pub max_power_w: f64,
+    /// Minimum believable core voltage, volts.
+    pub min_voltage_v: f64,
+    /// Maximum believable core voltage, volts.
+    pub max_voltage_v: f64,
+    /// Maximum believable event rate per available core cycle.
+    pub max_rate_per_cycle: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            max_power_w: 600.0,
+            min_voltage_v: 0.3,
+            max_voltage_v: 1.6,
+            max_rate_per_cycle: pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE,
+        }
+    }
+}
+
+/// One quarantined profile: its identity plus every reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantinedProfile {
+    /// Workload name.
+    pub workload: String,
+    /// Phase name.
+    pub phase: String,
+    /// Worker threads.
+    pub threads: u32,
+    /// Operating frequency, MHz.
+    pub freq_mhz: u32,
+    /// All triage reasons for this profile (never empty).
+    pub reasons: Vec<QuarantineReason>,
+}
+
+/// The outcome of a quarantining dataset build.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuarantineReport {
+    /// Number of clean profiles kept in the dataset.
+    pub kept: usize,
+    /// The diverted profiles with their reasons.
+    pub quarantined: Vec<QuarantinedProfile>,
+}
+
+impl QuarantineReport {
+    /// Number of quarantined profiles.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// True when nothing was quarantined.
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Per-fault-class counts (by [`QuarantineReason::label`]), summed
+    /// over profiles; a profile with two reasons contributes to both.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut out = BTreeMap::new();
+        for q in &self.quarantined {
+            for r in &q.reasons {
+                *out.entry(r.label()).or_insert(0) += 1;
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "kept {} profiles, quarantined {}",
+            self.kept,
+            self.quarantined.len()
+        )?;
+        if !self.quarantined.is_empty() {
+            write!(f, " (")?;
+            for (i, (label, n)) in self.counts().into_iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{label}={n}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+/// Triage of one merged profile against the plausibility envelope.
+/// Empty result = clean.
+pub fn triage_profile(
+    p: &MergedProfile,
+    total_cores: u32,
+    cfg: &QuarantineConfig,
+) -> Vec<QuarantineReason> {
+    let mut reasons = Vec::new();
+
+    let duration_ok = p.duration_s.is_finite() && p.duration_s > 0.0;
+    if !duration_ok {
+        reasons.push(QuarantineReason::BadDuration);
+    }
+
+    if !p.power_avg.is_finite() || p.power_avg <= 0.0 {
+        reasons.push(QuarantineReason::BadPower);
+    } else if p.power_avg > cfg.max_power_w {
+        reasons.push(QuarantineReason::ImplausiblePower);
+    }
+
+    if !p.voltage_avg.is_finite()
+        || p.voltage_avg < cfg.min_voltage_v
+        || p.voltage_avg > cfg.max_voltage_v
+    {
+        reasons.push(QuarantineReason::BadVoltage);
+    }
+
+    let missing: Vec<PapiEvent> = PapiEvent::ALL
+        .iter()
+        .filter(|e| !p.counters.contains_key(e))
+        .copied()
+        .collect();
+    if !missing.is_empty() {
+        reasons.push(QuarantineReason::MissingCounters { missing });
+    }
+
+    for (&event, &count) in &p.counters {
+        if !count.is_finite() {
+            reasons.push(QuarantineReason::NonFiniteCounter { event });
+        } else if duration_ok {
+            let available = total_cores as f64 * p.freq_mhz as f64 * 1e6 * p.duration_s;
+            if available > 0.0 && count / available > cfg.max_rate_per_cycle {
+                reasons.push(QuarantineReason::ImplausibleCounter { event });
+            }
+        }
+    }
+
+    reasons
+}
+
+impl Dataset {
+    /// Builds a dataset from merged profiles, diverting damaged ones
+    /// into a [`QuarantineReport`] instead of failing the build.
+    ///
+    /// Conservative by construction: every input profile is either a
+    /// row of the returned dataset or an entry in the report, and a
+    /// profile is quarantined only when a typed plausibility check
+    /// fails — a fault-free campaign passes through untouched.
+    pub fn from_profiles_quarantining(
+        profiles: &[MergedProfile],
+        total_cores: u32,
+        cfg: &QuarantineConfig,
+    ) -> (Dataset, QuarantineReport) {
+        let mut rows: Vec<SampleRow> = Vec::with_capacity(profiles.len());
+        let mut report = QuarantineReport::default();
+        for p in profiles {
+            let reasons = triage_profile(p, total_cores, cfg);
+            if reasons.is_empty() {
+                // Triage already guarantees the invariants row
+                // construction checks (positive finite duration, full
+                // coverage), so this cannot fail for a clean profile.
+                match Dataset::row_from_partial_profile(p, total_cores) {
+                    Ok(row) => rows.push(row),
+                    Err(_) => report.quarantined.push(QuarantinedProfile {
+                        workload: p.workload.clone(),
+                        phase: p.phase.clone(),
+                        threads: p.threads,
+                        freq_mhz: p.freq_mhz,
+                        reasons: vec![QuarantineReason::BadDuration],
+                    }),
+                }
+            } else {
+                report.quarantined.push(QuarantinedProfile {
+                    workload: p.workload.clone(),
+                    phase: p.phase.clone(),
+                    threads: p.threads,
+                    freq_mhz: p.freq_mhz,
+                    reasons,
+                });
+            }
+        }
+        report.kept = rows.len();
+        (Dataset::from_rows(rows), report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_profile(freq_mhz: u32) -> MergedProfile {
+        let counters: BTreeMap<PapiEvent, f64> = PapiEvent::ALL
+            .iter()
+            .map(|&e| (e, 1e6 * (e.index() as f64 + 1.0)))
+            .collect();
+        MergedProfile {
+            workload_id: 1,
+            workload: "sqrt".into(),
+            suite: "roco2".into(),
+            threads: 24,
+            freq_mhz,
+            phase: "main".into(),
+            duration_s: 10.0,
+            power_avg: 200.0,
+            voltage_avg: 1.0,
+            counters,
+            runs: 13,
+        }
+    }
+
+    #[test]
+    fn clean_profiles_pass_untouched() {
+        let profiles = vec![clean_profile(1200), clean_profile(2400)];
+        let (d, report) =
+            Dataset::from_profiles_quarantining(&profiles, 24, &QuarantineConfig::default());
+        assert!(report.is_clean());
+        assert_eq!(report.kept, 2);
+        // Identical rows to the strict builder.
+        let strict = Dataset::from_profiles(&profiles, 24).unwrap();
+        assert_eq!(d, strict);
+    }
+
+    #[test]
+    fn each_fault_class_is_typed() {
+        let cfg = QuarantineConfig::default();
+        let cases: Vec<(MergedProfile, &str)> = vec![
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.power_avg = f64::NAN;
+                    p
+                },
+                "bad_power",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.power_avg = 3000.0;
+                    p
+                },
+                "implausible_power",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.voltage_avg = 0.0;
+                    p
+                },
+                "bad_voltage",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.counters.remove(&PapiEvent::BR_MSP);
+                    p
+                },
+                "missing_counters",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.counters.insert(PapiEvent::TOT_CYC, f64::NAN);
+                    p
+                },
+                "non_finite_counter",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.counters.insert(PapiEvent::TOT_CYC, 1e18);
+                    p
+                },
+                "implausible_counter",
+            ),
+            (
+                {
+                    let mut p = clean_profile(2400);
+                    p.duration_s = 0.0;
+                    p
+                },
+                "bad_duration",
+            ),
+        ];
+        for (p, expected) in cases {
+            let reasons = triage_profile(&p, 24, &cfg);
+            assert!(
+                reasons.iter().any(|r| r.label() == expected),
+                "{expected}: got {reasons:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_partition() {
+        let mut profiles = vec![clean_profile(1200), clean_profile(2400)];
+        let mut bad = clean_profile(2000);
+        bad.power_avg = f64::NAN;
+        bad.voltage_avg = f64::NAN;
+        profiles.push(bad);
+        let (d, report) =
+            Dataset::from_profiles_quarantining(&profiles, 24, &QuarantineConfig::default());
+        assert_eq!(d.len() + report.quarantined_count(), profiles.len());
+        assert_eq!(report.kept, d.len());
+        // The bad profile carries both reasons.
+        assert_eq!(
+            report.quarantined[0].reasons.len(),
+            2,
+            "{:?}",
+            report.quarantined[0].reasons
+        );
+    }
+
+    #[test]
+    fn report_counts_and_display() {
+        let mut bad = clean_profile(2400);
+        bad.power_avg = -1.0;
+        let (_, report) = Dataset::from_profiles_quarantining(
+            &[clean_profile(1200), bad],
+            24,
+            &QuarantineConfig::default(),
+        );
+        assert_eq!(report.counts().get("bad_power"), Some(&1));
+        let text = report.to_string();
+        assert!(text.contains("kept 1"), "{text}");
+        assert!(text.contains("bad_power=1"), "{text}");
+    }
+}

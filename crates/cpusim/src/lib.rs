@@ -46,6 +46,6 @@ pub mod sensors;
 
 pub use activity::Activity;
 pub use dvfs::{OperatingPoint, VoltageCurve};
-pub use machine::{Machine, MachineConfig, PhaseContext, PhaseObservation};
+pub use machine::{Machine, MachineConfig, PhaseContext, PhaseObservation, PhaseObserver};
 pub use power::PowerWeights;
 pub use sensors::SensorConfig;

@@ -96,10 +96,80 @@ pub struct PhaseObservation {
     pub duration_s: f64,
 }
 
+impl PhaseObservation {
+    /// Machine-readable defect tokens for an observation, empty when
+    /// the record is clean. Instrumentation faults (sensor dropouts,
+    /// counter saturation, voltage glitches) surface here so that any
+    /// consumer — quarantine, serving, diagnostics — shares one
+    /// vocabulary:
+    ///
+    /// * `non_finite_power` / `non_positive_power`
+    /// * `non_finite_voltage` / `non_positive_voltage`
+    /// * `non_finite_counter:<PAPI name>`
+    /// * `implausible_counter:<PAPI name>` — the counter implies more
+    ///   than [`pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE`] events per
+    ///   active core cycle (saturation/overflow garbage).
+    pub fn defects(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.power_measured.is_finite() {
+            out.push("non_finite_power".to_string());
+        } else if self.power_measured <= 0.0 {
+            out.push("non_positive_power".to_string());
+        }
+        if !self.voltage.is_finite() {
+            out.push("non_finite_voltage".to_string());
+        } else if self.voltage <= 0.0 {
+            out.push("non_positive_voltage".to_string());
+        }
+        let cycles = self.threads as f64
+            * self.freq_mhz as f64
+            * 1e6
+            * self.duration_s.max(f64::MIN_POSITIVE);
+        for (i, &v) in self.counters.iter().enumerate() {
+            let name = pmc_events::PapiEvent::from_index(i).map(|e| e.papi_name());
+            let name = name.unwrap_or_else(|| format!("counter-{i}"));
+            if !v.is_finite() {
+                out.push(format!("non_finite_counter:{name}"));
+            } else if v / cycles > pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE {
+                out.push(format!("implausible_counter:{name}"));
+            }
+        }
+        out
+    }
+
+    /// True when [`defects`](Self::defects) is empty.
+    pub fn is_clean(&self) -> bool {
+        self.defects().is_empty()
+    }
+}
+
+/// Anything that can stand in for the instrumented testbed: given an
+/// activity and a phase context, produce the observation the machine
+/// would have recorded. [`Machine`] is the canonical implementation;
+/// fault-injection wrappers (pmc-faults) implement it to feed the same
+/// acquisition pipeline corrupted telemetry.
+pub trait PhaseObserver: Sync {
+    /// The underlying machine configuration (seed, topology, DVFS).
+    fn config(&self) -> &MachineConfig;
+
+    /// Observes one phase execution.
+    fn observe(&self, activity: &Activity, ctx: &PhaseContext) -> PhaseObservation;
+}
+
 /// The simulated machine.
 #[derive(Debug, Clone)]
 pub struct Machine {
     cfg: MachineConfig,
+}
+
+impl PhaseObserver for Machine {
+    fn config(&self) -> &MachineConfig {
+        Machine::config(self)
+    }
+
+    fn observe(&self, activity: &Activity, ctx: &PhaseContext) -> PhaseObservation {
+        Machine::observe(self, activity, ctx)
+    }
 }
 
 impl Machine {

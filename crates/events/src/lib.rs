@@ -35,3 +35,12 @@ mod set;
 
 pub use event::{Category, PapiEvent};
 pub use set::EventSet;
+
+/// Upper bound on plausible events per *active core cycle* for any
+/// PAPI preset on the modeled platform. Real rates top out at a few
+/// events per cycle (µops, speculative loads); values beyond this
+/// bound can only come from counter saturation/overflow reading
+/// garbage high bits, so every pipeline layer — observation defect
+/// checks, dataset quarantine, the serving engine — treats a rate
+/// above it as instrumentation failure rather than signal.
+pub const MAX_PLAUSIBLE_EVENTS_PER_CYCLE: f64 = 1e3;

@@ -1,0 +1,507 @@
+//! The fault injector: seeded, rate-driven corruption of observations
+//! and traces.
+//!
+//! Every injection decision derives its own RNG from
+//! `(seed, fault stream tag, target coordinates)`, mirroring how the
+//! simulator derives measurement noise — so a chaos campaign is
+//! reproducible and independent of the order targets are processed in.
+
+use pmc_cpusim::rng::SplitMix64;
+use pmc_cpusim::PhaseObservation;
+use pmc_trace::record::{Trace, TraceRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A counter that overflowed reads garbage in its high bits; the
+/// injected count (2⁵⁶) makes the implied event rate exceed
+/// [`pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE`] for any phase the
+/// workloads produce — even after run-merging dilutes a fixed
+/// counter's value across all ~13 acquisition runs — so saturation is
+/// always *detectable* downstream.
+pub const SATURATED_COUNT: f64 = (1u64 << 56) as f64;
+
+/// The failure modes the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Wattmeter misses the phase: measured power becomes NaN.
+    SensorDropout,
+    /// Transient sensor mis-read: measured power multiplied by 8–20×.
+    SensorSpike,
+    /// A scheduled counter group fails to arm: a span of counters
+    /// becomes NaN (the multiplexing hazard).
+    CounterGap,
+    /// Counter overflow: one counter gains [`SATURATED_COUNT`] events.
+    CounterSaturation,
+    /// Voltage regulator readout glitches to NaN.
+    VoltageNan,
+    /// Voltage regulator readout glitches to zero.
+    VoltageZero,
+    /// The trace file loses a chunk of its tail (interrupted write).
+    RecordTruncation,
+    /// A trace record is written twice (double flush).
+    RecordDuplication,
+}
+
+impl FaultKind {
+    /// Every fault kind, in stable order.
+    pub const ALL: [FaultKind; 8] = [
+        FaultKind::SensorDropout,
+        FaultKind::SensorSpike,
+        FaultKind::CounterGap,
+        FaultKind::CounterSaturation,
+        FaultKind::VoltageNan,
+        FaultKind::VoltageZero,
+        FaultKind::RecordTruncation,
+        FaultKind::RecordDuplication,
+    ];
+
+    /// Stable index into per-kind tables.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::SensorDropout => 0,
+            FaultKind::SensorSpike => 1,
+            FaultKind::CounterGap => 2,
+            FaultKind::CounterSaturation => 3,
+            FaultKind::VoltageNan => 4,
+            FaultKind::VoltageZero => 5,
+            FaultKind::RecordTruncation => 6,
+            FaultKind::RecordDuplication => 7,
+        }
+    }
+
+    /// RNG stream tag. Offset past the machine's own stream tags (1–4)
+    /// so fault decisions never correlate with measurement noise.
+    fn stream_tag(self) -> u64 {
+        10 + self.index() as u64
+    }
+
+    /// Machine-readable label (snake_case), used in reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::SensorDropout => "sensor_dropout",
+            FaultKind::SensorSpike => "sensor_spike",
+            FaultKind::CounterGap => "counter_gap",
+            FaultKind::CounterSaturation => "counter_saturation",
+            FaultKind::VoltageNan => "voltage_nan",
+            FaultKind::VoltageZero => "voltage_zero",
+            FaultKind::RecordTruncation => "record_truncation",
+            FaultKind::RecordDuplication => "record_duplication",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class injection probabilities, each in `[0, 1]`, applied per
+/// target (observation, trace, or trace record depending on the class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// P(sensor dropout) per observation.
+    pub sensor_dropout: f64,
+    /// P(sensor spike) per observation.
+    pub sensor_spike: f64,
+    /// P(counter group gap) per observation.
+    pub counter_gap: f64,
+    /// P(counter saturation) per observation.
+    pub counter_saturation: f64,
+    /// P(NaN voltage readout) per observation.
+    pub voltage_nan: f64,
+    /// P(zero voltage readout) per observation.
+    pub voltage_zero: f64,
+    /// P(tail truncation) per trace.
+    pub record_truncation: f64,
+    /// P(duplication) per trace record.
+    pub record_duplication: f64,
+}
+
+impl FaultRates {
+    /// All rates zero — a transparent injector.
+    pub fn none() -> Self {
+        FaultRates {
+            sensor_dropout: 0.0,
+            sensor_spike: 0.0,
+            counter_gap: 0.0,
+            counter_saturation: 0.0,
+            voltage_nan: 0.0,
+            voltage_zero: 0.0,
+            record_truncation: 0.0,
+            record_duplication: 0.0,
+        }
+    }
+
+    /// Every class at the same rate `p`.
+    pub fn uniform(p: f64) -> Self {
+        FaultRates {
+            sensor_dropout: p,
+            sensor_spike: p,
+            counter_gap: p,
+            counter_saturation: p,
+            voltage_nan: p,
+            voltage_zero: p,
+            record_truncation: p,
+            record_duplication: p,
+        }
+    }
+
+    /// The rate for one class.
+    pub fn rate(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::SensorDropout => self.sensor_dropout,
+            FaultKind::SensorSpike => self.sensor_spike,
+            FaultKind::CounterGap => self.counter_gap,
+            FaultKind::CounterSaturation => self.counter_saturation,
+            FaultKind::VoltageNan => self.voltage_nan,
+            FaultKind::VoltageZero => self.voltage_zero,
+            FaultKind::RecordTruncation => self.record_truncation,
+            FaultKind::RecordDuplication => self.record_duplication,
+        }
+    }
+
+    /// True when every rate is zero.
+    pub fn is_zero(&self) -> bool {
+        FaultKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        FaultRates::none()
+    }
+}
+
+/// Thread-safe tally of injected faults, per class. Tests compare this
+/// against what quarantine and degraded-mode accounting report to prove
+/// nothing slips through uncounted.
+#[derive(Debug, Default)]
+pub struct FaultLog {
+    counts: [AtomicU64; 8],
+}
+
+impl FaultLog {
+    /// Records one injection of `kind`.
+    pub fn record(&self, kind: FaultKind) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of injections of `kind` so far.
+    pub fn count(&self, kind: FaultKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all classes.
+    pub fn total(&self) -> u64 {
+        FaultKind::ALL.iter().map(|&k| self.count(k)).sum()
+    }
+
+    /// True when nothing has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Per-class counts in [`FaultKind::ALL`] order (zero entries
+    /// included).
+    pub fn snapshot(&self) -> Vec<(FaultKind, u64)> {
+        FaultKind::ALL.iter().map(|&k| (k, self.count(k))).collect()
+    }
+}
+
+impl std::fmt::Display for FaultLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for (kind, n) in self.snapshot() {
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{kind}={n}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "no faults injected")?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic fault injector.
+///
+/// Corruption methods take the *coordinates* of their target (the same
+/// ids the simulator seeds noise from); identical `(seed, rates,
+/// coordinates)` always produce identical corruption.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    seed: u64,
+    rates: FaultRates,
+    log: FaultLog,
+}
+
+impl FaultInjector {
+    /// Creates an injector.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        FaultInjector {
+            seed,
+            rates,
+            log: FaultLog::default(),
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &FaultRates {
+        &self.rates
+    }
+
+    /// The tally of injections performed so far.
+    pub fn log(&self) -> &FaultLog {
+        &self.log
+    }
+
+    /// Rolls the dice for one fault class at one target. On a hit,
+    /// returns the derived RNG (for drawing fault parameters) and logs
+    /// the injection.
+    fn roll(&self, kind: FaultKind, coords: &[u64]) -> Option<SplitMix64> {
+        let rate = self.rates.rate(kind).clamp(0.0, 1.0);
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut full = Vec::with_capacity(coords.len() + 1);
+        full.push(kind.stream_tag());
+        full.extend_from_slice(coords);
+        let mut rng = SplitMix64::derive(self.seed, &full);
+        if rng.next_f64() < rate {
+            self.log.record(kind);
+            Some(rng)
+        } else {
+            None
+        }
+    }
+
+    /// Applies observation-level fault classes to one observation.
+    /// `coords` identify the observation (workload, phase, run,
+    /// threads, frequency). Returns the classes that fired.
+    pub fn corrupt_observation(
+        &self,
+        obs: &mut PhaseObservation,
+        coords: &[u64],
+    ) -> Vec<FaultKind> {
+        let mut fired = Vec::new();
+
+        if self.roll(FaultKind::SensorDropout, coords).is_some() {
+            obs.power_measured = f64::NAN;
+            fired.push(FaultKind::SensorDropout);
+        }
+        if let Some(mut rng) = self.roll(FaultKind::SensorSpike, coords) {
+            // Far outside the machine's physical envelope (≤ ~500 W),
+            // so spikes are always distinguishable from hot phases.
+            obs.power_measured *= rng.uniform(8.0, 20.0);
+            fired.push(FaultKind::SensorSpike);
+        }
+        if let Some(mut rng) = self.roll(FaultKind::CounterGap, coords) {
+            // One hardware group (3 fixed + 4 programmable slots)
+            // fails to arm: a span of counters yields no data.
+            let width = obs.counters.len().min(4);
+            if width > 0 {
+                let start = rng.below(obs.counters.len() - width + 1);
+                for c in &mut obs.counters[start..start + width] {
+                    *c = f64::NAN;
+                }
+                fired.push(FaultKind::CounterGap);
+            }
+        }
+        if let Some(mut rng) = self.roll(FaultKind::CounterSaturation, coords) {
+            if !obs.counters.is_empty() {
+                let i = rng.below(obs.counters.len());
+                obs.counters[i] += SATURATED_COUNT;
+                fired.push(FaultKind::CounterSaturation);
+            }
+        }
+        if self.roll(FaultKind::VoltageNan, coords).is_some() {
+            obs.voltage = f64::NAN;
+            fired.push(FaultKind::VoltageNan);
+        }
+        if self.roll(FaultKind::VoltageZero, coords).is_some() {
+            // If both voltage faults fire, zero wins — still a defect.
+            obs.voltage = 0.0;
+            fired.push(FaultKind::VoltageZero);
+        }
+        fired
+    }
+
+    /// Applies trace-level fault classes: per-record duplication and
+    /// per-trace tail truncation (in that order — a duplicated record
+    /// can also fall victim to the lost tail, as on a real filesystem).
+    /// Returns the classes that fired.
+    pub fn corrupt_trace(&self, trace: &mut Trace, coords: &[u64]) -> Vec<FaultKind> {
+        let mut fired = Vec::new();
+
+        let mut out: Vec<TraceRecord> = Vec::with_capacity(trace.records.len());
+        let mut duplicated = false;
+        for (i, rec) in trace.records.iter().enumerate() {
+            out.push(rec.clone());
+            let mut c = coords.to_vec();
+            c.push(i as u64);
+            if self.roll(FaultKind::RecordDuplication, &c).is_some() {
+                out.push(rec.clone());
+                duplicated = true;
+            }
+        }
+        if duplicated {
+            fired.push(FaultKind::RecordDuplication);
+        }
+        trace.records = out;
+
+        if let Some(mut rng) = self.roll(FaultKind::RecordTruncation, coords) {
+            let n = trace.records.len();
+            if n > 0 {
+                // Lose between one record and a quarter of the stream.
+                let cut = 1 + rng.below((n / 4).max(1));
+                trace.records.truncate(n - cut);
+                fired.push(FaultKind::RecordTruncation);
+            }
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext};
+
+    fn observation() -> PhaseObservation {
+        Machine::new(MachineConfig::haswell_ep(5)).observe(
+            &Activity::default(),
+            &PhaseContext {
+                workload_id: 1,
+                phase_id: 0,
+                run_id: 0,
+                threads: 24,
+                freq_mhz: 2400,
+                duration_s: 10.0,
+            },
+        )
+    }
+
+    #[test]
+    fn zero_rates_touch_nothing() {
+        let inj = FaultInjector::new(1, FaultRates::none());
+        let mut obs = observation();
+        let clean = obs.clone();
+        for run in 0..50u64 {
+            assert!(inj.corrupt_observation(&mut obs, &[1, 0, run]).is_empty());
+        }
+        assert_eq!(obs, clean);
+        assert!(inj.log().is_empty());
+    }
+
+    #[test]
+    fn certain_rates_always_fire() {
+        let inj = FaultInjector::new(1, FaultRates::uniform(1.0));
+        let mut obs = observation();
+        let fired = inj.corrupt_observation(&mut obs, &[1, 0, 0]);
+        assert!(fired.contains(&FaultKind::SensorDropout));
+        assert!(fired.contains(&FaultKind::CounterGap));
+        assert!(obs.power_measured.is_nan());
+        assert_eq!(obs.voltage, 0.0); // zero wins over NaN
+        assert!(obs.counters.iter().any(|c| c.is_nan()));
+        assert!(!obs.is_clean());
+    }
+
+    #[test]
+    fn corruption_is_deterministic_in_seed_and_coords() {
+        let a = FaultInjector::new(9, FaultRates::uniform(0.5));
+        let b = FaultInjector::new(9, FaultRates::uniform(0.5));
+        for run in 0..20u64 {
+            let mut oa = observation();
+            let mut ob = observation();
+            assert_eq!(
+                a.corrupt_observation(&mut oa, &[3, run]),
+                b.corrupt_observation(&mut ob, &[3, run])
+            );
+            // Debug form, because injected NaNs defeat PartialEq.
+            assert_eq!(format!("{oa:?}"), format!("{ob:?}"));
+        }
+        assert_eq!(a.log().total(), b.log().total());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let hits = |seed: u64| -> u64 {
+            let inj = FaultInjector::new(seed, FaultRates::uniform(0.3));
+            for run in 0..64u64 {
+                let mut o = observation();
+                inj.corrupt_observation(&mut o, &[run]);
+            }
+            inj.log().total()
+        };
+        // With 6 classes × 64 targets at 30%, identical totals from
+        // independent streams are vanishingly unlikely to persist
+        // across all three pairs.
+        let (a, b, c) = (hits(1), hits(2), hits(3));
+        assert!(a != b || b != c, "suspiciously identical: {a} {b} {c}");
+    }
+
+    #[test]
+    fn injection_rate_close_to_requested() {
+        let inj = FaultInjector::new(42, FaultRates::uniform(0.2));
+        let n = 500u64;
+        for run in 0..n {
+            let mut o = observation();
+            inj.corrupt_observation(&mut o, &[run]);
+        }
+        for kind in [
+            FaultKind::SensorDropout,
+            FaultKind::CounterGap,
+            FaultKind::VoltageNan,
+        ] {
+            let observed = inj.log().count(kind) as f64 / n as f64;
+            assert!(
+                (observed - 0.2).abs() < 0.06,
+                "{kind}: observed rate {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_is_detectable_via_defects() {
+        let rates = FaultRates {
+            counter_saturation: 1.0,
+            ..FaultRates::none()
+        };
+        let inj = FaultInjector::new(7, rates);
+        let mut obs = observation();
+        inj.corrupt_observation(&mut obs, &[1]);
+        let defects = obs.defects();
+        assert_eq!(defects.len(), 1);
+        assert!(
+            defects[0].starts_with("implausible_counter:PAPI_"),
+            "{defects:?}"
+        );
+    }
+
+    #[test]
+    fn spike_is_out_of_envelope() {
+        let rates = FaultRates {
+            sensor_spike: 1.0,
+            ..FaultRates::none()
+        };
+        let inj = FaultInjector::new(7, rates);
+        let mut obs = observation();
+        let before = obs.power_measured;
+        inj.corrupt_observation(&mut obs, &[1]);
+        assert!(obs.power_measured >= 8.0 * before);
+    }
+
+    #[test]
+    fn log_displays_counts() {
+        let inj = FaultInjector::new(3, FaultRates::uniform(1.0));
+        let mut obs = observation();
+        inj.corrupt_observation(&mut obs, &[0]);
+        let text = inj.log().to_string();
+        assert!(text.contains("sensor_dropout=1"), "{text}");
+        assert_eq!(FaultLog::default().to_string(), "no faults injected");
+    }
+}

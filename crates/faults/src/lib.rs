@@ -1,0 +1,37 @@
+//! # pmc-faults
+//!
+//! Deterministic, seeded fault injection for the acquisition→serve
+//! pipeline. The paper's workflow rests on fallible instrumentation:
+//! multiplexed counter runs that must be merged, external calibrated
+//! power sensors, and trace files moved between systems. This crate
+//! reproduces the failure modes that instrumentation exhibits in the
+//! field so every consumer can be tested against them:
+//!
+//! * **sensor dropout** — the wattmeter misses a phase (no power
+//!   samples → `NaN` average),
+//! * **sensor spike** — a transient mis-read multiplies the measured
+//!   power by a large factor,
+//! * **counter gap** — a scheduled counter group fails to arm for a
+//!   phase, so a slice of events is missing (the multiplexing hazard),
+//! * **counter saturation** — a counter overflows and reports a value
+//!   physically impossible for the interval,
+//! * **voltage NaN / zero** — the voltage regulator readout glitches,
+//! * **record truncation / duplication** — the trace file loses its
+//!   tail or repeats records (interrupted writes, double flushes).
+//!
+//! Every decision is derived from `(seed, fault-class, coordinates)`
+//! with [`pmc_cpusim::rng::SplitMix64`], so a chaos campaign is fully
+//! reproducible and independent of execution order, exactly like the
+//! simulator itself. The [`FaultLog`] counts what was actually
+//! injected, letting tests assert that quarantine and degraded-mode
+//! accounting are *conservative* (nothing injected goes unnoticed,
+//! nothing clean is discarded).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod injector;
+pub mod machine;
+
+pub use injector::{FaultInjector, FaultKind, FaultLog, FaultRates};
+pub use machine::FaultyMachine;

@@ -1,0 +1,127 @@
+//! A fault-injecting wrapper around the simulated machine.
+
+use crate::injector::{FaultInjector, FaultRates};
+use pmc_cpusim::{Activity, Machine, MachineConfig, PhaseContext, PhaseObservation, PhaseObserver};
+
+/// A [`Machine`] whose observations pass through a [`FaultInjector`]
+/// before the acquisition pipeline sees them. Implements
+/// [`PhaseObserver`], so a `Campaign` runs on it unchanged — which is
+/// exactly the point: the consumers must cope, not the producer.
+#[derive(Debug)]
+pub struct FaultyMachine {
+    machine: Machine,
+    injector: FaultInjector,
+}
+
+impl FaultyMachine {
+    /// Wraps a machine with fault injection. `fault_seed` is
+    /// independent of the machine seed so the same workload noise can
+    /// be replayed under different fault schedules.
+    pub fn new(machine: Machine, fault_seed: u64, rates: FaultRates) -> Self {
+        FaultyMachine {
+            machine,
+            injector: FaultInjector::new(fault_seed, rates),
+        }
+    }
+
+    /// The underlying clean machine.
+    pub fn inner(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The injector (rates and the log of injections performed).
+    pub fn injector(&self) -> &FaultInjector {
+        &self.injector
+    }
+}
+
+impl PhaseObserver for FaultyMachine {
+    fn config(&self) -> &MachineConfig {
+        self.machine.config()
+    }
+
+    fn observe(&self, activity: &Activity, ctx: &PhaseContext) -> PhaseObservation {
+        let mut obs = self.machine.observe(activity, ctx);
+        self.injector.corrupt_observation(
+            &mut obs,
+            &[
+                ctx.workload_id as u64,
+                ctx.phase_id as u64,
+                ctx.run_id as u64,
+                ctx.threads as u64,
+                ctx.freq_mhz as u64,
+            ],
+        );
+        obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_cpusim::MachineConfig;
+
+    fn ctx(run: u32) -> PhaseContext {
+        PhaseContext {
+            workload_id: 1,
+            phase_id: 0,
+            run_id: run,
+            threads: 24,
+            freq_mhz: 2400,
+            duration_s: 10.0,
+        }
+    }
+
+    #[test]
+    fn transparent_at_zero_rates() {
+        let clean = Machine::new(MachineConfig::haswell_ep(8));
+        let faulty = FaultyMachine::new(clean.clone(), 99, FaultRates::none());
+        let a = clean.observe(&Activity::default(), &ctx(0));
+        let b = PhaseObserver::observe(&faulty, &Activity::default(), &ctx(0));
+        assert_eq!(a, b);
+        assert!(faulty.injector().log().is_empty());
+    }
+
+    #[test]
+    fn faults_depend_on_fault_seed_not_machine_seed() {
+        let machine = Machine::new(MachineConfig::haswell_ep(8));
+        let f1 = FaultyMachine::new(machine.clone(), 1, FaultRates::uniform(0.5));
+        let f2 = FaultyMachine::new(machine, 2, FaultRates::uniform(0.5));
+        // Debug form, because injected NaNs defeat PartialEq.
+        let differs = (0..32).any(|run| {
+            format!(
+                "{:?}",
+                PhaseObserver::observe(&f1, &Activity::default(), &ctx(run))
+            ) != format!(
+                "{:?}",
+                PhaseObserver::observe(&f2, &Activity::default(), &ctx(run))
+            )
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn observations_remain_deterministic() {
+        let mk = || {
+            FaultyMachine::new(
+                Machine::new(MachineConfig::haswell_ep(8)),
+                7,
+                FaultRates::uniform(0.3),
+            )
+        };
+        let (f1, f2) = (mk(), mk());
+        for run in 0..16 {
+            // Debug form, because injected NaNs defeat PartialEq.
+            assert_eq!(
+                format!(
+                    "{:?}",
+                    PhaseObserver::observe(&f1, &Activity::default(), &ctx(run))
+                ),
+                format!(
+                    "{:?}",
+                    PhaseObserver::observe(&f2, &Activity::default(), &ctx(run))
+                )
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Conservativeness properties of the damage-tolerant pipeline.
+//!
+//! The full acquisition path — observe → trace → corrupt → sanitize →
+//! extract → merge → quarantining dataset build — must partition its
+//! input exactly: every merged profile ends up either as a dataset row
+//! or as a typed quarantine entry, never both, never neither. And a
+//! fault-free campaign must pass through byte-identical to the strict
+//! builder, proving the tolerant path discards nothing clean.
+
+use pmc_cpusim::rng::SplitMix64;
+use pmc_cpusim::{Machine, MachineConfig, PhaseContext, PhaseObserver};
+use pmc_events::scheduler::CounterScheduler;
+use pmc_events::PapiEvent;
+use pmc_faults::{FaultRates, FaultyMachine};
+use pmc_model::dataset::Dataset;
+use pmc_model::quarantine::{QuarantineConfig, QuarantineReport};
+use pmc_trace::plugin::{PapiPlugin, PowerPlugin, VoltagePlugin};
+use pmc_trace::record::TraceMeta;
+use pmc_trace::{extract_profiles, merge_runs, sanitize_trace, MergedProfile, Tracer};
+
+/// Runs a small acquisition campaign on a fault-injecting machine,
+/// corrupting each trace file on "disk" as well, and returns the
+/// merged profiles that survive sanitation plus the quarantining
+/// dataset build over them.
+fn faulty_campaign(
+    machine_seed: u64,
+    fault_seed: u64,
+    rates: FaultRates,
+) -> (Vec<MergedProfile>, Dataset, QuarantineReport, u64) {
+    let machine = Machine::new(MachineConfig::haswell_ep(machine_seed));
+    let total_cores = machine.config().total_cores();
+    let faulty = FaultyMachine::new(machine.clone(), fault_seed, rates);
+
+    let kernels: Vec<_> = pmc_workloads::roco2::kernels()
+        .into_iter()
+        .filter(|w| w.name == "sqrt" || w.name == "memory")
+        .collect();
+    let groups = CounterScheduler::haswell_default()
+        .schedule(PapiEvent::ALL)
+        .expect("schedule");
+
+    let mut profiles = Vec::new();
+    for w in &kernels {
+        for &threads in w.thread_counts() {
+            for freq_mhz in [1200u32, 2400] {
+                let phases = w.phases(threads);
+                for (run_id, group) in groups.iter().enumerate() {
+                    let observations: Vec<_> = phases
+                        .iter()
+                        .enumerate()
+                        .map(|(phase_id, p)| {
+                            let obs = faulty.observe(
+                                &p.activity,
+                                &PhaseContext {
+                                    workload_id: w.id,
+                                    phase_id: phase_id as u32,
+                                    run_id: run_id as u32,
+                                    threads,
+                                    freq_mhz,
+                                    duration_s: p.duration_s,
+                                },
+                            );
+                            (p.name.clone(), obs)
+                        })
+                        .collect();
+                    let tracer = Tracer::new()
+                        .with_plugin(Box::new(PowerPlugin::default()))
+                        .with_plugin(Box::new(VoltagePlugin::default()))
+                        .with_plugin(Box::new(PapiPlugin::new(group.clone())));
+                    let meta = TraceMeta {
+                        workload_id: w.id,
+                        workload: w.name.to_string(),
+                        suite: w.suite.to_string(),
+                        threads,
+                        freq_mhz,
+                        run_id: run_id as u32,
+                    };
+                    let mut rng = SplitMix64::derive(
+                        machine.config().seed,
+                        &[
+                            4,
+                            w.id as u64,
+                            threads as u64,
+                            freq_mhz as u64,
+                            run_id as u64,
+                        ],
+                    );
+                    let mut trace = tracer.record_run(meta, &observations, &mut rng);
+                    // The trace file takes its own damage on the way.
+                    faulty.injector().corrupt_trace(
+                        &mut trace,
+                        &[w.id as u64, threads as u64, freq_mhz as u64, run_id as u64],
+                    );
+                    sanitize_trace(&mut trace);
+                    profiles.extend(extract_profiles(&trace).expect("sanitized trace extracts"));
+                }
+            }
+        }
+    }
+    let merged = merge_runs(&profiles).expect("merge");
+    let (dataset, report) =
+        Dataset::from_profiles_quarantining(&merged, total_cores, &QuarantineConfig::default());
+    let injected = faulty.injector().log().total();
+    (merged, dataset, report, injected)
+}
+
+#[test]
+fn fault_free_campaign_quarantines_nothing() {
+    let (merged, dataset, report, injected) = faulty_campaign(11, 1, FaultRates::none());
+    assert_eq!(injected, 0);
+    assert!(report.is_clean(), "{report}");
+    assert_eq!(report.kept, merged.len());
+    // The tolerant build equals the strict build on clean input.
+    let strict = Dataset::from_profiles(&merged, 24).expect("strict build");
+    assert_eq!(dataset, strict);
+}
+
+#[test]
+fn kept_plus_quarantined_equals_input_across_fault_seeds() {
+    for fault_seed in [1u64, 7, 23, 99] {
+        let (merged, dataset, report, injected) =
+            faulty_campaign(11, fault_seed, FaultRates::uniform(0.08));
+        assert!(injected > 0, "seed {fault_seed}: no faults injected");
+        // The partition property: nothing lost, nothing duplicated.
+        assert_eq!(
+            dataset.len() + report.quarantined_count(),
+            merged.len(),
+            "seed {fault_seed}: {report}"
+        );
+        assert_eq!(report.kept, dataset.len());
+        // Every quarantined entry carries at least one typed reason.
+        for q in &report.quarantined {
+            assert!(
+                !q.reasons.is_empty(),
+                "seed {fault_seed}: {}/{} quarantined without a reason",
+                q.workload,
+                q.phase
+            );
+        }
+        // Every kept row is plausible: the quarantine let nothing
+        // damaged through.
+        let cfg = QuarantineConfig::default();
+        for row in dataset.rows() {
+            assert!(row.power.is_finite() && row.power > 0.0 && row.power <= cfg.max_power_w);
+            assert!(row.voltage >= cfg.min_voltage_v && row.voltage <= cfg.max_voltage_v);
+            assert!(row.duration_s.is_finite() && row.duration_s > 0.0);
+            for &r in &row.rates {
+                assert!(r.is_finite() && r <= cfg.max_rate_per_cycle);
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_campaign_is_deterministic() {
+    let (_, d1, r1, n1) = faulty_campaign(11, 7, FaultRates::uniform(0.08));
+    let (_, d2, r2, n2) = faulty_campaign(11, 7, FaultRates::uniform(0.08));
+    assert_eq!(n1, n2);
+    assert_eq!(r1, r2);
+    assert_eq!(d1, d2);
+}

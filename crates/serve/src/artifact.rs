@@ -38,10 +38,35 @@ impl ModelArtifact {
     /// Checks that this model can be served online: its event set must
     /// schedule into one counter group on the given hardware. Returns
     /// the group a runtime would program.
+    ///
+    /// The name must be filesystem-safe (`[A-Za-z0-9._-]`, ≤ 64 chars,
+    /// no leading dot) because the registry persists artifacts under
+    /// it — a name is never allowed to become a path traversal.
     pub fn validate(&self, scheduler: &CounterScheduler) -> Result<CounterGroup, ServeError> {
         if self.name.is_empty() {
             return Err(ServeError::Registry {
                 reason: "artifact name must not be empty".into(),
+            });
+        }
+        if self.name.len() > 64 {
+            return Err(ServeError::Registry {
+                reason: format!("artifact name exceeds 64 characters ({})", self.name.len()),
+            });
+        }
+        if self.name.starts_with('.') {
+            return Err(ServeError::Registry {
+                reason: "artifact name must not start with '.'".into(),
+            });
+        }
+        if let Some(c) = self
+            .name
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+        {
+            return Err(ServeError::Registry {
+                reason: format!(
+                    "artifact name contains {c:?}; allowed: ASCII letters, digits, '.', '_', '-'"
+                ),
             });
         }
         Ok(scheduler.validate_single_run(&self.model.events)?)
@@ -135,6 +160,31 @@ mod tests {
             a.validate(&CounterScheduler::haswell_default()),
             Err(ServeError::Registry { .. })
         ));
+    }
+
+    #[test]
+    fn unsafe_names_rejected() {
+        let sched = CounterScheduler::haswell_default();
+        for bad in [
+            "../escape",
+            "a/b",
+            "a\\b",
+            "nul\0byte",
+            ".hidden",
+            "..",
+            "spa ce",
+            &"x".repeat(65),
+        ] {
+            let a = ModelArtifact::new(bad, tiny_model());
+            assert!(
+                matches!(a.validate(&sched), Err(ServeError::Registry { .. })),
+                "name {bad:?} must be rejected"
+            );
+        }
+        for good in ["hsw", "haswell-ep_v2.1", "A.B-c_9"] {
+            let a = ModelArtifact::new(good, tiny_model());
+            assert!(a.validate(&sched).is_ok(), "name {good:?} must be accepted");
+        }
     }
 
     #[test]

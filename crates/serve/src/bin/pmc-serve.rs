@@ -2,13 +2,24 @@
 //!
 //! ```text
 //! pmc-serve serve  [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]
+//!                  [--persist DIR] [--read-timeout-ms N] [--write-timeout-ms N]
+//!                  [--idle-timeout-ms N] [--max-frame-bytes N]
 //! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)
+//! pmc-serve chaos  [--seed N] [--fault-seed N] [--rate P] [--phases N]
 //! ```
 //!
 //! `serve` binds (default `127.0.0.1:7717`), optionally pre-loads and
 //! activates model artifacts from JSON files, prints the bound
 //! address, and runs until stdin closes (pipe `/dev/null` to run until
-//! killed; an orchestrator holds the pipe open).
+//! killed; an orchestrator holds the pipe open). With `--persist DIR`
+//! the registry survives restarts: models and the active pointer are
+//! written atomically and recovered on startup.
+//!
+//! `chaos` is a self-contained fault-tolerance demo: it trains a model
+//! on the simulated machine, serves it on an ephemeral port, streams
+//! phases through a seeded fault injector at the given `--rate`, and
+//! reports injected-fault counts, degraded estimates, and estimation
+//! error during and after the fault storm.
 
 use pmc_serve::registry::ModelRegistry;
 use pmc_serve::server::{PowerServer, ServerConfig};
@@ -22,9 +33,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("client") => client(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         _ => {
             eprintln!("usage: pmc-serve serve [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]");
+            eprintln!("                       [--persist DIR] [--read-timeout-ms N] [--write-timeout-ms N]");
+            eprintln!("                       [--idle-timeout-ms N] [--max-frame-bytes N]");
             eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)");
+            eprintln!("       pmc-serve chaos [--seed N] [--fault-seed N] [--rate P] [--phases N]");
             return ExitCode::from(2);
         }
     };
@@ -60,8 +75,49 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(c) = flag_value(args, "--cores") {
         config.engine.total_cores = c.parse()?;
     }
+    // Deadline knobs: 0 disables.
+    let ms_flag =
+        |flag: &str| -> Result<Option<Option<std::time::Duration>>, std::num::ParseIntError> {
+            match flag_value(args, flag) {
+                Some(v) => {
+                    let ms: u64 = v.parse()?;
+                    Ok(Some((ms > 0).then(|| std::time::Duration::from_millis(ms))))
+                }
+                None => Ok(None),
+            }
+        };
+    if let Some(t) = ms_flag("--read-timeout-ms")? {
+        config.read_timeout = t;
+    }
+    if let Some(t) = ms_flag("--write-timeout-ms")? {
+        config.write_timeout = t;
+    }
+    if let Some(t) = ms_flag("--idle-timeout-ms")? {
+        config.idle_timeout = t;
+    }
+    if let Some(b) = flag_value(args, "--max-frame-bytes") {
+        config.max_frame_bytes = b.parse()?;
+    }
 
-    let registry = Arc::new(ModelRegistry::default());
+    let registry = match flag_value(args, "--persist") {
+        Some(dir) => {
+            let (registry, report) = ModelRegistry::with_persistence(
+                pmc_events::scheduler::CounterScheduler::haswell_default(),
+                dir,
+            )?;
+            for (name, version) in &report.loaded {
+                eprintln!("recovered {name} v{version} from {dir}");
+            }
+            for (file, why) in &report.skipped {
+                eprintln!("skipped {file}: {why}");
+            }
+            if let Some((name, version)) = &report.active_restored {
+                eprintln!("restored active model {name} v{version}");
+            }
+            Arc::new(registry)
+        }
+        None => Arc::new(ModelRegistry::default()),
+    };
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--model" {
@@ -140,5 +196,134 @@ fn client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             return Err(format!("unknown client verb {other:?}").into());
         }
     }
+    Ok(())
+}
+
+/// Self-contained fault-tolerance demo: train → serve → stream phases
+/// through a seeded fault injector → report degradation and recovery.
+fn chaos(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use pmc_cpusim::{Machine, MachineConfig, PhaseContext, PhaseObserver};
+    use pmc_events::PapiEvent;
+    use pmc_faults::{FaultRates, FaultyMachine};
+    use pmc_model::acquisition::{Campaign, ExperimentPlan};
+    use pmc_model::dataset::Dataset;
+    use pmc_model::model::PowerModel;
+    use pmc_serve::{CounterSample, EngineConfig, RetryPolicy};
+
+    let seed: u64 = flag_value(args, "--seed").unwrap_or("6").parse()?;
+    let fault_seed: u64 = flag_value(args, "--fault-seed").unwrap_or("1").parse()?;
+    let rate: f64 = flag_value(args, "--rate").unwrap_or("0.1").parse()?;
+    let phases: usize = flag_value(args, "--phases").unwrap_or("120").parse()?;
+
+    // --- Train on the clean simulated machine -----------------------
+    let machine = Machine::new(MachineConfig::haswell_ep(seed));
+    let total_cores = machine.config().total_cores();
+    let mut training = pmc_workloads::roco2::kernels();
+    training.extend(pmc_workloads::roco2::extended_kernels());
+    let set = pmc_workloads::WorkloadSet::from_workloads(training);
+    let plan = ExperimentPlan::quick_plan(set, vec![1200, 1600, 2000, 2400]);
+    let profiles = Campaign::new(&machine, plan).run()?;
+    let data = Dataset::from_profiles(&profiles, total_cores)?;
+    let events = vec![
+        PapiEvent::PRF_DM,
+        PapiEvent::REF_CYC,
+        PapiEvent::TOT_CYC,
+        PapiEvent::STL_ICY,
+        PapiEvent::TLB_IM,
+        PapiEvent::FUL_CCY,
+    ];
+    let model = PowerModel::fit(&data, &events)?;
+    eprintln!("trained 6-event model: R² = {:.4}", model.fit_r_squared);
+
+    // --- Serve on an ephemeral port ---------------------------------
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        engine: EngineConfig {
+            window: 8,
+            total_cores,
+            staleness_ns: 5_000_000_000,
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default()))?;
+    let mut c = PowerClient::connect(server.addr())?.with_retry(RetryPolicy::default());
+    c.load_model("chaos", &model, true)?;
+
+    // --- Stream: a fault storm, then a fault-free recovery tail -----
+    let faulty = FaultyMachine::new(machine.clone(), fault_seed, FaultRates::uniform(rate));
+    let mut kernels = pmc_workloads::roco2::kernels();
+    kernels.extend(pmc_workloads::roco2::extended_kernels());
+    let freqs = [1200u32, 1600, 2000, 2400];
+    let mut degraded = 0usize;
+    let (mut storm_ape, mut tail_ape) = (Vec::new(), Vec::new());
+    for i in 0..2 * phases {
+        let storming = i < phases;
+        let w = &kernels[i % kernels.len()];
+        let phase = &w.phases(24)[0];
+        let ctx = PhaseContext {
+            workload_id: w.id,
+            phase_id: 0,
+            run_id: 9000 + i as u32,
+            threads: 24,
+            freq_mhz: freqs[i % freqs.len()],
+            duration_s: 0.25,
+        };
+        // Clean reference first (deterministic per coordinates), then
+        // the possibly-corrupted view the collector actually sees.
+        let clean = machine.observe(&phase.activity, &ctx);
+        let obs = if storming {
+            PhaseObserver::observe(&faulty, &phase.activity, &ctx)
+        } else {
+            clean.clone()
+        };
+        // A real collector cannot send NaN over JSON: non-finite
+        // deltas are declared in `missing`, a bad voltage becomes 0.0
+        // (the engine substitutes the last good readout).
+        let mut deltas: Vec<f64> = events.iter().map(|e| obs.counters[e.index()]).collect();
+        let mut missing = Vec::new();
+        for (j, d) in deltas.iter_mut().enumerate() {
+            if !d.is_finite() {
+                *d = 0.0;
+                missing.push(j);
+            }
+        }
+        let sample = CounterSample {
+            time_ns: (i as u64 + 1) * 250_000_000,
+            duration_s: obs.duration_s,
+            freq_mhz: ctx.freq_mhz,
+            voltage: if obs.voltage.is_finite() {
+                obs.voltage
+            } else {
+                0.0
+            },
+            deltas,
+            missing,
+        };
+        let est = c.ingest(&sample)?;
+        if !est.power_w.is_finite() {
+            return Err(format!("non-finite estimate at phase {i}").into());
+        }
+        if est.degraded {
+            degraded += 1;
+        }
+        let ape = (est.power_w - clean.power_measured).abs() / clean.power_measured;
+        if storming {
+            storm_ape.push(ape);
+        } else {
+            tail_ape.push(ape);
+        }
+    }
+    let mape = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("injected: {}", faulty.injector().log());
+    println!(
+        "phases: {} under faults (rate {rate}), {} fault-free; degraded estimates: {degraded}",
+        phases, phases
+    );
+    println!(
+        "MAPE vs true power: {:.2}% under faults, {:.2}% after recovery",
+        mape(&storm_ape),
+        mape(&tail_ape)
+    );
+    server.shutdown();
     Ok(())
 }

@@ -1,30 +1,147 @@
 //! A blocking client for the pmc-serve wire protocol.
+//!
+//! With a [`RetryPolicy`] attached, transport-level failures — a
+//! dropped socket, a short read that desynchronizes the
+//! length-prefixed stream, a reaped idle connection — are retried
+//! with jittered exponential backoff over a **fresh connection**
+//! (reconnecting is the only reliable way to resynchronize a
+//! length-prefixed stream after a short read). Server-reported errors
+//! ([`ServeError::Server`]) are never retried: the request arrived
+//! and was refused. Note a reconnect resets the server-side estimator
+//! window for this client; under faults an occasional window restart
+//! is the intended degradation, not data loss.
 
 use crate::engine::{CounterSample, Estimate};
 use crate::error::ServeError;
 use crate::protocol::{read_frame, unwrap_response, write_frame, Request};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Jittered exponential backoff for transport-level retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Retries after the first failed attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each retry.
+    pub base_delay: Duration,
+    /// Ceiling on any single backoff.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(500),
+            seed: 0x706d_6373_6572_7665, // arbitrary fixed default
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (1-based):
+    /// uniformly in `[d/2, d]` where `d = min(base·2^(attempt-1), max)`.
+    fn delay(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_delay
+            .saturating_mul(1u32 << (attempt - 1).min(16));
+        let capped = exp.min(self.max_delay);
+        let jitter = splitmix_next(rng) as f64 / u64::MAX as f64; // [0, 1)
+        capped.mul_f64(0.5 + 0.5 * jitter)
+    }
+}
+
+/// One step of the splitmix64 sequence — the same generator the
+/// simulator uses, inlined so the client crate stays dependency-light.
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// One connection to a power server. Each client owns its own
 /// estimator window on the server side; drop the client to release it.
 #[derive(Debug)]
 pub struct PowerClient {
     stream: TcpStream,
+    addr: SocketAddr,
+    retry: Option<RetryPolicy>,
+    rng: u64,
 }
 
 impl PowerClient {
     /// Connects to a running server.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        let addr = stream.peer_addr()?;
         Ok(PowerClient {
-            stream: TcpStream::connect(addr)?,
+            stream,
+            addr,
+            retry: None,
+            rng: 0,
         })
     }
 
+    /// Enables transport-level retries with the given policy.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.rng = policy.seed;
+        self.retry = Some(policy);
+        self
+    }
+
+    /// True for failures worth retrying on a fresh connection: the
+    /// transport broke before a response arrived. Server-reported
+    /// errors and malformed payloads are not transport failures —
+    /// except a reaped-idle-connection notice (the server's parting
+    /// deadline frame), which just means "reconnect".
+    fn is_transient(e: &ServeError) -> bool {
+        match e {
+            ServeError::Io(_) | ServeError::Protocol { .. } | ServeError::Deadline { .. } => true,
+            ServeError::Server { message } => message.starts_with("deadline expired"),
+            _ => false,
+        }
+    }
+
     /// Sends a request and returns the unwrapped `result` payload.
+    /// With a [`RetryPolicy`], transient transport failures reconnect
+    /// and retry with jittered backoff.
     pub fn call(&mut self, req: &Request) -> Result<Json, ServeError> {
-        write_frame(&mut self.stream, &req.to_json_value())?;
+        let payload = req.to_json_value();
+        let mut attempt = 0u32;
+        loop {
+            let result = self.call_once(&payload);
+            match result {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    let retries = match &self.retry {
+                        Some(p) if Self::is_transient(&e) => p.max_retries,
+                        _ => return Err(e),
+                    };
+                    attempt += 1;
+                    if attempt > retries {
+                        return Err(e);
+                    }
+                    let policy = self.retry.clone().expect("checked above");
+                    std::thread::sleep(policy.delay(attempt, &mut self.rng));
+                    // Resync by reconnecting: after a short read the
+                    // length-prefixed stream cannot be re-aligned.
+                    if let Ok(s) = TcpStream::connect(self.addr) {
+                        self.stream = s;
+                    }
+                }
+            }
+        }
+    }
+
+    fn call_once(&mut self, payload: &Json) -> Result<Json, ServeError> {
+        write_frame(&mut self.stream, payload)?;
         let frame = read_frame(&mut self.stream)?.ok_or(ServeError::Protocol {
             reason: "server closed the connection".into(),
         })?;
@@ -114,6 +231,7 @@ mod tests {
             freq_mhz: row.freq_mhz,
             voltage: row.voltage,
             deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+            missing: vec![],
         };
         let est = c.ingest(&sample).unwrap();
         assert!((est.power_w - model.predict_row(row)).abs() < 1e-9);
@@ -133,5 +251,71 @@ mod tests {
             1
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn retry_reconnects_after_idle_reap() {
+        let cfg = ServerConfig {
+            read_timeout: Some(std::time::Duration::from_millis(5)),
+            idle_timeout: Some(std::time::Duration::from_millis(10)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = PowerClient::connect(server.addr())
+            .unwrap()
+            .with_retry(RetryPolicy::default());
+        c.stats().unwrap();
+        // Outlive the idle budget: the server reaps this connection.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        // The retry layer reconnects transparently.
+        c.stats().unwrap();
+        assert!(
+            server
+                .stats()
+                .connections_reaped
+                .load(std::sync::atomic::Ordering::Relaxed)
+                >= 1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn no_retry_means_reap_is_surfaced() {
+        let cfg = ServerConfig {
+            read_timeout: Some(std::time::Duration::from_millis(5)),
+            idle_timeout: Some(std::time::Duration::from_millis(10)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = PowerClient::connect(server.addr()).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        assert!(c.stats().is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_delays_are_jittered_and_capped() {
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_delay: std::time::Duration::from_millis(10),
+            max_delay: std::time::Duration::from_millis(100),
+            seed: 42,
+        };
+        let mut rng = p.seed;
+        let mut prev = None;
+        for attempt in 1..=8 {
+            let d = p.delay(attempt, &mut rng);
+            let exp = std::time::Duration::from_millis(10 * (1 << (attempt - 1)))
+                .min(std::time::Duration::from_millis(100));
+            assert!(d >= exp / 2 && d <= exp, "attempt {attempt}: {d:?}");
+            if prev == Some(d) {
+                panic!("jitter produced identical consecutive delays");
+            }
+            prev = Some(d);
+        }
+        // Deterministic for a fixed seed.
+        let mut r1 = 7u64;
+        let mut r2 = 7u64;
+        assert_eq!(p.delay(3, &mut r1), p.delay(3, &mut r2));
     }
 }

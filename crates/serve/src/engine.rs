@@ -13,9 +13,32 @@
 //! envelope (extrapolation — the estimate is untrustworthy), and
 //! `stale` when the estimate is queried long after the last sample
 //! arrived.
+//!
+//! ## Degraded-mode estimation
+//!
+//! Real counter streams lose readings: a multiplexing gap leaves a
+//! counter unread, a sensor drops out, an overflowed counter reports
+//! garbage. Rather than reject the whole sample, the engine substitutes
+//! the **last good rate** seen for that counter on this client (or 0.0
+//! when it has no history) and flags the estimate `degraded`, with one
+//! machine-readable reason token per substitution:
+//!
+//! - `stale_counter:<EVT>` — the delta was missing/non-finite/negative;
+//!   the client's last good rate for `<EVT>` was used.
+//! - `no_history:<EVT>` — same, but no good rate has ever been seen, so
+//!   0.0 was used.
+//! - `saturated_counter:<EVT>` — the delta implied an implausible
+//!   events-per-cycle rate (counter overflow); substituted likewise.
+//! - `stale_voltage` — the voltage readout was non-finite or
+//!   non-positive; the last good readout was used.
+//!
+//! Only structurally hopeless samples remain hard errors: a delta-count
+//! mismatch ([`ServeError::WidthMismatch`]), a bad duration/frequency,
+//! or a bad voltage with no previous good readout.
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
+use pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE;
 use pmc_json::Json;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
@@ -54,28 +77,51 @@ pub struct CounterSample {
     pub voltage: f64,
     /// Raw counter deltas, one per model event in model-event order.
     pub deltas: Vec<f64>,
+    /// Indices into `deltas` the client knows are unread (counter
+    /// multiplexing gaps, sensor dropouts). JSON cannot carry NaN, so
+    /// "this reading does not exist" travels out-of-band here; the
+    /// engine treats a listed delta exactly like a non-finite one.
+    pub missing: Vec<usize>,
 }
 
 impl CounterSample {
-    /// Serializes to a JSON value (the wire shape).
+    /// Serializes to a JSON value (the wire shape). The `missing`
+    /// field is omitted when empty, keeping the common case compact.
     pub fn to_json_value(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("time_ns", Json::from(self.time_ns)),
             ("duration_s", Json::from(self.duration_s)),
             ("freq_mhz", Json::from(self.freq_mhz)),
             ("voltage", Json::from(self.voltage)),
             ("deltas", Json::from(&self.deltas[..])),
-        ])
+        ];
+        if !self.missing.is_empty() {
+            fields.push((
+                "missing",
+                Json::Arr(self.missing.iter().map(|&i| Json::from(i as u64)).collect()),
+            ));
+        }
+        Json::obj(fields)
     }
 
-    /// Reads a sample from a JSON value.
+    /// Reads a sample from a JSON value. An absent `missing` field
+    /// means no declared gaps.
     pub fn from_json_value(v: &Json) -> Result<Self, ServeError> {
+        let missing = match v.get("missing") {
+            Some(m) => m
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+        };
         Ok(CounterSample {
             time_ns: v.u64_field("time_ns")?,
             duration_s: v.f64_field("duration_s")?,
             freq_mhz: v.u32_field("freq_mhz")?,
             voltage: v.f64_field("voltage")?,
             deltas: v.f64_vec_field("deltas")?,
+            missing,
         })
     }
 }
@@ -95,6 +141,13 @@ pub struct Estimate {
     pub out_of_envelope: bool,
     /// True if the estimate is older than the staleness budget.
     pub stale: bool,
+    /// True if any input was substituted (missing counter, stale
+    /// voltage, saturated counter) — see [`Self::degraded_reasons`].
+    pub degraded: bool,
+    /// Machine-readable reason tokens for each substitution, e.g.
+    /// `stale_counter:PAPI_TOT_CYC` or `stale_voltage`. Empty when the
+    /// estimate is not degraded.
+    pub degraded_reasons: Vec<String>,
     /// Name of the model that produced the estimate.
     pub model: String,
     /// Version of the model that produced the estimate.
@@ -111,6 +164,16 @@ impl Estimate {
             ("samples_in_window", Json::from(self.samples_in_window)),
             ("out_of_envelope", Json::Bool(self.out_of_envelope)),
             ("stale", Json::Bool(self.stale)),
+            ("degraded", Json::Bool(self.degraded)),
+            (
+                "degraded_reasons",
+                Json::Arr(
+                    self.degraded_reasons
+                        .iter()
+                        .map(|r| Json::from(r.as_str()))
+                        .collect(),
+                ),
+            ),
             ("model", Json::from(self.model.as_str())),
             ("version", Json::from(self.version)),
         ])
@@ -128,6 +191,12 @@ impl Estimate {
             samples_in_window: v.usize_field("samples_in_window")?,
             out_of_envelope: as_bool("out_of_envelope")?,
             stale: as_bool("stale")?,
+            degraded: as_bool("degraded")?,
+            degraded_reasons: v
+                .arr_field("degraded_reasons")?
+                .iter()
+                .map(|r| r.as_str().map(str::to_string))
+                .collect::<Result<Vec<_>, _>>()?,
             model: v.str_field("model")?.to_string(),
             version: v.u32_field("version")?,
         })
@@ -142,6 +211,12 @@ struct ClientState {
     /// Model identity the window was built under; a model switch
     /// invalidates the window (estimates are not comparable).
     model_id: Option<(String, u32)>,
+    /// Last good normalized rate per model event — the degraded-mode
+    /// substitute when a counter reading is missing or implausible.
+    last_rates: Vec<Option<f64>>,
+    /// Last good voltage readout — the substitute when the sensor
+    /// reports NaN or zero.
+    last_voltage: Option<f64>,
     last: Option<Estimate>,
 }
 
@@ -167,7 +242,9 @@ impl EstimatorEngine {
     }
 
     /// Validates and ingests one sample for `client`, returning the
-    /// updated estimate.
+    /// updated estimate. Missing or implausible readings degrade the
+    /// estimate instead of failing it (see the module docs); only
+    /// structurally hopeless samples are errors.
     pub fn ingest(
         &self,
         client: u64,
@@ -176,12 +253,9 @@ impl EstimatorEngine {
     ) -> Result<Estimate, ServeError> {
         let model = &artifact.model;
         if sample.deltas.len() != model.events.len() {
-            return Err(ServeError::BadSample {
-                reason: format!(
-                    "expected {} counter deltas (model events), got {}",
-                    model.events.len(),
-                    sample.deltas.len()
-                ),
+            return Err(ServeError::WidthMismatch {
+                expected: model.events.len(),
+                got: sample.deltas.len(),
             });
         }
         if !(sample.duration_s > 0.0 && sample.duration_s.is_finite()) {
@@ -194,35 +268,70 @@ impl EstimatorEngine {
                 reason: "freq_mhz must be positive".into(),
             });
         }
-        if !sample.voltage.is_finite() || sample.voltage <= 0.0 {
+        if let Some(&i) = sample.missing.iter().find(|&&i| i >= sample.deltas.len()) {
             return Err(ServeError::BadSample {
-                reason: "voltage must be positive and finite".into(),
+                reason: format!(
+                    "missing index {i} out of range for {} deltas",
+                    sample.deltas.len()
+                ),
             });
         }
-        if sample.deltas.iter().any(|d| !d.is_finite() || *d < 0.0) {
-            return Err(ServeError::BadSample {
-                reason: "counter deltas must be finite and non-negative".into(),
-            });
-        }
-
-        // Events per available core cycle — identical to the offline
-        // Dataset::from_profiles normalization.
-        let available_cycles =
-            self.config.total_cores as f64 * sample.freq_mhz as f64 * 1e6 * sample.duration_s;
-        let rates: Vec<f64> = sample.deltas.iter().map(|d| d / available_cycles).collect();
-        let power = model.predict_raw(&rates, sample.voltage, sample.freq_mhz)?;
-        let out_of_envelope = match &model.envelope {
-            Some(env) => !env.contains(sample.voltage, sample.freq_mhz),
-            None => false,
-        };
 
         let id = (artifact.name.clone(), artifact.version);
         let mut clients = self.clients.lock().expect("engine lock poisoned");
         let state = clients.entry(client).or_default();
         if state.model_id.as_ref() != Some(&id) {
             state.window.clear();
+            state.last_rates.clear();
+            state.last_voltage = None;
             state.model_id = Some(id.clone());
         }
+        state.last_rates.resize(model.events.len(), None);
+
+        let mut reasons: Vec<String> = Vec::new();
+
+        let voltage = if sample.voltage.is_finite() && sample.voltage > 0.0 {
+            state.last_voltage = Some(sample.voltage);
+            sample.voltage
+        } else if let Some(v) = state.last_voltage {
+            reasons.push("stale_voltage".to_string());
+            v
+        } else {
+            return Err(ServeError::BadSample {
+                reason: "voltage must be positive and finite (no previous good readout)".into(),
+            });
+        };
+
+        // Events per available core cycle — identical to the offline
+        // Dataset::from_profiles normalization.
+        let available_cycles =
+            self.config.total_cores as f64 * sample.freq_mhz as f64 * 1e6 * sample.duration_s;
+        let mut rates = Vec::with_capacity(model.events.len());
+        for (i, (&delta, &event)) in sample.deltas.iter().zip(model.events.iter()).enumerate() {
+            let unreadable = sample.missing.contains(&i) || !delta.is_finite() || delta < 0.0;
+            let rate = delta / available_cycles;
+            if unreadable || rate > MAX_PLAUSIBLE_EVENTS_PER_CYCLE {
+                // Substitute: last good rate for this event, else 0.
+                let (substitute, token) = match state.last_rates[i] {
+                    Some(r) if unreadable => (r, "stale_counter"),
+                    Some(r) => (r, "saturated_counter"),
+                    None if unreadable => (0.0, "no_history"),
+                    None => (0.0, "saturated_counter"),
+                };
+                reasons.push(format!("{token}:{}", event.mnemonic()));
+                rates.push(substitute);
+            } else {
+                state.last_rates[i] = Some(rate);
+                rates.push(rate);
+            }
+        }
+
+        let power = model.predict_raw(&rates, voltage, sample.freq_mhz)?;
+        let out_of_envelope = match &model.envelope {
+            Some(env) => !env.contains(voltage, sample.freq_mhz),
+            None => false,
+        };
+
         state.window.push_back((sample.time_ns, power));
         while state.window.len() > self.config.window.max(1) {
             state.window.pop_front();
@@ -236,6 +345,8 @@ impl EstimatorEngine {
             samples_in_window: state.window.len(),
             out_of_envelope,
             stale: false,
+            degraded: !reasons.is_empty(),
+            degraded_reasons: reasons,
             model: id.0,
             version: id.1,
         };
@@ -298,6 +409,7 @@ mod tests {
                 .iter()
                 .map(|e| row.rate(*e) * avail)
                 .collect(),
+            missing: vec![],
         }
     }
 
@@ -386,28 +498,146 @@ mod tests {
         let data = tiny_dataset(1);
         let good = sample_from_row(&data.rows()[0], &a, 0);
 
+        // Width mismatch is its own variant, carrying both counts.
         let mut s = good.clone();
         s.deltas.pop();
+        let expected = a.model.events.len();
         assert!(matches!(
             eng.ingest(1, &s, &a),
-            Err(ServeError::BadSample { .. })
+            Err(ServeError::WidthMismatch { expected: e, got }) if e == expected && got == expected - 1
         ));
 
         let mut s = good.clone();
         s.duration_s = 0.0;
         assert!(eng.ingest(1, &s, &a).is_err());
 
+        // NaN voltage on a client with no history is unrecoverable.
         let mut s = good.clone();
         s.voltage = f64::NAN;
-        assert!(eng.ingest(1, &s, &a).is_err());
+        assert!(matches!(
+            eng.ingest(1, &s, &a),
+            Err(ServeError::BadSample { .. })
+        ));
 
         let mut s = good.clone();
-        s.deltas[0] = -1.0;
+        s.missing = vec![99];
         assert!(eng.ingest(1, &s, &a).is_err());
 
         let mut s = good;
         s.freq_mhz = 0;
         assert!(eng.ingest(1, &s, &a).is_err());
+    }
+
+    #[test]
+    fn missing_counter_degrades_with_last_good_rate() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let good = sample_from_row(&data.rows()[0], &a, 0);
+        let baseline = eng.ingest(1, &good, &a).unwrap();
+        assert!(!baseline.degraded);
+
+        // Same readings, but counter 0 declared unread: the engine
+        // substitutes its last good rate, reproducing the estimate.
+        let mut s = good.clone();
+        s.time_ns = 1;
+        s.deltas[0] = 0.0;
+        s.missing = vec![0];
+        let est = eng.ingest(1, &s, &a).unwrap();
+        assert!(est.degraded);
+        let evt = a.model.events[0].mnemonic();
+        assert_eq!(est.degraded_reasons, vec![format!("stale_counter:{evt}")]);
+        assert!((est.power_w - baseline.power_w).abs() < 1e-9);
+
+        // A non-finite delta degrades the same way as a declared gap.
+        let mut s = good.clone();
+        s.time_ns = 2;
+        s.deltas[0] = f64::NAN;
+        let est = eng.ingest(1, &s, &a).unwrap();
+        assert_eq!(est.degraded_reasons, vec![format!("stale_counter:{evt}")]);
+        assert!((est.power_w - baseline.power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_history_substitutes_zero() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let mut s = sample_from_row(&data.rows()[0], &a, 0);
+        s.missing = vec![0];
+        let est = eng.ingest(1, &s, &a).unwrap();
+        assert!(est.degraded);
+        let evt = a.model.events[0].mnemonic();
+        assert_eq!(est.degraded_reasons, vec![format!("no_history:{evt}")]);
+        assert!(est.power_w.is_finite());
+    }
+
+    #[test]
+    fn saturated_counter_is_substituted_not_trusted() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let good = sample_from_row(&data.rows()[0], &a, 0);
+        let baseline = eng.ingest(1, &good, &a).unwrap();
+
+        let mut s = good.clone();
+        s.time_ns = 1;
+        s.deltas[0] = (1u64 << 56) as f64; // overflowed counter
+        let est = eng.ingest(1, &s, &a).unwrap();
+        assert!(est.degraded);
+        let evt = a.model.events[0].mnemonic();
+        assert_eq!(
+            est.degraded_reasons,
+            vec![format!("saturated_counter:{evt}")]
+        );
+        assert!((est.power_w - baseline.power_w).abs() < 1e-9);
+
+        // The garbage rate must not poison the history: the next gap
+        // still substitutes the last *good* rate.
+        let mut s = good.clone();
+        s.time_ns = 2;
+        s.missing = vec![0];
+        let est = eng.ingest(1, &s, &a).unwrap();
+        assert!((est.power_w - baseline.power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stale_voltage_uses_last_good_readout() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let good = sample_from_row(&data.rows()[0], &a, 0);
+        let baseline = eng.ingest(1, &good, &a).unwrap();
+
+        for bad in [f64::NAN, 0.0, -0.3] {
+            let mut s = good.clone();
+            s.time_ns += 1;
+            s.voltage = bad;
+            let est = eng.ingest(1, &s, &a).unwrap();
+            assert!(est.degraded, "voltage {bad} should degrade");
+            assert_eq!(est.degraded_reasons, vec!["stale_voltage".to_string()]);
+            assert!((est.power_w - baseline.power_w).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn model_switch_clears_degraded_history() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let mut b = tiny_artifact();
+        {
+            let m = Arc::get_mut(&mut b).unwrap();
+            m.version = 2;
+        }
+        let data = tiny_dataset(1);
+        let good = sample_from_row(&data.rows()[0], &a, 0);
+        eng.ingest(1, &good, &a).unwrap();
+
+        // Under the new model the voltage history is gone: a bad
+        // readout is a hard error again, not a silent substitution.
+        let mut s = sample_from_row(&data.rows()[0], &b, 1);
+        s.voltage = f64::NAN;
+        assert!(eng.ingest(1, &s, &b).is_err());
     }
 
     #[test]
@@ -438,6 +668,14 @@ mod tests {
             freq_mhz: 2400,
             voltage: 1.01,
             deltas: vec![1.0, 2.0, 3.0],
+            missing: vec![],
+        };
+        let v = s.to_json_value();
+        assert_eq!(CounterSample::from_json_value(&v).unwrap(), s);
+        // Declared gaps survive the roundtrip.
+        let s = CounterSample {
+            missing: vec![0, 2],
+            ..s
         };
         let v = s.to_json_value();
         assert_eq!(CounterSample::from_json_value(&v).unwrap(), s);

@@ -28,6 +28,30 @@ pub enum ServeError {
         /// Why the sample was rejected.
         reason: String,
     },
+    /// A sample carried the wrong number of counter deltas for the
+    /// model it was evaluated against. Kept distinct from
+    /// [`ServeError::BadSample`] because the server can recover from
+    /// it (fall back to a model with the matching width) while a
+    /// malformed sample is unrecoverable.
+    WidthMismatch {
+        /// Delta count the model expects (its event-set size).
+        expected: usize,
+        /// Delta count the sample carried.
+        got: usize,
+    },
+    /// A per-connection read or write deadline expired.
+    Deadline {
+        /// True if the deadline hit in the middle of a frame (the
+        /// stream is desynchronized and must be dropped); false if it
+        /// hit between frames (an idle poll — recoverable).
+        mid_frame: bool,
+    },
+    /// The server answered a request with an error frame. Carries the
+    /// server's message verbatim so clients can pattern-match on it.
+    Server {
+        /// The server's error text.
+        message: String,
+    },
     /// The server shed the request because its queue was full.
     Overloaded,
     /// The server is shutting down and no longer accepts work.
@@ -44,6 +68,18 @@ impl fmt::Display for ServeError {
             ServeError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
             ServeError::Registry { reason } => write!(f, "registry refused: {reason}"),
             ServeError::BadSample { reason } => write!(f, "sample rejected: {reason}"),
+            ServeError::WidthMismatch { expected, got } => write!(
+                f,
+                "sample width mismatch: model expects {expected} counter deltas, got {got}"
+            ),
+            ServeError::Deadline { mid_frame } => {
+                if *mid_frame {
+                    write!(f, "deadline expired mid-frame: stream desynchronized")
+                } else {
+                    write!(f, "deadline expired between frames")
+                }
+            }
+            ServeError::Server { message } => write!(f, "server error: {message}"),
             ServeError::Overloaded => write!(f, "server overloaded: request shed"),
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }

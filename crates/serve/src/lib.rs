@@ -54,10 +54,10 @@ pub mod server;
 pub mod stats;
 
 pub use artifact::ModelArtifact;
-pub use client::PowerClient;
+pub use client::{PowerClient, RetryPolicy};
 pub use engine::{CounterSample, EngineConfig, Estimate, EstimatorEngine};
 pub use error::ServeError;
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, RecoveryReport};
 pub use server::{PowerServer, ServerConfig};
 
 /// Convenience result alias.
@@ -127,6 +127,12 @@ pub(crate) mod test_fixtures {
         let mut a = ModelArtifact::new("hsw", tiny_model());
         a.version = 1;
         Arc::new(a)
+    }
+
+    /// A servable model with one event fewer than [`tiny_model`] —
+    /// for width-mismatch and model-fallback tests.
+    pub fn narrow_model() -> PowerModel {
+        PowerModel::fit(&tiny_dataset(40), &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC]).unwrap()
     }
 
     /// A fitted model with five programmable events — more than the

@@ -13,9 +13,20 @@ use crate::error::ServeError;
 use pmc_json::Json;
 use std::io::{Read, Write};
 
-/// Hard cap on a frame payload (1 MiB) — far above any legitimate
-/// model artifact, far below an allocation attack.
+/// Default cap on a frame payload (1 MiB) — far above any legitimate
+/// model artifact, far below an allocation attack. The server's read
+/// path can tighten this per deployment via
+/// [`read_frame_limited`].
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// True for the error kinds a socket read returns when its read
+/// timeout expires (platform-dependent: `WouldBlock` or `TimedOut`).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
 
 /// Writes one frame: 4-byte big-endian length, then the JSON text.
 pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError> {
@@ -32,30 +43,50 @@ pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError>
     Ok(())
 }
 
-/// Reads one frame. Returns `Ok(None)` on clean end-of-stream (EOF at
-/// a frame boundary); mid-frame EOF, an oversized length prefix, or
-/// malformed JSON are errors.
+/// Reads one frame under the default [`MAX_FRAME_BYTES`] cap.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, ServeError> {
+    read_frame_limited(r, MAX_FRAME_BYTES)
+}
+
+/// Reads one frame with a caller-chosen payload cap. Returns
+/// `Ok(None)` on clean end-of-stream (EOF at a frame boundary);
+/// mid-frame EOF, an oversized length prefix, or malformed JSON are
+/// errors.
+///
+/// When the underlying stream has a read timeout, its expiry maps to
+/// [`ServeError::Deadline`]: `mid_frame: false` if it hit before any
+/// byte of the frame arrived (an idle poll — the stream is still in
+/// sync and the caller may retry), `mid_frame: true` if it hit with a
+/// frame partially read (the stream is desynchronized and must be
+/// dropped).
+pub fn read_frame_limited(r: &mut impl Read, max_bytes: u32) -> Result<Option<Json>, ServeError> {
     let mut len_buf = [0u8; 4];
     // Clean EOF only if the very first length byte is missing.
-    match r.read(&mut len_buf)? {
-        0 => return Ok(None),
-        mut n => {
+    match r.read(&mut len_buf) {
+        Err(e) if is_timeout(&e) => return Err(ServeError::Deadline { mid_frame: false }),
+        Err(e) => return Err(ServeError::Io(e)),
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
             while n < 4 {
-                let got = r.read(&mut len_buf[n..])?;
-                if got == 0 {
-                    return Err(ServeError::Protocol {
-                        reason: "stream truncated inside a frame header".into(),
-                    });
+                match r.read(&mut len_buf[n..]) {
+                    Err(e) if is_timeout(&e) => {
+                        return Err(ServeError::Deadline { mid_frame: true })
+                    }
+                    Err(e) => return Err(ServeError::Io(e)),
+                    Ok(0) => {
+                        return Err(ServeError::Protocol {
+                            reason: "stream truncated inside a frame header".into(),
+                        })
+                    }
+                    Ok(got) => n += got,
                 }
-                n += got;
             }
         }
     }
     let len = u32::from_be_bytes(len_buf);
-    if len > MAX_FRAME_BYTES {
+    if len > max_bytes {
         return Err(ServeError::Protocol {
-            reason: format!("frame of {len} bytes exceeds {MAX_FRAME_BYTES}-byte cap"),
+            reason: format!("frame of {len} bytes exceeds {max_bytes}-byte cap"),
         });
     }
     let mut payload = vec![0u8; len as usize];
@@ -64,6 +95,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Json>, ServeError> {
             ServeError::Protocol {
                 reason: "stream truncated inside a frame payload".into(),
             }
+        } else if is_timeout(&e) {
+            ServeError::Deadline { mid_frame: true }
         } else {
             ServeError::Io(e)
         }
@@ -180,12 +213,14 @@ pub fn error_response(err: &ServeError) -> Json {
 }
 
 /// Unwraps a response frame: the `result` payload, or the server's
-/// error surfaced as [`ServeError::Registry`]-style text.
+/// error surfaced as a typed [`ServeError::Server`] (so callers —
+/// and retry loops — can tell a server-reported failure from a local
+/// transport one).
 pub fn unwrap_response(v: Json) -> Result<Json, ServeError> {
     match v.str_field("status")? {
         "ok" => Ok(v.field("result")?.clone()),
-        "error" => Err(ServeError::Protocol {
-            reason: format!("server error: {}", v.str_field("error")?),
+        "error" => Err(ServeError::Server {
+            message: v.str_field("error")?.to_string(),
         }),
         other => Err(ServeError::Protocol {
             reason: format!("unknown response status {other:?}"),
@@ -213,6 +248,7 @@ mod tests {
             freq_mhz: 2400,
             voltage: 1.0,
             deltas: vec![1.0, 2.0],
+            missing: vec![1],
         }));
         roundtrip(Request::Estimate { now_ns: 77 });
         roundtrip(Request::Activate {
@@ -260,6 +296,63 @@ mod tests {
             read_frame(&mut Cursor::new(&buf)),
             Err(ServeError::Json(_))
         ));
+    }
+
+    #[test]
+    fn tightened_cap_rejects_what_the_default_allows() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        assert!(read_frame_limited(&mut Cursor::new(&buf), 4).is_err());
+        assert!(read_frame_limited(&mut Cursor::new(&buf), MAX_FRAME_BYTES)
+            .unwrap()
+            .is_some());
+    }
+
+    /// A reader that yields `n` bytes, then times out forever.
+    struct TimesOutAfter {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for TimesOutAfter {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+            }
+            let n = buf.len().min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_between_frames_is_a_recoverable_deadline() {
+        let mut r = TimesOutAfter {
+            data: vec![],
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(ServeError::Deadline { mid_frame: false })
+        ));
+    }
+
+    #[test]
+    fn timeout_mid_frame_is_a_fatal_deadline() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        // Cut inside the header and inside the payload.
+        for cut in [2, buf.len() - 3] {
+            let mut r = TimesOutAfter {
+                data: buf[..cut].to_vec(),
+                pos: 0,
+            };
+            assert!(matches!(
+                read_frame(&mut r),
+                Err(ServeError::Deadline { mid_frame: true })
+            ));
+        }
     }
 
     #[test]

@@ -7,11 +7,26 @@
 //! model finish their prediction unperturbed); rollback restores the
 //! previously active model, which is the operator's escape hatch when
 //! a freshly activated model turns out to estimate badly.
+//!
+//! ## Crash-safe persistence
+//!
+//! A registry built with [`ModelRegistry::with_persistence`] mirrors
+//! every loaded artifact to disk as
+//! `<dir>/<name>__v<version>.model.json` and the active id to
+//! `<dir>/ACTIVE.json`. All writes are **atomic**: the bytes go to a
+//! `.tmp` sibling, are fsynced, and the file is renamed into place —
+//! a crash at any instant leaves either the old content or the new,
+//! never a torn file. Recovery scans the directory, loads every
+//! fully-written artifact, skips (and reports) anything torn or
+//! invalid, deletes stray `.tmp` leftovers, and restores the active
+//! model if its pointer resolves.
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
 use pmc_events::scheduler::CounterScheduler;
 use pmc_json::Json;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, RwLock};
 
 /// Identifier of a loaded artifact: `(name, version)`.
@@ -42,11 +57,54 @@ impl RegistryInner {
     }
 }
 
+/// What a persistence recovery scan found.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Artifacts restored, in `(name, version)` order.
+    pub loaded: Vec<ModelId>,
+    /// Files that could not be restored: `(file name, reason)`. Torn
+    /// writes, invalid JSON, unschedulable models, stray temp files.
+    pub skipped: Vec<(String, String)>,
+    /// The active model restored from the `ACTIVE.json` pointer, if it
+    /// resolved to a loaded artifact.
+    pub active_restored: Option<ModelId>,
+}
+
+impl RecoveryReport {
+    /// True if every file in the directory was restored cleanly.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
 /// Thread-safe registry of deployable power models.
 #[derive(Debug)]
 pub struct ModelRegistry {
     inner: RwLock<RegistryInner>,
     scheduler: CounterScheduler,
+    persist_dir: Option<PathBuf>,
+}
+
+/// Writes `contents` to `path` atomically: a `.tmp` sibling is
+/// written, fsynced, and renamed into place. A crash leaves either
+/// the previous file or the new one — never a prefix.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), ServeError> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// The on-disk file name for an artifact. The name charset is
+/// enforced by [`ModelArtifact::validate`], so this can never escape
+/// the persistence directory.
+fn artifact_file_name(name: &str, version: u32) -> String {
+    format!("{name}__v{version}.model.json")
 }
 
 impl Default for ModelRegistry {
@@ -62,16 +120,137 @@ impl ModelRegistry {
         ModelRegistry {
             inner: RwLock::new(RegistryInner::default()),
             scheduler,
+            persist_dir: None,
         }
+    }
+
+    /// Creates a registry persisted under `dir` (created if absent)
+    /// and recovers whatever a previous process left there. Torn or
+    /// invalid files are skipped and reported, never fatal — after a
+    /// crash the registry comes back with the last fully-written
+    /// artifact set.
+    pub fn with_persistence(
+        scheduler: CounterScheduler,
+        dir: impl Into<PathBuf>,
+    ) -> Result<(Self, RecoveryReport), ServeError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut report = RecoveryReport::default();
+        let mut artifacts: Vec<ModelArtifact> = Vec::new();
+
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let file = match path.file_name().and_then(|n| n.to_str()) {
+                Some(f) => f.to_string(),
+                None => continue,
+            };
+            if file.ends_with(".tmp") {
+                // A crash mid-save left this behind; the rename never
+                // happened, so its target still holds the old content.
+                let _ = std::fs::remove_file(&path);
+                report.skipped.push((
+                    file,
+                    "stale temp file from interrupted save; removed".into(),
+                ));
+                continue;
+            }
+            if !file.ends_with(".model.json") {
+                continue;
+            }
+            let restored = std::fs::read_to_string(&path)
+                .map_err(ServeError::from)
+                .and_then(|text| ModelArtifact::from_json(&text))
+                .and_then(|a| a.validate(&scheduler).map(|_| a));
+            match restored {
+                Ok(a) => artifacts.push(a),
+                Err(e) => report.skipped.push((file, e.to_string())),
+            }
+        }
+
+        artifacts.sort_by(|a, b| (&a.name, a.version).cmp(&(&b.name, b.version)));
+        report.loaded = artifacts
+            .iter()
+            .map(|a| (a.name.clone(), a.version))
+            .collect();
+        let mut inner = RegistryInner {
+            models: artifacts.into_iter().map(Arc::new).collect(),
+            active: None,
+            previous: None,
+        };
+
+        let active_path = dir.join("ACTIVE.json");
+        if active_path.exists() {
+            let resolved = std::fs::read_to_string(&active_path)
+                .map_err(ServeError::from)
+                .and_then(|text| Json::parse(&text).map_err(ServeError::from))
+                .and_then(|v| {
+                    Ok::<_, ServeError>((v.str_field("name")?.to_string(), v.u32_field("version")?))
+                });
+            match resolved {
+                Ok((name, version)) => match inner.find(&name, version) {
+                    Some(idx) => {
+                        inner.active = Some(idx);
+                        report.active_restored = Some((name, version));
+                    }
+                    None => report.skipped.push((
+                        "ACTIVE.json".into(),
+                        format!("points at {name} v{version}, which did not recover"),
+                    )),
+                },
+                Err(e) => report.skipped.push(("ACTIVE.json".into(), e.to_string())),
+            }
+        }
+
+        Ok((
+            ModelRegistry {
+                inner: RwLock::new(inner),
+                scheduler,
+                persist_dir: Some(dir),
+            },
+            report,
+        ))
+    }
+
+    /// The persistence directory, if this registry has one.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    /// Mirrors the active id (or its absence) to `ACTIVE.json`.
+    fn persist_active(&self, inner: &RegistryInner) -> Result<(), ServeError> {
+        let Some(dir) = &self.persist_dir else {
+            return Ok(());
+        };
+        let value = match inner.active.map(|i| &inner.models[i]) {
+            Some(m) => Json::obj(vec![
+                ("name", Json::from(m.name.as_str())),
+                ("version", Json::from(m.version)),
+            ]),
+            None => Json::Null,
+        };
+        write_atomic(&dir.join("ACTIVE.json"), &value.to_string())
     }
 
     /// Loads an artifact: validates it, assigns the next version under
     /// its name, and stores it *inactive*. Returns the assigned id.
+    ///
+    /// With persistence enabled the artifact is written to disk
+    /// (atomically) *before* it becomes visible in memory — a load
+    /// that returns `Ok` is durable.
     pub fn load(&self, mut artifact: ModelArtifact) -> Result<ModelId, ServeError> {
         artifact.validate(&self.scheduler)?;
         let mut inner = self.inner.write().expect("registry lock poisoned");
         artifact.version = inner.next_version(&artifact.name);
         let id = (artifact.name.clone(), artifact.version);
+        if let Some(dir) = &self.persist_dir {
+            write_atomic(
+                &dir.join(artifact_file_name(&id.0, id.1)),
+                &artifact.to_json()?,
+            )?;
+        }
         inner.models.push(Arc::new(artifact));
         Ok(id)
     }
@@ -95,6 +274,7 @@ impl ModelRegistry {
         if inner.active != Some(idx) {
             inner.previous = inner.active;
             inner.active = Some(idx);
+            self.persist_active(&inner)?;
         }
         Ok((name.to_string(), version))
     }
@@ -107,6 +287,7 @@ impl ModelRegistry {
         })?;
         inner.previous = inner.active;
         inner.active = Some(prev);
+        self.persist_active(&inner)?;
         let m = &inner.models[prev];
         Ok((m.name.clone(), m.version))
     }
@@ -115,6 +296,14 @@ impl ModelRegistry {
     pub fn active(&self) -> Option<Arc<ModelArtifact>> {
         let inner = self.inner.read().expect("registry lock poisoned");
         inner.active.map(|i| Arc::clone(&inner.models[i]))
+    }
+
+    /// The previously active model (the rollback target), if any —
+    /// also the server's fallback when the active model cannot serve
+    /// a request the previous one can.
+    pub fn previous(&self) -> Option<Arc<ModelArtifact>> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.previous.map(|i| Arc::clone(&inner.models[i]))
     }
 
     /// A specific loaded model.
@@ -226,6 +415,96 @@ mod tests {
         let err = r.load(ModelArtifact::new("fat", oversized_model()));
         assert!(matches!(err, Err(ServeError::Schedule(_))), "{err:?}");
         assert!(r.is_empty());
+    }
+
+    /// A fresh scratch directory under the system temp dir.
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pmc-registry-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistence_survives_a_restart() {
+        let dir = scratch_dir("restart");
+        {
+            let (r, report) =
+                ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+            assert!(report.loaded.is_empty() && report.is_clean());
+            r.load(ModelArtifact::new("a", tiny_model())).unwrap();
+            r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+                .unwrap();
+            r.load(ModelArtifact::new("b", tiny_model())).unwrap();
+        }
+        let (r, report) =
+            ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+        assert!(report.is_clean(), "{:?}", report.skipped);
+        assert_eq!(
+            report.loaded,
+            vec![
+                ("a".to_string(), 1),
+                ("a".to_string(), 2),
+                ("b".to_string(), 1)
+            ]
+        );
+        assert_eq!(report.active_restored, Some(("a".to_string(), 2)));
+        let active = r.active().unwrap();
+        assert_eq!((active.name.as_str(), active.version), ("a", 2));
+        // Version numbering continues where it left off.
+        assert_eq!(r.load(ModelArtifact::new("a", tiny_model())).unwrap().1, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill_mid_save_recovers_last_fully_written_set() {
+        let dir = scratch_dir("torn");
+        {
+            let (r, _) =
+                ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+            r.load_and_activate(ModelArtifact::new("good", tiny_model()))
+                .unwrap();
+        }
+        // Simulate a crash mid-save: a half-written artifact file and
+        // a stray temp file the rename never consumed.
+        let full = ModelArtifact::new("torn", tiny_model()).to_json().unwrap();
+        std::fs::write(dir.join("torn__v1.model.json"), &full[..full.len() / 2]).unwrap();
+        std::fs::write(dir.join("other__v1.model.json.tmp"), "partial").unwrap();
+
+        let (r, report) =
+            ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+        // The fully-written artifact set is back; the torn file and the
+        // stray temp are skipped and reported, never loaded.
+        assert_eq!(report.loaded, vec![("good".to_string(), 1)]);
+        assert_eq!(report.active_restored, Some(("good".to_string(), 1)));
+        assert_eq!(report.skipped.len(), 2, "{:?}", report.skipped);
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(f, _)| f == "torn__v1.model.json"));
+        assert!(report.skipped.iter().any(|(f, _)| f.ends_with(".tmp")));
+        assert!(!dir.join("other__v1.model.json.tmp").exists());
+        assert_eq!(r.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dangling_active_pointer_is_reported_not_fatal() {
+        let dir = scratch_dir("dangling");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("ACTIVE.json"),
+            "{\"name\": \"ghost\", \"version\": 9}",
+        )
+        .unwrap();
+        let (r, report) =
+            ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+        assert!(r.active().is_none());
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(f, why)| f == "ACTIVE.json" && why.contains("ghost")));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,11 +11,25 @@
 //! unblocked, live sockets are shut down so blocked reads return, and
 //! every worker is joined — in-flight frames finish, nothing is
 //! detached.
+//!
+//! ## Deadlines and the idle reaper
+//!
+//! Each connection's socket carries a read deadline
+//! ([`ServerConfig::read_timeout`]): a client that stalls **mid-frame**
+//! has desynchronized the stream and is dropped. Between frames the
+//! deadline acts as an idle poll; a connection that stays silent past
+//! [`ServerConfig::idle_timeout`] is reaped (with an explicit deadline
+//! error frame), so abandoned clients cannot pin workers forever.
+//! Writes carry [`ServerConfig::write_timeout`] so a client that stops
+//! draining its socket cannot wedge a worker either, and the read path
+//! enforces [`ServerConfig::max_frame_bytes`].
 
 use crate::artifact::ModelArtifact;
 use crate::engine::{EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
-use crate::protocol::{error_response, ok_response, read_frame, write_frame, Request};
+use crate::protocol::{
+    error_response, ok_response, read_frame_limited, write_frame, Request, MAX_FRAME_BYTES,
+};
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use pmc_json::Json;
@@ -26,6 +40,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -36,6 +51,18 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded pending-connection queue depth; beyond it, shed.
     pub queue_depth: usize,
+    /// Per-read socket deadline. Mid-frame expiry drops the
+    /// connection; between frames it is an idle poll. `None` disables
+    /// both deadlines and the reaper.
+    pub read_timeout: Option<Duration>,
+    /// Per-write socket deadline; a client that stops draining its
+    /// socket is dropped. `None` = block forever.
+    pub write_timeout: Option<Duration>,
+    /// A connection silent for this long between frames is reaped.
+    /// Effective only with a `read_timeout`. `None` = never reap.
+    pub idle_timeout: Option<Duration>,
+    /// Largest accepted request-frame payload, bytes.
+    pub max_frame_bytes: u32,
     /// Estimator-engine tuning.
     pub engine: EngineConfig,
 }
@@ -46,6 +73,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 4,
             queue_depth: 16,
+            read_timeout: Some(Duration::from_secs(2)),
+            write_timeout: Some(Duration::from_secs(10)),
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_frame_bytes: MAX_FRAME_BYTES,
             engine: EngineConfig::default(),
         }
     }
@@ -56,6 +87,7 @@ struct Service {
     registry: Arc<ModelRegistry>,
     engine: EstimatorEngine,
     stats: Arc<ServerStats>,
+    config: ServerConfig,
 }
 
 impl Service {
@@ -75,7 +107,34 @@ impl Service {
                 let artifact = self.registry.active().ok_or_else(|| ServeError::Registry {
                     reason: "no active model — load_model/activate first".into(),
                 })?;
-                let est = self.engine.ingest(client, &sample, &artifact)?;
+                let est = match self.engine.ingest(client, &sample, &artifact) {
+                    Ok(est) => est,
+                    // The active model cannot read this sample (its
+                    // width changed under the client, e.g. a bad
+                    // activation). Fall back to the last good model if
+                    // it still matches, flagging the estimate.
+                    Err(ServeError::WidthMismatch { expected, got }) => {
+                        let fallback = self
+                            .registry
+                            .previous()
+                            .filter(|p| p.model.events.len() == sample.deltas.len());
+                        match fallback {
+                            Some(prev) => {
+                                let mut est = self.engine.ingest(client, &sample, &prev)?;
+                                est.degraded = true;
+                                est.degraded_reasons
+                                    .push(format!("stale_model:{}@v{}", prev.name, prev.version));
+                                ServerStats::bump(&self.stats.stale_model_fallbacks);
+                                est
+                            }
+                            None => return Err(ServeError::WidthMismatch { expected, got }),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
+                if est.degraded {
+                    ServerStats::bump(&self.stats.degraded_estimates);
+                }
                 ServerStats::bump(&self.stats.samples_ingested);
                 ServerStats::bump(&self.stats.estimates_served);
                 Ok(est.to_json_value())
@@ -161,6 +220,7 @@ impl PowerServer {
             registry: Arc::clone(&registry),
             engine: EstimatorEngine::new(config.engine),
             stats: Arc::clone(&stats),
+            config: config.clone(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
@@ -291,13 +351,18 @@ fn worker_loop(
 }
 
 fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
+    let cfg = &service.config;
+    let _ = stream.set_read_timeout(cfg.read_timeout);
+    let _ = stream.set_write_timeout(cfg.write_timeout);
+    let mut idle = Duration::ZERO;
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match read_frame(&mut stream) {
+        match read_frame_limited(&mut stream, cfg.max_frame_bytes) {
             Ok(None) => break, // clean EOF
             Ok(Some(frame)) => {
+                idle = Duration::ZERO;
                 ServerStats::bump(&service.stats.frames_received);
                 let response = match Request::from_json_value(&frame) {
                     Ok(req) => service.handle(id, req),
@@ -310,6 +375,22 @@ fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &A
                     break; // client went away mid-response
                 }
             }
+            // The read deadline expired between frames: an idle poll.
+            // Keep waiting until the idle budget is spent, then reap.
+            Err(ServeError::Deadline { mid_frame: false }) => {
+                idle += cfg.read_timeout.unwrap_or(Duration::ZERO);
+                match cfg.idle_timeout {
+                    Some(max) if idle >= max => {
+                        ServerStats::bump(&service.stats.connections_reaped);
+                        let _ = write_frame(
+                            &mut stream,
+                            &error_response(&ServeError::Deadline { mid_frame: false }),
+                        );
+                        break;
+                    }
+                    _ => {}
+                }
+            }
             // Payload was framed correctly but wasn't valid JSON: the
             // stream is still in sync, so answer and keep serving.
             Err(e @ ServeError::Json(_)) => {
@@ -318,8 +399,9 @@ fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &A
                     break;
                 }
             }
-            // Framing broken (truncation, oversized prefix) or socket
-            // error: report if possible, then drop the connection.
+            // Framing broken (truncation, oversized prefix, a deadline
+            // mid-frame) or socket error: report if possible, then
+            // drop the connection.
             Err(e) => {
                 ServerStats::bump(&service.stats.frames_errored);
                 let _ = write_frame(&mut stream, &error_response(&e));
@@ -333,7 +415,7 @@ fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &A
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::unwrap_response;
+    use crate::protocol::{read_frame, unwrap_response};
     use crate::test_fixtures::tiny_model;
 
     fn request(stream: &mut TcpStream, req: &Request) -> Result<Json, ServeError> {
@@ -396,6 +478,7 @@ mod tests {
                 freq_mhz: 2400,
                 voltage: 1.0,
                 deltas: vec![0.0],
+                missing: vec![],
             }),
         );
         assert!(err.unwrap_err().to_string().contains("no active model"));
@@ -435,6 +518,111 @@ mod tests {
         let err = unwrap_response(frame).unwrap_err();
         assert!(err.to_string().contains("overloaded"), "{err}");
         assert_eq!(server.stats().connections_shed.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_reaped_with_a_deadline_frame() {
+        let cfg = ServerConfig {
+            workers: 1,
+            read_timeout: Some(Duration::from_millis(10)),
+            idle_timeout: Some(Duration::from_millis(30)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // Say nothing. The reaper must answer with a deadline error
+        // frame and close the connection.
+        let frame = read_frame(&mut c).unwrap().unwrap();
+        let err = unwrap_response(frame).unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert!(matches!(read_frame(&mut c), Ok(None) | Err(_)));
+        assert_eq!(server.stats().connections_reaped.load(Ordering::Relaxed), 1);
+        // The worker is free again for the next client.
+        let mut c2 = TcpStream::connect(server.addr()).unwrap();
+        assert!(request(&mut c2, &Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn configurable_frame_cap_is_enforced_on_the_read_path() {
+        let cfg = ServerConfig {
+            workers: 1,
+            max_frame_bytes: 64,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // A stats request fits in 64 bytes…
+        assert!(request(&mut c, &Request::Stats).is_ok());
+        // …but a frame above the cap is rejected and the connection
+        // dropped (the payload was never read, so the stream would be
+        // out of sync).
+        use std::io::Write;
+        let big = vec![b' '; 65];
+        c.write_all(&(big.len() as u32).to_be_bytes()).unwrap();
+        c.write_all(&big).unwrap();
+        let frame = read_frame(&mut c).unwrap().unwrap();
+        assert!(unwrap_response(frame)
+            .unwrap_err()
+            .to_string()
+            .contains("cap"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn width_mismatch_falls_back_to_previous_model() {
+        use crate::test_fixtures::{narrow_model, tiny_dataset};
+        let mut server = started(1, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+
+        // v1: the regular tiny model. v2: a model with fewer events.
+        let m1 = tiny_model();
+        let narrow = narrow_model();
+        request(
+            &mut c,
+            &Request::LoadModel {
+                name: "hsw".into(),
+                model: m1.to_json_value(),
+                activate: true,
+            },
+        )
+        .unwrap();
+        request(
+            &mut c,
+            &Request::LoadModel {
+                name: "hsw".into(),
+                model: narrow.to_json_value(),
+                activate: true,
+            },
+        )
+        .unwrap();
+
+        // A client still streaming v1-width samples gets served by the
+        // previous model, flagged as degraded with a stale_model token.
+        let data = tiny_dataset(1);
+        let row = &data.rows()[0];
+        let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+        let sample = crate::engine::CounterSample {
+            time_ns: 1,
+            duration_s: row.duration_s,
+            freq_mhz: row.freq_mhz,
+            voltage: row.voltage,
+            deltas: m1.events.iter().map(|e| row.rate(*e) * avail).collect(),
+            missing: vec![],
+        };
+        let r = request(&mut c, &Request::Ingest(sample)).unwrap();
+        let est = crate::engine::Estimate::from_json_value(&r).unwrap();
+        assert!(est.degraded);
+        assert!(est
+            .degraded_reasons
+            .iter()
+            .any(|t| t.starts_with("stale_model:hsw@v1")));
+        assert_eq!(est.version, 1);
+        assert_eq!(
+            server.stats().stale_model_fallbacks.load(Ordering::Relaxed),
+            1
+        );
         server.shutdown();
     }
 

@@ -21,6 +21,14 @@ pub struct ServerStats {
     pub estimates_served: AtomicU64,
     /// Models loaded into the registry.
     pub models_loaded: AtomicU64,
+    /// Estimates served in degraded mode (substituted inputs or a
+    /// fallback model).
+    pub degraded_estimates: AtomicU64,
+    /// Ingests answered by the previous model because the active one
+    /// could not read the sample (width mismatch after activation).
+    pub stale_model_fallbacks: AtomicU64,
+    /// Connections closed by the idle reaper.
+    pub connections_reaped: AtomicU64,
 }
 
 impl ServerStats {
@@ -40,6 +48,9 @@ impl ServerStats {
             ("samples_ingested", read(&self.samples_ingested)),
             ("estimates_served", read(&self.estimates_served)),
             ("models_loaded", read(&self.models_loaded)),
+            ("degraded_estimates", read(&self.degraded_estimates)),
+            ("stale_model_fallbacks", read(&self.stale_model_fallbacks)),
+            ("connections_reaped", read(&self.connections_reaped)),
         ])
     }
 }

@@ -20,6 +20,9 @@
 //! * [`merge`] — combining profiles from multiple runs of the same
 //!   experiment, because the counter-group limit means no single run
 //!   records all 54 counters.
+//! * [`sanitize`] — repair of damaged record streams (duplicated
+//!   records, lost tails, undefined ids) so post-processing can run on
+//!   real-world, imperfect trace files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +32,7 @@ pub mod merge;
 pub mod plugin;
 pub mod profile;
 pub mod record;
+pub mod sanitize;
 pub mod tracer;
 
 pub use merge::{merge_runs, MergedProfile};
@@ -37,4 +41,5 @@ pub use profile::{extract_profiles, PhaseProfile};
 pub use record::{
     MetricDef, MetricKind, MetricMode, RegionDef, Trace, TraceError, TraceMeta, TraceRecord,
 };
+pub use sanitize::{sanitize_trace, SanitizeReport};
 pub use tracer::Tracer;

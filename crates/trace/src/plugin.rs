@@ -110,10 +110,16 @@ impl MetricPlugin for PowerPlugin {
         times
             .iter()
             .zip(&jit)
-            .map(|(&t, &j)| TraceRecord::Metric {
-                time_ns: t,
-                metric: 0,
-                value: (obs.power_measured + j).max(0.0),
+            .map(|(&t, &j)| {
+                let v = obs.power_measured + j;
+                TraceRecord::Metric {
+                    time_ns: t,
+                    metric: 0,
+                    // A failed sensor read (NaN) must stay visibly
+                    // broken; clamping it to 0 W would launder a
+                    // dropout into a plausible-looking idle reading.
+                    value: if v.is_finite() { v.max(0.0) } else { v },
+                }
             })
             .collect()
     }

@@ -152,7 +152,16 @@ impl ActivePhase {
                         });
                     }
                     let delta = samples.last().unwrap().1 - samples[0].1;
-                    counters.insert(def.name.clone(), delta.max(0.0));
+                    // `f64::max` returns the non-NaN operand, so a
+                    // plain `delta.max(0.0)` would silently turn a
+                    // failed counter read into a zero count; keep the
+                    // NaN so downstream quarantine can see the fault.
+                    let delta = if delta.is_finite() {
+                        delta.max(0.0)
+                    } else {
+                        f64::NAN
+                    };
+                    counters.insert(def.name.clone(), delta);
                 }
             }
         }

@@ -1,0 +1,256 @@
+//! Trace repair — make a damaged record stream safe to post-process.
+//!
+//! Real trace files arrive damaged: interrupted writes lose the tail,
+//! double flushes repeat records, bit rot references undefined ids.
+//! [`extract_profiles`](crate::extract_profiles) validates and
+//! rejects such traces wholesale; [`sanitize_trace`] instead drops the
+//! minimal set of offending records so the remaining stream passes
+//! validation, and reports exactly what was discarded. Phases whose
+//! `Leave` fell victim to a lost tail disappear entirely (their
+//! samples are unusable) rather than producing a half-window profile.
+
+use crate::record::{Trace, TraceRecord};
+
+/// What [`sanitize_trace`] removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizeReport {
+    /// Exact consecutive duplicate records dropped (double flushes).
+    pub duplicates_dropped: usize,
+    /// Records dropped for moving backwards in time.
+    pub out_of_order_dropped: usize,
+    /// Records dropped for referencing undefined region/metric ids.
+    pub undefined_dropped: usize,
+    /// Records dropped to restore enter/leave balance (lost tails,
+    /// leaves without a matching enter).
+    pub unbalanced_dropped: usize,
+}
+
+impl SanitizeReport {
+    /// Total records removed.
+    pub fn total_dropped(&self) -> usize {
+        self.duplicates_dropped
+            + self.out_of_order_dropped
+            + self.undefined_dropped
+            + self.unbalanced_dropped
+    }
+
+    /// True when the trace needed no repair.
+    pub fn is_clean(&self) -> bool {
+        self.total_dropped() == 0
+    }
+}
+
+/// Repairs a trace in place so that [`Trace::validate`] passes, and
+/// returns what was dropped. A structurally valid trace is untouched.
+pub fn sanitize_trace(trace: &mut Trace) -> SanitizeReport {
+    let mut report = SanitizeReport::default();
+
+    // Pass 1: drop exact consecutive duplicates, undefined ids and
+    // time-travel in one chronological sweep.
+    let mut kept: Vec<TraceRecord> = Vec::with_capacity(trace.records.len());
+    let mut last_time = 0u64;
+    for rec in trace.records.drain(..) {
+        if kept.last() == Some(&rec) {
+            report.duplicates_dropped += 1;
+            continue;
+        }
+        let defined = match rec {
+            TraceRecord::Enter { region, .. } | TraceRecord::Leave { region, .. } => {
+                trace.regions.iter().any(|d| d.id == region)
+            }
+            TraceRecord::Metric { metric, .. } => trace.metrics.iter().any(|d| d.id == metric),
+        };
+        if !defined {
+            report.undefined_dropped += 1;
+            continue;
+        }
+        if rec.time_ns() < last_time {
+            report.out_of_order_dropped += 1;
+            continue;
+        }
+        last_time = rec.time_ns();
+        kept.push(rec);
+    }
+
+    // Pass 2: restore nesting balance. Leaves without a matching enter
+    // are dropped where they occur; a dangling enter invalidates
+    // everything from it onward (the phase's window never closed, so
+    // its samples cannot be attributed).
+    let mut balanced: Vec<TraceRecord> = Vec::with_capacity(kept.len());
+    let mut stack: Vec<(u32, usize)> = Vec::new(); // (region, index in `balanced`)
+    for rec in kept {
+        match rec {
+            TraceRecord::Enter { region, .. } => {
+                stack.push((region, balanced.len()));
+                balanced.push(rec);
+            }
+            TraceRecord::Leave { region, .. } => match stack.last() {
+                Some(&(open, _)) if open == region => {
+                    stack.pop();
+                    balanced.push(rec);
+                }
+                _ => report.unbalanced_dropped += 1,
+            },
+            TraceRecord::Metric { .. } => balanced.push(rec),
+        }
+    }
+    if let Some(&(_, first_dangling)) = stack.first() {
+        report.unbalanced_dropped += balanced.len() - first_dangling;
+        balanced.truncate(first_dangling);
+    }
+
+    trace.records = balanced;
+    debug_assert!(trace.validate().is_ok());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetricDef, MetricKind, MetricMode, RegionDef, TraceMeta};
+
+    fn base_trace() -> Trace {
+        Trace {
+            meta: TraceMeta {
+                workload_id: 1,
+                workload: "sqrt".into(),
+                suite: "roco2".into(),
+                threads: 24,
+                freq_mhz: 2400,
+                run_id: 0,
+            },
+            regions: vec![RegionDef {
+                id: 1,
+                name: "main".into(),
+            }],
+            metrics: vec![MetricDef {
+                id: 1,
+                name: "power".into(),
+                unit: "W".into(),
+                mode: MetricMode::Absolute,
+                kind: MetricKind::Asynchronous,
+            }],
+            records: vec![
+                TraceRecord::Enter {
+                    time_ns: 0,
+                    region: 1,
+                },
+                TraceRecord::Metric {
+                    time_ns: 100,
+                    metric: 1,
+                    value: 200.0,
+                },
+                TraceRecord::Metric {
+                    time_ns: 900,
+                    metric: 1,
+                    value: 210.0,
+                },
+                TraceRecord::Leave {
+                    time_ns: 1000,
+                    region: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn clean_trace_untouched() {
+        let mut t = base_trace();
+        let before = t.clone();
+        let report = sanitize_trace(&mut t);
+        assert!(report.is_clean());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn consecutive_duplicates_removed() {
+        let mut t = base_trace();
+        t.records.insert(1, t.records[0].clone()); // duplicate Enter
+        t.records.insert(3, t.records[2].clone()); // duplicate Metric
+        let report = sanitize_trace(&mut t);
+        assert_eq!(report.duplicates_dropped, 2);
+        assert_eq!(t, base_trace());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn lost_tail_drops_open_phase() {
+        let mut t = base_trace();
+        t.records.truncate(3); // Leave lost → phase never closes
+        let report = sanitize_trace(&mut t);
+        assert_eq!(report.unbalanced_dropped, 3);
+        assert!(t.records.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn leave_without_enter_dropped() {
+        let mut t = base_trace();
+        t.records.insert(
+            0,
+            TraceRecord::Leave {
+                time_ns: 0,
+                region: 1,
+            },
+        );
+        let report = sanitize_trace(&mut t);
+        assert_eq!(report.unbalanced_dropped, 1);
+        assert_eq!(t, base_trace());
+    }
+
+    #[test]
+    fn undefined_ids_dropped() {
+        let mut t = base_trace();
+        t.records.insert(
+            1,
+            TraceRecord::Metric {
+                time_ns: 50,
+                metric: 99,
+                value: 1.0,
+            },
+        );
+        let report = sanitize_trace(&mut t);
+        assert_eq!(report.undefined_dropped, 1);
+        assert_eq!(t, base_trace());
+    }
+
+    #[test]
+    fn out_of_order_records_dropped() {
+        let mut t = base_trace();
+        t.records.insert(
+            2,
+            TraceRecord::Metric {
+                time_ns: 10, // before the previous record at t=100
+                metric: 1,
+                value: 5.0,
+            },
+        );
+        let report = sanitize_trace(&mut t);
+        assert_eq!(report.out_of_order_dropped, 1);
+        assert_eq!(t, base_trace());
+    }
+
+    #[test]
+    fn combined_damage_yields_valid_trace() {
+        let mut t = base_trace();
+        // Duplicate everything, add garbage, lose the tail.
+        let dup: Vec<_> = t
+            .records
+            .iter()
+            .flat_map(|r| [r.clone(), r.clone()])
+            .collect();
+        t.records = dup;
+        t.records.insert(
+            3,
+            TraceRecord::Metric {
+                time_ns: 0,
+                metric: 7,
+                value: 0.0,
+            },
+        );
+        t.records.pop();
+        let report = sanitize_trace(&mut t);
+        assert!(report.total_dropped() > 0);
+        t.validate().unwrap();
+    }
+}

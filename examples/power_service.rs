@@ -54,6 +54,7 @@ fn main() {
             total_cores,
             staleness_ns: 5_000_000_000,
         },
+        ..ServerConfig::default()
     };
     let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
     println!("server listening on {}", server.addr());
@@ -89,6 +90,7 @@ fn main() {
             freq_mhz,
             voltage: obs.voltage,
             deltas: events.iter().map(|e| obs.counters[e.index()]).collect(),
+            missing: vec![],
         };
         let est = client.ingest(&sample).expect("ingest");
         println!(

@@ -1,0 +1,237 @@
+//! Chaos end-to-end: train on the simulated machine, serve the model
+//! for real over TCP, and stream live phases whose observations pass
+//! through a seeded fault injector exercising every observation-level
+//! fault class. The service must never panic, must keep every estimate
+//! finite, must label each degraded estimate with machine-readable
+//! reasons, and — once the fault storm stops — must recover to within
+//! 2 percentage points of the fault-free MAPE baseline.
+//!
+//! Seeded via `CHAOS_SEED` (default 6) so CI can run a fixed seed
+//! matrix without code changes.
+
+use pmc_cpusim::{Machine, MachineConfig, PhaseContext, PhaseObserver};
+use pmc_events::PapiEvent;
+use pmc_faults::{FaultRates, FaultyMachine};
+use pmc_model::acquisition::{Campaign, ExperimentPlan};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{CounterSample, EngineConfig, PowerClient, RetryPolicy};
+use pmc_workloads::Workload;
+use std::sync::Arc;
+
+const FAULT_RATE: f64 = 0.10;
+const PHASES: usize = 120;
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+}
+
+/// The six paper-style events that fit one Haswell counter group.
+fn servable_events() -> Vec<PapiEvent> {
+    vec![
+        PapiEvent::PRF_DM,
+        PapiEvent::REF_CYC,
+        PapiEvent::TOT_CYC,
+        PapiEvent::STL_ICY,
+        PapiEvent::TLB_IM,
+        PapiEvent::FUL_CCY,
+    ]
+}
+
+fn all_kernels() -> Vec<Workload> {
+    let mut kernels = pmc_workloads::roco2::kernels();
+    kernels.extend(pmc_workloads::roco2::extended_kernels());
+    kernels
+}
+
+/// Trains a servable model covering every kernel and streamed
+/// frequency, so estimation error reflects faults, not extrapolation.
+fn train(machine: &Machine) -> PowerModel {
+    let set = pmc_workloads::WorkloadSet::from_workloads(all_kernels());
+    let plan = ExperimentPlan::quick_plan(set, vec![1200, 1600, 2000, 2400]);
+    let profiles = Campaign::new(machine, plan).run().expect("campaign");
+    let data = Dataset::from_profiles(&profiles, machine.config().total_cores()).expect("dataset");
+    PowerModel::fit(&data, &servable_events()).expect("fit")
+}
+
+/// The wire form of one (possibly corrupted) observation: non-finite
+/// deltas are declared out-of-band in `missing` (NaN cannot cross a
+/// JSON wire), a non-finite voltage readout degrades to 0.0.
+fn to_sample(
+    obs: &pmc_cpusim::PhaseObservation,
+    events: &[PapiEvent],
+    time_ns: u64,
+    freq_mhz: u32,
+) -> CounterSample {
+    let mut deltas: Vec<f64> = events.iter().map(|e| obs.counters[e.index()]).collect();
+    let mut missing = Vec::new();
+    for (j, d) in deltas.iter_mut().enumerate() {
+        if !d.is_finite() {
+            *d = 0.0;
+            missing.push(j);
+        }
+    }
+    CounterSample {
+        time_ns,
+        duration_s: obs.duration_s,
+        freq_mhz,
+        voltage: if obs.voltage.is_finite() {
+            obs.voltage
+        } else {
+            0.0
+        },
+        deltas,
+        missing,
+    }
+}
+
+fn phase_context(w: &Workload, run_id: u32, freq_mhz: u32) -> PhaseContext {
+    PhaseContext {
+        workload_id: w.id,
+        phase_id: 0,
+        run_id,
+        threads: 24,
+        freq_mhz,
+        duration_s: 0.25,
+    }
+}
+
+#[test]
+fn service_survives_fault_storm_and_recovers() {
+    let seed = chaos_seed();
+    let machine = Machine::new(MachineConfig::haswell_ep(seed));
+    let total_cores = machine.config().total_cores();
+    let model = train(&machine);
+    let events = servable_events();
+
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        engine: EngineConfig {
+            window: 8,
+            total_cores,
+            staleness_ns: 5_000_000_000,
+        },
+        ..ServerConfig::default()
+    };
+    let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
+
+    let faulty = FaultyMachine::new(
+        machine.clone(),
+        seed ^ 0xfa17,
+        FaultRates::uniform(FAULT_RATE),
+    );
+    let kernels = all_kernels();
+    let freqs = [1200u32, 1600, 2000, 2400];
+    let known_prefixes = [
+        "stale_counter:",
+        "no_history:",
+        "saturated_counter:",
+        "stale_voltage",
+        "stale_model:",
+    ];
+
+    // --- Fault-free baseline on its own connection -------------------
+    let mut baseline_client = PowerClient::connect(server.addr()).unwrap();
+    assert_eq!(
+        baseline_client.load_model("chaos", &model, true).unwrap(),
+        1
+    );
+    let mut baseline_ape = Vec::new();
+    for i in 0..PHASES {
+        let w = &kernels[i % kernels.len()];
+        let ctx = phase_context(w, 7000 + i as u32, freqs[i % freqs.len()]);
+        let obs = machine.observe(&w.phases(24)[0].activity, &ctx);
+        let sample = to_sample(&obs, &events, (i as u64 + 1) * 250_000_000, ctx.freq_mhz);
+        let est = baseline_client.ingest(&sample).expect("baseline ingest");
+        assert!(est.power_w.is_finite());
+        assert!(
+            !est.degraded,
+            "clean stream degraded: {:?}",
+            est.degraded_reasons
+        );
+        baseline_ape.push((est.power_w - obs.power_measured).abs() / obs.power_measured);
+    }
+
+    // --- The storm: same phases, corrupted observations --------------
+    let mut client = PowerClient::connect(server.addr())
+        .unwrap()
+        .with_retry(RetryPolicy::default());
+    let mut degraded = 0usize;
+    let mut tail_ape = Vec::new();
+    for i in 0..2 * PHASES {
+        let storming = i < PHASES;
+        let w = &kernels[i % kernels.len()];
+        let ctx = phase_context(w, 7000 + (i % PHASES) as u32, freqs[i % freqs.len()]);
+        let activity = &w.phases(24)[0].activity;
+        let clean = machine.observe(activity, &ctx);
+        let obs = if storming {
+            PhaseObserver::observe(&faulty, activity, &ctx)
+        } else {
+            clean.clone()
+        };
+        let sample = to_sample(&obs, &events, (i as u64 + 1) * 250_000_000, ctx.freq_mhz);
+        let est = client.ingest(&sample).expect("storm ingest");
+
+        // Liveness and finiteness under every fault class.
+        assert!(
+            est.power_w.is_finite(),
+            "non-finite estimate at phase {i}: {est:?}"
+        );
+        // Degraded estimates must say why, in machine-readable tokens.
+        if est.degraded {
+            degraded += 1;
+            assert!(
+                !est.degraded_reasons.is_empty(),
+                "degraded without reasons at phase {i}"
+            );
+            for reason in &est.degraded_reasons {
+                assert!(
+                    known_prefixes.iter().any(|p| reason.starts_with(p)),
+                    "unrecognized degradation reason {reason:?} at phase {i}"
+                );
+            }
+        } else {
+            assert!(
+                est.degraded_reasons.is_empty(),
+                "reasons without degraded flag at phase {i}"
+            );
+        }
+        if !storming {
+            tail_ape.push((est.power_w - clean.power_measured).abs() / clean.power_measured);
+        }
+    }
+
+    // The storm actually happened and was visible to the engine.
+    assert!(faulty.injector().log().total() > 0);
+    assert!(
+        degraded > 0,
+        "a 10% fault storm over {PHASES} phases produced no degraded estimates"
+    );
+
+    // --- Recovery: post-fault accuracy within 2 pp of baseline -------
+    let mape = |v: &[f64]| 100.0 * v.iter().sum::<f64>() / v.len() as f64;
+    let (base, tail) = (mape(&baseline_ape), mape(&tail_ape));
+    assert!(
+        (tail - base).abs() <= 2.0,
+        "post-fault MAPE {tail:.2}% strayed more than 2 pp from fault-free baseline {base:.2}%"
+    );
+
+    // The server kept precise books on the degradation it served.
+    let stats = client.stats().unwrap();
+    let served = stats
+        .field("server")
+        .unwrap()
+        .u64_field("degraded_estimates")
+        .unwrap();
+    assert!(
+        served >= degraded as u64,
+        "server counted {served} degraded estimates, client saw {degraded}"
+    );
+
+    server.shutdown();
+}

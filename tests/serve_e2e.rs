@@ -50,6 +50,7 @@ fn train_serve_and_stream_live_phases() {
             total_cores,
             staleness_ns: 5_000_000_000,
         },
+        ..ServerConfig::default()
     };
     let mut server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
     let mut client = PowerClient::connect(server.addr()).unwrap();
@@ -83,6 +84,7 @@ fn train_serve_and_stream_live_phases() {
             freq_mhz,
             voltage: obs.voltage,
             deltas: events.iter().map(|e| obs.counters[e.index()]).collect(),
+            missing: vec![],
         };
         let est = client.ingest(&sample).expect("ingest");
 
@@ -131,6 +133,7 @@ fn train_serve_and_stream_live_phases() {
         freq_mhz: 2400,
         voltage: 2.0,
         deltas: vec![1e6; events.len()],
+        missing: vec![],
     };
     assert!(client.ingest(&wild).unwrap().out_of_envelope);
 
@@ -154,6 +157,7 @@ fn train_serve_and_stream_live_phases() {
             freq_mhz: 2400,
             voltage: 1.0,
             deltas: vec![1e6; events.len()],
+            missing: vec![],
         };
         doomed.ingest(&sample).unwrap();
         // Dropped here with a window still open on the server.
