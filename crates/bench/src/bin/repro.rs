@@ -8,6 +8,12 @@
 //!
 //! Targets: `table1`, `fig2`, `vifcap`, `table2`, `fig3`, `fig4`,
 //! `fig5a`, `fig5b`, `table3`, `fig6`, `table4`, `all`.
+//!
+//! `--emit-artifact PATH` additionally fits the paper model (the
+//! selected six counters over the full DVFS dataset) and writes it as
+//! a `pmc-serve` model artifact, ready for
+//! `pmc-serve serve --model PATH` — serving demos start from the
+//! published coefficients instead of retraining.
 
 use pmc_bench::{
     paper_dataset, paper_machine, PAPER_SEED, SELECTED_EVENT_COUNT, SELECTION_FREQ_MHZ,
@@ -397,9 +403,55 @@ fn table4(ctx: &Context) {
     println!("{}", t.render());
 }
 
+/// Fits the paper model on the full dataset and writes it as a
+/// `pmc-serve` artifact at `path`.
+///
+/// The registry refuses models whose events need more than one online
+/// counter run, so when the full selection does not schedule into a
+/// single group (five programmable counters vs four Haswell slots),
+/// the artifact keeps the largest servable prefix of the greedy
+/// selection order — the counters the paper ranks most explanatory.
+fn emit_artifact(ctx: &Context, path: &str) {
+    let scheduler = pmc_events::scheduler::CounterScheduler::haswell_default();
+    let mut events = ctx.events.clone();
+    while scheduler.validate_single_run(&events).is_err() && !events.is_empty() {
+        let dropped = events.pop().unwrap();
+        eprintln!(
+            "# {dropped:?} does not fit the single online counter group — \
+             dropping it from the artifact (kept: {} events)",
+            events.len()
+        );
+    }
+    let model =
+        pmc_model::model::PowerModel::fit(&ctx.data, &events).expect("paper model fit failed");
+    eprintln!(
+        "# fitted paper model for artifact: R² = {:.4}",
+        model.fit_r_squared
+    );
+    let artifact = pmc_serve::ModelArtifact::new("paper", model);
+    let json = artifact.to_json().expect("artifact serialization failed");
+    std::fs::write(path, json).expect("writing artifact failed");
+    println!("wrote pmc-serve artifact to {path} (load with: pmc-serve serve --model {path})");
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let targets: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--emit-artifact PATH` is a side output, not a report target:
+    // strip it (and its value) before target selection.
+    let emit_path = args.iter().position(|a| a == "--emit-artifact").map(|i| {
+        let path = args
+            .get(i + 1)
+            .unwrap_or_else(|| {
+                eprintln!("--emit-artifact needs a file path");
+                std::process::exit(2);
+            })
+            .clone();
+        args.drain(i..=i + 1);
+        path
+    });
+    let targets: Vec<&str> = if args.is_empty() && emit_path.is_some() {
+        Vec::new() // artifact-only invocation: skip the report targets
+    } else if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
             "table1",
             "fig2",
@@ -463,5 +515,9 @@ fn main() {
             "residuals" => residuals(&ctx),
             other => eprintln!("unknown target {other:?} (see --help in the source header)"),
         }
+    }
+
+    if let Some(path) = emit_path {
+        emit_artifact(&ctx, &path);
     }
 }

@@ -1,9 +1,11 @@
 //! `pmc-serve` — run the power-telemetry server or poke one.
 //!
 //! ```text
-//! pmc-serve serve  [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]
-//!                  [--persist DIR] [--read-timeout-ms N] [--write-timeout-ms N]
-//!                  [--idle-timeout-ms N] [--max-frame-bytes N]
+//! pmc-serve serve  [--addr A] [--uds PATH] [--workers N] [--queue N] [--cores N]
+//!                  [--model FILE…] [--persist DIR] [--read-timeout-ms N]
+//!                  [--write-timeout-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]
+//!                  [--max-conns N] [--max-inflight N] [--queue-deadline-ms N]
+//!                  [--drain-deadline-ms N] [--retry-after-ms N]
 //! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)
 //! pmc-serve chaos  [--seed N] [--fault-seed N] [--rate P] [--phases N]
 //! ```
@@ -35,9 +37,15 @@ fn main() -> ExitCode {
         Some("client") => client(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         _ => {
-            eprintln!("usage: pmc-serve serve [--addr A] [--workers N] [--queue N] [--cores N] [--model FILE…]");
-            eprintln!("                       [--persist DIR] [--read-timeout-ms N] [--write-timeout-ms N]");
-            eprintln!("                       [--idle-timeout-ms N] [--max-frame-bytes N]");
+            eprintln!("usage: pmc-serve serve [--addr A] [--uds PATH] [--workers N] [--queue N] [--cores N]");
+            eprintln!(
+                "                       [--model FILE…] [--persist DIR] [--read-timeout-ms N]"
+            );
+            eprintln!("                       [--write-timeout-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]");
+            eprintln!(
+                "                       [--max-conns N] [--max-inflight N] [--queue-deadline-ms N]"
+            );
+            eprintln!("                       [--drain-deadline-ms N] [--retry-after-ms N]");
             eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)");
             eprintln!("       pmc-serve chaos [--seed N] [--fault-seed N] [--rate P] [--phases N]");
             return ExitCode::from(2);
@@ -98,6 +106,24 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(b) = flag_value(args, "--max-frame-bytes") {
         config.max_frame_bytes = b.parse()?;
     }
+    if let Some(p) = flag_value(args, "--uds") {
+        config.uds_path = Some(p.to_string());
+    }
+    if let Some(n) = flag_value(args, "--max-conns") {
+        config.max_connections = n.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--max-inflight") {
+        config.max_inflight = n.parse()?;
+    }
+    if let Some(t) = ms_flag("--queue-deadline-ms")? {
+        config.queue_deadline = t;
+    }
+    if let Some(ms) = flag_value(args, "--drain-deadline-ms") {
+        config.drain_deadline = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(ms) = flag_value(args, "--retry-after-ms") {
+        config.retry_after_ms = ms.parse()?;
+    }
 
     let registry = match flag_value(args, "--persist") {
         Some(dir) => {
@@ -135,6 +161,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
     let mut server = PowerServer::start(config, registry)?;
     println!("listening on {}", server.addr());
+    if let Some(path) = server.uds_path() {
+        println!("listening on uds {path}");
+    }
     // Serve until stdin closes — the conventional "run me under a
     // supervisor" lifetime without needing signal handling.
     let mut sink = Vec::new();

@@ -5,19 +5,33 @@
 //! length-prefixed stream, a reaped idle connection — are retried
 //! with jittered exponential backoff over a **fresh connection**
 //! (reconnecting is the only reliable way to resynchronize a
-//! length-prefixed stream after a short read). Server-reported errors
-//! ([`ServeError::Server`]) are never retried: the request arrived
-//! and was refused. Note a reconnect resets the server-side estimator
-//! window for this client; under faults an occasional window restart
-//! is the intended degradation, not data loss.
+//! length-prefixed stream after a short read). Typed
+//! [`ServeError::Overloaded`] responses are retried on the **same**
+//! connection (the stream is still in sync) after at least the
+//! server's `retry_after_ms` hint. Server-reported errors
+//! ([`ServeError::Server`]) and [`ServeError::Draining`] are never
+//! retried: the request arrived and was refused. Note a reconnect
+//! resets the server-side estimator window for this client; under
+//! faults an occasional window restart is the intended degradation,
+//! not data loss.
+//!
+//! With a [`BreakerPolicy`] attached, consecutive overload/timeout
+//! failures trip a **circuit breaker**: further calls fail fast with
+//! [`ServeError::CircuitOpen`] (no network touch) until a jittered
+//! cooldown elapses, then a single half-open probe decides whether to
+//! close the breaker or re-open it with a doubled cooldown. The
+//! breaker composes with the retry layer: retries that keep hitting
+//! overload count as consecutive failures, so a persistently
+//! overloaded server stops being hammered.
 
 use crate::engine::{CounterSample, Estimate};
 use crate::error::ServeError;
 use crate::protocol::{read_frame, unwrap_response, write_frame, Request};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Jittered exponential backoff for transport-level retries.
 #[derive(Debug, Clone)]
@@ -56,6 +70,97 @@ impl RetryPolicy {
     }
 }
 
+/// Circuit-breaker tuning: when to trip, how long to stay open.
+#[derive(Debug, Clone)]
+pub struct BreakerPolicy {
+    /// Consecutive overload/timeout failures that trip the breaker.
+    pub failure_threshold: u32,
+    /// Open duration after the first trip; doubles on each re-trip.
+    pub cooldown: Duration,
+    /// Ceiling on the doubling cooldown.
+    pub max_cooldown: Duration,
+    /// Seed of the deterministic cooldown-jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+            max_cooldown: Duration::from_secs(5),
+            seed: 0x6272_6561_6b65_7231, // arbitrary fixed default
+        }
+    }
+}
+
+/// Closed → (threshold consecutive failures) → Open → (cooldown) →
+/// HalfOpen probe → Closed on success, Open with doubled cooldown on
+/// failure.
+#[derive(Debug)]
+struct Breaker {
+    policy: BreakerPolicy,
+    rng: u64,
+    consecutive: u32,
+    /// `Some(t)` while open: fail fast until `t`.
+    open_until: Option<Instant>,
+    /// Cooldown the *next* trip will apply (doubles while tripping).
+    next_cooldown: Duration,
+    /// The next attempt is the single half-open probe.
+    half_open: bool,
+}
+
+impl Breaker {
+    fn new(policy: BreakerPolicy) -> Self {
+        Breaker {
+            rng: policy.seed,
+            next_cooldown: policy.cooldown,
+            policy,
+            consecutive: 0,
+            open_until: None,
+            half_open: false,
+        }
+    }
+
+    /// Gate before an attempt: `Err(retry_in_ms)` while the breaker
+    /// is open; flips to half-open when the cooldown has elapsed.
+    fn admit(&mut self) -> Result<(), u64> {
+        if let Some(until) = self.open_until {
+            let now = Instant::now();
+            if now < until {
+                return Err((until - now).as_millis().max(1) as u64);
+            }
+            self.open_until = None;
+            self.half_open = true;
+        }
+        Ok(())
+    }
+
+    fn on_success(&mut self) {
+        self.consecutive = 0;
+        self.half_open = false;
+        self.next_cooldown = self.policy.cooldown;
+    }
+
+    /// Records a failure; only overload/timeout failures count toward
+    /// tripping. A failed half-open probe re-opens immediately.
+    fn on_failure(&mut self, counts: bool) {
+        if !counts {
+            return;
+        }
+        self.consecutive += 1;
+        if self.half_open || self.consecutive >= self.policy.failure_threshold {
+            // Jittered open window in [0.5, 1.5)·cooldown so a fleet
+            // of breakers doesn't probe in lockstep.
+            let jitter = splitmix_next(&mut self.rng) as f64 / u64::MAX as f64;
+            let window = self.next_cooldown.mul_f64(0.5 + jitter);
+            self.open_until = Some(Instant::now() + window);
+            self.next_cooldown = (self.next_cooldown * 2).min(self.policy.max_cooldown);
+            self.half_open = false;
+        }
+    }
+}
+
 /// One step of the splitmix64 sequence — the same generator the
 /// simulator uses, inlined so the client crate stays dependency-light.
 fn splitmix_next(state: &mut u64) -> u64 {
@@ -66,25 +171,96 @@ fn splitmix_next(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Where the client (re)connects to.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+/// The client's transport stream, TCP or Unix-domain.
+#[derive(Debug)]
+enum ClientStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ClientStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
 /// One connection to a power server. Each client owns its own
 /// estimator window on the server side; drop the client to release it.
 #[derive(Debug)]
 pub struct PowerClient {
-    stream: TcpStream,
-    addr: SocketAddr,
+    stream: ClientStream,
+    endpoint: Endpoint,
     retry: Option<RetryPolicy>,
+    breaker: Option<Breaker>,
     rng: u64,
 }
 
+/// How a failed call should be retried, if at all.
+enum RetryMode {
+    /// Transport broke: resync on a fresh connection.
+    Reconnect,
+    /// Typed overload: the stream is in sync; retry in place after at
+    /// least the server's hint (milliseconds).
+    SameConn(u64),
+    /// Not retryable.
+    No,
+}
+
 impl PowerClient {
-    /// Connects to a running server.
+    /// Connects to a running server over TCP.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
         let stream = TcpStream::connect(addr)?;
         let addr = stream.peer_addr()?;
         Ok(PowerClient {
-            stream,
-            addr,
+            stream: ClientStream::Tcp(stream),
+            endpoint: Endpoint::Tcp(addr),
             retry: None,
+            breaker: None,
+            rng: 0,
+        })
+    }
+
+    /// Connects to a running server over a Unix domain socket.
+    #[cfg(unix)]
+    pub fn connect_uds(path: impl AsRef<std::path::Path>) -> Result<Self, ServeError> {
+        let path = path.as_ref().to_path_buf();
+        let stream = std::os::unix::net::UnixStream::connect(&path)?;
+        Ok(PowerClient {
+            stream: ClientStream::Unix(stream),
+            endpoint: Endpoint::Unix(path),
+            retry: None,
+            breaker: None,
             rng: 0,
         })
     }
@@ -93,6 +269,12 @@ impl PowerClient {
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.rng = policy.seed;
         self.retry = Some(policy);
+        self
+    }
+
+    /// Enables the circuit breaker with the given policy.
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = Some(Breaker::new(policy));
         self
     }
 
@@ -109,19 +291,68 @@ impl PowerClient {
         }
     }
 
+    /// True for the failures the circuit breaker counts: typed
+    /// overload responses and timeouts (socket deadlines included).
+    fn counts_for_breaker(e: &ServeError) -> bool {
+        match e {
+            ServeError::Overloaded { .. } | ServeError::Deadline { .. } => true,
+            ServeError::Io(io) => matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
+
+    fn reconnect(&mut self) {
+        let fresh = match &self.endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(ClientStream::Tcp),
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                std::os::unix::net::UnixStream::connect(path).map(ClientStream::Unix)
+            }
+        };
+        if let Ok(s) = fresh {
+            self.stream = s;
+        }
+    }
+
     /// Sends a request and returns the unwrapped `result` payload.
     /// With a [`RetryPolicy`], transient transport failures reconnect
-    /// and retry with jittered backoff.
+    /// and retry with jittered backoff, and typed overloads retry in
+    /// place after the server's `retry_after_ms` hint. With a
+    /// [`BreakerPolicy`], consecutive overload/timeout failures make
+    /// later calls fail fast with [`ServeError::CircuitOpen`].
     pub fn call(&mut self, req: &Request) -> Result<Json, ServeError> {
         let payload = req.to_json_value();
         let mut attempt = 0u32;
         loop {
-            let result = self.call_once(&payload);
-            match result {
-                Ok(r) => return Ok(r),
+            if let Some(b) = self.breaker.as_mut() {
+                if let Err(retry_in_ms) = b.admit() {
+                    return Err(ServeError::CircuitOpen { retry_in_ms });
+                }
+            }
+            match self.call_once(&payload) {
+                Ok(r) => {
+                    if let Some(b) = self.breaker.as_mut() {
+                        b.on_success();
+                    }
+                    return Ok(r);
+                }
                 Err(e) => {
-                    let retries = match &self.retry {
-                        Some(p) if Self::is_transient(&e) => p.max_retries,
+                    let counts = Self::counts_for_breaker(&e);
+                    if let Some(b) = self.breaker.as_mut() {
+                        b.on_failure(counts);
+                    }
+                    let mode = match &e {
+                        ServeError::Overloaded { retry_after_ms } => {
+                            RetryMode::SameConn(*retry_after_ms)
+                        }
+                        _ if Self::is_transient(&e) => RetryMode::Reconnect,
+                        _ => RetryMode::No,
+                    };
+                    let retries = match (&self.retry, &mode) {
+                        (Some(p), RetryMode::Reconnect | RetryMode::SameConn(_)) => p.max_retries,
                         _ => return Err(e),
                     };
                     attempt += 1;
@@ -129,11 +360,17 @@ impl PowerClient {
                         return Err(e);
                     }
                     let policy = self.retry.clone().expect("checked above");
-                    std::thread::sleep(policy.delay(attempt, &mut self.rng));
-                    // Resync by reconnecting: after a short read the
-                    // length-prefixed stream cannot be re-aligned.
-                    if let Ok(s) = TcpStream::connect(self.addr) {
-                        self.stream = s;
+                    let mut delay = policy.delay(attempt, &mut self.rng);
+                    if let RetryMode::SameConn(hint_ms) = mode {
+                        // Never retry sooner than the server asked.
+                        delay = delay.max(Duration::from_millis(hint_ms));
+                    }
+                    std::thread::sleep(delay);
+                    if matches!(mode, RetryMode::Reconnect) {
+                        // Resync by reconnecting: after a short read
+                        // the length-prefixed stream cannot be
+                        // re-aligned.
+                        self.reconnect();
                     }
                 }
             }
@@ -199,6 +436,13 @@ impl PowerClient {
     pub fn stats(&mut self) -> Result<Json, ServeError> {
         self.call(&Request::Stats)
     }
+
+    /// Diagnostic round-trip holding a server worker for `delay_ms`
+    /// (server-capped). Returns how long the server actually slept.
+    pub fn ping(&mut self, delay_ms: u64) -> Result<u64, ServeError> {
+        let r = self.call(&Request::Ping { delay_ms })?;
+        Ok(r.u64_field("slept_ms")?)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +464,7 @@ mod tests {
         assert_eq!(c.load_model("hsw", &model, true).unwrap(), 1);
         assert_eq!(c.load_model("hsw", &model, false).unwrap(), 2);
         assert!(c.estimate(0).unwrap().is_none());
+        assert_eq!(c.ping(0).unwrap(), 0);
 
         // Stream a sample built from a training row.
         let data = tiny_dataset(4);
@@ -317,5 +562,113 @@ mod tests {
         let mut r1 = 7u64;
         let mut r2 = 7u64;
         assert_eq!(p.delay(3, &mut r1), p.delay(3, &mut r2));
+    }
+
+    #[test]
+    fn breaker_state_machine_trips_half_opens_and_recovers() {
+        let mut b = Breaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(20),
+            max_cooldown: Duration::from_millis(100),
+            seed: 7,
+        });
+        // Non-counting failures never trip.
+        b.on_failure(false);
+        b.on_failure(false);
+        assert!(b.admit().is_ok());
+        // Two counting failures trip it.
+        b.on_failure(true);
+        b.on_failure(true);
+        let retry_in = b.admit().unwrap_err();
+        assert!(retry_in >= 1);
+        // After the cooldown it half-opens (admits one probe)…
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(b.admit().is_ok());
+        assert!(b.half_open);
+        // …and a failed probe re-opens with a doubled cooldown.
+        b.on_failure(true);
+        assert!(b.admit().is_err());
+        assert_eq!(b.next_cooldown, Duration::from_millis(80));
+        // A successful probe closes and resets.
+        std::thread::sleep(Duration::from_millis(70));
+        assert!(b.admit().is_ok());
+        b.on_success();
+        assert!(b.admit().is_ok());
+        assert_eq!(b.next_cooldown, Duration::from_millis(20));
+        assert_eq!(b.consecutive, 0);
+    }
+
+    #[test]
+    fn breaker_fails_fast_against_an_overloaded_server() {
+        // max_inflight 0: every request is answered with a typed
+        // overload, so the breaker sees consecutive countable failures.
+        let cfg = ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = PowerClient::connect(server.addr())
+            .unwrap()
+            .with_breaker(BreakerPolicy {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(5),
+                max_cooldown: Duration::from_secs(5),
+                seed: 3,
+            });
+        assert!(matches!(
+            c.ping(0).unwrap_err(),
+            ServeError::Overloaded { .. }
+        ));
+        assert!(matches!(
+            c.ping(0).unwrap_err(),
+            ServeError::Overloaded { .. }
+        ));
+        // Tripped: the next call never touches the network.
+        match c.ping(0).unwrap_err() {
+            ServeError::CircuitOpen { retry_in_ms } => assert!(retry_in_ms > 0),
+            other => panic!("expected circuit open, got {other}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn overload_retry_waits_at_least_the_server_hint() {
+        let cfg = ServerConfig {
+            max_inflight: 0,
+            retry_after_ms: 80,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = PowerClient::connect(server.addr())
+            .unwrap()
+            .with_retry(RetryPolicy {
+                max_retries: 1,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(2),
+                seed: 9,
+            });
+        let t0 = Instant::now();
+        let err = c.ping(0).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+        // One retry happened, and it waited for the 80 ms hint even
+        // though the backoff policy alone would retry in ~1 ms.
+        assert!(t0.elapsed() >= Duration::from_millis(80));
+        server.shutdown();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn client_speaks_uds() {
+        let path =
+            std::env::temp_dir().join(format!("pmc-client-test-{}.sock", std::process::id()));
+        let cfg = ServerConfig {
+            uds_path: Some(path.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = PowerClient::connect_uds(&path).unwrap();
+        assert_eq!(c.ping(0).unwrap(), 0);
+        assert!(c.stats().is_ok());
+        server.shutdown();
     }
 }

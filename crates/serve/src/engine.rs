@@ -220,11 +220,19 @@ struct ClientState {
     last: Option<Estimate>,
 }
 
-/// The multi-client streaming estimator.
+/// How many locks the client map is split across. Connection ids are
+/// sequential, so `id % SHARDS` spreads neighbors over distinct locks
+/// and concurrent ingests from different clients rarely contend.
+const SHARDS: u64 = 16;
+
+/// The multi-client streaming estimator. Client state is sharded
+/// across [`SHARDS`] independently locked maps so the readiness core's
+/// worker pool does not serialize on a single engine lock at high
+/// client counts.
 #[derive(Debug)]
 pub struct EstimatorEngine {
     config: EngineConfig,
-    clients: Mutex<HashMap<u64, ClientState>>,
+    shards: [Mutex<HashMap<u64, ClientState>>; SHARDS as usize],
 }
 
 impl EstimatorEngine {
@@ -232,8 +240,12 @@ impl EstimatorEngine {
     pub fn new(config: EngineConfig) -> Self {
         EstimatorEngine {
             config,
-            clients: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
+    }
+
+    fn shard(&self, client: u64) -> &Mutex<HashMap<u64, ClientState>> {
+        &self.shards[(client % SHARDS) as usize]
     }
 
     /// The engine's configuration.
@@ -278,7 +290,7 @@ impl EstimatorEngine {
         }
 
         let id = (artifact.name.clone(), artifact.version);
-        let mut clients = self.clients.lock().expect("engine lock poisoned");
+        let mut clients = self.shard(client).lock().expect("engine lock poisoned");
         let state = clients.entry(client).or_default();
         if state.model_id.as_ref() != Some(&id) {
             state.window.clear();
@@ -357,7 +369,7 @@ impl EstimatorEngine {
     /// The latest estimate for `client`, with the staleness flag
     /// evaluated against `now_ns` (the client's clock).
     pub fn estimate(&self, client: u64, now_ns: u64) -> Option<Estimate> {
-        let clients = self.clients.lock().expect("engine lock poisoned");
+        let clients = self.shard(client).lock().expect("engine lock poisoned");
         let state = clients.get(&client)?;
         let mut est = state.last.clone()?;
         est.stale = now_ns.saturating_sub(est.time_ns) > self.config.staleness_ns;
@@ -366,7 +378,7 @@ impl EstimatorEngine {
 
     /// Drops a client's window (connection closed).
     pub fn forget(&self, client: u64) {
-        self.clients
+        self.shard(client)
             .lock()
             .expect("engine lock poisoned")
             .remove(&client);
@@ -374,7 +386,10 @@ impl EstimatorEngine {
 
     /// Number of clients with live state.
     pub fn client_count(&self) -> usize {
-        self.clients.lock().expect("engine lock poisoned").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("engine lock poisoned").len())
+            .sum()
     }
 }
 

@@ -52,10 +52,24 @@ pub enum ServeError {
         /// The server's error text.
         message: String,
     },
-    /// The server shed the request because its queue was full.
-    Overloaded,
-    /// The server is shutting down and no longer accepts work.
-    ShuttingDown,
+    /// The server refused admission (connection budget, in-flight
+    /// budget, or a request that outlived its queue deadline). Typed
+    /// so clients can back off for the suggested interval instead of
+    /// hammering an overloaded server.
+    Overloaded {
+        /// Server's suggested backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The server is draining for shutdown: in-flight work finishes,
+    /// new requests are refused, and the connection will close.
+    Draining,
+    /// The client-side circuit breaker is open: recent calls failed
+    /// with overload/timeout, so this call failed fast without
+    /// touching the network.
+    CircuitOpen {
+        /// Time until the breaker half-opens for a probe, milliseconds.
+        retry_in_ms: u64,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -80,8 +94,15 @@ impl fmt::Display for ServeError {
                 }
             }
             ServeError::Server { message } => write!(f, "server error: {message}"),
-            ServeError::Overloaded => write!(f, "server overloaded: request shed"),
-            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Overloaded { retry_after_ms } => write!(
+                f,
+                "server overloaded: request shed, retry after {retry_after_ms} ms"
+            ),
+            ServeError::Draining => write!(f, "server draining: shutting down, no new work"),
+            ServeError::CircuitOpen { retry_in_ms } => write!(
+                f,
+                "circuit breaker open: failing fast, next probe in {retry_in_ms} ms"
+            ),
         }
     }
 }
@@ -128,7 +149,11 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(ServeError::Overloaded.to_string().contains("shed"));
+        let e = ServeError::Overloaded { retry_after_ms: 50 };
+        assert!(e.to_string().contains("shed") && e.to_string().contains("50"));
+        assert!(ServeError::Draining.to_string().contains("draining"));
+        let e = ServeError::CircuitOpen { retry_in_ms: 75 };
+        assert!(e.to_string().contains("breaker") && e.to_string().contains("75"));
         let e = ServeError::Protocol {
             reason: "frame too large".into(),
         };

@@ -18,12 +18,20 @@
 //!    windows over timestamped counter-delta samples, normalized to
 //!    events per available core cycle exactly as the offline dataset
 //!    assembly does, with out-of-envelope and staleness flags.
-//! 3. **[`server`] / [`client`] / [`protocol`]** — a concurrent
-//!    localhost TCP server speaking 4-byte-length-prefixed JSON
+//! 3. **[`server`] / [`client`] / [`protocol`]** — a
+//!    readiness-based server speaking 4-byte-length-prefixed JSON
 //!    frames (`ingest`, `estimate`, `load_model`, `activate`,
-//!    `rollback`, `stats`), with a fixed worker pool, a bounded
-//!    pending queue that sheds with an error frame under overload,
-//!    and graceful drain-then-join shutdown.
+//!    `rollback`, `stats`, `ping`) over localhost TCP and optionally
+//!    a Unix domain socket. One non-blocking core thread multiplexes
+//!    every connection over a fixed worker pool, with admission
+//!    control (connection and in-flight budgets answered by typed
+//!    `overloaded` frames), deadline-aware load shedding, slow-client
+//!    buffering under read/write deadlines, and a graceful drain that
+//!    finishes in-flight work, notifies clients with a `draining`
+//!    frame and flushes the registry. The client side composes
+//!    jittered retry/backoff ([`RetryPolicy`]) with a circuit breaker
+//!    ([`BreakerPolicy`]) that fails fast after consecutive
+//!    overload/timeout failures.
 //!
 //! ## Quick example
 //!
@@ -54,7 +62,7 @@ pub mod server;
 pub mod stats;
 
 pub use artifact::ModelArtifact;
-pub use client::{PowerClient, RetryPolicy};
+pub use client::{BreakerPolicy, PowerClient, RetryPolicy};
 pub use engine::{CounterSample, EngineConfig, Estimate, EstimatorEngine};
 pub use error::ServeError;
 pub use registry::{ModelRegistry, RecoveryReport};

@@ -30,6 +30,16 @@ fn is_timeout(e: &std::io::Error) -> bool {
 
 /// Writes one frame: 4-byte big-endian length, then the JSON text.
 pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError> {
+    let bytes = encode_frame(payload)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes one frame (length prefix + JSON text) into a byte
+/// vector — the building block for buffered non-blocking writers that
+/// cannot use [`write_frame`]'s all-or-nothing `write_all`.
+pub fn encode_frame(payload: &Json) -> Result<Vec<u8>, ServeError> {
     let text = payload.to_string();
     let bytes = text.as_bytes();
     if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
@@ -37,10 +47,80 @@ pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError>
             reason: format!("outgoing frame of {} bytes exceeds cap", bytes.len()),
         });
     }
-    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
-    w.write_all(bytes)?;
-    w.flush()?;
-    Ok(())
+    let mut out = Vec::with_capacity(4 + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+    out.extend_from_slice(bytes);
+    Ok(out)
+}
+
+/// Attempts to parse one frame from the front of an accumulation
+/// buffer (the readiness-loop read path: bytes arrive in arbitrary
+/// fragments and pile up per connection).
+///
+/// Returns `Ok(Some((frame, consumed)))` when a complete frame is
+/// available — the caller must drain `consumed` bytes. `Ok(None)`
+/// means the buffer holds only a partial frame; read more. An
+/// oversized length prefix is a [`ServeError::Protocol`] error (the
+/// connection must be dropped: the stream cannot be resynchronized),
+/// while a complete frame whose payload is not UTF-8 JSON is a
+/// [`ServeError::Json`]/[`ServeError::Protocol`] error *after* the
+/// frame was consumed from the buffer — the caller learns how many
+/// bytes to drop via the error path below, so the stream stays in
+/// sync. To keep that distinction simple, payload-level failures are
+/// reported through [`FrameError::Payload`] with the consumed length.
+pub fn parse_frame(
+    buf: &[u8],
+    max_bytes: u32,
+) -> std::result::Result<Option<(Json, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len > max_bytes {
+        return Err(FrameError::Fatal(ServeError::Protocol {
+            reason: format!("frame of {len} bytes exceeds {max_bytes}-byte cap"),
+        }));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[4..total];
+    let text = match std::str::from_utf8(payload) {
+        Ok(t) => t,
+        Err(_) => {
+            return Err(FrameError::Payload {
+                consumed: total,
+                error: ServeError::Protocol {
+                    reason: "frame payload is not UTF-8".into(),
+                },
+            })
+        }
+    };
+    match Json::parse(text) {
+        Ok(v) => Ok(Some((v, total))),
+        Err(e) => Err(FrameError::Payload {
+            consumed: total,
+            error: ServeError::Json(e),
+        }),
+    }
+}
+
+/// How buffer-based frame parsing fails.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream is desynchronized (hostile length prefix); the
+    /// connection must be dropped.
+    Fatal(ServeError),
+    /// The frame was well-delimited but its payload was garbage. The
+    /// stream is still in sync: drop `consumed` bytes, answer with the
+    /// error, keep serving.
+    Payload {
+        /// Bytes of the offending frame to drain from the buffer.
+        consumed: usize,
+        /// What was wrong with the payload.
+        error: ServeError,
+    },
 }
 
 /// Reads one frame under the default [`MAX_FRAME_BYTES`] cap.
@@ -137,6 +217,13 @@ pub enum Request {
     Rollback,
     /// Server and registry statistics.
     Stats,
+    /// Diagnostic echo that holds a worker for `delay_ms` (the server
+    /// caps the delay). Exists so overload, shedding and drain paths
+    /// can be exercised deterministically in tests and drills.
+    Ping {
+        /// Requested worker hold time, milliseconds (server-capped).
+        delay_ms: u64,
+    },
 }
 
 impl Request {
@@ -168,6 +255,10 @@ impl Request {
             ]),
             Request::Rollback => Json::obj(vec![("op", Json::from("rollback"))]),
             Request::Stats => Json::obj(vec![("op", Json::from("stats"))]),
+            Request::Ping { delay_ms } => Json::obj(vec![
+                ("op", Json::from("ping")),
+                ("delay_ms", Json::from(*delay_ms)),
+            ]),
         }
     }
 
@@ -192,6 +283,9 @@ impl Request {
             }),
             "rollback" => Ok(Request::Rollback),
             "stats" => Ok(Request::Stats),
+            "ping" => Ok(Request::Ping {
+                delay_ms: v.u64_field("delay_ms").unwrap_or(0),
+            }),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
             }),
@@ -204,21 +298,37 @@ pub fn ok_response(result: Json) -> Json {
     Json::obj(vec![("status", Json::from("ok")), ("result", result)])
 }
 
-/// Wraps an error in an error-response frame.
+/// Wraps an error in an error-response frame. Overload and drain are
+/// **typed statuses** on the wire (not flattened into a message
+/// string) so clients can machine-read the backoff hint and tell a
+/// shedding server from a broken request.
 pub fn error_response(err: &ServeError) -> Json {
-    Json::obj(vec![
-        ("status", Json::from("error")),
-        ("error", Json::from(err.to_string())),
-    ])
+    match err {
+        ServeError::Overloaded { retry_after_ms } => Json::obj(vec![
+            ("status", Json::from("overloaded")),
+            ("retry_after_ms", Json::from(*retry_after_ms)),
+        ]),
+        ServeError::Draining => Json::obj(vec![("status", Json::from("draining"))]),
+        _ => Json::obj(vec![
+            ("status", Json::from("error")),
+            ("error", Json::from(err.to_string())),
+        ]),
+    }
 }
 
 /// Unwraps a response frame: the `result` payload, or the server's
-/// error surfaced as a typed [`ServeError::Server`] (so callers —
+/// error surfaced as a typed error — [`ServeError::Overloaded`] with
+/// its backoff hint, [`ServeError::Draining`], or the catch-all
+/// [`ServeError::Server`] carrying the message verbatim (so callers —
 /// and retry loops — can tell a server-reported failure from a local
 /// transport one).
 pub fn unwrap_response(v: Json) -> Result<Json, ServeError> {
     match v.str_field("status")? {
         "ok" => Ok(v.field("result")?.clone()),
+        "overloaded" => Err(ServeError::Overloaded {
+            retry_after_ms: v.u64_field("retry_after_ms").unwrap_or(0),
+        }),
+        "draining" => Err(ServeError::Draining),
         "error" => Err(ServeError::Server {
             message: v.str_field("error")?.to_string(),
         }),
@@ -257,6 +367,7 @@ mod tests {
         });
         roundtrip(Request::Rollback);
         roundtrip(Request::Stats);
+        roundtrip(Request::Ping { delay_ms: 12 });
         roundtrip(Request::LoadModel {
             name: "hsw".into(),
             model: Json::obj(vec![("k", Json::from(1.0))]),
@@ -365,8 +476,70 @@ mod tests {
     fn response_wrappers() {
         let ok = ok_response(Json::from(1.0));
         assert_eq!(unwrap_response(ok).unwrap(), Json::from(1.0));
-        let err = error_response(&ServeError::Overloaded);
+        // Overload round-trips as a typed status with its backoff hint.
+        let err = error_response(&ServeError::Overloaded { retry_after_ms: 40 });
+        assert_eq!(err.str_field("status").unwrap(), "overloaded");
         let e = unwrap_response(err).unwrap_err();
-        assert!(e.to_string().contains("shed"));
+        assert!(matches!(e, ServeError::Overloaded { retry_after_ms: 40 }));
+        // So does draining.
+        let err = error_response(&ServeError::Draining);
+        assert_eq!(err.str_field("status").unwrap(), "draining");
+        assert!(matches!(
+            unwrap_response(err).unwrap_err(),
+            ServeError::Draining
+        ));
+        // Everything else stays a message-carrying error status.
+        let err = error_response(&ServeError::Protocol {
+            reason: "bad".into(),
+        });
+        assert!(matches!(
+            unwrap_response(err).unwrap_err(),
+            ServeError::Server { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_frame_handles_fragments_and_garbage() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        // Every strict prefix is "incomplete", never an error.
+        for cut in 0..buf.len() {
+            assert!(matches!(
+                parse_frame(&buf[..cut], MAX_FRAME_BYTES),
+                Ok(None)
+            ));
+        }
+        // The full buffer parses and reports its consumed length.
+        let (v, consumed) = parse_frame(&buf, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(consumed, buf.len());
+        assert_eq!(v.str_field("op").unwrap(), "stats");
+        // Two concatenated frames parse one at a time.
+        let mut two = buf.clone();
+        two.extend_from_slice(&buf);
+        let (_, consumed) = parse_frame(&two, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert!(parse_frame(&two[consumed..], MAX_FRAME_BYTES)
+            .unwrap()
+            .is_some());
+        // An oversized prefix is fatal; garbage JSON is a payload
+        // error that still reports how much to drain.
+        assert!(matches!(
+            parse_frame(&u32::MAX.to_be_bytes(), MAX_FRAME_BYTES),
+            Err(FrameError::Fatal(_))
+        ));
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&4u32.to_be_bytes());
+        bad.extend_from_slice(b"nope");
+        match parse_frame(&bad, MAX_FRAME_BYTES) {
+            Err(FrameError::Payload { consumed, .. }) => assert_eq!(consumed, 8),
+            other => panic!("expected payload error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_frame_matches_write_frame() {
+        let v = Json::obj(vec![("op", Json::from("stats"))]);
+        let mut via_writer = Vec::new();
+        write_frame(&mut via_writer, &v).unwrap();
+        assert_eq!(encode_frame(&v).unwrap(), via_writer);
     }
 }

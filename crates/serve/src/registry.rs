@@ -219,6 +219,16 @@ impl ModelRegistry {
         self.persist_dir.as_deref()
     }
 
+    /// Re-mirrors the active pointer to disk. Every mutation already
+    /// persists eagerly, so this is a no-op in the steady state — it
+    /// exists for the server's graceful drain, which flushes the
+    /// registry as its last act so a restart resumes from exactly the
+    /// drained state even if an earlier eager write raced a crash.
+    pub fn flush(&self) -> Result<(), ServeError> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        self.persist_active(&inner)
+    }
+
     /// Mirrors the active id (or its absence) to `ACTIVE.json`.
     fn persist_active(&self, inner: &RegistryInner) -> Result<(), ServeError> {
         let Some(dir) = &self.persist_dir else {

@@ -1,68 +1,115 @@
-//! The concurrent wire-protocol server.
+//! The readiness-based wire-protocol server.
 //!
-//! A localhost TCP acceptor feeds a **fixed worker-thread pool**
-//! through a **bounded pending-connection queue**. When the queue is
-//! full the acceptor sheds the connection *with an error frame* —
-//! clients see "server overloaded", never a silent hang. Each worker
-//! owns one connection at a time and processes its frames in order,
-//! which keeps per-connection responses sequenced without locks.
+//! One **core thread** owns every listener (TCP, and optionally a Unix
+//! domain socket) and every connection as a non-blocking stream. Bytes
+//! arrive in arbitrary fragments and accumulate in per-connection read
+//! buffers; complete frames are dispatched to a fixed **worker pool**
+//! through a bounded queue; responses come back over a completion
+//! channel and drain through per-connection write buffers. A slow or
+//! hostile peer therefore never pins a thread — it pins only its own
+//! buffers, and those are bounded and deadline-guarded.
 //!
-//! Shutdown is graceful: the stop flag is raised, the listener is
-//! unblocked, live sockets are shut down so blocked reads return, and
-//! every worker is joined — in-flight frames finish, nothing is
-//! detached.
+//! ## Overload machinery
 //!
-//! ## Deadlines and the idle reaper
+//! - **Admission control.** At most [`ServerConfig::max_connections`]
+//!   connections are admitted; past the budget the server writes a
+//!   typed `overloaded` frame (with a `retry_after_ms` hint) and
+//!   closes. At most [`ServerConfig::max_inflight`] requests run or
+//!   queue at once; past that budget a request is answered with the
+//!   same typed overload frame instead of silently queuing.
+//! - **Deadline-aware shedding.** A queued request that outlives
+//!   [`ServerConfig::queue_deadline`] before a worker picks it up is
+//!   shed without executing (counted in `requests_shed`) — executing
+//!   it would burn a worker on an answer the client has already given
+//!   up on.
+//! - **Per-connection ordering.** One request per connection is in
+//!   flight at a time; further complete frames wait in the read
+//!   buffer, so responses stay sequenced without locks and a single
+//!   chatty client cannot monopolize the pool.
 //!
-//! Each connection's socket carries a read deadline
-//! ([`ServerConfig::read_timeout`]): a client that stalls **mid-frame**
-//! has desynchronized the stream and is dropped. Between frames the
-//! deadline acts as an idle poll; a connection that stays silent past
-//! [`ServerConfig::idle_timeout`] is reaped (with an explicit deadline
-//! error frame), so abandoned clients cannot pin workers forever.
-//! Writes carry [`ServerConfig::write_timeout`] so a client that stops
-//! draining its socket cannot wedge a worker either, and the read path
-//! enforces [`ServerConfig::max_frame_bytes`].
+//! ## Deadlines
+//!
+//! [`ServerConfig::read_timeout`] bounds the **age of a partial
+//! frame**: a peer that trickles one byte at a time (slow loris) is
+//! reaped once its unfinished frame is older than the deadline.
+//! [`ServerConfig::idle_timeout`] reaps connections silent *between*
+//! frames (with an explicit deadline frame, so clients can tell a reap
+//! from a crash). [`ServerConfig::write_timeout`] bounds how long an
+//! unflushed response may stall on a peer that stopped draining its
+//! socket.
+//!
+//! ## Graceful drain
+//!
+//! Shutdown raises the stop flag; the core drops its listeners (no new
+//! connections), refuses new requests with a typed `draining` frame,
+//! lets in-flight requests finish within
+//! [`ServerConfig::drain_deadline`], sends every client a `draining`
+//! notice before closing, flushes the registry, and records the drain
+//! wall time in `drain_duration_ms`.
 
 use crate::artifact::ModelArtifact;
 use crate::engine::{EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
 use crate::protocol::{
-    error_response, ok_response, read_frame_limited, write_frame, Request, MAX_FRAME_BYTES,
+    encode_frame, error_response, ok_response, parse_frame, FrameError, Request, MAX_FRAME_BYTES,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
 use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
+};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Cap on the worker hold time a `ping` request may ask for.
+const MAX_PING_DELAY_MS: u64 = 5_000;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Listen address; use port 0 for an ephemeral port.
+    /// TCP listen address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Fixed worker-thread count (each serves one connection at a time).
+    /// Optional Unix-domain-socket path to listen on beside TCP
+    /// (same frame protocol; unix-like platforms only). A stale
+    /// socket file at the path is removed on bind.
+    pub uds_path: Option<String>,
+    /// Fixed worker-thread count executing requests.
     pub workers: usize,
-    /// Bounded pending-connection queue depth; beyond it, shed.
+    /// Bounded request-queue depth between the core and the workers.
     pub queue_depth: usize,
-    /// Per-read socket deadline. Mid-frame expiry drops the
-    /// connection; between frames it is an idle poll. `None` disables
-    /// both deadlines and the reaper.
+    /// Maximum age of a partial frame: a peer that has not completed
+    /// a started frame within this long is reaped (slow-loris
+    /// defense). `None` = never.
     pub read_timeout: Option<Duration>,
-    /// Per-write socket deadline; a client that stops draining its
-    /// socket is dropped. `None` = block forever.
+    /// Maximum stall of an unflushed response: a peer that stops
+    /// draining its socket for this long is dropped. `None` = never.
     pub write_timeout: Option<Duration>,
-    /// A connection silent for this long between frames is reaped.
-    /// Effective only with a `read_timeout`. `None` = never reap.
+    /// A connection silent for this long between frames is reaped
+    /// with an explicit deadline frame. `None` = never.
     pub idle_timeout: Option<Duration>,
     /// Largest accepted request-frame payload, bytes.
     pub max_frame_bytes: u32,
+    /// Connection admission budget; past it new connections get a
+    /// typed overload frame and are closed.
+    pub max_connections: usize,
+    /// Request admission budget: running + queued requests across all
+    /// connections; past it requests get a typed overload response.
+    pub max_inflight: usize,
+    /// A request older than this when a worker dequeues it is shed
+    /// without executing. `None` = execute no matter how stale.
+    pub queue_deadline: Option<Duration>,
+    /// How long a graceful drain may take: in-flight work past this
+    /// deadline is abandoned and connections force-closed.
+    pub drain_deadline: Duration,
+    /// Backoff hint carried by overload responses, milliseconds.
+    pub retry_after_ms: u64,
     /// Estimator-engine tuning.
     pub engine: EngineConfig,
 }
@@ -71,15 +118,140 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            uds_path: None,
             workers: 4,
             queue_depth: 16,
             read_timeout: Some(Duration::from_secs(2)),
             write_timeout: Some(Duration::from_secs(10)),
             idle_timeout: Some(Duration::from_secs(60)),
             max_frame_bytes: MAX_FRAME_BYTES,
+            max_connections: 256,
+            max_inflight: 64,
+            queue_deadline: Some(Duration::from_secs(1)),
+            drain_deadline: Duration::from_secs(5),
+            retry_after_ms: 50,
             engine: EngineConfig::default(),
         }
     }
+}
+
+/// A client byte stream, TCP or Unix-domain.
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+}
+
+impl Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(nb),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.set_nonblocking(nb),
+        }
+    }
+
+    fn close(&self) {
+        match self {
+            Stream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            Stream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+}
+
+/// An accept source feeding the readiness loop.
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    /// Non-blocking accept; the returned stream is already
+    /// non-blocking. `WouldBlock` means "no pending connection".
+    fn accept(&self) -> std::io::Result<Stream> {
+        let stream = match self {
+            Listener::Tcp(l) => Stream::Tcp(l.accept()?.0),
+            #[cfg(unix)]
+            Listener::Unix(l) => Stream::Unix(l.accept()?.0),
+        };
+        stream.set_nonblocking(true)?;
+        Ok(stream)
+    }
+}
+
+/// Per-connection state owned by the core thread.
+struct Conn {
+    stream: Stream,
+    /// Bytes received but not yet parsed into frames.
+    read_buf: Vec<u8>,
+    /// Encoded response bytes not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` the socket has taken.
+    write_pos: usize,
+    /// Last time any byte arrived (drives the idle reaper).
+    last_activity: Instant,
+    /// When the current *incomplete* frame was first seen
+    /// (slow-loris clock); `None` while the buffer is empty, holds a
+    /// complete frame, or a request is in flight.
+    partial_since: Option<Instant>,
+    /// When the unflushed tail of `write_buf` last made progress.
+    write_since: Option<Instant>,
+    /// A request from this connection is running or queued.
+    inflight: bool,
+    /// Close once the write buffer flushes; stop reading now.
+    closing: bool,
+    /// The peer half-closed (or errored) its sending side.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: Stream, now: Instant) -> Self {
+        Conn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            last_activity: now,
+            partial_since: None,
+            write_since: None,
+            inflight: false,
+            closing: false,
+            eof: false,
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.write_pos == self.write_buf.len()
+    }
+}
+
+/// A parsed-but-unexecuted request handed to the worker pool.
+struct Job {
+    conn: u64,
+    frame: Json,
+    enqueued: Instant,
 }
 
 /// The request handler shared by all workers: registry + engine + stats.
@@ -183,6 +355,16 @@ impl Service {
                 ),
                 ("clients", Json::from(self.engine.client_count())),
             ])),
+            Request::Ping { delay_ms } => {
+                let slept = delay_ms.min(MAX_PING_DELAY_MS);
+                if slept > 0 {
+                    std::thread::sleep(Duration::from_millis(slept));
+                }
+                Ok(Json::obj(vec![
+                    ("pong", Json::Bool(true)),
+                    ("slept_ms", Json::from(slept)),
+                ]))
+            }
         }
     }
 }
@@ -197,24 +379,41 @@ fn id_json(name: &str, version: u32) -> Json {
 /// Handle to a running server; dropping it shuts the server down.
 pub struct PowerServer {
     addr: SocketAddr,
+    uds_path: Option<String>,
     stop: Arc<AtomicBool>,
-    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    acceptor: Option<JoinHandle<()>>,
+    core: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     registry: Arc<ModelRegistry>,
 }
 
 impl PowerServer {
-    /// Binds and starts the acceptor and worker pool.
+    /// Binds the listeners and starts the core and worker threads.
     pub fn start(config: ServerConfig, registry: Arc<ModelRegistry>) -> Result<Self, ServeError> {
         if config.workers == 0 {
             return Err(ServeError::Registry {
                 reason: "server needs at least one worker".into(),
             });
         }
-        let listener = TcpListener::bind(&config.addr)?;
-        let addr = listener.local_addr()?;
+        let tcp = TcpListener::bind(&config.addr)?;
+        tcp.set_nonblocking(true)?;
+        let addr = tcp.local_addr()?;
+        let mut listeners = vec![Listener::Tcp(tcp)];
+        let uds_path = config.uds_path.clone();
+        if let Some(path) = &config.uds_path {
+            #[cfg(unix)]
+            {
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                listeners.push(Listener::Unix(l));
+            }
+            #[cfg(not(unix))]
+            return Err(ServeError::Registry {
+                reason: format!("unix sockets unsupported on this platform: {path}"),
+            });
+        }
+
         let stats = Arc::new(ServerStats::default());
         let service = Arc::new(Service {
             registry: Arc::clone(&registry),
@@ -223,70 +422,57 @@ impl PowerServer {
             config: config.clone(),
         });
         let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-        let (tx, rx) = sync_channel::<(u64, TcpStream)>(config.queue_depth.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let (job_tx, job_rx) = sync_channel::<Job>(config.queue_depth.max(1));
+        let (done_tx, done_rx) = channel::<(u64, Json)>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
 
         let mut workers = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
-            let rx = Arc::clone(&rx);
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
             let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
             workers.push(std::thread::spawn(move || {
-                worker_loop(&rx, &service, &stop, &conns);
+                worker_loop(&job_rx, &done_tx, &service);
             }));
         }
+        drop(done_tx); // core must see Disconnected once workers exit
 
-        let acceptor = {
-            let stats = Arc::clone(&stats);
+        let core = {
             let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
             std::thread::spawn(move || {
-                let next_id = AtomicU64::new(1);
-                for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let stream = match stream {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    let id = next_id.fetch_add(1, Ordering::Relaxed);
-                    if let Ok(clone) = stream.try_clone() {
-                        conns.lock().expect("conn table poisoned").insert(id, clone);
-                    }
-                    match tx.try_send((id, stream)) {
-                        Ok(()) => ServerStats::bump(&stats.connections_accepted),
-                        Err(TrySendError::Full((id, mut stream))) => {
-                            // Shed with an explicit error frame.
-                            ServerStats::bump(&stats.connections_shed);
-                            let _ =
-                                write_frame(&mut stream, &error_response(&ServeError::Overloaded));
-                            let _ = stream.shutdown(Shutdown::Both);
-                            conns.lock().expect("conn table poisoned").remove(&id);
-                        }
-                        Err(TrySendError::Disconnected(_)) => break,
-                    }
+                Core {
+                    listeners,
+                    conns: HashMap::new(),
+                    next_id: 1,
+                    inflight: 0,
+                    job_tx: Some(job_tx),
+                    done_rx,
+                    service,
+                    stop,
                 }
-                // Dropping `tx` here disconnects idle workers.
+                .run();
             })
         };
 
         Ok(PowerServer {
             addr,
+            uds_path,
             stop,
-            conns,
-            acceptor: Some(acceptor),
+            core: Some(core),
             workers,
             stats,
             registry,
         })
     }
 
-    /// The bound address (resolves the ephemeral port).
+    /// The bound TCP address (resolves the ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The Unix-socket path the server listens on, if any.
+    pub fn uds_path(&self) -> Option<&str> {
+        self.uds_path.as_deref()
     }
 
     /// Live operational counters.
@@ -299,23 +485,19 @@ impl PowerServer {
         Arc::clone(&self.registry)
     }
 
-    /// Graceful shutdown: drains in-flight frames, joins every thread.
-    /// Idempotent.
+    /// Graceful drain: stops accepting, finishes in-flight requests
+    /// within the drain deadline, notifies clients, flushes the
+    /// registry, joins every thread. Idempotent.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // Unblock the acceptor with a no-op connection.
-        let _ = TcpStream::connect(self.addr);
-        // Unblock workers parked in read().
-        for (_, s) in self.conns.lock().expect("conn table poisoned").iter() {
-            let _ = s.shutdown(Shutdown::Both);
-        }
-        if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(core) = self.core.take() {
+            let _ = core.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -326,99 +508,427 @@ impl Drop for PowerServer {
     }
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<(u64, TcpStream)>>,
-    service: &Service,
-    stop: &AtomicBool,
-    conns: &Mutex<HashMap<u64, TcpStream>>,
-) {
+/// Executes queued requests; sheds the ones that outlived their queue
+/// deadline before reaching a worker.
+fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done: &Sender<(u64, Json)>, service: &Service) {
     loop {
-        let next = {
-            let guard = rx.lock().expect("worker queue poisoned");
+        let job = {
+            let guard = job_rx.lock().expect("worker queue poisoned");
             guard.recv()
         };
-        let (id, stream) = match next {
-            Ok(pair) => pair,
-            Err(_) => break, // acceptor gone, queue drained
+        let job = match job {
+            Ok(j) => j,
+            Err(_) => break, // core dropped the sender: drain complete
         };
-        handle_connection(id, stream, service, stop);
-        service.engine.forget(id);
-        conns.lock().expect("conn table poisoned").remove(&id);
-        // On shutdown the loop keeps draining the queue so queued
-        // clients are closed promptly (their sockets are already shut
-        // down); it exits when the acceptor drops the sender.
+        let stale = service
+            .config
+            .queue_deadline
+            .is_some_and(|d| job.enqueued.elapsed() > d);
+        let response = if stale {
+            ServerStats::bump(&service.stats.requests_shed);
+            error_response(&ServeError::Overloaded {
+                retry_after_ms: service.config.retry_after_ms,
+            })
+        } else {
+            match Request::from_json_value(&job.frame) {
+                Ok(req) => service.handle(job.conn, req),
+                Err(e) => {
+                    ServerStats::bump(&service.stats.frames_errored);
+                    error_response(&e)
+                }
+            }
+        };
+        if done.send((job.conn, response)).is_err() {
+            break; // core gone
+        }
     }
 }
 
-fn handle_connection(id: u64, mut stream: TcpStream, service: &Service, stop: &AtomicBool) {
-    let cfg = &service.config;
-    let _ = stream.set_read_timeout(cfg.read_timeout);
-    let _ = stream.set_write_timeout(cfg.write_timeout);
-    let mut idle = Duration::ZERO;
-    loop {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        match read_frame_limited(&mut stream, cfg.max_frame_bytes) {
-            Ok(None) => break, // clean EOF
-            Ok(Some(frame)) => {
-                idle = Duration::ZERO;
-                ServerStats::bump(&service.stats.frames_received);
-                let response = match Request::from_json_value(&frame) {
-                    Ok(req) => service.handle(id, req),
-                    Err(e) => {
-                        ServerStats::bump(&service.stats.frames_errored);
-                        error_response(&e)
+/// The readiness core: owns listeners and connections, sweeps them.
+struct Core {
+    listeners: Vec<Listener>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    /// Requests running or queued across all connections.
+    inflight: usize,
+    /// `None` once drain begins (dropping it retires idle workers).
+    job_tx: Option<SyncSender<Job>>,
+    done_rx: Receiver<(u64, Json)>,
+    service: Arc<Service>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Core {
+    fn run(mut self) {
+        let cfg = self.service.config.clone();
+        let mut drain_start: Option<Instant> = None;
+        loop {
+            if drain_start.is_none() && self.stop.load(Ordering::SeqCst) {
+                drain_start = Some(Instant::now());
+                self.listeners.clear(); // stop accepting
+                self.job_tx = None; // workers exit once the queue drains
+            }
+            let draining = drain_start.is_some();
+
+            let mut progress = false;
+            if !draining {
+                progress |= self.accept(&cfg);
+            }
+            progress |= self.pump_completions();
+
+            let now = Instant::now();
+            let mut to_close = Vec::new();
+            for (&id, conn) in self.conns.iter_mut() {
+                if draining && !conn.inflight && !conn.closing {
+                    // In-flight work already finished (or never
+                    // existed): notify and close.
+                    queue_frame(conn, &error_response(&ServeError::Draining));
+                    conn.closing = true;
+                }
+                let (p, close) = sweep_conn(
+                    id,
+                    conn,
+                    &self.service,
+                    draining,
+                    &mut self.inflight,
+                    self.job_tx.as_ref(),
+                    now,
+                );
+                progress |= p;
+                if close {
+                    to_close.push(id);
+                }
+            }
+            for id in to_close {
+                self.close_conn(id);
+                progress = true;
+            }
+
+            if let Some(start) = drain_start {
+                let done = self.conns.is_empty() && self.inflight == 0;
+                let expired = start.elapsed() >= cfg.drain_deadline;
+                if done || expired {
+                    let ids: Vec<u64> = self.conns.keys().copied().collect();
+                    for id in ids {
+                        self.close_conn(id);
                     }
-                };
-                if write_frame(&mut stream, &response).is_err() {
-                    break; // client went away mid-response
+                    self.service
+                        .stats
+                        .drain_duration_ms
+                        .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    let _ = self.service.registry.flush();
+                    return;
                 }
             }
-            // The read deadline expired between frames: an idle poll.
-            // Keep waiting until the idle budget is spent, then reap.
-            Err(ServeError::Deadline { mid_frame: false }) => {
-                idle += cfg.read_timeout.unwrap_or(Duration::ZERO);
-                match cfg.idle_timeout {
-                    Some(max) if idle >= max => {
-                        ServerStats::bump(&service.stats.connections_reaped);
-                        let _ = write_frame(
-                            &mut stream,
-                            &error_response(&ServeError::Deadline { mid_frame: false }),
-                        );
-                        break;
-                    }
-                    _ => {}
-                }
-            }
-            // Payload was framed correctly but wasn't valid JSON: the
-            // stream is still in sync, so answer and keep serving.
-            Err(e @ ServeError::Json(_)) => {
-                ServerStats::bump(&service.stats.frames_errored);
-                if write_frame(&mut stream, &error_response(&e)).is_err() {
-                    break;
-                }
-            }
-            // Framing broken (truncation, oversized prefix, a deadline
-            // mid-frame) or socket error: report if possible, then
-            // drop the connection.
-            Err(e) => {
-                ServerStats::bump(&service.stats.frames_errored);
-                let _ = write_frame(&mut stream, &error_response(&e));
-                break;
+
+            // The completion channel doubles as the wakeup primitive:
+            // sleep briefly, but a finishing worker cuts the nap short.
+            let nap = if progress {
+                Duration::from_micros(500)
+            } else {
+                Duration::from_millis(5)
+            };
+            match self.done_rx.recv_timeout(nap) {
+                Ok((id, resp)) => self.complete(id, resp),
+                Err(RecvTimeoutError::Timeout) => {}
+                // All workers gone (only during drain, or a panic):
+                // keep sweeping on a timer.
+                Err(RecvTimeoutError::Disconnected) => std::thread::sleep(nap),
             }
         }
     }
-    let _ = stream.shutdown(Shutdown::Both);
+
+    /// Accepts pending connections up to the admission budget; past
+    /// it, sheds with a typed overload frame.
+    fn accept(&mut self, cfg: &ServerConfig) -> bool {
+        let mut progress = false;
+        let now = Instant::now();
+        for i in 0..self.listeners.len() {
+            loop {
+                let accepted = self.listeners[i].accept();
+                match accepted {
+                    Ok(mut stream) => {
+                        progress = true;
+                        if self.conns.len() >= cfg.max_connections {
+                            ServerStats::bump(&self.service.stats.connections_shed);
+                            if let Ok(bytes) =
+                                encode_frame(&error_response(&ServeError::Overloaded {
+                                    retry_after_ms: cfg.retry_after_ms,
+                                }))
+                            {
+                                // A fresh socket buffer always takes a
+                                // tiny frame; best effort regardless.
+                                let _ = stream.write(&bytes);
+                            }
+                            stream.close();
+                            continue;
+                        }
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        self.conns.insert(id, Conn::new(stream, now));
+                        ServerStats::bump(&self.service.stats.connections_accepted);
+                        ServerStats::bump(&self.service.stats.connections_open);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+        progress
+    }
+
+    /// Drains finished requests into their connections' write buffers.
+    fn pump_completions(&mut self) -> bool {
+        let mut progress = false;
+        while let Ok((id, resp)) = self.done_rx.try_recv() {
+            progress = true;
+            self.complete(id, resp);
+        }
+        progress
+    }
+
+    fn complete(&mut self, id: u64, resp: Json) {
+        self.inflight = self.inflight.saturating_sub(1);
+        // The connection may be gone (reaped while its request ran);
+        // the response is then discarded, but the budget slot frees.
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.inflight = false;
+            queue_frame(conn, &resp);
+        }
+    }
+
+    fn close_conn(&mut self, id: u64) {
+        if let Some(conn) = self.conns.remove(&id) {
+            conn.stream.close();
+            self.service.engine.forget(id);
+            ServerStats::dec(&self.service.stats.connections_open);
+        }
+    }
+}
+
+/// Appends one encoded frame to the connection's write buffer; on an
+/// encode failure (oversized response) the connection is marked for
+/// close — there is no way to answer in-protocol.
+fn queue_frame(conn: &mut Conn, payload: &Json) {
+    match encode_frame(payload) {
+        Ok(bytes) => conn.write_buf.extend_from_slice(&bytes),
+        Err(_) => conn.closing = true,
+    }
+}
+
+/// One readiness sweep over a single connection: read what the socket
+/// has, parse and dispatch at most one request, flush pending writes,
+/// enforce deadlines. Returns (made progress, close now).
+fn sweep_conn(
+    id: u64,
+    conn: &mut Conn,
+    service: &Service,
+    draining: bool,
+    inflight: &mut usize,
+    job_tx: Option<&SyncSender<Job>>,
+    now: Instant,
+) -> (bool, bool) {
+    let cfg = &service.config;
+    let mut progress = false;
+    let mut close = false;
+
+    // Read phase: accumulate whatever the socket has, bounded by one
+    // maximal frame past the parse point (TCP backpressure does the
+    // rest).
+    if !conn.closing && !conn.eof {
+        let cap = 4 + cfg.max_frame_bytes as usize;
+        let mut chunk = [0u8; 16 * 1024];
+        while conn.read_buf.len() < cap {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    conn.last_activity = now;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Peer reset: nothing more will arrive.
+                    conn.eof = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // Parse/dispatch phase: at most one request goes in flight;
+    // payload-level garbage is answered inline and parsing continues.
+    while !conn.closing && !conn.inflight {
+        match parse_frame(&conn.read_buf, cfg.max_frame_bytes) {
+            Ok(None) => {
+                if conn.read_buf.is_empty() {
+                    conn.partial_since = None;
+                } else if conn.partial_since.is_none() {
+                    conn.partial_since = Some(now);
+                }
+                break;
+            }
+            Ok(Some((frame, consumed))) => {
+                conn.read_buf.drain(..consumed);
+                conn.partial_since = None;
+                progress = true;
+                ServerStats::bump(&service.stats.frames_received);
+                if draining {
+                    queue_frame(conn, &error_response(&ServeError::Draining));
+                    conn.closing = true;
+                    break;
+                }
+                if *inflight >= cfg.max_inflight {
+                    ServerStats::bump(&service.stats.requests_rejected_overload);
+                    queue_frame(
+                        conn,
+                        &error_response(&ServeError::Overloaded {
+                            retry_after_ms: cfg.retry_after_ms,
+                        }),
+                    );
+                    continue;
+                }
+                match job_tx {
+                    Some(tx) => match tx.try_send(Job {
+                        conn: id,
+                        frame,
+                        enqueued: now,
+                    }) {
+                        Ok(()) => {
+                            conn.inflight = true;
+                            *inflight += 1;
+                        }
+                        Err(TrySendError::Full(_)) => {
+                            ServerStats::bump(&service.stats.requests_rejected_overload);
+                            queue_frame(
+                                conn,
+                                &error_response(&ServeError::Overloaded {
+                                    retry_after_ms: cfg.retry_after_ms,
+                                }),
+                            );
+                        }
+                        Err(TrySendError::Disconnected(_)) => {
+                            queue_frame(conn, &error_response(&ServeError::Draining));
+                            conn.closing = true;
+                        }
+                    },
+                    None => {
+                        queue_frame(conn, &error_response(&ServeError::Draining));
+                        conn.closing = true;
+                    }
+                }
+            }
+            Err(FrameError::Fatal(e)) => {
+                ServerStats::bump(&service.stats.frames_errored);
+                queue_frame(conn, &error_response(&e));
+                conn.closing = true;
+            }
+            Err(FrameError::Payload { consumed, error }) => {
+                conn.read_buf.drain(..consumed);
+                conn.partial_since = None;
+                progress = true;
+                ServerStats::bump(&service.stats.frames_errored);
+                queue_frame(conn, &error_response(&error));
+            }
+        }
+    }
+
+    // Flush phase.
+    if !conn.flushed() {
+        let mut wrote = false;
+        loop {
+            match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                Ok(0) => {
+                    close = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.write_pos += n;
+                    wrote = true;
+                    progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    close = true;
+                    break;
+                }
+            }
+            if conn.flushed() {
+                break;
+            }
+        }
+        if conn.flushed() {
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+            conn.write_since = None;
+        } else if wrote || conn.write_since.is_none() {
+            conn.write_since = Some(now);
+        }
+    }
+
+    // Deadline phase.
+    if !close {
+        // Slow loris: a partial frame too old to be honest traffic.
+        if let (Some(limit), Some(since)) = (cfg.read_timeout, conn.partial_since) {
+            if !conn.closing && now.duration_since(since) >= limit {
+                ServerStats::bump(&service.stats.connections_reaped);
+                queue_frame(
+                    conn,
+                    &error_response(&ServeError::Deadline { mid_frame: true }),
+                );
+                conn.closing = true;
+            }
+        }
+        // Write stall: the peer stopped draining its socket; no frame
+        // can be delivered, so just drop.
+        if let (Some(limit), Some(since)) = (cfg.write_timeout, conn.write_since) {
+            if now.duration_since(since) >= limit {
+                ServerStats::bump(&service.stats.connections_reaped);
+                close = true;
+            }
+        }
+        // Idle between frames: reap with an explicit deadline frame.
+        if let Some(limit) = cfg.idle_timeout {
+            if !conn.inflight
+                && !conn.closing
+                && conn.read_buf.is_empty()
+                && conn.flushed()
+                && now.duration_since(conn.last_activity) >= limit
+            {
+                ServerStats::bump(&service.stats.connections_reaped);
+                queue_frame(
+                    conn,
+                    &error_response(&ServeError::Deadline { mid_frame: false }),
+                );
+                conn.closing = true;
+            }
+        }
+    }
+
+    // Close determination: a closing connection goes once its final
+    // frames are flushed; an EOF'd one once nothing is in flight and
+    // the tail (necessarily an incomplete frame) is unusable.
+    if conn.closing && conn.flushed() {
+        close = true;
+    }
+    if conn.eof && !conn.inflight && !conn.closing && conn.flushed() {
+        close = true;
+    }
+    (progress, close)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{read_frame, unwrap_response};
+    use crate::protocol::{read_frame, unwrap_response, write_frame};
     use crate::test_fixtures::tiny_model;
 
-    fn request(stream: &mut TcpStream, req: &Request) -> Result<Json, ServeError> {
+    fn request<S: Read + Write>(stream: &mut S, req: &Request) -> Result<Json, ServeError> {
         write_frame(stream, &req.to_json_value())?;
         let frame = read_frame(stream)?.ok_or(ServeError::Protocol {
             reason: "server closed connection".into(),
@@ -463,6 +973,14 @@ mod tests {
                 .unwrap(),
             1
         );
+        assert_eq!(
+            stats
+                .field("server")
+                .unwrap()
+                .u64_field("connections_open")
+                .unwrap(),
+            1
+        );
         server.shutdown();
     }
 
@@ -492,7 +1010,6 @@ mod tests {
         let mut server = started(1, 4);
         let mut c = TcpStream::connect(server.addr()).unwrap();
         let garbage = b"{not json";
-        use std::io::Write;
         c.write_all(&(garbage.len() as u32).to_be_bytes()).unwrap();
         c.write_all(garbage).unwrap();
         let resp = read_frame(&mut c).unwrap().unwrap();
@@ -503,21 +1020,78 @@ mod tests {
     }
 
     #[test]
-    fn overload_sheds_with_error_frame() {
-        let mut server = started(1, 1);
-        // Occupy the single worker…
-        let mut busy = TcpStream::connect(server.addr()).unwrap();
-        request(&mut busy, &Request::Stats).unwrap();
-        // …fill the single queue slot…
-        let _queued = TcpStream::connect(server.addr()).unwrap();
-        // Give the acceptor a moment to enqueue in order.
-        std::thread::sleep(std::time::Duration::from_millis(50));
-        // …and the next connection is shed with an explicit error.
+    fn connections_past_budget_get_typed_overload() {
+        let cfg = ServerConfig {
+            workers: 1,
+            max_connections: 1,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        // Fill the only admission slot (the request proves admission).
+        let mut keep = TcpStream::connect(server.addr()).unwrap();
+        request(&mut keep, &Request::Stats).unwrap();
+        // The next connection is shed with a machine-readable hint.
         let mut shed = TcpStream::connect(server.addr()).unwrap();
         let frame = read_frame(&mut shed).unwrap().unwrap();
-        let err = unwrap_response(frame).unwrap_err();
-        assert!(err.to_string().contains("overloaded"), "{err}");
+        match unwrap_response(frame).unwrap_err() {
+            ServeError::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected typed overload, got {other}"),
+        }
         assert_eq!(server.stats().connections_shed.load(Ordering::Relaxed), 1);
+        // The admitted client is unaffected.
+        assert!(request(&mut keep, &Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn inflight_budget_rejects_requests_with_retry_hint() {
+        let cfg = ServerConfig {
+            workers: 2,
+            max_inflight: 1,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        // Occupy the single in-flight slot with a slow ping…
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut busy, &Request::Ping { delay_ms: 300 }.to_json_value()).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        // …so the second client's request is refused, not queued.
+        let mut second = TcpStream::connect(server.addr()).unwrap();
+        let err = request(&mut second, &Request::Ping { delay_ms: 0 }).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { retry_after_ms } if retry_after_ms > 0));
+        assert_eq!(
+            server
+                .stats()
+                .requests_rejected_overload
+                .load(Ordering::Relaxed),
+            1
+        );
+        // The slow ping still completes normally.
+        let pong = unwrap_response(read_frame(&mut busy).unwrap().unwrap()).unwrap();
+        assert!(pong.field("pong").unwrap().as_bool().unwrap());
+        server.shutdown();
+    }
+
+    #[test]
+    fn stale_queued_requests_are_shed_before_execution() {
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_inflight: 8,
+            queue_deadline: Some(Duration::from_millis(30)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        // The only worker is held for 150 ms…
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut busy, &Request::Ping { delay_ms: 150 }.to_json_value()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // …so this request waits ~100 ms in the queue — past its 30 ms
+        // deadline — and must be shed, not executed.
+        let mut waiter = TcpStream::connect(server.addr()).unwrap();
+        let err = request(&mut waiter, &Request::Ping { delay_ms: 0 }).unwrap_err();
+        assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
+        assert_eq!(server.stats().requests_shed.load(Ordering::Relaxed), 1);
         server.shutdown();
     }
 
@@ -538,9 +1112,29 @@ mod tests {
         assert!(err.to_string().contains("deadline"), "{err}");
         assert!(matches!(read_frame(&mut c), Ok(None) | Err(_)));
         assert_eq!(server.stats().connections_reaped.load(Ordering::Relaxed), 1);
-        // The worker is free again for the next client.
+        // The server is free again for the next client.
         let mut c2 = TcpStream::connect(server.addr()).unwrap();
         assert!(request(&mut c2, &Request::Stats).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn partial_frames_from_slow_peers_are_reaped() {
+        let cfg = ServerConfig {
+            workers: 1,
+            read_timeout: Some(Duration::from_millis(40)),
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // Two bytes of a frame header, then silence: a slow loris.
+        c.write_all(&[0, 0]).unwrap();
+        let frame = read_frame(&mut c).unwrap().unwrap();
+        let err = unwrap_response(frame).unwrap_err();
+        assert!(err.to_string().contains("desynchronized"), "{err}");
+        assert!(matches!(read_frame(&mut c), Ok(None) | Err(_)));
+        assert_eq!(server.stats().connections_reaped.load(Ordering::Relaxed), 1);
         server.shutdown();
     }
 
@@ -556,9 +1150,7 @@ mod tests {
         // A stats request fits in 64 bytes…
         assert!(request(&mut c, &Request::Stats).is_ok());
         // …but a frame above the cap is rejected and the connection
-        // dropped (the payload was never read, so the stream would be
-        // out of sync).
-        use std::io::Write;
+        // dropped (the stream cannot be resynchronized).
         let big = vec![b' '; 65];
         c.write_all(&(big.len() as u32).to_be_bytes()).unwrap();
         c.write_all(&big).unwrap();
@@ -624,6 +1216,50 @@ mod tests {
             1
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn drain_finishes_inflight_work_and_notifies_clients() {
+        let cfg = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // Put a request in flight, then drain while it runs.
+        write_frame(&mut c, &Request::Ping { delay_ms: 100 }.to_json_value()).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown(); // blocks through the drain
+                           // The in-flight response arrives first…
+        let pong = unwrap_response(read_frame(&mut c).unwrap().unwrap()).unwrap();
+        assert!(pong.field("pong").unwrap().as_bool().unwrap());
+        // …then the draining notice, then EOF.
+        let notice = unwrap_response(read_frame(&mut c).unwrap().unwrap()).unwrap_err();
+        assert!(matches!(notice, ServeError::Draining), "{notice}");
+        assert!(matches!(read_frame(&mut c), Ok(None) | Err(_)));
+        assert!(
+            server.stats().drain_duration_ms.load(Ordering::Relaxed) >= 20,
+            "drain should have waited for the in-flight ping"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn uds_listener_serves_the_same_protocol() {
+        let path = std::env::temp_dir().join(format!("pmc-serve-test-{}.sock", std::process::id()));
+        let path_str = path.to_string_lossy().into_owned();
+        let cfg = ServerConfig {
+            uds_path: Some(path_str.clone()),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        assert_eq!(server.uds_path(), Some(path_str.as_str()));
+        let mut c = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        let stats = request(&mut c, &Request::Stats).unwrap();
+        assert!(stats.field("server").is_ok());
+        server.shutdown();
+        // The socket file is cleaned up on shutdown.
+        assert!(!path.exists());
     }
 
     #[test]

@@ -27,14 +27,32 @@ pub struct ServerStats {
     /// Ingests answered by the previous model because the active one
     /// could not read the sample (width mismatch after activation).
     pub stale_model_fallbacks: AtomicU64,
-    /// Connections closed by the idle reaper.
+    /// Connections closed by the idle/slow-peer reaper.
     pub connections_reaped: AtomicU64,
+    /// Currently open connections (a gauge, not a monotone counter).
+    pub connections_open: AtomicU64,
+    /// Requests shed because they outlived their queue deadline
+    /// before a worker could start them.
+    pub requests_shed: AtomicU64,
+    /// Requests refused at admission because the in-flight budget (or
+    /// the worker queue) was full.
+    pub requests_rejected_overload: AtomicU64,
+    /// Wall-clock duration of the last graceful drain, milliseconds.
+    /// Zero until a drain has completed.
+    pub drain_duration_ms: AtomicU64,
 }
 
 impl ServerStats {
     /// Bumps a counter by one.
     pub fn bump(counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
     }
 
     /// A point-in-time JSON snapshot.
@@ -51,6 +69,13 @@ impl ServerStats {
             ("degraded_estimates", read(&self.degraded_estimates)),
             ("stale_model_fallbacks", read(&self.stale_model_fallbacks)),
             ("connections_reaped", read(&self.connections_reaped)),
+            ("connections_open", read(&self.connections_open)),
+            ("requests_shed", read(&self.requests_shed)),
+            (
+                "requests_rejected_overload",
+                read(&self.requests_rejected_overload),
+            ),
+            ("drain_duration_ms", read(&self.drain_duration_ms)),
         ])
     }
 }
@@ -69,5 +94,19 @@ mod tests {
         assert_eq!(snap.u64_field("frames_received").unwrap(), 2);
         assert_eq!(snap.u64_field("models_loaded").unwrap(), 1);
         assert_eq!(snap.u64_field("connections_shed").unwrap(), 0);
+        assert_eq!(snap.u64_field("requests_shed").unwrap(), 0);
+        assert_eq!(snap.u64_field("drain_duration_ms").unwrap(), 0);
+    }
+
+    #[test]
+    fn gauge_decrements_and_saturates() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.connections_open);
+        ServerStats::bump(&s.connections_open);
+        ServerStats::dec(&s.connections_open);
+        assert_eq!(s.connections_open.load(Ordering::Relaxed), 1);
+        ServerStats::dec(&s.connections_open);
+        ServerStats::dec(&s.connections_open); // saturates, no wrap
+        assert_eq!(s.connections_open.load(Ordering::Relaxed), 0);
     }
 }

@@ -1,0 +1,245 @@
+//! Overload and lifecycle end-to-end tests for the readiness-based
+//! `pmc-serve` core: a connection burst 3× over the admission budget
+//! must produce only valid responses or typed `overloaded`/`draining`
+//! frames (no hangs, no silent drops), a graceful drain must finish
+//! in-flight work and flush the registry within the drain deadline,
+//! and a slow-loris peer must be reaped without degrading a concurrent
+//! well-behaved client.
+
+use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{PowerClient, ServeError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pmc-overload-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// What one client in the burst experienced.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    Ok,
+    Overloaded,
+    Draining,
+    /// The cardinal sin: connection closed with no frame at all.
+    SilentDrop,
+}
+
+#[test]
+fn burst_over_budget_yields_typed_rejections_never_silence() {
+    const BUDGET: usize = 8;
+    const CLIENTS: usize = 3 * BUDGET;
+    let cfg = ServerConfig {
+        workers: 2,
+        max_connections: BUDGET,
+        max_inflight: 4,
+        queue_depth: 4,
+        ..ServerConfig::default()
+    };
+    let server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+    let addr = server.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = match TcpStream::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return Outcome::SilentDrop,
+                };
+                // A short ping keeps workers busy enough that both
+                // admission layers (connections and in-flight) engage.
+                if write_frame(&mut c, &Request::Ping { delay_ms: 40 }.to_json_value()).is_err() {
+                    // The server may already have rejected and closed;
+                    // the frame it wrote first is still readable.
+                }
+                match read_frame(&mut c) {
+                    Ok(Some(frame)) => match unwrap_response(frame) {
+                        Ok(_) => Outcome::Ok,
+                        Err(ServeError::Overloaded { retry_after_ms }) => {
+                            assert!(retry_after_ms > 0, "overload must carry a backoff hint");
+                            Outcome::Overloaded
+                        }
+                        Err(ServeError::Draining) => Outcome::Draining,
+                        Err(other) => panic!("unexpected typed error: {other}"),
+                    },
+                    _ => Outcome::SilentDrop,
+                }
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut overloaded = 0usize;
+    let mut draining = 0usize;
+    for h in handles {
+        match h.join().expect("client thread panicked (server hang?)") {
+            Outcome::Ok => ok += 1,
+            Outcome::Overloaded => overloaded += 1,
+            Outcome::Draining => draining += 1,
+            Outcome::SilentDrop => panic!("a client was dropped without any response frame"),
+        }
+    }
+    assert_eq!(ok + overloaded + draining, CLIENTS);
+    assert!(ok >= 1, "at least some clients must be served");
+    assert!(
+        overloaded >= 1,
+        "3x over budget must produce typed overload rejections \
+         (ok={ok} overloaded={overloaded} draining={draining})"
+    );
+
+    let stats = server.stats();
+    let shed_conns = stats
+        .connections_shed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let rejected = stats
+        .requests_rejected_overload
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let shed_reqs = stats
+        .requests_shed
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(shed_conns + rejected + shed_reqs, overloaded as u64);
+    drop(server); // graceful shutdown must not panic with clients gone
+}
+
+#[test]
+fn graceful_drain_finishes_inflight_and_flushes_registry() {
+    let dir = temp_dir("drain");
+    let (registry, _) = ModelRegistry::with_persistence(
+        pmc_events::scheduler::CounterScheduler::haswell_default(),
+        dir.to_str().unwrap(),
+    )
+    .unwrap();
+    let drain_deadline = Duration::from_secs(5);
+    let cfg = ServerConfig {
+        workers: 2,
+        drain_deadline,
+        ..ServerConfig::default()
+    };
+    let mut server = PowerServer::start(cfg, Arc::new(registry)).unwrap();
+
+    // Load and activate a model, then put a slow request in flight.
+    let model = {
+        // A tiny servable model: fit on a synthetic linear dataset.
+        let events = vec![
+            pmc_events::PapiEvent::PRF_DM,
+            pmc_events::PapiEvent::TOT_CYC,
+        ];
+        let rows: Vec<_> = (0..24)
+            .map(|i| pmc_model::dataset::SampleRow {
+                workload_id: i as u32,
+                workload: format!("w{i}"),
+                suite: "syn".into(),
+                phase: "main".into(),
+                threads: 24,
+                freq_mhz: [1200, 1600, 2000, 2400][i % 4],
+                duration_s: 1.0,
+                voltage: 0.8 + 0.05 * (i % 4) as f64,
+                power: 70.0 + 3.0 * (i as f64),
+                rates: (0..pmc_events::PapiEvent::COUNT)
+                    .map(|j| ((i * 13 + j * 7) % 41) as f64 / 4100.0)
+                    .collect(),
+            })
+            .collect();
+        let data = pmc_model::dataset::Dataset::from_rows(rows);
+        pmc_model::model::PowerModel::fit(&data, &events).unwrap()
+    };
+    let mut c = PowerClient::connect(server.addr()).unwrap();
+    assert_eq!(c.load_model("drainy", &model, true).unwrap(), 1);
+
+    let mut slow = TcpStream::connect(server.addr()).unwrap();
+    write_frame(&mut slow, &Request::Ping { delay_ms: 150 }.to_json_value()).unwrap();
+    std::thread::sleep(Duration::from_millis(40)); // ensure in flight
+
+    let t0 = Instant::now();
+    server.shutdown(); // blocks through the drain
+    let wall = t0.elapsed();
+    assert!(
+        wall < drain_deadline,
+        "drain took {wall:?}, deadline {drain_deadline:?}"
+    );
+
+    // The in-flight ping finished, then the draining notice arrived.
+    let pong = unwrap_response(read_frame(&mut slow).unwrap().unwrap()).unwrap();
+    assert!(pong.field("pong").unwrap().as_bool().unwrap());
+    assert!(matches!(
+        unwrap_response(read_frame(&mut slow).unwrap().unwrap()),
+        Err(ServeError::Draining)
+    ));
+
+    // Drain stats were recorded…
+    assert!(
+        server
+            .stats()
+            .drain_duration_ms
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 20
+    );
+    // …and the registry flush left a recoverable state on disk.
+    let (recovered, report) = ModelRegistry::with_persistence(
+        pmc_events::scheduler::CounterScheduler::haswell_default(),
+        dir.to_str().unwrap(),
+    )
+    .unwrap();
+    assert_eq!(report.active_restored, Some(("drainy".to_string(), 1)));
+    assert!(recovered.active().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_loris_is_reaped_without_degrading_neighbors() {
+    let cfg = ServerConfig {
+        // One worker: under the old thread-per-connection design the
+        // loris would pin it and starve the well-behaved client.
+        workers: 1,
+        read_timeout: Some(Duration::from_millis(100)),
+        idle_timeout: Some(Duration::from_secs(30)),
+        ..ServerConfig::default()
+    };
+    let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+    let addr = server.addr();
+    let stats = server.stats();
+
+    // The loris: announce a 64-byte frame, then drip one payload byte
+    // per tick — the frame never completes within the read deadline.
+    let loris = std::thread::spawn(move || {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(&64u32.to_be_bytes());
+        for _ in 0..20 {
+            if s.write_all(b" ").is_err() {
+                break; // reaped — expected
+            }
+            std::thread::sleep(Duration::from_millis(30));
+        }
+    });
+
+    // Meanwhile a well-behaved client must see normal latency.
+    let mut good = PowerClient::connect(addr).unwrap();
+    let mut worst = Duration::ZERO;
+    for _ in 0..10 {
+        let t0 = Instant::now();
+        good.ping(0).unwrap();
+        worst = worst.max(t0.elapsed());
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        worst < Duration::from_millis(500),
+        "well-behaved client degraded to {worst:?} beside a slow loris"
+    );
+
+    loris.join().unwrap();
+    assert!(
+        stats
+            .connections_reaped
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1,
+        "the loris must be reaped on the partial-frame deadline"
+    );
+    server.shutdown();
+}
