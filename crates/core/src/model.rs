@@ -242,6 +242,49 @@ impl PowerModel {
         }
     }
 
+    /// Batched counterpart of [`Self::predict_raw`]: `rates` is laid
+    /// out row-major (`points.len() * events.len()` values, each row
+    /// aligned with [`Self::events`]) and `points` carries one
+    /// `(voltage, freq_mhz)` operating point per row.
+    ///
+    /// Each row runs exactly the arithmetic of `predict_raw`, in the
+    /// same operation order, so the results are bitwise identical to
+    /// calling `predict_raw` once per row — a batching layer on top of
+    /// this entry point can never change the numbers.
+    pub fn predict_raw_batch_into(
+        &self,
+        rates: &[f64],
+        points: &[(f64, u32)],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let width = self.events.len();
+        if rates.len() != points.len() * width {
+            return Err(ModelError::BadDataset {
+                what: "predict_raw_batch",
+                reason: format!(
+                    "expected {} rates for {} rows of width {}, got {}",
+                    points.len() * width,
+                    points.len(),
+                    width,
+                    rates.len()
+                ),
+            });
+        }
+        out.clear();
+        out.reserve(points.len());
+        let alpha = &self.alpha[..width];
+        for (i, &(voltage, freq_mhz)) in points.iter().enumerate() {
+            let row = &rates[i * width..(i + 1) * width];
+            let v2f = voltage * voltage * (freq_mhz as f64 / 1000.0);
+            let mut p = self.beta * v2f + self.gamma * voltage + self.delta;
+            for (a, r) in alpha.iter().zip(row) {
+                p += a * r * v2f;
+            }
+            out.push(p);
+        }
+        Ok(())
+    }
+
     /// Serializes the model to JSON (deployable artifact).
     pub fn to_json(&self) -> Result<String> {
         Ok(self.to_json_value().to_string_pretty())
@@ -372,6 +415,57 @@ mod tests {
                 "roundtrip changed a prediction"
             );
         }
+    }
+
+    #[test]
+    fn predict_raw_batch_bitwise_matches_predict_raw_and_predict_batch() {
+        let d = linear_dataset(64);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let rows = d.rows();
+        let width = m.events.len();
+        let mut rates = Vec::new();
+        let mut points = Vec::new();
+        for row in rows {
+            for &e in &m.events {
+                rates.push(row.rate(e));
+            }
+            points.push((row.voltage, row.freq_mhz));
+        }
+        let mut batched = Vec::new();
+        m.predict_raw_batch_into(&rates, &points, &mut batched)
+            .unwrap();
+        let per_row = m.predict_batch(rows);
+        assert_eq!(batched.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let solo = m
+                .predict_raw(
+                    &rates[i * width..(i + 1) * width],
+                    row.voltage,
+                    row.freq_mhz,
+                )
+                .unwrap();
+            assert_eq!(
+                batched[i].to_bits(),
+                solo.to_bits(),
+                "row {i} diverges from predict_raw"
+            );
+            assert_eq!(
+                batched[i].to_bits(),
+                per_row[i].to_bits(),
+                "row {i} diverges from predict_batch"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_raw_batch_rejects_misaligned_rates() {
+        let d = linear_dataset(10);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let mut out = Vec::new();
+        let err = m
+            .predict_raw_batch_into(&[0.1, 0.2, 0.3], &[(1.0, 2000), (1.0, 2000)], &mut out)
+            .unwrap_err();
+        assert!(matches!(err, ModelError::BadDataset { .. }), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! The coalescing batch scheduler.
+//!
+//! Workers do not execute queued requests one at a time: each worker
+//! drains the shared job queue into an **assembly** — a run of jobs it
+//! will answer in order — so that consecutive `ingest` frames can be
+//! evaluated by one batched model call ([`crate::engine::EstimatorEngine::estimate_batch`])
+//! instead of one call per request. Two knobs govern assembly:
+//!
+//! - **`batch_max`** — dispatch as soon as this many jobs accumulate.
+//! - **`batch_linger`** — with a batch started by an `ingest`, wait
+//!   until the *oldest* job has been queued this long for more work to
+//!   coalesce. Zero (the default) means *opportunistic* assembly: take
+//!   whatever is already queued, never wait — a solo request pays no
+//!   added latency.
+//!
+//! Assembly is also where deadline shedding happens: a job that has
+//! outlived [`crate::server::ServerConfig::queue_deadline`] at drain
+//! time is diverted into the assembly's `shed` list and never enters a
+//! batch — the client gets a typed `overloaded` answer, not a stale
+//! batched estimate.
+//!
+//! The scheduler is written against the [`BatchSource`] trait rather
+//! than the worker channel directly, so tests drive it with a
+//! virtual-time scripted source (`BatchProbe`) and assert exactly which
+//! jobs land in which batch — batch formation is deterministic given an
+//! arrival schedule, never timing-dependent.
+
+use crate::protocol::is_ingest_frame;
+use pmc_json::Json;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A parsed-but-unexecuted request handed to the worker pool.
+#[derive(Debug)]
+pub(crate) struct Job {
+    /// Connection (== client) id the response routes back to.
+    pub conn: u64,
+    /// The raw request frame; parsed after assembly.
+    pub frame: Json,
+    /// When the core queued the job (drives shedding and linger).
+    pub enqueued: Instant,
+}
+
+impl Job {
+    /// True if this job is an `ingest` — the only op worth lingering
+    /// for, since only ingests coalesce into a batched model call.
+    pub fn is_ingest(&self) -> bool {
+        is_ingest_frame(&self.frame)
+    }
+}
+
+/// Assembly tuning, resolved once per worker from the server config.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchPolicy {
+    /// Dispatch when this many jobs have been admitted.
+    pub max: usize,
+    /// How long the oldest admitted ingest may wait for company.
+    pub linger: Duration,
+    /// Jobs older than this at drain time are shed, never batched.
+    pub queue_deadline: Option<Duration>,
+}
+
+/// One worker dispatch: the jobs to answer, in queue order.
+#[derive(Debug, Default)]
+pub(crate) struct Assembly {
+    /// Jobs to execute, oldest first.
+    pub jobs: Vec<Job>,
+    /// Jobs that outlived the queue deadline while queued; they must
+    /// be answered with a typed overload frame without executing.
+    pub shed: Vec<Job>,
+    /// The linger deadline expired before the batch filled.
+    pub lingered: bool,
+}
+
+/// Where a worker's jobs come from. The production implementation is
+/// the shared worker channel ([`ChannelSource`]); tests substitute a
+/// scripted virtual-time source so assembly decisions are reproducible.
+pub(crate) trait BatchSource {
+    /// Blocks for the next job; `None` means the queue is closed and
+    /// the worker should retire.
+    fn recv(&mut self) -> Option<Job>;
+    /// Waits up to `timeout` for a job. A zero timeout only takes what
+    /// is already queued.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Job, RecvTimeoutError>;
+    /// The source's clock — monotonic, comparable with job `enqueued`
+    /// stamps.
+    fn now(&self) -> Instant;
+}
+
+/// The worker pool's shared queue as a [`BatchSource`].
+///
+/// The queue lock is acquired on the first `recv` of an assembly and
+/// **held until [`ChannelSource::release`]** — one worker drains the
+/// queue at a time, which is what lets consecutive requests coalesce
+/// into its batch. Re-acquiring per call would deadlock: a sibling can
+/// hold the lock blocked inside `recv()`, waiting for a job that will
+/// not arrive until this worker's responses go out. The worker loop
+/// releases the lock before executing, so siblings drain while it
+/// works.
+pub(crate) struct ChannelSource<'a> {
+    rx: &'a Mutex<Receiver<Job>>,
+    held: Option<std::sync::MutexGuard<'a, Receiver<Job>>>,
+}
+
+impl<'a> ChannelSource<'a> {
+    pub fn new(rx: &'a Mutex<Receiver<Job>>) -> Self {
+        ChannelSource { rx, held: None }
+    }
+
+    /// Hands the queue to sibling workers; call as soon as assembly is
+    /// done and before any request executes.
+    pub fn release(&mut self) {
+        self.held = None;
+    }
+
+    fn queue(&mut self) -> &Receiver<Job> {
+        if self.held.is_none() {
+            self.held = Some(self.rx.lock().expect("worker queue poisoned"));
+        }
+        self.held.as_ref().expect("just acquired")
+    }
+}
+
+impl BatchSource for ChannelSource<'_> {
+    fn recv(&mut self) -> Option<Job> {
+        self.queue().recv().ok()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Job, RecvTimeoutError> {
+        let queue = self.queue();
+        if timeout.is_zero() {
+            queue.try_recv().map_err(|e| match e {
+                TryRecvError::Empty => RecvTimeoutError::Timeout,
+                TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        } else {
+            queue.recv_timeout(timeout)
+        }
+    }
+
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// Drains the source into one [`Assembly`]. Blocks for the first job;
+/// returns `None` only when the queue is closed with nothing pending
+/// (the worker's signal to retire).
+///
+/// Invariants the tests pin down:
+/// - at most `max` jobs are admitted per assembly;
+/// - a job past the queue deadline at drain time is shed, never
+///   admitted — even if it arrived first;
+/// - linger only ever applies when the first admitted job is an
+///   `ingest` and `linger > 0`, and the wait is measured from that
+///   job's *enqueue* time, so time already spent queued counts;
+/// - with `linger == 0` the source is never waited on: the assembly is
+///   whatever had already been queued (plus the blocking first job).
+pub(crate) fn assemble<S: BatchSource>(source: &mut S, policy: &BatchPolicy) -> Option<Assembly> {
+    let max = policy.max.max(1);
+    let mut next = Some(source.recv()?);
+    let mut asm = Assembly::default();
+    loop {
+        if let Some(job) = next.take() {
+            let age = source.now().saturating_duration_since(job.enqueued);
+            if policy.queue_deadline.is_some_and(|d| age > d) {
+                asm.shed.push(job);
+            } else {
+                asm.jobs.push(job);
+            }
+        }
+        if asm.jobs.len() >= max {
+            break;
+        }
+        let linger_active = match asm.jobs.first() {
+            Some(first) => !policy.linger.is_zero() && first.is_ingest(),
+            // Everything drained so far was shed: take whatever else is
+            // already queued (zero wait), but never block — the shed
+            // clients are already waiting for their answers.
+            None if !asm.shed.is_empty() => false,
+            None => match source.recv() {
+                Some(j) => {
+                    next = Some(j);
+                    continue;
+                }
+                None => break,
+            },
+        };
+        let wait = if linger_active {
+            (asm.jobs[0].enqueued + policy.linger).saturating_duration_since(source.now())
+        } else {
+            Duration::ZERO
+        };
+        match source.recv_timeout(wait) {
+            Ok(j) => next = Some(j),
+            Err(RecvTimeoutError::Timeout) => {
+                asm.lingered = linger_active;
+                break;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Some(asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// A deterministic, virtual-time [`BatchSource`]: jobs arrive at
+    /// scripted offsets from a fixed base instant, and "waiting" just
+    /// advances the virtual clock. Assembly behavior under any arrival
+    /// interleaving is therefore exactly reproducible.
+    struct BatchProbe {
+        base: Instant,
+        /// Virtual time elapsed since `base`.
+        clock: Duration,
+        /// `(arrival offset, job)` in arrival order.
+        arrivals: VecDeque<(Duration, Job)>,
+    }
+
+    impl BatchProbe {
+        /// `base` must be the same instant the jobs' `enqueued` stamps
+        /// were built against — virtual time is offsets from it, and a
+        /// second wall-clock read here would leak real elapsed time
+        /// into the ages.
+        fn new(base: Instant, arrivals: Vec<(Duration, Job)>) -> Self {
+            let mut arrivals = arrivals;
+            arrivals.sort_by_key(|(at, _)| *at);
+            BatchProbe {
+                base,
+                clock: Duration::ZERO,
+                arrivals: arrivals.into(),
+            }
+        }
+    }
+
+    impl BatchSource for BatchProbe {
+        fn recv(&mut self) -> Option<Job> {
+            let (at, job) = self.arrivals.pop_front()?;
+            self.clock = self.clock.max(at);
+            Some(job)
+        }
+
+        fn recv_timeout(&mut self, timeout: Duration) -> Result<Job, RecvTimeoutError> {
+            match self.arrivals.front() {
+                Some((at, _)) if *at <= self.clock + timeout => {
+                    let (at, job) = self.arrivals.pop_front().expect("peeked");
+                    self.clock = self.clock.max(at);
+                    Ok(job)
+                }
+                Some(_) => {
+                    self.clock += timeout;
+                    Err(RecvTimeoutError::Timeout)
+                }
+                None => {
+                    // The script ended: treat the queue as open but
+                    // idle, so a linger wait times out rather than
+                    // seeing a disconnect.
+                    self.clock += timeout;
+                    Err(RecvTimeoutError::Timeout)
+                }
+            }
+        }
+
+        fn now(&self) -> Instant {
+            self.base + self.clock
+        }
+    }
+
+    fn ingest_job(probe_base: Instant, conn: u64, enqueued_us: u64) -> (Duration, Job) {
+        let at = Duration::from_micros(enqueued_us);
+        (
+            at,
+            Job {
+                conn,
+                frame: Json::obj(vec![("op", Json::from("ingest"))]),
+                enqueued: probe_base + at,
+            },
+        )
+    }
+
+    fn control_job(probe_base: Instant, conn: u64, enqueued_us: u64) -> (Duration, Job) {
+        let at = Duration::from_micros(enqueued_us);
+        (
+            at,
+            Job {
+                conn,
+                frame: Json::obj(vec![("op", Json::from("stats"))]),
+                enqueued: probe_base + at,
+            },
+        )
+    }
+
+    fn policy(max: usize, linger_us: u64, deadline_ms: Option<u64>) -> BatchPolicy {
+        BatchPolicy {
+            max,
+            linger: Duration::from_micros(linger_us),
+            queue_deadline: deadline_ms.map(Duration::from_millis),
+        }
+    }
+
+    fn conns(asm: &Assembly) -> Vec<u64> {
+        asm.jobs.iter().map(|j| j.conn).collect()
+    }
+
+    #[test]
+    fn fills_to_max_and_leaves_the_rest() {
+        let base = Instant::now();
+        let arrivals = (0..6).map(|c| ingest_job(base, c, 0)).collect();
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals,
+        };
+        let asm = assemble(&mut probe, &policy(4, 0, None)).unwrap();
+        assert_eq!(conns(&asm), vec![0, 1, 2, 3]);
+        assert!(!asm.lingered);
+        let rest = assemble(&mut probe, &policy(4, 0, None)).unwrap();
+        assert_eq!(conns(&rest), vec![4, 5]);
+    }
+
+    #[test]
+    fn zero_linger_never_waits_for_a_solo_request() {
+        let base = Instant::now();
+        let probe_base;
+        let mut probe = {
+            // One job now, the next 10 ms later: with linger 0 the
+            // first must dispatch alone, at its own arrival time.
+            let arrivals = vec![ingest_job(base, 1, 0), ingest_job(base, 2, 10_000)];
+            probe_base = base;
+            BatchProbe {
+                base,
+                clock: Duration::ZERO,
+                arrivals: arrivals.into(),
+            }
+        };
+        let asm = assemble(&mut probe, &policy(8, 0, None)).unwrap();
+        assert_eq!(conns(&asm), vec![1]);
+        assert!(!asm.lingered);
+        assert_eq!(probe.now(), probe_base, "zero linger must not advance time");
+    }
+
+    #[test]
+    fn linger_holds_the_batch_open_until_the_oldest_times_out() {
+        let base = Instant::now();
+        // Jobs at 0, 40 µs, 80 µs; linger 100 µs → all three coalesce,
+        // and dispatch happens via linger timeout at t = 100 µs.
+        let arrivals = vec![
+            ingest_job(base, 1, 0),
+            ingest_job(base, 2, 40),
+            ingest_job(base, 3, 80),
+        ];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 100, None)).unwrap();
+        assert_eq!(conns(&asm), vec![1, 2, 3]);
+        assert!(asm.lingered);
+        assert_eq!(probe.now() - base, Duration::from_micros(100));
+    }
+
+    #[test]
+    fn linger_counts_time_already_spent_queued() {
+        let base = Instant::now();
+        // The worker picks the job up 300 µs after it was enqueued —
+        // already past the 100 µs linger. No extra wait is allowed:
+        // the batch is whatever else is instantly available.
+        let (_, mut stale_start) = ingest_job(base, 1, 0);
+        stale_start.enqueued = base; // enqueued at t=0
+        let arrivals = vec![
+            (Duration::from_micros(300), stale_start),
+            ingest_job(base, 2, 300),
+            ingest_job(base, 3, 500),
+        ];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 100, None)).unwrap();
+        assert_eq!(conns(&asm), vec![1, 2]);
+        assert!(asm.lingered);
+        assert_eq!(
+            probe.now() - base,
+            Duration::from_micros(300),
+            "an expired linger budget must not buy extra waiting"
+        );
+    }
+
+    #[test]
+    fn stale_jobs_are_shed_at_assembly_never_batched() {
+        let base = Instant::now();
+        // Job 1 was enqueued 5 ms before the worker drains it; the
+        // queue deadline is 2 ms. It must land in `shed`, and the
+        // fresh jobs behind it form the batch.
+        let (_, mut stale) = ingest_job(base, 1, 0);
+        stale.enqueued = base;
+        let arrivals = vec![
+            (Duration::from_millis(5), stale),
+            ingest_job(base, 2, 5_000),
+            ingest_job(base, 3, 5_000),
+        ];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 0, Some(2))).unwrap();
+        assert_eq!(asm.shed.len(), 1);
+        assert_eq!(asm.shed[0].conn, 1);
+        assert_eq!(conns(&asm), vec![2, 3]);
+    }
+
+    #[test]
+    fn all_stale_assembly_dispatches_sheds_without_blocking() {
+        let base = Instant::now();
+        let (_, mut stale) = ingest_job(base, 1, 0);
+        stale.enqueued = base;
+        let arrivals = vec![(Duration::from_millis(10), stale)];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 0, Some(2))).unwrap();
+        assert!(asm.jobs.is_empty());
+        assert_eq!(asm.shed.len(), 1);
+    }
+
+    #[test]
+    fn control_ops_do_not_linger() {
+        let base = Instant::now();
+        // A stats op leads; an ingest would arrive within the linger
+        // window, but control ops never wait for company.
+        let arrivals = vec![control_job(base, 1, 0), ingest_job(base, 2, 50)];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 1_000, None)).unwrap();
+        assert_eq!(conns(&asm), vec![1]);
+        assert!(!asm.lingered);
+        assert_eq!(probe.now(), base, "control op must dispatch immediately");
+    }
+
+    #[test]
+    fn closed_queue_retires_the_worker() {
+        let base = Instant::now();
+        struct Closed;
+        impl BatchSource for Closed {
+            fn recv(&mut self) -> Option<Job> {
+                None
+            }
+            fn recv_timeout(&mut self, _: Duration) -> Result<Job, RecvTimeoutError> {
+                Err(RecvTimeoutError::Disconnected)
+            }
+            fn now(&self) -> Instant {
+                Instant::now()
+            }
+        }
+        let _ = base;
+        assert!(assemble(&mut Closed, &policy(4, 0, None)).is_none());
+    }
+
+    /// Seeded pseudo-random arrival schedules: same seed → bitwise
+    /// identical batch formation; every job is dispatched exactly once
+    /// (either batched or shed); no assembly exceeds `max`.
+    #[test]
+    fn seeded_schedules_form_identical_batches() {
+        for seed in [3u64, 17, 4242] {
+            let runs: Vec<Vec<Vec<u64>>> = (0..2)
+                .map(|_| {
+                    let base = Instant::now();
+                    let mut state = seed;
+                    let mut next_rand = move || {
+                        // splitmix64 — deterministic, dependency-free.
+                        state = state.wrapping_add(0x9e3779b97f4a7c15);
+                        let mut z = state;
+                        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                        z ^ (z >> 31)
+                    };
+                    let mut at = 0u64;
+                    let mut arrivals = Vec::new();
+                    for conn in 0..40u64 {
+                        at += next_rand() % 120; // bursts and gaps
+                        let job = if next_rand() % 5 == 0 {
+                            control_job(base, conn, at)
+                        } else {
+                            ingest_job(base, conn, at)
+                        };
+                        arrivals.push(job);
+                    }
+                    let mut probe = BatchProbe::new(base, arrivals);
+                    let pol = policy(6, 100, Some(1));
+                    let mut batches = Vec::new();
+                    let mut dispatched = 0usize;
+                    while dispatched < 40 {
+                        let asm = assemble(&mut probe, &pol).unwrap();
+                        assert!(asm.jobs.len() <= 6, "assembly over max");
+                        dispatched += asm.jobs.len() + asm.shed.len();
+                        batches.push(conns(&asm));
+                    }
+                    assert_eq!(dispatched, 40, "every job exactly once");
+                    batches
+                })
+                .collect();
+            assert_eq!(runs[0], runs[1], "seed {seed} not reproducible");
+        }
+    }
+}

@@ -6,9 +6,17 @@
 //!                  [--write-timeout-ms N] [--idle-timeout-ms N] [--max-frame-bytes N]
 //!                  [--max-conns N] [--max-inflight N] [--queue-deadline-ms N]
 //!                  [--drain-deadline-ms N] [--retry-after-ms N]
+//!                  [--batch-max N] [--batch-linger-us T]
 //! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)
 //! pmc-serve chaos  [--seed N] [--fault-seed N] [--rate P] [--phases N]
 //! ```
+//!
+//! Queued ingests are coalesced into batched model dispatches:
+//! `--batch-max` caps how many ride in one dispatch (default 16,
+//! 1 disables coalescing) and `--batch-linger-us` lets the scheduler
+//! hold a non-full batch open until the oldest request has waited that
+//! many microseconds (default 0: purely opportunistic — a solo request
+//! is never delayed).
 //!
 //! `serve` binds (default `127.0.0.1:7717`), optionally pre-loads and
 //! activates model artifacts from JSON files, prints the bound
@@ -46,6 +54,7 @@ fn main() -> ExitCode {
                 "                       [--max-conns N] [--max-inflight N] [--queue-deadline-ms N]"
             );
             eprintln!("                       [--drain-deadline-ms N] [--retry-after-ms N]");
+            eprintln!("                       [--batch-max N] [--batch-linger-us T]");
             eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)");
             eprintln!("       pmc-serve chaos [--seed N] [--fault-seed N] [--rate P] [--phases N]");
             return ExitCode::from(2);
@@ -123,6 +132,12 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(ms) = flag_value(args, "--retry-after-ms") {
         config.retry_after_ms = ms.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--batch-max") {
+        config.batch_max = n.parse()?;
+    }
+    if let Some(us) = flag_value(args, "--batch-linger-us") {
+        config.batch_linger = std::time::Duration::from_micros(us.parse()?);
     }
 
     let registry = match flag_value(args, "--persist") {

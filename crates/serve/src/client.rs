@@ -23,6 +23,11 @@
 //! breaker composes with the retry layer: retries that keep hitting
 //! overload count as consecutive failures, so a persistently
 //! overloaded server stops being hammered.
+//!
+//! Server-side batch coalescing is invisible at this layer: the wire
+//! protocol is unchanged, every request still gets its own response,
+//! and responses on one connection arrive in request order whether or
+//! not the server batched the work.
 
 use crate::engine::{CounterSample, Estimate};
 use crate::error::ServeError;

@@ -220,6 +220,16 @@ struct ClientState {
     last: Option<Estimate>,
 }
 
+/// Output of the prepare half of ingestion: the (possibly substituted)
+/// operating voltage plus any degraded-mode reason tokens. The
+/// normalized rate row itself is appended to the caller's flat buffer
+/// so batched prediction needs no per-sample allocation.
+#[derive(Debug)]
+struct Prepared {
+    voltage: f64,
+    reasons: Vec<String>,
+}
+
 /// How many locks the client map is split across. Connection ids are
 /// sequential, so `id % SHARDS` spreads neighbors over distinct locks
 /// and concurrent ingests from different clients rarely contend.
@@ -263,6 +273,77 @@ impl EstimatorEngine {
         sample: &CounterSample,
         artifact: &Arc<ModelArtifact>,
     ) -> Result<Estimate, ServeError> {
+        let mut rates = Vec::with_capacity(artifact.model.events.len());
+        let prep = self.prepare(client, sample, artifact, &mut rates)?;
+        let power = artifact
+            .model
+            .predict_raw(&rates, prep.voltage, sample.freq_mhz)?;
+        Ok(self.finish(client, sample, artifact, power, prep))
+    }
+
+    /// Batched ingest: prepares every request (validation + degraded-
+    /// mode substitution, in request order), evaluates the model once
+    /// over all coalesced rows, then applies each client's sliding-
+    /// window state individually (again in request order).
+    ///
+    /// Results are bitwise identical to calling [`Self::ingest`]
+    /// sequentially over the same requests in the same order — the
+    /// batched predict runs `predict_raw`'s arithmetic per row, the
+    /// prepare pass updates substitution history (`last_rates`,
+    /// `last_voltage`) in order, and the finish pass updates window
+    /// state in order. That holds even if one client appears more than
+    /// once in a batch, because prepare and finish touch disjoint
+    /// per-client state.
+    pub fn estimate_batch(
+        &self,
+        requests: &[(u64, CounterSample)],
+        artifact: &Arc<ModelArtifact>,
+    ) -> Vec<Result<Estimate, ServeError>> {
+        let model = &artifact.model;
+        let width = model.events.len();
+        let mut rates = Vec::with_capacity(requests.len() * width);
+        let mut points = Vec::with_capacity(requests.len());
+        let mut prepped = Vec::with_capacity(requests.len());
+        for (client, sample) in requests {
+            let before = rates.len();
+            match self.prepare(*client, sample, artifact, &mut rates) {
+                Ok(p) => {
+                    points.push((p.voltage, sample.freq_mhz));
+                    prepped.push(Ok(p));
+                }
+                Err(e) => {
+                    rates.truncate(before);
+                    prepped.push(Err(e));
+                }
+            }
+        }
+        let mut powers = Vec::with_capacity(points.len());
+        model
+            .predict_raw_batch_into(&rates, &points, &mut powers)
+            .expect("prepare emits exactly one aligned rate row per accepted request");
+        let mut out = Vec::with_capacity(requests.len());
+        let mut next_power = powers.iter();
+        for ((client, sample), prep) in requests.iter().zip(prepped) {
+            out.push(prep.map(|p| {
+                let power = *next_power.next().expect("one power per accepted request");
+                self.finish(*client, sample, artifact, power, p)
+            }));
+        }
+        out
+    }
+
+    /// The per-sample front half of ingestion: validates the sample,
+    /// applies degraded-mode substitution against the client's history
+    /// (updating `last_rates`/`last_voltage` under the shard lock), and
+    /// appends exactly one model-width row of normalized rates to
+    /// `rates_out` — nothing is appended on error.
+    fn prepare(
+        &self,
+        client: u64,
+        sample: &CounterSample,
+        artifact: &Arc<ModelArtifact>,
+        rates_out: &mut Vec<f64>,
+    ) -> Result<Prepared, ServeError> {
         let model = &artifact.model;
         if sample.deltas.len() != model.events.len() {
             return Err(ServeError::WidthMismatch {
@@ -296,7 +377,7 @@ impl EstimatorEngine {
             state.window.clear();
             state.last_rates.clear();
             state.last_voltage = None;
-            state.model_id = Some(id.clone());
+            state.model_id = Some(id);
         }
         state.last_rates.resize(model.events.len(), None);
 
@@ -318,7 +399,6 @@ impl EstimatorEngine {
         // Dataset::from_profiles normalization.
         let available_cycles =
             self.config.total_cores as f64 * sample.freq_mhz as f64 * 1e6 * sample.duration_s;
-        let mut rates = Vec::with_capacity(model.events.len());
         for (i, (&delta, &event)) in sample.deltas.iter().zip(model.events.iter()).enumerate() {
             let unreadable = sample.missing.contains(&i) || !delta.is_finite() || delta < 0.0;
             let rate = delta / available_cycles;
@@ -331,19 +411,31 @@ impl EstimatorEngine {
                     None => (0.0, "saturated_counter"),
                 };
                 reasons.push(format!("{token}:{}", event.mnemonic()));
-                rates.push(substitute);
+                rates_out.push(substitute);
             } else {
                 state.last_rates[i] = Some(rate);
-                rates.push(rate);
+                rates_out.push(rate);
             }
         }
+        Ok(Prepared { voltage, reasons })
+    }
 
-        let power = model.predict_raw(&rates, voltage, sample.freq_mhz)?;
-        let out_of_envelope = match &model.envelope {
-            Some(env) => !env.contains(voltage, sample.freq_mhz),
+    /// The per-sample back half of ingestion: envelope check, window
+    /// update, and estimate assembly, under the client's shard lock.
+    fn finish(
+        &self,
+        client: u64,
+        sample: &CounterSample,
+        artifact: &Arc<ModelArtifact>,
+        power: f64,
+        prep: Prepared,
+    ) -> Estimate {
+        let out_of_envelope = match &artifact.model.envelope {
+            Some(env) => !env.contains(prep.voltage, sample.freq_mhz),
             None => false,
         };
-
+        let mut clients = self.shard(client).lock().expect("engine lock poisoned");
+        let state = clients.entry(client).or_default();
         state.window.push_back((sample.time_ns, power));
         while state.window.len() > self.config.window.max(1) {
             state.window.pop_front();
@@ -357,13 +449,13 @@ impl EstimatorEngine {
             samples_in_window: state.window.len(),
             out_of_envelope,
             stale: false,
-            degraded: !reasons.is_empty(),
-            degraded_reasons: reasons,
-            model: id.0,
-            version: id.1,
+            degraded: !prep.reasons.is_empty(),
+            degraded_reasons: prep.reasons,
+            model: artifact.name.clone(),
+            version: artifact.version,
         };
         state.last = Some(est.clone());
-        Ok(est)
+        est
     }
 
     /// The latest estimate for `client`, with the staleness flag
@@ -673,6 +765,145 @@ mod tests {
         let est = eng.ingest(1, &s, &b).unwrap();
         assert_eq!(est.samples_in_window, 1); // fresh window under v2
         assert_eq!(est.version, 2);
+    }
+
+    /// Two engines fed the same requests — one per-sample, one batched
+    /// — must agree bit for bit, flags and reasons included.
+    fn assert_batch_matches_sequential(requests: &[(u64, CounterSample)]) {
+        let a = tiny_artifact();
+        let solo = engine();
+        let batched = engine();
+        let expected: Vec<_> = requests
+            .iter()
+            .map(|(c, s)| solo.ingest(*c, s, &a))
+            .collect();
+        let got = batched.estimate_batch(requests, &a);
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            match (g, e) {
+                (Ok(g), Ok(e)) => {
+                    assert_eq!(g.power_w.to_bits(), e.power_w.to_bits(), "row {i} power");
+                    assert_eq!(
+                        g.window_power_w.to_bits(),
+                        e.window_power_w.to_bits(),
+                        "row {i} window"
+                    );
+                    let (g_rest, e_rest) = (
+                        (
+                            g.time_ns,
+                            g.samples_in_window,
+                            g.out_of_envelope,
+                            g.stale,
+                            g.degraded,
+                            &g.degraded_reasons,
+                            &g.model,
+                            g.version,
+                        ),
+                        (
+                            e.time_ns,
+                            e.samples_in_window,
+                            e.out_of_envelope,
+                            e.stale,
+                            e.degraded,
+                            &e.degraded_reasons,
+                            &e.model,
+                            e.version,
+                        ),
+                    );
+                    assert_eq!(g_rest, e_rest, "row {i} metadata");
+                }
+                (Err(g), Err(e)) => assert_eq!(format!("{g:?}"), format!("{e:?}"), "row {i}"),
+                _ => panic!("row {i}: batched {g:?} vs sequential {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_batch_bitwise_matches_sequential_ingest() {
+        let a = tiny_artifact();
+        let data = tiny_dataset(12);
+        // Interleave three clients over the rows, with degraded and
+        // erroring samples mixed in.
+        let mut requests: Vec<(u64, CounterSample)> = Vec::new();
+        for (i, row) in data.rows().iter().enumerate() {
+            let client = (i % 3) as u64;
+            let mut s = sample_from_row(row, &a, i as u64);
+            match i {
+                4 => s.missing = vec![0],               // declared gap
+                5 => s.deltas[1] = f64::NAN,            // unreadable counter
+                6 => s.voltage = 0.0,                   // stale voltage
+                7 => s.deltas[2] = (1u64 << 56) as f64, // saturated
+                8 => s.duration_s = 0.0,                // hard error
+                _ => {}
+            }
+            requests.push((client, s));
+        }
+        assert_batch_matches_sequential(&requests);
+    }
+
+    #[test]
+    fn estimate_batch_preserves_order_for_repeated_client() {
+        // The same client twice in one batch: the second sample must
+        // see the first's window and substitution history, exactly as
+        // two sequential ingests would.
+        let a = tiny_artifact();
+        let data = tiny_dataset(4);
+        let mut requests: Vec<(u64, CounterSample)> = Vec::new();
+        for (i, row) in data.rows().iter().enumerate() {
+            let mut s = sample_from_row(row, &a, i as u64);
+            if i == 2 {
+                s.missing = vec![0]; // substitutes rate learned at i==0
+            }
+            requests.push((9, s));
+        }
+        assert_batch_matches_sequential(&requests);
+        let eng = engine();
+        let ests = eng.estimate_batch(&requests, &a);
+        assert_eq!(ests.last().unwrap().as_ref().unwrap().samples_in_window, 4);
+    }
+
+    #[test]
+    fn bad_voltage_row_degrades_only_itself_in_a_batch() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(3);
+        // Establish voltage history for client 0 so its bad readout
+        // degrades instead of erroring.
+        let warm = sample_from_row(&data.rows()[0], &a, 0);
+        eng.ingest(0, &warm, &a).unwrap();
+
+        let mut bad = sample_from_row(&data.rows()[0], &a, 1);
+        bad.voltage = f64::NAN;
+        let requests = vec![
+            (1, sample_from_row(&data.rows()[1], &a, 1)),
+            (0, bad),
+            (2, sample_from_row(&data.rows()[2], &a, 1)),
+        ];
+        let out = eng.estimate_batch(&requests, &a);
+
+        let degraded = out[1].as_ref().unwrap();
+        assert!(degraded.degraded);
+        assert_eq!(degraded.degraded_reasons, vec!["stale_voltage".to_string()]);
+
+        // Neighbors are untouched: bitwise equal to solo ingests on a
+        // fresh engine.
+        let reference = engine();
+        for (slot, (client, row_idx)) in [(0usize, (1u64, 1usize)), (2, (2, 2))] {
+            let est = out[slot].as_ref().unwrap();
+            assert!(!est.degraded, "neighbor {client} degraded");
+            let solo = reference
+                .ingest(client, &sample_from_row(&data.rows()[row_idx], &a, 1), &a)
+                .unwrap();
+            assert_eq!(est.power_w.to_bits(), solo.power_w.to_bits());
+            assert_eq!(est.window_power_w.to_bits(), solo.window_power_w.to_bits());
+        }
+    }
+
+    #[test]
+    fn estimate_batch_empty_is_empty() {
+        let eng = engine();
+        let a = tiny_artifact();
+        assert!(eng.estimate_batch(&[], &a).is_empty());
     }
 
     #[test]

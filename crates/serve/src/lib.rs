@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 
 pub mod artifact;
+mod batch;
 pub mod client;
 pub mod engine;
 mod error;

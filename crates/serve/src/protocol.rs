@@ -293,6 +293,13 @@ impl Request {
     }
 }
 
+/// True if a raw request frame is an `ingest` — the only op the batch
+/// scheduler lingers for. A cheap field peek; full request parsing
+/// (and its error reporting) still happens at execution time.
+pub(crate) fn is_ingest_frame(frame: &Json) -> bool {
+    matches!(frame.str_field("op"), Ok("ingest"))
+}
+
 /// Wraps a result payload in an ok-response frame.
 pub fn ok_response(result: Json) -> Json {
     Json::obj(vec![("status", Json::from("ok")), ("result", result)])

@@ -316,6 +316,22 @@ impl ModelRegistry {
         inner.previous.map(|i| Arc::clone(&inner.models[i]))
     }
 
+    /// The serving pair — `(active, previous)` — captured under one
+    /// lock acquisition. Callers that dispatch a batch must resolve
+    /// the pair exactly once through this method and hold the returned
+    /// `Arc`s for the whole dispatch: separate [`ModelRegistry::active`]
+    /// / [`ModelRegistry::previous`] calls can interleave with an
+    /// `activate` or `rollback` and observe a torn pair (e.g. the new
+    /// active with the old previous), which would let two rows of the
+    /// same batch be served by inconsistent model versions.
+    pub fn serving_pair(&self) -> (Option<Arc<ModelArtifact>>, Option<Arc<ModelArtifact>>) {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        (
+            inner.active.map(|i| Arc::clone(&inner.models[i])),
+            inner.previous.map(|i| Arc::clone(&inner.models[i])),
+        )
+    }
+
     /// A specific loaded model.
     pub fn get(&self, name: &str, version: u32) -> Option<Arc<ModelArtifact>> {
         let inner = self.inner.read().expect("registry lock poisoned");
@@ -407,6 +423,29 @@ mod tests {
         assert_eq!(r.active().unwrap().version, 1);
         // Rolling back again returns to v2 (swap semantics).
         assert_eq!(r.rollback().unwrap().1, 2);
+    }
+
+    #[test]
+    fn serving_pair_snapshot_survives_activate_and_rollback() {
+        let r = registry();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap();
+
+        // A dispatch resolves its pair once, then registry churn
+        // happens mid-flight: the pinned Arcs must be unaffected.
+        let (active, previous) = r.serving_pair();
+        r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+            .unwrap(); // v3 active
+        r.rollback().unwrap(); // back to v2
+        assert_eq!(active.as_ref().unwrap().version, 2);
+        assert_eq!(previous.as_ref().unwrap().version, 1);
+
+        // A fresh snapshot sees the post-churn state consistently.
+        let (active2, previous2) = r.serving_pair();
+        assert_eq!(active2.unwrap().version, 2);
+        assert_eq!(previous2.unwrap().version, 3);
     }
 
     #[test]

@@ -48,7 +48,8 @@
 //! wall time in `drain_duration_ms`.
 
 use crate::artifact::ModelArtifact;
-use crate::engine::{EngineConfig, EstimatorEngine};
+use crate::batch::{assemble, BatchPolicy, ChannelSource, Job};
+use crate::engine::{CounterSample, EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
 use crate::protocol::{
     encode_frame, error_response, ok_response, parse_frame, FrameError, Request, MAX_FRAME_BYTES,
@@ -110,6 +111,14 @@ pub struct ServerConfig {
     pub drain_deadline: Duration,
     /// Backoff hint carried by overload responses, milliseconds.
     pub retry_after_ms: u64,
+    /// Most ingest requests one coalesced batch may carry. `1`
+    /// disables coalescing (every request is its own model call).
+    pub batch_max: usize,
+    /// How long the oldest queued ingest may wait for more requests to
+    /// coalesce before its batch dispatches anyway. Zero (the default)
+    /// means opportunistic batching: take what is queued, never wait —
+    /// a solo request pays no added latency.
+    pub batch_linger: Duration,
     /// Estimator-engine tuning.
     pub engine: EngineConfig,
 }
@@ -130,6 +139,8 @@ impl Default for ServerConfig {
             queue_deadline: Some(Duration::from_secs(1)),
             drain_deadline: Duration::from_secs(5),
             retry_after_ms: 50,
+            batch_max: 16,
+            batch_linger: Duration::ZERO,
             engine: EngineConfig::default(),
         }
     }
@@ -247,13 +258,6 @@ impl Conn {
     }
 }
 
-/// A parsed-but-unexecuted request handed to the worker pool.
-struct Job {
-    conn: u64,
-    frame: Json,
-    enqueued: Instant,
-}
-
 /// The request handler shared by all workers: registry + engine + stats.
 struct Service {
     registry: Arc<ModelRegistry>,
@@ -276,7 +280,12 @@ impl Service {
     fn try_handle(&self, client: u64, req: Request) -> Result<Json, ServeError> {
         match req {
             Request::Ingest(sample) => {
-                let artifact = self.registry.active().ok_or_else(|| ServeError::Registry {
+                // One atomic registry snapshot: active and fallback
+                // must come from the same serving state (a concurrent
+                // activate/rollback between two lookups could pair the
+                // new active with the old previous).
+                let (active, previous) = self.registry.serving_pair();
+                let artifact = active.ok_or_else(|| ServeError::Registry {
                     reason: "no active model — load_model/activate first".into(),
                 })?;
                 let est = match self.engine.ingest(client, &sample, &artifact) {
@@ -286,10 +295,8 @@ impl Service {
                     // activation). Fall back to the last good model if
                     // it still matches, flagging the estimate.
                     Err(ServeError::WidthMismatch { expected, got }) => {
-                        let fallback = self
-                            .registry
-                            .previous()
-                            .filter(|p| p.model.events.len() == sample.deltas.len());
+                        let fallback =
+                            previous.filter(|p| p.model.events.len() == sample.deltas.len());
                         match fallback {
                             Some(prev) => {
                                 let mut est = self.engine.ingest(client, &sample, &prev)?;
@@ -367,6 +374,133 @@ impl Service {
             }
         }
     }
+
+    /// Executes one coalesced run of ingest requests, returning one
+    /// response per request in request order. The registry's serving
+    /// pair is resolved exactly **once** for the whole batch — a
+    /// concurrent activate/rollback cannot split a batch across model
+    /// versions or pair the new active with the old fallback.
+    fn handle_ingest_batch(&self, batch: Vec<(u64, CounterSample)>) -> Vec<(u64, Json)> {
+        let (active, previous) = self.registry.serving_pair();
+        self.run_pinned(batch, active, previous)
+    }
+
+    /// The execution half of [`Self::handle_ingest_batch`], taking the
+    /// already-pinned serving pair (split out so tests can interpose
+    /// registry churn between resolution and execution).
+    fn run_pinned(
+        &self,
+        batch: Vec<(u64, CounterSample)>,
+        active: Option<Arc<ModelArtifact>>,
+        previous: Option<Arc<ModelArtifact>>,
+    ) -> Vec<(u64, Json)> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        ServerStats::bump(&self.stats.batches_dispatched);
+        self.stats
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.stats.record_batch_fill(batch.len());
+
+        let Some(active) = active else {
+            return batch
+                .into_iter()
+                .map(|(conn, _)| {
+                    ServerStats::bump(&self.stats.frames_errored);
+                    let err = ServeError::Registry {
+                        reason: "no active model — load_model/activate first".into(),
+                    };
+                    (conn, error_response(&err))
+                })
+                .collect();
+        };
+        let active_width = active.model.events.len();
+
+        // Partition by serving model, preserving request order within
+        // each group (and overall, via the index map): samples the
+        // active model can read, samples only the pinned fallback can
+        // read (the stale-model path), and hopeless widths.
+        let n = batch.len();
+        let mut conns = Vec::with_capacity(n);
+        let mut responses: Vec<Option<Json>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut active_rows: Vec<(u64, CounterSample)> = Vec::with_capacity(n);
+        let mut active_slots = Vec::with_capacity(n);
+        let mut fallback_rows: Vec<(u64, CounterSample)> = Vec::new();
+        let mut fallback_slots = Vec::new();
+        for (slot, (conn, sample)) in batch.into_iter().enumerate() {
+            conns.push(conn);
+            let width = sample.deltas.len();
+            if width == active_width {
+                active_rows.push((conn, sample));
+                active_slots.push(slot);
+            } else if previous
+                .as_ref()
+                .is_some_and(|p| p.model.events.len() == width)
+            {
+                fallback_rows.push((conn, sample));
+                fallback_slots.push(slot);
+            } else {
+                ServerStats::bump(&self.stats.frames_errored);
+                let err = ServeError::WidthMismatch {
+                    expected: active_width,
+                    got: width,
+                };
+                responses[slot] = Some(error_response(&err));
+            }
+        }
+
+        for (slot, result) in active_slots
+            .into_iter()
+            .zip(self.engine.estimate_batch(&active_rows, &active))
+        {
+            responses[slot] = Some(self.ingest_response(result, None));
+        }
+        if let Some(prev) = previous.filter(|_| !fallback_rows.is_empty()) {
+            for (slot, result) in fallback_slots
+                .into_iter()
+                .zip(self.engine.estimate_batch(&fallback_rows, &prev))
+            {
+                responses[slot] = Some(self.ingest_response(result, Some(&prev)));
+            }
+        }
+        conns
+            .into_iter()
+            .zip(responses)
+            .map(|(conn, resp)| (conn, resp.expect("every batch slot answered")))
+            .collect()
+    }
+
+    /// Folds one batched-ingest engine outcome into a wire response,
+    /// with the same flagging and stat bumps as the unbatched path.
+    /// `stale_from` marks an estimate served by the pinned fallback
+    /// model rather than the active one.
+    fn ingest_response(
+        &self,
+        result: Result<crate::engine::Estimate, ServeError>,
+        stale_from: Option<&Arc<ModelArtifact>>,
+    ) -> Json {
+        match result {
+            Ok(mut est) => {
+                if let Some(prev) = stale_from {
+                    est.degraded = true;
+                    est.degraded_reasons
+                        .push(format!("stale_model:{}@v{}", prev.name, prev.version));
+                    ServerStats::bump(&self.stats.stale_model_fallbacks);
+                }
+                if est.degraded {
+                    ServerStats::bump(&self.stats.degraded_estimates);
+                }
+                ServerStats::bump(&self.stats.samples_ingested);
+                ServerStats::bump(&self.stats.estimates_served);
+                ok_response(est.to_json_value())
+            }
+            Err(e) => {
+                ServerStats::bump(&self.stats.frames_errored);
+                error_response(&e)
+            }
+        }
+    }
 }
 
 fn id_json(name: &str, version: u32) -> Json {
@@ -423,7 +557,7 @@ impl PowerServer {
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (job_tx, job_rx) = sync_channel::<Job>(config.queue_depth.max(1));
-        let (done_tx, done_rx) = channel::<(u64, Json)>();
+        let (done_tx, done_rx) = channel::<Vec<Completion>>();
         let job_rx = Arc::new(Mutex::new(job_rx));
 
         let mut workers = Vec::with_capacity(config.workers);
@@ -508,40 +642,110 @@ impl Drop for PowerServer {
     }
 }
 
-/// Executes queued requests; sheds the ones that outlived their queue
-/// deadline before reaching a worker.
-fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done: &Sender<(u64, Json)>, service: &Service) {
-    loop {
-        let job = {
-            let guard = job_rx.lock().expect("worker queue poisoned");
-            guard.recv()
-        };
-        let job = match job {
-            Ok(j) => j,
-            Err(_) => break, // core dropped the sender: drain complete
-        };
-        let stale = service
-            .config
-            .queue_deadline
-            .is_some_and(|d| job.enqueued.elapsed() > d);
-        let response = if stale {
-            ServerStats::bump(&service.stats.requests_shed);
-            error_response(&ServeError::Overloaded {
-                retry_after_ms: service.config.retry_after_ms,
-            })
-        } else {
+/// One finished request: the response frame already encoded off the
+/// core thread, or `None` when encoding failed (oversized response)
+/// and the connection must be closed.
+type Completion = (u64, Option<Vec<u8>>);
+
+/// Encodes a response on the worker side — serialization (float
+/// formatting in particular) is the most expensive per-response step,
+/// and doing it here keeps the core thread free for socket sweeps.
+fn encoded(conn: u64, resp: &Json) -> Completion {
+    (conn, encode_frame(resp).ok())
+}
+
+/// Executes assembled runs of queued requests. Each worker drains the
+/// shared queue into one [`crate::batch::Assembly`] at a time: jobs
+/// that outlived the queue deadline are answered with typed overload
+/// frames *before* any execution, consecutive `ingest` frames are
+/// dispatched as one batched model evaluation, and any other op acts
+/// as a barrier — it executes only after the pending ingest run
+/// flushes, so state-changing ops (activate, rollback) interleave with
+/// ingests exactly as they would on an unbatched server.
+fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done: &Sender<Vec<Completion>>, service: &Service) {
+    let policy = BatchPolicy {
+        max: service.config.batch_max,
+        linger: service.config.batch_linger,
+        queue_deadline: service.config.queue_deadline,
+    };
+    let mut source = ChannelSource::new(job_rx);
+    while let Some(asm) = assemble(&mut source, &policy) {
+        // Hand the queue to sibling workers before executing anything.
+        source.release();
+        if asm.lingered {
+            ServerStats::bump(&service.stats.batch_linger_timeouts);
+        }
+        if !asm.shed.is_empty() {
+            let sheds = asm
+                .shed
+                .into_iter()
+                .map(|job| {
+                    ServerStats::bump(&service.stats.requests_shed);
+                    let err = ServeError::Overloaded {
+                        retry_after_ms: service.config.retry_after_ms,
+                    };
+                    encoded(job.conn, &error_response(&err))
+                })
+                .collect();
+            if done.send(sheds).is_err() {
+                return; // core gone
+            }
+        }
+        let mut pending: Vec<(u64, CounterSample)> = Vec::new();
+        for job in asm.jobs {
             match Request::from_json_value(&job.frame) {
-                Ok(req) => service.handle(job.conn, req),
+                Ok(Request::Ingest(sample)) => pending.push((job.conn, sample)),
+                Ok(req) => {
+                    // Barrier: the queued ingests precede this op, so
+                    // they must see the registry as it was before it.
+                    if !flush_ingests(&mut pending, done, service) {
+                        return;
+                    }
+                    let resp = service.handle(job.conn, req);
+                    if done.send(vec![encoded(job.conn, &resp)]).is_err() {
+                        return;
+                    }
+                }
                 Err(e) => {
+                    // A malformed frame has no state effect — answer
+                    // it inline without breaking the ingest run. (Its
+                    // connection cannot have an ingest pending: one
+                    // request per connection is in flight at a time.)
                     ServerStats::bump(&service.stats.frames_errored);
-                    error_response(&e)
+                    if done
+                        .send(vec![encoded(job.conn, &error_response(&e))])
+                        .is_err()
+                    {
+                        return;
+                    }
                 }
             }
-        };
-        if done.send((job.conn, response)).is_err() {
-            break; // core gone
+        }
+        if !flush_ingests(&mut pending, done, service) {
+            return;
         }
     }
+}
+
+/// Dispatches the accumulated ingest run as one batched evaluation and
+/// sends every response in a single completion message. Returns false
+/// once the core is gone.
+fn flush_ingests(
+    pending: &mut Vec<(u64, CounterSample)>,
+    done: &Sender<Vec<Completion>>,
+    service: &Service,
+) -> bool {
+    if pending.is_empty() {
+        return true;
+    }
+    let responses = service.handle_ingest_batch(std::mem::take(pending));
+    done.send(
+        responses
+            .iter()
+            .map(|(conn, resp)| encoded(*conn, resp))
+            .collect(),
+    )
+    .is_ok()
 }
 
 /// The readiness core: owns listeners and connections, sweeps them.
@@ -553,7 +757,9 @@ struct Core {
     inflight: usize,
     /// `None` once drain begins (dropping it retires idle workers).
     job_tx: Option<SyncSender<Job>>,
-    done_rx: Receiver<(u64, Json)>,
+    /// Finished work arrives in groups: one message per shed set,
+    /// per batched ingest run, or per individual op.
+    done_rx: Receiver<Vec<Completion>>,
     service: Arc<Service>,
     stop: Arc<AtomicBool>,
 }
@@ -623,13 +829,21 @@ impl Core {
 
             // The completion channel doubles as the wakeup primitive:
             // sleep briefly, but a finishing worker cuts the nap short.
+            // While traffic is flowing the nap must stay well under a
+            // request's service time — socket readability has no
+            // wakeup of its own, so the active nap bounds how fast new
+            // frames are noticed (and therefore caps throughput).
             let nap = if progress {
-                Duration::from_micros(500)
+                Duration::from_micros(20)
             } else {
                 Duration::from_millis(5)
             };
             match self.done_rx.recv_timeout(nap) {
-                Ok((id, resp)) => self.complete(id, resp),
+                Ok(items) => {
+                    for (id, resp) in items {
+                        self.complete(id, resp);
+                    }
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 // All workers gone (only during drain, or a panic):
                 // keep sweeping on a timer.
@@ -680,20 +894,27 @@ impl Core {
     /// Drains finished requests into their connections' write buffers.
     fn pump_completions(&mut self) -> bool {
         let mut progress = false;
-        while let Ok((id, resp)) = self.done_rx.try_recv() {
+        while let Ok(items) = self.done_rx.try_recv() {
             progress = true;
-            self.complete(id, resp);
+            for (id, resp) in items {
+                self.complete(id, resp);
+            }
         }
         progress
     }
 
-    fn complete(&mut self, id: u64, resp: Json) {
+    fn complete(&mut self, id: u64, frame: Option<Vec<u8>>) {
         self.inflight = self.inflight.saturating_sub(1);
         // The connection may be gone (reaped while its request ran);
         // the response is then discarded, but the budget slot frees.
         if let Some(conn) = self.conns.get_mut(&id) {
             conn.inflight = false;
-            queue_frame(conn, &resp);
+            match frame {
+                Some(bytes) => conn.write_buf.extend_from_slice(&bytes),
+                // Unencodable (oversized) response: there is no way
+                // to answer in-protocol — close the connection.
+                None => conn.closing = true,
+            }
         }
     }
 
@@ -1216,6 +1437,72 @@ mod tests {
             1
         );
         server.shutdown();
+    }
+
+    #[test]
+    fn batch_pins_model_version_across_activate_and_rollback() {
+        use crate::test_fixtures::{tiny_dataset, tiny_model};
+        let registry = Arc::new(ModelRegistry::default());
+        registry
+            .load_and_activate(ModelArtifact::new("hsw", tiny_model()))
+            .unwrap();
+        let config = ServerConfig::default();
+        let service = Service {
+            registry: Arc::clone(&registry),
+            engine: EstimatorEngine::new(config.engine),
+            stats: Arc::new(ServerStats::default()),
+            config,
+        };
+
+        // Resolve the serving pair at assembly time, then churn the
+        // registry the way a concurrent activate + rollback would
+        // while the batch is in flight, leaving v2 active.
+        let (active, previous) = registry.serving_pair();
+        registry
+            .load_and_activate(ModelArtifact::new("hsw", tiny_model()))
+            .unwrap();
+        registry.rollback().unwrap();
+        registry.activate("hsw", 2).unwrap();
+
+        let m = tiny_model();
+        let data = tiny_dataset(4);
+        let batch: Vec<(u64, CounterSample)> = data
+            .rows()
+            .iter()
+            .take(4)
+            .enumerate()
+            .map(|(i, row)| {
+                let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+                let sample = CounterSample {
+                    time_ns: (i as u64 + 1) * 1_000_000,
+                    duration_s: row.duration_s,
+                    freq_mhz: row.freq_mhz,
+                    voltage: row.voltage,
+                    deltas: m.events.iter().map(|e| row.rate(*e) * avail).collect(),
+                    missing: vec![],
+                };
+                (i as u64 + 1, sample)
+            })
+            .collect();
+
+        // The in-flight batch is served entirely by the pinned v1
+        // pair, untouched by the churn…
+        let responses = service.run_pinned(batch.clone(), active, previous);
+        assert_eq!(responses.len(), 4);
+        for (_, resp) in responses {
+            let est =
+                crate::engine::Estimate::from_json_value(&unwrap_response(resp).unwrap()).unwrap();
+            assert_eq!(est.version, 1, "pinned batch must not see the churn");
+            assert!(!est.degraded, "pinned pair is coherent — no fallback");
+        }
+        // …while the next batch resolves freshly and sees v2.
+        let (_, resp) = service
+            .handle_ingest_batch(vec![batch.into_iter().next().unwrap()])
+            .pop()
+            .unwrap();
+        let est =
+            crate::engine::Estimate::from_json_value(&unwrap_response(resp).unwrap()).unwrap();
+        assert_eq!(est.version, 2);
     }
 
     #[test]

@@ -40,7 +40,26 @@ pub struct ServerStats {
     /// Wall-clock duration of the last graceful drain, milliseconds.
     /// Zero until a drain has completed.
     pub drain_duration_ms: AtomicU64,
+    /// Coalesced ingest batches dispatched to the model (each is one
+    /// batched prediction call, whatever its size).
+    pub batches_dispatched: AtomicU64,
+    /// Ingest requests that went through the batch path (equals
+    /// `samples_ingested` + per-request ingest errors).
+    pub batched_requests: AtomicU64,
+    /// Batches dispatched because the oldest request's linger budget
+    /// ran out before the batch filled to `batch_max`.
+    pub batch_linger_timeouts: AtomicU64,
+    /// Batch-size histogram: how many batches landed in each fill
+    /// bucket — 1, 2–3, 4–7, 8–15, 16–31, and 32+ requests.
+    pub batch_fill: [AtomicU64; 6],
 }
+
+/// Upper-exclusive bucket bounds of [`ServerStats::batch_fill`]; the
+/// last bucket is unbounded.
+const BATCH_FILL_BOUNDS: [u64; 5] = [2, 4, 8, 16, 32];
+/// Snapshot keys for [`ServerStats::batch_fill`], aligned with
+/// [`BATCH_FILL_BOUNDS`].
+const BATCH_FILL_KEYS: [&str; 6] = ["1", "2-3", "4-7", "8-15", "16-31", "32+"];
 
 impl ServerStats {
     /// Bumps a counter by one.
@@ -53,6 +72,16 @@ impl ServerStats {
         let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
             Some(v.saturating_sub(1))
         });
+    }
+
+    /// Records one dispatched batch of `fill` requests in the fill
+    /// histogram.
+    pub fn record_batch_fill(&self, fill: usize) {
+        let bucket = BATCH_FILL_BOUNDS
+            .iter()
+            .position(|&bound| (fill as u64) < bound)
+            .unwrap_or(BATCH_FILL_BOUNDS.len());
+        Self::bump(&self.batch_fill[bucket]);
     }
 
     /// A point-in-time JSON snapshot.
@@ -76,6 +105,19 @@ impl ServerStats {
                 read(&self.requests_rejected_overload),
             ),
             ("drain_duration_ms", read(&self.drain_duration_ms)),
+            ("batches_dispatched", read(&self.batches_dispatched)),
+            ("batched_requests", read(&self.batched_requests)),
+            ("batch_linger_timeouts", read(&self.batch_linger_timeouts)),
+            (
+                "batch_fill",
+                Json::Obj(
+                    BATCH_FILL_KEYS
+                        .iter()
+                        .zip(&self.batch_fill)
+                        .map(|(k, c)| (k.to_string(), read(c)))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -96,6 +138,26 @@ mod tests {
         assert_eq!(snap.u64_field("connections_shed").unwrap(), 0);
         assert_eq!(snap.u64_field("requests_shed").unwrap(), 0);
         assert_eq!(snap.u64_field("drain_duration_ms").unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_fill_buckets_cover_all_sizes() {
+        let s = ServerStats::default();
+        for fill in [1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 500] {
+            s.record_batch_fill(fill);
+        }
+        let snap = s.snapshot();
+        let hist = snap.field("batch_fill").unwrap();
+        for (key, expected) in [
+            ("1", 1),
+            ("2-3", 2),
+            ("4-7", 2),
+            ("8-15", 2),
+            ("16-31", 2),
+            ("32+", 2),
+        ] {
+            assert_eq!(hist.u64_field(key).unwrap(), expected, "bucket {key}");
+        }
     }
 
     #[test]
