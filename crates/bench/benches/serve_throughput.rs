@@ -127,26 +127,39 @@ fn main() {
         batch_linger: Duration::from_micros(200),
         ..batched.clone()
     };
+    // Checkpoint-overhead probe: same load, but every connection
+    // resumes a durable token (so the snapshots have real windows to
+    // serialize) and the supervisor checkpoints every 50 ms — an
+    // aggressive cadence; production would use seconds.
+    let ck_path = std::env::temp_dir().join(format!("pmc-bench-ckpt-{}", std::process::id()));
+    let checkpointed = ServerConfig {
+        checkpoint_path: Some(ck_path.clone()),
+        checkpoint_interval: Duration::from_millis(50),
+        ..batched.clone()
+    };
     const TRIALS: usize = 3;
-    let configs = [&unbatched, &batched, &lingering];
-    let mut thr = [[0f64; TRIALS]; 3];
+    let configs = [&unbatched, &batched, &lingering, &checkpointed];
+    let mut thr = [[0f64; TRIALS]; 4];
     let mut p99 = [[0f64; TRIALS]; 2];
     for t in 0..TRIALS {
         for (ci, cfg) in configs.iter().enumerate() {
-            thr[ci][t] = socket_load(cfg, &artifact.model, 64, 300).0;
+            let durable = cfg.checkpoint_path.is_some();
+            thr[ci][t] = socket_load(cfg, &artifact.model, 64, 300, durable).0;
         }
         for (ci, cfg) in configs[..2].iter().enumerate() {
-            p99[ci][t] = socket_load(cfg, &artifact.model, 1, 1500).1;
+            p99[ci][t] = socket_load(cfg, &artifact.model, 1, 1500, false).1;
         }
     }
+    let _ = std::fs::remove_file(&ck_path);
     let median = |xs: &mut [f64; TRIALS]| {
         xs.sort_by(|a, b| a.total_cmp(b));
         xs[TRIALS / 2]
     };
-    let (thr_off, thr_on, thr_linger) = (
+    let (thr_off, thr_on, thr_linger, thr_ckpt) = (
         median(&mut thr[0]),
         median(&mut thr[1]),
         median(&mut thr[2]),
+        median(&mut thr[3]),
     );
     println!(
         "serve_throughput/socket_c64_batch_off     {thr_off:>10.0} req/s  (median of {TRIALS})"
@@ -158,6 +171,10 @@ fn main() {
     println!(
         "serve_throughput/socket_c64_batch_linger  {thr_linger:>10.0} req/s  ({:.2}x)",
         thr_linger / thr_off
+    );
+    println!(
+        "serve_throughput/socket_c64_ckpt_50ms     {thr_ckpt:>10.0} req/s  ({:.2}x vs batch_on)",
+        thr_ckpt / thr_on
     );
     println!(
         "serve_throughput/socket_c1_p99_batch_off  {:>8.1} µs",
@@ -182,9 +199,17 @@ fn skip_frame(r: &mut impl std::io::Read) -> std::io::Result<()> {
 
 /// Drives `conns` pipelined connections from one thread: each round
 /// writes one pre-encoded ingest per connection, then collects every
-/// response. Returns aggregate throughput (requests/second) and the
-/// p99 round latency in microseconds (per-request when `conns == 1`).
-fn socket_load(cfg: &ServerConfig, model: &PowerModel, conns: usize, rounds: usize) -> (f64, f64) {
+/// response. With `durable` each connection first resumes its own
+/// token, so its window is in the checkpointable (durable) namespace.
+/// Returns aggregate throughput (requests/second) and the p99 round
+/// latency in microseconds (per-request when `conns == 1`).
+fn socket_load(
+    cfg: &ServerConfig,
+    model: &PowerModel,
+    conns: usize,
+    rounds: usize,
+    durable: bool,
+) -> (f64, f64) {
     use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
     use std::io::Write as _;
 
@@ -214,6 +239,22 @@ fn socket_load(cfg: &ServerConfig, model: &PowerModel, conns: usize, rounds: usi
         .collect();
     for s in &mut streams {
         s.set_nodelay(true).unwrap();
+    }
+    if durable {
+        for (i, s) in streams.iter_mut().enumerate() {
+            let mut rf = Vec::new();
+            write_frame(
+                &mut rf,
+                &Request::Resume {
+                    token: format!("bench-{i}"),
+                }
+                .to_json_value(),
+            )
+            .unwrap();
+            s.write_all(&rf).unwrap();
+            let resp = read_frame(s).unwrap().expect("server closed");
+            unwrap_response(resp).expect("resume failed");
+        }
     }
     // Sanity round: the server must actually be answering with
     // estimates before we time anything.

@@ -26,12 +26,19 @@
 //! injected, letting tests assert that quarantine and degraded-mode
 //! accounting are *conservative* (nothing injected goes unnoticed,
 //! nothing clean is discarded).
+//!
+//! The [`serve`] module extends the same philosophy from data faults
+//! to *process* faults — worker panics, stuck jobs, and torn
+//! checkpoint writes — with deterministic sequence-number triggers
+//! instead of seeded rates.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod injector;
 pub mod machine;
+pub mod serve;
 
 pub use injector::{FaultInjector, FaultKind, FaultLog, FaultRates};
 pub use machine::FaultyMachine;
+pub use serve::ServeFaults;

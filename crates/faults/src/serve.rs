@@ -1,0 +1,198 @@
+//! Process-level fault hooks for the serving layer.
+//!
+//! The observation-level injector ([`crate::FaultInjector`]) corrupts
+//! *data*; this module breaks the *process*: a worker thread that
+//! panics mid-request, a job that wedges past its wall-clock bound,
+//! and a checkpoint write that tears (a crash between `write` and
+//! `rename` leaving a truncated payload). pmc-serve consults a shared
+//! [`ServeFaults`] at each of those three points, so crash
+//! containment, the stuck-worker watchdog, and checkpoint quarantine
+//! are all testable deterministically — "panic on the 3rd job" is a
+//! trigger on a monotone counter, not a race.
+//!
+//! Triggers are sequence-based: each consultation increments the
+//! matching counter, and the fault fires exactly when the counter
+//! reaches the armed sequence number (one-shot), or — for
+//! [`ServeFaults::panic_from_job`] — on every job from that point on
+//! (a deterministic crasher, for flap detection). A [`ServeFaults`]
+//! with nothing armed is inert and costs one relaxed atomic increment
+//! per consultation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sequence-triggered fault hooks for a serving process. Shared
+/// (behind an `Arc`) between the test arming the faults and the server
+/// consulting them.
+#[derive(Debug, Default)]
+pub struct ServeFaults {
+    /// Jobs executed so far (consultations of [`Self::should_panic`]).
+    job_seq: AtomicU64,
+    /// Panic when the job counter reaches this value; 0 = disarmed.
+    panic_at: AtomicU64,
+    /// Panic on *every* job once the counter reaches this value;
+    /// 0 = disarmed. Models a deterministic crasher (for exercising
+    /// flap detection), not a transient.
+    panic_from: AtomicU64,
+    /// Stall when the job counter reaches this value; 0 = disarmed.
+    stall_at: AtomicU64,
+    /// How long the armed stall holds its worker, milliseconds.
+    stall_ms: AtomicU64,
+    /// Checkpoint writes attempted so far.
+    checkpoint_seq: AtomicU64,
+    /// Tear the checkpoint write with this sequence number; 0 = off.
+    tear_at: AtomicU64,
+    /// Worker panics actually fired.
+    panics_fired: AtomicU64,
+    /// Stalls actually fired.
+    stalls_fired: AtomicU64,
+    /// Checkpoint tears actually fired.
+    tears_fired: AtomicU64,
+}
+
+impl ServeFaults {
+    /// An inert hook set; arm individual faults with the builders.
+    pub fn new() -> Self {
+        ServeFaults::default()
+    }
+
+    /// Arms a worker panic on the `n`-th executed job (1-based).
+    pub fn panic_on_job(self, n: u64) -> Self {
+        self.panic_at.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms a worker panic on **every** job from the `n`-th on
+    /// (1-based) — a deterministic crasher that keeps killing
+    /// respawned workers, which is what flap detection exists for.
+    pub fn panic_from_job(self, n: u64) -> Self {
+        self.panic_from.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms a stall of `hold` on the `n`-th executed job (1-based).
+    pub fn stall_on_job(self, n: u64, hold: Duration) -> Self {
+        self.stall_at.store(n, Ordering::Relaxed);
+        self.stall_ms
+            .store(hold.as_millis() as u64, Ordering::Relaxed);
+        self
+    }
+
+    /// Arms a torn write on the `n`-th checkpoint attempt (1-based).
+    pub fn tear_checkpoint(self, n: u64) -> Self {
+        self.tear_at.store(n, Ordering::Relaxed);
+        self
+    }
+
+    /// Consulted by a worker before executing one job: advances the
+    /// job counter and reports whether the armed panic fires now. The
+    /// caller is expected to `panic!` when this returns true.
+    pub fn should_panic(&self) -> bool {
+        let seq = self.job_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let from = self.panic_from.load(Ordering::Relaxed);
+        let fire = seq == self.panic_at.load(Ordering::Relaxed) || (from != 0 && seq >= from);
+        if fire {
+            self.panics_fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Consulted alongside [`Self::should_panic`] (same job counter —
+    /// call order: panic check first, then stall check): the hold
+    /// duration if the armed stall fires on the job just counted.
+    pub fn stall_duration(&self) -> Option<Duration> {
+        let seq = self.job_seq.load(Ordering::Relaxed);
+        if seq != 0 && seq == self.stall_at.load(Ordering::Relaxed) {
+            // One-shot: disarm so a retried or later job isn't held.
+            self.stall_at.store(0, Ordering::Relaxed);
+            self.stalls_fired.fetch_add(1, Ordering::Relaxed);
+            return Some(Duration::from_millis(self.stall_ms.load(Ordering::Relaxed)));
+        }
+        None
+    }
+
+    /// Consulted by the checkpoint writer per attempt: true when this
+    /// write must be torn (the writer then persists a truncated
+    /// payload, as a crash mid-write would).
+    pub fn should_tear_write(&self) -> bool {
+        let seq = self.checkpoint_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let fire = seq == self.tear_at.load(Ordering::Relaxed);
+        if fire {
+            self.tears_fired.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Worker panics fired so far.
+    pub fn panics_fired(&self) -> u64 {
+        self.panics_fired.load(Ordering::Relaxed)
+    }
+
+    /// Stalls fired so far.
+    pub fn stalls_fired(&self) -> u64 {
+        self.stalls_fired.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint tears fired so far.
+    pub fn tears_fired(&self) -> u64 {
+        self.tears_fired.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fires_exactly_on_the_armed_job() {
+        let f = ServeFaults::new().panic_on_job(3);
+        assert!(!f.should_panic());
+        assert!(!f.should_panic());
+        assert!(f.should_panic());
+        assert!(!f.should_panic());
+        assert_eq!(f.panics_fired(), 1);
+    }
+
+    #[test]
+    fn stall_is_one_shot_and_carries_its_duration() {
+        let f = ServeFaults::new().stall_on_job(2, Duration::from_millis(40));
+        assert!(!f.should_panic());
+        assert!(f.stall_duration().is_none());
+        assert!(!f.should_panic());
+        assert_eq!(f.stall_duration(), Some(Duration::from_millis(40)));
+        assert!(f.stall_duration().is_none(), "stall must not re-fire");
+        assert_eq!(f.stalls_fired(), 1);
+    }
+
+    #[test]
+    fn tear_fires_on_the_armed_checkpoint_attempt() {
+        let f = ServeFaults::new().tear_checkpoint(2);
+        assert!(!f.should_tear_write());
+        assert!(f.should_tear_write());
+        assert!(!f.should_tear_write());
+        assert_eq!(f.tears_fired(), 1);
+    }
+
+    #[test]
+    fn panic_from_keeps_firing() {
+        let f = ServeFaults::new().panic_from_job(2);
+        assert!(!f.should_panic());
+        assert!(f.should_panic());
+        assert!(f.should_panic());
+        assert_eq!(f.panics_fired(), 2);
+    }
+
+    #[test]
+    fn disarmed_hooks_are_inert() {
+        let f = ServeFaults::new();
+        for _ in 0..10 {
+            assert!(!f.should_panic());
+            assert!(f.stall_duration().is_none());
+            assert!(!f.should_tear_write());
+        }
+        assert_eq!(
+            (f.panics_fired(), f.stalls_fired(), f.tears_fired()),
+            (0, 0, 0)
+        );
+    }
+}

@@ -34,8 +34,11 @@ use std::time::{Duration, Instant};
 /// A parsed-but-unexecuted request handed to the worker pool.
 #[derive(Debug)]
 pub(crate) struct Job {
-    /// Connection (== client) id the response routes back to.
+    /// Connection id the response routes back to.
     pub conn: u64,
+    /// Engine key the request's state accumulates under — equals
+    /// `conn` unless the connection resumed a durable token.
+    pub client: u64,
     /// The raw request frame; parsed after assembly.
     pub frame: Json,
     /// When the core queued the job (drives shedding and linger).
@@ -116,7 +119,10 @@ impl<'a> ChannelSource<'a> {
 
     fn queue(&mut self) -> &Receiver<Job> {
         if self.held.is_none() {
-            self.held = Some(self.rx.lock().expect("worker queue poisoned"));
+            // A sibling worker that panicked while holding the lock
+            // poisons it; the receiver itself is still sound, so
+            // recover the guard rather than cascading the crash.
+            self.held = Some(self.rx.lock().unwrap_or_else(|e| e.into_inner()));
         }
         self.held.as_ref().expect("just acquired")
     }
@@ -276,6 +282,7 @@ mod tests {
             at,
             Job {
                 conn,
+                client: conn,
                 frame: Json::obj(vec![("op", Json::from("ingest"))]),
                 enqueued: probe_base + at,
             },
@@ -288,6 +295,7 @@ mod tests {
             at,
             Job {
                 conn,
+                client: conn,
                 frame: Json::obj(vec![("op", Json::from("stats"))]),
                 enqueued: probe_base + at,
             },

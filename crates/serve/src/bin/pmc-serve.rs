@@ -7,7 +7,10 @@
 //!                  [--max-conns N] [--max-inflight N] [--queue-deadline-ms N]
 //!                  [--drain-deadline-ms N] [--retry-after-ms N]
 //!                  [--batch-max N] [--batch-linger-us T]
-//! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)
+//!                  [--checkpoint PATH] [--checkpoint-interval-ms N]
+//!                  [--flap-cap N] [--respawn-backoff-ms N] [--stuck-bound-ms N]
+//! pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback
+//!                            | healthz | readyz | metrics | checkpoint)
 //! pmc-serve chaos  [--seed N] [--fault-seed N] [--rate P] [--phases N]
 //! ```
 //!
@@ -23,7 +26,12 @@
 //! address, and runs until stdin closes (pipe `/dev/null` to run until
 //! killed; an orchestrator holds the pipe open). With `--persist DIR`
 //! the registry survives restarts: models and the active pointer are
-//! written atomically and recovered on startup.
+//! written atomically and recovered on startup. With `--checkpoint
+//! PATH` the engine's durable (resumed-token) client windows survive
+//! crashes too: they are snapshotted every `--checkpoint-interval-ms`
+//! (default 5000; 0 = only on drain) and restored warm on the next
+//! start — a torn or corrupt checkpoint is quarantined and reported,
+//! never fatal.
 //!
 //! `chaos` is a self-contained fault-tolerance demo: it trains a model
 //! on the simulated machine, serves it on an ephemeral port, streams
@@ -55,7 +63,14 @@ fn main() -> ExitCode {
             );
             eprintln!("                       [--drain-deadline-ms N] [--retry-after-ms N]");
             eprintln!("                       [--batch-max N] [--batch-linger-us T]");
-            eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback)");
+            eprintln!("                       [--checkpoint PATH] [--checkpoint-interval-ms N]");
+            eprintln!(
+                "                       [--flap-cap N] [--respawn-backoff-ms N] [--stuck-bound-ms N]"
+            );
+            eprintln!("       pmc-serve client --addr A (stats | load NAME FILE [--activate] | activate NAME VER | rollback");
+            eprintln!(
+                "                                  | healthz | readyz | metrics | checkpoint)"
+            );
             eprintln!("       pmc-serve chaos [--seed N] [--fault-seed N] [--rate P] [--phases N]");
             return ExitCode::from(2);
         }
@@ -139,6 +154,21 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(us) = flag_value(args, "--batch-linger-us") {
         config.batch_linger = std::time::Duration::from_micros(us.parse()?);
     }
+    if let Some(path) = flag_value(args, "--checkpoint") {
+        config.checkpoint_path = Some(path.into());
+    }
+    if let Some(ms) = flag_value(args, "--checkpoint-interval-ms") {
+        config.checkpoint_interval = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(n) = flag_value(args, "--flap-cap") {
+        config.flap_cap = n.parse()?;
+    }
+    if let Some(ms) = flag_value(args, "--respawn-backoff-ms") {
+        config.respawn_backoff = std::time::Duration::from_millis(ms.parse()?);
+    }
+    if let Some(ms) = flag_value(args, "--stuck-bound-ms") {
+        config.stuck_job_bound = std::time::Duration::from_millis(ms.parse()?);
+    }
 
     let registry = match flag_value(args, "--persist") {
         Some(dir) => {
@@ -175,6 +205,25 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut server = PowerServer::start(config, registry)?;
+    match server.checkpoint_restore() {
+        Some(pmc_serve::server::CheckpointRestore::Restored { clients, active }) => {
+            eprintln!("checkpoint restored: {clients} client window(s) warm");
+            if let Some((name, version)) = active {
+                eprintln!("checkpoint active-model pin: {name} v{version}");
+            }
+        }
+        Some(pmc_serve::server::CheckpointRestore::Quarantined {
+            reason,
+            quarantined_to,
+        }) => {
+            eprintln!("checkpoint rejected ({reason}) — cold start");
+            match quarantined_to {
+                Some(path) => eprintln!("bad checkpoint quarantined to {}", path.display()),
+                None => eprintln!("bad checkpoint left in place; next write overwrites it"),
+            }
+        }
+        None => {}
+    }
     println!("listening on {}", server.addr());
     if let Some(path) = server.uds_path() {
         println!("listening on uds {path}");
@@ -235,6 +284,24 @@ fn client(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         Some("rollback") => {
             let (name, version) = c.rollback()?;
             println!("rolled back to {name} v{version}");
+        }
+        Some("healthz") => {
+            println!("{}", c.healthz()?.to_string_pretty());
+        }
+        Some("readyz") => {
+            let r = c.readyz()?;
+            let ready = r.field("ready").and_then(|v| v.as_bool()).unwrap_or(false);
+            println!("{}", r.to_string_pretty());
+            if !ready {
+                return Err("server not ready".into());
+            }
+        }
+        Some("metrics") => {
+            print!("{}", c.metrics()?);
+        }
+        Some("checkpoint") => {
+            let clients = c.checkpoint_now()?;
+            println!("checkpoint written: {clients} client window(s)");
         }
         other => {
             return Err(format!("unknown client verb {other:?}").into());

@@ -448,6 +448,43 @@ impl PowerClient {
         let r = self.call(&Request::Ping { delay_ms })?;
         Ok(r.u64_field("slept_ms")?)
     }
+
+    /// Liveness probe, answered inline by the server's core thread
+    /// (it works even when every worker is wedged).
+    pub fn healthz(&mut self) -> Result<Json, ServeError> {
+        self.call(&Request::Healthz)
+    }
+
+    /// Readiness probe: the full report, with `ready` plus every
+    /// failing reason spelled out.
+    pub fn readyz(&mut self) -> Result<Json, ServeError> {
+        self.call(&Request::Readyz)
+    }
+
+    /// Prometheus text exposition of the server's operational stats.
+    pub fn metrics(&mut self) -> Result<String, ServeError> {
+        let r = self.call(&Request::Metrics)?;
+        Ok(r.str_field("body")?.to_string())
+    }
+
+    /// Binds this connection to a durable client identity. Samples
+    /// ingested afterwards accumulate under a token-derived key that
+    /// survives disconnects and (with server-side checkpointing)
+    /// restarts. Returns whether a warm window already existed.
+    pub fn resume(&mut self, token: &str) -> Result<bool, ServeError> {
+        let r = self.call(&Request::Resume {
+            token: token.to_string(),
+        })?;
+        Ok(r.field("restored")?.as_bool().unwrap_or(false))
+    }
+
+    /// Forces an immediate engine checkpoint; returns the number of
+    /// durable client windows written. Errors if the server was
+    /// started without a checkpoint path.
+    pub fn checkpoint_now(&mut self) -> Result<u64, ServeError> {
+        let r = self.call(&Request::Checkpoint)?;
+        Ok(r.u64_field("clients")?)
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ use crate::error::ServeError;
 use pmc_events::MAX_PLAUSIBLE_EVENTS_PER_CYCLE;
 use pmc_json::Json;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -230,6 +230,26 @@ struct Prepared {
     reasons: Vec<String>,
 }
 
+/// A client's full sliding-window state, exported for checkpointing
+/// and re-imported on restart. This is everything the engine knows
+/// about a client: restoring a snapshot and then ingesting a sample
+/// behaves exactly as if the intervening process death never happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientSnapshot {
+    /// The engine key the state belongs to.
+    pub client: u64,
+    /// Model identity the window was built under.
+    pub model_id: Option<(String, u32)>,
+    /// `(time_ns, instantaneous power)` of recent samples, oldest first.
+    pub window: Vec<(u64, f64)>,
+    /// Last good normalized rate per model event.
+    pub last_rates: Vec<Option<f64>>,
+    /// Last good voltage readout.
+    pub last_voltage: Option<f64>,
+    /// The last estimate served.
+    pub last: Option<Estimate>,
+}
+
 /// How many locks the client map is split across. Connection ids are
 /// sequential, so `id % SHARDS` spreads neighbors over distinct locks
 /// and concurrent ingests from different clients rarely contend.
@@ -252,6 +272,15 @@ impl EstimatorEngine {
             config,
             shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
         }
+    }
+
+    /// Locks a shard, recovering from poisoning: a worker that
+    /// panicked while holding the lock leaves per-client state that is
+    /// at worst one sample behind — self-healing on the next ingest —
+    /// so propagating the poison would amplify one contained panic
+    /// into an engine-wide outage.
+    fn lock(shard: &Mutex<HashMap<u64, ClientState>>) -> MutexGuard<'_, HashMap<u64, ClientState>> {
+        shard.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     fn shard(&self, client: u64) -> &Mutex<HashMap<u64, ClientState>> {
@@ -371,7 +400,7 @@ impl EstimatorEngine {
         }
 
         let id = (artifact.name.clone(), artifact.version);
-        let mut clients = self.shard(client).lock().expect("engine lock poisoned");
+        let mut clients = Self::lock(self.shard(client));
         let state = clients.entry(client).or_default();
         if state.model_id.as_ref() != Some(&id) {
             state.window.clear();
@@ -434,7 +463,7 @@ impl EstimatorEngine {
             Some(env) => !env.contains(prep.voltage, sample.freq_mhz),
             None => false,
         };
-        let mut clients = self.shard(client).lock().expect("engine lock poisoned");
+        let mut clients = Self::lock(self.shard(client));
         let state = clients.entry(client).or_default();
         state.window.push_back((sample.time_ns, power));
         while state.window.len() > self.config.window.max(1) {
@@ -461,7 +490,7 @@ impl EstimatorEngine {
     /// The latest estimate for `client`, with the staleness flag
     /// evaluated against `now_ns` (the client's clock).
     pub fn estimate(&self, client: u64, now_ns: u64) -> Option<Estimate> {
-        let clients = self.shard(client).lock().expect("engine lock poisoned");
+        let clients = Self::lock(self.shard(client));
         let state = clients.get(&client)?;
         let mut est = state.last.clone()?;
         est.stale = now_ns.saturating_sub(est.time_ns) > self.config.staleness_ns;
@@ -470,18 +499,64 @@ impl EstimatorEngine {
 
     /// Drops a client's window (connection closed).
     pub fn forget(&self, client: u64) {
-        self.shard(client)
-            .lock()
-            .expect("engine lock poisoned")
-            .remove(&client);
+        Self::lock(self.shard(client)).remove(&client);
     }
 
     /// Number of clients with live state.
     pub fn client_count(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("engine lock poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
+    }
+
+    /// True if the engine holds state for `client`.
+    pub fn has_client(&self, client: u64) -> bool {
+        Self::lock(self.shard(client)).contains_key(&client)
+    }
+
+    /// Exports every client for which `keep` is true, sorted by client
+    /// key so checkpoint bytes are deterministic. Each shard is locked
+    /// briefly in turn; ingests on other shards proceed concurrently.
+    pub fn export_clients(&self, keep: impl Fn(u64) -> bool) -> Vec<ClientSnapshot> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let clients = Self::lock(shard);
+            for (&client, state) in clients.iter().filter(|(&c, _)| keep(c)) {
+                out.push(ClientSnapshot {
+                    client,
+                    model_id: state.model_id.clone(),
+                    window: state.window.iter().copied().collect(),
+                    last_rates: state.last_rates.clone(),
+                    last_voltage: state.last_voltage,
+                    last: state.last.clone(),
+                });
+            }
+        }
+        out.sort_by_key(|s| s.client);
+        out
+    }
+
+    /// Imports snapshots (a checkpoint restore), replacing any state
+    /// the same keys already have. Windows longer than the configured
+    /// cap are trimmed from the front — the checkpoint may come from a
+    /// process with a larger window. Returns how many clients were
+    /// restored.
+    pub fn restore_clients(&self, snaps: Vec<ClientSnapshot>) -> usize {
+        let cap = self.config.window.max(1);
+        let n = snaps.len();
+        for snap in snaps {
+            let mut window: VecDeque<(u64, f64)> = snap.window.into();
+            while window.len() > cap {
+                window.pop_front();
+            }
+            let state = ClientState {
+                window,
+                model_id: snap.model_id,
+                last_rates: snap.last_rates,
+                last_voltage: snap.last_voltage,
+                last: snap.last,
+            };
+            Self::lock(self.shard(snap.client)).insert(snap.client, state);
+        }
+        n
     }
 }
 
@@ -904,6 +979,75 @@ mod tests {
         let eng = engine();
         let a = tiny_artifact();
         assert!(eng.estimate_batch(&[], &a).is_empty());
+    }
+
+    #[test]
+    fn export_restore_roundtrips_client_state() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(6);
+        for (i, row) in data.rows().iter().enumerate() {
+            let mut s = sample_from_row(row, &a, i as u64);
+            if i == 3 {
+                s.missing = vec![0]; // leave degraded history behind
+            }
+            eng.ingest(7, &s, &a).unwrap();
+            eng.ingest(8, &s, &a).unwrap();
+        }
+        let snaps = eng.export_clients(|c| c == 7);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].client, 7);
+        assert_eq!(snaps[0].window.len(), 4);
+
+        // A cold engine restored from the snapshot continues exactly
+        // where the donor stopped: same estimate, same window growth.
+        let cold = engine();
+        assert_eq!(cold.restore_clients(snaps), 1);
+        assert!(cold.has_client(7) && !cold.has_client(8));
+        assert_eq!(cold.estimate(7, 5), eng.estimate(7, 5));
+        let next = sample_from_row(&data.rows()[0], &a, 99);
+        let warm = eng.ingest(7, &next, &a).unwrap();
+        let restored = cold.ingest(7, &next, &a).unwrap();
+        assert_eq!(warm.power_w.to_bits(), restored.power_w.to_bits());
+        assert_eq!(
+            warm.window_power_w.to_bits(),
+            restored.window_power_w.to_bits()
+        );
+        assert_eq!(warm.samples_in_window, restored.samples_in_window);
+    }
+
+    #[test]
+    fn restore_trims_oversized_windows_from_the_front() {
+        let eng = engine(); // window = 4
+        let snap = ClientSnapshot {
+            client: 1,
+            model_id: Some(("m".into(), 1)),
+            window: (0..10).map(|i| (i as u64, i as f64)).collect(),
+            last_rates: vec![None; 3],
+            last_voltage: Some(1.0),
+            last: None,
+        };
+        eng.restore_clients(vec![snap]);
+        let exported = eng.export_clients(|_| true);
+        assert_eq!(exported[0].window.len(), 4);
+        assert_eq!(exported[0].window[0], (6, 6.0)); // oldest dropped
+    }
+
+    #[test]
+    fn export_is_sorted_and_filtered() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(1);
+        let s = sample_from_row(&data.rows()[0], &a, 0);
+        for client in [33u64, 2, 17, 50] {
+            eng.ingest(client, &s, &a).unwrap();
+        }
+        let keys: Vec<u64> = eng
+            .export_clients(|c| c != 17)
+            .iter()
+            .map(|s| s.client)
+            .collect();
+        assert_eq!(keys, vec![2, 33, 50]);
     }
 
     #[test]

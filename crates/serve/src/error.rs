@@ -70,6 +70,15 @@ pub enum ServeError {
         /// Time until the breaker half-opens for a probe, milliseconds.
         retry_in_ms: u64,
     },
+    /// The server hit an internal fault (a worker panicked mid-job).
+    /// The request was *not* necessarily applied; the connection
+    /// stays usable and the client may retry. Kept distinct from
+    /// [`ServeError::Server`] so callers can tell "you sent something
+    /// invalid" from "the server broke".
+    Internal {
+        /// What broke, as much as the server can say safely.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -103,6 +112,7 @@ impl fmt::Display for ServeError {
                 f,
                 "circuit breaker open: failing fast, next probe in {retry_in_ms} ms"
             ),
+            ServeError::Internal { reason } => write!(f, "internal server error: {reason}"),
         }
     }
 }
@@ -162,6 +172,10 @@ mod tests {
             reason: "no such model".into(),
         };
         assert!(e.to_string().contains("no such model"));
+        let e = ServeError::Internal {
+            reason: "worker panicked".into(),
+        };
+        assert!(e.to_string().contains("internal server error"));
     }
 
     #[test]

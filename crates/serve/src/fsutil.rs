@@ -1,0 +1,128 @@
+//! Durable filesystem primitives shared by the registry and the
+//! engine checkpoint writer.
+//!
+//! The load-bearing function is [`write_atomic_durable`]: write to a
+//! `.tmp` sibling, fsync the file, rename into place, then **fsync
+//! the parent directory**. The last step is the one naive atomic
+//! writers skip — `rename(2)` updates the directory entry in memory,
+//! and on many filesystems that entry is not on stable storage until
+//! the directory itself is synced, so a power cut after the rename
+//! can still resurrect the old file (or no file at all). With the
+//! directory fsync, a successful return means the new content
+//! survives power loss.
+//!
+//! [`crc32`] is the checksum the checkpoint format uses to detect
+//! torn payloads; it lives here so format code stays dependency-free.
+
+use crate::error::ServeError;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes`.
+/// Bitwise-compatible with zlib's `crc32()`, computed with a small
+/// runtime-built table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // The table is tiny (1 KiB) and cheap to build; recomputing it per
+    // call keeps this allocation- and static-free. Checkpoint payloads
+    // dwarf the 256-iteration setup cost.
+    let mut table = [0u32; 256];
+    for (i, slot) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *slot = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Fsyncs the directory containing `path`, making a just-renamed
+/// entry durable. No-op on platforms where directories cannot be
+/// opened for sync (non-unix).
+fn sync_parent_dir(path: &Path) -> Result<(), ServeError> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
+    Ok(())
+}
+
+/// Writes `contents` to `path` atomically **and durably**: the bytes
+/// go to a `.tmp` sibling, are fsynced, the sibling is renamed into
+/// place, and the parent directory is fsynced so the rename itself
+/// survives power loss. A crash at any instant leaves either the
+/// previous file or the new one — never a prefix, and (after a
+/// successful return) never the old content resurrected.
+pub fn write_atomic_durable(path: &Path, contents: &str) -> Result<(), ServeError> {
+    let mut tmp_name = path.as_os_str().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = PathBuf::from(tmp_name);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(contents.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Reference values from the zlib/IEEE CRC-32.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_byte_flips() {
+        let base = b"checkpoint payload with meaningful content".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped[i] ^= 0x01;
+            assert_ne!(crc32(&flipped), reference, "flip at byte {i} undetected");
+        }
+    }
+
+    #[test]
+    fn write_atomic_durable_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join(format!("pmc-fsutil-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.json");
+        write_atomic_durable(&path, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first");
+        write_atomic_durable(&path, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().extension().is_some_and(|x| x == "tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp sibling not consumed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -21,17 +21,30 @@
 //! 3. **[`server`] / [`client`] / [`protocol`]** — a
 //!    readiness-based server speaking 4-byte-length-prefixed JSON
 //!    frames (`ingest`, `estimate`, `load_model`, `activate`,
-//!    `rollback`, `stats`, `ping`) over localhost TCP and optionally
+//!    `rollback`, `stats`, `ping`, `healthz`, `readyz`, `metrics`,
+//!    `resume`, `checkpoint`) over localhost TCP and optionally
 //!    a Unix domain socket. One non-blocking core thread multiplexes
-//!    every connection over a fixed worker pool, with admission
-//!    control (connection and in-flight budgets answered by typed
-//!    `overloaded` frames), deadline-aware load shedding, slow-client
-//!    buffering under read/write deadlines, and a graceful drain that
-//!    finishes in-flight work, notifies clients with a `draining`
-//!    frame and flushes the registry. The client side composes
+//!    every connection over a **supervised** worker pool: a worker
+//!    panic is contained by `catch_unwind` (the affected request gets
+//!    a typed `internal_error` frame, the slot is respawned with
+//!    backoff, flapping slots are retired and surfaced in `readyz`),
+//!    with admission control (connection and in-flight budgets
+//!    answered by typed `overloaded` frames), deadline-aware load
+//!    shedding, slow-client buffering under read/write deadlines, and
+//!    a graceful drain that finishes in-flight work, notifies clients
+//!    with a `draining` frame, writes a final [`checkpoint`] and
+//!    flushes the registry. Health probes and the Prometheus
+//!    `metrics` scrape are answered inline by the core — they work
+//!    even with every worker wedged. The client side composes
 //!    jittered retry/backoff ([`RetryPolicy`]) with a circuit breaker
 //!    ([`BreakerPolicy`]) that fails fast after consecutive
 //!    overload/timeout failures.
+//!
+//! Durable hot restart: a connection that issues `resume TOKEN` keys
+//! its sliding window by the token instead of the socket; with
+//! [`server::ServerConfig::checkpoint_path`] set those windows (plus
+//! the active-model pin) survive crashes via an atomic, CRC-checked
+//! checkpoint file — see [`checkpoint`].
 //!
 //! ## Quick example
 //!
@@ -54,20 +67,23 @@
 
 pub mod artifact;
 mod batch;
+pub mod checkpoint;
 pub mod client;
 pub mod engine;
 mod error;
+pub mod fsutil;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod stats;
 
 pub use artifact::ModelArtifact;
+pub use checkpoint::{CheckpointData, CheckpointOutcome};
 pub use client::{BreakerPolicy, PowerClient, RetryPolicy};
-pub use engine::{CounterSample, EngineConfig, Estimate, EstimatorEngine};
+pub use engine::{ClientSnapshot, CounterSample, EngineConfig, Estimate, EstimatorEngine};
 pub use error::ServeError;
 pub use registry::{ModelRegistry, RecoveryReport};
-pub use server::{PowerServer, ServerConfig};
+pub use server::{CheckpointRestore, PowerServer, ServerConfig};
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -224,6 +224,28 @@ pub enum Request {
         /// Requested worker hold time, milliseconds (server-capped).
         delay_ms: u64,
     },
+    /// Liveness probe: answered inline by the server core (never
+    /// queued behind workers), so it succeeds as long as the event
+    /// loop turns — even with the whole pool wedged.
+    Healthz,
+    /// Readiness probe: like [`Request::Healthz`] answered inline, but
+    /// reports whether the server should receive traffic (not
+    /// draining, a model active, supervisor not flapping) plus
+    /// checkpoint age and stuck-worker diagnostics.
+    Readyz,
+    /// Prometheus-style plaintext scrape of the server counters.
+    Metrics,
+    /// Bind this connection to a durable client identity. Engine state
+    /// keyed by the token survives disconnects and — with
+    /// checkpointing on — server restarts, so a reconnecting client
+    /// resumes its sliding window instead of cold-starting.
+    Resume {
+        /// Stable client-chosen identity token (non-empty).
+        token: String,
+    },
+    /// Force an immediate engine checkpoint (ops/test hook). Errors
+    /// if the server was started without `--checkpoint`.
+    Checkpoint,
 }
 
 impl Request {
@@ -259,6 +281,14 @@ impl Request {
                 ("op", Json::from("ping")),
                 ("delay_ms", Json::from(*delay_ms)),
             ]),
+            Request::Healthz => Json::obj(vec![("op", Json::from("healthz"))]),
+            Request::Readyz => Json::obj(vec![("op", Json::from("readyz"))]),
+            Request::Metrics => Json::obj(vec![("op", Json::from("metrics"))]),
+            Request::Resume { token } => Json::obj(vec![
+                ("op", Json::from("resume")),
+                ("token", Json::from(token.as_str())),
+            ]),
+            Request::Checkpoint => Json::obj(vec![("op", Json::from("checkpoint"))]),
         }
     }
 
@@ -286,6 +316,19 @@ impl Request {
             "ping" => Ok(Request::Ping {
                 delay_ms: v.u64_field("delay_ms").unwrap_or(0),
             }),
+            "healthz" => Ok(Request::Healthz),
+            "readyz" => Ok(Request::Readyz),
+            "metrics" => Ok(Request::Metrics),
+            "resume" => {
+                let token = v.str_field("token")?.to_string();
+                if token.is_empty() {
+                    return Err(ServeError::Protocol {
+                        reason: "resume token must be non-empty".into(),
+                    });
+                }
+                Ok(Request::Resume { token })
+            }
+            "checkpoint" => Ok(Request::Checkpoint),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
             }),
@@ -298,6 +341,18 @@ impl Request {
 /// (and its error reporting) still happens at execution time.
 pub(crate) fn is_ingest_frame(frame: &Json) -> bool {
     matches!(frame.str_field("op"), Ok("ingest"))
+}
+
+/// True if a raw request frame is an op the server core answers
+/// inline, without a worker: health/readiness probes, metrics
+/// scrapes, and connection identity binding. These must keep working
+/// when the worker pool is saturated, wedged, or flapping — that is
+/// the whole point of a liveness probe.
+pub(crate) fn is_core_inline_frame(frame: &Json) -> bool {
+    matches!(
+        frame.str_field("op"),
+        Ok("healthz") | Ok("readyz") | Ok("metrics") | Ok("resume")
+    )
 }
 
 /// Wraps a result payload in an ok-response frame.
@@ -316,6 +371,10 @@ pub fn error_response(err: &ServeError) -> Json {
             ("retry_after_ms", Json::from(*retry_after_ms)),
         ]),
         ServeError::Draining => Json::obj(vec![("status", Json::from("draining"))]),
+        ServeError::Internal { reason } => Json::obj(vec![
+            ("status", Json::from("internal_error")),
+            ("error", Json::from(reason.as_str())),
+        ]),
         _ => Json::obj(vec![
             ("status", Json::from("error")),
             ("error", Json::from(err.to_string())),
@@ -336,6 +395,12 @@ pub fn unwrap_response(v: Json) -> Result<Json, ServeError> {
             retry_after_ms: v.u64_field("retry_after_ms").unwrap_or(0),
         }),
         "draining" => Err(ServeError::Draining),
+        "internal_error" => Err(ServeError::Internal {
+            reason: v
+                .str_field("error")
+                .map(|s| s.to_string())
+                .unwrap_or_else(|_| "unspecified".into()),
+        }),
         "error" => Err(ServeError::Server {
             message: v.str_field("error")?.to_string(),
         }),
@@ -380,6 +445,53 @@ mod tests {
             model: Json::obj(vec![("k", Json::from(1.0))]),
             activate: true,
         });
+        roundtrip(Request::Healthz);
+        roundtrip(Request::Readyz);
+        roundtrip(Request::Metrics);
+        roundtrip(Request::Resume {
+            token: "client-7".into(),
+        });
+        roundtrip(Request::Checkpoint);
+    }
+
+    #[test]
+    fn empty_resume_token_rejected() {
+        let v = Json::obj(vec![
+            ("op", Json::from("resume")),
+            ("token", Json::from("")),
+        ]);
+        assert!(matches!(
+            Request::from_json_value(&v),
+            Err(ServeError::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn core_inline_ops_are_recognized() {
+        for op in ["healthz", "readyz", "metrics", "resume"] {
+            assert!(is_core_inline_frame(&Json::obj(vec![(
+                "op",
+                Json::from(op)
+            )])));
+        }
+        for op in ["ingest", "stats", "ping", "checkpoint"] {
+            assert!(!is_core_inline_frame(&Json::obj(vec![(
+                "op",
+                Json::from(op)
+            )])));
+        }
+    }
+
+    #[test]
+    fn internal_error_is_a_typed_status() {
+        let err = error_response(&ServeError::Internal {
+            reason: "worker panicked".into(),
+        });
+        assert_eq!(err.str_field("status").unwrap(), "internal_error");
+        match unwrap_response(err).unwrap_err() {
+            ServeError::Internal { reason } => assert!(reason.contains("panicked")),
+            other => panic!("expected internal error, got {other:?}"),
+        }
     }
 
     #[test]

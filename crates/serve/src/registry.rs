@@ -23,11 +23,11 @@
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
+use crate::fsutil::write_atomic_durable;
 use pmc_events::scheduler::CounterScheduler;
 use pmc_json::Json;
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Identifier of a loaded artifact: `(name, version)`.
 pub type ModelId = (String, u32);
@@ -85,19 +85,18 @@ pub struct ModelRegistry {
     persist_dir: Option<PathBuf>,
 }
 
-/// Writes `contents` to `path` atomically: a `.tmp` sibling is
-/// written, fsynced, and renamed into place. A crash leaves either
-/// the previous file or the new one — never a prefix.
-fn write_atomic(path: &Path, contents: &str) -> Result<(), ServeError> {
-    let mut tmp_name = path.as_os_str().to_os_string();
-    tmp_name.push(".tmp");
-    let tmp = PathBuf::from(tmp_name);
-    let mut f = std::fs::File::create(&tmp)?;
-    f.write_all(contents.as_bytes())?;
-    f.sync_all()?;
-    drop(f);
-    std::fs::rename(&tmp, path)?;
-    Ok(())
+/// Recovers a read guard even if a panicking worker poisoned the
+/// lock. The registry's invariants hold at every await-free mutation
+/// boundary, so the data under a poisoned lock is still consistent —
+/// propagating the poison would turn one contained panic into a
+/// registry-wide outage.
+fn read_inner(lock: &RwLock<RegistryInner>) -> RwLockReadGuard<'_, RegistryInner> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Write-guard twin of [`read_inner`].
+fn write_inner(lock: &RwLock<RegistryInner>) -> RwLockWriteGuard<'_, RegistryInner> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The on-disk file name for an artifact. The name charset is
@@ -225,7 +224,7 @@ impl ModelRegistry {
     /// registry as its last act so a restart resumes from exactly the
     /// drained state even if an earlier eager write raced a crash.
     pub fn flush(&self) -> Result<(), ServeError> {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         self.persist_active(&inner)
     }
 
@@ -241,7 +240,7 @@ impl ModelRegistry {
             ]),
             None => Json::Null,
         };
-        write_atomic(&dir.join("ACTIVE.json"), &value.to_string())
+        write_atomic_durable(&dir.join("ACTIVE.json"), &value.to_string())
     }
 
     /// Loads an artifact: validates it, assigns the next version under
@@ -252,11 +251,11 @@ impl ModelRegistry {
     /// that returns `Ok` is durable.
     pub fn load(&self, mut artifact: ModelArtifact) -> Result<ModelId, ServeError> {
         artifact.validate(&self.scheduler)?;
-        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let mut inner = write_inner(&self.inner);
         artifact.version = inner.next_version(&artifact.name);
         let id = (artifact.name.clone(), artifact.version);
         if let Some(dir) = &self.persist_dir {
-            write_atomic(
+            write_atomic_durable(
                 &dir.join(artifact_file_name(&id.0, id.1)),
                 &artifact.to_json()?,
             )?;
@@ -275,7 +274,7 @@ impl ModelRegistry {
     /// Makes `(name, version)` the serving model. The previously active
     /// model is remembered for [`ModelRegistry::rollback`].
     pub fn activate(&self, name: &str, version: u32) -> Result<ModelId, ServeError> {
-        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let mut inner = write_inner(&self.inner);
         let idx = inner
             .find(name, version)
             .ok_or_else(|| ServeError::Registry {
@@ -291,7 +290,7 @@ impl ModelRegistry {
 
     /// Restores the previously active model. Errors if there is none.
     pub fn rollback(&self) -> Result<ModelId, ServeError> {
-        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let mut inner = write_inner(&self.inner);
         let prev = inner.previous.ok_or_else(|| ServeError::Registry {
             reason: "no previous model to roll back to".into(),
         })?;
@@ -304,7 +303,7 @@ impl ModelRegistry {
 
     /// The currently serving model, if any.
     pub fn active(&self) -> Option<Arc<ModelArtifact>> {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         inner.active.map(|i| Arc::clone(&inner.models[i]))
     }
 
@@ -312,7 +311,7 @@ impl ModelRegistry {
     /// also the server's fallback when the active model cannot serve
     /// a request the previous one can.
     pub fn previous(&self) -> Option<Arc<ModelArtifact>> {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         inner.previous.map(|i| Arc::clone(&inner.models[i]))
     }
 
@@ -325,7 +324,7 @@ impl ModelRegistry {
     /// active with the old previous), which would let two rows of the
     /// same batch be served by inconsistent model versions.
     pub fn serving_pair(&self) -> (Option<Arc<ModelArtifact>>, Option<Arc<ModelArtifact>>) {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         (
             inner.active.map(|i| Arc::clone(&inner.models[i])),
             inner.previous.map(|i| Arc::clone(&inner.models[i])),
@@ -334,7 +333,7 @@ impl ModelRegistry {
 
     /// A specific loaded model.
     pub fn get(&self, name: &str, version: u32) -> Option<Arc<ModelArtifact>> {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         inner
             .find(name, version)
             .map(|i| Arc::clone(&inner.models[i]))
@@ -342,11 +341,7 @@ impl ModelRegistry {
 
     /// Number of loaded artifacts.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .expect("registry lock poisoned")
-            .models
-            .len()
+        read_inner(&self.inner).models.len()
     }
 
     /// True if nothing is loaded.
@@ -356,7 +351,7 @@ impl ModelRegistry {
 
     /// Metadata for every loaded artifact, active one flagged.
     pub fn list(&self) -> Json {
-        let inner = self.inner.read().expect("registry lock poisoned");
+        let inner = read_inner(&self.inner);
         let items: Vec<Json> = inner
             .models
             .iter()

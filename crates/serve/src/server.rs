@@ -44,15 +44,38 @@
 //! connections), refuses new requests with a typed `draining` frame,
 //! lets in-flight requests finish within
 //! [`ServerConfig::drain_deadline`], sends every client a `draining`
-//! notice before closing, flushes the registry, and records the drain
-//! wall time in `drain_duration_ms`.
+//! notice before closing, writes a final checkpoint, flushes the
+//! registry, and records the drain wall time in `drain_duration_ms`.
+//!
+//! ## Crash containment and durability
+//!
+//! - **Supervised workers.** Every worker executes its assembled jobs
+//!   under `catch_unwind`; a panic answers each unanswered in-flight
+//!   request with a typed `internal_error` frame (the connection
+//!   survives), bumps `worker_panics`, and retires the worker. A
+//!   supervisor thread respawns it with exponential backoff, gives up
+//!   after [`ServerConfig::flap_cap`] consecutive fast deaths (readyz
+//!   then reports not-ready), and runs a watchdog that flags workers
+//!   stuck on one job past [`ServerConfig::stuck_job_bound`].
+//! - **Checkpoint/replay.** With [`ServerConfig::checkpoint_path`]
+//!   set, durable (token-keyed, see the `resume` op) client windows
+//!   and the active-model pin are snapshotted periodically and on
+//!   drain to an atomic CRC-checked file; on startup a valid
+//!   checkpoint restores them so estimates resume warm, while a torn
+//!   one is quarantined and the server cold-starts — it never refuses
+//!   to boot over a bad checkpoint.
+//! - **Inline health surface.** `healthz`/`readyz`/`metrics`/`resume`
+//!   are answered by the core thread itself, never queued — liveness
+//!   probes keep working even when the whole pool is wedged.
 
 use crate::artifact::ModelArtifact;
 use crate::batch::{assemble, BatchPolicy, ChannelSource, Job};
+use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointData, CheckpointOutcome};
 use crate::engine::{CounterSample, EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
 use crate::protocol::{
-    encode_frame, error_response, ok_response, parse_frame, FrameError, Request, MAX_FRAME_BYTES,
+    encode_frame, error_response, is_core_inline_frame, ok_response, parse_frame, FrameError,
+    Request, MAX_FRAME_BYTES,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -61,13 +84,15 @@ use pmc_model::model::PowerModel;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{
     channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError,
 };
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Cap on the worker hold time a `ping` request may ask for.
 const MAX_PING_DELAY_MS: u64 = 5_000;
@@ -121,6 +146,24 @@ pub struct ServerConfig {
     pub batch_linger: Duration,
     /// Estimator-engine tuning.
     pub engine: EngineConfig,
+    /// Where to persist engine checkpoints (durable client windows and
+    /// the active-model pin). `None` disables checkpointing entirely.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How often the supervisor writes a periodic checkpoint. Zero
+    /// means only on graceful drain / explicit `checkpoint` requests.
+    pub checkpoint_interval: Duration,
+    /// Base delay before respawning a panicked worker; doubles per
+    /// consecutive fast death (capped at one second).
+    pub respawn_backoff: Duration,
+    /// Consecutive fast deaths after which a worker slot is retired
+    /// and the supervisor reports flapping (readyz goes not-ready).
+    pub flap_cap: u32,
+    /// A worker busy on a single assembly for longer than this is
+    /// counted in the `workers_stuck` gauge by the watchdog.
+    pub stuck_job_bound: Duration,
+    /// Deterministic fault hooks (injected worker panics, stalls, torn
+    /// checkpoint writes); `None` in production.
+    pub faults: Option<Arc<pmc_faults::ServeFaults>>,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +185,59 @@ impl Default for ServerConfig {
             batch_max: 16,
             batch_linger: Duration::ZERO,
             engine: EngineConfig::default(),
+            checkpoint_path: None,
+            checkpoint_interval: Duration::from_secs(5),
+            respawn_backoff: Duration::from_millis(10),
+            flap_cap: 5,
+            stuck_job_bound: Duration::from_secs(30),
+            faults: None,
+        }
+    }
+}
+
+/// Durable-client key namespace: engine keys with this bit set come
+/// from a `resume` token (stable across restarts and checkpointed);
+/// keys without it are ephemeral per-connection ids.
+const RESUME_KEY_BIT: u64 = 1 << 63;
+
+/// FNV-1a over the resume token, forced into the durable namespace.
+/// Deterministic across processes — the same token always lands on the
+/// same engine key, which is what makes checkpointed windows findable
+/// after a restart.
+fn resume_key(token: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in token.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h | RESUME_KEY_BIT
+}
+
+/// Milliseconds since the Unix epoch (0 if the clock is before it).
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Health bookkeeping shared between the core, workers and supervisor.
+#[derive(Debug, Default)]
+struct HealthState {
+    /// Unix ms of the last successful checkpoint write (seeded from
+    /// the restored file's mtime on startup); 0 = none yet.
+    last_checkpoint_ms: AtomicU64,
+}
+
+impl HealthState {
+    fn mark_checkpoint(&self) {
+        self.last_checkpoint_ms.store(unix_ms(), Ordering::Relaxed);
+    }
+
+    fn checkpoint_age_ms(&self) -> Option<u64> {
+        match self.last_checkpoint_ms.load(Ordering::Relaxed) {
+            0 => None,
+            then => Some(unix_ms().saturating_sub(then)),
         }
     }
 }
@@ -215,6 +311,11 @@ impl Listener {
 /// Per-connection state owned by the core thread.
 struct Conn {
     stream: Stream,
+    /// Engine key this connection's samples accumulate under. Defaults
+    /// to the connection id (ephemeral — forgotten on close); a
+    /// `resume` op rebinds it to a durable token-derived key (bit 63
+    /// set) that survives disconnects and checkpointed restarts.
+    client: u64,
     /// Bytes received but not yet parsed into frames.
     read_buf: Vec<u8>,
     /// Encoded response bytes not yet accepted by the socket.
@@ -238,9 +339,10 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: Stream, now: Instant) -> Self {
+    fn new(stream: Stream, now: Instant, id: u64) -> Self {
         Conn {
             stream,
+            client: id,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             write_pos: 0,
@@ -263,6 +365,7 @@ struct Service {
     registry: Arc<ModelRegistry>,
     engine: EstimatorEngine,
     stats: Arc<ServerStats>,
+    health: Arc<HealthState>,
     config: ServerConfig,
 }
 
@@ -372,15 +475,126 @@ impl Service {
                     ("slept_ms", Json::from(slept)),
                 ]))
             }
+            // Health/metrics ops are normally intercepted inline by the
+            // core (so they work with a wedged pool); these arms answer
+            // them if one is ever routed through a worker anyway.
+            Request::Healthz => Ok(self.healthz_json(false)),
+            Request::Readyz => Ok(self.readyz_json(false)),
+            Request::Metrics => Ok(self.metrics_json()),
+            Request::Resume { .. } => Err(ServeError::Protocol {
+                reason: "resume is bound to the connection and handled inline by the core".into(),
+            }),
+            Request::Checkpoint => {
+                let (clients, path) = self.write_checkpoint_now()?;
+                Ok(Json::obj(vec![
+                    ("written", Json::Bool(true)),
+                    ("clients", Json::from(clients)),
+                    ("path", Json::from(path.display().to_string().as_str())),
+                ]))
+            }
+        }
+    }
+
+    /// Liveness: answering at all is the signal.
+    fn healthz_json(&self, draining: bool) -> Json {
+        Json::obj(vec![
+            ("alive", Json::Bool(true)),
+            ("draining", Json::Bool(draining)),
+        ])
+    }
+
+    /// Readiness: whether this process should receive traffic, with
+    /// every failing condition spelled out.
+    fn readyz_json(&self, draining: bool) -> Json {
+        let mut reasons: Vec<&str> = Vec::new();
+        if draining {
+            reasons.push("draining");
+        }
+        let active = self.registry.active();
+        if active.is_none() {
+            reasons.push("no active model");
+        }
+        let flapping = self.stats.supervisor_flapping.load(Ordering::Relaxed) != 0;
+        if flapping {
+            reasons.push("supervisor flapping: worker slot retired after repeated panics");
+        }
+        let stuck = self.stats.workers_stuck.load(Ordering::Relaxed);
+        if stuck > 0 {
+            reasons.push("worker stuck past the wall-clock bound");
+        }
+        Json::obj(vec![
+            ("ready", Json::Bool(reasons.is_empty())),
+            (
+                "reasons",
+                Json::Arr(reasons.into_iter().map(Json::from).collect()),
+            ),
+            ("draining", Json::Bool(draining)),
+            (
+                "active_model",
+                match active {
+                    Some(a) => id_json(&a.name, a.version),
+                    None => Json::Null,
+                },
+            ),
+            ("flapping", Json::Bool(flapping)),
+            ("stuck_workers", Json::from(stuck)),
+            (
+                "checkpoint_age_ms",
+                match self.health.checkpoint_age_ms() {
+                    Some(age) => Json::from(age),
+                    None => Json::Null,
+                },
+            ),
+            ("clients", Json::from(self.engine.client_count())),
+        ])
+    }
+
+    /// The Prometheus text exposition wrapped for the JSON framing.
+    fn metrics_json(&self) -> Json {
+        Json::obj(vec![
+            ("content_type", Json::from("text/plain; version=0.0.4")),
+            ("body", Json::from(self.stats.prometheus().as_str())),
+        ])
+    }
+
+    /// Snapshots durable (token-keyed) client windows plus the active
+    /// model pin and writes them to the configured checkpoint path.
+    /// Returns the client count and path on success.
+    fn write_checkpoint_now(&self) -> Result<(usize, PathBuf), ServeError> {
+        let path = self
+            .config
+            .checkpoint_path
+            .clone()
+            .ok_or_else(|| ServeError::Registry {
+                reason: "checkpoint not configured — start with --checkpoint PATH".into(),
+            })?;
+        let data = CheckpointData {
+            active: self.registry.active().map(|a| (a.name.clone(), a.version)),
+            clients: self.engine.export_clients(|c| c & RESUME_KEY_BIT != 0),
+        };
+        let clients = data.clients.len();
+        match write_checkpoint(&path, &data, self.config.faults.as_deref()) {
+            Ok(()) => {
+                ServerStats::bump(&self.stats.checkpoints_written);
+                self.health.mark_checkpoint();
+                Ok((clients, path))
+            }
+            Err(e) => {
+                ServerStats::bump(&self.stats.checkpoint_write_failures);
+                Err(e)
+            }
         }
     }
 
     /// Executes one coalesced run of ingest requests, returning one
-    /// response per request in request order. The registry's serving
-    /// pair is resolved exactly **once** for the whole batch — a
-    /// concurrent activate/rollback cannot split a batch across model
-    /// versions or pair the new active with the old fallback.
-    fn handle_ingest_batch(&self, batch: Vec<(u64, CounterSample)>) -> Vec<(u64, Json)> {
+    /// response per request in request order. Each batch entry is
+    /// `(conn, client, sample)`: `conn` routes the response, `client`
+    /// keys the engine window (they differ after a `resume`). The
+    /// registry's serving pair is resolved exactly **once** for the
+    /// whole batch — a concurrent activate/rollback cannot split a
+    /// batch across model versions or pair the new active with the old
+    /// fallback.
+    fn handle_ingest_batch(&self, batch: Vec<(u64, u64, CounterSample)>) -> Vec<(u64, Json)> {
         let (active, previous) = self.registry.serving_pair();
         self.run_pinned(batch, active, previous)
     }
@@ -390,7 +604,7 @@ impl Service {
     /// registry churn between resolution and execution).
     fn run_pinned(
         &self,
-        batch: Vec<(u64, CounterSample)>,
+        batch: Vec<(u64, u64, CounterSample)>,
         active: Option<Arc<ModelArtifact>>,
         previous: Option<Arc<ModelArtifact>>,
     ) -> Vec<(u64, Json)> {
@@ -406,7 +620,7 @@ impl Service {
         let Some(active) = active else {
             return batch
                 .into_iter()
-                .map(|(conn, _)| {
+                .map(|(conn, _, _)| {
                     ServerStats::bump(&self.stats.frames_errored);
                     let err = ServeError::Registry {
                         reason: "no active model — load_model/activate first".into(),
@@ -428,17 +642,17 @@ impl Service {
         let mut active_slots = Vec::with_capacity(n);
         let mut fallback_rows: Vec<(u64, CounterSample)> = Vec::new();
         let mut fallback_slots = Vec::new();
-        for (slot, (conn, sample)) in batch.into_iter().enumerate() {
+        for (slot, (conn, client, sample)) in batch.into_iter().enumerate() {
             conns.push(conn);
             let width = sample.deltas.len();
             if width == active_width {
-                active_rows.push((conn, sample));
+                active_rows.push((client, sample));
                 active_slots.push(slot);
             } else if previous
                 .as_ref()
                 .is_some_and(|p| p.model.events.len() == width)
             {
-                fallback_rows.push((conn, sample));
+                fallback_rows.push((client, sample));
                 fallback_slots.push(slot);
             } else {
                 ServerStats::bump(&self.stats.frames_errored);
@@ -510,15 +724,38 @@ fn id_json(name: &str, version: u32) -> Json {
     ])
 }
 
+/// What happened to the configured checkpoint file at startup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointRestore {
+    /// A valid checkpoint restored this many client windows (and this
+    /// active-model pin, if the registry still holds the artifact).
+    Restored {
+        /// Durable client windows warmed from the checkpoint.
+        clients: usize,
+        /// The checkpointed active model id, if any.
+        active: Option<(String, u32)>,
+    },
+    /// The checkpoint failed validation (torn write, CRC mismatch,
+    /// garbage); it was moved aside and the server cold-started.
+    Quarantined {
+        /// Why the file was rejected.
+        reason: String,
+        /// Where the bad file went (`None` if the rename failed and it
+        /// was left in place to be overwritten).
+        quarantined_to: Option<PathBuf>,
+    },
+}
+
 /// Handle to a running server; dropping it shuts the server down.
 pub struct PowerServer {
     addr: SocketAddr,
     uds_path: Option<String>,
     stop: Arc<AtomicBool>,
     core: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     stats: Arc<ServerStats>,
     registry: Arc<ModelRegistry>,
+    restore: Option<CheckpointRestore>,
 }
 
 impl PowerServer {
@@ -549,30 +786,89 @@ impl PowerServer {
         }
 
         let stats = Arc::new(ServerStats::default());
+        let health = Arc::new(HealthState::default());
+        let engine = EstimatorEngine::new(config.engine);
+
+        // Checkpoint restore happens before any thread can touch the
+        // engine. A bad checkpoint is quarantined and reported — it
+        // must never keep the server from booting.
+        let restore = match &config.checkpoint_path {
+            Some(path) => match load_checkpoint(path) {
+                CheckpointOutcome::NotFound => None,
+                CheckpointOutcome::Restored(data) => {
+                    let clients = engine.restore_clients(data.clients);
+                    stats
+                        .checkpoint_clients_restored
+                        .fetch_add(clients as u64, Ordering::Relaxed);
+                    if let Some((name, version)) = &data.active {
+                        // Re-pin only if nothing is active yet (a
+                        // persisted registry's own pin wins) and the
+                        // artifact actually survived the restart.
+                        if registry.active().is_none() {
+                            let _ = registry.activate(name, *version);
+                        }
+                    }
+                    // Age the restored checkpoint from the file itself,
+                    // not from "now" — a probe should see how stale it is.
+                    if let Some(ms) = std::fs::metadata(path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                        .map(|d| d.as_millis() as u64)
+                    {
+                        health.last_checkpoint_ms.store(ms, Ordering::Relaxed);
+                    }
+                    Some(CheckpointRestore::Restored {
+                        clients,
+                        active: data.active,
+                    })
+                }
+                CheckpointOutcome::Quarantined {
+                    reason,
+                    quarantined_to,
+                } => {
+                    ServerStats::bump(&stats.checkpoints_quarantined);
+                    Some(CheckpointRestore::Quarantined {
+                        reason,
+                        quarantined_to,
+                    })
+                }
+            },
+            None => None,
+        };
+
         let service = Arc::new(Service {
             registry: Arc::clone(&registry),
-            engine: EstimatorEngine::new(config.engine),
+            engine,
             stats: Arc::clone(&stats),
+            health,
             config: config.clone(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let (job_tx, job_rx) = sync_channel::<Job>(config.queue_depth.max(1));
         let (done_tx, done_rx) = channel::<Vec<Completion>>();
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (exit_tx, exit_rx) = channel::<usize>();
 
-        let mut workers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let job_rx = Arc::clone(&job_rx);
-            let done_tx = done_tx.clone();
-            let service = Arc::clone(&service);
-            workers.push(std::thread::spawn(move || {
-                worker_loop(&job_rx, &done_tx, &service);
-            }));
-        }
-        drop(done_tx); // core must see Disconnected once workers exit
+        let spawner = WorkerSpawner {
+            job_rx: Arc::new(Mutex::new(job_rx)),
+            done_tx,
+            service: Arc::clone(&service),
+            busy: Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect()),
+            started_at: Instant::now(),
+            exit_tx,
+        };
+        let handles: Vec<Option<JoinHandle<()>>> = (0..config.workers)
+            .map(|slot| Some(spawner.spawn(slot)))
+            .collect();
+
+        let supervisor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || supervise(spawner, handles, exit_rx, &stop))
+        };
 
         let core = {
             let stop = Arc::clone(&stop);
+            let service = Arc::clone(&service);
             std::thread::spawn(move || {
                 Core {
                     listeners,
@@ -593,10 +889,17 @@ impl PowerServer {
             uds_path,
             stop,
             core: Some(core),
-            workers,
+            supervisor: Some(supervisor),
             stats,
             registry,
+            restore,
         })
+    }
+
+    /// What happened to the configured checkpoint at startup: `None`
+    /// when checkpointing is off or no file existed yet.
+    pub fn checkpoint_restore(&self) -> Option<&CheckpointRestore> {
+        self.restore.as_ref()
     }
 
     /// The bound TCP address (resolves the ephemeral port).
@@ -627,8 +930,8 @@ impl PowerServer {
         if let Some(core) = self.core.take() {
             let _ = core.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
         }
         if let Some(path) = self.uds_path.take() {
             let _ = std::fs::remove_file(path);
@@ -654,6 +957,147 @@ fn encoded(conn: u64, resp: &Json) -> Completion {
     (conn, encode_frame(resp).ok())
 }
 
+/// Everything needed to (re)spawn a worker into a given pool slot.
+/// Owned by the supervisor after startup — respawning a panicked
+/// worker reuses the exact channels and shared state of the original.
+struct WorkerSpawner {
+    job_rx: Arc<Mutex<Receiver<Job>>>,
+    done_tx: Sender<Vec<Completion>>,
+    service: Arc<Service>,
+    /// Per-slot busy markers: nanoseconds since `started_at` when the
+    /// slot began its current assembly, 0 while idle. The watchdog
+    /// reads these to find stuck workers.
+    busy: Arc<Vec<AtomicU64>>,
+    started_at: Instant,
+    exit_tx: Sender<usize>,
+}
+
+impl WorkerSpawner {
+    fn spawn(&self, slot: usize) -> JoinHandle<()> {
+        let job_rx = Arc::clone(&self.job_rx);
+        let done_tx = self.done_tx.clone();
+        let service = Arc::clone(&self.service);
+        let busy = Arc::clone(&self.busy);
+        let started_at = self.started_at;
+        let exit_tx = self.exit_tx.clone();
+        std::thread::spawn(move || {
+            let _notice = ExitNotice { slot, tx: exit_tx };
+            worker_loop(&job_rx, &done_tx, &service, &busy[slot], started_at);
+        })
+    }
+}
+
+/// Drop guard telling the supervisor which pool slot just emptied —
+/// fires on clean retirement and on any exit path after a panic alike.
+struct ExitNotice {
+    slot: usize,
+    tx: Sender<usize>,
+}
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let _ = self.tx.send(self.slot);
+    }
+}
+
+/// The supervisor: joins dead workers, respawns them with exponential
+/// backoff, retires a slot that flaps (too many consecutive fast
+/// deaths), runs the stuck-worker watchdog, and writes periodic
+/// checkpoints. Exits once the stop flag is up and every worker has
+/// been joined.
+fn supervise(
+    spawner: WorkerSpawner,
+    mut handles: Vec<Option<JoinHandle<()>>>,
+    exit_rx: Receiver<usize>,
+    stop: &AtomicBool,
+) {
+    /// A worker alive longer than this before dying is not flapping —
+    /// its consecutive-death counter resets.
+    const FLAP_RESET: Duration = Duration::from_secs(30);
+    /// Upper bound on the exponential respawn backoff.
+    const MAX_BACKOFF: Duration = Duration::from_secs(1);
+
+    let service = Arc::clone(&spawner.service);
+    let cfg = &service.config;
+    let n = handles.len();
+    let mut consecutive = vec![0u32; n];
+    let mut spawned_at = vec![spawner.started_at; n];
+    let mut last_checkpoint = Instant::now();
+    let tick = Duration::from_millis(25);
+    loop {
+        match exit_rx.recv_timeout(tick) {
+            Ok(slot) => {
+                if let Some(handle) = handles[slot].take() {
+                    let _ = handle.join();
+                }
+                if !stop.load(Ordering::SeqCst) {
+                    if spawned_at[slot].elapsed() >= FLAP_RESET {
+                        consecutive[slot] = 0;
+                    }
+                    consecutive[slot] += 1;
+                    if consecutive[slot] >= cfg.flap_cap.max(1) {
+                        // Flapping: stop feeding this slot — something
+                        // is deterministically killing it.
+                        service
+                            .stats
+                            .supervisor_flapping
+                            .store(1, Ordering::Relaxed);
+                    } else {
+                        let shift = (consecutive[slot] - 1).min(16);
+                        let backoff = cfg
+                            .respawn_backoff
+                            .checked_mul(1u32 << shift)
+                            .unwrap_or(MAX_BACKOFF)
+                            .min(MAX_BACKOFF);
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff);
+                        }
+                        handles[slot] = Some(spawner.spawn(slot));
+                        spawned_at[slot] = Instant::now();
+                        ServerStats::bump(&service.stats.worker_respawns);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            // Unreachable while `spawner` holds an exit_tx, but harmless.
+            Err(RecvTimeoutError::Disconnected) => {}
+        }
+
+        // Watchdog: count workers busy on one assembly past the bound.
+        let bound_ns = cfg.stuck_job_bound.as_nanos() as u64;
+        let now_ns = spawner.started_at.elapsed().as_nanos() as u64;
+        let stuck = spawner
+            .busy
+            .iter()
+            .filter(|b| {
+                let v = b.load(Ordering::Relaxed);
+                v != 0 && now_ns.saturating_sub(v) > bound_ns
+            })
+            .count() as u64;
+        service.stats.workers_stuck.store(stuck, Ordering::Relaxed);
+
+        // Periodic checkpoint (the drain-time one is the core's job).
+        if cfg.checkpoint_path.is_some()
+            && !cfg.checkpoint_interval.is_zero()
+            && last_checkpoint.elapsed() >= cfg.checkpoint_interval
+        {
+            let _ = service.write_checkpoint_now();
+            last_checkpoint = Instant::now();
+        }
+
+        if stop.load(Ordering::SeqCst) {
+            // The core drops the job channel early in its drain, so
+            // blocked workers wake and retire; join whatever is left.
+            for handle in handles.iter_mut() {
+                if let Some(handle) = handle.take() {
+                    let _ = handle.join();
+                }
+            }
+            return;
+        }
+    }
+}
+
 /// Executes assembled runs of queued requests. Each worker drains the
 /// shared queue into one [`crate::batch::Assembly`] at a time: jobs
 /// that outlived the queue deadline are answered with typed overload
@@ -662,7 +1106,18 @@ fn encoded(conn: u64, resp: &Json) -> Completion {
 /// as a barrier — it executes only after the pending ingest run
 /// flushes, so state-changing ops (activate, rollback) interleave with
 /// ingests exactly as they would on an unbatched server.
-fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done: &Sender<Vec<Completion>>, service: &Service) {
+///
+/// The execution of every assembly runs under `catch_unwind`: a panic
+/// answers each not-yet-answered job in the assembly with a typed
+/// `internal_error` frame (their connections stay open) and retires
+/// this worker — the supervisor respawns the slot.
+fn worker_loop(
+    job_rx: &Mutex<Receiver<Job>>,
+    done: &Sender<Vec<Completion>>,
+    service: &Service,
+    busy: &AtomicU64,
+    started_at: Instant,
+) {
     let policy = BatchPolicy {
         max: service.config.batch_max,
         linger: service.config.batch_linger,
@@ -691,54 +1146,113 @@ fn worker_loop(job_rx: &Mutex<Receiver<Job>>, done: &Sender<Vec<Completion>>, se
                 return; // core gone
             }
         }
-        let mut pending: Vec<(u64, CounterSample)> = Vec::new();
-        for job in asm.jobs {
-            match Request::from_json_value(&job.frame) {
-                Ok(Request::Ingest(sample)) => pending.push((job.conn, sample)),
-                Ok(req) => {
-                    // Barrier: the queued ingests precede this op, so
-                    // they must see the registry as it was before it.
-                    if !flush_ingests(&mut pending, done, service) {
-                        return;
-                    }
-                    let resp = service.handle(job.conn, req);
-                    if done.send(vec![encoded(job.conn, &resp)]).is_err() {
-                        return;
-                    }
+
+        let conns: Vec<u64> = asm.jobs.iter().map(|job| job.conn).collect();
+        let answered = std::cell::RefCell::new(Vec::<u64>::new());
+        busy.store(
+            (started_at.elapsed().as_nanos() as u64).max(1),
+            Ordering::Relaxed,
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_assembly(asm.jobs, done, service, &answered)
+        }));
+        busy.store(0, Ordering::Relaxed);
+        match outcome {
+            Ok(true) => {}
+            Ok(false) => return, // core gone
+            Err(_) => {
+                // Crash containment: the panic stays inside this
+                // worker. Every job that never got its response is
+                // answered in-protocol, then this thread retires and
+                // the supervisor takes over.
+                ServerStats::bump(&service.stats.worker_panics);
+                let answered = answered.into_inner();
+                let err = ServeError::Internal {
+                    reason: "worker panicked while executing the request".into(),
+                };
+                let unanswered: Vec<Completion> = conns
+                    .iter()
+                    .filter(|conn| !answered.contains(conn))
+                    .map(|&conn| encoded(conn, &error_response(&err)))
+                    .collect();
+                if !unanswered.is_empty() {
+                    let _ = done.send(unanswered);
                 }
-                Err(e) => {
-                    // A malformed frame has no state effect — answer
-                    // it inline without breaking the ingest run. (Its
-                    // connection cannot have an ingest pending: one
-                    // request per connection is in flight at a time.)
-                    ServerStats::bump(&service.stats.frames_errored);
-                    if done
-                        .send(vec![encoded(job.conn, &error_response(&e))])
-                        .is_err()
-                    {
-                        return;
-                    }
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one assembly's jobs, recording each connection in `answered`
+/// the moment its response is handed to the core (the panic-recovery
+/// path in [`worker_loop`] answers the rest). Returns false once the
+/// core is gone.
+fn run_assembly(
+    jobs: Vec<Job>,
+    done: &Sender<Vec<Completion>>,
+    service: &Service,
+    answered: &std::cell::RefCell<Vec<u64>>,
+) -> bool {
+    let mut pending: Vec<(u64, u64, CounterSample)> = Vec::new();
+    for job in jobs {
+        if let Some(faults) = &service.config.faults {
+            if faults.should_panic() {
+                panic!("injected worker panic (pmc-faults)");
+            }
+            if let Some(hold) = faults.stall_duration() {
+                std::thread::sleep(hold);
+            }
+        }
+        match Request::from_json_value(&job.frame) {
+            Ok(Request::Ingest(sample)) => pending.push((job.conn, job.client, sample)),
+            Ok(req) => {
+                // Barrier: the queued ingests precede this op, so
+                // they must see the registry as it was before it.
+                if !flush_ingests(&mut pending, done, service, answered) {
+                    return false;
+                }
+                let resp = service.handle(job.client, req);
+                answered.borrow_mut().push(job.conn);
+                if done.send(vec![encoded(job.conn, &resp)]).is_err() {
+                    return false;
+                }
+            }
+            Err(e) => {
+                // A malformed frame has no state effect — answer
+                // it inline without breaking the ingest run. (Its
+                // connection cannot have an ingest pending: one
+                // request per connection is in flight at a time.)
+                ServerStats::bump(&service.stats.frames_errored);
+                answered.borrow_mut().push(job.conn);
+                if done
+                    .send(vec![encoded(job.conn, &error_response(&e))])
+                    .is_err()
+                {
+                    return false;
                 }
             }
         }
-        if !flush_ingests(&mut pending, done, service) {
-            return;
-        }
     }
+    flush_ingests(&mut pending, done, service, answered)
 }
 
 /// Dispatches the accumulated ingest run as one batched evaluation and
 /// sends every response in a single completion message. Returns false
 /// once the core is gone.
 fn flush_ingests(
-    pending: &mut Vec<(u64, CounterSample)>,
+    pending: &mut Vec<(u64, u64, CounterSample)>,
     done: &Sender<Vec<Completion>>,
     service: &Service,
+    answered: &std::cell::RefCell<Vec<u64>>,
 ) -> bool {
     if pending.is_empty() {
         return true;
     }
     let responses = service.handle_ingest_batch(std::mem::take(pending));
+    answered
+        .borrow_mut()
+        .extend(responses.iter().map(|(conn, _)| *conn));
     done.send(
         responses
             .iter()
@@ -822,6 +1336,11 @@ impl Core {
                         .stats
                         .drain_duration_ms
                         .store(start.elapsed().as_millis() as u64, Ordering::Relaxed);
+                    // Final checkpoint: a graceful drain must leave
+                    // durable windows warm for the next process.
+                    if self.service.config.checkpoint_path.is_some() {
+                        let _ = self.service.write_checkpoint_now();
+                    }
                     let _ = self.service.registry.flush();
                     return;
                 }
@@ -879,7 +1398,7 @@ impl Core {
                         }
                         let id = self.next_id;
                         self.next_id += 1;
-                        self.conns.insert(id, Conn::new(stream, now));
+                        self.conns.insert(id, Conn::new(stream, now, id));
                         ServerStats::bump(&self.service.stats.connections_accepted);
                         ServerStats::bump(&self.service.stats.connections_open);
                     }
@@ -921,7 +1440,11 @@ impl Core {
     fn close_conn(&mut self, id: u64) {
         if let Some(conn) = self.conns.remove(&id) {
             conn.stream.close();
-            self.service.engine.forget(id);
+            // Ephemeral engine state dies with the connection; a
+            // resumed (token-keyed) window outlives it by design.
+            if conn.client == id {
+                self.service.engine.forget(id);
+            }
             ServerStats::dec(&self.service.stats.connections_open);
         }
     }
@@ -934,6 +1457,47 @@ fn queue_frame(conn: &mut Conn, payload: &Json) {
     match encode_frame(payload) {
         Ok(bytes) => conn.write_buf.extend_from_slice(&bytes),
         Err(_) => conn.closing = true,
+    }
+}
+
+/// Answers a core-inline op (`healthz`/`readyz`/`metrics`/`resume`)
+/// without touching the worker pool. `resume` rebinds the connection's
+/// engine key to the durable token-derived one, dropping any ephemeral
+/// state accumulated under the connection id first.
+fn core_inline_response(
+    id: u64,
+    conn: &mut Conn,
+    frame: &Json,
+    service: &Service,
+    draining: bool,
+) -> Json {
+    match Request::from_json_value(frame) {
+        Ok(Request::Healthz) => ok_response(service.healthz_json(draining)),
+        Ok(Request::Readyz) => ok_response(service.readyz_json(draining)),
+        Ok(Request::Metrics) => ok_response(service.metrics_json()),
+        Ok(Request::Resume { token }) => {
+            let key = resume_key(&token);
+            if conn.client == id {
+                service.engine.forget(id);
+            }
+            conn.client = key;
+            ServerStats::bump(&service.stats.resumed_clients);
+            ok_response(Json::obj(vec![
+                ("client", Json::from(format!("{key:016x}").as_str())),
+                // Whether a checkpointed/earlier window already exists
+                // under this token — i.e. whether history is warm.
+                ("restored", Json::Bool(service.engine.has_client(key))),
+            ]))
+        }
+        // A panic here would kill the core thread, so even the
+        // can't-happen arm answers in-protocol.
+        Ok(_) => error_response(&ServeError::Internal {
+            reason: "inline dispatch disagreed with frame classification".into(),
+        }),
+        Err(e) => {
+            ServerStats::bump(&service.stats.frames_errored);
+            error_response(&e)
+        }
     }
 }
 
@@ -998,6 +1562,15 @@ fn sweep_conn(
                 conn.partial_since = None;
                 progress = true;
                 ServerStats::bump(&service.stats.frames_received);
+                // Health, metrics and resume are answered by the core
+                // itself — never queued, never counted against the
+                // in-flight budget. Liveness probes must keep working
+                // when every worker is wedged or the queue is full.
+                if is_core_inline_frame(&frame) {
+                    let resp = core_inline_response(id, conn, &frame, service, draining);
+                    queue_frame(conn, &resp);
+                    continue;
+                }
                 if draining {
                     queue_frame(conn, &error_response(&ServeError::Draining));
                     conn.closing = true;
@@ -1016,6 +1589,7 @@ fn sweep_conn(
                 match job_tx {
                     Some(tx) => match tx.try_send(Job {
                         conn: id,
+                        client: conn.client,
                         frame,
                         enqueued: now,
                     }) {
@@ -1451,6 +2025,7 @@ mod tests {
             registry: Arc::clone(&registry),
             engine: EstimatorEngine::new(config.engine),
             stats: Arc::new(ServerStats::default()),
+            health: Arc::new(HealthState::default()),
             config,
         };
 
@@ -1466,7 +2041,7 @@ mod tests {
 
         let m = tiny_model();
         let data = tiny_dataset(4);
-        let batch: Vec<(u64, CounterSample)> = data
+        let batch: Vec<(u64, u64, CounterSample)> = data
             .rows()
             .iter()
             .take(4)
@@ -1481,7 +2056,7 @@ mod tests {
                     deltas: m.events.iter().map(|e| row.rate(*e) * avail).collect(),
                     missing: vec![],
                 };
-                (i as u64 + 1, sample)
+                (i as u64 + 1, i as u64 + 1, sample)
             })
             .collect();
 

@@ -52,6 +52,28 @@ pub struct ServerStats {
     /// Batch-size histogram: how many batches landed in each fill
     /// bucket — 1, 2–3, 4–7, 8–15, 16–31, and 32+ requests.
     pub batch_fill: [AtomicU64; 6],
+    /// Worker threads that died to a panic while running a job (each
+    /// in-flight request got a typed `internal_error` response).
+    pub worker_panics: AtomicU64,
+    /// Workers respawned by the supervisor after a panic.
+    pub worker_respawns: AtomicU64,
+    /// Gauge: 1 while the supervisor has given up respawning a
+    /// flapping worker slot (readiness reports not-ready).
+    pub supervisor_flapping: AtomicU64,
+    /// Gauge: workers currently stuck — running one job longer than
+    /// the configured wall-clock bound, per the watchdog.
+    pub workers_stuck: AtomicU64,
+    /// Engine checkpoints written successfully.
+    pub checkpoints_written: AtomicU64,
+    /// Engine checkpoint writes that failed (I/O or injected tear).
+    pub checkpoint_write_failures: AtomicU64,
+    /// Per-client windows restored from a checkpoint at startup.
+    pub checkpoint_clients_restored: AtomicU64,
+    /// Checkpoints quarantined at startup (torn/corrupt; server
+    /// cold-started).
+    pub checkpoints_quarantined: AtomicU64,
+    /// Connections that bound a durable identity via `resume`.
+    pub resumed_clients: AtomicU64,
 }
 
 /// Upper-exclusive bucket bounds of [`ServerStats::batch_fill`]; the
@@ -84,10 +106,13 @@ impl ServerStats {
         Self::bump(&self.batch_fill[bucket]);
     }
 
-    /// A point-in-time JSON snapshot.
-    pub fn snapshot(&self) -> Json {
-        let read = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed));
-        Json::obj(vec![
+    /// Every scalar counter as `(name, value)`, in a stable order.
+    /// The single source of truth behind both [`ServerStats::snapshot`]
+    /// and [`ServerStats::prometheus`] — adding a counter here surfaces
+    /// it on both the JSON `stats` op and the `metrics` scrape.
+    fn scalars(&self) -> Vec<(&'static str, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
             ("connections_accepted", read(&self.connections_accepted)),
             ("connections_shed", read(&self.connections_shed)),
             ("frames_received", read(&self.frames_received)),
@@ -108,17 +133,84 @@ impl ServerStats {
             ("batches_dispatched", read(&self.batches_dispatched)),
             ("batched_requests", read(&self.batched_requests)),
             ("batch_linger_timeouts", read(&self.batch_linger_timeouts)),
+            ("worker_panics", read(&self.worker_panics)),
+            ("worker_respawns", read(&self.worker_respawns)),
+            ("supervisor_flapping", read(&self.supervisor_flapping)),
+            ("workers_stuck", read(&self.workers_stuck)),
+            ("checkpoints_written", read(&self.checkpoints_written)),
             (
-                "batch_fill",
-                Json::Obj(
-                    BATCH_FILL_KEYS
-                        .iter()
-                        .zip(&self.batch_fill)
-                        .map(|(k, c)| (k.to_string(), read(c)))
-                        .collect(),
-                ),
+                "checkpoint_write_failures",
+                read(&self.checkpoint_write_failures),
             ),
-        ])
+            (
+                "checkpoint_clients_restored",
+                read(&self.checkpoint_clients_restored),
+            ),
+            (
+                "checkpoints_quarantined",
+                read(&self.checkpoints_quarantined),
+            ),
+            ("resumed_clients", read(&self.resumed_clients)),
+        ]
+    }
+
+    /// A point-in-time JSON snapshot.
+    pub fn snapshot(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = self
+            .scalars()
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), Json::from(v)))
+            .collect();
+        fields.push((
+            "batch_fill".into(),
+            Json::Obj(
+                BATCH_FILL_KEYS
+                    .iter()
+                    .zip(&self.batch_fill)
+                    .map(|(k, c)| (k.to_string(), Json::from(c.load(Ordering::Relaxed))))
+                    .collect(),
+            ),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Prometheus text exposition of every counter: one
+    /// `# TYPE`-annotated `pmc_serve_<name>` sample per scalar, plus
+    /// the batch-fill histogram as a cumulative
+    /// `pmc_serve_batch_fill_bucket{le="..."}` series with `+Inf` and
+    /// `_count`. Scraped via the `metrics` op.
+    pub fn prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in self.scalars() {
+            // The two gauges are annotated as such; everything else is
+            // a monotone counter.
+            let kind = match name {
+                "connections_open" | "supervisor_flapping" | "workers_stuck" => "gauge",
+                _ => "counter",
+            };
+            let _ = writeln!(out, "# TYPE pmc_serve_{name} {kind}");
+            let _ = writeln!(out, "pmc_serve_{name} {value}");
+        }
+        let _ = writeln!(out, "# TYPE pmc_serve_batch_fill histogram");
+        let mut cumulative = 0u64;
+        for (bound, cell) in BATCH_FILL_BOUNDS.iter().zip(&self.batch_fill) {
+            cumulative += cell.load(Ordering::Relaxed);
+            // Buckets are upper-exclusive internally; Prometheus `le`
+            // is inclusive, hence bound - 1.
+            let _ = writeln!(
+                out,
+                "pmc_serve_batch_fill_bucket{{le=\"{}\"}} {cumulative}",
+                bound - 1
+            );
+        }
+        cumulative += self.batch_fill[BATCH_FILL_BOUNDS.len()].load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "pmc_serve_batch_fill_bucket{{le=\"+Inf\"}} {cumulative}"
+        );
+        let _ = writeln!(out, "pmc_serve_batch_fill_count {cumulative}");
+        out
     }
 }
 
@@ -157,6 +249,38 @@ mod tests {
             ("32+", 2),
         ] {
             assert_eq!(hist.u64_field(key).unwrap(), expected, "bucket {key}");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposes_every_scalar_and_the_histogram() {
+        let s = ServerStats::default();
+        ServerStats::bump(&s.worker_panics);
+        ServerStats::bump(&s.checkpoints_written);
+        ServerStats::bump(&s.checkpoints_written);
+        s.record_batch_fill(1);
+        s.record_batch_fill(5);
+        s.record_batch_fill(100);
+        let text = s.prometheus();
+        assert!(text.contains("pmc_serve_worker_panics 1\n"));
+        assert!(text.contains("pmc_serve_checkpoints_written 2\n"));
+        assert!(text.contains("# TYPE pmc_serve_worker_panics counter\n"));
+        assert!(text.contains("# TYPE pmc_serve_connections_open gauge\n"));
+        // Histogram buckets are cumulative and end with +Inf == count.
+        assert!(text.contains("pmc_serve_batch_fill_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("pmc_serve_batch_fill_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("pmc_serve_batch_fill_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("pmc_serve_batch_fill_count 3\n"));
+        // Every scalar in the JSON snapshot has a Prometheus sample.
+        if let Json::Obj(fields) = s.snapshot() {
+            for (name, _) in fields.iter().filter(|(n, _)| n != "batch_fill") {
+                assert!(
+                    text.contains(&format!("pmc_serve_{name} ")),
+                    "{name} missing from scrape"
+                );
+            }
+        } else {
+            panic!("snapshot not an object");
         }
     }
 

@@ -1,0 +1,207 @@
+//! Malformed-frame hardening: a hostile or broken peer must never
+//! crash a worker or desynchronize the server.
+//!
+//! Talks to a live [`pmc_serve::PowerServer`] over raw TCP, below the
+//! client library, so it can send what no well-behaved client would:
+//! zero-length payloads, length prefixes past the frame cap, payloads
+//! that are not UTF-8, JSON nested past the parser's depth bound, a
+//! valid frame dribbled in at every possible byte boundary, and a
+//! seeded corpus of random garbage. Every case must be answered with a
+//! typed error frame (or a clean close for desynchronizing prefixes),
+//! the connection must stay usable whenever the stream is still in
+//! sync, and `worker_panics` must stay zero throughout.
+//!
+//! Seeded via `FUZZ_SEED` (default 1) so CI can sweep a matrix.
+
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fuzz_seed() -> u64 {
+    std::env::var("FUZZ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// splitmix64 — tiny, seedable, and good enough to fuzz with.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn start_server() -> PowerServer {
+    PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default())).unwrap()
+}
+
+fn connect(server: &PowerServer) -> TcpStream {
+    let s = TcpStream::connect(server.addr()).unwrap();
+    // A wedge is a test failure, not a hang.
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// Encodes one wire frame: 4-byte big-endian length prefix + payload.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Reads one response frame; `None` on clean EOF.
+fn read_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match stream.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return None,
+            Ok(0) => panic!("EOF inside a length prefix"),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => panic!("read failed: {e}"),
+        }
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap();
+    Some(payload)
+}
+
+/// Reads one frame and asserts it is a typed error-status response.
+fn expect_error_frame(stream: &mut TcpStream) -> String {
+    let payload = read_frame(stream).expect("server must answer, not hang up");
+    let text = String::from_utf8(payload).expect("server frames are UTF-8");
+    assert!(
+        text.contains("\"status\":\"error\"") || text.contains("\"status\": \"error\""),
+        "expected a typed error frame, got: {text}"
+    );
+    text
+}
+
+/// Round-trips a ping on an already-open raw connection.
+fn ping_works(stream: &mut TcpStream) {
+    stream
+        .write_all(&frame(br#"{"op":"ping","delay_ms":0}"#))
+        .unwrap();
+    let payload = read_frame(stream).expect("ping must be answered");
+    let text = String::from_utf8(payload).unwrap();
+    assert!(text.contains("\"slept_ms\""), "bad pong: {text}");
+}
+
+#[test]
+fn zero_length_payload_gets_typed_error_and_conn_survives() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    s.write_all(&frame(b"")).unwrap();
+    expect_error_frame(&mut s);
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_length_prefix_is_answered_then_closed() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    // One byte past the cap: the prefix itself is hostile — nothing
+    // after it can be trusted, so the server answers and hangs up.
+    let over = (pmc_serve::protocol::MAX_FRAME_BYTES + 1).to_be_bytes();
+    s.write_all(&over).unwrap();
+    let text = expect_error_frame(&mut s);
+    assert!(text.contains("cap"), "error should name the cap: {text}");
+    assert!(
+        read_frame(&mut s).is_none(),
+        "a desynchronized connection must be closed"
+    );
+    // The listener itself is unharmed.
+    let mut s2 = connect(&server);
+    ping_works(&mut s2);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn non_utf8_and_truncated_utf8_payloads_get_typed_errors() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    // A multi-byte sequence chopped mid-rune (€ is E2 82 AC).
+    for payload in [&[0xffu8, 0xfe, 0xfd][..], &[b'{', b'"', 0xe2, 0x82][..]] {
+        s.write_all(&frame(payload)).unwrap();
+        let text = expect_error_frame(&mut s);
+        assert!(text.contains("UTF-8"), "error should say why: {text}");
+    }
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn nested_garbage_json_is_rejected_without_blowing_the_stack() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    // 1000 unclosed arrays — far past the parser's depth bound. A
+    // naive recursive parser would overflow the worker's stack here.
+    let mut bomb = vec![b'['; 1000];
+    s.write_all(&frame(&bomb)).unwrap();
+    expect_error_frame(&mut s);
+    // The closed variant too: well-formed, equally deep.
+    bomb.extend(vec![b']'; 1000]);
+    s.write_all(&frame(&bomb)).unwrap();
+    expect_error_frame(&mut s);
+    // Valid JSON that is not a valid request is still a typed error.
+    s.write_all(&frame(br#"{"op":"made_up_op"}"#)).unwrap();
+    expect_error_frame(&mut s);
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn valid_frame_split_at_every_byte_boundary_still_parses() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    let wire = frame(br#"{"op":"stats"}"#);
+    for cut in 1..wire.len() {
+        s.write_all(&wire[..cut]).unwrap();
+        s.flush().unwrap();
+        // Let the core observe the partial frame before the rest lands.
+        std::thread::sleep(Duration::from_millis(2));
+        s.write_all(&wire[cut..]).unwrap();
+        let payload = read_frame(&mut s).expect("split frame must still be answered");
+        let text = String::from_utf8(payload).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "cut at {cut}: {text}");
+    }
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn seeded_random_payload_corpus_never_panics_a_worker() {
+    let seed = fuzz_seed();
+    let mut server = start_server();
+    let mut s = connect(&server);
+    let mut rng = seed ^ 0xdead_beef_cafe_f00d;
+    for i in 0..200 {
+        let len = (splitmix64(&mut rng) % 64) as usize;
+        let payload: Vec<u8> = (0..len)
+            .map(|_| (splitmix64(&mut rng) & 0xff) as u8)
+            .collect();
+        s.write_all(&frame(&payload)).unwrap();
+        // Every well-delimited frame gets exactly one answer, garbage
+        // or not — the stream never desynchronizes.
+        let answer = read_frame(&mut s);
+        assert!(answer.is_some(), "frame {i} (seed {seed}) went unanswered");
+    }
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    assert!(server.stats().frames_errored.load(Ordering::Relaxed) >= 150);
+    server.shutdown();
+}
