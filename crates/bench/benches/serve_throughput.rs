@@ -184,6 +184,131 @@ fn main() {
         "serve_throughput/socket_c1_p99_batch_on   {:>8.1} µs",
         median(&mut p99[1])
     );
+
+    // Fleet comparison: the same durable-token ingest load against a
+    // single direct backend, the router fronting one backend (pure
+    // proxy overhead), and the router fronting three. Interleaved
+    // trials, per-config median — same discipline as above.
+    let mut fleet = [[0f64; TRIALS]; 3];
+    for t in 0..TRIALS {
+        for (row, backends) in fleet.iter_mut().zip([0usize, 1, 3]) {
+            row[t] = router_load(&artifact.model, backends, 16, 300);
+        }
+    }
+    let (direct, routed1, routed3) = (
+        median(&mut fleet[0]),
+        median(&mut fleet[1]),
+        median(&mut fleet[2]),
+    );
+    println!(
+        "serve_throughput/fleet_c16_direct_1       {direct:>10.0} req/s  (median of {TRIALS})"
+    );
+    println!(
+        "serve_throughput/fleet_c16_routed_1       {routed1:>10.0} req/s  ({:.2}x vs direct)",
+        routed1 / direct
+    );
+    println!(
+        "serve_throughput/fleet_c16_routed_3       {routed3:>10.0} req/s  ({:.2}x vs direct)",
+        routed3 / direct
+    );
+}
+
+/// Drives `conns` durable-token connections of pipelined ingests
+/// against either one direct backend (`backends == 0`) or a router
+/// fronting `backends` in-process servers. Returns requests/second.
+fn router_load(model: &PowerModel, backends: usize, conns: usize, rounds: usize) -> f64 {
+    use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
+    use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
+    use std::io::Write as _;
+
+    let cfg = ServerConfig {
+        workers: 2,
+        queue_depth: 128,
+        max_inflight: 128,
+        max_connections: 128,
+        ..ServerConfig::default()
+    };
+    let mut servers: Vec<PowerServer> = (0..backends.max(1))
+        .map(|_| PowerServer::start(cfg.clone(), Arc::new(ModelRegistry::default())).unwrap())
+        .collect();
+    for server in &servers {
+        let mut admin = PowerClient::connect(server.addr()).unwrap();
+        admin.load_model("hsw-ep", model, true).unwrap();
+    }
+    let mut router = (backends > 0).then(|| {
+        PowerRouter::start(RouterConfig {
+            backends: servers
+                .iter()
+                .map(|s| BackendSpec::parse(&s.addr().to_string()).unwrap())
+                .collect(),
+            ..RouterConfig::default()
+        })
+        .unwrap()
+    });
+    let front = match &router {
+        Some(r) => r.addr(),
+        None => servers[0].addr(),
+    };
+
+    let machine = paper_machine(6);
+    let total_cores = machine.config().total_cores();
+    let row = quick_dataset(&machine).rows()[0].clone();
+    let avail = total_cores as f64 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+    let sample = CounterSample {
+        time_ns: 250_000_000,
+        duration_s: row.duration_s,
+        freq_mhz: row.freq_mhz,
+        voltage: row.voltage,
+        deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+        missing: vec![],
+    };
+    let mut frame = Vec::new();
+    write_frame(&mut frame, &Request::Ingest(sample).to_json_value()).unwrap();
+
+    let mut streams: Vec<std::net::TcpStream> = (0..conns)
+        .map(|_| std::net::TcpStream::connect(front).unwrap())
+        .collect();
+    for (i, s) in streams.iter_mut().enumerate() {
+        s.set_nodelay(true).unwrap();
+        let mut rf = Vec::new();
+        write_frame(
+            &mut rf,
+            &Request::Resume {
+                token: format!("fleet-bench-{i}"),
+            }
+            .to_json_value(),
+        )
+        .unwrap();
+        s.write_all(&rf).unwrap();
+        let resp = read_frame(s).unwrap().expect("closed during resume");
+        unwrap_response(resp).expect("resume failed");
+    }
+    // Warmup: every connection must be answering estimates.
+    for s in &mut streams {
+        s.write_all(&frame).unwrap();
+    }
+    for s in &mut streams {
+        let resp = read_frame(s).unwrap().expect("closed during warmup");
+        unwrap_response(resp).expect("warmup ingest failed");
+    }
+
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for s in &mut streams {
+            s.write_all(&frame).unwrap();
+        }
+        for s in &mut streams {
+            skip_frame(s).unwrap();
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    if let Some(r) = router.as_mut() {
+        r.shutdown();
+    }
+    for server in &mut servers {
+        server.shutdown();
+    }
+    (conns * rounds) as f64 / wall
 }
 
 /// Reads and discards one length-prefixed response frame. Keeping the

@@ -1,0 +1,129 @@
+//! Backend pool: static specs plus live health/traffic state.
+
+use crate::error::RouterError;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// One configured `pmc-serve` backend, as given on the command line:
+/// `ADDR[,name=NAME][,weight=N][,ckpt=PATH]`.
+///
+/// The checkpoint path is the router's recovery lever: when this
+/// backend dies without draining, the router migrates its durable
+/// windows out of that file instead of losing them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendSpec {
+    /// TCP address of the backend (`host:port`).
+    pub addr: String,
+    /// Stable name; determines ring placement. Defaults to the addr.
+    pub name: String,
+    /// Relative ring weight (virtual-node multiplier), minimum 1.
+    pub weight: u32,
+    /// The backend's `--checkpoint` file, if it runs with one.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl BackendSpec {
+    /// Parses a `--backend` argument.
+    pub fn parse(spec: &str) -> Result<Self, RouterError> {
+        let mut parts = spec.split(',');
+        let addr = parts
+            .next()
+            .filter(|a| !a.is_empty())
+            .ok_or_else(|| RouterError::Config {
+                reason: format!("backend spec {spec:?} has no address"),
+            })?
+            .to_string();
+        let mut out = BackendSpec {
+            name: addr.clone(),
+            addr,
+            weight: 1,
+            checkpoint: None,
+        };
+        for part in parts {
+            match part.split_once('=') {
+                Some(("name", v)) if !v.is_empty() => out.name = v.to_string(),
+                Some(("weight", v)) => {
+                    out.weight = v.parse::<u32>().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                        RouterError::Config {
+                            reason: format!("backend weight {v:?} is not a positive integer"),
+                        }
+                    })?;
+                }
+                Some(("ckpt", v)) if !v.is_empty() => out.checkpoint = Some(PathBuf::from(v)),
+                _ => {
+                    return Err(RouterError::Config {
+                        reason: format!("unrecognized backend option {part:?} in {spec:?}"),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Live per-backend state shared between the core, the prober and
+/// metrics. Counters are relaxed — observability, not synchronization.
+#[derive(Debug)]
+pub struct Backend {
+    /// The static spec this slot was configured with.
+    pub spec: BackendSpec,
+    /// Whether the backend currently takes traffic. Starts true; the
+    /// prober clears it after consecutive readyz failures and restores
+    /// it on recovery.
+    pub up: AtomicBool,
+    /// Requests currently relayed through this backend (gauge).
+    pub inflight: AtomicU64,
+    /// Times this backend has been evicted from the ring.
+    pub evictions: AtomicU64,
+    /// Upstream connections that broke mid-request (each costs the
+    /// affected client a reconnect-and-resume).
+    pub upstream_failures: AtomicU64,
+}
+
+impl Backend {
+    /// Wraps a spec with fresh (up, idle) runtime state.
+    pub fn new(spec: BackendSpec) -> Self {
+        Backend {
+            spec,
+            up: AtomicBool::new(true),
+            inflight: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            upstream_failures: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the backend currently takes traffic.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_address() {
+        let b = BackendSpec::parse("127.0.0.1:7717").unwrap();
+        assert_eq!(b.addr, "127.0.0.1:7717");
+        assert_eq!(b.name, "127.0.0.1:7717");
+        assert_eq!(b.weight, 1);
+        assert_eq!(b.checkpoint, None);
+    }
+
+    #[test]
+    fn parses_full_spec() {
+        let b = BackendSpec::parse("127.0.0.1:7717,name=b0,weight=3,ckpt=/tmp/b0.ckpt").unwrap();
+        assert_eq!(b.name, "b0");
+        assert_eq!(b.weight, 3);
+        assert_eq!(b.checkpoint, Some(PathBuf::from("/tmp/b0.ckpt")));
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        assert!(BackendSpec::parse("").is_err());
+        assert!(BackendSpec::parse("127.0.0.1:1,weight=0").is_err());
+        assert!(BackendSpec::parse("127.0.0.1:1,weight=x").is_err());
+        assert!(BackendSpec::parse("127.0.0.1:1,color=red").is_err());
+    }
+}

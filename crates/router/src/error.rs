@@ -1,0 +1,51 @@
+//! Router error type.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the router.
+#[derive(Debug)]
+pub enum RouterError {
+    /// Invalid configuration (bad backend spec, no backends, …).
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A transport-level failure.
+    Io(std::io::Error),
+    /// A failure reported by (or while talking to) a backend.
+    Serve(pmc_serve::ServeError),
+    /// A window migration that could not be completed or verified.
+    Migration {
+        /// The resume token whose window was being moved.
+        token: String,
+        /// Why the migration failed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::Config { reason } => write!(f, "config error: {reason}"),
+            RouterError::Io(e) => write!(f, "io error: {e}"),
+            RouterError::Serve(e) => write!(f, "backend error: {e}"),
+            RouterError::Migration { token, reason } => {
+                write!(f, "migration of token {token:?} failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+impl From<pmc_serve::ServeError> for RouterError {
+    fn from(e: pmc_serve::ServeError) -> Self {
+        RouterError::Serve(e)
+    }
+}

@@ -1,0 +1,49 @@
+//! # pmc-router
+//!
+//! The sharded serving tier: a consistent-hash router in front of a
+//! fleet of `pmc-serve` backends, speaking the same 4-byte
+//! length-prefixed JSON frame protocol on both sides.
+//!
+//! Four pieces:
+//!
+//! 1. **[`ring`]** — a weighted consistent-hash ring over backend
+//!    names. Placement is deterministic (stable across router
+//!    restarts) and minimal-remap (membership changes move only the
+//!    affected token share).
+//! 2. **[`proxy`]** — the readiness-based core: one non-blocking
+//!    thread relays frames **verbatim** between clients and the
+//!    backend owning their `resume` token, while a prober thread
+//!    polls backend `readyz` and evicts/restores ring members.
+//!    `healthz`/`readyz`/`metrics` are answered inline — including
+//!    the typed `no_backends` readiness reason when the whole fleet
+//!    is down.
+//! 3. **[`migrate`]** (internal) — live migration: when the ring
+//!    changes shape, re-owned windows are drained from their old
+//!    backend as self-contained checkpoint records (live over
+//!    `migrate_export`, or out of the dead backend's checkpoint
+//!    file), replayed on the new owner, and verified bitwise.
+//! 4. **[`stats`]** — router counters with a Prometheus exposition
+//!    carrying per-backend `{backend="…"}` series.
+//!
+//! The `pmc-router` binary wires this up behind `route`, `readyz` and
+//! `metrics` verbs; see the README's *Fleet* section for topology and
+//! the migration runbook.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+mod error;
+mod migrate;
+pub mod proxy;
+pub mod ring;
+pub mod stats;
+
+pub use backend::{Backend, BackendSpec};
+pub use error::RouterError;
+pub use proxy::{PowerRouter, RouterConfig};
+pub use ring::HashRing;
+pub use stats::RouterStats;
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, RouterError>;

@@ -1,0 +1,197 @@
+//! Live window migration: the rebalancing half of the serving tier.
+//!
+//! When the ring changes shape (a backend evicted or restored), every
+//! routed token whose ring owner no longer matches its table owner is
+//! migrated: its window leaves the old owner as a self-contained
+//! checkpoint record, replays on the new owner, and the move is
+//! verified by comparing the replayed window's estimate **bitwise**
+//! against the estimate embedded in the record. Only after a token's
+//! migration settles does the routing table flip — clients retrying
+//! against a typed overload land on the new owner with their window
+//! already warm.
+//!
+//! The record comes from one of two places:
+//!
+//! - a live old owner (up but leaving the token's shard): drained over
+//!   the wire with `migrate_export`, which atomically forgets the
+//!   window on the exporter;
+//! - a dead old owner with a configured checkpoint file: read straight
+//!   from the file the backend was writing (`ckpt=` in the backend
+//!   spec) — the crash-recovery path exercised by the fleet test.
+//!
+//! A token with no recoverable record (dead backend, no checkpoint,
+//! or never checkpointed) still flips owners — the window is lost and
+//! the client cold-starts, which is honest degradation, not a wedge.
+
+use crate::proxy::Shared;
+use crate::stats::RouterStats;
+use pmc_json::Json;
+use pmc_serve::checkpoint::{encode_client_record, load_checkpoint, CheckpointOutcome};
+use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
+use pmc_serve::tokenhash::resume_key;
+use pmc_serve::ServeError;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// A deadline-bounded control connection to one backend, used only by
+/// the prober thread for migrations (never by the core, which must
+/// stay non-blocking).
+struct Control {
+    stream: TcpStream,
+}
+
+impl Control {
+    fn connect(addr: &str, timeout: Duration) -> Result<Self, ServeError> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ServeError::Protocol {
+                reason: format!("backend address {addr:?} resolves to nothing"),
+            })?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Control { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Json, ServeError> {
+        write_frame(&mut self.stream, &req.to_json_value())?;
+        let frame = read_frame(&mut self.stream)?.ok_or(ServeError::Protocol {
+            reason: "backend closed during migration".into(),
+        })?;
+        unwrap_response(frame)
+    }
+}
+
+/// How one token's migration went.
+enum Moved {
+    /// Window replayed on the new owner and verified bitwise.
+    Verified,
+    /// Window replayed; verification impossible (no embedded estimate)
+    /// or mismatched.
+    Unverified,
+    /// No record was recoverable; the token cold-starts on its new
+    /// owner.
+    Lost,
+}
+
+/// Recovers the checkpoint record for `token` from its old owner.
+fn export_record(shared: &Shared, token: &str, old: usize) -> Result<Option<Json>, ServeError> {
+    let backend = &shared.backends[old];
+    if backend.is_up() {
+        let mut ctl = Control::connect(&backend.spec.addr, shared.config.probe_timeout)?;
+        let r = ctl.call(&Request::MigrateExport {
+            token: token.to_string(),
+            keep: false,
+        })?;
+        return match r.field("record")? {
+            Json::Null => Ok(None),
+            record => Ok(Some(record.clone())),
+        };
+    }
+    let Some(path) = &backend.spec.checkpoint else {
+        return Ok(None);
+    };
+    match load_checkpoint(path) {
+        CheckpointOutcome::Restored(data) => {
+            let key = resume_key(token);
+            Ok(data
+                .clients
+                .iter()
+                .find(|snap| snap.client == key)
+                .map(encode_client_record))
+        }
+        CheckpointOutcome::NotFound | CheckpointOutcome::Quarantined { .. } => Ok(None),
+    }
+}
+
+/// Replays `record` on the new owner and verifies the move bitwise:
+/// the new owner's estimate at the record's own timestamp must equal
+/// the estimate the old owner embedded in the record, bit for bit.
+fn import_record(
+    shared: &Shared,
+    token: &str,
+    new: usize,
+    record: &Json,
+) -> Result<Moved, ServeError> {
+    let addr = &shared.backends[new].spec.addr;
+    let mut ctl = Control::connect(addr, shared.config.probe_timeout)?;
+    ctl.call(&Request::MigrateImport {
+        record: record.clone(),
+    })?;
+    let Ok(last) = record.field("last") else {
+        return Ok(Moved::Unverified);
+    };
+    let (Ok(want_time), Ok(want_power), Ok(want_window)) = (
+        last.u64_field("time_ns"),
+        last.f64_field("power_w"),
+        last.f64_field("window_power_w"),
+    ) else {
+        // A window that never produced an estimate has nothing to
+        // verify against; the hex-encoded samples still replayed.
+        return Ok(Moved::Unverified);
+    };
+    ctl.call(&Request::Resume {
+        token: token.to_string(),
+    })?;
+    let got = ctl.call(&Request::Estimate { now_ns: want_time })?;
+    let verified = got.u64_field("time_ns").ok() == Some(want_time)
+        && got.f64_field("power_w").map(f64::to_bits).ok() == Some(want_power.to_bits())
+        && got.f64_field("window_power_w").map(f64::to_bits).ok() == Some(want_window.to_bits());
+    Ok(if verified {
+        Moved::Verified
+    } else {
+        Moved::Unverified
+    })
+}
+
+/// Migrates every token whose table owner disagrees with the current
+/// ring, then flips the table. Runs on the prober thread after each
+/// membership change; holds the table lock only to snapshot and to
+/// flip entries, never across network I/O.
+pub(crate) fn rebalance(shared: &Shared) {
+    let started = Instant::now();
+    let ring = shared.ring.lock().expect("ring lock").clone();
+    let entries: Vec<(String, usize)> = shared
+        .table
+        .lock()
+        .expect("table lock")
+        .iter()
+        .map(|(t, &o)| (t.clone(), o))
+        .collect();
+
+    for (token, old) in entries {
+        let Some(new) = ring.owner(resume_key(&token)) else {
+            // No usable backends: leave the entry; routing answers
+            // typed overloads until the fleet comes back.
+            continue;
+        };
+        if new == old && shared.backends[old].is_up() {
+            continue;
+        }
+        let moved = match export_record(shared, &token, old) {
+            Ok(Some(record)) => import_record(shared, &token, new, &record).unwrap_or(Moved::Lost),
+            Ok(None) => Moved::Lost,
+            Err(_) => Moved::Lost,
+        };
+        match moved {
+            Moved::Verified => RouterStats::bump(&shared.stats.migrations_completed),
+            Moved::Unverified => {
+                RouterStats::bump(&shared.stats.migrations_completed);
+                RouterStats::bump(&shared.stats.migrations_unverified);
+            }
+            Moved::Lost => RouterStats::bump(&shared.stats.migrations_failed),
+        }
+        // Flip the table either way: pointing at a gone window would
+        // wedge the token behind typed overloads forever, while a
+        // cold start on the new owner is visible and recoverable.
+        shared.table.lock().expect("table lock").insert(token, new);
+    }
+
+    let elapsed = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    shared
+        .stats
+        .migration_duration_ms
+        .store(elapsed, Ordering::Relaxed);
+}

@@ -1,0 +1,162 @@
+//! The weighted consistent-hash ring.
+//!
+//! Each backend contributes `weight × VNODES_PER_WEIGHT` virtual
+//! nodes, placed on the 64-bit ring at `fnv1a("name#replica")`. A
+//! token lands on the first virtual node clockwise of its resume key
+//! (binary search with wraparound). Two properties carry the whole
+//! serving tier:
+//!
+//! 1. **Determinism.** Placement depends only on backend names and
+//!    weights — never on insertion order, process identity, or time —
+//!    so a restarted router rebuilds the exact same mapping and
+//!    traffic does not churn across restarts.
+//! 2. **Minimal remap.** Removing a backend only moves the tokens it
+//!    owned (they fall through to the next node clockwise); adding
+//!    one only steals roughly its fair share. Both are pinned by the
+//!    property tests in `tests/ring_property.rs`.
+
+use pmc_serve::tokenhash::fnv1a;
+
+/// Virtual nodes per unit of backend weight. 40 gives a coefficient
+/// of variation of a few percent across shards at 3–10 backends —
+/// plenty for a tier whose shards are interchangeable processes.
+const VNODES_PER_WEIGHT: u32 = 40;
+
+/// Finalizer (splitmix64's) applied to every ring position. FNV-1a's
+/// high bits carry little entropy for short, similar inputs — vnode
+/// labels and resume keys both are — and resume keys additionally
+/// have bit 63 forced, which would confine every lookup to the upper
+/// half-ring. Mixing both sides restores uniform placement while
+/// staying fully deterministic (same inputs, same ring, forever).
+fn spread(x: u64) -> u64 {
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A weighted consistent-hash ring over backend indices.
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(position, backend index)` sorted by position (ties broken by
+    /// index so equal-hash vnodes — astronomically unlikely — still
+    /// order deterministically).
+    vnodes: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// Builds a ring from `(name, weight)` members; `usable` filters
+    /// which indices participate (an evicted backend keeps its index
+    /// but leaves the ring). Zero-weight members contribute nothing.
+    pub fn build<'a>(
+        members: impl Iterator<Item = (&'a str, u32)>,
+        usable: impl Fn(usize) -> bool,
+    ) -> Self {
+        let mut vnodes = Vec::new();
+        for (idx, (name, weight)) in members.enumerate() {
+            if !usable(idx) {
+                continue;
+            }
+            for replica in 0..weight.saturating_mul(VNODES_PER_WEIGHT) {
+                let label = format!("{name}#{replica}");
+                vnodes.push((spread(fnv1a(label.as_bytes())), idx));
+            }
+        }
+        vnodes.sort_unstable();
+        HashRing { vnodes }
+    }
+
+    /// The backend index owning `key`: the first virtual node at or
+    /// clockwise of the key, wrapping to the lowest position. `None`
+    /// on an empty ring (no usable backends).
+    pub fn owner(&self, key: u64) -> Option<usize> {
+        if self.vnodes.is_empty() {
+            return None;
+        }
+        let key = spread(key);
+        let at = self.vnodes.partition_point(|&(pos, _)| pos < key);
+        let (_, idx) = self.vnodes[at % self.vnodes.len()];
+        Some(idx)
+    }
+
+    /// True when no backend is usable.
+    pub fn is_empty(&self) -> bool {
+        self.vnodes.is_empty()
+    }
+
+    /// Distinct backend indices present on the ring.
+    pub fn members(&self) -> Vec<usize> {
+        let mut m: Vec<usize> = self.vnodes.iter().map(|&(_, idx)| idx).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmc_serve::tokenhash::resume_key;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("b{i}")).collect()
+    }
+
+    fn ring_of(names: &[String], usable: impl Fn(usize) -> bool) -> HashRing {
+        HashRing::build(names.iter().map(|n| (n.as_str(), 1)), usable)
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::build(std::iter::empty(), |_| true);
+        assert!(ring.is_empty());
+        assert_eq!(ring.owner(7), None);
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let names = names(1);
+        let ring = ring_of(&names, |_| true);
+        for t in 0..100u32 {
+            assert_eq!(ring.owner(resume_key(&format!("t{t}"))), Some(0));
+        }
+    }
+
+    #[test]
+    fn rebuild_is_deterministic() {
+        let names = names(5);
+        let a = ring_of(&names, |_| true);
+        let b = ring_of(&names, |_| true);
+        for t in 0..500u32 {
+            let key = resume_key(&format!("tok-{t}"));
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn weights_bias_ownership() {
+        let members = [("small", 1u32), ("big", 4u32)];
+        let ring = HashRing::build(members.iter().map(|&(n, w)| (n, w)), |_| true);
+        let big_share = (0..4000)
+            .filter(|t| ring.owner(resume_key(&format!("t{t}"))) == Some(1))
+            .count();
+        // Expectation is 4/5 = 3200; accept a generous band.
+        assert!(
+            (2600..=3700).contains(&big_share),
+            "weight-4 backend owns {big_share}/4000"
+        );
+    }
+
+    #[test]
+    fn eviction_filter_removes_a_member() {
+        let names = names(3);
+        let full = ring_of(&names, |_| true);
+        let without_1 = ring_of(&names, |idx| idx != 1);
+        assert_eq!(full.members(), vec![0, 1, 2]);
+        assert_eq!(without_1.members(), vec![0, 2]);
+        for t in 0..300u32 {
+            let key = resume_key(&format!("tok-{t}"));
+            assert_ne!(without_1.owner(key), Some(1));
+        }
+    }
+}

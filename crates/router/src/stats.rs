@@ -1,0 +1,183 @@
+//! Router-level counters and the inline health/metrics surface.
+//!
+//! Everything here is answered by the router core itself — never
+//! proxied — so probes and scrapes keep working when every backend is
+//! down. That is the whole point: the router's own health must be
+//! observable exactly when the fleet behind it is in trouble.
+
+use pmc_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One backend's scrape row: `(name, up, inflight, evictions,
+/// upstream_failures, tokens_owned)`.
+pub type BackendRow = (String, bool, u64, u64, u64, u64);
+
+/// Monotonic router counters (plus a few gauges), all relaxed.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// Client connections accepted.
+    pub connections_accepted: AtomicU64,
+    /// Client connections currently open (gauge).
+    pub connections_open: AtomicU64,
+    /// Request frames relayed to a backend.
+    pub frames_routed: AtomicU64,
+    /// Requests answered inline by the router (health, metrics, and
+    /// typed no-backend refusals).
+    pub frames_inline: AtomicU64,
+    /// Requests refused with a typed overload because no usable
+    /// backend existed at dispatch time.
+    pub no_backend_rejects: AtomicU64,
+    /// Client connections dropped because their upstream broke
+    /// mid-request (the client reconnects and resumes).
+    pub upstream_drops: AtomicU64,
+    /// Backend evictions performed by the health prober.
+    pub evictions: AtomicU64,
+    /// Backends restored to the ring after recovering.
+    pub restores: AtomicU64,
+    /// Durable windows migrated between backends.
+    pub migrations_completed: AtomicU64,
+    /// Migrations that failed outright (export, import, or transport).
+    pub migrations_failed: AtomicU64,
+    /// Migrations whose bitwise verification found a mismatch (counted
+    /// besides `migrations_completed`; the window still moved).
+    pub migrations_unverified: AtomicU64,
+    /// Wall-clock duration of the last rebalance, milliseconds (gauge).
+    pub migration_duration_ms: AtomicU64,
+}
+
+impl RouterStats {
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements a gauge by one (saturating at zero).
+    pub fn dec(gauge: &AtomicU64) {
+        let _ = gauge.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(1))
+        });
+    }
+
+    /// Every scalar as `(name, value, is_gauge)`, in a stable order —
+    /// the single source of truth for both the JSON snapshot and the
+    /// Prometheus scrape.
+    fn scalars(&self) -> Vec<(&'static str, u64, bool)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            (
+                "connections_accepted",
+                read(&self.connections_accepted),
+                false,
+            ),
+            ("connections_open", read(&self.connections_open), true),
+            ("frames_routed", read(&self.frames_routed), false),
+            ("frames_inline", read(&self.frames_inline), false),
+            ("no_backend_rejects", read(&self.no_backend_rejects), false),
+            ("upstream_drops", read(&self.upstream_drops), false),
+            ("evictions", read(&self.evictions), false),
+            ("restores", read(&self.restores), false),
+            (
+                "migrations_completed",
+                read(&self.migrations_completed),
+                false,
+            ),
+            ("migrations_failed", read(&self.migrations_failed), false),
+            (
+                "migrations_unverified",
+                read(&self.migrations_unverified),
+                false,
+            ),
+            (
+                "migration_duration_ms",
+                read(&self.migration_duration_ms),
+                true,
+            ),
+        ]
+    }
+
+    /// A point-in-time JSON snapshot of the router scalars.
+    pub fn snapshot(&self) -> Json {
+        Json::Obj(
+            self.scalars()
+                .into_iter()
+                .map(|(k, v, _)| (k.to_string(), Json::from(v)))
+                .collect(),
+        )
+    }
+
+    /// Prometheus text exposition: `pmc_router_<name>` per scalar,
+    /// plus per-backend `{backend="..."}` series for in-flight,
+    /// evictions, upstream failures, liveness and tokens owned.
+    /// `per_backend` supplies one [`BackendRow`] per backend.
+    pub fn prometheus(&self, per_backend: &[BackendRow]) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value, gauge) in self.scalars() {
+            let kind = if gauge { "gauge" } else { "counter" };
+            let _ = writeln!(out, "# TYPE pmc_router_{name} {kind}");
+            let _ = writeln!(out, "pmc_router_{name} {value}");
+        }
+        type Read = fn(&BackendRow) -> u64;
+        let series: [(&str, &str, Read); 5] = [
+            ("backend_up", "gauge", |r| u64::from(r.1)),
+            ("backend_inflight", "gauge", |r| r.2),
+            ("backend_evictions", "counter", |r| r.3),
+            ("backend_upstream_failures", "counter", |r| r.4),
+            ("backend_tokens_owned", "gauge", |r| r.5),
+        ];
+        for (name, kind, read) in series {
+            let _ = writeln!(out, "# TYPE pmc_router_{name} {kind}");
+            for row in per_backend {
+                let _ = writeln!(
+                    out,
+                    "pmc_router_{name}{{backend=\"{}\"}} {}",
+                    row.0,
+                    read(row)
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = RouterStats::default();
+        RouterStats::bump(&s.frames_routed);
+        RouterStats::bump(&s.frames_routed);
+        RouterStats::bump(&s.evictions);
+        let snap = s.snapshot();
+        assert_eq!(snap.u64_field("frames_routed").unwrap(), 2);
+        assert_eq!(snap.u64_field("evictions").unwrap(), 1);
+        assert_eq!(snap.u64_field("migrations_completed").unwrap(), 0);
+    }
+
+    #[test]
+    fn prometheus_has_scalars_and_backend_series() {
+        let s = RouterStats::default();
+        RouterStats::bump(&s.migrations_completed);
+        let rows = vec![
+            ("b0".to_string(), true, 2, 0, 0, 5),
+            ("b1".to_string(), false, 0, 1, 3, 0),
+        ];
+        let text = s.prometheus(&rows);
+        assert!(text.contains("pmc_router_migrations_completed 1\n"));
+        assert!(text.contains("# TYPE pmc_router_connections_open gauge\n"));
+        assert!(text.contains("pmc_router_backend_up{backend=\"b0\"} 1\n"));
+        assert!(text.contains("pmc_router_backend_up{backend=\"b1\"} 0\n"));
+        assert!(text.contains("pmc_router_backend_inflight{backend=\"b0\"} 2\n"));
+        assert!(text.contains("pmc_router_backend_evictions{backend=\"b1\"} 1\n"));
+        assert!(text.contains("pmc_router_backend_upstream_failures{backend=\"b1\"} 3\n"));
+        assert!(text.contains("pmc_router_backend_tokens_owned{backend=\"b0\"} 5\n"));
+        // Every JSON scalar appears in the scrape.
+        if let Json::Obj(fields) = s.snapshot() {
+            for (name, _) in fields {
+                assert!(text.contains(&format!("pmc_router_{name} ")), "{name}");
+            }
+        }
+    }
+}

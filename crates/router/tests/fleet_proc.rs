@@ -1,0 +1,374 @@
+//! Fleet-level end-to-end: a real 3-backend `pmc-serve` fleet behind
+//! an in-process router, with a SIGKILLed member.
+//!
+//! The contract under test is the tentpole of the serving tier:
+//! clients stream half their samples through the router, every
+//! backend checkpoints, one backend dies by `kill -9`, the prober
+//! evicts it, its durable windows migrate to their new ring owners
+//! out of the dead backend's checkpoint file, the clients stream the
+//! other half — and every client's final estimate is **bitwise
+//! identical** (`f64::to_bits`) to an uninterrupted single-backend
+//! run of the same stream.
+//!
+//! `FLEET_SEED` (default 1; CI runs 1/7/42) varies the token
+//! population and which backend gets killed, so different matrix legs
+//! exercise different placements and migration sets.
+
+use pmc_events::PapiEvent;
+use pmc_model::dataset::{Dataset, SampleRow};
+use pmc_model::model::PowerModel;
+use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{CounterSample, Estimate, ModelArtifact, PowerClient, RetryPolicy, ServeError};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Same synthetic fixture as the serve crate's tests: power exactly
+/// linear in three event rates, so estimates are reproducible to
+/// machine epsilon across processes.
+fn tiny_dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+        let f = freq_mhz as f64 / 1000.0;
+        let v = 0.492857 + 0.214286 * f;
+        let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
+            .map(|j| ((31 * i + 17 * j + i * i * (j + 3)) % 97) as f64 / 9700.0)
+            .collect();
+        rates[PapiEvent::PRF_DM.index()] = 0.001 + 0.00002 * (i as f64);
+        rates[PapiEvent::TOT_CYC.index()] = 0.2 + 0.01 * ((i * 7 % 13) as f64);
+        rates[PapiEvent::TLB_IM.index()] = 0.0005 + 0.00001 * ((i * 5 % 11) as f64);
+        let v2f = v * v * f;
+        let power = 5000.0 * rates[PapiEvent::PRF_DM.index()] * v2f
+            + 120.0 * rates[PapiEvent::TOT_CYC.index()] * v2f
+            + 900.0 * rates[PapiEvent::TLB_IM.index()] * v2f
+            + 20.0 * v2f
+            + 40.0 * v
+            + 70.0;
+        rows.push(SampleRow {
+            workload_id: (i % 8) as u32,
+            workload: format!("w{}", i % 8),
+            suite: "roco2".into(),
+            phase: "main".into(),
+            threads: 24,
+            freq_mhz,
+            duration_s: 1.0,
+            voltage: v,
+            power,
+            rates,
+        });
+    }
+    Dataset::from_rows(rows)
+}
+
+fn tiny_model() -> PowerModel {
+    PowerModel::fit(
+        &tiny_dataset(40),
+        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC, PapiEvent::TLB_IM],
+    )
+    .expect("well-posed synthetic fit")
+}
+
+fn sample_for(model: &PowerModel, data: &Dataset, i: usize) -> CounterSample {
+    let row = &data.rows()[i % data.rows().len()];
+    let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+    CounterSample {
+        time_ns: (i as u64 + 1) * 250_000_000,
+        duration_s: row.duration_s,
+        freq_mhz: row.freq_mhz,
+        voltage: row.voltage,
+        deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+        missing: vec![],
+    }
+}
+
+/// `CARGO_BIN_EXE_*` only covers the defining package, so the serve
+/// binary is found next to our own (same target dir), overridable
+/// with `PMC_SERVE_BIN` — CI builds it explicitly first.
+fn serve_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("PMC_SERVE_BIN") {
+        return PathBuf::from(path);
+    }
+    let me = PathBuf::from(env!("CARGO_BIN_EXE_pmc-router"));
+    let sibling = me
+        .parent()
+        .expect("binary has a parent dir")
+        .join(format!("pmc-serve{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        sibling.exists(),
+        "pmc-serve not found at {}; run `cargo build -p pmc-serve` first or set PMC_SERVE_BIN",
+        sibling.display()
+    );
+    sibling
+}
+
+/// A running `pmc-serve serve` child plus the stdin handle keeping it
+/// alive and the parsed ephemeral address it bound.
+struct ServeProc {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    addr: String,
+}
+
+fn spawn_serve(model_path: &Path, ck_path: &Path) -> ServeProc {
+    let mut child = Command::new(serve_bin())
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--model",
+            model_path.to_str().unwrap(),
+            "--checkpoint",
+            ck_path.to_str().unwrap(),
+            "--checkpoint-interval-ms",
+            "0",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pmc-serve");
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("server must print its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+        .to_string();
+    ServeProc { child, stdin, addr }
+}
+
+impl ServeProc {
+    /// SIGKILL — no drain, no final checkpoint, the real crash.
+    fn kill_hard(mut self) {
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+
+    fn shutdown_clean(mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+}
+
+fn fleet_seed() -> u64 {
+    std::env::var("FLEET_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+#[test]
+fn sigkill_evict_migrate_keeps_every_estimate_bitwise() {
+    let seed = fleet_seed();
+    let model = tiny_model();
+    let data = tiny_dataset(24);
+    let total = 20usize;
+    let split = 10usize;
+    let tokens: Vec<String> = (0..6).map(|i| format!("fleet-{seed}-{i}")).collect();
+    // Per-token deterministic stream offset so windows differ.
+    let stream = |t: usize, i: usize| sample_for(&model, &data, t * 3 + i);
+
+    let dir = std::env::temp_dir().join(format!("pmc-fleet-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.json");
+    std::fs::write(
+        &model_path,
+        ModelArtifact::new("hsw", tiny_model()).to_json().unwrap(),
+    )
+    .unwrap();
+
+    // Uninterrupted single-backend reference for every token's stream,
+    // in-process (identical engine defaults).
+    let reference: Vec<Estimate> = {
+        let registry = Arc::new(ModelRegistry::default());
+        registry
+            .load_and_activate(ModelArtifact::new("hsw", tiny_model()))
+            .unwrap();
+        let mut server = PowerServer::start(ServerConfig::default(), registry).unwrap();
+        let estimates = tokens
+            .iter()
+            .enumerate()
+            .map(|(t, token)| {
+                let mut c = PowerClient::connect(server.addr()).unwrap();
+                c.resume(token).unwrap();
+                let mut last = None;
+                for i in 0..total {
+                    last = Some(c.ingest(&stream(t, i)).unwrap());
+                }
+                last.unwrap()
+            })
+            .collect();
+        server.shutdown();
+        estimates
+    };
+
+    // The fleet: three real pmc-serve processes, each with its own
+    // checkpoint file, fronted by an in-process router that knows the
+    // checkpoint paths (the crash-migration lever).
+    let ck_paths: Vec<PathBuf> = (0..3).map(|b| dir.join(format!("b{b}.ckpt"))).collect();
+    let mut procs: Vec<Option<ServeProc>> = ck_paths
+        .iter()
+        .map(|ck| Some(spawn_serve(&model_path, ck)))
+        .collect();
+    let config = RouterConfig {
+        backends: (0..3)
+            .map(|b| {
+                BackendSpec::parse(&format!(
+                    "{},name=shard-{b},ckpt={}",
+                    procs[b].as_ref().unwrap().addr,
+                    ck_paths[b].display()
+                ))
+                .unwrap()
+            })
+            .collect(),
+        probe_interval: Duration::from_millis(50),
+        evict_after: 2,
+        ..RouterConfig::default()
+    };
+    let mut router = PowerRouter::start(config).unwrap();
+    let stats = router.stats();
+
+    // Phase 1: every client streams its head through the router.
+    let mut clients: Vec<PowerClient> = tokens
+        .iter()
+        .enumerate()
+        .map(|(t, token)| {
+            let mut c = PowerClient::connect(router.addr())
+                .unwrap()
+                .with_retry(RetryPolicy::default());
+            assert!(!c.resume(token).unwrap(), "fresh token must start cold");
+            for i in 0..split {
+                c.ingest(&stream(t, i)).unwrap();
+            }
+            c
+        })
+        .collect();
+
+    // Every token must be routed, and with 6 tokens on a 3-way ring at
+    // least two backends own something — pick the victim as the owner
+    // of the seed-chosen token so the kill always forces migrations.
+    let owners: Vec<usize> = tokens
+        .iter()
+        .map(|t| router.owner_of(t).expect("token routed"))
+        .collect();
+    let victim = owners[seed as usize % owners.len()];
+    let victim_tokens = owners.iter().filter(|&&o| o == victim).count();
+    assert!(victim_tokens >= 1);
+
+    // Checkpoint every backend directly (the router only fronts the
+    // data plane), then kill the victim: no drain, no final snapshot —
+    // migration must work from the last explicit checkpoint.
+    for proc in procs.iter().flatten() {
+        let mut c = PowerClient::connect(proc.addr.as_str()).unwrap();
+        c.checkpoint_now().unwrap();
+    }
+    procs[victim].take().unwrap().kill_hard();
+
+    // Wait for the prober to evict the victim and migrate its tokens.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let migrated = stats.migrations_completed.load(Ordering::Relaxed)
+            + stats.migrations_failed.load(Ordering::Relaxed);
+        if stats.evictions.load(Ordering::Relaxed) >= 1 && migrated >= victim_tokens as u64 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "eviction/migration did not happen: evictions={} migrated={migrated} (want {victim_tokens})",
+            stats.evictions.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        stats.migrations_failed.load(Ordering::Relaxed),
+        0,
+        "every migration must recover its window from the checkpoint"
+    );
+    assert_eq!(
+        stats.migrations_unverified.load(Ordering::Relaxed),
+        0,
+        "every migrated window must verify bitwise on its new owner"
+    );
+    for (token, &old) in tokens.iter().zip(&owners) {
+        let now = router.owner_of(token).expect("token stays routed");
+        if old == victim {
+            assert_ne!(now, victim, "migrated token still routed to the corpse");
+        } else {
+            assert_eq!(now, old, "unrelated token moved by the eviction");
+        }
+    }
+
+    // Phase 2: the same clients stream their tails. Clients that were
+    // relayed to the victim find their connection dropped, reconnect,
+    // replay their resume, and land on the migrated window.
+    let finals: Vec<Estimate> = clients
+        .iter_mut()
+        .enumerate()
+        .map(|(t, c)| {
+            let mut last = None;
+            for i in split..total {
+                last = Some(c.ingest(&stream(t, i)).unwrap());
+            }
+            last.unwrap()
+        })
+        .collect();
+
+    // The acceptance bar: bitwise identity with the uninterrupted run.
+    for ((token, reference), resumed) in tokens.iter().zip(&reference).zip(&finals) {
+        assert_eq!(
+            resumed.power_w.to_bits(),
+            reference.power_w.to_bits(),
+            "{token}: power_w diverged across kill+migration"
+        );
+        assert_eq!(
+            resumed.window_power_w.to_bits(),
+            reference.window_power_w.to_bits(),
+            "{token}: window_power_w diverged across kill+migration"
+        );
+        assert_eq!(resumed.samples_in_window, reference.samples_in_window);
+    }
+
+    router.shutdown();
+    for proc in procs.into_iter().flatten() {
+        proc.shutdown_clean();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn router_health_surface_works_with_zero_backends() {
+    // An empty fleet is the worst case the inline surface must cover:
+    // readyz answers with the typed `no_backends` reason, metrics
+    // still scrape, and data-plane ops get a typed overload.
+    let mut router = PowerRouter::start(RouterConfig::default()).unwrap();
+    let mut c = PowerClient::connect(router.addr()).unwrap();
+
+    let r = c.readyz().unwrap();
+    assert!(!r.field("ready").unwrap().as_bool().unwrap());
+    let reasons: Vec<&str> = r
+        .arr_field("reasons")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert!(reasons.contains(&"no_backends"), "reasons: {reasons:?}");
+
+    let body = c.metrics().unwrap();
+    assert!(body.contains("pmc_router_no_backend_rejects"));
+
+    match c.resume("anyone") {
+        Err(ServeError::Overloaded { retry_after_ms }) => assert!(retry_after_ms > 0),
+        other => panic!("expected typed overload with no backends, got {other:?}"),
+    }
+    router.shutdown();
+}

@@ -1,0 +1,128 @@
+//! Property tests for the consistent-hash ring: the two guarantees
+//! the serving tier leans on, checked over a seeded, deterministic
+//! token population.
+//!
+//! 1. **Minimal remap.** Removing a backend moves only the tokens it
+//!    owned; adding one steals only (roughly) its fair share, and
+//!    every stolen token goes *to* the new backend — never between
+//!    two incumbents.
+//! 2. **Restart stability.** The mapping is a pure function of the
+//!    member set: rebuilding the ring (a router restart) reproduces
+//!    it exactly.
+
+use pmc_router::HashRing;
+use pmc_serve::tokenhash::resume_key;
+
+/// Deterministic token population from a splitmix64 stream.
+fn tokens(seed: u64, n: usize) -> Vec<String> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            format!("node-{}/sensor-{}", z % 64, z >> 32)
+        })
+        .collect()
+}
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("backend-{i}")).collect()
+}
+
+fn ring(names: &[String], usable: impl Fn(usize) -> bool) -> HashRing {
+    HashRing::build(names.iter().map(|n| (n.as_str(), 1)), usable)
+}
+
+fn owners(ring: &HashRing, toks: &[String]) -> Vec<Option<usize>> {
+    toks.iter().map(|t| ring.owner(resume_key(t))).collect()
+}
+
+#[test]
+fn removal_remaps_only_the_victims_tokens() {
+    let backends = names(5);
+    let toks = tokens(0xfeed, 2000);
+    let full = ring(&backends, |_| true);
+    let before = owners(&full, &toks);
+
+    for victim in 0..backends.len() {
+        let degraded = ring(&backends, |idx| idx != victim);
+        let after = owners(&degraded, &toks);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            if *b == Some(victim) {
+                // The victim's tokens must land somewhere else.
+                assert_ne!(*a, Some(victim));
+                moved += 1;
+            } else {
+                // Everyone else's tokens must not move at all.
+                assert_eq!(a, b, "non-victim token moved on removal of {victim}");
+            }
+        }
+        // The victim owned roughly its fair share (1/5 = 400).
+        assert!(
+            (200..=650).contains(&moved),
+            "victim {victim} owned {moved}/2000 tokens"
+        );
+    }
+}
+
+#[test]
+fn addition_steals_only_for_the_newcomer() {
+    let toks = tokens(0xbeef, 2000);
+    let five = names(5);
+    let six = names(6);
+    let before = owners(&ring(&five, |_| true), &toks);
+    let after = owners(&ring(&six, |_| true), &toks);
+
+    let mut stolen = 0usize;
+    for (b, a) in before.iter().zip(&after) {
+        if a == b {
+            continue;
+        }
+        // Every moved token moved TO the new backend.
+        assert_eq!(*a, Some(5), "token moved between incumbents on addition");
+        stolen += 1;
+    }
+    // The newcomer takes roughly 1/6 of the population (≈ 333).
+    assert!(
+        (150..=550).contains(&stolen),
+        "new backend stole {stolen}/2000 tokens"
+    );
+}
+
+#[test]
+fn routing_is_stable_across_restarts() {
+    let backends = names(7);
+    let toks = tokens(0xcafe, 2000);
+    // Two independently built rings — a router restart — agree on
+    // every token, including with a member evicted.
+    for usable in [
+        (|_: usize| true) as fn(usize) -> bool,
+        (|idx: usize| idx != 3) as fn(usize) -> bool,
+    ] {
+        let a = ring(&backends, usable);
+        let b = ring(&backends, usable);
+        assert_eq!(owners(&a, &toks), owners(&b, &toks));
+    }
+}
+
+#[test]
+fn ownership_is_reasonably_balanced() {
+    let backends = names(4);
+    let toks = tokens(0xd00d, 2000);
+    let r = ring(&backends, |_| true);
+    let mut counts = vec![0usize; backends.len()];
+    for owner in owners(&r, &toks).into_iter().flatten() {
+        counts[owner] += 1;
+    }
+    // Fair share is 500; with 40 vnodes each, accept a wide band.
+    for (idx, &c) in counts.iter().enumerate() {
+        assert!(
+            (250..=800).contains(&c),
+            "backend {idx} owns {c}/2000 tokens"
+        );
+    }
+}

@@ -102,7 +102,12 @@ fn parse_model_id(v: &Json) -> Result<Option<(String, u32)>, ServeError> {
     )))
 }
 
-fn snapshot_json(snap: &ClientSnapshot) -> Json {
+/// Encodes one client window as a self-contained checkpoint record —
+/// the unit of live migration. The router drains a window from its
+/// old owner as this record, replays it on the new owner, and the
+/// hex-bits number encoding guarantees the replayed window is bitwise
+/// identical to the drained one.
+pub fn encode_client_record(snap: &ClientSnapshot) -> Json {
     Json::obj(vec![
         ("key", hex_u64(snap.client)),
         ("model", model_id_json(&snap.model_id)),
@@ -138,7 +143,9 @@ fn snapshot_json(snap: &ClientSnapshot) -> Json {
     ])
 }
 
-fn parse_snapshot(v: &Json) -> Result<ClientSnapshot, ServeError> {
+/// Decodes one client-window checkpoint record (the inverse of
+/// [`encode_client_record`]).
+pub fn decode_client_record(v: &Json) -> Result<ClientSnapshot, ServeError> {
     let window = v
         .arr_field("window")?
         .iter()
@@ -190,7 +197,7 @@ pub fn encode_checkpoint(data: &CheckpointData) -> String {
         ("active", model_id_json(&data.active)),
         (
             "clients",
-            Json::Arr(data.clients.iter().map(snapshot_json).collect()),
+            Json::Arr(data.clients.iter().map(encode_client_record).collect()),
         ),
     ])
     .to_string();
@@ -225,7 +232,7 @@ pub fn decode_checkpoint(content: &str) -> Result<CheckpointData, ServeError> {
         clients: v
             .arr_field("clients")?
             .iter()
-            .map(parse_snapshot)
+            .map(decode_client_record)
             .collect::<Result<Vec<_>, _>>()?,
     })
 }

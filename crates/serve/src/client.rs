@@ -229,6 +229,11 @@ pub struct PowerClient {
     retry: Option<RetryPolicy>,
     breaker: Option<Breaker>,
     rng: u64,
+    /// The durable identity bound with `resume`, replayed on every
+    /// reconnect so a fresh connection (including one re-routed by
+    /// `pmc-router` after a backend eviction) lands back on the same
+    /// engine window instead of a cold ephemeral one.
+    resume_token: Option<String>,
 }
 
 /// How a failed call should be retried, if at all.
@@ -253,6 +258,7 @@ impl PowerClient {
             retry: None,
             breaker: None,
             rng: 0,
+            resume_token: None,
         })
     }
 
@@ -267,6 +273,7 @@ impl PowerClient {
             retry: None,
             breaker: None,
             rng: 0,
+            resume_token: None,
         })
     }
 
@@ -319,6 +326,16 @@ impl PowerClient {
         };
         if let Ok(s) = fresh {
             self.stream = s;
+            // Re-bind the durable identity before the caller's request
+            // is retried: resume is connection-scoped, so without the
+            // replay a reconnect (or a router re-route to a different
+            // backend) would silently ingest into a cold ephemeral
+            // window. Best effort — a failure here surfaces as the
+            // retried call's own transport error.
+            if let Some(token) = self.resume_token.clone() {
+                let payload = Request::Resume { token }.to_json_value();
+                let _ = self.call_once(&payload);
+            }
         }
     }
 
@@ -475,6 +492,9 @@ impl PowerClient {
         let r = self.call(&Request::Resume {
             token: token.to_string(),
         })?;
+        // Remember the identity so reconnects (including router
+        // re-routes) replay it before retrying the interrupted call.
+        self.resume_token = Some(token.to_string());
         Ok(r.field("restored")?.as_bool().unwrap_or(false))
     }
 
@@ -484,6 +504,31 @@ impl PowerClient {
     pub fn checkpoint_now(&mut self) -> Result<u64, ServeError> {
         let r = self.call(&Request::Checkpoint)?;
         Ok(r.u64_field("clients")?)
+    }
+
+    /// Drains the durable window keyed by `token` into a
+    /// self-contained checkpoint record (`None` if the server holds no
+    /// such window). With `keep` false the server forgets the window —
+    /// the export half of a live migration.
+    pub fn migrate_export(&mut self, token: &str, keep: bool) -> Result<Option<Json>, ServeError> {
+        let r = self.call(&Request::MigrateExport {
+            token: token.to_string(),
+            keep,
+        })?;
+        match r.field("record")? {
+            Json::Null => Ok(None),
+            record => Ok(Some(record.clone())),
+        }
+    }
+
+    /// Replays an exported client-window record into this server —
+    /// the import half of a live migration. Returns the engine key
+    /// (hex) the window landed under.
+    pub fn migrate_import(&mut self, record: &Json) -> Result<String, ServeError> {
+        let r = self.call(&Request::MigrateImport {
+            record: record.clone(),
+        })?;
+        Ok(r.str_field("key")?.to_string())
     }
 }
 
@@ -696,6 +741,61 @@ mod tests {
         // though the backoff policy alone would retry in ~1 ms.
         assert!(t0.elapsed() >= Duration::from_millis(80));
         server.shutdown();
+    }
+
+    #[test]
+    fn migrate_export_import_moves_a_window_bitwise() {
+        let model = tiny_model();
+        let mut a = PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default()))
+            .unwrap();
+        let mut b = PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default()))
+            .unwrap();
+        let mut ca = PowerClient::connect(a.addr()).unwrap();
+        let mut cb = PowerClient::connect(b.addr()).unwrap();
+        ca.load_model("hsw", &model, true).unwrap();
+        cb.load_model("hsw", &model, true).unwrap();
+
+        // Build a durable window on A.
+        ca.resume("mover").unwrap();
+        let data = tiny_dataset(6);
+        let mut last = None;
+        for (i, row) in data.rows().iter().enumerate().take(6) {
+            let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+            let sample = CounterSample {
+                time_ns: (i as u64 + 1) * 1_000_000,
+                duration_s: row.duration_s,
+                freq_mhz: row.freq_mhz,
+                voltage: row.voltage,
+                deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+                missing: vec![],
+            };
+            last = Some(ca.ingest(&sample).unwrap());
+        }
+        let last = last.unwrap();
+
+        // Export drains the window off A…
+        let record = ca.migrate_export("mover", false).unwrap().unwrap();
+        assert!(ca.migrate_export("mover", false).unwrap().is_none());
+        // …and replaying it on B restores the estimate bitwise.
+        cb.migrate_import(&record).unwrap();
+        cb.resume("mover").unwrap();
+        let moved = cb.estimate(last.time_ns).unwrap().unwrap();
+        assert_eq!(moved.power_w.to_bits(), last.power_w.to_bits());
+        assert_eq!(
+            moved.window_power_w.to_bits(),
+            last.window_power_w.to_bits()
+        );
+        assert_eq!(moved.samples_in_window, last.samples_in_window);
+
+        // A cold record without the durable bit is refused.
+        let bogus = Json::parse(&record.to_string().replacen("\"key\":\"8", "\"key\":\"0", 1));
+        if let Ok(bogus) = bogus {
+            if bogus != record {
+                assert!(cb.migrate_import(&bogus).is_err());
+            }
+        }
+        a.shutdown();
+        b.shutdown();
     }
 
     #[cfg(unix)]

@@ -76,6 +76,7 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 pub mod stats;
+pub mod tokenhash;
 
 pub use artifact::ModelArtifact;
 pub use checkpoint::{CheckpointData, CheckpointOutcome};

@@ -246,6 +246,25 @@ pub enum Request {
     /// Force an immediate engine checkpoint (ops/test hook). Errors
     /// if the server was started without `--checkpoint`.
     Checkpoint,
+    /// Drain one durable (token-keyed) client window into a
+    /// self-contained checkpoint record (the PR 5 on-disk client
+    /// format) — the export half of live migration. With `keep` false
+    /// (the default) the window is forgotten after export, so the old
+    /// owner stops serving it; `keep: true` is a non-destructive copy
+    /// for inspection.
+    MigrateExport {
+        /// The resume token whose window to export.
+        token: String,
+        /// Keep the window after exporting instead of forgetting it.
+        keep: bool,
+    },
+    /// Replay an exported client-window checkpoint record into this
+    /// server's engine — the import half of live migration. The record
+    /// must be keyed in the durable (resume-token) namespace.
+    MigrateImport {
+        /// The checkpoint record produced by a `migrate_export`.
+        record: Json,
+    },
 }
 
 impl Request {
@@ -289,6 +308,15 @@ impl Request {
                 ("token", Json::from(token.as_str())),
             ]),
             Request::Checkpoint => Json::obj(vec![("op", Json::from("checkpoint"))]),
+            Request::MigrateExport { token, keep } => Json::obj(vec![
+                ("op", Json::from("migrate_export")),
+                ("token", Json::from(token.as_str())),
+                ("keep", Json::Bool(*keep)),
+            ]),
+            Request::MigrateImport { record } => Json::obj(vec![
+                ("op", Json::from("migrate_import")),
+                ("record", record.clone()),
+            ]),
         }
     }
 
@@ -329,6 +357,25 @@ impl Request {
                 Ok(Request::Resume { token })
             }
             "checkpoint" => Ok(Request::Checkpoint),
+            "migrate_export" => {
+                let token = v.str_field("token")?.to_string();
+                if token.is_empty() {
+                    return Err(ServeError::Protocol {
+                        reason: "migrate_export token must be non-empty".into(),
+                    });
+                }
+                Ok(Request::MigrateExport {
+                    token,
+                    keep: v
+                        .field("keep")
+                        .ok()
+                        .and_then(|k| k.as_bool().ok())
+                        .unwrap_or(false),
+                })
+            }
+            "migrate_import" => Ok(Request::MigrateImport {
+                record: v.field("record")?.clone(),
+            }),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
             }),
@@ -452,6 +499,30 @@ mod tests {
             token: "client-7".into(),
         });
         roundtrip(Request::Checkpoint);
+        roundtrip(Request::MigrateExport {
+            token: "client-7".into(),
+            keep: true,
+        });
+        roundtrip(Request::MigrateImport {
+            record: Json::obj(vec![("key", Json::from("8000000000000001"))]),
+        });
+    }
+
+    #[test]
+    fn migrate_export_defaults_to_drain_semantics() {
+        let v = Json::obj(vec![
+            ("op", Json::from("migrate_export")),
+            ("token", Json::from("client-7")),
+        ]);
+        match Request::from_json_value(&v).unwrap() {
+            Request::MigrateExport { keep, .. } => assert!(!keep),
+            other => panic!("expected migrate_export, got {other:?}"),
+        }
+        let empty = Json::obj(vec![
+            ("op", Json::from("migrate_export")),
+            ("token", Json::from("")),
+        ]);
+        assert!(Request::from_json_value(&empty).is_err());
     }
 
     #[test]

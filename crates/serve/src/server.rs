@@ -79,6 +79,7 @@ use crate::protocol::{
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
+use crate::tokenhash::{resume_key, RESUME_KEY_BIT};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
 use std::collections::HashMap;
@@ -193,24 +194,6 @@ impl Default for ServerConfig {
             faults: None,
         }
     }
-}
-
-/// Durable-client key namespace: engine keys with this bit set come
-/// from a `resume` token (stable across restarts and checkpointed);
-/// keys without it are ephemeral per-connection ids.
-const RESUME_KEY_BIT: u64 = 1 << 63;
-
-/// FNV-1a over the resume token, forced into the durable namespace.
-/// Deterministic across processes — the same token always lands on the
-/// same engine key, which is what makes checkpointed windows findable
-/// after a restart.
-fn resume_key(token: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in token.as_bytes() {
-        h ^= u64::from(*b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h | RESUME_KEY_BIT
 }
 
 /// Milliseconds since the Unix epoch (0 if the clock is before it).
@@ -490,6 +473,44 @@ impl Service {
                     ("written", Json::Bool(true)),
                     ("clients", Json::from(clients)),
                     ("path", Json::from(path.display().to_string().as_str())),
+                ]))
+            }
+            Request::MigrateExport { token, keep } => {
+                let key = resume_key(&token);
+                let record = self
+                    .engine
+                    .export_clients(|c| c == key)
+                    .pop()
+                    .map(|snap| crate::checkpoint::encode_client_record(&snap));
+                let found = record.is_some();
+                if found {
+                    if !keep {
+                        // Drain semantics: the exported window leaves
+                        // this server — a later resume here cold-starts
+                        // unless the record is imported back.
+                        self.engine.forget(key);
+                    }
+                    ServerStats::bump(&self.stats.windows_migrated_out);
+                }
+                Ok(Json::obj(vec![
+                    ("found", Json::Bool(found)),
+                    ("key", Json::from(format!("{key:016x}").as_str())),
+                    ("record", record.unwrap_or(Json::Null)),
+                ]))
+            }
+            Request::MigrateImport { record } => {
+                let snap = crate::checkpoint::decode_client_record(&record)?;
+                if snap.client & RESUME_KEY_BIT == 0 {
+                    return Err(ServeError::Protocol {
+                        reason: "only durable (resume-token) windows can be imported".into(),
+                    });
+                }
+                let key = snap.client;
+                self.engine.restore_clients(vec![snap]);
+                ServerStats::bump(&self.stats.windows_migrated_in);
+                Ok(Json::obj(vec![
+                    ("imported", Json::Bool(true)),
+                    ("key", Json::from(format!("{key:016x}").as_str())),
                 ]))
             }
         }
@@ -1282,6 +1303,11 @@ impl Core {
     fn run(mut self) {
         let cfg = self.service.config.clone();
         let mut drain_start: Option<Instant> = None;
+        // Consecutive no-progress sweeps; the long idle nap is taken
+        // only after a streak, so a client (or proxy) whose next
+        // request arrives a few hundred µs after the last response
+        // doesn't pay a multi-ms wakeup tail.
+        let mut idle_streak = 0u32;
         loop {
             if drain_start.is_none() && self.stop.load(Ordering::SeqCst) {
                 drain_start = Some(Instant::now());
@@ -1353,9 +1379,15 @@ impl Core {
             // wakeup of its own, so the active nap bounds how fast new
             // frames are noticed (and therefore caps throughput).
             let nap = if progress {
+                idle_streak = 0;
                 Duration::from_micros(20)
             } else {
-                Duration::from_millis(5)
+                idle_streak = idle_streak.saturating_add(1);
+                if idle_streak < 64 {
+                    Duration::from_micros(20)
+                } else {
+                    Duration::from_millis(5)
+                }
             };
             match self.done_rx.recv_timeout(nap) {
                 Ok(items) => {

@@ -74,6 +74,10 @@ pub struct ServerStats {
     pub checkpoints_quarantined: AtomicU64,
     /// Connections that bound a durable identity via `resume`.
     pub resumed_clients: AtomicU64,
+    /// Durable windows drained out of this server by `migrate_export`.
+    pub windows_migrated_out: AtomicU64,
+    /// Durable windows replayed into this server by `migrate_import`.
+    pub windows_migrated_in: AtomicU64,
 }
 
 /// Upper-exclusive bucket bounds of [`ServerStats::batch_fill`]; the
@@ -151,6 +155,8 @@ impl ServerStats {
                 read(&self.checkpoints_quarantined),
             ),
             ("resumed_clients", read(&self.resumed_clients)),
+            ("windows_migrated_out", read(&self.windows_migrated_out)),
+            ("windows_migrated_in", read(&self.windows_migrated_in)),
         ]
     }
 

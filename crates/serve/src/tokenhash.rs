@@ -1,0 +1,76 @@
+//! The shared resume-token hash.
+//!
+//! Both `pmc-serve` (to key durable engine windows) and `pmc-router`
+//! (to place tokens on the consistent-hash ring) derive a 64-bit key
+//! from a client's `resume` token. The two sides **must** agree — a
+//! router that hashed differently would checkpoint-migrate a window
+//! under one key and route subsequent traffic under another, silently
+//! cold-starting the client. Keeping the function in one module makes
+//! that drift impossible, and the pinned-vector test below makes any
+//! accidental change to the on-disk checkpoint keying loud.
+
+/// Durable-client key namespace: engine keys with this bit set come
+/// from a `resume` token (stable across restarts and checkpointed);
+/// keys without it are ephemeral per-connection ids.
+pub const RESUME_KEY_BIT: u64 = 1 << 63;
+
+/// Plain FNV-1a over a byte string (64-bit, standard offset basis and
+/// prime). The router also uses this to place virtual nodes on the
+/// hash ring.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the resume token, forced into the durable namespace.
+/// Deterministic across processes — the same token always lands on the
+/// same engine key, which is what makes checkpointed windows findable
+/// after a restart, and what lets the router know which backend owns a
+/// token without asking anyone.
+pub fn resume_key(token: &str) -> u64 {
+    fnv1a(token.as_bytes()) | RESUME_KEY_BIT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned token→key pairs: these values are baked into every
+    /// checkpoint file ever written. If this test fails, the change
+    /// breaks restore of existing checkpoints and router/serve
+    /// agreement — do not "fix" the constants, fix the code.
+    #[test]
+    fn resume_key_is_pinned() {
+        for (token, key) in [
+            ("", 0xcbf2_9ce4_8422_2325_u64),
+            ("a", 0xaf63_dc4c_8601_ec8c),
+            ("proc-sensor", 0xc0f8_bae3_55fd_a9da),
+            ("client-7", 0xb61d_e8d2_08d3_783a),
+            ("node-0/sensor-42", 0x8d4f_aeec_04c3_a038),
+        ] {
+            assert_eq!(resume_key(token), key, "token {token:?}");
+            assert_ne!(resume_key(token) & RESUME_KEY_BIT, 0);
+        }
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn distinct_tokens_get_distinct_keys() {
+        let keys: Vec<u64> = (0..64).map(|i| resume_key(&format!("tok-{i}"))).collect();
+        let mut dedup = keys.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+}
