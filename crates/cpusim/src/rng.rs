@@ -11,7 +11,7 @@
 //! kind of tie-breaking/noise use, and trivially seedable from a hash.
 
 /// A SplitMix64 PRNG.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
     state: u64,
 }

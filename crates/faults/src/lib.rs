@@ -30,15 +30,20 @@
 //! The [`serve`] module extends the same philosophy from data faults
 //! to *process* faults — worker panics, stuck jobs, and torn
 //! checkpoint writes — with deterministic sequence-number triggers
-//! instead of seeded rates.
+//! instead of seeded rates. The [`net`] module extends it to
+//! *network* faults: a seeded TCP chaos proxy (latency, mid-frame
+//! resets, trickle, bit corruption, one-way partitions) that fleet
+//! tests wrap around router↔backend links.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod injector;
 pub mod machine;
+pub mod net;
 pub mod serve;
 
 pub use injector::{FaultInjector, FaultKind, FaultLog, FaultRates};
 pub use machine::FaultyMachine;
+pub use net::{ChaosPlan, NetFaultCounters, NetFaults};
 pub use serve::ServeFaults;

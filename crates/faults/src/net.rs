@@ -1,0 +1,591 @@
+//! Deterministic network chaos: a seeded TCP proxy for fleet tests.
+//!
+//! [`NetFaults`] sits between a router and one backend (one proxy per
+//! link) and injects the network's failure modes on the bytes passing
+//! through:
+//!
+//! * **latency** — a seeded fraction of chunks is delayed by a seeded
+//!   duration before forwarding,
+//! * **connection reset** — a seeded fraction of connections is torn
+//!   down abruptly after a seeded byte quota, killing streams
+//!   mid-frame (the quota floor spares short probe exchanges, so
+//!   health checking stays meaningful while data paths suffer),
+//! * **trickle** — a seeded fraction of connections forwards one byte
+//!   per write, exercising short-read/short-write handling,
+//! * **corruption** — a seeded fraction of connections has a single
+//!   bit flipped at a seeded offset (off by default; bitwise
+//!   end-to-end tests must keep it off, since a flipped bit inside a
+//!   frame is *supposed* to change the outcome),
+//! * **one-way partition** — a runtime toggle per direction that
+//!   blackholes bytes (reads and discards, connection stays open),
+//!   the classic asymmetric-partition shape that FIN-based failures
+//!   never produce.
+//!
+//! Every per-connection decision derives from
+//! `(seed, proxy_id, connection_sequence, direction)` with
+//! [`SplitMix64::derive`], the same scheme as the rest of this crate:
+//! a chaos campaign is replayed exactly by reusing the seed, and two
+//! proxies with different ids under one seed fault independently.
+//!
+//! The proxy is test infrastructure, not a production component: it
+//! trades throughput (polling reads, small buffers) for determinism
+//! and clean shutdown.
+
+use pmc_cpusim::rng::SplitMix64;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Poll cadence for stop/partition flags inside forwarder loops.
+const POLL: Duration = Duration::from_millis(25);
+
+/// Seeded fault plan for one proxy. All rates are `one_in` odds
+/// (`0` disables the fault class entirely; `1` fires every time).
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Base seed of the campaign (shared across the fleet's proxies).
+    pub seed: u64,
+    /// This proxy's identity within the campaign — distinct ids fault
+    /// independently under the same seed.
+    pub proxy_id: u64,
+    /// Odds that one forwarded chunk is delayed.
+    pub latency_one_in: u64,
+    /// Delay range (milliseconds, inclusive-exclusive) of a delayed
+    /// chunk.
+    pub latency_ms: (u64, u64),
+    /// Odds that one connection trickles (one byte per write).
+    pub trickle_one_in: u64,
+    /// Odds that one connection is torn down after its byte quota.
+    pub reset_one_in: u64,
+    /// Byte-quota range (inclusive-exclusive) of a torn connection.
+    /// Keep the floor above the size of a probe exchange so health
+    /// checks survive while data connections die.
+    pub reset_after_bytes: (u64, u64),
+    /// Odds that one connection has a single bit flipped. Must stay 0
+    /// in bitwise end-to-end tests.
+    pub corrupt_one_in: u64,
+}
+
+impl ChaosPlan {
+    /// A plan that faults nothing — the proxy forwards verbatim and
+    /// only the runtime partition toggles remain.
+    pub fn quiet(seed: u64, proxy_id: u64) -> Self {
+        ChaosPlan {
+            seed,
+            proxy_id,
+            latency_one_in: 0,
+            latency_ms: (0, 1),
+            trickle_one_in: 0,
+            reset_one_in: 0,
+            reset_after_bytes: (256, 4096),
+            corrupt_one_in: 0,
+        }
+    }
+
+    /// The resolved fate of one connection direction — a pure
+    /// function of `(seed, proxy_id, conn, dir)`, exposed so tests
+    /// can assert campaign determinism without observing sockets.
+    pub fn for_conn(&self, conn: u64, dir: u64) -> ConnPlan {
+        let mut rng = SplitMix64::derive(self.seed, &[self.proxy_id, conn, dir]);
+        let one_in =
+            |rng: &mut SplitMix64, odds: u64| -> bool { odds > 0 && rng.next_u64() % odds == 0 };
+        let trickle = one_in(&mut rng, self.trickle_one_in);
+        let reset_after = one_in(&mut rng, self.reset_one_in).then(|| {
+            let (lo, hi) = self.reset_after_bytes;
+            lo + rng.next_u64() % hi.saturating_sub(lo).max(1)
+        });
+        let corrupt_at = one_in(&mut rng, self.corrupt_one_in).then(|| {
+            let at = rng.next_u64() % 512;
+            let bit = (rng.next_u64() % 8) as u8;
+            (at, bit)
+        });
+        ConnPlan {
+            latency_one_in: self.latency_one_in,
+            latency_ms: self.latency_ms,
+            trickle,
+            reset_after,
+            corrupt_at,
+            rng,
+        }
+    }
+}
+
+/// The resolved per-direction fate of one proxied connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Per-chunk delay odds (decided chunk by chunk from `rng`).
+    pub latency_one_in: u64,
+    /// Delay range of a delayed chunk, milliseconds.
+    pub latency_ms: (u64, u64),
+    /// Whether this direction forwards one byte per write.
+    pub trickle: bool,
+    /// Tear the connection down after forwarding this many bytes.
+    pub reset_after: Option<u64>,
+    /// Flip bit `.1` of the byte at stream offset `.0`.
+    pub corrupt_at: Option<(u64, u8)>,
+    rng: SplitMix64,
+}
+
+/// What a proxy actually injected, for assertions and honest logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetFaultCounters {
+    /// Connections accepted (and proxied) so far.
+    pub connections: u64,
+    /// Connections torn down by the reset fault.
+    pub resets: u64,
+    /// Chunks delayed by the latency fault.
+    pub delayed_chunks: u64,
+    /// Bytes with a bit flipped by the corruption fault.
+    pub corrupted_bytes: u64,
+    /// Bytes silently discarded by an active one-way partition.
+    pub blackholed_bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    resets: AtomicU64,
+    delayed_chunks: AtomicU64,
+    corrupted_bytes: AtomicU64,
+    blackholed_bytes: AtomicU64,
+}
+
+struct ProxyState {
+    plan: ChaosPlan,
+    upstream: String,
+    stop: AtomicBool,
+    /// Blackhole client → upstream bytes (requests vanish).
+    block_to_upstream: AtomicBool,
+    /// Blackhole upstream → client bytes (responses vanish).
+    block_to_client: AtomicBool,
+    counters: Counters,
+}
+
+/// A seeded chaos proxy wrapping one TCP link. Start one per
+/// router↔backend link, point the router at [`NetFaults::addr`], and
+/// the campaign's faults hit exactly that link.
+pub struct NetFaults {
+    addr: SocketAddr,
+    state: Arc<ProxyState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetFaults {
+    /// Binds an ephemeral local port and starts proxying to
+    /// `upstream` under `plan`.
+    pub fn start(upstream: &str, plan: ChaosPlan) -> std::io::Result<NetFaults> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ProxyState {
+            plan,
+            upstream: upstream.to_string(),
+            stop: AtomicBool::new(false),
+            block_to_upstream: AtomicBool::new(false),
+            block_to_client: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = Arc::clone(&state);
+            let workers = Arc::clone(&workers);
+            std::thread::spawn(move || accept_loop(&listener, &state, &workers))
+        };
+        Ok(NetFaults {
+            addr,
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The proxy's listen address — point the router here.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Toggles the client → upstream blackhole (requests vanish,
+    /// responses still flow): a one-way partition.
+    pub fn partition_to_upstream(&self, blocked: bool) {
+        self.state
+            .block_to_upstream
+            .store(blocked, Ordering::SeqCst);
+    }
+
+    /// Toggles the upstream → client blackhole (responses vanish).
+    pub fn partition_to_client(&self, blocked: bool) {
+        self.state.block_to_client.store(blocked, Ordering::SeqCst);
+    }
+
+    /// Toggles both directions at once: a full partition of the link.
+    pub fn partition(&self, blocked: bool) {
+        self.partition_to_upstream(blocked);
+        self.partition_to_client(blocked);
+    }
+
+    /// Snapshot of what this proxy has injected so far.
+    pub fn counters(&self) -> NetFaultCounters {
+        let c = &self.state.counters;
+        NetFaultCounters {
+            connections: c.connections.load(Ordering::Relaxed),
+            resets: c.resets.load(Ordering::Relaxed),
+            delayed_chunks: c.delayed_chunks.load(Ordering::Relaxed),
+            corrupted_bytes: c.corrupted_bytes.load(Ordering::Relaxed),
+            blackholed_bytes: c.blackholed_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, tears down every proxied connection and joins
+    /// all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for NetFaults {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ProxyState>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_seq = 0u64;
+    while !state.stop.load(Ordering::SeqCst) {
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+            Err(_) => break,
+        };
+        let conn = conn_seq;
+        conn_seq += 1;
+        state.counters.connections.fetch_add(1, Ordering::Relaxed);
+        let upstream = match TcpStream::connect(&state.upstream) {
+            Ok(s) => s,
+            Err(_) => continue, // client sees EOF — an upstream-down fault.
+        };
+        let Ok(handles) = pump_pair(client, upstream, conn, state) else {
+            continue;
+        };
+        workers.lock().expect("workers lock").extend(handles);
+    }
+}
+
+/// Spawns the two forwarder threads of one proxied connection.
+fn pump_pair(
+    client: TcpStream,
+    upstream: TcpStream,
+    conn: u64,
+    state: &Arc<ProxyState>,
+) -> std::io::Result<Vec<JoinHandle<()>>> {
+    for s in [&client, &upstream] {
+        s.set_read_timeout(Some(POLL))?;
+        s.set_nodelay(true)?;
+    }
+    let dead = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::with_capacity(2);
+    // dir 0: client → upstream; dir 1: upstream → client.
+    let pairs = [
+        (client.try_clone()?, upstream.try_clone()?, 0u64),
+        (upstream, client, 1u64),
+    ];
+    for (src, dst, dir) in pairs {
+        let plan = state.plan.for_conn(conn, dir);
+        let state = Arc::clone(state);
+        let dead = Arc::clone(&dead);
+        handles.push(std::thread::spawn(move || {
+            pump(src, dst, plan, &state, &dead, dir)
+        }));
+    }
+    Ok(handles)
+}
+
+/// Forwards one direction of one connection, applying its plan.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    mut plan: ConnPlan,
+    state: &ProxyState,
+    dead: &AtomicBool,
+    dir: u64,
+) {
+    let blocked = if dir == 0 {
+        &state.block_to_upstream
+    } else {
+        &state.block_to_client
+    };
+    let mut buf = [0u8; 2048];
+    let mut seen = 0u64;
+    loop {
+        if state.stop.load(Ordering::SeqCst) || dead.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(_) => break,
+        };
+        let chunk = &mut buf[..n];
+        if blocked.load(Ordering::SeqCst) {
+            // One-way partition: the bytes vanish, the socket lives.
+            state
+                .counters
+                .blackholed_bytes
+                .fetch_add(n as u64, Ordering::Relaxed);
+            continue;
+        }
+        if let Some((at, bit)) = plan.corrupt_at {
+            if (seen..seen + n as u64).contains(&at) {
+                chunk[usize::try_from(at - seen).expect("chunk offset")] ^= 1 << bit;
+                state
+                    .counters
+                    .corrupted_bytes
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if plan.latency_one_in > 0 && plan.rng.next_u64() % plan.latency_one_in == 0 {
+            let (lo, hi) = plan.latency_ms;
+            let ms = lo + plan.rng.next_u64() % hi.saturating_sub(lo).max(1);
+            state
+                .counters
+                .delayed_chunks
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        seen += n as u64;
+        let wrote = if plan.trickle {
+            chunk.iter().try_for_each(|b| dst.write_all(&[*b]))
+        } else {
+            dst.write_all(chunk)
+        };
+        if wrote.and_then(|()| dst.flush()).is_err() {
+            break;
+        }
+        if plan.reset_after.is_some_and(|quota| seen >= quota) {
+            // Tear the whole connection down mid-stream: both peers
+            // see it die inside a frame.
+            state.counters.resets.fetch_add(1, Ordering::Relaxed);
+            dead.store(true, Ordering::SeqCst);
+            let _ = src.shutdown(Shutdown::Both);
+            let _ = dst.shutdown(Shutdown::Both);
+            return;
+        }
+    }
+    // Propagate EOF without killing the opposite direction.
+    let _ = dst.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A TCP echo server that answers until dropped.
+    struct Echo {
+        addr: SocketAddr,
+        stop: Arc<AtomicBool>,
+        thread: Option<JoinHandle<()>>,
+    }
+
+    impl Echo {
+        fn start() -> Echo {
+            let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.set_nonblocking(true).unwrap();
+            let addr = listener.local_addr().unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let thread = std::thread::spawn(move || {
+                let mut conns: Vec<TcpStream> = Vec::new();
+                while !flag.load(Ordering::SeqCst) {
+                    if let Ok((s, _)) = listener.accept() {
+                        s.set_read_timeout(Some(Duration::from_millis(10))).unwrap();
+                        conns.push(s);
+                    }
+                    let mut buf = [0u8; 1024];
+                    conns.retain_mut(|s| match s.read(&mut buf) {
+                        Ok(0) => false,
+                        Ok(n) => s.write_all(&buf[..n]).is_ok(),
+                        Err(e) => {
+                            matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+                        }
+                    });
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+            Echo {
+                addr,
+                stop,
+                thread: Some(thread),
+            }
+        }
+    }
+
+    impl Drop for Echo {
+        fn drop(&mut self) {
+            self.stop.store(true, Ordering::SeqCst);
+            if let Some(t) = self.thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut s = TcpStream::connect(addr)?;
+        s.set_read_timeout(Some(Duration::from_millis(500)))?;
+        s.write_all(payload)?;
+        let mut got = vec![0u8; payload.len()];
+        s.read_exact(&mut got)?;
+        Ok(got)
+    }
+
+    #[test]
+    fn quiet_proxy_forwards_verbatim() {
+        let echo = Echo::start();
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), ChaosPlan::quiet(1, 0)).unwrap();
+        assert_eq!(
+            roundtrip(proxy.addr(), b"hello fleet").unwrap(),
+            b"hello fleet"
+        );
+        let c = proxy.counters();
+        assert_eq!(c.connections, 1);
+        assert_eq!(
+            (
+                c.resets,
+                c.delayed_chunks,
+                c.corrupted_bytes,
+                c.blackholed_bytes
+            ),
+            (0, 0, 0, 0)
+        );
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn connection_plans_are_deterministic_and_per_proxy() {
+        let mut plan = ChaosPlan::quiet(42, 3);
+        plan.reset_one_in = 2;
+        plan.trickle_one_in = 2;
+        plan.corrupt_one_in = 2;
+        // Same coordinates → same fate; replaying a campaign is exact.
+        for conn in 0..64 {
+            for dir in 0..2 {
+                assert_eq!(plan.for_conn(conn, dir), plan.for_conn(conn, dir));
+            }
+        }
+        // A different proxy id under the same seed faults differently
+        // somewhere in the first 64 connections.
+        let other = ChaosPlan {
+            proxy_id: 4,
+            ..plan.clone()
+        };
+        assert!(
+            (0..64).any(|c| plan.for_conn(c, 0) != other.for_conn(c, 0)),
+            "independent proxies drew identical campaigns"
+        );
+    }
+
+    #[test]
+    fn reset_quota_tears_the_connection_mid_stream() {
+        let echo = Echo::start();
+        let mut plan = ChaosPlan::quiet(7, 0);
+        plan.reset_one_in = 1;
+        plan.reset_after_bytes = (8, 9);
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), plan).unwrap();
+        // 32 bytes through an 8-byte quota: the read must fail (torn
+        // mid-stream) or come back short.
+        let torn = match roundtrip(proxy.addr(), &[0x55u8; 32]) {
+            Err(_) => true,
+            Ok(got) => got.len() < 32,
+        };
+        assert!(torn, "connection survived past its reset quota");
+        assert!(proxy.counters().resets >= 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn latency_plan_delays_chunks() {
+        let echo = Echo::start();
+        let mut plan = ChaosPlan::quiet(11, 0);
+        plan.latency_one_in = 1;
+        plan.latency_ms = (30, 31);
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), plan).unwrap();
+        let started = std::time::Instant::now();
+        assert_eq!(roundtrip(proxy.addr(), b"ping").unwrap(), b"ping");
+        assert!(
+            started.elapsed() >= Duration::from_millis(30),
+            "round trip was not delayed"
+        );
+        assert!(proxy.counters().delayed_chunks >= 1);
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn one_way_partition_blackholes_then_heals() {
+        let echo = Echo::start();
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), ChaosPlan::quiet(13, 0)).unwrap();
+        proxy.partition_to_upstream(true);
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        s.write_all(b"lost").unwrap();
+        let mut buf = [0u8; 4];
+        // Requests vanish: nothing echoes back while partitioned.
+        assert!(s.read_exact(&mut buf).is_err());
+        assert!(proxy.counters().blackholed_bytes >= 4);
+        // Heal: the same connection carries traffic again.
+        proxy.partition_to_upstream(false);
+        s.write_all(b"back").unwrap();
+        s.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"back");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_planned_bit() {
+        let echo = Echo::start();
+        let mut plan = ChaosPlan::quiet(17, 0);
+        plan.corrupt_one_in = 1;
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), plan.clone()).unwrap();
+        let sent = [0u8; 256];
+        let got = roundtrip(proxy.addr(), &sent).unwrap();
+        assert_ne!(got, sent, "corruption plan injected nothing");
+        // Both directions corrupt independently: at most one flipped
+        // bit each way, every flip at a planned coordinate.
+        let flipped: Vec<usize> = got
+            .iter()
+            .zip(&sent)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert!((1..=2).contains(&flipped.len()), "{flipped:?}");
+        let planned: Vec<u64> = (0..2)
+            .filter_map(|dir| plan.for_conn(0, dir).corrupt_at)
+            .map(|(at, _)| at)
+            .collect();
+        for at in &flipped {
+            assert!(planned.contains(&(*at as u64)), "unplanned flip at {at}");
+        }
+        assert!(proxy.counters().corrupted_bytes >= 1);
+        proxy.shutdown();
+    }
+}

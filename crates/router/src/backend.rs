@@ -78,6 +78,11 @@ pub struct Backend {
     /// Upstream connections that broke mid-request (each costs the
     /// affected client a reconnect-and-resume).
     pub upstream_failures: AtomicU64,
+    /// Unix milliseconds of the last anti-entropy round that left
+    /// every dirty window this backend owns replicated to its
+    /// standby. Zero until the first complete round; the replication
+    /// lag gauge is `now - replicated_at_ms`.
+    pub replicated_at_ms: AtomicU64,
 }
 
 impl Backend {
@@ -89,6 +94,7 @@ impl Backend {
             inflight: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             upstream_failures: AtomicU64::new(0),
+            replicated_at_ms: AtomicU64::new(0),
         }
     }
 

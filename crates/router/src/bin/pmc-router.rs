@@ -5,6 +5,7 @@
 //!                    [--probe-interval-ms N] [--probe-timeout-ms N]
 //!                    [--evict-after N] [--max-conns N] [--retry-after-ms N]
 //!                    [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]
+//!                    [--sync-interval-ms N]
 //! pmc-router readyz  --addr A
 //! pmc-router metrics --addr A
 //! ```
@@ -16,10 +17,13 @@
 //!
 //! `route` binds (default `127.0.0.1:7720`), prints the bound address,
 //! and runs until stdin closes — the same supervised lifetime as
-//! `pmc-serve serve`. `readyz` prints the router's readiness report
-//! and exits nonzero when it is not ready (including the typed
-//! `no_backends` reason when every backend is down). `metrics` prints
-//! the Prometheus exposition.
+//! `pmc-serve serve`. `--sync-interval-ms` paces the anti-entropy
+//! loop replicating dirty windows to their ring standby (default 200;
+//! 0 disables replication). `readyz` prints the router's readiness
+//! report and exits nonzero when it is not ready — including the
+//! typed `no_backends` reason when every backend is down and
+//! `no_standby:<name>` when a backend's windows have no live second
+//! copy. `metrics` prints the Prometheus exposition.
 
 use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
 use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
@@ -42,6 +46,7 @@ fn main() -> ExitCode {
                 "                          [--evict-after N] [--max-conns N] [--retry-after-ms N]"
             );
             eprintln!("                          [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]");
+            eprintln!("                          [--sync-interval-ms N]");
             eprintln!("       pmc-router readyz  --addr A");
             eprintln!("       pmc-router metrics --addr A");
             eprintln!();
@@ -99,6 +104,10 @@ fn route(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(ms) = flag_value(args, "--retry-after-ms") {
         config.retry_after_ms = ms.parse()?;
+    }
+    // 0 disables the background anti-entropy loop.
+    if let Some(ms) = flag_value(args, "--sync-interval-ms") {
+        config.sync_interval = Duration::from_millis(ms.parse()?);
     }
     // Deadline knobs: 0 disables, same convention as pmc-serve.
     let ms_flag = |flag: &str| -> Result<Option<Option<Duration>>, std::num::ParseIntError> {

@@ -20,9 +20,16 @@
 //! 3. **[`migrate`]** (internal) — live migration: when the ring
 //!    changes shape, re-owned windows are drained from their old
 //!    backend as self-contained checkpoint records (live over
-//!    `migrate_export`, or out of the dead backend's checkpoint
-//!    file), replayed on the new owner, and verified bitwise.
-//! 4. **[`stats`]** — router counters with a Prometheus exposition
+//!    `migrate_export`, from the dead backend's checkpoint file, or
+//!    from the standby replica), replayed on the new owner, and
+//!    verified bitwise. Unrecoverable windows cold-start with a
+//!    machine-readable degradation reason instead of wedging.
+//! 4. **[`sync`]** (internal) — the anti-entropy loop: periodically
+//!    drains dirty windows from each primary and replays them onto
+//!    the window's ring standby, so failover works without shared
+//!    disk. Per-backend replication lag and standby coverage surface
+//!    through `readyz` and the metrics scrape.
+//! 5. **[`stats`]** — router counters with a Prometheus exposition
 //!    carrying per-backend `{backend="…"}` series.
 //!
 //! The `pmc-router` binary wires this up behind `route`, `readyz` and
@@ -38,6 +45,7 @@ mod migrate;
 pub mod proxy;
 pub mod ring;
 pub mod stats;
+mod sync;
 
 pub use backend::{Backend, BackendSpec};
 pub use error::RouterError;

@@ -39,6 +39,7 @@ use crate::error::RouterError;
 use crate::migrate;
 use crate::ring::HashRing;
 use crate::stats::RouterStats;
+use crate::sync::{self, Repl};
 use pmc_json::Json;
 use pmc_serve::protocol::{
     encode_frame, error_response, ok_response, parse_frame, read_frame, unwrap_response,
@@ -81,6 +82,11 @@ pub struct RouterConfig {
     pub write_timeout: Option<Duration>,
     /// Client connections silent for this long are reaped.
     pub idle_timeout: Option<Duration>,
+    /// Cadence of the anti-entropy loop replicating dirty windows
+    /// from each primary to its ring standby. Zero disables the
+    /// background loop (replication then only happens through
+    /// [`PowerRouter::sync_now`]).
+    pub sync_interval: Duration,
 }
 
 impl Default for RouterConfig {
@@ -97,6 +103,7 @@ impl Default for RouterConfig {
             read_timeout: Some(Duration::from_secs(2)),
             write_timeout: Some(Duration::from_secs(10)),
             idle_timeout: Some(Duration::from_secs(60)),
+            sync_interval: Duration::from_millis(200),
         }
     }
 }
@@ -110,7 +117,17 @@ pub(crate) struct Shared {
     /// Token → owning backend index. Live migration is the only thing
     /// that moves an existing entry; routing always believes it.
     pub(crate) table: Mutex<HashMap<String, usize>>,
+    /// Token → replication state (what the anti-entropy loop last
+    /// drained, and where it put the copy).
+    pub(crate) repl: Mutex<HashMap<String, Repl>>,
+    /// Token → machine-readable degradation reason, set when failover
+    /// could not recover the token's window (cold start) and cleared
+    /// once the window is replicated again.
+    pub(crate) degraded: Mutex<HashMap<String, String>>,
     pub(crate) stats: Arc<RouterStats>,
+    /// Unix milliseconds at router start — the floor for replication
+    /// lag on backends that have never completed a sync round.
+    pub(crate) started_ms: u64,
 }
 
 impl Shared {
@@ -143,50 +160,152 @@ impl Shared {
         ])
     }
 
-    /// Router readiness: whether any usable backend exists, with the
-    /// typed `no_backends` reason when none does.
+    /// Per-backend `(replication_lag_ms, has_standby)`, and refreshes
+    /// the aggregate lag / standby-coverage gauges as a side effect so
+    /// every scrape and readyz reads current values.
+    ///
+    /// A backend "has a standby" when it is up and at least one other
+    /// backend is up — every weight is ≥ 1, so a second up backend
+    /// always contributes distinct ring coverage. Lag is the time
+    /// since the backend's last *complete* anti-entropy round (router
+    /// start for never-synced backends); down backends report zero —
+    /// their windows are the failover path's problem, not the sync
+    /// loop's. With the sync loop disabled (zero interval and no
+    /// manual rounds yet) lag is also reported as zero rather than as
+    /// an ever-growing alarm for a feature that is switched off.
+    pub(crate) fn replication_health(&self) -> Vec<(u64, bool)> {
+        let up_count = self.backends.iter().filter(|b| b.is_up()).count();
+        let sync_enabled = !self.config.sync_interval.is_zero()
+            || self
+                .backends
+                .iter()
+                .any(|b| b.replicated_at_ms.load(Ordering::Relaxed) != 0);
+        let now = sync::unix_ms();
+        let rows: Vec<(u64, bool)> = self
+            .backends
+            .iter()
+            .map(|b| {
+                let has_standby = b.is_up() && up_count >= 2;
+                let lag = if !b.is_up() || !sync_enabled {
+                    0
+                } else {
+                    let synced_at = b
+                        .replicated_at_ms
+                        .load(Ordering::Relaxed)
+                        .max(self.started_ms);
+                    now.saturating_sub(synced_at)
+                };
+                (lag, has_standby)
+            })
+            .collect();
+        let max_lag = rows.iter().map(|&(lag, _)| lag).max().unwrap_or(0);
+        let uncovered = self
+            .backends
+            .iter()
+            .zip(&rows)
+            .filter(|(b, &(_, has))| b.is_up() && !has)
+            .count() as u64;
+        self.stats
+            .replication_lag_ms
+            .store(max_lag, Ordering::Relaxed);
+        self.stats
+            .backends_without_standby
+            .store(uncovered, Ordering::Relaxed);
+        rows
+    }
+
+    /// Router readiness: whether any usable backend exists and every
+    /// up backend has a live standby, with typed reasons
+    /// (`no_backends`, `no_standby:<name>`) when not.
     pub(crate) fn readyz_json(&self) -> Json {
-        let mut reasons: Vec<&str> = Vec::new();
+        let mut reasons: Vec<String> = Vec::new();
         let usable = self.backends.iter().filter(|b| b.is_up()).count();
         if usable == 0 {
-            reasons.push("no_backends");
+            reasons.push("no_backends".to_string());
+        }
+        let repl = self.replication_health();
+        for (b, &(_, has_standby)) in self.backends.iter().zip(&repl) {
+            if b.is_up() && !has_standby {
+                // A single live copy of every window this backend
+                // owns: losing it means cold starts. Not ready until
+                // the fleet regains redundancy.
+                reasons.push(format!("no_standby:{}", b.spec.name));
+            }
         }
         let owned = self.tokens_owned();
         let backends: Vec<Json> = self
             .backends
             .iter()
             .zip(&owned)
-            .map(|(b, &tokens)| {
+            .zip(&repl)
+            .map(|((b, &tokens), &(lag, has_standby))| {
                 Json::obj(vec![
                     ("name", Json::from(b.spec.name.as_str())),
                     ("addr", Json::from(b.spec.addr.as_str())),
                     ("up", Json::Bool(b.is_up())),
                     ("inflight", Json::from(b.inflight.load(Ordering::Relaxed))),
                     ("tokens_owned", Json::from(tokens)),
+                    ("replication_lag_ms", Json::from(lag)),
+                    ("has_standby", Json::Bool(has_standby)),
                 ])
             })
             .collect();
+        let degraded: Vec<Json> = {
+            let mut marks: Vec<(String, String)> = self
+                .degraded
+                .lock()
+                .expect("degraded lock")
+                .iter()
+                .map(|(t, r)| (t.clone(), r.clone()))
+                .collect();
+            marks.sort();
+            marks
+                .into_iter()
+                .map(|(token, reason)| {
+                    Json::obj(vec![
+                        ("token", Json::from(token.as_str())),
+                        ("reason", Json::from(reason.as_str())),
+                    ])
+                })
+                .collect()
+        };
         Json::obj(vec![
             ("ready", Json::Bool(reasons.is_empty())),
             (
                 "reasons",
-                Json::Arr(reasons.into_iter().map(Json::from).collect()),
+                Json::Arr(
+                    reasons
+                        .into_iter()
+                        .map(|r| Json::from(r.as_str()))
+                        .collect(),
+                ),
             ),
             ("backends", Json::Arr(backends)),
             (
                 "tokens",
                 Json::from(self.table.lock().expect("table lock").len()),
             ),
+            (
+                "migrations_failed",
+                Json::from(self.stats.migrations_failed.load(Ordering::Relaxed)),
+            ),
+            (
+                "replication_lag_ms",
+                Json::from(self.stats.replication_lag_ms.load(Ordering::Relaxed)),
+            ),
+            ("degraded_tokens", Json::Arr(degraded)),
         ])
     }
 
     fn metrics_json(&self) -> Json {
         let owned = self.tokens_owned();
+        let repl = self.replication_health();
         let rows: Vec<crate::stats::BackendRow> = self
             .backends
             .iter()
             .zip(&owned)
-            .map(|(b, &tokens)| {
+            .zip(&repl)
+            .map(|((b, &tokens), &(lag, has_standby))| {
                 (
                     b.spec.name.clone(),
                     b.is_up(),
@@ -194,6 +313,8 @@ impl Shared {
                     b.evictions.load(Ordering::Relaxed),
                     b.upstream_failures.load(Ordering::Relaxed),
                     tokens,
+                    lag,
+                    has_standby,
                 )
             })
             .collect();
@@ -276,6 +397,7 @@ pub struct PowerRouter {
     stop: Arc<AtomicBool>,
     core: Option<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    syncer: Option<JoinHandle<()>>,
     shared: Arc<Shared>,
 }
 
@@ -291,7 +413,10 @@ impl PowerRouter {
             backends,
             ring: Mutex::new(HashRing::default()),
             table: Mutex::new(HashMap::new()),
+            repl: Mutex::new(HashMap::new()),
+            degraded: Mutex::new(HashMap::new()),
             stats: Arc::new(RouterStats::default()),
+            started_ms: sync::unix_ms(),
         });
         shared.rebuild_ring();
         let stop = Arc::new(AtomicBool::new(false));
@@ -306,11 +431,17 @@ impl PowerRouter {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || prober_loop(&shared, &stop))
         };
+        let syncer = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || sync::sync_loop(&shared, &stop))
+        };
         Ok(PowerRouter {
             addr,
             stop,
             core: Some(core),
             prober: Some(prober),
+            syncer: Some(syncer),
             shared,
         })
     }
@@ -336,6 +467,41 @@ impl PowerRouter {
             .copied()
     }
 
+    /// Runs one anti-entropy round right now, on the caller's thread.
+    /// Returns true when the round left every routed token's window
+    /// replicated to its standby (tests and ops use this to reach a
+    /// known-replicated state without waiting out the interval).
+    pub fn sync_now(&self) -> bool {
+        sync::sync_round(&self.shared)
+    }
+
+    /// `(replicated_seq, primary_seq)` for `token`, if the
+    /// anti-entropy loop has seen it (test/ops introspection).
+    pub fn replication_of(&self, token: &str) -> Option<(u64, u64)> {
+        self.shared
+            .repl
+            .lock()
+            .expect("repl lock")
+            .get(token)
+            .map(|r| (r.replicated_seq, r.primary_seq))
+    }
+
+    /// Tokens whose windows failover could not fully recover, with
+    /// their machine-readable degradation reason. Cleared per token
+    /// once its (fresh) window is replicated again.
+    pub fn degraded_tokens(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .shared
+            .degraded
+            .lock()
+            .expect("degraded lock")
+            .iter()
+            .map(|(t, r)| (t.clone(), r.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Stops accepting, notifies clients with a `draining` frame,
     /// closes every connection and joins both threads. Idempotent.
     pub fn shutdown(&mut self) {
@@ -345,6 +511,9 @@ impl PowerRouter {
         }
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
+        }
+        if let Some(syncer) = self.syncer.take() {
+            let _ = syncer.join();
         }
     }
 }

@@ -79,6 +79,33 @@ impl HashRing {
         Some(idx)
     }
 
+    /// The replica set for `key`: `(primary, standby)`. The primary
+    /// is [`HashRing::owner`]; the standby is the first virtual node
+    /// clockwise of the primary's owned by a *different* backend —
+    /// i.e. exactly where ownership falls if the primary leaves the
+    /// ring. Replicating to the standby therefore places the copy on
+    /// the very backend failover will route to, so recovery finds the
+    /// window already warm. The standby is `None` when fewer than two
+    /// backends are usable.
+    pub fn replicas(&self, key: u64) -> (Option<usize>, Option<usize>) {
+        if self.vnodes.is_empty() {
+            return (None, None);
+        }
+        let key = spread(key);
+        let at = self.vnodes.partition_point(|&(pos, _)| pos < key);
+        let n = self.vnodes.len();
+        let (_, primary) = self.vnodes[at % n];
+        let standby = (1..n)
+            .map(|step| self.vnodes[(at + step) % n].1)
+            .find(|&idx| idx != primary);
+        (Some(primary), standby)
+    }
+
+    /// The standby backend for `key` (see [`HashRing::replicas`]).
+    pub fn standby(&self, key: u64) -> Option<usize> {
+        self.replicas(key).1
+    }
+
     /// True when no backend is usable.
     pub fn is_empty(&self) -> bool {
         self.vnodes.is_empty()
@@ -145,6 +172,31 @@ mod tests {
             (2600..=3700).contains(&big_share),
             "weight-4 backend owns {big_share}/4000"
         );
+    }
+
+    #[test]
+    fn standby_is_where_failover_routes() {
+        // The defining property: remove the primary from the ring and
+        // ownership lands exactly on what replicas() called standby.
+        let names = names(4);
+        let full = ring_of(&names, |_| true);
+        for t in 0..500u32 {
+            let key = resume_key(&format!("tok-{t}"));
+            let (primary, standby) = full.replicas(key);
+            let primary = primary.unwrap();
+            let after_loss = ring_of(&names, |idx| idx != primary);
+            assert_eq!(after_loss.owner(key), standby, "token tok-{t}");
+        }
+    }
+
+    #[test]
+    fn single_backend_has_no_standby() {
+        let names = names(1);
+        let ring = ring_of(&names, |_| true);
+        let key = resume_key("solo");
+        assert_eq!(ring.replicas(key), (Some(0), None));
+        let empty = HashRing::build(std::iter::empty(), |_| true);
+        assert_eq!(empty.replicas(key), (None, None));
     }
 
     #[test]

@@ -9,8 +9,8 @@ use pmc_json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One backend's scrape row: `(name, up, inflight, evictions,
-/// upstream_failures, tokens_owned)`.
-pub type BackendRow = (String, bool, u64, u64, u64, u64);
+/// upstream_failures, tokens_owned, replication_lag_ms, has_standby)`.
+pub type BackendRow = (String, bool, u64, u64, u64, u64, u64, bool);
 
 /// Monotonic router counters (plus a few gauges), all relaxed.
 #[derive(Debug, Default)]
@@ -43,6 +43,23 @@ pub struct RouterStats {
     pub migrations_unverified: AtomicU64,
     /// Wall-clock duration of the last rebalance, milliseconds (gauge).
     pub migration_duration_ms: AtomicU64,
+    /// Dirty windows copied primary → standby by the anti-entropy loop.
+    pub windows_replicated: AtomicU64,
+    /// Replication attempts that failed (poll, export, or import).
+    pub replication_errors: AtomicU64,
+    /// Anti-entropy rounds completed (clean or not).
+    pub replication_rounds: AtomicU64,
+    /// Evicted-owner windows that could be recovered from neither a
+    /// checkpoint file nor a standby replica — the affected token
+    /// cold-starts, flagged degraded.
+    pub windows_lost: AtomicU64,
+    /// Worst per-backend replication lag among up backends,
+    /// milliseconds since the last complete sync of that backend
+    /// (gauge; refreshed on every sync round and scrape).
+    pub replication_lag_ms: AtomicU64,
+    /// Up backends with no distinct up standby — windows they own
+    /// have a single live copy (gauge; refreshed like the lag).
+    pub backends_without_standby: AtomicU64,
 }
 
 impl RouterStats {
@@ -92,6 +109,16 @@ impl RouterStats {
                 read(&self.migration_duration_ms),
                 true,
             ),
+            ("windows_replicated", read(&self.windows_replicated), false),
+            ("replication_errors", read(&self.replication_errors), false),
+            ("replication_rounds", read(&self.replication_rounds), false),
+            ("windows_lost", read(&self.windows_lost), false),
+            ("replication_lag_ms", read(&self.replication_lag_ms), true),
+            (
+                "backends_without_standby",
+                read(&self.backends_without_standby),
+                true,
+            ),
         ]
     }
 
@@ -118,12 +145,14 @@ impl RouterStats {
             let _ = writeln!(out, "pmc_router_{name} {value}");
         }
         type Read = fn(&BackendRow) -> u64;
-        let series: [(&str, &str, Read); 5] = [
+        let series: [(&str, &str, Read); 7] = [
             ("backend_up", "gauge", |r| u64::from(r.1)),
             ("backend_inflight", "gauge", |r| r.2),
             ("backend_evictions", "counter", |r| r.3),
             ("backend_upstream_failures", "counter", |r| r.4),
             ("backend_tokens_owned", "gauge", |r| r.5),
+            ("backend_replication_lag_ms", "gauge", |r| r.6),
+            ("backend_has_standby", "gauge", |r| u64::from(r.7)),
         ];
         for (name, kind, read) in series {
             let _ = writeln!(out, "# TYPE pmc_router_{name} {kind}");
@@ -160,9 +189,11 @@ mod tests {
     fn prometheus_has_scalars_and_backend_series() {
         let s = RouterStats::default();
         RouterStats::bump(&s.migrations_completed);
+        RouterStats::bump(&s.windows_replicated);
+        s.replication_lag_ms.store(120, Ordering::Relaxed);
         let rows = vec![
-            ("b0".to_string(), true, 2, 0, 0, 5),
-            ("b1".to_string(), false, 0, 1, 3, 0),
+            ("b0".to_string(), true, 2, 0, 0, 5, 120, true),
+            ("b1".to_string(), false, 0, 1, 3, 0, 0, false),
         ];
         let text = s.prometheus(&rows);
         assert!(text.contains("pmc_router_migrations_completed 1\n"));
@@ -173,6 +204,12 @@ mod tests {
         assert!(text.contains("pmc_router_backend_evictions{backend=\"b1\"} 1\n"));
         assert!(text.contains("pmc_router_backend_upstream_failures{backend=\"b1\"} 3\n"));
         assert!(text.contains("pmc_router_backend_tokens_owned{backend=\"b0\"} 5\n"));
+        assert!(text.contains("pmc_router_windows_replicated 1\n"));
+        assert!(text.contains("# TYPE pmc_router_replication_lag_ms gauge\n"));
+        assert!(text.contains("pmc_router_replication_lag_ms 120\n"));
+        assert!(text.contains("pmc_router_backend_replication_lag_ms{backend=\"b0\"} 120\n"));
+        assert!(text.contains("pmc_router_backend_has_standby{backend=\"b0\"} 1\n"));
+        assert!(text.contains("pmc_router_backend_has_standby{backend=\"b1\"} 0\n"));
         // Every JSON scalar appears in the scrape.
         if let Json::Obj(fields) = s.snapshot() {
             for (name, _) in fields {

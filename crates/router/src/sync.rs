@@ -1,0 +1,248 @@
+//! Anti-entropy replication: standby copies without shared disk.
+//!
+//! Per-backend checkpoint files only help when the replacement owner
+//! can read the dead owner's disk. This loop removes that assumption:
+//! it periodically polls each up primary for its per-window dirty
+//! sequence numbers (`window_seqs`, one cheap frame per backend),
+//! drains every window that advanced since the last round
+//! (`migrate_export keep:true` — the primary keeps serving), and
+//! replays the record into the window's **ring standby** — the first
+//! distinct backend clockwise of the primary's vnode. That placement
+//! is the load-bearing trick: when the primary is evicted, the ring's
+//! new owner for its tokens *is* the standby, so failover finds the
+//! replica exactly where routing already points (proven by the ring
+//! property tests).
+//!
+//! Replication is asynchronous by design — ingest latency never waits
+//! on a second copy. The window between a sample landing and the next
+//! sync round is honestly unprotected: failover from a replica older
+//! than the primary's last observed state flags the token with a
+//! machine-readable staleness reason instead of pretending the tail
+//! survived. The idempotent duplicate-timestamp re-ingest on the
+//! serve side keeps replica replay bitwise identical to the original
+//! window, which is what lets failover verify copies with
+//! `f64::to_bits` equality rather than tolerances.
+
+use crate::migrate;
+use crate::proxy::Shared;
+use crate::stats::RouterStats;
+use pmc_serve::checkpoint::record_seq;
+use pmc_serve::protocol::Request;
+use pmc_serve::tokenhash::resume_key;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Replication state of one routed token.
+#[derive(Debug, Clone)]
+pub(crate) struct Repl {
+    /// Dirty sequence number of the copy sitting on the standby
+    /// (zero: no copy exists yet).
+    pub(crate) replicated_seq: u64,
+    /// Highest dirty sequence number ever observed on the primary.
+    /// When failover recovers a copy older than this, samples newer
+    /// than the last sync were lost and the token is flagged stale.
+    pub(crate) primary_seq: u64,
+    /// Backend index holding the copy.
+    pub(crate) standby: usize,
+}
+
+/// Wall-clock Unix milliseconds (lag gauges are cross-process, so
+/// monotonic clocks don't apply).
+pub(crate) fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Background anti-entropy thread: one round per `sync_interval`,
+/// interruptible nap in between. A zero interval disables the loop
+/// (rounds then only run through [`crate::PowerRouter::sync_now`]).
+pub(crate) fn sync_loop(shared: &Shared, stop: &AtomicBool) {
+    let interval = shared.config.sync_interval;
+    if interval.is_zero() {
+        return;
+    }
+    while !stop.load(Ordering::SeqCst) {
+        sync_round(shared);
+        let mut slept = Duration::ZERO;
+        while slept < interval && !stop.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(10).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
+}
+
+/// One full anti-entropy round over every routed token. Returns true
+/// when the round left every routed token's window replicated to its
+/// current ring standby (the "all clean" signal tests key off).
+pub(crate) fn sync_round(shared: &Shared) -> bool {
+    RouterStats::bump(&shared.stats.replication_rounds);
+    let ring = shared.ring.lock().expect("ring lock").clone();
+    let entries: Vec<(String, usize)> = shared
+        .table
+        .lock()
+        .expect("table lock")
+        .iter()
+        .map(|(t, &o)| (t.clone(), o))
+        .collect();
+    let mut by_owner: HashMap<usize, Vec<String>> = HashMap::new();
+    for (token, owner) in entries {
+        by_owner.entry(owner).or_default().push(token);
+    }
+
+    let mut all_clean = true;
+    for (owner, tokens) in by_owner {
+        if owner >= shared.backends.len() || !shared.backends[owner].is_up() {
+            all_clean = false;
+            continue;
+        }
+        let seqs = match poll_seqs(shared, owner) {
+            Ok(seqs) => seqs,
+            Err(_) => {
+                RouterStats::bump(&shared.stats.replication_errors);
+                all_clean = false;
+                continue;
+            }
+        };
+        let mut backend_clean = true;
+        for token in tokens {
+            let key = resume_key(&token);
+            // A routed token with no durable window yet (resumed but
+            // never ingested) has nothing to replicate.
+            let Some(&primary_seq) = seqs.get(&key) else {
+                continue;
+            };
+            let Some(standby) = ring.standby(key) else {
+                // Single-backend fleet: nothing to replicate onto.
+                backend_clean = false;
+                continue;
+            };
+            let dirty = {
+                let repl = shared.repl.lock().expect("repl lock");
+                repl.get(&token)
+                    .map(|r| r.replicated_seq < primary_seq || r.standby != standby)
+                    .unwrap_or(true)
+            };
+            if !dirty {
+                continue;
+            }
+            if standby == owner || !shared.backends[standby].is_up() {
+                backend_clean = false;
+                continue;
+            }
+            match replicate_one(shared, &token, owner, standby) {
+                Ok(copied_seq) => {
+                    let prev = shared.repl.lock().expect("repl lock").insert(
+                        token.clone(),
+                        Repl {
+                            replicated_seq: copied_seq,
+                            primary_seq: primary_seq.max(copied_seq),
+                            standby,
+                        },
+                    );
+                    RouterStats::bump(&shared.stats.windows_replicated);
+                    // A fresh copy exists again; the token is no
+                    // longer running on degraded (cold or stale) state
+                    // it can't recover from.
+                    shared
+                        .degraded
+                        .lock()
+                        .expect("degraded lock")
+                        .remove(&token);
+                    if let Some(prev) = prev {
+                        retire_stale_copy(shared, &token, &prev, standby, owner);
+                    }
+                }
+                Err(_) => {
+                    RouterStats::bump(&shared.stats.replication_errors);
+                    // Remember how far ahead the primary got even
+                    // though the copy failed — failover uses this to
+                    // flag staleness honestly.
+                    let mut repl = shared.repl.lock().expect("repl lock");
+                    repl.entry(token.clone())
+                        .and_modify(|r| r.primary_seq = r.primary_seq.max(primary_seq))
+                        .or_insert(Repl {
+                            replicated_seq: 0,
+                            primary_seq,
+                            standby,
+                        });
+                    backend_clean = false;
+                }
+            }
+        }
+        if backend_clean {
+            shared.backends[owner]
+                .replicated_at_ms
+                .store(unix_ms(), Ordering::Relaxed);
+        } else {
+            all_clean = false;
+        }
+    }
+    // Refresh the lag/coverage gauges with this round's outcome.
+    let _ = shared.replication_health();
+    all_clean
+}
+
+/// Polls one backend's `window_seqs`: resume-key → dirty sequence
+/// number for every durable window it holds.
+fn poll_seqs(shared: &Shared, idx: usize) -> Result<HashMap<u64, u64>, ()> {
+    let addr = &shared.backends[idx].spec.addr;
+    let mut ctl = migrate::Control::connect(addr, shared.config.probe_timeout).map_err(|_| ())?;
+    let reply = ctl.call(&Request::WindowSeqs).map_err(|_| ())?;
+    let windows = match reply.field("windows").map_err(|_| ())? {
+        pmc_json::Json::Arr(rows) => rows,
+        _ => return Err(()),
+    };
+    let mut out = HashMap::with_capacity(windows.len());
+    for row in windows {
+        let pmc_json::Json::Arr(pair) = row else {
+            return Err(());
+        };
+        let (Some(pmc_json::Json::Str(key)), Some(pmc_json::Json::Str(seq))) =
+            (pair.first(), pair.get(1))
+        else {
+            return Err(());
+        };
+        let key = u64::from_str_radix(key, 16).map_err(|_| ())?;
+        let seq = u64::from_str_radix(seq, 16).map_err(|_| ())?;
+        out.insert(key, seq);
+    }
+    Ok(out)
+}
+
+/// Copies one token's window primary → standby: export with
+/// `keep:true` (the primary keeps serving), import on the standby.
+/// Returns the dirty sequence number of the copied record.
+fn replicate_one(shared: &Shared, token: &str, owner: usize, standby: usize) -> Result<u64, ()> {
+    let record = migrate::wire_export(shared, token, owner, true)
+        .map_err(|_| ())?
+        .ok_or(())?;
+    let seq = record_seq(&record);
+    let mut ctl = migrate::Control::connect(
+        &shared.backends[standby].spec.addr,
+        shared.config.probe_timeout,
+    )
+    .map_err(|_| ())?;
+    ctl.call(&Request::MigrateImport { record })
+        .map_err(|_| ())?;
+    Ok(seq)
+}
+
+/// Best-effort cleanup of the copy left on a previous standby after
+/// the ring moved the token's standby elsewhere. Guarded so it can
+/// never touch the live primary or the fresh copy; a failure just
+/// leaves a stale record that the ring will never route to.
+fn retire_stale_copy(shared: &Shared, token: &str, prev: &Repl, standby: usize, owner: usize) {
+    if prev.replicated_seq == 0
+        || prev.standby == standby
+        || prev.standby == owner
+        || prev.standby >= shared.backends.len()
+        || !shared.backends[prev.standby].is_up()
+    {
+        return;
+    }
+    let _ = migrate::wire_export(shared, token, prev.standby, false);
+}

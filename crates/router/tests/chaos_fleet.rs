@@ -1,0 +1,570 @@
+//! Fleet failover **without shared disk**, under seeded network
+//! chaos: every router↔backend link runs through a
+//! [`pmc_faults::NetFaults`] proxy injecting latency, trickle and
+//! mid-frame connection resets (bit corruption stays off — these are
+//! bitwise tests, a flipped bit is *supposed* to change the outcome).
+//!
+//! Two scenarios:
+//!
+//! 1. **Disk loss.** A backend is SIGKILLed *and* its checkpoint file
+//!    is deleted — the shared-disk recovery lever is gone. Windows the
+//!    anti-entropy loop had replicated to their ring standby fail over
+//!    warm and bitwise identical to an uninterrupted run; a window
+//!    ingested after the last sync cold-starts with the
+//!    machine-readable `cold_start:window_not_replicated` reason.
+//! 2. **Partition + heal.** With no checkpoint files configured at
+//!    all, a full one-way-pair partition of one backend's link forces
+//!    eviction; its windows fail over warm from their replicas, the
+//!    partition heals, the backend is restored, and the windows
+//!    migrate *back* live — final estimates still bitwise identical.
+//!
+//! `CHAOS_SEED` (default 1; CI runs 1/7/42) seeds the proxies' fault
+//! plans and varies which backend is the victim, so matrix legs
+//! exercise different fault interleavings and placements.
+
+mod common;
+
+use common::{sample_for, spawn_serve, tiny_dataset, tiny_model, ServeProc};
+use pmc_faults::{ChaosPlan, NetFaults};
+use pmc_model::dataset::Dataset;
+use pmc_model::model::PowerModel;
+use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::{Estimate, ModelArtifact, PowerClient, RetryPolicy};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// The campaign plan for one backend link: seeded latency, trickle
+/// and mid-frame resets. The reset quota floor (512 bytes) spares
+/// probe exchanges so health checking stays meaningful; corruption is
+/// off because the assertions below are bitwise.
+fn chaos_plan(seed: u64, proxy_id: u64) -> ChaosPlan {
+    ChaosPlan {
+        latency_one_in: 2,
+        latency_ms: (1, 4),
+        trickle_one_in: 4,
+        reset_one_in: 6,
+        reset_after_bytes: (512, 4096),
+        ..ChaosPlan::quiet(seed, proxy_id)
+    }
+}
+
+/// Retry policy sized for the chaos campaign: resets tear connections
+/// mid-frame, so clients need more patience than the default.
+fn chaos_retry(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 8,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(200),
+        seed,
+    }
+}
+
+/// Uninterrupted in-process reference estimates for token streams
+/// (identical engine defaults → identical bits).
+fn reference_estimates(
+    model: &PowerModel,
+    data: &Dataset,
+    tokens: &[String],
+    total: usize,
+) -> Vec<Estimate> {
+    let registry = Arc::new(ModelRegistry::default());
+    registry
+        .load_and_activate(ModelArtifact::new("hsw", tiny_model()))
+        .unwrap();
+    let mut server = PowerServer::start(ServerConfig::default(), registry).unwrap();
+    let estimates = tokens
+        .iter()
+        .enumerate()
+        .map(|(t, token)| {
+            let mut c = PowerClient::connect(server.addr()).unwrap();
+            c.resume(token).unwrap();
+            let mut last = None;
+            for i in 0..total {
+                last = Some(c.ingest(&sample_for(model, data, t * 3 + i)).unwrap());
+            }
+            last.unwrap()
+        })
+        .collect();
+    server.shutdown();
+    estimates
+}
+
+/// Drives `sync_now` until a round reports every routed window
+/// replicated — under chaos individual rounds fail and are retried.
+fn sync_until_clean(router: &PowerRouter, deadline: Duration) {
+    let until = Instant::now() + deadline;
+    while !router.sync_now() {
+        assert!(
+            Instant::now() < until,
+            "anti-entropy never reached a clean round under chaos"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn write_model(dir: &std::path::Path) -> PathBuf {
+    let model_path = dir.join("model.json");
+    std::fs::write(
+        &model_path,
+        ModelArtifact::new("hsw", tiny_model()).to_json().unwrap(),
+    )
+    .unwrap();
+    model_path
+}
+
+#[test]
+fn disk_loss_failover_recovers_replicated_windows_bitwise() {
+    let seed = chaos_seed();
+    let model = tiny_model();
+    let data = tiny_dataset(24);
+    let (total, split) = (20usize, 10usize);
+    let tokens: Vec<String> = (0..6).map(|i| format!("chaos-{seed}-{i}")).collect();
+    let stream = |t: usize, i: usize| sample_for(&model, &data, t * 3 + i);
+
+    let dir = std::env::temp_dir().join(format!("pmc-chaos-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = write_model(&dir);
+    let reference = reference_estimates(&model, &data, &tokens, total);
+
+    // Three real backends, each with a checkpoint file, each reached
+    // only through its chaos proxy (data plane, probes, replication
+    // and migration all share the faulty links).
+    let ck_paths: Vec<PathBuf> = (0..3).map(|b| dir.join(format!("b{b}.ckpt"))).collect();
+    let mut procs: Vec<Option<ServeProc>> = ck_paths
+        .iter()
+        .map(|ck| Some(spawn_serve(&model_path, Some(ck))))
+        .collect();
+    let proxies: Vec<NetFaults> = (0..3)
+        .map(|b| {
+            NetFaults::start(&procs[b].as_ref().unwrap().addr, chaos_plan(seed, b as u64)).unwrap()
+        })
+        .collect();
+    let config = RouterConfig {
+        backends: (0..3)
+            .map(|b| {
+                BackendSpec::parse(&format!(
+                    "{},name=shard-{b},ckpt={}",
+                    proxies[b].addr(),
+                    ck_paths[b].display()
+                ))
+                .unwrap()
+            })
+            .collect(),
+        probe_interval: Duration::from_millis(50),
+        evict_after: 3,
+        // Deterministic replication: the test drives sync rounds
+        // itself, so "replicated" vs "not yet replicated" is exact.
+        sync_interval: Duration::ZERO,
+        ..RouterConfig::default()
+    };
+    let mut router = PowerRouter::start(config).unwrap();
+    let stats = router.stats();
+
+    // Phase 1: stream every token's head through the chaos links.
+    let mut clients: Vec<PowerClient> = tokens
+        .iter()
+        .enumerate()
+        .map(|(t, token)| {
+            let mut c = PowerClient::connect(router.addr())
+                .unwrap()
+                .with_retry(chaos_retry(seed));
+            c.resume(token).unwrap();
+            for i in 0..split {
+                c.ingest(&stream(t, i)).unwrap();
+            }
+            c
+        })
+        .collect();
+
+    // Replicate everything, then checkpoint every backend (directly,
+    // off the chaos links — the control op isn't under test).
+    sync_until_clean(&router, Duration::from_secs(30));
+    for token in &tokens {
+        let (replicated, primary) = router
+            .replication_of(token)
+            .expect("synced token has replication state");
+        assert!(
+            replicated >= split as u64,
+            "{token}: {replicated} < {split}"
+        );
+        assert_eq!(replicated, primary, "{token} left dirty by a clean round");
+    }
+    for proc in procs.iter().flatten() {
+        let mut c = PowerClient::connect(proc.addr.as_str()).unwrap();
+        c.checkpoint_now().unwrap();
+    }
+
+    let owners: Vec<usize> = tokens
+        .iter()
+        .map(|t| router.owner_of(t).expect("token routed"))
+        .collect();
+    let victim = owners[seed as usize % owners.len()];
+    let victim_tokens = owners.iter().filter(|&&o| o == victim).count();
+
+    // A late window the victim owns, ingested *after* the last sync:
+    // honestly unprotected, must cold-start with a typed reason.
+    let late = (0..)
+        .map(|k| format!("late-{seed}-{k}"))
+        .take(64)
+        .find(|t| {
+            let mut c = PowerClient::connect(router.addr())
+                .unwrap()
+                .with_retry(chaos_retry(seed ^ 0x1a7e));
+            c.resume(t).unwrap();
+            router.owner_of(t) == Some(victim)
+        })
+        .expect("some candidate token lands on the victim");
+    let mut late_client = PowerClient::connect(router.addr())
+        .unwrap()
+        .with_retry(chaos_retry(seed ^ 0xdead));
+    late_client.resume(&late).unwrap();
+    for i in 0..3 {
+        late_client.ingest(&stream(9, i)).unwrap();
+    }
+
+    // The crash: SIGKILL, then burn the checkpoint file. Recovery can
+    // only come from the standby replicas.
+    procs[victim].take().unwrap().kill_hard();
+    let _ = std::fs::remove_file(&ck_paths[victim]);
+
+    let want_moves = (victim_tokens + 1) as u64;
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let moved = stats.migrations_completed.load(Ordering::Relaxed)
+            + stats.migrations_failed.load(Ordering::Relaxed);
+        if stats.evictions.load(Ordering::Relaxed) >= 1 && moved >= want_moves {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "eviction/failover did not happen: evictions={} moved={moved} (want {want_moves})",
+            stats.evictions.load(Ordering::Relaxed)
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Replicated windows recovered warm and verified; exactly the
+    // late window was lost, with the machine-readable reason.
+    assert_eq!(stats.migrations_unverified.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.migrations_failed.load(Ordering::Relaxed), 1);
+    assert_eq!(stats.windows_lost.load(Ordering::Relaxed), 1);
+    assert_eq!(
+        router.degraded_tokens(),
+        vec![(late.clone(), "cold_start:window_not_replicated".to_string())]
+    );
+
+    // Phase 2: tails through the still-chaotic links; the acceptance
+    // bar is bitwise identity with the uninterrupted run.
+    let finals: Vec<Estimate> = clients
+        .iter_mut()
+        .enumerate()
+        .map(|(t, c)| {
+            let mut last = None;
+            for i in split..total {
+                last = Some(c.ingest(&stream(t, i)).unwrap());
+            }
+            last.unwrap()
+        })
+        .collect();
+    for ((token, reference), resumed) in tokens.iter().zip(&reference).zip(&finals) {
+        assert_eq!(
+            resumed.power_w.to_bits(),
+            reference.power_w.to_bits(),
+            "{token}: power_w diverged across disk-loss failover"
+        );
+        assert_eq!(
+            resumed.window_power_w.to_bits(),
+            reference.window_power_w.to_bits(),
+            "{token}: window_power_w diverged across disk-loss failover"
+        );
+        assert_eq!(resumed.samples_in_window, reference.samples_in_window);
+    }
+
+    // The degraded token really cold-started: its window holds only
+    // the post-crash samples.
+    let mut cold = None;
+    for i in 3..5 {
+        cold = Some(late_client.ingest(&stream(9, i)).unwrap());
+    }
+    let cold = cold.unwrap();
+    assert_eq!(
+        cold.samples_in_window, 2,
+        "unreplicated window failed over warm — it must not have"
+    );
+
+    // The readiness/metrics surface tells the same story.
+    let mut c = PowerClient::connect(router.addr()).unwrap();
+    let r = c.readyz().unwrap();
+    let degraded = r.arr_field("degraded_tokens").unwrap();
+    assert_eq!(degraded.len(), 1);
+    assert_eq!(degraded[0].str_field("token").unwrap(), late);
+    let body = c.metrics().unwrap();
+    assert!(body.contains("pmc_router_windows_lost 1\n"), "{body}");
+    let replicated = stats.windows_replicated.load(Ordering::Relaxed);
+    assert!(replicated >= 6, "only {replicated} windows replicated");
+
+    let faults: Vec<_> = proxies.iter().map(|p| p.counters()).collect();
+    eprintln!("chaos seed {seed}: injected per link: {faults:?}");
+    router.shutdown();
+    for mut proxy in proxies {
+        proxy.shutdown();
+    }
+    for proc in procs.into_iter().flatten() {
+        proc.shutdown_clean();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Measurement probe, not an assertion suite: numbers for the
+/// EXPERIMENTS.md replication/failover entry. Run explicitly with
+/// `cargo test -p pmc-router --test chaos_fleet --release -- --ignored --nocapture`.
+#[test]
+#[ignore = "measurement probe; run with --ignored to collect numbers"]
+fn measure_failover_and_replication_overhead() {
+    let seed = chaos_seed();
+    let model = tiny_model();
+    let data = tiny_dataset(24);
+    let tokens: Vec<String> = (0..6).map(|i| format!("meas-{seed}-{i}")).collect();
+    let per_token = 200usize;
+
+    let dir = std::env::temp_dir().join(format!("pmc-meas-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = write_model(&dir);
+
+    // One streaming pass through a fresh 3-backend fleet; returns
+    // (ingest wall time, failover time from SIGKILL to last victim
+    // window migrated).
+    let run = |sync_interval: Duration| -> (Duration, Duration) {
+        let mut procs: Vec<Option<ServeProc>> = (0..3)
+            .map(|_| Some(spawn_serve(&model_path, None)))
+            .collect();
+        let config = RouterConfig {
+            backends: (0..3)
+                .map(|b| {
+                    BackendSpec::parse(&format!(
+                        "{},name=shard-{b}",
+                        procs[b].as_ref().unwrap().addr
+                    ))
+                    .unwrap()
+                })
+                .collect(),
+            probe_interval: Duration::from_millis(50),
+            evict_after: 2,
+            sync_interval,
+            ..RouterConfig::default()
+        };
+        let mut router = PowerRouter::start(config).unwrap();
+        let stats = router.stats();
+
+        let streamed = Instant::now();
+        let mut clients: Vec<PowerClient> = tokens
+            .iter()
+            .map(|token| {
+                let mut c = PowerClient::connect(router.addr())
+                    .unwrap()
+                    .with_retry(chaos_retry(seed));
+                c.resume(token).unwrap();
+                c
+            })
+            .collect();
+        for i in 0..per_token {
+            for (t, c) in clients.iter_mut().enumerate() {
+                c.ingest(&sample_for(&model, &data, t * 3 + i)).unwrap();
+            }
+        }
+        let ingest_wall = streamed.elapsed();
+
+        let failover = if sync_interval.is_zero() {
+            Duration::ZERO
+        } else {
+            sync_until_clean(&router, Duration::from_secs(30));
+            let owners: Vec<usize> = tokens.iter().map(|t| router.owner_of(t).unwrap()).collect();
+            let victim = owners[seed as usize % owners.len()];
+            let victim_tokens = owners.iter().filter(|&&o| o == victim).count() as u64;
+            let killed = Instant::now();
+            procs[victim].take().unwrap().kill_hard();
+            loop {
+                if stats.evictions.load(Ordering::Relaxed) >= 1
+                    && stats.migrations_completed.load(Ordering::Relaxed) >= victim_tokens
+                {
+                    break killed.elapsed();
+                }
+                assert!(killed.elapsed() < Duration::from_secs(30), "no failover");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        router.shutdown();
+        for proc in procs.into_iter().flatten() {
+            proc.shutdown_clean();
+        }
+        (ingest_wall, failover)
+    };
+
+    let (base, _) = run(Duration::ZERO);
+    let (with_sync, failover) = run(Duration::from_millis(25));
+    let n = (tokens.len() * per_token) as f64;
+    eprintln!(
+        "replication off: {:.1} ms ingest wall ({:.0} req/s)",
+        base.as_secs_f64() * 1e3,
+        n / base.as_secs_f64()
+    );
+    eprintln!(
+        "replication 25ms: {:.1} ms ingest wall ({:.0} req/s, {:+.1}%)",
+        with_sync.as_secs_f64() * 1e3,
+        n / with_sync.as_secs_f64(),
+        (with_sync.as_secs_f64() / base.as_secs_f64() - 1.0) * 100.0
+    );
+    eprintln!(
+        "failover (SIGKILL -> last victim window warm on standby): {:.0} ms",
+        failover.as_secs_f64() * 1e3
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn partition_failover_serves_from_replica_then_heals() {
+    let seed = chaos_seed();
+    let model = tiny_model();
+    let data = tiny_dataset(24);
+    let tokens: Vec<String> = (0..4).map(|i| format!("part-{seed}-{i}")).collect();
+    let stream = |t: usize, i: usize| sample_for(&model, &data, t * 3 + i);
+    let reference = reference_estimates(&model, &data, &tokens, 20);
+
+    let dir = std::env::temp_dir().join(format!("pmc-part-{seed}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = write_model(&dir);
+
+    // No checkpoint files anywhere: durability rests entirely on
+    // standby replication. Quiet proxies — the fault under test is
+    // the partition toggle, not seeded noise.
+    let procs: Vec<ServeProc> = (0..3).map(|_| spawn_serve(&model_path, None)).collect();
+    let proxies: Vec<NetFaults> = (0..3)
+        .map(|b| NetFaults::start(&procs[b].addr, ChaosPlan::quiet(seed, b as u64)).unwrap())
+        .collect();
+    let config = RouterConfig {
+        backends: (0..3)
+            .map(|b| BackendSpec::parse(&format!("{},name=shard-{b}", proxies[b].addr())).unwrap())
+            .collect(),
+        probe_interval: Duration::from_millis(50),
+        probe_timeout: Duration::from_millis(150),
+        evict_after: 2,
+        sync_interval: Duration::ZERO,
+        ..RouterConfig::default()
+    };
+    let mut router = PowerRouter::start(config).unwrap();
+    let stats = router.stats();
+
+    let mut clients: Vec<PowerClient> = tokens
+        .iter()
+        .enumerate()
+        .map(|(t, token)| {
+            let mut c = PowerClient::connect(router.addr())
+                .unwrap()
+                .with_retry(chaos_retry(seed));
+            c.resume(token).unwrap();
+            for i in 0..7 {
+                c.ingest(&stream(t, i)).unwrap();
+            }
+            c
+        })
+        .collect();
+    sync_until_clean(&router, Duration::from_secs(10));
+
+    let owners: Vec<usize> = tokens
+        .iter()
+        .map(|t| router.owner_of(t).expect("token routed"))
+        .collect();
+    let victim = owners[seed as usize % owners.len()];
+    let victim_tokens = owners.iter().filter(|&&o| o == victim).count() as u64;
+
+    // Partition the victim's link both ways: probes blackhole, the
+    // prober evicts, and failover must come from the replicas — there
+    // is no checkpoint file to fall back to.
+    proxies[victim].partition(true);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let moved = stats.migrations_completed.load(Ordering::Relaxed);
+        if stats.evictions.load(Ordering::Relaxed) >= 1 && moved >= victim_tokens {
+            break;
+        }
+        assert!(Instant::now() < deadline, "partition did not evict");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(stats.migrations_failed.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.migrations_unverified.load(Ordering::Relaxed), 0);
+    assert!(router.degraded_tokens().is_empty());
+
+    // Serve through the partition: warm windows, correct bits.
+    for (t, c) in clients.iter_mut().enumerate() {
+        for i in 7..14 {
+            c.ingest(&stream(t, i)).unwrap();
+        }
+    }
+
+    // Heal. The prober restores the victim and live-migrates its ring
+    // share back (two-phase export/import/verify over the wire).
+    proxies[victim].partition(false);
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let back = tokens
+            .iter()
+            .zip(&owners)
+            .all(|(t, &o)| router.owner_of(t) == Some(o));
+        if stats.restores.load(Ordering::Relaxed) >= 1 && back {
+            break;
+        }
+        assert!(Instant::now() < deadline, "heal did not restore ownership");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(stats.migrations_failed.load(Ordering::Relaxed), 0);
+    assert_eq!(stats.migrations_unverified.load(Ordering::Relaxed), 0);
+
+    // Tails land on the healed backend; bits must still match the
+    // uninterrupted run across failover *and* fail-back.
+    let finals: Vec<Estimate> = clients
+        .iter_mut()
+        .enumerate()
+        .map(|(t, c)| {
+            let mut last = None;
+            for i in 14..20 {
+                last = Some(c.ingest(&stream(t, i)).unwrap());
+            }
+            last.unwrap()
+        })
+        .collect();
+    for ((token, reference), resumed) in tokens.iter().zip(&reference).zip(&finals) {
+        assert_eq!(
+            resumed.power_w.to_bits(),
+            reference.power_w.to_bits(),
+            "{token}: power_w diverged across partition failover + heal"
+        );
+        assert_eq!(
+            resumed.window_power_w.to_bits(),
+            reference.window_power_w.to_bits(),
+            "{token}: window_power_w diverged across partition failover + heal"
+        );
+        assert_eq!(resumed.samples_in_window, reference.samples_in_window);
+    }
+    assert_eq!(stats.windows_lost.load(Ordering::Relaxed), 0);
+    assert!(router.degraded_tokens().is_empty());
+
+    router.shutdown();
+    for mut proxy in proxies {
+        proxy.shutdown();
+    }
+    for proc in procs {
+        proc.shutdown_clean();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

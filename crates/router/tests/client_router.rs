@@ -1,0 +1,93 @@
+//! Client backoff against a **real router**, not a mock: a router
+//! whose fleet is entirely down answers data-plane requests with a
+//! typed overload carrying its `retry_after_ms` hint (a token with no
+//! usable owner mid-failover looks exactly the same). These tests pin
+//! the client contract for that case:
+//!
+//! 1. the circuit breaker's jittered open window is floored at the
+//!    router's hint — the half-open probe never goes back before the
+//!    router said there was any point;
+//! 2. in-place retries sleep at least the hint between attempts.
+//!
+//! They live in the router crate because the serve crate cannot
+//! depend on the router (it's the dependency the other way); the unit
+//! tests in `pmc-serve::client` cover the same logic against
+//! synthetic errors, these cover it against real wire frames.
+
+use pmc_router::{PowerRouter, RouterConfig};
+use pmc_serve::{BreakerPolicy, PowerClient, RetryPolicy, ServeError};
+use std::time::{Duration, Instant};
+
+/// A router with zero usable backends: every data-plane request is
+/// refused with `overloaded` and this hint.
+fn overloaded_router(retry_after_ms: u64) -> PowerRouter {
+    PowerRouter::start(RouterConfig {
+        retry_after_ms,
+        ..RouterConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn breaker_open_window_is_floored_at_the_router_hint() {
+    let mut router = overloaded_router(400);
+    // A cooldown far below the hint: without the floor, the breaker
+    // would re-admit (and fail) the half-open probe almost instantly.
+    let mut c = PowerClient::connect(router.addr())
+        .unwrap()
+        .with_breaker(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(2),
+            max_cooldown: Duration::from_millis(8),
+            seed: 7,
+        });
+    match c.resume("nobody-owns-me") {
+        Err(ServeError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 400),
+        other => panic!("expected the router's typed overload, got {other:?}"),
+    }
+    // The breaker tripped on that refusal; its open window must cover
+    // the router's hint, not just the (tiny, jittered) cooldown.
+    match c.resume("nobody-owns-me") {
+        Err(ServeError::CircuitOpen { retry_in_ms }) => assert!(
+            retry_in_ms > 300,
+            "open window {retry_in_ms}ms ignores the 400ms router hint"
+        ),
+        other => panic!("expected fail-fast with the breaker open, got {other:?}"),
+    }
+    // And it stays open across the whole hint: a probe halfway
+    // through would still find nothing routable.
+    std::thread::sleep(Duration::from_millis(150));
+    assert!(
+        matches!(
+            c.resume("nobody-owns-me"),
+            Err(ServeError::CircuitOpen { .. })
+        ),
+        "breaker re-admitted a probe before the router's hint elapsed"
+    );
+    router.shutdown();
+}
+
+#[test]
+fn in_place_retries_sleep_at_least_the_router_hint() {
+    let mut router = overloaded_router(80);
+    // Retry delays far below the hint: the hint must floor them.
+    let mut c = PowerClient::connect(router.addr())
+        .unwrap()
+        .with_retry(RetryPolicy {
+            max_retries: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(4),
+            seed: 11,
+        });
+    let started = Instant::now();
+    match c.resume("nobody-owns-me") {
+        Err(ServeError::Overloaded { retry_after_ms }) => assert_eq!(retry_after_ms, 80),
+        other => panic!("expected exhausted retries to surface the overload, got {other:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(160),
+        "two retries against an 80ms hint finished in {elapsed:?}"
+    );
+    router.shutdown();
+}

@@ -1,0 +1,149 @@
+//! Shared fixtures for the fleet-level integration tests: the
+//! synthetic linear model (estimates reproducible to machine epsilon
+//! across processes), and real `pmc-serve` child processes.
+#![allow(dead_code)]
+
+use pmc_events::PapiEvent;
+use pmc_model::dataset::{Dataset, SampleRow};
+use pmc_model::model::PowerModel;
+use pmc_serve::CounterSample;
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+
+/// Same synthetic fixture as the serve crate's tests: power exactly
+/// linear in three event rates, so estimates are reproducible to
+/// machine epsilon across processes.
+pub fn tiny_dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+        let f = freq_mhz as f64 / 1000.0;
+        let v = 0.492857 + 0.214286 * f;
+        let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
+            .map(|j| ((31 * i + 17 * j + i * i * (j + 3)) % 97) as f64 / 9700.0)
+            .collect();
+        rates[PapiEvent::PRF_DM.index()] = 0.001 + 0.00002 * (i as f64);
+        rates[PapiEvent::TOT_CYC.index()] = 0.2 + 0.01 * ((i * 7 % 13) as f64);
+        rates[PapiEvent::TLB_IM.index()] = 0.0005 + 0.00001 * ((i * 5 % 11) as f64);
+        let v2f = v * v * f;
+        let power = 5000.0 * rates[PapiEvent::PRF_DM.index()] * v2f
+            + 120.0 * rates[PapiEvent::TOT_CYC.index()] * v2f
+            + 900.0 * rates[PapiEvent::TLB_IM.index()] * v2f
+            + 20.0 * v2f
+            + 40.0 * v
+            + 70.0;
+        rows.push(SampleRow {
+            workload_id: (i % 8) as u32,
+            workload: format!("w{}", i % 8),
+            suite: "roco2".into(),
+            phase: "main".into(),
+            threads: 24,
+            freq_mhz,
+            duration_s: 1.0,
+            voltage: v,
+            power,
+            rates,
+        });
+    }
+    Dataset::from_rows(rows)
+}
+
+pub fn tiny_model() -> PowerModel {
+    PowerModel::fit(
+        &tiny_dataset(40),
+        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC, PapiEvent::TLB_IM],
+    )
+    .expect("well-posed synthetic fit")
+}
+
+pub fn sample_for(model: &PowerModel, data: &Dataset, i: usize) -> CounterSample {
+    let row = &data.rows()[i % data.rows().len()];
+    let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
+    CounterSample {
+        time_ns: (i as u64 + 1) * 250_000_000,
+        duration_s: row.duration_s,
+        freq_mhz: row.freq_mhz,
+        voltage: row.voltage,
+        deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
+        missing: vec![],
+    }
+}
+
+/// `CARGO_BIN_EXE_*` only covers the defining package, so the serve
+/// binary is found next to our own (same target dir), overridable
+/// with `PMC_SERVE_BIN` — CI builds it explicitly first.
+pub fn serve_bin() -> PathBuf {
+    if let Ok(path) = std::env::var("PMC_SERVE_BIN") {
+        return PathBuf::from(path);
+    }
+    let me = PathBuf::from(env!("CARGO_BIN_EXE_pmc-router"));
+    let sibling = me
+        .parent()
+        .expect("binary has a parent dir")
+        .join(format!("pmc-serve{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        sibling.exists(),
+        "pmc-serve not found at {}; run `cargo build -p pmc-serve` first or set PMC_SERVE_BIN",
+        sibling.display()
+    );
+    sibling
+}
+
+/// A running `pmc-serve serve` child plus the stdin handle keeping it
+/// alive and the parsed ephemeral address it bound.
+pub struct ServeProc {
+    pub child: Child,
+    pub stdin: Option<ChildStdin>,
+    pub addr: String,
+}
+
+/// Spawns a backend; `ck_path: None` runs it without any checkpoint
+/// file (durability then rests entirely on standby replication).
+pub fn spawn_serve(model_path: &Path, ck_path: Option<&Path>) -> ServeProc {
+    let mut args = vec![
+        "serve".to_string(),
+        "--addr".into(),
+        "127.0.0.1:0".into(),
+        "--model".into(),
+        model_path.to_str().unwrap().into(),
+    ];
+    if let Some(ck) = ck_path {
+        args.push("--checkpoint".into());
+        args.push(ck.to_str().unwrap().into());
+        args.push("--checkpoint-interval-ms".into());
+        args.push("0".into());
+    }
+    let mut child = Command::new(serve_bin())
+        .args(&args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn pmc-serve");
+    let stdin = child.stdin.take();
+    let stdout = child.stdout.take().expect("stdout piped");
+    let mut lines = BufReader::new(stdout).lines();
+    let first = lines
+        .next()
+        .expect("server must print its address")
+        .expect("readable stdout");
+    let addr = first
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {first}"))
+        .to_string();
+    ServeProc { child, stdin, addr }
+}
+
+impl ServeProc {
+    /// SIGKILL — no drain, no final checkpoint, the real crash.
+    pub fn kill_hard(mut self) {
+        self.child.kill().expect("kill -9");
+        let _ = self.child.wait();
+    }
+
+    pub fn shutdown_clean(mut self) {
+        drop(self.stdin.take());
+        let _ = self.child.wait();
+    }
+}

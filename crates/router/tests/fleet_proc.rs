@@ -14,151 +14,17 @@
 //! population and which backend gets killed, so different matrix legs
 //! exercise different placements and migration sets.
 
-use pmc_events::PapiEvent;
-use pmc_model::dataset::{Dataset, SampleRow};
-use pmc_model::model::PowerModel;
+mod common;
+
+use common::{sample_for, spawn_serve, tiny_dataset, tiny_model, ServeProc};
 use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
 use pmc_serve::registry::ModelRegistry;
 use pmc_serve::server::{PowerServer, ServerConfig};
-use pmc_serve::{CounterSample, Estimate, ModelArtifact, PowerClient, RetryPolicy, ServeError};
-use std::io::{BufRead, BufReader};
-use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, Command, Stdio};
+use pmc_serve::{Estimate, ModelArtifact, PowerClient, RetryPolicy, ServeError};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// Same synthetic fixture as the serve crate's tests: power exactly
-/// linear in three event rates, so estimates are reproducible to
-/// machine epsilon across processes.
-fn tiny_dataset(n: usize) -> Dataset {
-    let mut rows = Vec::with_capacity(n);
-    for i in 0..n {
-        let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
-        let f = freq_mhz as f64 / 1000.0;
-        let v = 0.492857 + 0.214286 * f;
-        let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
-            .map(|j| ((31 * i + 17 * j + i * i * (j + 3)) % 97) as f64 / 9700.0)
-            .collect();
-        rates[PapiEvent::PRF_DM.index()] = 0.001 + 0.00002 * (i as f64);
-        rates[PapiEvent::TOT_CYC.index()] = 0.2 + 0.01 * ((i * 7 % 13) as f64);
-        rates[PapiEvent::TLB_IM.index()] = 0.0005 + 0.00001 * ((i * 5 % 11) as f64);
-        let v2f = v * v * f;
-        let power = 5000.0 * rates[PapiEvent::PRF_DM.index()] * v2f
-            + 120.0 * rates[PapiEvent::TOT_CYC.index()] * v2f
-            + 900.0 * rates[PapiEvent::TLB_IM.index()] * v2f
-            + 20.0 * v2f
-            + 40.0 * v
-            + 70.0;
-        rows.push(SampleRow {
-            workload_id: (i % 8) as u32,
-            workload: format!("w{}", i % 8),
-            suite: "roco2".into(),
-            phase: "main".into(),
-            threads: 24,
-            freq_mhz,
-            duration_s: 1.0,
-            voltage: v,
-            power,
-            rates,
-        });
-    }
-    Dataset::from_rows(rows)
-}
-
-fn tiny_model() -> PowerModel {
-    PowerModel::fit(
-        &tiny_dataset(40),
-        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC, PapiEvent::TLB_IM],
-    )
-    .expect("well-posed synthetic fit")
-}
-
-fn sample_for(model: &PowerModel, data: &Dataset, i: usize) -> CounterSample {
-    let row = &data.rows()[i % data.rows().len()];
-    let avail = 24.0 * row.freq_mhz as f64 * 1e6 * row.duration_s;
-    CounterSample {
-        time_ns: (i as u64 + 1) * 250_000_000,
-        duration_s: row.duration_s,
-        freq_mhz: row.freq_mhz,
-        voltage: row.voltage,
-        deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
-        missing: vec![],
-    }
-}
-
-/// `CARGO_BIN_EXE_*` only covers the defining package, so the serve
-/// binary is found next to our own (same target dir), overridable
-/// with `PMC_SERVE_BIN` — CI builds it explicitly first.
-fn serve_bin() -> PathBuf {
-    if let Ok(path) = std::env::var("PMC_SERVE_BIN") {
-        return PathBuf::from(path);
-    }
-    let me = PathBuf::from(env!("CARGO_BIN_EXE_pmc-router"));
-    let sibling = me
-        .parent()
-        .expect("binary has a parent dir")
-        .join(format!("pmc-serve{}", std::env::consts::EXE_SUFFIX));
-    assert!(
-        sibling.exists(),
-        "pmc-serve not found at {}; run `cargo build -p pmc-serve` first or set PMC_SERVE_BIN",
-        sibling.display()
-    );
-    sibling
-}
-
-/// A running `pmc-serve serve` child plus the stdin handle keeping it
-/// alive and the parsed ephemeral address it bound.
-struct ServeProc {
-    child: Child,
-    stdin: Option<ChildStdin>,
-    addr: String,
-}
-
-fn spawn_serve(model_path: &Path, ck_path: &Path) -> ServeProc {
-    let mut child = Command::new(serve_bin())
-        .args([
-            "serve",
-            "--addr",
-            "127.0.0.1:0",
-            "--model",
-            model_path.to_str().unwrap(),
-            "--checkpoint",
-            ck_path.to_str().unwrap(),
-            "--checkpoint-interval-ms",
-            "0",
-        ])
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null())
-        .spawn()
-        .expect("spawn pmc-serve");
-    let stdin = child.stdin.take();
-    let stdout = child.stdout.take().expect("stdout piped");
-    let mut lines = BufReader::new(stdout).lines();
-    let first = lines
-        .next()
-        .expect("server must print its address")
-        .expect("readable stdout");
-    let addr = first
-        .strip_prefix("listening on ")
-        .unwrap_or_else(|| panic!("unexpected banner: {first}"))
-        .to_string();
-    ServeProc { child, stdin, addr }
-}
-
-impl ServeProc {
-    /// SIGKILL — no drain, no final checkpoint, the real crash.
-    fn kill_hard(mut self) {
-        self.child.kill().expect("kill -9");
-        let _ = self.child.wait();
-    }
-
-    fn shutdown_clean(mut self) {
-        drop(self.stdin.take());
-        let _ = self.child.wait();
-    }
-}
 
 fn fleet_seed() -> u64 {
     std::env::var("FLEET_SEED")
@@ -218,7 +84,7 @@ fn sigkill_evict_migrate_keeps_every_estimate_bitwise() {
     let ck_paths: Vec<PathBuf> = (0..3).map(|b| dir.join(format!("b{b}.ckpt"))).collect();
     let mut procs: Vec<Option<ServeProc>> = ck_paths
         .iter()
-        .map(|ck| Some(spawn_serve(&model_path, ck)))
+        .map(|ck| Some(spawn_serve(&model_path, Some(ck))))
         .collect();
     let config = RouterConfig {
         backends: (0..3)

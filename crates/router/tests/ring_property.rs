@@ -109,6 +109,93 @@ fn routing_is_stable_across_restarts() {
     }
 }
 
+fn replica_sets(ring: &HashRing, toks: &[String]) -> Vec<(Option<usize>, Option<usize>)> {
+    toks.iter().map(|t| ring.replicas(resume_key(t))).collect()
+}
+
+#[test]
+fn replica_sets_land_on_distinct_backends() {
+    let toks = tokens(0xabad, 2000);
+    for n in 2..=7 {
+        let backends = names(n);
+        let r = ring(&backends, |_| true);
+        for (tok, (primary, standby)) in toks.iter().zip(replica_sets(&r, &toks)) {
+            let primary = primary.expect("non-empty ring always has a primary");
+            let standby = standby.expect("two usable backends always yield a standby");
+            assert_ne!(
+                primary, standby,
+                "token {tok} replicated onto its own primary with {n} backends"
+            );
+        }
+    }
+}
+
+#[test]
+fn standby_assignment_is_restart_stable() {
+    let backends = names(6);
+    let toks = tokens(0x57a8, 2000);
+    // Independently built rings — a router restart — agree on every
+    // standby, including with a member evicted.
+    for usable in [
+        (|_: usize| true) as fn(usize) -> bool,
+        (|idx: usize| idx != 2) as fn(usize) -> bool,
+    ] {
+        let a = ring(&backends, usable);
+        let b = ring(&backends, usable);
+        assert_eq!(replica_sets(&a, &toks), replica_sets(&b, &toks));
+    }
+}
+
+#[test]
+fn membership_change_remaps_minimal_standby_fraction() {
+    let toks = tokens(0x5eed, 2000);
+    let five = names(5);
+    let six = names(6);
+    let before = replica_sets(&ring(&five, |_| true), &toks);
+
+    // Addition: a standby may move only to the newcomer (when it
+    // lands between primary and old standby, or steals the primary
+    // slot itself); standbys never shuffle between incumbents.
+    let after = replica_sets(&ring(&six, |_| true), &toks);
+    let mut standby_moved = 0usize;
+    for ((pb, sb), (pa, sa)) in before.iter().zip(&after) {
+        if sa == sb {
+            continue;
+        }
+        standby_moved += 1;
+        assert!(
+            *pa == Some(5) || *sa == Some(5),
+            "standby moved between incumbents on addition: {pb:?}/{sb:?} -> {pa:?}/{sa:?}"
+        );
+    }
+    // Primary steals ≈ 1/6 and standby inserts ≈ 1/6; well under half
+    // the population may change standby, most must not.
+    assert!(
+        (150..=900).contains(&standby_moved),
+        "addition moved {standby_moved}/2000 standbys"
+    );
+
+    // Removal: tokens whose replica set didn't involve the victim
+    // keep both assignments bitwise.
+    let victim = 1usize;
+    let degraded = replica_sets(&ring(&five, |idx| idx != victim), &toks);
+    let mut touched = 0usize;
+    for ((pb, sb), (pa, sa)) in before.iter().zip(&degraded) {
+        if *pb == Some(victim) || *sb == Some(victim) {
+            touched += 1;
+            assert_ne!(*pa, Some(victim));
+            assert_ne!(*sa, Some(victim));
+        } else {
+            assert_eq!((pb, sb), (pa, sa), "uninvolved token's replica set moved");
+        }
+    }
+    // Victim appears in ≈ 2/5 of replica sets (primary or standby).
+    assert!(
+        (500..=1200).contains(&touched),
+        "removal touched {touched}/2000 replica sets"
+    );
+}
+
 #[test]
 fn ownership_is_reasonably_balanced() {
     let backends = names(4);

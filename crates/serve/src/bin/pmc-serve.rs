@@ -29,9 +29,10 @@
 //! written atomically and recovered on startup. With `--checkpoint
 //! PATH` the engine's durable (resumed-token) client windows survive
 //! crashes too: they are snapshotted every `--checkpoint-interval-ms`
-//! (default 5000; 0 = only on drain) and restored warm on the next
-//! start — a torn or corrupt checkpoint is quarantined and reported,
-//! never fatal.
+//! (default 5000; 0 = only on drain; each wait is jittered ±20% so a
+//! co-started fleet doesn't snapshot in lockstep) and restored warm on
+//! the next start — a torn or corrupt checkpoint is quarantined and
+//! reported, never fatal.
 //!
 //! `chaos` is a self-contained fault-tolerance demo: it trains a model
 //! on the simulated machine, serves it on an ephemeral port, streams

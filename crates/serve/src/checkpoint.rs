@@ -140,6 +140,7 @@ pub fn encode_client_record(snap: &ClientSnapshot) -> Json {
                 .map(Estimate::to_json_value)
                 .unwrap_or(Json::Null),
         ),
+        ("seq", hex_u64(snap.dirty_seq)),
     ])
 }
 
@@ -180,6 +181,13 @@ pub fn decode_client_record(v: &Json) -> Result<ClientSnapshot, ServeError> {
         Json::Null => None,
         other => Estimate::from_json_value(other).ok(),
     };
+    // Absent in records written before replication existed: those
+    // windows restore with a zero sequence and the next ingest moves
+    // it, so old checkpoints stay loadable.
+    let dirty_seq = match v.field("seq") {
+        Ok(raw) => parse_hex_u64(raw)?,
+        Err(_) => 0,
+    };
     Ok(ClientSnapshot {
         client: parse_hex_u64(v.field("key")?)?,
         model_id: parse_model_id(v.field("model")?)?,
@@ -187,7 +195,19 @@ pub fn decode_client_record(v: &Json) -> Result<ClientSnapshot, ServeError> {
         last_rates,
         last_voltage,
         last,
+        dirty_seq,
     })
+}
+
+/// Reads the dirty sequence number straight off an encoded client
+/// record without decoding the whole snapshot — what a replicator
+/// needs to compare the freshness of two copies of the same window.
+pub fn record_seq(record: &Json) -> u64 {
+    record
+        .field("seq")
+        .ok()
+        .and_then(|raw| parse_hex_u64(raw).ok())
+        .unwrap_or(0)
 }
 
 /// Serializes a checkpoint to its full file content (header + payload).
@@ -315,6 +335,7 @@ mod tests {
                         model: "hsw".into(),
                         version: 3,
                     }),
+                    dirty_seq: 0x1_0000_0003,
                 },
                 ClientSnapshot {
                     client: 2,
@@ -323,6 +344,7 @@ mod tests {
                     last_rates: vec![],
                     last_voltage: None,
                     last: None,
+                    dirty_seq: 0,
                 },
             ],
         }
@@ -346,6 +368,7 @@ mod tests {
             let rate_bits: Vec<_> = x.last_rates.iter().map(bits_opt).collect();
             let other_bits: Vec<_> = y.last_rates.iter().map(bits_opt).collect();
             assert_eq!(rate_bits, other_bits);
+            assert_eq!(x.dirty_seq, y.dirty_seq);
         }
     }
 
@@ -361,6 +384,22 @@ mod tests {
         assert_data_eq(&data, &decoded);
         // Encoding is deterministic (stable checkpoint bytes).
         assert_eq!(encoded, encode_checkpoint(&decoded));
+    }
+
+    #[test]
+    fn record_without_seq_field_decodes_as_zero() {
+        // Pre-replication records carry no "seq"; they must stay
+        // loadable and report sequence 0 both ways.
+        let mut record = encode_client_record(&sample_data().clients[0]);
+        if let Json::Obj(fields) = &mut record {
+            fields.retain(|(k, _)| k != "seq");
+        }
+        assert_eq!(record_seq(&record), 0);
+        let snap = decode_client_record(&record).unwrap();
+        assert_eq!(snap.dirty_seq, 0);
+        // And a present field reads back exactly.
+        let full = encode_client_record(&sample_data().clients[0]);
+        assert_eq!(record_seq(&full), 0x1_0000_0003);
     }
 
     #[test]

@@ -149,16 +149,25 @@ impl Breaker {
 
     /// Records a failure; only overload/timeout failures count toward
     /// tripping. A failed half-open probe re-opens immediately.
-    fn on_failure(&mut self, counts: bool) {
+    /// `floor_ms` is the server's `retry_after_ms` hint, if the
+    /// failure carried one: a router refusing a token with no usable
+    /// owner (mid-failover) answers with exactly that hint, and a
+    /// jittered cooldown shorter than it would send the half-open
+    /// probe back before the server said there was any point.
+    fn on_failure(&mut self, counts: bool, floor_ms: Option<u64>) {
         if !counts {
             return;
         }
         self.consecutive += 1;
         if self.half_open || self.consecutive >= self.policy.failure_threshold {
             // Jittered open window in [0.5, 1.5)·cooldown so a fleet
-            // of breakers doesn't probe in lockstep.
+            // of breakers doesn't probe in lockstep — but never
+            // shorter than the server's own retry hint.
             let jitter = splitmix_next(&mut self.rng) as f64 / u64::MAX as f64;
-            let window = self.next_cooldown.mul_f64(0.5 + jitter);
+            let mut window = self.next_cooldown.mul_f64(0.5 + jitter);
+            if let Some(ms) = floor_ms {
+                window = window.max(Duration::from_millis(ms));
+            }
             self.open_until = Some(Instant::now() + window);
             self.next_cooldown = (self.next_cooldown * 2).min(self.policy.max_cooldown);
             self.half_open = false;
@@ -168,7 +177,7 @@ impl Breaker {
 
 /// One step of the splitmix64 sequence — the same generator the
 /// simulator uses, inlined so the client crate stays dependency-light.
-fn splitmix_next(state: &mut u64) -> u64 {
+pub(crate) fn splitmix_next(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -364,7 +373,11 @@ impl PowerClient {
                 Err(e) => {
                     let counts = Self::counts_for_breaker(&e);
                     if let Some(b) = self.breaker.as_mut() {
-                        b.on_failure(counts);
+                        let hint = match &e {
+                            ServeError::Overloaded { retry_after_ms } => Some(*retry_after_ms),
+                            _ => None,
+                        };
+                        b.on_failure(counts, hint);
                     }
                     let mode = match &e {
                         ServeError::Overloaded { retry_after_ms } => {
@@ -660,12 +673,12 @@ mod tests {
             seed: 7,
         });
         // Non-counting failures never trip.
-        b.on_failure(false);
-        b.on_failure(false);
+        b.on_failure(false, None);
+        b.on_failure(false, None);
         assert!(b.admit().is_ok());
         // Two counting failures trip it.
-        b.on_failure(true);
-        b.on_failure(true);
+        b.on_failure(true, None);
+        b.on_failure(true, None);
         let retry_in = b.admit().unwrap_err();
         assert!(retry_in >= 1);
         // After the cooldown it half-opens (admits one probe)…
@@ -673,7 +686,7 @@ mod tests {
         assert!(b.admit().is_ok());
         assert!(b.half_open);
         // …and a failed probe re-opens with a doubled cooldown.
-        b.on_failure(true);
+        b.on_failure(true, None);
         assert!(b.admit().is_err());
         assert_eq!(b.next_cooldown, Duration::from_millis(80));
         // A successful probe closes and resets.
@@ -683,6 +696,42 @@ mod tests {
         assert!(b.admit().is_ok());
         assert_eq!(b.next_cooldown, Duration::from_millis(20));
         assert_eq!(b.consecutive, 0);
+    }
+
+    #[test]
+    fn breaker_open_window_honors_the_overload_hint_floor() {
+        // A 2ms cooldown with jitter in [0.5, 1.5) opens for at most
+        // 3ms — but the overload frame said 60ms. The breaker must
+        // stay open at least that long.
+        let mut b = Breaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(2),
+            max_cooldown: Duration::from_millis(100),
+            seed: 11,
+        });
+        b.on_failure(true, Some(60));
+        let retry_in = b.admit().unwrap_err();
+        assert!(
+            retry_in >= 40,
+            "open window {retry_in}ms ignored the 60ms hint"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(
+            b.admit().is_err(),
+            "probed before the server's hint elapsed"
+        );
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(b.admit().is_ok());
+        // Without a hint the short cooldown is honored as-is.
+        let mut b2 = Breaker::new(BreakerPolicy {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(2),
+            max_cooldown: Duration::from_millis(100),
+            seed: 11,
+        });
+        b2.on_failure(true, None);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b2.admit().is_ok());
     }
 
     #[test]

@@ -218,6 +218,12 @@ struct ClientState {
     /// reports NaN or zero.
     last_voltage: Option<f64>,
     last: Option<Estimate>,
+    /// Monotone per-window modification counter, bumped on every
+    /// ingest. Replication compares this against the last sequence it
+    /// drained to decide whether a window is dirty, so anti-entropy
+    /// costs one integer compare per clean window instead of a full
+    /// record diff.
+    dirty_seq: u64,
 }
 
 /// Output of the prepare half of ingestion: the (possibly substituted)
@@ -248,6 +254,8 @@ pub struct ClientSnapshot {
     pub last_voltage: Option<f64>,
     /// The last estimate served.
     pub last: Option<Estimate>,
+    /// Modification counter at export time (see [`ClientState`]).
+    pub dirty_seq: u64,
 }
 
 /// How many locks the client map is split across. Connection ids are
@@ -465,10 +473,18 @@ impl EstimatorEngine {
         };
         let mut clients = Self::lock(self.shard(client));
         let state = clients.entry(client).or_default();
+        // A retry after a lost response re-sends the same sample; the
+        // recompute is deterministic, so replacing the entry (instead
+        // of stacking a duplicate) keeps the window bitwise identical
+        // to a run where the first response arrived.
+        if state.window.back().map(|&(t, _)| t) == Some(sample.time_ns) {
+            state.window.pop_back();
+        }
         state.window.push_back((sample.time_ns, power));
         while state.window.len() > self.config.window.max(1) {
             state.window.pop_front();
         }
+        state.dirty_seq += 1;
         let window_power_w =
             state.window.iter().map(|(_, p)| p).sum::<f64>() / state.window.len() as f64;
         let est = Estimate {
@@ -527,6 +543,7 @@ impl EstimatorEngine {
                     last_rates: state.last_rates.clone(),
                     last_voltage: state.last_voltage,
                     last: state.last.clone(),
+                    dirty_seq: state.dirty_seq,
                 });
             }
         }
@@ -553,10 +570,27 @@ impl EstimatorEngine {
                 last_rates: snap.last_rates,
                 last_voltage: snap.last_voltage,
                 last: snap.last,
+                dirty_seq: snap.dirty_seq,
             };
             Self::lock(self.shard(snap.client)).insert(snap.client, state);
         }
         n
+    }
+
+    /// `(client, dirty_seq)` for every client for which `keep` is
+    /// true, sorted by client key. This is the cheap anti-entropy
+    /// poll: a replicator compares sequence numbers against what it
+    /// last drained and only exports windows that moved.
+    pub fn client_seqs(&self, keep: impl Fn(u64) -> bool) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let clients = Self::lock(shard);
+            for (&client, state) in clients.iter().filter(|(&c, _)| keep(c)) {
+                out.push((client, state.dirty_seq));
+            }
+        }
+        out.sort_unstable();
+        out
     }
 }
 
@@ -1026,6 +1060,7 @@ mod tests {
             last_rates: vec![None; 3],
             last_voltage: Some(1.0),
             last: None,
+            dirty_seq: 10,
         };
         eng.restore_clients(vec![snap]);
         let exported = eng.export_clients(|_| true);
@@ -1048,6 +1083,53 @@ mod tests {
             .map(|s| s.client)
             .collect();
         assert_eq!(keys, vec![2, 33, 50]);
+    }
+
+    #[test]
+    fn dirty_seq_counts_ingests_and_survives_restore() {
+        let eng = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(3);
+        for (i, row) in data.rows().iter().enumerate() {
+            let s = sample_from_row(row, &a, i as u64 + 1);
+            eng.ingest(5, &s, &a).unwrap();
+        }
+        assert_eq!(eng.client_seqs(|_| true), vec![(5, 3)]);
+        let snaps = eng.export_clients(|_| true);
+        assert_eq!(snaps[0].dirty_seq, 3);
+        let cold = engine();
+        cold.restore_clients(snaps);
+        assert_eq!(cold.client_seqs(|_| true), vec![(5, 3)]);
+        // The counter keeps moving after restore, never resets.
+        let s = sample_from_row(&data.rows()[0], &a, 9);
+        cold.ingest(5, &s, &a).unwrap();
+        assert_eq!(cold.client_seqs(|_| true), vec![(5, 4)]);
+    }
+
+    #[test]
+    fn duplicate_timestamp_reingest_is_idempotent() {
+        // A client retry after a lost response re-sends the sample the
+        // server already applied. The window must end up bitwise
+        // identical to a run where the duplicate never happened.
+        let eng = engine();
+        let dup = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(6);
+        for (i, row) in data.rows().iter().enumerate() {
+            let s = sample_from_row(row, &a, (i as u64 + 1) * 100);
+            let clean = eng.ingest(3, &s, &a).unwrap();
+            dup.ingest(3, &s, &a).unwrap();
+            let retried = dup.ingest(3, &s, &a).unwrap(); // retry
+            assert_eq!(clean.power_w.to_bits(), retried.power_w.to_bits());
+            assert_eq!(
+                clean.window_power_w.to_bits(),
+                retried.window_power_w.to_bits()
+            );
+            assert_eq!(clean.samples_in_window, retried.samples_in_window);
+        }
+        let a_snap = eng.export_clients(|_| true);
+        let b_snap = dup.export_clients(|_| true);
+        assert_eq!(a_snap[0].window, b_snap[0].window);
     }
 
     #[test]

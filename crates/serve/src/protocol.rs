@@ -265,6 +265,12 @@ pub enum Request {
         /// The checkpoint record produced by a `migrate_export`.
         record: Json,
     },
+    /// `(key, dirty_seq)` for every durable (token-keyed) window on
+    /// this server. The replication anti-entropy poll: a router
+    /// compares sequence numbers against its last drain and exports
+    /// only the windows that moved, instead of copying every window
+    /// every round.
+    WindowSeqs,
 }
 
 impl Request {
@@ -317,6 +323,7 @@ impl Request {
                 ("op", Json::from("migrate_import")),
                 ("record", record.clone()),
             ]),
+            Request::WindowSeqs => Json::obj(vec![("op", Json::from("window_seqs"))]),
         }
     }
 
@@ -376,6 +383,7 @@ impl Request {
             "migrate_import" => Ok(Request::MigrateImport {
                 record: v.field("record")?.clone(),
             }),
+            "window_seqs" => Ok(Request::WindowSeqs),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
             }),
@@ -506,6 +514,7 @@ mod tests {
         roundtrip(Request::MigrateImport {
             record: Json::obj(vec![("key", Json::from("8000000000000001"))]),
         });
+        roundtrip(Request::WindowSeqs);
     }
 
     #[test]

@@ -513,6 +513,20 @@ impl Service {
                     ("key", Json::from(format!("{key:016x}").as_str())),
                 ]))
             }
+            Request::WindowSeqs => {
+                let windows = self
+                    .engine
+                    .client_seqs(|c| c & RESUME_KEY_BIT != 0)
+                    .into_iter()
+                    .map(|(key, seq)| {
+                        Json::Arr(vec![
+                            Json::from(format!("{key:016x}").as_str()),
+                            Json::from(format!("{seq:016x}").as_str()),
+                        ])
+                    })
+                    .collect();
+                Ok(Json::obj(vec![("windows", Json::Arr(windows))]))
+            }
         }
     }
 
@@ -1044,6 +1058,11 @@ fn supervise(
     let mut consecutive = vec![0u32; n];
     let mut spawned_at = vec![spawner.started_at; n];
     let mut last_checkpoint = Instant::now();
+    // Per-process jitter seed: a fleet of processes started together
+    // must not snapshot in lockstep (and stall together), so each
+    // process draws its own checkpoint cadence.
+    let mut ckpt_rng = std::process::id() as u64 ^ unix_ms() ^ 0x9E37_79B9_7F4A_7C15;
+    let mut ckpt_due = jittered_interval(cfg.checkpoint_interval, &mut ckpt_rng);
     let tick = Duration::from_millis(25);
     loop {
         match exit_rx.recv_timeout(tick) {
@@ -1098,12 +1117,15 @@ fn supervise(
         service.stats.workers_stuck.store(stuck, Ordering::Relaxed);
 
         // Periodic checkpoint (the drain-time one is the core's job).
+        // Each wait is the configured interval ±20%, redrawn per
+        // write, so co-started fleet members drift apart.
         if cfg.checkpoint_path.is_some()
             && !cfg.checkpoint_interval.is_zero()
-            && last_checkpoint.elapsed() >= cfg.checkpoint_interval
+            && last_checkpoint.elapsed() >= ckpt_due
         {
             let _ = service.write_checkpoint_now();
             last_checkpoint = Instant::now();
+            ckpt_due = jittered_interval(cfg.checkpoint_interval, &mut ckpt_rng);
         }
 
         if stop.load(Ordering::SeqCst) {
@@ -1117,6 +1139,17 @@ fn supervise(
             return;
         }
     }
+}
+
+/// `base` scaled by a uniform factor in `[0.8, 1.2)` — the ±20%
+/// checkpoint-cadence jitter. Zero (periodic checkpointing disabled)
+/// passes through unchanged.
+fn jittered_interval(base: Duration, rng: &mut u64) -> Duration {
+    if base.is_zero() {
+        return base;
+    }
+    let unit = crate::client::splitmix_next(rng) as f64 / u64::MAX as f64;
+    base.mul_f64(0.8 + 0.4 * unit)
 }
 
 /// Executes assembled runs of queued requests. Each worker drains the
@@ -1770,6 +1803,68 @@ mod tests {
             ..ServerConfig::default()
         };
         PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_jitter_stays_within_twenty_percent() {
+        let base = Duration::from_millis(1000);
+        let mut rng = 42u64;
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let d = jittered_interval(base, &mut rng);
+            assert!(d >= Duration::from_millis(800), "{d:?} below -20%");
+            assert!(d < Duration::from_millis(1200), "{d:?} above +20%");
+            distinct.insert(d.as_nanos());
+        }
+        assert!(distinct.len() > 900, "jitter not actually varying");
+        // Disabled periodic checkpointing stays disabled.
+        assert!(jittered_interval(Duration::ZERO, &mut rng).is_zero());
+    }
+
+    #[test]
+    fn window_seqs_reports_durable_windows() {
+        let mut server = started(2, 8);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        let m = tiny_model();
+        request(
+            &mut c,
+            &Request::LoadModel {
+                name: "hsw".into(),
+                model: m.to_json_value(),
+                activate: true,
+            },
+        )
+        .unwrap();
+        // No durable windows yet.
+        let r = request(&mut c, &Request::WindowSeqs).unwrap();
+        assert!(r.arr_field("windows").unwrap().is_empty());
+        // Bind a durable identity and ingest twice.
+        request(
+            &mut c,
+            &Request::Resume {
+                token: "seq-probe".into(),
+            },
+        )
+        .unwrap();
+        let sample = |t: u64| crate::engine::CounterSample {
+            time_ns: t,
+            duration_s: 0.25,
+            freq_mhz: 2000,
+            voltage: 0.9,
+            deltas: vec![1.0e9; m.events.len()],
+            missing: vec![],
+        };
+        request(&mut c, &Request::Ingest(sample(1))).unwrap();
+        request(&mut c, &Request::Ingest(sample(2))).unwrap();
+        let r = request(&mut c, &Request::WindowSeqs).unwrap();
+        let windows = r.arr_field("windows").unwrap();
+        assert_eq!(windows.len(), 1);
+        let pair = windows[0].as_arr().unwrap();
+        let key = u64::from_str_radix(pair[0].as_str().unwrap(), 16).unwrap();
+        let seq = u64::from_str_radix(pair[1].as_str().unwrap(), 16).unwrap();
+        assert_eq!(key, crate::tokenhash::resume_key("seq-probe"));
+        assert_eq!(seq, 2);
+        server.shutdown();
     }
 
     #[test]
