@@ -19,7 +19,12 @@
 //! * **one-way partition** — a runtime toggle per direction that
 //!   blackholes bytes (reads and discards, connection stays open),
 //!   the classic asymmetric-partition shape that FIN-based failures
-//!   never produce.
+//!   never produce,
+//! * **brownout** — a runtime toggle that delays *every* chunk (both
+//!   directions) by a seeded duration, but only on connections past a
+//!   byte floor. Fresh short exchanges — health probes — sail
+//!   through untouched while established data connections crawl: the
+//!   gray-failure shape that readiness probing cannot see.
 //!
 //! Every per-connection decision derives from
 //! `(seed, proxy_id, connection_sequence, direction)` with
@@ -67,6 +72,15 @@ pub struct ChaosPlan {
     /// Odds that one connection has a single bit flipped. Must stay 0
     /// in bitwise end-to-end tests.
     pub corrupt_one_in: u64,
+    /// Per-chunk delay range (milliseconds, inclusive-exclusive)
+    /// applied while the brownout toggle is on. `(0, 1)` makes the
+    /// toggle inert.
+    pub brownout_ms: (u64, u64),
+    /// Bytes a connection direction must have forwarded before the
+    /// brownout touches it. Keep this above the size of a probe
+    /// exchange: that gap — probes fast, data slow — is the whole
+    /// point of the fault.
+    pub brownout_after_bytes: u64,
 }
 
 impl ChaosPlan {
@@ -82,6 +96,8 @@ impl ChaosPlan {
             reset_one_in: 0,
             reset_after_bytes: (256, 4096),
             corrupt_one_in: 0,
+            brownout_ms: (0, 1),
+            brownout_after_bytes: 512,
         }
     }
 
@@ -108,6 +124,8 @@ impl ChaosPlan {
             trickle,
             reset_after,
             corrupt_at,
+            brownout_ms: self.brownout_ms,
+            brownout_after_bytes: self.brownout_after_bytes,
             rng,
         }
     }
@@ -126,6 +144,10 @@ pub struct ConnPlan {
     pub reset_after: Option<u64>,
     /// Flip bit `.1` of the byte at stream offset `.0`.
     pub corrupt_at: Option<(u64, u8)>,
+    /// Per-chunk delay range while the brownout toggle is on.
+    pub brownout_ms: (u64, u64),
+    /// Byte floor below which the brownout spares this direction.
+    pub brownout_after_bytes: u64,
     rng: SplitMix64,
 }
 
@@ -142,6 +164,8 @@ pub struct NetFaultCounters {
     pub corrupted_bytes: u64,
     /// Bytes silently discarded by an active one-way partition.
     pub blackholed_bytes: u64,
+    /// Chunks slowed by an active brownout.
+    pub browned_chunks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -151,6 +175,7 @@ struct Counters {
     delayed_chunks: AtomicU64,
     corrupted_bytes: AtomicU64,
     blackholed_bytes: AtomicU64,
+    browned_chunks: AtomicU64,
 }
 
 struct ProxyState {
@@ -161,6 +186,9 @@ struct ProxyState {
     block_to_upstream: AtomicBool,
     /// Blackhole upstream → client bytes (responses vanish).
     block_to_client: AtomicBool,
+    /// Slow every established connection (both directions) per the
+    /// plan's brownout range; probes stay fast.
+    brownout_on: AtomicBool,
     counters: Counters,
 }
 
@@ -187,6 +215,7 @@ impl NetFaults {
             stop: AtomicBool::new(false),
             block_to_upstream: AtomicBool::new(false),
             block_to_client: AtomicBool::new(false),
+            brownout_on: AtomicBool::new(false),
             counters: Counters::default(),
         });
         let workers = Arc::new(Mutex::new(Vec::new()));
@@ -227,6 +256,15 @@ impl NetFaults {
         self.partition_to_client(blocked);
     }
 
+    /// Toggles the brownout: while on, every chunk on a connection
+    /// direction past the plan's byte floor is delayed by a seeded
+    /// duration from `brownout_ms`. Fresh short exchanges — health
+    /// probes — stay under the floor and sail through, which is what
+    /// makes this a *gray* failure rather than an outage.
+    pub fn set_brownout(&self, on: bool) {
+        self.state.brownout_on.store(on, Ordering::SeqCst);
+    }
+
     /// Snapshot of what this proxy has injected so far.
     pub fn counters(&self) -> NetFaultCounters {
         let c = &self.state.counters;
@@ -236,6 +274,7 @@ impl NetFaults {
             delayed_chunks: c.delayed_chunks.load(Ordering::Relaxed),
             corrupted_bytes: c.corrupted_bytes.load(Ordering::Relaxed),
             blackholed_bytes: c.blackholed_bytes.load(Ordering::Relaxed),
+            browned_chunks: c.browned_chunks.load(Ordering::Relaxed),
         }
     }
 
@@ -369,6 +408,20 @@ fn pump(
                 .delayed_chunks
                 .fetch_add(1, Ordering::Relaxed);
             std::thread::sleep(Duration::from_millis(ms));
+        }
+        if seen >= plan.brownout_after_bytes && state.brownout_on.load(Ordering::SeqCst) {
+            // Sustained brownout: every chunk crawls, on both
+            // directions — but only past the byte floor, so probe
+            // exchanges on fresh connections never feel it.
+            let (lo, hi) = plan.brownout_ms;
+            let ms = lo + plan.rng.next_u64() % hi.saturating_sub(lo).max(1);
+            if ms > 0 {
+                state
+                    .counters
+                    .browned_chunks
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(ms));
+            }
         }
         seen += n as u64;
         let wrote = if plan.trickle {
@@ -556,6 +609,52 @@ mod tests {
             .unwrap();
         s.read_exact(&mut buf).unwrap();
         assert_eq!(&buf, b"back");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn brownout_slows_established_connections_but_spares_probes() {
+        let echo = Echo::start();
+        let mut plan = ChaosPlan::quiet(19, 0);
+        plan.brownout_ms = (40, 41);
+        plan.brownout_after_bytes = 64;
+        let mut proxy = NetFaults::start(&echo.addr.to_string(), plan).unwrap();
+        proxy.set_brownout(true);
+        // A fresh short exchange — the shape of a health probe —
+        // stays under the byte floor and is never delayed.
+        let started = std::time::Instant::now();
+        assert_eq!(roundtrip(proxy.addr(), b"probe").unwrap(), b"probe");
+        assert!(
+            started.elapsed() < Duration::from_millis(40),
+            "probe-sized exchange was browned"
+        );
+        assert_eq!(proxy.counters().browned_chunks, 0);
+        // An established connection past the floor crawls…
+        let mut s = TcpStream::connect(proxy.addr()).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+        let payload = [0x2au8; 128];
+        let mut got = [0u8; 128];
+        s.write_all(&payload).unwrap();
+        s.read_exact(&mut got).unwrap();
+        let started = std::time::Instant::now();
+        s.write_all(&payload).unwrap();
+        s.read_exact(&mut got).unwrap();
+        assert!(
+            started.elapsed() >= Duration::from_millis(40),
+            "established connection felt no brownout"
+        );
+        assert!(proxy.counters().browned_chunks >= 1);
+        // …until the toggle heals it, same connection.
+        proxy.set_brownout(false);
+        let before = proxy.counters().browned_chunks;
+        let started = std::time::Instant::now();
+        s.write_all(&payload).unwrap();
+        s.read_exact(&mut got).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_millis(40),
+            "brownout survived the heal"
+        );
+        assert_eq!(proxy.counters().browned_chunks, before);
         proxy.shutdown();
     }
 

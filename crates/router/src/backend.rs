@@ -61,6 +61,13 @@ impl BackendSpec {
     }
 }
 
+/// Smoothing factor of the per-backend latency/error EWMAs. 0.2
+/// means ~16 samples to converge within 3% of a level shift — fast
+/// enough to catch a brownout within one probe interval of normal
+/// traffic, slow enough that one stray slow request can't eject a
+/// healthy backend.
+const EWMA_ALPHA: f64 = 0.2;
+
 /// Live per-backend state shared between the core, the prober and
 /// metrics. Counters are relaxed — observability, not synchronization.
 #[derive(Debug)]
@@ -83,6 +90,21 @@ pub struct Backend {
     /// standby. Zero until the first complete round; the replication
     /// lag gauge is `now - replicated_at_ms`.
     pub replicated_at_ms: AtomicU64,
+    /// EWMA of relayed-request latency in microseconds, stored as
+    /// `f64` bits. Zero until the first sample. Fed by the core's
+    /// relay path; read by the outlier detector and the scrape.
+    pub ewma_latency_us: AtomicU64,
+    /// EWMA of the per-relay error indicator (1 = the upstream broke
+    /// mid-request, 0 = a response landed), stored as `f64` bits.
+    pub ewma_error: AtomicU64,
+    /// Latency samples folded into the EWMA so far — the outlier
+    /// detector refuses to judge a backend on thin evidence.
+    pub latency_samples: AtomicU64,
+    /// Whether the outlier detector has soft-ejected this backend:
+    /// it keeps its ring share (writes still land, ownership does not
+    /// move — this is *not* the prober's hard eviction), but estimate
+    /// reads on fully-synced tokens are served from the standby.
+    pub ejected: AtomicBool,
 }
 
 impl Backend {
@@ -95,12 +117,67 @@ impl Backend {
             evictions: AtomicU64::new(0),
             upstream_failures: AtomicU64::new(0),
             replicated_at_ms: AtomicU64::new(0),
+            ewma_latency_us: AtomicU64::new(0),
+            ewma_error: AtomicU64::new(0),
+            latency_samples: AtomicU64::new(0),
+            ejected: AtomicBool::new(false),
         }
     }
 
     /// Whether the backend currently takes traffic.
     pub fn is_up(&self) -> bool {
         self.up.load(Ordering::Relaxed)
+    }
+
+    /// Whether the outlier detector has soft-ejected this backend.
+    pub fn is_ejected(&self) -> bool {
+        self.ejected.load(Ordering::Relaxed)
+    }
+
+    /// Folds `x` into an `f64`-bits EWMA cell (first sample seeds it).
+    fn fold(cell: &AtomicU64, x: f64) {
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            let prev = f64::from_bits(bits);
+            let next = if bits == 0 {
+                x
+            } else {
+                prev + EWMA_ALPHA * (x - prev)
+            };
+            Some(next.to_bits())
+        });
+    }
+
+    /// Records one completed relay through this backend: folds its
+    /// latency into the EWMA and decays the error rate toward zero.
+    pub fn record_latency_us(&self, us: f64) {
+        Self::fold(&self.ewma_latency_us, us.max(1.0));
+        Self::fold(&self.ewma_error, 0.0);
+        self.latency_samples.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one relay that ended with the upstream breaking.
+    pub fn record_relay_error(&self) {
+        Self::fold(&self.ewma_error, 1.0);
+    }
+
+    /// Current latency EWMA, microseconds (0.0 = no samples yet).
+    pub fn latency_ewma_us(&self) -> f64 {
+        f64::from_bits(self.ewma_latency_us.load(Ordering::Relaxed))
+    }
+
+    /// Current error-rate EWMA in `[0, 1]`.
+    pub fn error_ewma(&self) -> f64 {
+        f64::from_bits(self.ewma_error.load(Ordering::Relaxed))
+    }
+
+    /// Clears the gray-failure score. Called on hard eviction: a
+    /// restored backend must earn a fresh score, not inherit the one
+    /// that predated its outage.
+    pub fn reset_gray_score(&self) {
+        self.ewma_latency_us.store(0, Ordering::Relaxed);
+        self.ewma_error.store(0, Ordering::Relaxed);
+        self.latency_samples.store(0, Ordering::Relaxed);
+        self.ejected.store(false, Ordering::Relaxed);
     }
 }
 
@@ -123,6 +200,30 @@ mod tests {
         assert_eq!(b.name, "b0");
         assert_eq!(b.weight, 3);
         assert_eq!(b.checkpoint, Some(PathBuf::from("/tmp/b0.ckpt")));
+    }
+
+    #[test]
+    fn ewma_tracks_latency_and_error_rate() {
+        let b = Backend::new(BackendSpec::parse("127.0.0.1:7717").unwrap());
+        assert_eq!(b.latency_ewma_us(), 0.0);
+        b.record_latency_us(1000.0);
+        assert_eq!(b.latency_ewma_us(), 1000.0, "first sample seeds the EWMA");
+        for _ in 0..50 {
+            b.record_latency_us(5000.0);
+        }
+        let e = b.latency_ewma_us();
+        assert!(
+            (4900.0..=5000.0).contains(&e),
+            "EWMA should converge to the sustained level, got {e}"
+        );
+        assert_eq!(b.latency_samples.load(Ordering::Relaxed), 51);
+        assert!(b.error_ewma() < 1e-4, "successes decay the error rate");
+        b.record_relay_error();
+        assert!(b.error_ewma() > 0.1, "an error moves the rate up");
+        b.reset_gray_score();
+        assert_eq!(b.latency_ewma_us(), 0.0);
+        assert_eq!(b.latency_samples.load(Ordering::Relaxed), 0);
+        assert!(!b.is_ejected());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //!                    [--evict-after N] [--max-conns N] [--retry-after-ms N]
 //!                    [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]
 //!                    [--sync-interval-ms N]
+//!                    [--no-hedge] [--hedge-after-ms N]
+//!                    [--outlier-factor F] [--outlier-min-samples N] [--readmit-after N]
+//!                    [--retry-budget-ratio F] [--retry-budget-burst N]
 //! pmc-router readyz  --addr A
 //! pmc-router metrics --addr A
 //! ```
@@ -21,9 +24,20 @@
 //! loop replicating dirty windows to their ring standby (default 200;
 //! 0 disables replication). `readyz` prints the router's readiness
 //! report and exits nonzero when it is not ready — including the
-//! typed `no_backends` reason when every backend is down and
+//! typed `no_backends` reason when every backend is down,
 //! `no_standby:<name>` when a backend's windows have no live second
-//! copy. `metrics` prints the Prometheus exposition.
+//! copy, and `gray_degraded:<name>` when the outlier detector has
+//! soft-ejected a browned-out backend. `metrics` prints the
+//! Prometheus exposition.
+//!
+//! Gray-failure knobs: `--no-hedge` turns hedged reads off;
+//! `--hedge-after-ms` fixes the hedge delay (default: derived from
+//! the primary's latency EWMA). `--outlier-factor` is the multiple of
+//! the fleet-median latency EWMA past which a backend is soft-ejected
+//! (judged only after `--outlier-min-samples` relay samples);
+//! `--readmit-after` healthy passes re-admit it.
+//! `--retry-budget-ratio`/`--retry-budget-burst` bound hedge
+//! amplification per client connection.
 
 use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
 use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
@@ -47,6 +61,11 @@ fn main() -> ExitCode {
             );
             eprintln!("                          [--read-timeout-ms N] [--write-timeout-ms N] [--idle-timeout-ms N]");
             eprintln!("                          [--sync-interval-ms N]");
+            eprintln!("                          [--no-hedge] [--hedge-after-ms N]");
+            eprintln!("                          [--outlier-factor F] [--outlier-min-samples N] [--readmit-after N]");
+            eprintln!(
+                "                          [--retry-budget-ratio F] [--retry-budget-burst N]"
+            );
             eprintln!("       pmc-router readyz  --addr A");
             eprintln!("       pmc-router metrics --addr A");
             eprintln!();
@@ -127,6 +146,30 @@ fn route(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(t) = ms_flag("--idle-timeout-ms")? {
         config.idle_timeout = t;
+    }
+    // Gray-failure defense knobs.
+    if args.iter().any(|a| a == "--no-hedge") {
+        config.hedge_reads = false;
+    }
+    // 0 restores the dynamic (EWMA-derived) hedge delay.
+    if let Some(ms) = flag_value(args, "--hedge-after-ms") {
+        let ms: u64 = ms.parse()?;
+        config.hedge_after = (ms > 0).then(|| Duration::from_millis(ms));
+    }
+    if let Some(f) = flag_value(args, "--outlier-factor") {
+        config.outlier_factor = f.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--outlier-min-samples") {
+        config.outlier_min_samples = n.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--readmit-after") {
+        config.readmit_after = n.parse()?;
+    }
+    if let Some(f) = flag_value(args, "--retry-budget-ratio") {
+        config.retry_budget_ratio = f.parse()?;
+    }
+    if let Some(n) = flag_value(args, "--retry-budget-burst") {
+        config.retry_budget_burst = n.parse()?;
     }
 
     let mut router = PowerRouter::start(config)?;

@@ -24,15 +24,45 @@
 //!
 //! ## Health and eviction
 //!
-//! A **prober thread** polls every backend's `readyz` on an interval.
-//! [`RouterConfig::evict_after`] consecutive failures evict the
-//! backend: it leaves the ring, its tokens are remapped, and their
+//! A **prober thread** polls every backend's `readyz` on a jittered
+//! interval. [`RouterConfig::evict_after`] consecutive failures evict
+//! the backend: it leaves the ring, its tokens are remapped, and their
 //! windows are migrated from its checkpoint file (crash) or drained
 //! live over `migrate_export` (still answering but not ready). A
 //! recovered backend rejoins the ring and the token share it regains
 //! is migrated back the same way. `healthz`/`readyz`/`metrics` are
 //! answered inline by the router core — they work with zero usable
 //! backends, which is exactly when you need them.
+//!
+//! ## Gray-failure defense
+//!
+//! Probes only catch backends that *admit* to being sick. A browned-
+//! out backend — slow on the data path but answering `readyz` in
+//! time — passes every probe while wrecking tail latency. Three
+//! mechanisms close that gap:
+//!
+//! * **Deadline propagation.** A client-stamped `deadline_ms` budget
+//!   is decremented by the router's hop cost before relaying; frames
+//!   whose budget cannot survive the hop are refused inline with a
+//!   typed `deadline_exceeded`, so retries never exceed the caller's
+//!   original patience and doomed work never reaches a backend.
+//! * **Outlier ejection.** The relay path feeds per-backend latency
+//!   and error EWMAs; each prober round compares every scored backend
+//!   against the fleet median and **soft-ejects** outliers
+//!   ([`RouterConfig::outlier_factor`]). Soft ejection is a distinct
+//!   ring state from the prober's hard eviction: the backend keeps
+//!   its ring share and its writes (no migration churn), but estimate
+//!   reads on tokens whose standby replica is fully synced are served
+//!   from the standby instead. Sustained recovery re-admits it.
+//! * **Hedged reads with a retry budget.** An estimate on a synced
+//!   token that has waited past the hedge delay (fixed, or dynamic
+//!   from the primary's latency EWMA) fires a second copy to the ring
+//!   standby; the first answer wins and is relayed, and when both
+//!   land they are compared bitwise (a mismatch bumps a counter — the
+//!   primary stays authoritative). Hedges spend from a per-connection
+//!   token bucket refilled by completed requests
+//!   ([`RouterConfig::retry_budget_ratio`]), so a brownout can never
+//!   amplify load by more than the configured fraction.
 
 use crate::backend::{Backend, BackendSpec};
 use crate::error::RouterError;
@@ -42,12 +72,12 @@ use crate::stats::RouterStats;
 use crate::sync::{self, Repl};
 use pmc_json::Json;
 use pmc_serve::protocol::{
-    encode_frame, error_response, ok_response, parse_frame, read_frame, unwrap_response,
-    write_frame, FrameError, Request, MAX_FRAME_BYTES,
+    encode_frame, error_response, frame_deadline_ms, ok_response, parse_frame, read_frame,
+    unwrap_response, with_deadline_ms, write_frame, FrameError, Request, MAX_FRAME_BYTES,
 };
 use pmc_serve::tokenhash::{fnv1a, resume_key};
 use pmc_serve::ServeError;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +117,31 @@ pub struct RouterConfig {
     /// background loop (replication then only happens through
     /// [`PowerRouter::sync_now`]).
     pub sync_interval: Duration,
+    /// Whether estimate reads on fully-synced tokens may hedge to the
+    /// ring standby.
+    pub hedge_reads: bool,
+    /// Fixed delay before an estimate read hedges to the standby.
+    /// `None` derives the delay dynamically from the primary's
+    /// latency EWMA (≈ p95: three times the mean, clamped to
+    /// [2 ms, 250 ms]).
+    pub hedge_after: Option<Duration>,
+    /// A scored backend whose latency EWMA exceeds the fleet median
+    /// by this factor (or whose error-rate EWMA crosses one half) is
+    /// soft-ejected.
+    pub outlier_factor: f64,
+    /// Latency samples a backend must accumulate before the outlier
+    /// detector will judge it — no ejections on thin evidence.
+    pub outlier_min_samples: u64,
+    /// Consecutive healthy outlier passes before a soft-ejected
+    /// backend is re-admitted.
+    pub readmit_after: u32,
+    /// Retry-budget earn rate: fraction of a hedge earned back per
+    /// completed request on the connection (0.1 caps sustained hedge
+    /// amplification at 10%).
+    pub retry_budget_ratio: f64,
+    /// Retry-budget burst: whole hedges a fresh connection may fire
+    /// before the earn rate becomes the binding constraint.
+    pub retry_budget_burst: u32,
 }
 
 impl Default for RouterConfig {
@@ -104,9 +159,29 @@ impl Default for RouterConfig {
             write_timeout: Some(Duration::from_secs(10)),
             idle_timeout: Some(Duration::from_secs(60)),
             sync_interval: Duration::from_millis(200),
+            hedge_reads: true,
+            hedge_after: None,
+            outlier_factor: 3.0,
+            outlier_min_samples: 16,
+            readmit_after: 3,
+            retry_budget_ratio: 0.1,
+            retry_budget_burst: 3,
         }
     }
 }
+
+/// Milliseconds the router charges a relayed frame's deadline budget
+/// for its own hop: a conservative floor (dispatch itself runs in
+/// microseconds) so a budget the hop would consume is refused at the
+/// router instead of wasting a backend round trip on a reply the
+/// client has already given up on.
+const ROUTER_HOP_COST_MS: u64 = 1;
+
+/// Most answered-but-unresolved hedge races a connection may carry
+/// (late loser copies still draining). The cap bounds router memory
+/// against a primary that answers arbitrarily slower than the
+/// standby; past it, the next request waits for the primary.
+const MAX_PENDING_RACES: usize = 8;
 
 /// State shared between the core thread, the prober and metrics.
 pub(crate) struct Shared {
@@ -231,6 +306,12 @@ impl Shared {
                 // the fleet regains redundancy.
                 reasons.push(format!("no_standby:{}", b.spec.name));
             }
+            if b.is_up() && b.is_ejected() {
+                // Gray failure in progress: the backend passes probes
+                // but the outlier detector has its reads on the
+                // standby. Traffic still flows — degraded, not down.
+                reasons.push(format!("gray_degraded:{}", b.spec.name));
+            }
         }
         let owned = self.tokens_owned();
         let backends: Vec<Json> = self
@@ -247,6 +328,7 @@ impl Shared {
                     ("tokens_owned", Json::from(tokens)),
                     ("replication_lag_ms", Json::from(lag)),
                     ("has_standby", Json::Bool(has_standby)),
+                    ("gray_degraded", Json::Bool(b.is_ejected())),
                 ])
             })
             .collect();
@@ -315,6 +397,8 @@ impl Shared {
                     tokens,
                     lag,
                     has_standby,
+                    b.latency_ewma_us().round() as u64,
+                    b.is_ejected(),
                 )
             })
             .collect();
@@ -338,6 +422,50 @@ struct Upstream {
     swallow: u32,
 }
 
+/// One relayed request's lifecycle, kept until every copy of its
+/// response has landed — the late loser of a hedge race included, so
+/// the two answers can be compared bitwise.
+struct Pending {
+    /// Backend index the primary relay went to.
+    primary: usize,
+    /// Relay start: the latency-EWMA sample and the hedge timer.
+    started: Instant,
+    /// The exact bytes relayed to the primary, retained only while a
+    /// hedge may re-send them verbatim to the standby.
+    raw: Vec<u8>,
+    /// Standby eligible for a hedged copy (estimate on a synced
+    /// token), decided at dispatch time.
+    hedge_to: Option<usize>,
+    /// The hedge decision has been made — fired, budget-denied, or
+    /// never eligible. Either way, stop re-arming the timer.
+    hedge_decided: bool,
+    /// When the hedged copy was actually sent: the standby's latency
+    /// sample starts here, not at `started` — the hedge delay is the
+    /// primary's slowness, and must never be scored against the
+    /// standby that bailed the request out.
+    hedge_fired: Option<Instant>,
+    /// The fired hedge's one-shot upstream to the standby.
+    hedge_up: Option<Upstream>,
+    /// First complete answer, already relayed to the client; retained
+    /// to cross-check the late copy bitwise.
+    answered: Option<Vec<u8>>,
+    /// The primary upstream still owes this request a response frame.
+    primary_owes: bool,
+}
+
+impl Pending {
+    /// Every copy landed (or was abandoned): safe to forget.
+    fn resolved(&self) -> bool {
+        self.answered.is_some() && !self.primary_owes && self.hedge_up.is_none()
+    }
+
+    /// Unanswered with no upstream left to answer it: the client's
+    /// request is unrecoverable on this connection.
+    fn doomed(&self) -> bool {
+        self.answered.is_none() && !self.primary_owes && self.hedge_up.is_none()
+    }
+}
+
 /// Per-client-connection state owned by the core thread.
 struct Conn {
     stream: TcpStream,
@@ -345,9 +473,13 @@ struct Conn {
     /// The durable identity this connection bound with `resume`.
     token: Option<String>,
     upstream: Option<Upstream>,
-    /// Backend index charged for the in-flight request (for the
-    /// per-backend in-flight gauge).
-    inflight_backend: Option<usize>,
+    /// Relayed requests not yet fully resolved, FIFO. At most the
+    /// last one is unanswered; the rest are hedge races draining
+    /// their late copies.
+    pendings: VecDeque<Pending>,
+    /// Retry-budget token bucket, millitokens: hedges spend 1000,
+    /// completed requests earn `retry_budget_ratio * 1000`.
+    budget_mtokens: u64,
     read_buf: Vec<u8>,
     write_buf: Vec<u8>,
     write_pos: usize,
@@ -360,13 +492,14 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, id: u64, now: Instant) -> Self {
+    fn new(stream: TcpStream, id: u64, now: Instant, budget_burst: u32) -> Self {
         Conn {
             stream,
             id,
             token: None,
             upstream: None,
-            inflight_backend: None,
+            pendings: VecDeque::new(),
+            budget_mtokens: u64::from(budget_burst) * 1000,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             write_pos: 0,
@@ -387,6 +520,26 @@ impl Conn {
         match encode_frame(payload) {
             Ok(bytes) => self.write_buf.extend_from_slice(&bytes),
             Err(_) => self.closing = true,
+        }
+    }
+
+    /// Earns the per-request retry-budget refill, capped at the burst.
+    fn earn_budget(&mut self, cfg: &RouterConfig) {
+        let earn = (cfg.retry_budget_ratio.clamp(0.0, 1.0) * 1000.0) as u64;
+        let cap = u64::from(cfg.retry_budget_burst) * 1000;
+        self.budget_mtokens = (self.budget_mtokens + earn).min(cap.max(earn));
+    }
+
+    /// Drops every pending's gauges and sockets — connection teardown.
+    fn release_pendings(&mut self, shared: &Shared) {
+        for p in self.pendings.drain(..) {
+            if p.primary_owes {
+                RouterStats::dec(&shared.backends[p.primary].inflight);
+            }
+            if let Some(h) = p.hedge_up {
+                let _ = h.stream.shutdown(Shutdown::Both);
+                RouterStats::dec(&shared.backends[h.backend].inflight);
+            }
         }
     }
 }
@@ -541,9 +694,7 @@ fn core_loop(listener: TcpListener, shared: &Shared, stop: &AtomicBool) {
                     let _ = conn.stream.write(&bytes);
                 }
                 let _ = conn.stream.shutdown(Shutdown::Both);
-                if let Some(b) = conn.inflight_backend.take() {
-                    RouterStats::dec(&shared.backends[b].inflight);
-                }
+                conn.release_pendings(shared);
                 RouterStats::dec(&shared.stats.connections_open);
             }
             return;
@@ -563,9 +714,7 @@ fn core_loop(listener: TcpListener, shared: &Shared, stop: &AtomicBool) {
         for id in to_close {
             if let Some(mut conn) = conns.remove(&id) {
                 let _ = conn.stream.shutdown(Shutdown::Both);
-                if let Some(b) = conn.inflight_backend.take() {
-                    RouterStats::dec(&shared.backends[b].inflight);
-                }
+                conn.release_pendings(shared);
                 RouterStats::dec(&shared.stats.connections_open);
             }
             progress = true;
@@ -584,9 +733,9 @@ fn core_loop(listener: TcpListener, shared: &Shared, stop: &AtomicBool) {
         //    request doesn't eat the long nap (that tail is worth
         //    ~2 ms per occurrence at p99);
         //  - genuinely quiet: the long nap.
-        let awaiting = conns
-            .values()
-            .any(|c| c.inflight || !c.flushed() || !c.read_buf.is_empty());
+        let awaiting = conns.values().any(|c| {
+            c.inflight || !c.pendings.is_empty() || !c.flushed() || !c.read_buf.is_empty()
+        });
         if progress || awaiting {
             cooldown = 64;
         }
@@ -630,7 +779,8 @@ fn accept(
                 let _ = stream.set_nodelay(true);
                 let id = *next_id;
                 *next_id += 1;
-                conns.insert(id, Conn::new(stream, id, now));
+                let budget_burst = shared.config.retry_budget_burst;
+                conns.insert(id, Conn::new(stream, id, now, budget_burst));
                 RouterStats::bump(&shared.stats.connections_accepted);
                 RouterStats::bump(&shared.stats.connections_open);
             }
@@ -681,8 +831,10 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
         }
     }
 
-    // Parse/dispatch phase: at most one relayed request in flight.
-    while !conn.closing && !conn.inflight {
+    // Parse/dispatch phase: at most one relayed request unanswered,
+    // and a bounded backlog of answered hedge races still draining
+    // their late copies.
+    while !conn.closing && !conn.inflight && conn.pendings.len() < MAX_PENDING_RACES {
         match parse_frame(&conn.read_buf, cfg.max_frame_bytes) {
             Ok(None) => {
                 if conn.read_buf.is_empty() {
@@ -718,6 +870,7 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
     // Upstream sweep: flush our relayed bytes, read responses, relay
     // them back verbatim (minus swallowed router-injected resumes).
     let mut upstream_broke = false;
+    let mut earned = 0u32;
     if let Some(up) = conn.upstream.as_mut() {
         // Flush.
         while up.write_pos < up.write_buf.len() {
@@ -765,7 +918,9 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
                 }
             }
         }
-        // Relay complete response frames.
+        // Relay complete response frames. Frames match, in order, the
+        // pendings the primary still owes (FIFO — backends answer in
+        // request order).
         loop {
             match parse_frame(&up.read_buf, cfg.max_frame_bytes) {
                 Ok(Some((_, consumed))) => {
@@ -774,11 +929,41 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
                         up.read_buf.drain(..consumed);
                         continue;
                     }
-                    conn.write_buf.extend_from_slice(&up.read_buf[..consumed]);
+                    let bytes: Vec<u8> = up.read_buf[..consumed].to_vec();
                     up.read_buf.drain(..consumed);
-                    conn.inflight = false;
-                    if let Some(b) = conn.inflight_backend.take() {
-                        RouterStats::dec(&shared.backends[b].inflight);
+                    let Some(p) = conn.pendings.iter_mut().find(|p| p.primary_owes) else {
+                        // An unsolicited frame: the backend lost frame
+                        // sync — as broken as one that hung up.
+                        upstream_broke = true;
+                        break;
+                    };
+                    p.primary_owes = false;
+                    RouterStats::dec(&shared.backends[p.primary].inflight);
+                    // Score the primary's latency whether or not it won
+                    // the race — a hedge-won brownout must still feed
+                    // the outlier detector the slow samples.
+                    let us = now.duration_since(p.started).as_secs_f64() * 1e6;
+                    shared.backends[p.primary].record_latency_us(us);
+                    match &p.answered {
+                        None => {
+                            // The primary answered first: relay verbatim.
+                            conn.write_buf.extend_from_slice(&bytes);
+                            conn.inflight = false;
+                            earned += 1;
+                            if p.hedge_up.is_some() {
+                                p.answered = Some(bytes);
+                            } else {
+                                p.answered = Some(Vec::new());
+                            }
+                        }
+                        Some(first) => {
+                            // The late copy of a hedge-won race: the
+                            // client already has the standby's answer;
+                            // this one only gets the bitwise check.
+                            if *first != bytes {
+                                RouterStats::bump(&shared.stats.hedge_mismatches);
+                            }
+                        }
                     }
                     progress = true;
                 }
@@ -793,19 +978,48 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
         }
     }
     if upstream_broke {
-        let pending = conn.inflight || conn.upstream.as_ref().is_some_and(|u| u.swallow > 0);
         if let Some(up) = conn.upstream.take() {
             let _ = up.stream.shutdown(Shutdown::Both);
             RouterStats::bump(&shared.backends[up.backend].upstream_failures);
+            shared.backends[up.backend].record_relay_error();
         }
-        if pending {
-            // The response is unrecoverable mid-stream: drop the
-            // client connection so its retry layer reconnects and
-            // resumes — by then routing points at the new owner.
-            RouterStats::bump(&shared.stats.upstream_drops);
-            close = true;
+        // Everything the primary still owed is gone. Answered races
+        // just forfeit their bitwise check; the unanswered request
+        // may still be saved by an in-flight hedge (`doomed()` below
+        // decides once no copy remains).
+        for p in conn.pendings.iter_mut().filter(|p| p.primary_owes) {
+            p.primary_owes = false;
+            RouterStats::dec(&shared.backends[p.primary].inflight);
         }
     }
+    // Completed requests refill the token-bucket retry budget
+    // (deferred out of the relay loop — `earn_budget` needs the whole
+    // connection while the loop holds its upstream).
+    for _ in 0..earned {
+        conn.earn_budget(cfg);
+    }
+
+    // Hedge sweep: each fired hedge owns a one-shot upstream to the
+    // standby; flush it, read it, and resolve its race.
+    sweep_hedges(conn, shared, now, &mut progress);
+
+    // Hedge trigger: the newest pending is the only possibly-
+    // unanswered one; past its delay, race a copy to the standby.
+    if !close && !conn.closing {
+        fire_hedge_if_due(conn, shared, now);
+    }
+
+    // A request with no upstream left to answer it is unrecoverable
+    // mid-stream: drop the client connection so its retry layer
+    // reconnects and resumes — by then routing points at the new
+    // owner. Injected-resume replies still owed by a broken upstream
+    // are covered by `primary_owes` on the pending that forced the
+    // injection.
+    if conn.pendings.iter().any(Pending::doomed) {
+        RouterStats::bump(&shared.stats.upstream_drops);
+        close = true;
+    }
+    conn.pendings.retain(|p| !p.resolved());
 
     // Client flush phase.
     if !conn.flushed() {
@@ -876,9 +1090,233 @@ fn sweep_conn(conn: &mut Conn, shared: &Shared, now: Instant) -> (bool, bool) {
     (progress, close)
 }
 
+/// Sweeps every fired hedge: flush its one-shot upstream, read it,
+/// and resolve its race. The standby's answer is relayed if the
+/// primary hasn't landed yet; otherwise it is only compared bitwise
+/// against the already-relayed copy (the primary stays
+/// authoritative — a disagreement is counted, not served).
+fn sweep_hedges(conn: &mut Conn, shared: &Shared, now: Instant, progress: &mut bool) {
+    let cfg = &shared.config;
+    let mut earned = 0u32;
+    for p in conn.pendings.iter_mut() {
+        let Some(mut up) = p.hedge_up.take() else {
+            continue;
+        };
+        let mut broke = false;
+        while up.write_pos < up.write_buf.len() {
+            match up.stream.write(&up.write_buf[up.write_pos..]) {
+                Ok(0) => {
+                    broke = true;
+                    break;
+                }
+                Ok(n) => {
+                    up.write_pos += n;
+                    *progress = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    broke = true;
+                    break;
+                }
+            }
+        }
+        if up.write_pos == up.write_buf.len() {
+            up.write_buf.clear();
+            up.write_pos = 0;
+        }
+        if !broke {
+            let cap = 4 + cfg.max_frame_bytes as usize;
+            let mut chunk = [0u8; 16 * 1024];
+            while up.read_buf.len() < cap {
+                match up.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        broke = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        up.read_buf.extend_from_slice(&chunk[..n]);
+                        *progress = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        broke = true;
+                        break;
+                    }
+                }
+            }
+        }
+        // The injected resume's reply first (swallowed), then the one
+        // response this upstream exists for.
+        let mut answer: Option<Vec<u8>> = None;
+        while answer.is_none() && !broke {
+            match parse_frame(&up.read_buf, cfg.max_frame_bytes) {
+                Ok(Some((_, consumed))) => {
+                    if up.swallow > 0 {
+                        up.swallow -= 1;
+                        up.read_buf.drain(..consumed);
+                        continue;
+                    }
+                    answer = Some(up.read_buf[..consumed].to_vec());
+                    up.read_buf.drain(..consumed);
+                }
+                Ok(None) => break,
+                Err(_) => broke = true,
+            }
+        }
+        if let Some(bytes) = answer {
+            let standby = up.backend;
+            let _ = up.stream.shutdown(Shutdown::Both);
+            RouterStats::dec(&shared.backends[standby].inflight);
+            let from = p.hedge_fired.unwrap_or(p.started);
+            let us = now.duration_since(from).as_secs_f64() * 1e6;
+            shared.backends[standby].record_latency_us(us);
+            *progress = true;
+            match &p.answered {
+                None => {
+                    RouterStats::bump(&shared.stats.hedges_won);
+                    conn.write_buf.extend_from_slice(&bytes);
+                    conn.inflight = false;
+                    earned += 1;
+                    p.answered = Some(bytes);
+                }
+                Some(first) => {
+                    if *first != bytes {
+                        RouterStats::bump(&shared.stats.hedge_mismatches);
+                    }
+                }
+            }
+        } else if broke {
+            let standby = up.backend;
+            let _ = up.stream.shutdown(Shutdown::Both);
+            RouterStats::dec(&shared.backends[standby].inflight);
+            shared.backends[standby].record_relay_error();
+            // If the primary is gone too, the caller's `doomed()`
+            // check drops the connection; otherwise the race simply
+            // falls back to the primary.
+        } else {
+            p.hedge_up = Some(up);
+        }
+    }
+    for _ in 0..earned {
+        conn.earn_budget(cfg);
+    }
+}
+
+/// The delay after which an eligible estimate read hedges: fixed from
+/// config when set, else derived from the primary's latency EWMA
+/// (three times the mean ≈ a p95 stand-in under exponential-ish
+/// service times, clamped to [2 ms, 250 ms]). `None` — no hedging —
+/// until the primary has enough samples to make the derivation mean
+/// anything.
+fn hedge_delay(cfg: &RouterConfig, primary: &Backend) -> Option<Duration> {
+    if let Some(d) = cfg.hedge_after {
+        return Some(d);
+    }
+    if primary.latency_samples.load(Ordering::Relaxed) < 4 {
+        return None;
+    }
+    let us = (3.0 * primary.latency_ewma_us()).clamp(2_000.0, 250_000.0);
+    Some(Duration::from_micros(us as u64))
+}
+
+/// Fires a hedged copy of the newest pending to its standby once the
+/// hedge delay has passed unanswered — if the connection's retry
+/// budget can pay for it. The decision is made at most once per
+/// request.
+fn fire_hedge_if_due(conn: &mut Conn, shared: &Shared, now: Instant) {
+    let Some(p) = conn.pendings.back_mut() else {
+        return;
+    };
+    if p.answered.is_some() || p.hedge_decided {
+        return;
+    }
+    let Some(standby) = p.hedge_to else {
+        p.hedge_decided = true;
+        return;
+    };
+    let Some(delay) = hedge_delay(&shared.config, &shared.backends[p.primary]) else {
+        return; // not enough signal yet; keep waiting on the primary
+    };
+    if now.duration_since(p.started) < delay {
+        return;
+    }
+    p.hedge_decided = true;
+    if !shared.backends[standby].is_up() || shared.backends[standby].is_ejected() {
+        return;
+    }
+    let Some(token) = conn.token.clone() else {
+        return; // hedges only exist for bound tokens
+    };
+    if conn.budget_mtokens < 1000 {
+        RouterStats::bump(&shared.stats.retry_budget_exhausted);
+        return;
+    }
+    let stream = TcpStream::connect(&shared.backends[standby].spec.addr).and_then(|s| {
+        s.set_nonblocking(true)?;
+        let _ = s.set_nodelay(true);
+        Ok(s)
+    });
+    let stream = match stream {
+        Ok(s) => s,
+        Err(_) => {
+            RouterStats::bump(&shared.backends[standby].upstream_failures);
+            return;
+        }
+    };
+    let mut up = Upstream {
+        stream,
+        backend: standby,
+        read_buf: Vec::new(),
+        write_buf: Vec::new(),
+        write_pos: 0,
+        swallow: 0,
+    };
+    // The hedge copy must read the same durable window the primary
+    // would: bind the one-shot connection to the token first.
+    let payload = Request::Resume { token }.to_json_value();
+    match encode_frame(&payload) {
+        Ok(bytes) => {
+            up.write_buf.extend_from_slice(&bytes);
+            up.swallow += 1;
+        }
+        Err(_) => return,
+    }
+    up.write_buf.extend_from_slice(&p.raw);
+    conn.budget_mtokens -= 1000;
+    RouterStats::bump(&shared.stats.hedges_fired);
+    RouterStats::bump(&shared.backends[standby].inflight);
+    p.hedge_fired = Some(now);
+    p.hedge_up = Some(up);
+}
+
 /// Classifies one client frame and either answers it inline or relays
 /// it (verbatim) to the owning backend.
 fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dispatch {
+    // Deadline propagation: charge the frame's budget the router's
+    // hop cost before it goes anywhere. A budget the hop would
+    // consume is refused here, typed — the backend round trip would
+    // only produce an answer the client has already abandoned.
+    let mut raw = raw;
+    if let Some(ms) = frame_deadline_ms(frame) {
+        if ms <= ROUTER_HOP_COST_MS {
+            RouterStats::bump(&shared.stats.deadline_rejects);
+            RouterStats::bump(&shared.stats.frames_inline);
+            conn.queue(&error_response(&ServeError::DeadlineExceeded {
+                remaining_ms: 0,
+            }));
+            return Dispatch::Inline;
+        }
+        let restamped = with_deadline_ms(frame, ms - ROUTER_HOP_COST_MS);
+        match encode_frame(&restamped) {
+            Ok(bytes) => raw = bytes,
+            Err(_) => {
+                conn.closing = true;
+                return Dispatch::Inline;
+            }
+        }
+    }
     let op = frame.str_field("op").unwrap_or("");
     match op {
         // The router's own health surface: answered even with every
@@ -925,13 +1363,83 @@ fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dis
             conn.token = Some(token);
             match owner {
                 Some(idx) if shared.backends[idx].is_up() => {
-                    forward_to(conn, raw, shared, idx, true)
+                    forward_to(conn, raw, shared, idx, true, None)
                 }
                 _ => refuse(conn, shared),
             }
         }
+        "ingest" => {
+            // Conservative staleness guard: this write will advance
+            // the primary's window past the standby's copy. Mark the
+            // replica stale *now*, before the relay, so no hedge or
+            // standby read can race the write and serve pre-write
+            // state as if it were synced. The next anti-entropy round
+            // restores synced-ness with the true sequence numbers.
+            if let Some(token) = &conn.token {
+                if let Some(r) = shared.repl.lock().expect("repl lock").get_mut(token) {
+                    r.primary_seq = r.primary_seq.saturating_add(1);
+                }
+            }
+            forward(conn, raw, shared, false)
+        }
+        "estimate" => forward_estimate(conn, raw, shared),
         _ => forward(conn, raw, shared, false),
     }
+}
+
+/// Routes an estimate read. On a bound token whose standby replica is
+/// fully synced, the read may leave the primary's queue: a
+/// soft-ejected primary has it served from the standby outright
+/// (routing, not a retry — no budget draw), and a healthy primary
+/// gets it relayed normally but armed to hedge to the standby past
+/// the hedge delay.
+fn forward_estimate(conn: &mut Conn, raw: Vec<u8>, shared: &Shared) -> Dispatch {
+    let Some(token) = conn.token.clone() else {
+        // Ephemeral windows have no replica; nothing to hedge to.
+        return forward(conn, raw, shared, false);
+    };
+    let owner = {
+        let table = shared.table.lock().expect("table lock");
+        match table.get(&token) {
+            Some(&idx) => Some(idx),
+            None => shared
+                .ring
+                .lock()
+                .expect("ring lock")
+                .owner(resume_key(&token)),
+        }
+    };
+    let Some(idx) = owner.filter(|&idx| shared.backends[idx].is_up()) else {
+        return refuse(conn, shared);
+    };
+    let standby = synced_standby(shared, &token).filter(|&s| s != idx);
+    if shared.backends[idx].is_ejected() {
+        if let Some(s) = standby {
+            return forward_to(conn, raw, shared, s, false, None);
+        }
+    }
+    let hedge_to = if shared.config.hedge_reads {
+        standby
+    } else {
+        None
+    };
+    forward_to(conn, raw, shared, idx, false, hedge_to)
+}
+
+/// The ring standby holding a fully-synced copy of `token`'s window —
+/// `None` unless a copy exists, it is as new as everything the
+/// primary has observed, and the backend holding it is up and not
+/// itself soft-ejected. Only such a standby may answer reads: bitwise
+/// identity with the primary's answer is the contract.
+fn synced_standby(shared: &Shared, token: &str) -> Option<usize> {
+    let repl = shared.repl.lock().expect("repl lock");
+    let r = repl.get(token)?;
+    if r.replicated_seq == 0 || r.replicated_seq != r.primary_seq {
+        return None;
+    }
+    let s = r.standby;
+    (s < shared.backends.len() && shared.backends[s].is_up() && !shared.backends[s].is_ejected())
+        .then_some(s)
 }
 
 /// Relays a frame to the backend owning this connection's traffic.
@@ -962,18 +1470,23 @@ fn forward(conn: &mut Conn, raw: Vec<u8>, shared: &Shared, is_resume: bool) -> D
         }
     };
     match owner {
-        Some(idx) if shared.backends[idx].is_up() => forward_to(conn, raw, shared, idx, is_resume),
+        Some(idx) if shared.backends[idx].is_up() => {
+            forward_to(conn, raw, shared, idx, is_resume, None)
+        }
         _ => refuse(conn, shared),
     }
 }
 
 /// Ensures an upstream to backend `idx` and relays the raw frame.
+/// `hedge_to` arms the request to race a copy to that standby once
+/// the hedge delay passes unanswered.
 fn forward_to(
     conn: &mut Conn,
     raw: Vec<u8>,
     shared: &Shared,
     idx: usize,
     is_resume: bool,
+    hedge_to: Option<usize>,
 ) -> Dispatch {
     let reconnect = match conn.upstream.as_ref() {
         Some(up) => up.backend != idx,
@@ -982,6 +1495,13 @@ fn forward_to(
     if reconnect {
         if let Some(up) = conn.upstream.take() {
             let _ = up.stream.shutdown(Shutdown::Both);
+        }
+        // Late loser copies still owed by the old upstream will never
+        // arrive now; they forfeit their bitwise check. (The parse
+        // gate guarantees no *unanswered* pending exists here.)
+        for p in conn.pendings.iter_mut().filter(|p| p.primary_owes) {
+            p.primary_owes = false;
+            RouterStats::dec(&shared.backends[p.primary].inflight);
         }
         let stream = TcpStream::connect(&shared.backends[idx].spec.addr).and_then(|s| {
             s.set_nonblocking(true)?;
@@ -1030,7 +1550,19 @@ fn forward_to(
     let up = conn.upstream.as_mut().expect("upstream just ensured");
     up.write_buf.extend_from_slice(&raw);
     conn.inflight = true;
-    conn.inflight_backend = Some(idx);
+    conn.pendings.push_back(Pending {
+        primary: idx,
+        started: Instant::now(),
+        // The raw bytes are only retained while a hedge may re-send
+        // them verbatim; unhedgeable requests keep nothing.
+        raw: if hedge_to.is_some() { raw } else { Vec::new() },
+        hedge_decided: hedge_to.is_none(),
+        hedge_fired: None,
+        hedge_to,
+        hedge_up: None,
+        answered: None,
+        primary_owes: true,
+    });
     RouterStats::bump(&shared.stats.frames_routed);
     RouterStats::bump(&shared.backends[idx].inflight);
     Dispatch::Relayed
@@ -1073,10 +1605,14 @@ fn probe_once(addr: &str, timeout: Duration) -> Result<bool, RouterError> {
 
 /// The health prober: polls every backend's readyz, evicts after
 /// consecutive failures, restores on recovery, and triggers the
-/// migration rebalance on every membership change.
+/// migration rebalance on every membership change. Each round also
+/// runs the gray-failure outlier pass over the relay-path EWMAs —
+/// catching exactly the backends these probes cannot.
 fn prober_loop(shared: &Shared, stop: &AtomicBool) {
     let cfg = &shared.config;
     let mut consecutive = vec![0u32; shared.backends.len()];
+    let mut healthy_streak = vec![0u32; shared.backends.len()];
+    let mut jitter = jitter_seed();
     while !stop.load(Ordering::SeqCst) {
         for (idx, backend) in shared.backends.iter().enumerate() {
             if stop.load(Ordering::SeqCst) {
@@ -1097,17 +1633,154 @@ fn prober_loop(shared: &Shared, stop: &AtomicBool) {
                     backend.up.store(false, Ordering::Relaxed);
                     RouterStats::bump(&backend.evictions);
                     RouterStats::bump(&shared.stats.evictions);
+                    // A hard-evicted backend sheds its gray score: if
+                    // it comes back it must earn a fresh one, not
+                    // inherit the EWMA that predated the outage.
+                    backend.reset_gray_score();
+                    healthy_streak[idx] = 0;
                     shared.rebuild_ring();
                     migrate::rebalance(shared);
                 }
             }
         }
-        // Interruptible nap so shutdown stays snappy.
+        outlier_pass(shared, &mut healthy_streak);
+        // Interruptible, jittered nap: ±20% keeps a fleet of probers
+        // (and this router's own loops) from phase-locking into
+        // synchronized probe bursts; short steps keep shutdown snappy.
+        let nap = jittered_interval(cfg.probe_interval, &mut jitter);
         let mut slept = Duration::ZERO;
-        while slept < cfg.probe_interval && !stop.load(Ordering::SeqCst) {
-            let step = Duration::from_millis(10).min(cfg.probe_interval - slept);
+        while slept < nap && !stop.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(10).min(nap - slept);
             std::thread::sleep(step);
             slept += step;
         }
+    }
+}
+
+/// No backend is ever called a latency outlier below this EWMA. On a
+/// fast fleet the median sits in the hundreds of microseconds, where
+/// `factor * median` is so tight that one scheduler hiccup folded
+/// into an EWMA would flap a healthy backend in and out of ejection.
+/// Gray failures worth redirecting reads for are tens of milliseconds
+/// — an absolute floor costs no detection and buys stability.
+const OUTLIER_MIN_EWMA_US: f64 = 5_000.0;
+
+/// One outlier-detection pass. Every up backend with at least
+/// [`RouterConfig::outlier_min_samples`] relay samples is scored; a
+/// scored backend whose latency EWMA exceeds both the fleet median by
+/// [`RouterConfig::outlier_factor`] and the absolute
+/// [`OUTLIER_MIN_EWMA_US`] floor (or whose error-rate EWMA crosses
+/// one half) is soft-ejected. An ejected backend that scores healthy
+/// for [`RouterConfig::readmit_after`] consecutive passes is
+/// re-admitted. With fewer than two scored backends there is no fleet
+/// to compare against and the pass does nothing.
+fn outlier_pass(shared: &Shared, healthy_streak: &mut [u32]) {
+    let cfg = &shared.config;
+    let scored: Vec<(usize, f64, f64)> = shared
+        .backends
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| {
+            b.is_up() && b.latency_samples.load(Ordering::Relaxed) >= cfg.outlier_min_samples
+        })
+        .map(|(i, b)| (i, b.latency_ewma_us(), b.error_ewma()))
+        .collect();
+    if scored.len() < 2 {
+        return;
+    }
+    let mut ewmas: Vec<f64> = scored.iter().map(|&(_, e, _)| e).collect();
+    ewmas.sort_by(f64::total_cmp);
+    let median = ewmas[ewmas.len() / 2];
+    for &(idx, ewma, err) in &scored {
+        let gray = (ewma > cfg.outlier_factor.max(1.0) * median && ewma > OUTLIER_MIN_EWMA_US)
+            || err >= 0.5;
+        let b = &shared.backends[idx];
+        if gray {
+            healthy_streak[idx] = 0;
+            if !b.is_ejected() {
+                b.ejected.store(true, Ordering::Relaxed);
+                RouterStats::bump(&shared.stats.outlier_ejections);
+            }
+        } else if b.is_ejected() {
+            healthy_streak[idx] = healthy_streak[idx].saturating_add(1);
+            if healthy_streak[idx] >= cfg.readmit_after.max(1) {
+                b.ejected.store(false, Ordering::Relaxed);
+                healthy_streak[idx] = 0;
+                RouterStats::bump(&shared.stats.outlier_readmissions);
+            }
+        }
+    }
+}
+
+/// One step of the splitmix64 sequence — cheap, seedable, and plenty
+/// for interval jitter.
+pub(crate) fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// `base` scaled by a uniform factor in [0.8, 1.2): ±20% jitter on
+/// the periodic loops (probe, anti-entropy) so co-started routers —
+/// or a fleet of them — spread their rounds instead of stampeding the
+/// backends in phase.
+pub(crate) fn jittered_interval(base: Duration, state: &mut u64) -> Duration {
+    let unit = (splitmix_next(state) >> 11) as f64 / (1u64 << 53) as f64;
+    base.mul_f64(0.8 + 0.4 * unit)
+}
+
+/// Seeds loop jitter per process (pid ⊕ wall clock), so routers
+/// started together still diverge.
+pub(crate) fn jitter_seed() -> u64 {
+    u64::from(std::process::id()) ^ sync::unix_ms() ^ 0x9E37_79B9_7F4A_7C15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_twenty_percent_and_varies() {
+        let base = Duration::from_millis(100);
+        let mut state = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let d = jittered_interval(base, &mut state);
+            assert!(d >= Duration::from_millis(80), "{d:?}");
+            assert!(d < Duration::from_millis(120), "{d:?}");
+            seen.insert(d);
+        }
+        assert!(seen.len() > 100, "jitter should spread, got {}", seen.len());
+    }
+
+    #[test]
+    fn hedge_delay_needs_samples_then_tracks_ewma() {
+        let cfg = RouterConfig::default();
+        let b = Backend::new(BackendSpec::parse("127.0.0.1:1").unwrap());
+        assert_eq!(hedge_delay(&cfg, &b), None, "no samples, no hedging");
+        for _ in 0..8 {
+            b.record_latency_us(10_000.0);
+        }
+        assert_eq!(
+            hedge_delay(&cfg, &b),
+            Some(Duration::from_micros(30_000)),
+            "three times the EWMA"
+        );
+        let fixed = RouterConfig {
+            hedge_after: Some(Duration::from_millis(5)),
+            ..RouterConfig::default()
+        };
+        assert_eq!(hedge_delay(&fixed, &b), Some(Duration::from_millis(5)));
+        let fast = Backend::new(BackendSpec::parse("127.0.0.1:1").unwrap());
+        for _ in 0..8 {
+            fast.record_latency_us(100.0);
+        }
+        assert_eq!(
+            hedge_delay(&cfg, &fast),
+            Some(Duration::from_millis(2)),
+            "clamped at the 2 ms floor"
+        );
     }
 }

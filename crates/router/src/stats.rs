@@ -9,8 +9,9 @@ use pmc_json::Json;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One backend's scrape row: `(name, up, inflight, evictions,
-/// upstream_failures, tokens_owned, replication_lag_ms, has_standby)`.
-pub type BackendRow = (String, bool, u64, u64, u64, u64, u64, bool);
+/// upstream_failures, tokens_owned, replication_lag_ms, has_standby,
+/// ewma_latency_us, outlier_ejected)`.
+pub type BackendRow = (String, bool, u64, u64, u64, u64, u64, bool, u64, bool);
 
 /// Monotonic router counters (plus a few gauges), all relaxed.
 #[derive(Debug, Default)]
@@ -60,6 +61,24 @@ pub struct RouterStats {
     /// Up backends with no distinct up standby — windows they own
     /// have a single live copy (gauge; refreshed like the lag).
     pub backends_without_standby: AtomicU64,
+    /// Frames refused inline with a typed `deadline_exceeded` because
+    /// their budget could not survive the router hop.
+    pub deadline_rejects: AtomicU64,
+    /// Hedged reads fired to a token's synced ring standby.
+    pub hedges_fired: AtomicU64,
+    /// Hedged reads whose standby answer beat the primary's.
+    pub hedges_won: AtomicU64,
+    /// Hedge races where both answers landed and disagreed bitwise
+    /// (the primary's copy stays authoritative).
+    pub hedge_mismatches: AtomicU64,
+    /// Hedges declined because the connection's token-bucket retry
+    /// budget was spent — the brownout-amplification cap at work.
+    pub retry_budget_exhausted: AtomicU64,
+    /// Backends soft-ejected by the outlier detector (gray failures:
+    /// slow but still passing readiness probes).
+    pub outlier_ejections: AtomicU64,
+    /// Soft-ejected backends re-admitted after sustained recovery.
+    pub outlier_readmissions: AtomicU64,
 }
 
 impl RouterStats {
@@ -119,6 +138,21 @@ impl RouterStats {
                 read(&self.backends_without_standby),
                 true,
             ),
+            ("deadline_rejects", read(&self.deadline_rejects), false),
+            ("hedges_fired", read(&self.hedges_fired), false),
+            ("hedges_won", read(&self.hedges_won), false),
+            ("hedge_mismatches", read(&self.hedge_mismatches), false),
+            (
+                "retry_budget_exhausted",
+                read(&self.retry_budget_exhausted),
+                false,
+            ),
+            ("outlier_ejections", read(&self.outlier_ejections), false),
+            (
+                "outlier_readmissions",
+                read(&self.outlier_readmissions),
+                false,
+            ),
         ]
     }
 
@@ -145,7 +179,7 @@ impl RouterStats {
             let _ = writeln!(out, "pmc_router_{name} {value}");
         }
         type Read = fn(&BackendRow) -> u64;
-        let series: [(&str, &str, Read); 7] = [
+        let series: [(&str, &str, Read); 9] = [
             ("backend_up", "gauge", |r| u64::from(r.1)),
             ("backend_inflight", "gauge", |r| r.2),
             ("backend_evictions", "counter", |r| r.3),
@@ -153,6 +187,8 @@ impl RouterStats {
             ("backend_tokens_owned", "gauge", |r| r.5),
             ("backend_replication_lag_ms", "gauge", |r| r.6),
             ("backend_has_standby", "gauge", |r| u64::from(r.7)),
+            ("backend_ewma_latency_us", "gauge", |r| r.8),
+            ("backend_outlier_ejected", "gauge", |r| u64::from(r.9)),
         ];
         for (name, kind, read) in series {
             let _ = writeln!(out, "# TYPE pmc_router_{name} {kind}");
@@ -191,9 +227,10 @@ mod tests {
         RouterStats::bump(&s.migrations_completed);
         RouterStats::bump(&s.windows_replicated);
         s.replication_lag_ms.store(120, Ordering::Relaxed);
+        RouterStats::bump(&s.hedges_fired);
         let rows = vec![
-            ("b0".to_string(), true, 2, 0, 0, 5, 120, true),
-            ("b1".to_string(), false, 0, 1, 3, 0, 0, false),
+            ("b0".to_string(), true, 2, 0, 0, 5, 120, true, 840, false),
+            ("b1".to_string(), false, 0, 1, 3, 0, 0, false, 96000, true),
         ];
         let text = s.prometheus(&rows);
         assert!(text.contains("pmc_router_migrations_completed 1\n"));
@@ -210,6 +247,12 @@ mod tests {
         assert!(text.contains("pmc_router_backend_replication_lag_ms{backend=\"b0\"} 120\n"));
         assert!(text.contains("pmc_router_backend_has_standby{backend=\"b0\"} 1\n"));
         assert!(text.contains("pmc_router_backend_has_standby{backend=\"b1\"} 0\n"));
+        assert!(text.contains("pmc_router_hedges_fired 1\n"));
+        assert!(text.contains("pmc_router_hedges_won 0\n"));
+        assert!(text.contains("pmc_router_hedge_mismatches 0\n"));
+        assert!(text.contains("pmc_router_retry_budget_exhausted 0\n"));
+        assert!(text.contains("pmc_router_backend_ewma_latency_us{backend=\"b0\"} 840\n"));
+        assert!(text.contains("pmc_router_backend_outlier_ejected{backend=\"b1\"} 1\n"));
         // Every JSON scalar appears in the scrape.
         if let Json::Obj(fields) = s.snapshot() {
             for (name, _) in fields {

@@ -64,11 +64,15 @@ pub(crate) fn sync_loop(shared: &Shared, stop: &AtomicBool) {
     if interval.is_zero() {
         return;
     }
+    let mut jitter = crate::proxy::jitter_seed();
     while !stop.load(Ordering::SeqCst) {
         sync_round(shared);
+        // Jittered (±20%) so sync rounds don't phase-lock with the
+        // prober — or with a sibling router's sync loop.
+        let nap = crate::proxy::jittered_interval(interval, &mut jitter);
         let mut slept = Duration::ZERO;
-        while slept < interval && !stop.load(Ordering::SeqCst) {
-            let step = Duration::from_millis(10).min(interval - slept);
+        while slept < nap && !stop.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(10).min(nap - slept);
             std::thread::sleep(step);
             slept += step;
         }

@@ -68,6 +68,48 @@ fn breaker_open_window_is_floored_at_the_router_hint() {
 }
 
 #[test]
+fn budget_smaller_than_the_router_hop_is_refused_typed() {
+    // The fleet is down too, but that must not matter: a budget the
+    // router hop itself would consume is shed *before* backend
+    // selection, as deadline_exceeded — not dressed up as overload.
+    let mut router = overloaded_router(250);
+    let stats = router.stats();
+    let mut c = PowerClient::connect(router.addr())
+        .unwrap()
+        .with_deadline(Duration::from_millis(1));
+    // A 1 ms budget always stamps `deadline_ms: 1` (the client floors
+    // the stamp at 1), which cannot survive the router's 1 ms hop
+    // charge. A slow scheduler can occasionally spend the budget
+    // before the frame is even sent — that fails locally with the
+    // same typed error, so drive calls until one reaches the router.
+    let mut hit_router = false;
+    for _ in 0..20 {
+        match c.resume("nobody-owns-me") {
+            Err(ServeError::DeadlineExceeded { remaining_ms }) => assert_eq!(remaining_ms, 0),
+            other => panic!("expected a typed deadline refusal, got {other:?}"),
+        }
+        if stats
+            .deadline_rejects
+            .load(std::sync::atomic::Ordering::Relaxed)
+            >= 1
+        {
+            hit_router = true;
+            break;
+        }
+    }
+    assert!(hit_router, "no call ever reached the router's hop charge");
+    assert!(c.call_stats().deadline_exceeded >= 1);
+    // The refusal is the router's own, never a relayed overload.
+    assert_eq!(
+        stats
+            .no_backend_rejects
+            .load(std::sync::atomic::Ordering::Relaxed),
+        0
+    );
+    router.shutdown();
+}
+
+#[test]
 fn in_place_retries_sleep_at_least_the_router_hint() {
     let mut router = overloaded_router(80);
     // Retry delays far below the hint: the hint must floor them.

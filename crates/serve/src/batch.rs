@@ -17,7 +17,11 @@
 //! outlived [`crate::server::ServerConfig::queue_deadline`] at drain
 //! time is diverted into the assembly's `shed` list and never enters a
 //! batch — the client gets a typed `overloaded` answer, not a stale
-//! batched estimate.
+//! batched estimate. A job whose **propagated** budget (the frame's
+//! `deadline_ms`, resolved to an absolute expiry at enqueue) ran out
+//! is diverted into `expired` instead and answered with the typed
+//! `deadline_exceeded` status — the client's patience is gone, so a
+//! retry hint would be a lie.
 //!
 //! The scheduler is written against the [`BatchSource`] trait rather
 //! than the worker channel directly, so tests drive it with a
@@ -43,6 +47,10 @@ pub(crate) struct Job {
     pub frame: Json,
     /// When the core queued the job (drives shedding and linger).
     pub enqueued: Instant,
+    /// Absolute expiry of the request's propagated `deadline_ms`
+    /// budget, resolved against the local clock at enqueue time.
+    /// `None` when the client stamped no budget.
+    pub deadline: Option<Instant>,
 }
 
 impl Job {
@@ -72,6 +80,12 @@ pub(crate) struct Assembly {
     /// Jobs that outlived the queue deadline while queued; they must
     /// be answered with a typed overload frame without executing.
     pub shed: Vec<Job>,
+    /// Jobs whose *propagated* deadline budget (`deadline_ms`) ran out
+    /// while queued. Kept separate from `shed`: an overload answer
+    /// invites a retry, while an exceeded budget must be answered with
+    /// the typed `deadline_exceeded` status — retrying inside a spent
+    /// budget only adds load.
+    pub expired: Vec<Job>,
     /// The linger deadline expired before the batch filled.
     pub lingered: bool,
 }
@@ -169,8 +183,11 @@ pub(crate) fn assemble<S: BatchSource>(source: &mut S, policy: &BatchPolicy) -> 
     let mut asm = Assembly::default();
     loop {
         if let Some(job) = next.take() {
-            let age = source.now().saturating_duration_since(job.enqueued);
-            if policy.queue_deadline.is_some_and(|d| age > d) {
+            let now = source.now();
+            let age = now.saturating_duration_since(job.enqueued);
+            if job.deadline.is_some_and(|d| now >= d) {
+                asm.expired.push(job);
+            } else if policy.queue_deadline.is_some_and(|d| age > d) {
                 asm.shed.push(job);
             } else {
                 asm.jobs.push(job);
@@ -184,7 +201,7 @@ pub(crate) fn assemble<S: BatchSource>(source: &mut S, policy: &BatchPolicy) -> 
             // Everything drained so far was shed: take whatever else is
             // already queued (zero wait), but never block — the shed
             // clients are already waiting for their answers.
-            None if !asm.shed.is_empty() => false,
+            None if !asm.shed.is_empty() || !asm.expired.is_empty() => false,
             None => match source.recv() {
                 Some(j) => {
                     next = Some(j);
@@ -285,6 +302,7 @@ mod tests {
                 client: conn,
                 frame: Json::obj(vec![("op", Json::from("ingest"))]),
                 enqueued: probe_base + at,
+                deadline: None,
             },
         )
     }
@@ -298,6 +316,7 @@ mod tests {
                 client: conn,
                 frame: Json::obj(vec![("op", Json::from("stats"))]),
                 enqueued: probe_base + at,
+                deadline: None,
             },
         )
     }
@@ -422,6 +441,50 @@ mod tests {
         assert_eq!(asm.shed.len(), 1);
         assert_eq!(asm.shed[0].conn, 1);
         assert_eq!(conns(&asm), vec![2, 3]);
+    }
+
+    #[test]
+    fn expired_budget_jobs_land_in_expired_not_shed() {
+        let base = Instant::now();
+        // Job 1 carried a 2 ms budget and spent 5 ms queued: its
+        // propagated deadline wins over the (longer) queue deadline
+        // and it lands in `expired`. Job 2's 20 ms budget is intact.
+        let (_, mut spent) = ingest_job(base, 1, 0);
+        spent.enqueued = base;
+        spent.deadline = Some(base + Duration::from_millis(2));
+        let (at2, mut alive) = ingest_job(base, 2, 5_000);
+        alive.deadline = Some(base + Duration::from_millis(20));
+        let arrivals = vec![(Duration::from_millis(5), spent), (at2, alive)];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 0, Some(50))).unwrap();
+        assert_eq!(asm.expired.len(), 1);
+        assert_eq!(asm.expired[0].conn, 1);
+        assert!(asm.shed.is_empty());
+        assert_eq!(conns(&asm), vec![2]);
+    }
+
+    #[test]
+    fn all_expired_assembly_dispatches_without_blocking() {
+        // Mirror of the all-shed case: when everything drained so far
+        // ran out of budget, the worker must answer those clients now,
+        // never block waiting for fresh work.
+        let base = Instant::now();
+        let (_, mut spent) = ingest_job(base, 1, 0);
+        spent.enqueued = base;
+        spent.deadline = Some(base);
+        let arrivals = vec![(Duration::from_millis(1), spent)];
+        let mut probe = BatchProbe {
+            base,
+            clock: Duration::ZERO,
+            arrivals: arrivals.into(),
+        };
+        let asm = assemble(&mut probe, &policy(8, 0, None)).unwrap();
+        assert!(asm.jobs.is_empty() && asm.shed.is_empty());
+        assert_eq!(asm.expired.len(), 1);
     }
 
     #[test]

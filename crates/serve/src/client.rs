@@ -31,7 +31,7 @@
 
 use crate::engine::{CounterSample, Estimate};
 use crate::error::ServeError;
-use crate::protocol::{read_frame, unwrap_response, write_frame, Request};
+use crate::protocol::{read_frame, unwrap_response, with_deadline_ms, write_frame, Request};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
 use std::io::{Read, Write};
@@ -185,6 +185,41 @@ pub(crate) fn splitmix_next(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// What this client experienced across its calls — the client-side
+/// view of shedding, retries and breaker behavior. Read it with
+/// [`PowerClient::call_stats`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct ClientStats {
+    /// Calls that ended with a typed `deadline_exceeded` — answered by
+    /// the server/router, or failed locally because the budget was
+    /// already spent before an attempt could even be made.
+    pub deadline_exceeded: u64,
+    /// Typed overload answers received (each counted, retried or not).
+    pub overloaded: u64,
+    /// Transport-level retries that reconnected a fresh stream.
+    pub reconnect_retries: u64,
+    /// Calls failed fast by the open circuit breaker (no network).
+    pub breaker_fast_fails: u64,
+}
+
+/// Hedged-read outcomes scraped from a `pmc-router` metrics scrape —
+/// typed access to the router-side counters a client cannot observe on
+/// its own connection (hedges are resolved inside the router; the
+/// winning answer is relayed verbatim). All zeros when the endpoint is
+/// a bare `pmc-serve` (no router, no hedging).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HedgeStats {
+    /// Hedges fired to a synced standby.
+    pub fired: u64,
+    /// Hedges whose standby answer won the race.
+    pub won: u64,
+    /// Hedges where both answers landed and disagreed bitwise.
+    pub mismatches: u64,
+    /// Hedges suppressed because the per-connection retry budget was
+    /// exhausted.
+    pub retry_budget_exhausted: u64,
+}
+
 /// Where the client (re)connects to.
 #[derive(Debug, Clone)]
 enum Endpoint {
@@ -243,6 +278,13 @@ pub struct PowerClient {
     /// `pmc-router` after a backend eviction) lands back on the same
     /// engine window instead of a cold ephemeral one.
     resume_token: Option<String>,
+    /// Per-call patience: every call stamps its frames with the budget
+    /// remaining (`deadline_ms`), and retries re-stamp the shrunken
+    /// remainder — a retried request can never outlive the original
+    /// patience, no matter how many hops or backoffs it crosses.
+    deadline_budget: Option<Duration>,
+    /// What this client has experienced (see [`ClientStats`]).
+    stats_local: ClientStats,
 }
 
 /// How a failed call should be retried, if at all.
@@ -268,6 +310,8 @@ impl PowerClient {
             breaker: None,
             rng: 0,
             resume_token: None,
+            deadline_budget: None,
+            stats_local: ClientStats::default(),
         })
     }
 
@@ -283,6 +327,8 @@ impl PowerClient {
             breaker: None,
             rng: 0,
             resume_token: None,
+            deadline_budget: None,
+            stats_local: ClientStats::default(),
         })
     }
 
@@ -299,6 +345,21 @@ impl PowerClient {
         self
     }
 
+    /// Gives every call a propagated deadline budget: frames carry the
+    /// remaining patience as `deadline_ms`, downstream hops shed work
+    /// the budget can no longer cover, and retries re-stamp what is
+    /// left rather than restarting the clock.
+    pub fn with_deadline(mut self, budget: Duration) -> Self {
+        self.deadline_budget = Some(budget);
+        self
+    }
+
+    /// The client-side counters: deadline exceedances, overloads,
+    /// reconnect retries, breaker fast-fails.
+    pub fn call_stats(&self) -> &ClientStats {
+        &self.stats_local
+    }
+
     /// True for failures worth retrying on a fresh connection: the
     /// transport broke before a response arrived. Server-reported
     /// errors and malformed payloads are not transport failures —
@@ -313,10 +374,15 @@ impl PowerClient {
     }
 
     /// True for the failures the circuit breaker counts: typed
-    /// overload responses and timeouts (socket deadlines included).
+    /// overload responses, deadline exceedances, and timeouts (socket
+    /// deadlines included). A backend that keeps eating budgets is as
+    /// unhealthy as one that keeps refusing admission — both deserve a
+    /// tripped breaker, not a retry storm.
     fn counts_for_breaker(e: &ServeError) -> bool {
         match e {
-            ServeError::Overloaded { .. } | ServeError::Deadline { .. } => true,
+            ServeError::Overloaded { .. }
+            | ServeError::Deadline { .. }
+            | ServeError::DeadlineExceeded { .. } => true,
             ServeError::Io(io) => matches!(
                 io.kind(),
                 std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
@@ -355,14 +421,33 @@ impl PowerClient {
     /// [`BreakerPolicy`], consecutive overload/timeout failures make
     /// later calls fail fast with [`ServeError::CircuitOpen`].
     pub fn call(&mut self, req: &Request) -> Result<Json, ServeError> {
-        let payload = req.to_json_value();
+        let base = req.to_json_value();
+        // The budget is per *call*, not per attempt: retries below
+        // re-stamp whatever patience is left, never a fresh budget.
+        let deadline = self.deadline_budget.map(|b| Instant::now() + b);
         let mut attempt = 0u32;
         loop {
             if let Some(b) = self.breaker.as_mut() {
                 if let Err(retry_in_ms) = b.admit() {
+                    self.stats_local.breaker_fast_fails += 1;
                     return Err(ServeError::CircuitOpen { retry_in_ms });
                 }
             }
+            let payload = match deadline {
+                Some(d) => {
+                    let remaining = d.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        // Spent before this attempt could even start:
+                        // fail locally, no network touch, and no
+                        // breaker bookkeeping — the endpoint did
+                        // nothing wrong.
+                        self.stats_local.deadline_exceeded += 1;
+                        return Err(ServeError::DeadlineExceeded { remaining_ms: 0 });
+                    }
+                    with_deadline_ms(&base, remaining.as_millis().max(1) as u64)
+                }
+                None => base.clone(),
+            };
             match self.call_once(&payload) {
                 Ok(r) => {
                     if let Some(b) = self.breaker.as_mut() {
@@ -371,6 +456,13 @@ impl PowerClient {
                     return Ok(r);
                 }
                 Err(e) => {
+                    match &e {
+                        ServeError::DeadlineExceeded { .. } => {
+                            self.stats_local.deadline_exceeded += 1
+                        }
+                        ServeError::Overloaded { .. } => self.stats_local.overloaded += 1,
+                        _ => {}
+                    }
                     let counts = Self::counts_for_breaker(&e);
                     if let Some(b) = self.breaker.as_mut() {
                         let hint = match &e {
@@ -383,6 +475,9 @@ impl PowerClient {
                         ServeError::Overloaded { retry_after_ms } => {
                             RetryMode::SameConn(*retry_after_ms)
                         }
+                        // A spent budget is never retried: the typed
+                        // status means the client's patience is gone.
+                        ServeError::DeadlineExceeded { .. } => RetryMode::No,
                         _ if Self::is_transient(&e) => RetryMode::Reconnect,
                         _ => RetryMode::No,
                     };
@@ -405,6 +500,7 @@ impl PowerClient {
                         // Resync by reconnecting: after a short read
                         // the length-prefixed stream cannot be
                         // re-aligned.
+                        self.stats_local.reconnect_retries += 1;
                         self.reconnect();
                     }
                 }
@@ -495,6 +591,26 @@ impl PowerClient {
     pub fn metrics(&mut self) -> Result<String, ServeError> {
         let r = self.call(&Request::Metrics)?;
         Ok(r.str_field("body")?.to_string())
+    }
+
+    /// Typed hedged-read outcomes, scraped from the endpoint's metrics
+    /// exposition. Meaningful when the endpoint is a `pmc-router`
+    /// (hedges are a router-side mechanism); against a bare server the
+    /// series are absent and everything reads zero.
+    pub fn hedge_stats(&mut self) -> Result<HedgeStats, ServeError> {
+        let body = self.metrics()?;
+        let scrape = |name: &str| -> u64 {
+            body.lines()
+                .find_map(|line| line.strip_prefix(name))
+                .and_then(|rest| rest.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        Ok(HedgeStats {
+            fired: scrape("pmc_router_hedges_fired "),
+            won: scrape("pmc_router_hedges_won "),
+            mismatches: scrape("pmc_router_hedge_mismatches "),
+            retry_budget_exhausted: scrape("pmc_router_retry_budget_exhausted "),
+        })
     }
 
     /// Binds this connection to a durable client identity. Samples
@@ -732,6 +848,66 @@ mod tests {
         b2.on_failure(true, None);
         std::thread::sleep(Duration::from_millis(5));
         assert!(b2.admit().is_ok());
+    }
+
+    #[test]
+    fn deadline_exceedances_count_toward_the_breaker() {
+        // The typed status is a countable failure…
+        assert!(PowerClient::counts_for_breaker(
+            &ServeError::DeadlineExceeded { remaining_ms: 0 }
+        ));
+        // …and consecutive ones trip the breaker like overloads do.
+        let mut b = Breaker::new(BreakerPolicy {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+            max_cooldown: Duration::from_millis(100),
+            seed: 5,
+        });
+        for _ in 0..2 {
+            b.on_failure(
+                PowerClient::counts_for_breaker(&ServeError::DeadlineExceeded { remaining_ms: 0 }),
+                None,
+            );
+        }
+        assert!(b.admit().is_err(), "deadline exceedances must trip");
+    }
+
+    #[test]
+    fn spent_budget_fails_locally_and_server_sheds_stamped_frames() {
+        let mut server =
+            PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default()))
+                .unwrap();
+        // A zero budget is spent before any attempt: the call fails
+        // fast locally, typed, without touching the network.
+        let mut c = PowerClient::connect(server.addr())
+            .unwrap()
+            .with_deadline(Duration::ZERO);
+        match c.ping(0).unwrap_err() {
+            ServeError::DeadlineExceeded { remaining_ms } => assert_eq!(remaining_ms, 0),
+            other => panic!("expected deadline_exceeded, got {other}"),
+        }
+        assert_eq!(c.call_stats().deadline_exceeded, 1);
+        let ord = std::sync::atomic::Ordering::Relaxed;
+        let before = server.stats().frames_received.load(ord);
+        // A generous budget stamps the frame and succeeds end to end.
+        let mut c = PowerClient::connect(server.addr())
+            .unwrap()
+            .with_deadline(Duration::from_secs(5));
+        assert_eq!(c.ping(0).unwrap(), 0);
+        assert_eq!(c.call_stats().deadline_exceeded, 0);
+        assert!(server.stats().frames_received.load(ord) > before);
+        server.shutdown();
+    }
+
+    #[test]
+    fn hedge_stats_read_zero_against_a_bare_server() {
+        let mut server =
+            PowerServer::start(ServerConfig::default(), Arc::new(ModelRegistry::default()))
+                .unwrap();
+        let mut c = PowerClient::connect(server.addr()).unwrap();
+        // No router in the path: the series are absent, typed zeros.
+        assert_eq!(c.hedge_stats().unwrap(), HedgeStats::default());
+        server.shutdown();
     }
 
     #[test]

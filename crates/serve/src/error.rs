@@ -63,6 +63,17 @@ pub enum ServeError {
     /// The server is draining for shutdown: in-flight work finishes,
     /// new requests are refused, and the connection will close.
     Draining,
+    /// The request's propagated deadline budget (`deadline_ms` on the
+    /// frame) was spent before the work ran, so it was shed unstarted.
+    /// Distinct from [`ServeError::Overloaded`]: an overloaded reply
+    /// invites a retry after a hint, while an exceeded deadline means
+    /// the client's patience is gone — retrying inside the same budget
+    /// is pointless by definition.
+    DeadlineExceeded {
+        /// Budget the request had left when it was shed, milliseconds
+        /// (zero when it arrived already expired).
+        remaining_ms: u64,
+    },
     /// The client-side circuit breaker is open: recent calls failed
     /// with overload/timeout, so this call failed fast without
     /// touching the network.
@@ -108,6 +119,10 @@ impl fmt::Display for ServeError {
                 "server overloaded: request shed, retry after {retry_after_ms} ms"
             ),
             ServeError::Draining => write!(f, "server draining: shutting down, no new work"),
+            ServeError::DeadlineExceeded { remaining_ms } => write!(
+                f,
+                "deadline exceeded: request shed with {remaining_ms} ms of budget remaining"
+            ),
             ServeError::CircuitOpen { retry_in_ms } => write!(
                 f,
                 "circuit breaker open: failing fast, next probe in {retry_in_ms} ms"
@@ -162,6 +177,8 @@ mod tests {
         let e = ServeError::Overloaded { retry_after_ms: 50 };
         assert!(e.to_string().contains("shed") && e.to_string().contains("50"));
         assert!(ServeError::Draining.to_string().contains("draining"));
+        let e = ServeError::DeadlineExceeded { remaining_ms: 0 };
+        assert!(e.to_string().contains("deadline exceeded"));
         let e = ServeError::CircuitOpen { retry_in_ms: 75 };
         assert!(e.to_string().contains("breaker") && e.to_string().contains("75"));
         let e = ServeError::Protocol {

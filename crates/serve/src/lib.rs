@@ -80,7 +80,7 @@ pub mod tokenhash;
 
 pub use artifact::ModelArtifact;
 pub use checkpoint::{CheckpointData, CheckpointOutcome};
-pub use client::{BreakerPolicy, PowerClient, RetryPolicy};
+pub use client::{BreakerPolicy, ClientStats, HedgeStats, PowerClient, RetryPolicy};
 pub use engine::{ClientSnapshot, CounterSample, EngineConfig, Estimate, EstimatorEngine};
 pub use error::ServeError;
 pub use registry::{ModelRegistry, RecoveryReport};

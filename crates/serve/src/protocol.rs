@@ -391,6 +391,37 @@ impl Request {
     }
 }
 
+/// Reads the optional propagated deadline budget off a raw request
+/// frame. `deadline_ms` is a top-level field carrying the client's
+/// **remaining patience** in milliseconds — each hop converts it to an
+/// absolute deadline on arrival, and a relay decrements it by its own
+/// elapsed time before forwarding, so a budget can only shrink on its
+/// way downstream (retries never exceed the client's original
+/// patience). Absent or malformed means "no deadline"; old peers
+/// ignore the field entirely, so it is additive on the wire.
+pub fn frame_deadline_ms(frame: &Json) -> Option<u64> {
+    frame.get("deadline_ms").and_then(|v| v.as_u64().ok())
+}
+
+/// Returns `frame` with its `deadline_ms` budget set to `ms`,
+/// replacing any prior value — the client-side stamp and the router's
+/// decrement-before-relay re-encode. Non-object frames pass through
+/// unchanged (request parsing reports its own error for those).
+pub fn with_deadline_ms(frame: &Json, ms: u64) -> Json {
+    match frame {
+        Json::Obj(fields) => {
+            let mut out: Vec<(String, Json)> = fields
+                .iter()
+                .filter(|(k, _)| k != "deadline_ms")
+                .cloned()
+                .collect();
+            out.push(("deadline_ms".to_string(), Json::from(ms)));
+            Json::Obj(out)
+        }
+        other => other.clone(),
+    }
+}
+
 /// True if a raw request frame is an `ingest` — the only op the batch
 /// scheduler lingers for. A cheap field peek; full request parsing
 /// (and its error reporting) still happens at execution time.
@@ -426,6 +457,10 @@ pub fn error_response(err: &ServeError) -> Json {
             ("retry_after_ms", Json::from(*retry_after_ms)),
         ]),
         ServeError::Draining => Json::obj(vec![("status", Json::from("draining"))]),
+        ServeError::DeadlineExceeded { remaining_ms } => Json::obj(vec![
+            ("status", Json::from("deadline_exceeded")),
+            ("remaining_ms", Json::from(*remaining_ms)),
+        ]),
         ServeError::Internal { reason } => Json::obj(vec![
             ("status", Json::from("internal_error")),
             ("error", Json::from(reason.as_str())),
@@ -450,6 +485,9 @@ pub fn unwrap_response(v: Json) -> Result<Json, ServeError> {
             retry_after_ms: v.u64_field("retry_after_ms").unwrap_or(0),
         }),
         "draining" => Err(ServeError::Draining),
+        "deadline_exceeded" => Err(ServeError::DeadlineExceeded {
+            remaining_ms: v.u64_field("remaining_ms").unwrap_or(0),
+        }),
         "internal_error" => Err(ServeError::Internal {
             reason: v
                 .str_field("error")
@@ -695,6 +733,44 @@ mod tests {
             unwrap_response(err).unwrap_err(),
             ServeError::Server { .. }
         ));
+    }
+
+    #[test]
+    fn deadline_budget_is_additive_and_restampable() {
+        // No budget by default.
+        let frame = Request::Stats.to_json_value();
+        assert_eq!(frame_deadline_ms(&frame), None);
+        // Stamping adds the field; restamping replaces it (no dupes).
+        let stamped = with_deadline_ms(&frame, 250);
+        assert_eq!(frame_deadline_ms(&stamped), Some(250));
+        let restamped = with_deadline_ms(&stamped, 100);
+        assert_eq!(frame_deadline_ms(&restamped), Some(100));
+        let fields = restamped.as_obj().unwrap();
+        assert_eq!(fields.iter().filter(|(k, _)| k == "deadline_ms").count(), 1);
+        // The field is invisible to request parsing — old servers
+        // that don't know deadlines parse the frame unchanged.
+        assert_eq!(
+            Request::from_json_value(&restamped).unwrap(),
+            Request::Stats
+        );
+        // Malformed budgets read as "no deadline", not an error.
+        let bad = Json::obj(vec![
+            ("op", Json::from("stats")),
+            ("deadline_ms", Json::from("soon")),
+        ]);
+        assert_eq!(frame_deadline_ms(&bad), None);
+        // Non-object frames pass through the stamp untouched.
+        assert_eq!(with_deadline_ms(&Json::Null, 5), Json::Null);
+    }
+
+    #[test]
+    fn deadline_exceeded_is_a_typed_status() {
+        let err = error_response(&ServeError::DeadlineExceeded { remaining_ms: 7 });
+        assert_eq!(err.str_field("status").unwrap(), "deadline_exceeded");
+        match unwrap_response(err).unwrap_err() {
+            ServeError::DeadlineExceeded { remaining_ms } => assert_eq!(remaining_ms, 7),
+            other => panic!("expected deadline_exceeded, got {other:?}"),
+        }
     }
 
     #[test]

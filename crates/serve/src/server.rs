@@ -74,8 +74,8 @@ use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointData, Check
 use crate::engine::{CounterSample, EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
 use crate::protocol::{
-    encode_frame, error_response, is_core_inline_frame, ok_response, parse_frame, FrameError,
-    Request, MAX_FRAME_BYTES,
+    encode_frame, error_response, frame_deadline_ms, is_core_inline_frame, ok_response,
+    parse_frame, FrameError, Request, MAX_FRAME_BYTES,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -1200,6 +1200,23 @@ fn worker_loop(
                 return; // core gone
             }
         }
+        if !asm.expired.is_empty() {
+            // The propagated budget ran out while the job sat queued:
+            // a typed deadline_exceeded, not an overload — the client
+            // must not burn a retry on patience it no longer has.
+            let expired = asm
+                .expired
+                .into_iter()
+                .map(|job| {
+                    ServerStats::bump(&service.stats.requests_deadline_exceeded);
+                    let err = ServeError::DeadlineExceeded { remaining_ms: 0 };
+                    encoded(job.conn, &error_response(&err))
+                })
+                .collect();
+            if done.send(expired).is_err() {
+                return; // core gone
+            }
+        }
 
         let conns: Vec<u64> = asm.jobs.iter().map(|job| job.conn).collect();
         let answered = std::cell::RefCell::new(Vec::<u64>::new());
@@ -1651,12 +1668,29 @@ fn sweep_conn(
                     );
                     continue;
                 }
+                // Propagated deadline: resolve the frame's relative
+                // budget against the local clock now, at ingress. A
+                // zero budget is already spent — answer the typed
+                // status immediately instead of queueing doomed work.
+                let deadline = match frame_deadline_ms(&frame) {
+                    Some(0) => {
+                        ServerStats::bump(&service.stats.requests_deadline_exceeded);
+                        queue_frame(
+                            conn,
+                            &error_response(&ServeError::DeadlineExceeded { remaining_ms: 0 }),
+                        );
+                        continue;
+                    }
+                    Some(ms) => Some(now + Duration::from_millis(ms)),
+                    None => None,
+                };
                 match job_tx {
                     Some(tx) => match tx.try_send(Job {
                         conn: id,
                         client: conn.client,
                         frame,
                         enqueued: now,
+                        deadline,
                     }) {
                         Ok(()) => {
                             conn.inflight = true;
@@ -2014,6 +2048,71 @@ mod tests {
         let err = request(&mut waiter, &Request::Ping { delay_ms: 0 }).unwrap_err();
         assert!(matches!(err, ServeError::Overloaded { .. }), "{err}");
         assert_eq!(server.stats().requests_shed.load(Ordering::Relaxed), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_budget_at_ingress_is_deadline_exceeded() {
+        use crate::protocol::with_deadline_ms;
+        let mut server = started(1, 4);
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        // A frame whose budget is already spent when it arrives must
+        // be refused at ingress with the typed status — never queued.
+        let stamped = with_deadline_ms(&Request::Ping { delay_ms: 0 }.to_json_value(), 0);
+        write_frame(&mut c, &stamped).unwrap();
+        let err = unwrap_response(read_frame(&mut c).unwrap().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, ServeError::DeadlineExceeded { remaining_ms: 0 }),
+            "{err}"
+        );
+        assert_eq!(
+            server
+                .stats()
+                .requests_deadline_exceeded
+                .load(Ordering::Relaxed),
+            1
+        );
+        // The connection stays in sync and usable.
+        assert!(request(&mut c, &Request::Stats).is_ok());
+        // A generous budget passes through untouched.
+        let stamped = with_deadline_ms(&Request::Ping { delay_ms: 0 }.to_json_value(), 5_000);
+        write_frame(&mut c, &stamped).unwrap();
+        assert!(unwrap_response(read_frame(&mut c).unwrap().unwrap()).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn queued_requests_past_their_budget_get_deadline_exceeded() {
+        use crate::protocol::with_deadline_ms;
+        let cfg = ServerConfig {
+            workers: 1,
+            queue_depth: 4,
+            max_inflight: 8,
+            // Queue deadline far looser than the propagated budget, so
+            // the typed answer proves which check fired.
+            queue_deadline: Some(Duration::from_secs(5)),
+            ..ServerConfig::default()
+        };
+        let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
+        // The only worker is held for 150 ms…
+        let mut busy = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut busy, &Request::Ping { delay_ms: 150 }.to_json_value()).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        // …so this 40 ms budget is spent by the time a worker drains
+        // the queue: deadline_exceeded, not overloaded.
+        let mut waiter = TcpStream::connect(server.addr()).unwrap();
+        let stamped = with_deadline_ms(&Request::Ping { delay_ms: 0 }.to_json_value(), 40);
+        write_frame(&mut waiter, &stamped).unwrap();
+        let err = unwrap_response(read_frame(&mut waiter).unwrap().unwrap()).unwrap_err();
+        assert!(matches!(err, ServeError::DeadlineExceeded { .. }), "{err}");
+        assert_eq!(
+            server
+                .stats()
+                .requests_deadline_exceeded
+                .load(Ordering::Relaxed),
+            1
+        );
+        assert_eq!(server.stats().requests_shed.load(Ordering::Relaxed), 0);
         server.shutdown();
     }
 

@@ -37,6 +37,9 @@ pub struct ServerStats {
     /// Requests refused at admission because the in-flight budget (or
     /// the worker queue) was full.
     pub requests_rejected_overload: AtomicU64,
+    /// Requests shed because their propagated `deadline_ms` budget was
+    /// spent — at ingress (arrived already expired) or while queued.
+    pub requests_deadline_exceeded: AtomicU64,
     /// Wall-clock duration of the last graceful drain, milliseconds.
     /// Zero until a drain has completed.
     pub drain_duration_ms: AtomicU64,
@@ -132,6 +135,10 @@ impl ServerStats {
             (
                 "requests_rejected_overload",
                 read(&self.requests_rejected_overload),
+            ),
+            (
+                "requests_deadline_exceeded",
+                read(&self.requests_deadline_exceeded),
             ),
             ("drain_duration_ms", read(&self.drain_duration_ms)),
             ("batches_dispatched", read(&self.batches_dispatched)),
