@@ -8,7 +8,9 @@ use pmc_events::PapiEvent;
 use pmc_model::model::PowerModel;
 use pmc_serve::registry::ModelRegistry;
 use pmc_serve::server::{PowerServer, ServerConfig};
-use pmc_serve::{CounterSample, EngineConfig, EstimatorEngine, ModelArtifact, PowerClient};
+use pmc_serve::{
+    CounterSample, Encoding, EngineConfig, EstimatorEngine, ModelArtifact, PowerClient,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -38,6 +40,37 @@ fn main() {
     let mut out = Vec::new();
     h.bench("predict_batch_into_1000", || {
         model.predict_batch_into(&rows, &mut out);
+        out.iter().sum::<f64>()
+    });
+
+    // Kernel-layout isolation: identical Eq.-1 arithmetic over
+    // pre-marshalled row-major rates vs per-counter columns (the
+    // layout the batch engine feeds the autovectorizer), with the
+    // marshalling cost excluded from both sides.
+    let width = model.events.len();
+    let n = rows.len();
+    let raw_rates: Vec<f64> = rows
+        .iter()
+        .flat_map(|r| model.events.iter().map(|e| r.rate(*e)))
+        .collect();
+    let points: Vec<(f64, u32)> = rows.iter().map(|r| (r.voltage, r.freq_mhz)).collect();
+    let mut columns = vec![0.0f64; n * width];
+    for (i, r) in rows.iter().enumerate() {
+        for (j, e) in model.events.iter().enumerate() {
+            columns[j * n + i] = r.rate(*e);
+        }
+    }
+    let mut v2f = Vec::new();
+    h.bench("predict_rows_raw_1000", || {
+        model
+            .predict_raw_batch_into(&raw_rates, &points, &mut out)
+            .unwrap();
+        out.iter().sum::<f64>()
+    });
+    h.bench("predict_columns_raw_1000", || {
+        model
+            .predict_raw_columns_into(&columns, &points, &mut v2f, &mut out)
+            .unwrap();
         out.iter().sum::<f64>()
     });
 
@@ -138,16 +171,27 @@ fn main() {
         ..batched.clone()
     };
     const TRIALS: usize = 3;
-    let configs = [&unbatched, &batched, &lingering, &checkpointed];
-    let mut thr = [[0f64; TRIALS]; 4];
-    let mut p99 = [[0f64; TRIALS]; 2];
+    // {batch off, on} × {json, binary} isolates the two tentpole
+    // effects: batch on/off toggles the columnar kernel vs the scalar
+    // reference; json/binary toggles the wire codec. The linger and
+    // checkpoint probes keep their original (JSON) identity.
+    let configs: [(&ServerConfig, Encoding); 6] = [
+        (&unbatched, Encoding::Json),
+        (&batched, Encoding::Json),
+        (&unbatched, Encoding::Binary),
+        (&batched, Encoding::Binary),
+        (&lingering, Encoding::Json),
+        (&checkpointed, Encoding::Json),
+    ];
+    let mut thr = [[0f64; TRIALS]; 6];
+    let mut p99 = [[0f64; TRIALS]; 4];
     for t in 0..TRIALS {
-        for (ci, cfg) in configs.iter().enumerate() {
+        for (ci, (cfg, enc)) in configs.iter().enumerate() {
             let durable = cfg.checkpoint_path.is_some();
-            thr[ci][t] = socket_load(cfg, &artifact.model, 64, 300, durable).0;
+            thr[ci][t] = socket_load(cfg, &artifact.model, 64, 300, durable, *enc).0;
         }
-        for (ci, cfg) in configs[..2].iter().enumerate() {
-            p99[ci][t] = socket_load(cfg, &artifact.model, 1, 1500, false).1;
+        for (ci, (cfg, enc)) in configs[..4].iter().enumerate() {
+            p99[ci][t] = socket_load(cfg, &artifact.model, 1, 1500, false, *enc).1;
         }
     }
     let _ = std::fs::remove_file(&ck_path);
@@ -155,70 +199,106 @@ fn main() {
         xs.sort_by(|a, b| a.total_cmp(b));
         xs[TRIALS / 2]
     };
-    let (thr_off, thr_on, thr_linger, thr_ckpt) = (
+    let (thr_off, thr_on, thr_off_bin, thr_on_bin, thr_linger, thr_ckpt) = (
         median(&mut thr[0]),
         median(&mut thr[1]),
         median(&mut thr[2]),
         median(&mut thr[3]),
+        median(&mut thr[4]),
+        median(&mut thr[5]),
     );
     println!(
-        "serve_throughput/socket_c64_batch_off     {thr_off:>10.0} req/s  (median of {TRIALS})"
+        "serve_throughput/socket_c64_batch_off      {thr_off:>10.0} req/s  (median of {TRIALS})"
     );
     println!(
-        "serve_throughput/socket_c64_batch_on      {thr_on:>10.0} req/s  ({:.2}x)",
+        "serve_throughput/socket_c64_batch_on       {thr_on:>10.0} req/s  ({:.2}x)",
         thr_on / thr_off
     );
     println!(
-        "serve_throughput/socket_c64_batch_linger  {thr_linger:>10.0} req/s  ({:.2}x)",
+        "serve_throughput/socket_c64_batch_off_bin  {thr_off_bin:>10.0} req/s  ({:.2}x)",
+        thr_off_bin / thr_off
+    );
+    println!(
+        "serve_throughput/socket_c64_batch_on_bin   {thr_on_bin:>10.0} req/s  ({:.2}x)",
+        thr_on_bin / thr_off
+    );
+    println!(
+        "serve_throughput/socket_c64_batch_linger   {thr_linger:>10.0} req/s  ({:.2}x)",
         thr_linger / thr_off
     );
     println!(
-        "serve_throughput/socket_c64_ckpt_50ms     {thr_ckpt:>10.0} req/s  ({:.2}x vs batch_on)",
+        "serve_throughput/socket_c64_ckpt_50ms      {thr_ckpt:>10.0} req/s  ({:.2}x vs batch_on)",
         thr_ckpt / thr_on
     );
     println!(
-        "serve_throughput/socket_c1_p99_batch_off  {:>8.1} µs",
+        "serve_throughput/socket_c1_p99_batch_off      {:>8.1} µs",
         median(&mut p99[0])
     );
     println!(
-        "serve_throughput/socket_c1_p99_batch_on   {:>8.1} µs",
+        "serve_throughput/socket_c1_p99_batch_on       {:>8.1} µs",
         median(&mut p99[1])
+    );
+    println!(
+        "serve_throughput/socket_c1_p99_batch_off_bin  {:>8.1} µs",
+        median(&mut p99[2])
+    );
+    println!(
+        "serve_throughput/socket_c1_p99_batch_on_bin   {:>8.1} µs",
+        median(&mut p99[3])
     );
 
     // Fleet comparison: the same durable-token ingest load against a
     // single direct backend, the router fronting one backend (pure
     // proxy overhead), and the router fronting three. Interleaved
     // trials, per-config median — same discipline as above.
-    let mut fleet = [[0f64; TRIALS]; 3];
+    let fleet_cfgs: [(usize, Encoding); 4] = [
+        (0, Encoding::Json),
+        (1, Encoding::Json),
+        (3, Encoding::Json),
+        (3, Encoding::Binary),
+    ];
+    let mut fleet = [[0f64; TRIALS]; 4];
     for t in 0..TRIALS {
-        for (row, backends) in fleet.iter_mut().zip([0usize, 1, 3]) {
-            row[t] = router_load(&artifact.model, backends, 16, 300);
+        for (row, (backends, enc)) in fleet.iter_mut().zip(fleet_cfgs) {
+            row[t] = router_load(&artifact.model, backends, 16, 300, enc);
         }
     }
-    let (direct, routed1, routed3) = (
+    let (direct, routed1, routed3, routed3_bin) = (
         median(&mut fleet[0]),
         median(&mut fleet[1]),
         median(&mut fleet[2]),
+        median(&mut fleet[3]),
     );
     println!(
-        "serve_throughput/fleet_c16_direct_1       {direct:>10.0} req/s  (median of {TRIALS})"
+        "serve_throughput/fleet_c16_direct_1        {direct:>10.0} req/s  (median of {TRIALS})"
     );
     println!(
-        "serve_throughput/fleet_c16_routed_1       {routed1:>10.0} req/s  ({:.2}x vs direct)",
+        "serve_throughput/fleet_c16_routed_1        {routed1:>10.0} req/s  ({:.2}x vs direct)",
         routed1 / direct
     );
     println!(
-        "serve_throughput/fleet_c16_routed_3       {routed3:>10.0} req/s  ({:.2}x vs direct)",
+        "serve_throughput/fleet_c16_routed_3        {routed3:>10.0} req/s  ({:.2}x vs direct)",
         routed3 / direct
+    );
+    println!(
+        "serve_throughput/fleet_c16_routed_3_bin    {routed3_bin:>10.0} req/s  ({:.2}x vs direct)",
+        routed3_bin / direct
     );
 }
 
 /// Drives `conns` durable-token connections of pipelined ingests
 /// against either one direct backend (`backends == 0`) or a router
-/// fronting `backends` in-process servers. Returns requests/second.
-fn router_load(model: &PowerModel, backends: usize, conns: usize, rounds: usize) -> f64 {
+/// fronting `backends` in-process servers, speaking `encoding` on the
+/// wire (negotiated per connection). Returns requests/second.
+fn router_load(
+    model: &PowerModel,
+    backends: usize,
+    conns: usize,
+    rounds: usize,
+    encoding: Encoding,
+) -> f64 {
     use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
-    use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
+    use pmc_serve::protocol::{encode_frame_as, read_frame, unwrap_response, Request};
     use std::io::Write as _;
 
     let cfg = ServerConfig {
@@ -262,21 +342,34 @@ fn router_load(model: &PowerModel, backends: usize, conns: usize, rounds: usize)
         deltas: model.events.iter().map(|e| row.rate(*e) * avail).collect(),
         missing: vec![],
     };
-    let mut frame = Vec::new();
-    write_frame(&mut frame, &Request::Ingest(sample).to_json_value()).unwrap();
+    let frame = encode_frame_as(&Request::Ingest(sample).to_json_value(), encoding).unwrap();
+    let hello = (encoding != Encoding::Json).then(|| {
+        encode_frame_as(
+            &Request::Hello {
+                encoding: encoding.as_str().to_string(),
+            }
+            .to_json_value(),
+            Encoding::Json,
+        )
+        .unwrap()
+    });
 
     let mut streams: Vec<std::net::TcpStream> = (0..conns)
         .map(|_| std::net::TcpStream::connect(front).unwrap())
         .collect();
     for (i, s) in streams.iter_mut().enumerate() {
         s.set_nodelay(true).unwrap();
-        let mut rf = Vec::new();
-        write_frame(
-            &mut rf,
+        if let Some(hf) = &hello {
+            s.write_all(hf).unwrap();
+            let resp = read_frame(s).unwrap().expect("closed during hello");
+            unwrap_response(resp).expect("hello failed");
+        }
+        let rf = encode_frame_as(
             &Request::Resume {
                 token: format!("fleet-bench-{i}"),
             }
             .to_json_value(),
+            encoding,
         )
         .unwrap();
         s.write_all(&rf).unwrap();
@@ -326,16 +419,19 @@ fn skip_frame(r: &mut impl std::io::Read) -> std::io::Result<()> {
 /// writes one pre-encoded ingest per connection, then collects every
 /// response. With `durable` each connection first resumes its own
 /// token, so its window is in the checkpointable (durable) namespace.
-/// Returns aggregate throughput (requests/second) and the p99 round
-/// latency in microseconds (per-request when `conns == 1`).
+/// `encoding` selects the wire codec (negotiated with a leading
+/// `hello` when binary). Returns aggregate throughput
+/// (requests/second) and the p99 round latency in microseconds
+/// (per-request when `conns == 1`).
 fn socket_load(
     cfg: &ServerConfig,
     model: &PowerModel,
     conns: usize,
     rounds: usize,
     durable: bool,
+    encoding: Encoding,
 ) -> (f64, f64) {
-    use pmc_serve::protocol::{read_frame, unwrap_response, write_frame, Request};
+    use pmc_serve::protocol::{encode_frame_as, read_frame, unwrap_response, Request};
     use std::io::Write as _;
 
     let mut server = PowerServer::start(cfg.clone(), Arc::new(ModelRegistry::default())).unwrap();
@@ -356,8 +452,7 @@ fn socket_load(
         missing: vec![],
     };
     // Encode the request once; every connection replays the bytes.
-    let mut frame = Vec::new();
-    write_frame(&mut frame, &Request::Ingest(sample).to_json_value()).unwrap();
+    let frame = encode_frame_as(&Request::Ingest(sample).to_json_value(), encoding).unwrap();
 
     let mut streams: Vec<std::net::TcpStream> = (0..conns)
         .map(|_| std::net::TcpStream::connect(addr).unwrap())
@@ -365,15 +460,29 @@ fn socket_load(
     for s in &mut streams {
         s.set_nodelay(true).unwrap();
     }
+    if encoding != Encoding::Json {
+        let hf = encode_frame_as(
+            &Request::Hello {
+                encoding: encoding.as_str().to_string(),
+            }
+            .to_json_value(),
+            Encoding::Json,
+        )
+        .unwrap();
+        for s in &mut streams {
+            s.write_all(&hf).unwrap();
+            let resp = read_frame(s).unwrap().expect("server closed");
+            unwrap_response(resp).expect("hello failed");
+        }
+    }
     if durable {
         for (i, s) in streams.iter_mut().enumerate() {
-            let mut rf = Vec::new();
-            write_frame(
-                &mut rf,
+            let rf = encode_frame_as(
                 &Request::Resume {
                     token: format!("bench-{i}"),
                 }
                 .to_json_value(),
+                encoding,
             )
             .unwrap();
             s.write_all(&rf).unwrap();

@@ -85,6 +85,12 @@ impl TrainingEnvelope {
     }
 }
 
+/// Rows per strip in the columnar kernel's inner loops
+/// ([`PowerModel::predict_raw_columns_into`]). Eight f64 lanes span a
+/// full AVX-512 register and two AVX2 ones; the tail under one strip
+/// runs scalar.
+pub const COLUMN_CHUNK: usize = 8;
+
 /// A fitted Equation 1 power model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerModel {
@@ -285,6 +291,83 @@ impl PowerModel {
         Ok(())
     }
 
+    /// Column-major counterpart of [`Self::predict_raw_batch_into`]:
+    /// `columns` holds one contiguous run of `points.len()` rates per
+    /// model event (`columns[n * rows + i]` is row `i`'s rate for event
+    /// `n`) — the structure-of-arrays layout the serving tier gathers
+    /// batches into.
+    ///
+    /// The kernel walks events in the outer loop and rows in the inner
+    /// one, in fixed [`COLUMN_CHUNK`]-wide strips the autovectorizer
+    /// can lower to SIMD. Per row, the operation sequence is exactly
+    /// `predict_raw`'s — base term first, then `(αₙ·rₙ)·V²f` added in
+    /// event order — so results stay bitwise identical to the scalar
+    /// row-major path. (Rust does not contract `a*b + c` into a fused
+    /// multiply-add, so each lane performs the same two roundings the
+    /// scalar loop does.)
+    ///
+    /// `v2f` is caller-owned scratch (cleared first) holding the per-
+    /// row `V²f` column, so a long-running estimator allocates nothing
+    /// per batch once its buffers reach steady-state capacity.
+    pub fn predict_raw_columns_into(
+        &self,
+        columns: &[f64],
+        points: &[(f64, u32)],
+        v2f: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let width = self.events.len();
+        let rows = points.len();
+        if columns.len() != rows * width {
+            return Err(ModelError::BadDataset {
+                what: "predict_raw_columns",
+                reason: format!(
+                    "expected {} column values for {} rows of width {}, got {}",
+                    rows * width,
+                    rows,
+                    width,
+                    columns.len()
+                ),
+            });
+        }
+        v2f.clear();
+        v2f.reserve(rows);
+        out.clear();
+        out.reserve(rows);
+        // Base term + V²f column, one pass in row order.
+        for &(voltage, freq_mhz) in points {
+            let f = voltage * voltage * (freq_mhz as f64 / 1000.0);
+            v2f.push(f);
+            out.push(self.beta * f + self.gamma * voltage + self.delta);
+        }
+        // Counter terms: events outer, rows inner, chunked strips.
+        let alpha = &self.alpha[..width];
+        for (n, &a) in alpha.iter().enumerate() {
+            let col = &columns[n * rows..(n + 1) * rows];
+            let mut i = 0;
+            while i + COLUMN_CHUNK <= rows {
+                // Fixed-size array views: the lane count is a compile
+                // time constant, so every bounds check vanishes and
+                // the loop lowers to straight-line SIMD.
+                let acc: &mut [f64; COLUMN_CHUNK] =
+                    (&mut out[i..i + COLUMN_CHUNK]).try_into().expect("strip");
+                let rate: &[f64; COLUMN_CHUNK] =
+                    col[i..i + COLUMN_CHUNK].try_into().expect("strip");
+                let scale: &[f64; COLUMN_CHUNK] =
+                    v2f[i..i + COLUMN_CHUNK].try_into().expect("strip");
+                for lane in 0..COLUMN_CHUNK {
+                    acc[lane] += a * rate[lane] * scale[lane];
+                }
+                i += COLUMN_CHUNK;
+            }
+            while i < rows {
+                out[i] += a * col[i] * v2f[i];
+                i += 1;
+            }
+        }
+        Ok(())
+    }
+
     /// Serializes the model to JSON (deployable artifact).
     pub fn to_json(&self) -> Result<String> {
         Ok(self.to_json_value().to_string_pretty())
@@ -455,6 +538,58 @@ mod tests {
                 "row {i} diverges from predict_batch"
             );
         }
+    }
+
+    #[test]
+    fn predict_raw_columns_bitwise_matches_row_major_batch() {
+        let d = linear_dataset(67); // not a multiple of COLUMN_CHUNK
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let rows = d.rows();
+        let width = m.events.len();
+        let mut rates = Vec::new();
+        let mut points = Vec::new();
+        for row in rows {
+            for &e in &m.events {
+                rates.push(row.rate(e));
+            }
+            points.push((row.voltage, row.freq_mhz));
+        }
+        let mut columns = vec![0.0; rates.len()];
+        for i in 0..points.len() {
+            for n in 0..width {
+                columns[n * points.len() + i] = rates[i * width + n];
+            }
+        }
+        let mut row_major = Vec::new();
+        m.predict_raw_batch_into(&rates, &points, &mut row_major)
+            .unwrap();
+        let (mut v2f, mut columnar) = (Vec::new(), Vec::new());
+        m.predict_raw_columns_into(&columns, &points, &mut v2f, &mut columnar)
+            .unwrap();
+        assert_eq!(columnar.len(), row_major.len());
+        for i in 0..columnar.len() {
+            assert_eq!(
+                columnar[i].to_bits(),
+                row_major[i].to_bits(),
+                "row {i} diverges between columnar and row-major kernels"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_raw_columns_rejects_misaligned_columns() {
+        let d = linear_dataset(10);
+        let m = PowerModel::fit(&d, &FIXTURE_EVENTS).unwrap();
+        let (mut v2f, mut out) = (Vec::new(), Vec::new());
+        let err = m
+            .predict_raw_columns_into(
+                &[0.1, 0.2, 0.3],
+                &[(1.0, 2000), (1.0, 2000)],
+                &mut v2f,
+                &mut out,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ModelError::BadDataset { .. }));
     }
 
     #[test]

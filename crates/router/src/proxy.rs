@@ -72,8 +72,9 @@ use crate::stats::RouterStats;
 use crate::sync::{self, Repl};
 use pmc_json::Json;
 use pmc_serve::protocol::{
-    encode_frame, error_response, frame_deadline_ms, ok_response, parse_frame, read_frame,
-    unwrap_response, with_deadline_ms, write_frame, FrameError, Request, MAX_FRAME_BYTES,
+    encode_frame, encode_frame_as, error_response, frame_deadline_ms, ok_response, parse_frame,
+    raw_frame_encoding, read_frame, unwrap_response, with_deadline_ms, write_frame, Encoding,
+    FrameError, Request, MAX_FRAME_BYTES,
 };
 use pmc_serve::tokenhash::{fnv1a, resume_key};
 use pmc_serve::ServeError;
@@ -489,6 +490,14 @@ struct Conn {
     inflight: bool,
     closing: bool,
     eof: bool,
+    /// Wire encoding negotiated by this client's `hello` — answered
+    /// inline by the router (never relayed) so the router is the one
+    /// authority; every upstream is brought into agreement by a
+    /// router-injected hello on (re)connect.
+    encoding: Encoding,
+    /// A non-`hello` frame has been dispatched: the negotiation
+    /// window is closed, same rule the backend core applies.
+    saw_data: bool,
 }
 
 impl Conn {
@@ -509,6 +518,8 @@ impl Conn {
             inflight: false,
             closing: false,
             eof: false,
+            encoding: Encoding::Json,
+            saw_data: false,
         }
     }
 
@@ -517,7 +528,7 @@ impl Conn {
     }
 
     fn queue(&mut self, payload: &Json) {
-        match encode_frame(payload) {
+        match encode_frame_as(payload, self.encoding) {
             Ok(bytes) => self.write_buf.extend_from_slice(&bytes),
             Err(_) => self.closing = true,
         }
@@ -690,7 +701,9 @@ fn core_loop(listener: TcpListener, shared: &Shared, stop: &AtomicBool) {
             for (_, mut conn) in conns.drain() {
                 // Best-effort parting notice; the socket close is the
                 // real signal.
-                if let Ok(bytes) = encode_frame(&error_response(&ServeError::Draining)) {
+                if let Ok(bytes) =
+                    encode_frame_as(&error_response(&ServeError::Draining), conn.encoding)
+                {
                     let _ = conn.stream.write(&bytes);
                 }
                 let _ = conn.stream.shutdown(Shutdown::Both);
@@ -1273,6 +1286,22 @@ fn fire_hedge_if_due(conn: &mut Conn, shared: &Shared, now: Instant) {
         write_pos: 0,
         swallow: 0,
     };
+    // The standby must answer in the same encoding the primary does,
+    // or the bitwise hedge comparison would flag every race as a
+    // mismatch: replay the hello first on binary connections.
+    if conn.encoding != Encoding::Json {
+        let hello = Request::Hello {
+            encoding: conn.encoding.as_str().to_string(),
+        }
+        .to_json_value();
+        match encode_frame(&hello) {
+            Ok(bytes) => {
+                up.write_buf.extend_from_slice(&bytes);
+                up.swallow += 1;
+            }
+            Err(_) => return,
+        }
+    }
     // The hedge copy must read the same durable window the primary
     // would: bind the one-shot connection to the token first.
     let payload = Request::Resume { token }.to_json_value();
@@ -1294,6 +1323,13 @@ fn fire_hedge_if_due(conn: &mut Conn, shared: &Shared, now: Instant) {
 /// Classifies one client frame and either answers it inline or relays
 /// it (verbatim) to the owning backend.
 fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dispatch {
+    let op = frame.str_field("op").unwrap_or("");
+    // Any non-hello frame closes the negotiation window — the same
+    // rule the backend core applies, so the router's inline verdict
+    // on a late `hello` matches what a direct connection would say.
+    if op != "hello" {
+        conn.saw_data = true;
+    }
     // Deadline propagation: charge the frame's budget the router's
     // hop cost before it goes anywhere. A budget the hop would
     // consume is refused here, typed — the backend round trip would
@@ -1308,8 +1344,11 @@ fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dis
             }));
             return Dispatch::Inline;
         }
+        // The restamped copy must keep the frame's own wire encoding:
+        // a binary request hedged later is re-sent verbatim, and the
+        // standby must see the same encoding the primary did.
         let restamped = with_deadline_ms(frame, ms - ROUTER_HOP_COST_MS);
-        match encode_frame(&restamped) {
+        match encode_frame_as(&restamped, raw_frame_encoding(&raw)) {
             Ok(bytes) => raw = bytes,
             Err(_) => {
                 conn.closing = true;
@@ -1317,8 +1356,39 @@ fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dis
             }
         }
     }
-    let op = frame.str_field("op").unwrap_or("");
     match op {
+        // Encoding negotiation is a connection property, and the
+        // router owns the client connection: answer inline with the
+        // exact verdict (and bytes) the backend core would produce,
+        // then bring each upstream into agreement by injecting a
+        // hello when it is (re)connected.
+        "hello" => {
+            RouterStats::bump(&shared.stats.frames_inline);
+            if conn.saw_data {
+                conn.queue(&error_response(&ServeError::Protocol {
+                    reason: "hello must precede all data frames".into(),
+                }));
+                return Dispatch::Inline;
+            }
+            let name = frame.str_field("encoding").unwrap_or("json");
+            let (agreed, notice) = match Encoding::from_name(name) {
+                Some(e) => (e, None),
+                None => (
+                    Encoding::Json,
+                    Some(format!("unknown encoding {name:?}, using json")),
+                ),
+            };
+            conn.encoding = agreed;
+            if agreed == Encoding::Binary {
+                RouterStats::bump(&shared.stats.binary_conns);
+            }
+            let mut fields = vec![("encoding", Json::from(agreed.as_str()))];
+            if let Some(n) = notice {
+                fields.push(("notice", Json::from(n.as_str())));
+            }
+            conn.queue(&ok_response(Json::obj(fields)));
+            Dispatch::Inline
+        }
         // The router's own health surface: answered even with every
         // backend down.
         "healthz" => {
@@ -1523,6 +1593,28 @@ fn forward_to(
             write_pos: 0,
             swallow: 0,
         };
+        // A binary-negotiated client must find every fresh upstream
+        // speaking binary too — responses are relayed verbatim, and a
+        // reconnect must not silently switch the wire encoding
+        // mid-connection. Replay the hello before anything else (it
+        // must precede the injected resume, which counts as data);
+        // its reply is the router's business, not the client's.
+        if conn.encoding != Encoding::Json {
+            let hello = Request::Hello {
+                encoding: conn.encoding.as_str().to_string(),
+            }
+            .to_json_value();
+            match encode_frame(&hello) {
+                Ok(bytes) => {
+                    up.write_buf.extend_from_slice(&bytes);
+                    up.swallow += 1;
+                }
+                Err(_) => {
+                    conn.closing = true;
+                    return Dispatch::Inline;
+                }
+            }
+        }
         // A re-routed connection with a bound identity must re-bind
         // before its next request, or the backend would file samples
         // under a cold ephemeral window. The injected resume's

@@ -79,6 +79,8 @@ pub struct RouterStats {
     pub outlier_ejections: AtomicU64,
     /// Soft-ejected backends re-admitted after sustained recovery.
     pub outlier_readmissions: AtomicU64,
+    /// Client connections that negotiated the binary wire encoding.
+    pub binary_conns: AtomicU64,
 }
 
 impl RouterStats {
@@ -153,6 +155,7 @@ impl RouterStats {
                 read(&self.outlier_readmissions),
                 false,
             ),
+            ("binary_conns", read(&self.binary_conns), false),
         ]
     }
 

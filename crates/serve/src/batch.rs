@@ -29,7 +29,7 @@
 //! jobs land in which batch — batch formation is deterministic given an
 //! arrival schedule, never timing-dependent.
 
-use crate::protocol::is_ingest_frame;
+use crate::protocol::{is_ingest_frame, Encoding};
 use pmc_json::Json;
 use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
 use std::sync::Mutex;
@@ -51,6 +51,9 @@ pub(crate) struct Job {
     /// budget, resolved against the local clock at enqueue time.
     /// `None` when the client stamped no budget.
     pub deadline: Option<Instant>,
+    /// The connection's negotiated response encoding at enqueue time —
+    /// workers pre-encode responses, so it must ride with the job.
+    pub encoding: Encoding,
 }
 
 impl Job {
@@ -303,6 +306,7 @@ mod tests {
                 frame: Json::obj(vec![("op", Json::from("ingest"))]),
                 enqueued: probe_base + at,
                 deadline: None,
+                encoding: Encoding::Json,
             },
         )
     }
@@ -317,6 +321,7 @@ mod tests {
                 frame: Json::obj(vec![("op", Json::from("stats"))]),
                 enqueued: probe_base + at,
                 deadline: None,
+                encoding: Encoding::Json,
             },
         )
     }

@@ -31,7 +31,9 @@
 
 use crate::engine::{CounterSample, Estimate};
 use crate::error::ServeError;
-use crate::protocol::{read_frame, unwrap_response, with_deadline_ms, write_frame, Request};
+use crate::protocol::{
+    read_frame, unwrap_response, with_deadline_ms, write_frame_as, Encoding, Request,
+};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
 use std::io::{Read, Write};
@@ -283,6 +285,10 @@ pub struct PowerClient {
     /// remainder — a retried request can never outlive the original
     /// patience, no matter how many hops or backoffs it crosses.
     deadline_budget: Option<Duration>,
+    /// The payload encoding negotiated with [`Self::negotiate_encoding`]
+    /// (JSON until then), replayed on every reconnect before the
+    /// resume token so a re-route keeps the agreed wire format.
+    encoding: Encoding,
     /// What this client has experienced (see [`ClientStats`]).
     stats_local: ClientStats,
 }
@@ -311,6 +317,7 @@ impl PowerClient {
             rng: 0,
             resume_token: None,
             deadline_budget: None,
+            encoding: Encoding::Json,
             stats_local: ClientStats::default(),
         })
     }
@@ -328,6 +335,7 @@ impl PowerClient {
             rng: 0,
             resume_token: None,
             deadline_budget: None,
+            encoding: Encoding::Json,
             stats_local: ClientStats::default(),
         })
     }
@@ -352,6 +360,29 @@ impl PowerClient {
     pub fn with_deadline(mut self, budget: Duration) -> Self {
         self.deadline_budget = Some(budget);
         self
+    }
+
+    /// Negotiates the connection's frame payload encoding via the
+    /// `hello` op. Must run before any data frame (the server refuses
+    /// a late hello with a typed error). Returns the encoding the
+    /// server agreed to — a server that does not speak the requested
+    /// name falls back to JSON with a typed notice, so the client
+    /// simply keeps speaking what was agreed. The negotiation is
+    /// sticky: every reconnect replays it before the resume token.
+    pub fn negotiate_encoding(&mut self, encoding: Encoding) -> Result<Encoding, ServeError> {
+        let payload = Request::Hello {
+            encoding: encoding.as_str().to_string(),
+        }
+        .to_json_value();
+        let r = self.call_once(&payload)?;
+        let agreed = Encoding::from_name(r.str_field("encoding")?).unwrap_or(Encoding::Json);
+        self.encoding = agreed;
+        Ok(agreed)
+    }
+
+    /// The payload encoding this client currently speaks.
+    pub fn encoding(&self) -> Encoding {
+        self.encoding
     }
 
     /// The client-side counters: deadline exceedances, overloads,
@@ -401,6 +432,18 @@ impl PowerClient {
         };
         if let Ok(s) = fresh {
             self.stream = s;
+            // Replay the encoding negotiation first: hello must
+            // precede every data frame on the fresh connection
+            // (including the resume replay below). Best effort, like
+            // resume — and harmless if it fails, since both peers
+            // sniff payload encodings per frame.
+            if self.encoding != Encoding::Json {
+                let hello = Request::Hello {
+                    encoding: self.encoding.as_str().to_string(),
+                }
+                .to_json_value();
+                let _ = self.call_once(&hello);
+            }
             // Re-bind the durable identity before the caller's request
             // is retried: resume is connection-scoped, so without the
             // replay a reconnect (or a router re-route to a different
@@ -509,7 +552,7 @@ impl PowerClient {
     }
 
     fn call_once(&mut self, payload: &Json) -> Result<Json, ServeError> {
-        write_frame(&mut self.stream, payload)?;
+        write_frame_as(&mut self.stream, payload, self.encoding)?;
         let frame = read_frame(&mut self.stream)?.ok_or(ServeError::Protocol {
             reason: "server closed the connection".into(),
         })?;

@@ -355,9 +355,32 @@ impl EstimatorEngine {
             }
         }
         let mut powers = Vec::with_capacity(points.len());
-        model
-            .predict_raw_batch_into(&rates, &points, &mut powers)
-            .expect("prepare emits exactly one aligned rate row per accepted request");
+        if points.len() > 1 {
+            // Columnar path: transpose the row-major prepare output
+            // into one contiguous column per model event, evaluate the
+            // Eq.-1 terms column-wise (SIMD-friendly strips), results
+            // come back in request order. Bitwise identical to the
+            // scalar path — see `predict_raw_columns_into`.
+            let rows = points.len();
+            let mut columns = vec![0.0f64; rows * width];
+            for i in 0..rows {
+                let row = &rates[i * width..(i + 1) * width];
+                for (n, &r) in row.iter().enumerate() {
+                    columns[n * rows + i] = r;
+                }
+            }
+            let mut v2f = Vec::with_capacity(rows);
+            model
+                .predict_raw_columns_into(&columns, &points, &mut v2f, &mut powers)
+                .expect("prepare emits exactly one aligned rate row per accepted request");
+        } else {
+            // Single-row batches (and `--batch-max 1` servers) keep the
+            // scalar row-major kernel: the bitwise reference the
+            // equivalence harness compares the columnar path against.
+            model
+                .predict_raw_batch_into(&rates, &points, &mut powers)
+                .expect("prepare emits exactly one aligned rate row per accepted request");
+        }
         let mut out = Vec::with_capacity(requests.len());
         let mut next_power = powers.iter();
         for ((client, sample), prep) in requests.iter().zip(prepped) {
@@ -1130,6 +1153,120 @@ mod tests {
         let a_snap = eng.export_clients(|_| true);
         let b_snap = dup.export_clients(|_| true);
         assert_eq!(a_snap[0].window, b_snap[0].window);
+    }
+
+    /// Property test for the columnar kernel against the scalar
+    /// reference: hand-built models over every interesting
+    /// counter-group width — N=0 (pure base term), N=1, and widths
+    /// and row counts that are not multiples of the chunk — with
+    /// seeded random coefficients and rates, must agree bit for bit.
+    #[test]
+    fn columnar_kernel_bitwise_matches_scalar_across_widths() {
+        use pmc_events::PapiEvent;
+        use pmc_model::model::{PowerModel, COLUMN_CHUNK};
+
+        fn splitmix(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+        fn unit(state: &mut u64) -> f64 {
+            (splitmix(state) >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        let event_pool = [
+            PapiEvent::PRF_DM,
+            PapiEvent::TOT_CYC,
+            PapiEvent::TLB_IM,
+            PapiEvent::STL_ICY,
+            PapiEvent::FUL_CCY,
+            PapiEvent::BR_MSP,
+        ];
+        let mut state = 0xC0FFEEu64;
+        // Widths straddle 0, 1, and non-multiples of anything; row
+        // counts straddle the chunk boundary (below, at, above, and a
+        // large non-multiple).
+        for width in [0usize, 1, 2, 3, 5, 6] {
+            for rows in [1usize, COLUMN_CHUNK - 1, COLUMN_CHUNK, COLUMN_CHUNK + 1, 67] {
+                let model = PowerModel {
+                    events: event_pool[..width].to_vec(),
+                    alpha: (0..width).map(|_| unit(&mut state) * 100.0).collect(),
+                    beta: unit(&mut state) * 30.0,
+                    gamma: unit(&mut state) * 50.0,
+                    delta: unit(&mut state) * 80.0,
+                    fit_r_squared: 0.0,
+                    fit_adj_r_squared: 0.0,
+                    std_errors: vec![0.0; width + 3],
+                    n_observations: 0,
+                    envelope: None,
+                };
+                let mut rates = Vec::with_capacity(rows * width);
+                let mut points = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    for _ in 0..width {
+                        rates.push(unit(&mut state) * 0.3);
+                    }
+                    points.push((
+                        0.7 + unit(&mut state),
+                        1200 + (splitmix(&mut state) % 1600) as u32,
+                    ));
+                }
+                let mut columns = vec![0.0f64; rows * width];
+                for i in 0..rows {
+                    for n in 0..width {
+                        columns[n * rows + i] = rates[i * width + n];
+                    }
+                }
+                let (mut v2f, mut columnar) = (Vec::new(), Vec::new());
+                model
+                    .predict_raw_columns_into(&columns, &points, &mut v2f, &mut columnar)
+                    .unwrap();
+                assert_eq!(columnar.len(), rows);
+                for (i, &(voltage, freq_mhz)) in points.iter().enumerate() {
+                    let scalar = model
+                        .predict_raw(&rates[i * width..(i + 1) * width], voltage, freq_mhz)
+                        .unwrap();
+                    assert_eq!(
+                        columnar[i].to_bits(),
+                        scalar.to_bits(),
+                        "width {width} rows {rows} row {i}: columnar != scalar"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The engine's batched path (which picks the columnar kernel for
+    /// multi-row batches) stays bitwise identical to sequential
+    /// single-sample ingestion — the end-to-end version of the kernel
+    /// property above.
+    #[test]
+    fn estimate_batch_columnar_path_bitwise_matches_sequential() {
+        let batched = engine();
+        let solo = engine();
+        let a = tiny_artifact();
+        let data = tiny_dataset(12);
+        let requests: Vec<(u64, CounterSample)> = data
+            .rows()
+            .iter()
+            .enumerate()
+            .map(|(i, row)| {
+                (
+                    (i % 3) as u64,
+                    sample_from_row(row, &a, (i as u64 + 1) * 50),
+                )
+            })
+            .collect();
+        let via_batch = batched.estimate_batch(&requests, &a);
+        assert!(requests.len() > 1, "must exercise the columnar path");
+        for ((client, sample), got) in requests.iter().zip(via_batch) {
+            let want = solo.ingest(*client, sample, &a).unwrap();
+            let got = got.unwrap();
+            assert_eq!(got.power_w.to_bits(), want.power_w.to_bits());
+            assert_eq!(got.window_power_w.to_bits(), want.window_power_w.to_bits());
+        }
     }
 
     #[test]

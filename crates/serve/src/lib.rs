@@ -19,10 +19,13 @@
 //!    events per available core cycle exactly as the offline dataset
 //!    assembly does, with out-of-envelope and staleness flags.
 //! 3. **[`server`] / [`client`] / [`protocol`]** — a
-//!    readiness-based server speaking 4-byte-length-prefixed JSON
-//!    frames (`ingest`, `estimate`, `load_model`, `activate`,
+//!    readiness-based server speaking 4-byte-length-prefixed frames
+//!    (`ingest`, `estimate`, `load_model`, `activate`,
 //!    `rollback`, `stats`, `ping`, `healthz`, `readyz`, `metrics`,
-//!    `resume`, `checkpoint`) over localhost TCP and optionally
+//!    `resume`, `checkpoint`) — payloads in UTF-8 JSON by default, or
+//!    the self-describing `PMCB1` tagged binary encoding negotiated
+//!    per connection with a leading `hello {"encoding": "binary"}`
+//!    op ([`protocol::Encoding`]) — over localhost TCP and optionally
 //!    a Unix domain socket. One non-blocking core thread multiplexes
 //!    every connection over a **supervised** worker pool: a worker
 //!    panic is contained by `catch_unwind` (the affected request gets
@@ -83,6 +86,7 @@ pub use checkpoint::{CheckpointData, CheckpointOutcome};
 pub use client::{BreakerPolicy, ClientStats, HedgeStats, PowerClient, RetryPolicy};
 pub use engine::{ClientSnapshot, CounterSample, EngineConfig, Estimate, EstimatorEngine};
 pub use error::ServeError;
+pub use protocol::Encoding;
 pub use registry::{ModelRegistry, RecoveryReport};
 pub use server::{CheckpointRestore, PowerServer, ServerConfig};
 

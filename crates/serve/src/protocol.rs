@@ -1,12 +1,41 @@
-//! The wire protocol: length-prefixed JSON frames over a byte stream.
+//! The wire protocol: length-prefixed frames over a byte stream.
 //!
 //! Every frame is a 4-byte big-endian payload length followed by that
-//! many bytes of UTF-8 JSON (one object). Requests carry an `"op"`
-//! field; responses carry `"status": "ok"` with a `"result"` payload
-//! or `"status": "error"` with an `"error"` message. Frames larger
-//! than [`MAX_FRAME_BYTES`] are rejected without being read — a
-//! malformed or hostile length prefix must not make the server
-//! allocate gigabytes.
+//! many payload bytes in one of two negotiable encodings. The default
+//! is UTF-8 JSON (one object); a connection may negotiate the `PMCB1`
+//! tagged binary encoding via a `hello {"encoding": "binary"}` op (see
+//! [`Encoding`]). Binary payloads are self-describing — they start
+//! with the 5-byte magic `PMCB1`, which no valid JSON payload can —
+//! so the parse path accepts either encoding on any frame without
+//! per-connection decode state. Requests carry an `"op"` field;
+//! responses carry `"status": "ok"` with a `"result"` payload or
+//! `"status": "error"` with an `"error"` message. Frames larger than
+//! [`MAX_FRAME_BYTES`] are rejected without being read — a malformed
+//! or hostile length prefix must not make the server allocate
+//! gigabytes.
+//!
+//! ## The `PMCB1` binary payload
+//!
+//! After the magic, one tagged value, recursively:
+//!
+//! | tag | value | layout after the tag |
+//! |-----|-------|----------------------|
+//! | `0x00` | null | — |
+//! | `0x01` | false | — |
+//! | `0x02` | true | — |
+//! | `0x03` | number | 8-byte little-endian IEEE-754 bit pattern |
+//! | `0x04` | string | u32 LE byte length + UTF-8 bytes |
+//! | `0x05` | array | u32 LE count + that many tagged values |
+//! | `0x06` | object | u32 LE count + (u32 LE key length + key UTF-8 + tagged value) each |
+//! | `0x07` | f64 array | u32 LE count + count × 8-byte LE bit patterns |
+//!
+//! Tag `0x07` is an encoder fast path for all-number arrays (counter
+//! deltas are the hot payload); decoders treat it as an array of
+//! numbers. Floats travel as raw bit patterns, so round-trips are
+//! exact by construction — no shortest-float printing involved. The
+//! JSON encoding serializes non-finite floats as `null`; the binary
+//! encoder mirrors that (and the decoder rejects non-finite bit
+//! patterns), so both encodings agree on every payload.
 
 use crate::engine::CounterSample;
 use crate::error::ServeError;
@@ -18,6 +47,58 @@ use std::io::{Read, Write};
 /// path can tighten this per deployment via
 /// [`read_frame_limited`].
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Magic prefix of a `PMCB1` binary frame payload. A JSON payload can
+/// never start with these bytes (`P` begins no JSON value), so the
+/// payload encoding is sniffable per frame.
+pub const BINARY_MAGIC: &[u8; 5] = b"PMCB1";
+
+/// Nesting cap for binary payload decoding, matching
+/// [`pmc_json::MAX_DEPTH`] so neither encoding can recurse deeper
+/// than the other.
+const MAX_BINARY_DEPTH: usize = pmc_json::MAX_DEPTH;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_NUM: u8 = 0x03;
+const TAG_STR: u8 = 0x04;
+const TAG_ARR: u8 = 0x05;
+const TAG_OBJ: u8 = 0x06;
+const TAG_F64S: u8 = 0x07;
+
+/// A frame payload encoding, negotiated per connection via the
+/// `hello` op. JSON is the default: every peer speaks it, and a
+/// connection that never sends `hello` is a JSON connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Encoding {
+    /// UTF-8 JSON text — the default and the interoperable baseline.
+    #[default]
+    Json,
+    /// `PMCB1` tagged binary: floats as raw little-endian bit
+    /// patterns, no per-frame text parse on the hot path.
+    Binary,
+}
+
+impl Encoding {
+    /// The wire name used in `hello` negotiation.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Encoding::Json => "json",
+            Encoding::Binary => "binary",
+        }
+    }
+
+    /// Parses a wire name; `None` for encodings this build does not
+    /// speak (the server's negotiation falls back to JSON for those).
+    pub fn from_name(name: &str) -> Option<Encoding> {
+        match name {
+            "json" => Some(Encoding::Json),
+            "binary" => Some(Encoding::Binary),
+            _ => None,
+        }
+    }
+}
 
 /// True for the error kinds a socket read returns when its read
 /// timeout expires (platform-dependent: `WouldBlock` or `TimedOut`).
@@ -34,6 +115,223 @@ pub fn write_frame(w: &mut impl Write, payload: &Json) -> Result<(), ServeError>
     w.write_all(&bytes)?;
     w.flush()?;
     Ok(())
+}
+
+/// Writes one frame in the given payload encoding.
+pub fn write_frame_as(
+    w: &mut impl Write,
+    payload: &Json,
+    encoding: Encoding,
+) -> Result<(), ServeError> {
+    let bytes = encode_frame_as(payload, encoding)?;
+    w.write_all(&bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Serializes one value as a tagged `PMCB1` binary body (no magic, no
+/// length prefix — [`encode_frame_as`] adds both).
+fn encode_binary_value(v: &Json, out: &mut Vec<u8>) {
+    match v {
+        Json::Null => out.push(TAG_NULL),
+        Json::Bool(false) => out.push(TAG_FALSE),
+        Json::Bool(true) => out.push(TAG_TRUE),
+        Json::Num(x) => {
+            if x.is_finite() {
+                out.push(TAG_NUM);
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            } else {
+                // The JSON encoding serializes non-finite floats as
+                // null; mirror it so both encodings agree.
+                out.push(TAG_NULL);
+            }
+        }
+        Json::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Json::Arr(items) => {
+            let all_finite_nums = !items.is_empty()
+                && items
+                    .iter()
+                    .all(|i| matches!(i, Json::Num(x) if x.is_finite()));
+            if all_finite_nums {
+                // Packed fast path: counter-delta arrays are the hot
+                // payload, one tag + contiguous bit patterns.
+                out.push(TAG_F64S);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for i in items {
+                    if let Json::Num(x) = i {
+                        out.extend_from_slice(&x.to_bits().to_le_bytes());
+                    }
+                }
+            } else {
+                out.push(TAG_ARR);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for i in items {
+                    encode_binary_value(i, out);
+                }
+            }
+        }
+        Json::Obj(fields) => {
+            out.push(TAG_OBJ);
+            out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+            for (k, val) in fields {
+                out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                out.extend_from_slice(k.as_bytes());
+                encode_binary_value(val, out);
+            }
+        }
+    }
+}
+
+fn binary_error(reason: impl Into<String>) -> ServeError {
+    ServeError::Protocol {
+        reason: format!("binary payload: {}", reason.into()),
+    }
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], ServeError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| binary_error("truncated value"))?;
+    let slice = &buf[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u32(buf: &[u8], pos: &mut usize) -> Result<u32, ServeError> {
+    let b = take(buf, pos, 4)?;
+    Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+}
+
+fn take_f64(buf: &[u8], pos: &mut usize) -> Result<f64, ServeError> {
+    let b = take(buf, pos, 8)?;
+    let x = f64::from_bits(u64::from_le_bytes([
+        b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+    ]));
+    if !x.is_finite() {
+        return Err(binary_error("non-finite float bit pattern"));
+    }
+    Ok(x)
+}
+
+fn take_str(buf: &[u8], pos: &mut usize) -> Result<String, ServeError> {
+    let len = take_u32(buf, pos)? as usize;
+    let bytes = take(buf, pos, len).map_err(|_| binary_error("truncated string"))?;
+    std::str::from_utf8(bytes)
+        .map(str::to_string)
+        .map_err(|_| binary_error("string is not UTF-8"))
+}
+
+fn decode_binary_value(buf: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ServeError> {
+    if depth > MAX_BINARY_DEPTH {
+        return Err(binary_error(format!(
+            "nesting exceeds {MAX_BINARY_DEPTH} levels"
+        )));
+    }
+    let tag = take(buf, pos, 1)?[0];
+    match tag {
+        TAG_NULL => Ok(Json::Null),
+        TAG_FALSE => Ok(Json::Bool(false)),
+        TAG_TRUE => Ok(Json::Bool(true)),
+        TAG_NUM => Ok(Json::Num(take_f64(buf, pos)?)),
+        TAG_STR => Ok(Json::Str(take_str(buf, pos)?)),
+        TAG_ARR => {
+            let count = take_u32(buf, pos)? as usize;
+            // Each element needs at least its tag byte, so a count
+            // beyond the remaining bytes is a lie — reject before
+            // allocating for it.
+            if count > buf.len() - *pos {
+                return Err(binary_error("array count exceeds payload"));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(decode_binary_value(buf, pos, depth + 1)?);
+            }
+            Ok(Json::Arr(items))
+        }
+        TAG_F64S => {
+            let count = take_u32(buf, pos)? as usize;
+            if count.saturating_mul(8) > buf.len() - *pos {
+                return Err(binary_error("f64 array count exceeds payload"));
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(Json::Num(take_f64(buf, pos)?));
+            }
+            Ok(Json::Arr(items))
+        }
+        TAG_OBJ => {
+            let count = take_u32(buf, pos)? as usize;
+            // Each field needs at least a key length and a value tag.
+            if count.saturating_mul(5) > buf.len() - *pos {
+                return Err(binary_error("object count exceeds payload"));
+            }
+            let mut fields = Vec::with_capacity(count);
+            for _ in 0..count {
+                let key = take_str(buf, pos)?;
+                let val = decode_binary_value(buf, pos, depth + 1)?;
+                fields.push((key, val));
+            }
+            Ok(Json::Obj(fields))
+        }
+        other => Err(binary_error(format!("unknown tag 0x{other:02x}"))),
+    }
+}
+
+/// Decodes one complete `PMCB1` binary payload (magic included).
+/// Rejects missing magic, truncation, unknown tags, non-finite float
+/// bit patterns, lying counts, over-deep nesting, and trailing bytes —
+/// all as in-sync payload errors (the frame was well-delimited).
+pub fn decode_binary_payload(payload: &[u8]) -> Result<Json, ServeError> {
+    let body = payload
+        .strip_prefix(BINARY_MAGIC.as_slice())
+        .ok_or_else(|| binary_error("missing PMCB1 magic"))?;
+    let mut pos = 0;
+    let v = decode_binary_value(body, &mut pos, 0)?;
+    if pos != body.len() {
+        return Err(binary_error(format!(
+            "{} trailing bytes after value",
+            body.len() - pos
+        )));
+    }
+    Ok(v)
+}
+
+/// Serializes one frame in the given payload encoding (length prefix
+/// included) — the encoding-aware sibling of [`encode_frame`].
+pub fn encode_frame_as(payload: &Json, encoding: Encoding) -> Result<Vec<u8>, ServeError> {
+    match encoding {
+        Encoding::Json => encode_frame(payload),
+        Encoding::Binary => {
+            let mut body = Vec::with_capacity(64);
+            body.extend_from_slice(BINARY_MAGIC);
+            encode_binary_value(payload, &mut body);
+            if body.len() as u64 > MAX_FRAME_BYTES as u64 {
+                return Err(ServeError::Protocol {
+                    reason: format!("outgoing frame of {} bytes exceeds cap", body.len()),
+                });
+            }
+            let mut out = Vec::with_capacity(4 + body.len());
+            out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+            out.extend_from_slice(&body);
+            Ok(out)
+        }
+    }
+}
+
+/// Sniffs the payload encoding of one complete raw frame (length
+/// prefix included) — how a relay knows which encoding to re-encode
+/// in when it must rewrite a frame it otherwise copies verbatim.
+pub fn raw_frame_encoding(raw: &[u8]) -> Encoding {
+    if raw.len() >= 4 + BINARY_MAGIC.len() && &raw[4..4 + BINARY_MAGIC.len()] == BINARY_MAGIC {
+        Encoding::Binary
+    } else {
+        Encoding::Json
+    }
 }
 
 /// Serializes one frame (length prefix + JSON text) into a byte
@@ -86,6 +384,15 @@ pub fn parse_frame(
         return Ok(None);
     }
     let payload = &buf[4..total];
+    if payload.starts_with(BINARY_MAGIC) {
+        return match decode_binary_payload(payload) {
+            Ok(v) => Ok(Some((v, total))),
+            Err(error) => Err(FrameError::Payload {
+                consumed: total,
+                error,
+            }),
+        };
+    }
     let text = match std::str::from_utf8(payload) {
         Ok(t) => t,
         Err(_) => {
@@ -181,6 +488,9 @@ pub fn read_frame_limited(r: &mut impl Read, max_bytes: u32) -> Result<Option<Js
             ServeError::Io(e)
         }
     })?;
+    if payload.starts_with(BINARY_MAGIC) {
+        return Ok(Some(decode_binary_payload(&payload)?));
+    }
     let text = std::str::from_utf8(&payload).map_err(|_| ServeError::Protocol {
         reason: "frame payload is not UTF-8".into(),
     })?;
@@ -265,6 +575,15 @@ pub enum Request {
         /// The checkpoint record produced by a `migrate_export`.
         record: Json,
     },
+    /// Negotiate the connection's frame payload encoding. Must be the
+    /// first frame on a connection (a `hello` after any data frame is
+    /// a typed error); an unknown encoding name falls back to JSON
+    /// with a typed notice in the ok response. The response travels in
+    /// the newly agreed encoding.
+    Hello {
+        /// Requested encoding name (`"json"` or `"binary"`).
+        encoding: String,
+    },
     /// `(key, dirty_seq)` for every durable (token-keyed) window on
     /// this server. The replication anti-entropy poll: a router
     /// compares sequence numbers against its last drain and exports
@@ -322,6 +641,10 @@ impl Request {
             Request::MigrateImport { record } => Json::obj(vec![
                 ("op", Json::from("migrate_import")),
                 ("record", record.clone()),
+            ]),
+            Request::Hello { encoding } => Json::obj(vec![
+                ("op", Json::from("hello")),
+                ("encoding", Json::from(encoding.as_str())),
             ]),
             Request::WindowSeqs => Json::obj(vec![("op", Json::from("window_seqs"))]),
         }
@@ -383,6 +706,13 @@ impl Request {
             "migrate_import" => Ok(Request::MigrateImport {
                 record: v.field("record")?.clone(),
             }),
+            "hello" => Ok(Request::Hello {
+                // An absent name negotiates the default explicitly.
+                encoding: v
+                    .str_field("encoding")
+                    .unwrap_or(Encoding::Json.as_str())
+                    .to_string(),
+            }),
             "window_seqs" => Ok(Request::WindowSeqs),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
@@ -431,14 +761,22 @@ pub(crate) fn is_ingest_frame(frame: &Json) -> bool {
 
 /// True if a raw request frame is an op the server core answers
 /// inline, without a worker: health/readiness probes, metrics
-/// scrapes, and connection identity binding. These must keep working
-/// when the worker pool is saturated, wedged, or flapping — that is
-/// the whole point of a liveness probe.
+/// scrapes, connection identity binding, and encoding negotiation.
+/// These must keep working when the worker pool is saturated, wedged,
+/// or flapping — that is the whole point of a liveness probe (and
+/// `hello` must mutate per-connection encoding state only the core
+/// owns).
 pub(crate) fn is_core_inline_frame(frame: &Json) -> bool {
     matches!(
         frame.str_field("op"),
-        Ok("healthz") | Ok("readyz") | Ok("metrics") | Ok("resume")
+        Ok("healthz") | Ok("readyz") | Ok("metrics") | Ok("resume") | Ok("hello")
     )
+}
+
+/// True if a raw request frame is a `hello` — the one op that does
+/// not count as a data frame for negotiation ordering.
+pub(crate) fn is_hello_frame(frame: &Json) -> bool {
+    matches!(frame.str_field("op"), Ok("hello"))
 }
 
 /// Wraps a result payload in an ok-response frame.
@@ -553,6 +891,18 @@ mod tests {
             record: Json::obj(vec![("key", Json::from("8000000000000001"))]),
         });
         roundtrip(Request::WindowSeqs);
+        roundtrip(Request::Hello {
+            encoding: "binary".into(),
+        });
+    }
+
+    #[test]
+    fn hello_without_encoding_defaults_to_json() {
+        let v = Json::obj(vec![("op", Json::from("hello"))]);
+        match Request::from_json_value(&v).unwrap() {
+            Request::Hello { encoding } => assert_eq!(encoding, "json"),
+            other => panic!("expected hello, got {other:?}"),
+        }
     }
 
     #[test]
@@ -586,7 +936,7 @@ mod tests {
 
     #[test]
     fn core_inline_ops_are_recognized() {
-        for op in ["healthz", "readyz", "metrics", "resume"] {
+        for op in ["healthz", "readyz", "metrics", "resume", "hello"] {
             assert!(is_core_inline_frame(&Json::obj(vec![(
                 "op",
                 Json::from(op)
@@ -808,6 +1158,180 @@ mod tests {
             Err(FrameError::Payload { consumed, .. }) => assert_eq!(consumed, 8),
             other => panic!("expected payload error, got {other:?}"),
         }
+    }
+
+    fn roundtrip_binary(req: Request) {
+        let v = req.to_json_value();
+        let bytes = encode_frame_as(&v, Encoding::Binary).unwrap();
+        assert_eq!(raw_frame_encoding(&bytes), Encoding::Binary);
+        let (got, consumed) = parse_frame(&bytes, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(got, v, "binary decode disagrees with the source value");
+        assert_eq!(Request::from_json_value(&got).unwrap(), req);
+        // The blocking reader takes the same bytes.
+        let via_reader = read_frame(&mut Cursor::new(&bytes)).unwrap().unwrap();
+        assert_eq!(via_reader, v);
+    }
+
+    #[test]
+    fn binary_requests_roundtrip() {
+        roundtrip_binary(Request::Ingest(CounterSample {
+            time_ns: 5,
+            duration_s: 0.5,
+            freq_mhz: 2400,
+            voltage: 1.0,
+            deltas: vec![1.0, 2.125, 1e-17, 4503599627370497.0],
+            missing: vec![1],
+        }));
+        roundtrip_binary(Request::Estimate { now_ns: 77 });
+        roundtrip_binary(Request::LoadModel {
+            name: "hsw".into(),
+            model: Json::obj(vec![("k", Json::from(1.0)), ("s", Json::from("x"))]),
+            activate: true,
+        });
+        roundtrip_binary(Request::Resume {
+            token: "client-7".into(),
+        });
+        roundtrip_binary(Request::Hello {
+            encoding: "binary".into(),
+        });
+        roundtrip_binary(Request::WindowSeqs);
+    }
+
+    #[test]
+    fn binary_floats_roundtrip_bitwise() {
+        // Bit patterns that shortest-float JSON printing also handles,
+        // plus awkward ones: subnormals, -0.0, and maximal-precision
+        // values travel as raw bits in binary.
+        for bits in [
+            0u64,
+            (-0.0f64).to_bits(),
+            f64::MIN_POSITIVE.to_bits() >> 3, // subnormal
+            1.0f64.to_bits() + 1,
+            f64::MAX.to_bits(),
+        ] {
+            let x = f64::from_bits(bits);
+            let v = Json::obj(vec![("x", Json::Num(x))]);
+            let bytes = encode_frame_as(&v, Encoding::Binary).unwrap();
+            let (got, _) = parse_frame(&bytes, MAX_FRAME_BYTES).unwrap().unwrap();
+            match got.field("x").unwrap() {
+                Json::Num(y) => assert_eq!(y.to_bits(), bits),
+                other => panic!("expected number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn binary_nonfinite_encodes_as_null_like_json() {
+        let v = Json::Arr(vec![
+            Json::Num(f64::NAN),
+            Json::Num(f64::INFINITY),
+            Json::Num(1.0),
+        ]);
+        let bytes = encode_frame_as(&v, Encoding::Binary).unwrap();
+        let (got, _) = parse_frame(&bytes, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(got, Json::Arr(vec![Json::Null, Json::Null, Json::Num(1.0)]));
+    }
+
+    #[test]
+    fn binary_decode_rejects_garbage_in_sync() {
+        // Helper: wrap a raw binary body (after the magic) in a frame.
+        let framed = |body: &[u8]| {
+            let mut payload = BINARY_MAGIC.to_vec();
+            payload.extend_from_slice(body);
+            let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+            out.extend_from_slice(&payload);
+            out
+        };
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty body", framed(&[])),
+            ("unknown tag", framed(&[0x42])),
+            ("truncated num", framed(&[TAG_NUM, 1, 2, 3])),
+            (
+                "nan bit pattern",
+                framed(&[&[TAG_NUM][..], &f64::NAN.to_bits().to_le_bytes()[..]].concat()),
+            ),
+            (
+                "inf bit pattern",
+                framed(
+                    &[
+                        &[TAG_F64S, 1, 0, 0, 0][..],
+                        &f64::INFINITY.to_bits().to_le_bytes()[..],
+                    ]
+                    .concat(),
+                ),
+            ),
+            ("lying array count", framed(&[TAG_ARR, 255, 255, 255, 255])),
+            ("lying f64s count", framed(&[TAG_F64S, 255, 255, 255, 255])),
+            ("lying obj count", framed(&[TAG_OBJ, 255, 255, 255, 255])),
+            ("truncated string", framed(&[TAG_STR, 9, 0, 0, 0, b'a'])),
+            (
+                "non-utf8 string",
+                framed(&[TAG_STR, 2, 0, 0, 0, 0xFF, 0xFE]),
+            ),
+            ("trailing bytes", framed(&[TAG_NULL, TAG_NULL])),
+        ];
+        for (what, bytes) in cases {
+            match parse_frame(&bytes, MAX_FRAME_BYTES) {
+                Err(FrameError::Payload { consumed, .. }) => {
+                    assert_eq!(consumed, bytes.len(), "{what}: wrong drain length")
+                }
+                other => panic!("{what}: expected payload error, got {other:?}"),
+            }
+        }
+        // Deep nesting is rejected, not a stack overflow.
+        let mut body = vec![];
+        for _ in 0..(MAX_BINARY_DEPTH + 2) {
+            body.extend_from_slice(&[TAG_ARR, 1, 0, 0, 0]);
+        }
+        body.push(TAG_NULL);
+        let bytes = framed(&body);
+        assert!(matches!(
+            parse_frame(&bytes, MAX_FRAME_BYTES),
+            Err(FrameError::Payload { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_frame_split_at_every_byte_is_incomplete_never_error() {
+        let v = Request::Ingest(CounterSample {
+            time_ns: 1,
+            duration_s: 0.5,
+            freq_mhz: 2000,
+            voltage: 1.0,
+            deltas: vec![1.0, 2.0, 3.0],
+            missing: vec![],
+        })
+        .to_json_value();
+        let bytes = encode_frame_as(&v, Encoding::Binary).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(parse_frame(&bytes[..cut], MAX_FRAME_BYTES), Ok(None)),
+                "prefix of {cut} bytes must parse as incomplete"
+            );
+        }
+        // Mixed-encoding back-to-back frames on one stream parse
+        // independently: binary then JSON.
+        let mut two = bytes.clone();
+        let json_bytes = encode_frame(&Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        two.extend_from_slice(&json_bytes);
+        let (first, consumed) = parse_frame(&two, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(first, v);
+        let (second, _) = parse_frame(&two[consumed..], MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.str_field("op").unwrap(), "stats");
+    }
+
+    #[test]
+    fn encoding_names_roundtrip() {
+        assert_eq!(Encoding::from_name("json"), Some(Encoding::Json));
+        assert_eq!(Encoding::from_name("binary"), Some(Encoding::Binary));
+        assert_eq!(Encoding::from_name("msgpack"), None);
+        assert_eq!(Encoding::default(), Encoding::Json);
+        // A JSON frame sniffs as JSON.
+        let bytes = encode_frame(&Json::obj(vec![("op", Json::from("stats"))])).unwrap();
+        assert_eq!(raw_frame_encoding(&bytes), Encoding::Json);
     }
 
     #[test]

@@ -74,8 +74,8 @@ use crate::checkpoint::{load_checkpoint, write_checkpoint, CheckpointData, Check
 use crate::engine::{CounterSample, EngineConfig, EstimatorEngine};
 use crate::error::ServeError;
 use crate::protocol::{
-    encode_frame, error_response, frame_deadline_ms, is_core_inline_frame, ok_response,
-    parse_frame, FrameError, Request, MAX_FRAME_BYTES,
+    encode_frame, encode_frame_as, error_response, frame_deadline_ms, is_core_inline_frame,
+    is_hello_frame, ok_response, parse_frame, Encoding, FrameError, Request, MAX_FRAME_BYTES,
 };
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
@@ -319,6 +319,11 @@ struct Conn {
     closing: bool,
     /// The peer half-closed (or errored) its sending side.
     eof: bool,
+    /// Response payload encoding, negotiated by a leading `hello` op
+    /// (JSON until then).
+    encoding: Encoding,
+    /// A non-`hello` frame has arrived — negotiation is closed.
+    saw_data: bool,
 }
 
 impl Conn {
@@ -335,6 +340,8 @@ impl Conn {
             inflight: false,
             closing: false,
             eof: false,
+            encoding: Encoding::Json,
+            saw_data: false,
         }
     }
 
@@ -466,6 +473,9 @@ impl Service {
             Request::Metrics => Ok(self.metrics_json()),
             Request::Resume { .. } => Err(ServeError::Protocol {
                 reason: "resume is bound to the connection and handled inline by the core".into(),
+            }),
+            Request::Hello { .. } => Err(ServeError::Protocol {
+                reason: "hello is bound to the connection and handled inline by the core".into(),
             }),
             Request::Checkpoint => {
                 let (clients, path) = self.write_checkpoint_now()?;
@@ -988,8 +998,10 @@ type Completion = (u64, Option<Vec<u8>>);
 /// Encodes a response on the worker side — serialization (float
 /// formatting in particular) is the most expensive per-response step,
 /// and doing it here keeps the core thread free for socket sweeps.
-fn encoded(conn: u64, resp: &Json) -> Completion {
-    (conn, encode_frame(resp).ok())
+/// The connection's negotiated encoding rides along in the job so the
+/// worker encodes exactly what the core would.
+fn encoded(conn: u64, encoding: Encoding, resp: &Json) -> Completion {
+    (conn, encode_frame_as(resp, encoding).ok())
 }
 
 /// Everything needed to (re)spawn a worker into a given pool slot.
@@ -1193,7 +1205,7 @@ fn worker_loop(
                     let err = ServeError::Overloaded {
                         retry_after_ms: service.config.retry_after_ms,
                     };
-                    encoded(job.conn, &error_response(&err))
+                    encoded(job.conn, job.encoding, &error_response(&err))
                 })
                 .collect();
             if done.send(sheds).is_err() {
@@ -1210,7 +1222,7 @@ fn worker_loop(
                 .map(|job| {
                     ServerStats::bump(&service.stats.requests_deadline_exceeded);
                     let err = ServeError::DeadlineExceeded { remaining_ms: 0 };
-                    encoded(job.conn, &error_response(&err))
+                    encoded(job.conn, job.encoding, &error_response(&err))
                 })
                 .collect();
             if done.send(expired).is_err() {
@@ -1218,7 +1230,11 @@ fn worker_loop(
             }
         }
 
-        let conns: Vec<u64> = asm.jobs.iter().map(|job| job.conn).collect();
+        let conns: Vec<(u64, Encoding)> = asm
+            .jobs
+            .iter()
+            .map(|job| (job.conn, job.encoding))
+            .collect();
         let answered = std::cell::RefCell::new(Vec::<u64>::new());
         busy.store(
             (started_at.elapsed().as_nanos() as u64).max(1),
@@ -1243,8 +1259,8 @@ fn worker_loop(
                 };
                 let unanswered: Vec<Completion> = conns
                     .iter()
-                    .filter(|conn| !answered.contains(conn))
-                    .map(|&conn| encoded(conn, &error_response(&err)))
+                    .filter(|(conn, _)| !answered.contains(conn))
+                    .map(|&(conn, enc)| encoded(conn, enc, &error_response(&err)))
                     .collect();
                 if !unanswered.is_empty() {
                     let _ = done.send(unanswered);
@@ -1266,6 +1282,10 @@ fn run_assembly(
     answered: &std::cell::RefCell<Vec<u64>>,
 ) -> bool {
     let mut pending: Vec<(u64, u64, CounterSample)> = Vec::new();
+    // Response encodings of the pending ingest run, aligned with
+    // `pending` (one request per connection in flight, so each conn
+    // appears at most once per run).
+    let mut pending_encs: Vec<Encoding> = Vec::new();
     for job in jobs {
         if let Some(faults) = &service.config.faults {
             if faults.should_panic() {
@@ -1276,16 +1296,22 @@ fn run_assembly(
             }
         }
         match Request::from_json_value(&job.frame) {
-            Ok(Request::Ingest(sample)) => pending.push((job.conn, job.client, sample)),
+            Ok(Request::Ingest(sample)) => {
+                pending.push((job.conn, job.client, sample));
+                pending_encs.push(job.encoding);
+            }
             Ok(req) => {
                 // Barrier: the queued ingests precede this op, so
                 // they must see the registry as it was before it.
-                if !flush_ingests(&mut pending, done, service, answered) {
+                if !flush_ingests(&mut pending, &mut pending_encs, done, service, answered) {
                     return false;
                 }
                 let resp = service.handle(job.client, req);
                 answered.borrow_mut().push(job.conn);
-                if done.send(vec![encoded(job.conn, &resp)]).is_err() {
+                if done
+                    .send(vec![encoded(job.conn, job.encoding, &resp)])
+                    .is_err()
+                {
                     return false;
                 }
             }
@@ -1297,7 +1323,7 @@ fn run_assembly(
                 ServerStats::bump(&service.stats.frames_errored);
                 answered.borrow_mut().push(job.conn);
                 if done
-                    .send(vec![encoded(job.conn, &error_response(&e))])
+                    .send(vec![encoded(job.conn, job.encoding, &error_response(&e))])
                     .is_err()
                 {
                     return false;
@@ -1305,7 +1331,7 @@ fn run_assembly(
             }
         }
     }
-    flush_ingests(&mut pending, done, service, answered)
+    flush_ingests(&mut pending, &mut pending_encs, done, service, answered)
 }
 
 /// Dispatches the accumulated ingest run as one batched evaluation and
@@ -1313,6 +1339,7 @@ fn run_assembly(
 /// once the core is gone.
 fn flush_ingests(
     pending: &mut Vec<(u64, u64, CounterSample)>,
+    pending_encs: &mut Vec<Encoding>,
     done: &Sender<Vec<Completion>>,
     service: &Service,
     answered: &std::cell::RefCell<Vec<u64>>,
@@ -1320,14 +1347,18 @@ fn flush_ingests(
     if pending.is_empty() {
         return true;
     }
+    let encs = std::mem::take(pending_encs);
     let responses = service.handle_ingest_batch(std::mem::take(pending));
     answered
         .borrow_mut()
         .extend(responses.iter().map(|(conn, _)| *conn));
     done.send(
+        // `handle_ingest_batch` answers every batch slot in request
+        // order, so the encodings zip back positionally.
         responses
             .iter()
-            .map(|(conn, resp)| encoded(*conn, resp))
+            .zip(encs)
+            .map(|((conn, resp), enc)| encoded(*conn, enc, resp))
             .collect(),
     )
     .is_ok()
@@ -1532,20 +1563,24 @@ impl Core {
     }
 }
 
-/// Appends one encoded frame to the connection's write buffer; on an
-/// encode failure (oversized response) the connection is marked for
-/// close — there is no way to answer in-protocol.
+/// Appends one frame, encoded in the connection's negotiated
+/// encoding, to its write buffer; on an encode failure (oversized
+/// response) the connection is marked for close — there is no way to
+/// answer in-protocol.
 fn queue_frame(conn: &mut Conn, payload: &Json) {
-    match encode_frame(payload) {
+    match encode_frame_as(payload, conn.encoding) {
         Ok(bytes) => conn.write_buf.extend_from_slice(&bytes),
         Err(_) => conn.closing = true,
     }
 }
 
-/// Answers a core-inline op (`healthz`/`readyz`/`metrics`/`resume`)
-/// without touching the worker pool. `resume` rebinds the connection's
-/// engine key to the durable token-derived one, dropping any ephemeral
-/// state accumulated under the connection id first.
+/// Answers a core-inline op (`healthz`/`readyz`/`metrics`/`resume`/
+/// `hello`) without touching the worker pool. `resume` rebinds the
+/// connection's engine key to the durable token-derived one, dropping
+/// any ephemeral state accumulated under the connection id first.
+/// `hello` negotiates the connection's payload encoding — it must
+/// precede all data frames, and its response (like everything after
+/// it) travels in the newly agreed encoding.
 fn core_inline_response(
     id: u64,
     conn: &mut Conn,
@@ -1557,6 +1592,32 @@ fn core_inline_response(
         Ok(Request::Healthz) => ok_response(service.healthz_json(draining)),
         Ok(Request::Readyz) => ok_response(service.readyz_json(draining)),
         Ok(Request::Metrics) => ok_response(service.metrics_json()),
+        Ok(Request::Hello { encoding }) => {
+            if conn.saw_data {
+                ServerStats::bump(&service.stats.frames_errored);
+                return error_response(&ServeError::Protocol {
+                    reason: "hello must precede all data frames".into(),
+                });
+            }
+            // Unknown names fall back to JSON with a typed notice —
+            // a newer client degrades loudly instead of desyncing.
+            let (agreed, notice) = match Encoding::from_name(&encoding) {
+                Some(e) => (e, None),
+                None => (
+                    Encoding::Json,
+                    Some(format!("unknown encoding {encoding:?}, using json")),
+                ),
+            };
+            conn.encoding = agreed;
+            if agreed == Encoding::Binary {
+                ServerStats::bump(&service.stats.binary_conns);
+            }
+            let mut fields = vec![("encoding", Json::from(agreed.as_str()))];
+            if let Some(n) = notice {
+                fields.push(("notice", Json::from(n.as_str())));
+            }
+            ok_response(Json::obj(fields))
+        }
         Ok(Request::Resume { token }) => {
             let key = resume_key(&token);
             if conn.client == id {
@@ -1644,10 +1705,18 @@ fn sweep_conn(
                 conn.partial_since = None;
                 progress = true;
                 ServerStats::bump(&service.stats.frames_received);
-                // Health, metrics and resume are answered by the core
-                // itself — never queued, never counted against the
-                // in-flight budget. Liveness probes must keep working
-                // when every worker is wedged or the queue is full.
+                // Any non-hello frame closes the negotiation window —
+                // a later hello is a typed error, so a mid-stream
+                // encoding flip can never tear responses in transit.
+                if !is_hello_frame(&frame) {
+                    conn.saw_data = true;
+                }
+                // Health, metrics, resume and hello are answered by
+                // the core itself — never queued, never counted
+                // against the in-flight budget. Liveness probes must
+                // keep working when every worker is wedged or the
+                // queue is full (and hello mutates per-connection
+                // encoding state only the core owns).
                 if is_core_inline_frame(&frame) {
                     let resp = core_inline_response(id, conn, &frame, service, draining);
                     queue_frame(conn, &resp);
@@ -1691,6 +1760,7 @@ fn sweep_conn(
                         frame,
                         enqueued: now,
                         deadline,
+                        encoding: conn.encoding,
                     }) {
                         Ok(()) => {
                             conn.inflight = true;

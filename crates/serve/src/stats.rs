@@ -77,6 +77,9 @@ pub struct ServerStats {
     pub checkpoints_quarantined: AtomicU64,
     /// Connections that bound a durable identity via `resume`.
     pub resumed_clients: AtomicU64,
+    /// Connections that negotiated the `PMCB1` binary encoding via
+    /// `hello` (JSON connections are the remainder).
+    pub binary_conns: AtomicU64,
     /// Durable windows drained out of this server by `migrate_export`.
     pub windows_migrated_out: AtomicU64,
     /// Durable windows replayed into this server by `migrate_import`.
@@ -162,6 +165,7 @@ impl ServerStats {
                 read(&self.checkpoints_quarantined),
             ),
             ("resumed_clients", read(&self.resumed_clients)),
+            ("binary_conns", read(&self.binary_conns)),
             ("windows_migrated_out", read(&self.windows_migrated_out)),
             ("windows_migrated_in", read(&self.windows_migrated_in)),
         ]

@@ -1,9 +1,10 @@
-//! Equivalence property for the coalescing batch scheduler: for
-//! seeded random interleavings of N concurrent clients streaming
-//! samples against M models (an active model plus a previous-version
-//! fallback of a different width), a batching server must produce
-//! **bitwise identical** per-client response sequences to a server
-//! running with `batch_max = 1` (no coalescing).
+//! Equivalence property for the coalescing batch scheduler and the
+//! wire codec: for seeded random interleavings of N concurrent
+//! clients streaming samples against M models (an active model plus a
+//! previous-version fallback of a different width), every cell of the
+//! {JSON, binary} × {`batch_max = 1`, coalesced columnar} matrix must
+//! produce **bitwise identical** per-client response sequences to the
+//! JSON `batch_max = 1` reference (the scalar kernel, no coalescing).
 //!
 //! The comparison keys on `f64::to_bits` of every power field — the
 //! in-tree JSON codec round-trips f64 exactly, so any arithmetic
@@ -17,7 +18,7 @@
 
 use pmc_serve::registry::ModelRegistry;
 use pmc_serve::server::{PowerServer, ServerConfig};
-use pmc_serve::{CounterSample, PowerClient, ServeError};
+use pmc_serve::{CounterSample, Encoding, PowerClient, ServeError};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -135,9 +136,10 @@ fn outcome(result: Result<pmc_serve::Estimate, ServeError>) -> Outcome {
 }
 
 /// Starts a server with both models loaded (wide v1 previous, narrow
-/// v2 active), drives all clients concurrently with seeded jitter, and
-/// returns each client's response sequence.
-fn run_server(cfg: ServerConfig, seed: u64) -> Vec<Vec<Outcome>> {
+/// v2 active), drives all clients concurrently with seeded jitter —
+/// each speaking `encoding` on the wire, negotiated with a leading
+/// `hello` — and returns each client's response sequence.
+fn run_server(cfg: ServerConfig, seed: u64, encoding: Encoding) -> Vec<Vec<Outcome>> {
     let mut server = PowerServer::start(cfg, Arc::new(ModelRegistry::default())).unwrap();
     let addr = server.addr();
     let mut admin = PowerClient::connect(addr).unwrap();
@@ -158,6 +160,9 @@ fn run_server(cfg: ServerConfig, seed: u64) -> Vec<Vec<Outcome>> {
             std::thread::spawn(move || {
                 let mut rng = seed.wrapping_add(0xc0ffee * (id as u64 + 1));
                 let mut c = PowerClient::connect(addr).unwrap();
+                if encoding != Encoding::Json {
+                    assert_eq!(c.negotiate_encoding(encoding).unwrap(), encoding);
+                }
                 schedule(seed, id)
                     .iter()
                     .map(|s| {
@@ -180,7 +185,7 @@ fn run_server(cfg: ServerConfig, seed: u64) -> Vec<Vec<Outcome>> {
 }
 
 #[test]
-fn batched_server_is_bitwise_identical_to_unbatched() {
+fn encoding_batching_matrix_is_bitwise_identical_to_reference() {
     let seeds: Vec<u64> = match std::env::var("BATCH_SEED") {
         Ok(s) => vec![s.parse().expect("BATCH_SEED must be a u64")],
         Err(_) => vec![1, 2, 3],
@@ -192,29 +197,36 @@ fn batched_server_is_bitwise_identical_to_unbatched() {
             max_inflight: 64,
             ..ServerConfig::default()
         };
-        let reference = run_server(
-            ServerConfig {
-                batch_max: 1,
-                ..base.clone()
-            },
-            seed,
-        );
-        let batched = run_server(
-            ServerConfig {
-                batch_max: 32,
-                batch_linger: Duration::from_micros(300),
-                ..base
-            },
-            seed,
-        );
-        for (id, (want, got)) in reference.iter().zip(&batched).enumerate() {
-            assert_eq!(want.len(), SAMPLES_PER_CLIENT);
-            for (i, (w, g)) in want.iter().zip(got).enumerate() {
-                assert_eq!(
-                    w, g,
-                    "seed {seed}: client {id} sample {i} diverged between \
-                     batch_max=1 and batch_max=32"
-                );
+        let sequential = ServerConfig {
+            batch_max: 1,
+            ..base.clone()
+        };
+        let coalesced = ServerConfig {
+            batch_max: 32,
+            batch_linger: Duration::from_micros(300),
+            ..base
+        };
+        // The scalar kernel over JSON is the reference cell; the other
+        // three cells of {json, binary} × {sequential, coalesced} must
+        // match it bitwise. The coalesced cells exercise the columnar
+        // kernel; the binary cells exercise the PMCB1 codec.
+        let reference = run_server(sequential.clone(), seed, Encoding::Json);
+        let variants: [(&str, ServerConfig, Encoding); 3] = [
+            ("json+coalesced", coalesced.clone(), Encoding::Json),
+            ("binary+sequential", sequential, Encoding::Binary),
+            ("binary+coalesced", coalesced, Encoding::Binary),
+        ];
+        for (label, cfg, enc) in variants {
+            let got = run_server(cfg, seed, enc);
+            for (id, (want, have)) in reference.iter().zip(&got).enumerate() {
+                assert_eq!(want.len(), SAMPLES_PER_CLIENT);
+                for (i, (w, g)) in want.iter().zip(have).enumerate() {
+                    assert_eq!(
+                        w, g,
+                        "seed {seed}: client {id} sample {i} diverged between \
+                         json+sequential and {label}"
+                    );
+                }
             }
         }
     }

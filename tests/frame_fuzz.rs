@@ -12,7 +12,16 @@
 //! sync, and `worker_panics` must stay zero throughout.
 //!
 //! Seeded via `FUZZ_SEED` (default 1) so CI can sweep a matrix.
+//!
+//! The binary half: hostile `PMCB1` payloads (truncations, wrong
+//! tags, non-finite bit patterns, lying container counts, trailing
+//! bytes, mid-frame splits) must produce typed errors without
+//! desynchronizing the stream, `hello` negotiation must enforce its
+//! edge rules, and a JSON client and a binary client relayed through
+//! `pmc-router` must see byte-identical responses to direct
+//! connections.
 
+use pmc_serve::protocol::{decode_binary_payload, encode_frame_as, Encoding, Request};
 use pmc_serve::registry::ModelRegistry;
 use pmc_serve::server::{PowerServer, ServerConfig};
 use std::io::{ErrorKind, Read, Write};
@@ -183,6 +192,153 @@ fn valid_frame_split_at_every_byte_boundary_still_parses() {
     server.shutdown();
 }
 
+/// Frames a hostile binary payload: length prefix + `PMCB1` + body.
+fn binary_frame(body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(5 + body.len());
+    payload.extend_from_slice(b"PMCB1");
+    payload.extend_from_slice(body);
+    frame(&payload)
+}
+
+#[test]
+fn hostile_binary_payloads_get_typed_errors_in_sync() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    let nan = f64::NAN.to_bits().to_le_bytes();
+    let inf = f64::INFINITY.to_bits().to_le_bytes();
+    let cases: Vec<(&str, Vec<u8>)> = vec![
+        ("empty body", vec![]),
+        ("num with no bytes", vec![0x03]),
+        ("num truncated mid-f64", vec![0x03, 0x00, 0x01, 0x02]),
+        ("nan bit pattern", [vec![0x03], nan.to_vec()].concat()),
+        ("inf bit pattern", [vec![0x03], inf.to_vec()].concat()),
+        ("unknown tag", vec![0xee]),
+        (
+            "string truncated vs declared length",
+            vec![0x04, 4, 0, 0, 0, b'a', b'b'],
+        ),
+        (
+            "string that is not utf-8",
+            vec![0x04, 2, 0, 0, 0, 0xff, 0xfe],
+        ),
+        (
+            "array count past the buffer",
+            vec![0x05, 0xff, 0xff, 0xff, 0xff],
+        ),
+        (
+            "f64-array count past the buffer",
+            vec![0x07, 0xff, 0xff, 0xff, 0x7f],
+        ),
+        (
+            "object count past the buffer",
+            vec![0x06, 0xff, 0xff, 0xff, 0x7f],
+        ),
+        ("trailing bytes after a complete value", vec![0x00, 0x00]),
+    ];
+    for (what, body) in cases {
+        s.write_all(&binary_frame(&body)).unwrap();
+        // The connection never negotiated, so the typed error comes
+        // back as JSON and names the binary decoder.
+        let text = expect_error_frame(&mut s);
+        assert!(
+            text.contains("binary payload"),
+            "{what}: error should blame the binary codec: {text}"
+        );
+    }
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn valid_binary_frame_split_at_every_byte_boundary_still_parses() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    let wire = encode_frame_as(&Request::Stats.to_json_value(), Encoding::Binary).unwrap();
+    for cut in 1..wire.len() {
+        s.write_all(&wire[..cut]).unwrap();
+        s.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        s.write_all(&wire[cut..]).unwrap();
+        // Un-negotiated connection: binary requests are accepted (the
+        // magic makes every frame self-describing) but answered in
+        // the connection's encoding, JSON.
+        let payload = read_frame(&mut s).expect("split binary frame must still be answered");
+        let text = String::from_utf8(payload).unwrap();
+        assert!(text.contains("\"status\":\"ok\""), "cut at {cut}: {text}");
+    }
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn hello_negotiates_binary_responses_and_survives_garbage() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    s.write_all(&frame(br#"{"op":"hello","encoding":"binary"}"#))
+        .unwrap();
+    // The hello acknowledgement itself arrives in the new encoding.
+    let ack = read_frame(&mut s).expect("hello must be answered");
+    assert!(ack.starts_with(b"PMCB1"), "hello ack should be binary");
+    let ack = decode_binary_payload(&ack).unwrap();
+    assert_eq!(ack.str_field("status").unwrap(), "ok");
+    assert_eq!(
+        ack.field("result").unwrap().str_field("encoding").unwrap(),
+        "binary"
+    );
+    // JSON requests still work on a binary connection (per-frame
+    // sniffing); only responses switch encodings.
+    s.write_all(&frame(br#"{"op":"ping","delay_ms":0}"#))
+        .unwrap();
+    let pong = read_frame(&mut s).expect("ping must be answered");
+    assert!(pong.starts_with(b"PMCB1"), "pong should be binary now");
+    decode_binary_payload(&pong).unwrap();
+    // Hostile binary bytes still produce an in-sync typed error.
+    s.write_all(&binary_frame(&[0xee])).unwrap();
+    let err = read_frame(&mut s).expect("garbage must be answered");
+    let err = decode_binary_payload(&err).unwrap();
+    assert_eq!(err.str_field("status").unwrap(), "error");
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn hello_after_data_frame_is_a_typed_error_and_encoding_sticks() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    ping_works(&mut s);
+    s.write_all(&frame(br#"{"op":"hello","encoding":"binary"}"#))
+        .unwrap();
+    let text = expect_error_frame(&mut s);
+    assert!(
+        text.contains("hello must precede"),
+        "late hello should be refused by name: {text}"
+    );
+    // The refusal neither closed the connection nor changed its
+    // encoding: the next answer is still JSON.
+    ping_works(&mut s);
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
+    server.shutdown();
+}
+
+#[test]
+fn unknown_encoding_falls_back_to_json_with_a_notice() {
+    let mut server = start_server();
+    let mut s = connect(&server);
+    s.write_all(&frame(br#"{"op":"hello","encoding":"msgpack"}"#))
+        .unwrap();
+    let payload = read_frame(&mut s).expect("hello must be answered");
+    let text = String::from_utf8(payload).expect("fallback ack must be JSON");
+    assert!(text.contains("\"status\":\"ok\""), "bad ack: {text}");
+    assert!(text.contains("\"encoding\":\"json\""), "bad ack: {text}");
+    assert!(
+        text.contains("\"notice\""),
+        "fallback must carry a notice: {text}"
+    );
+    ping_works(&mut s);
+    server.shutdown();
+}
+
 #[test]
 fn seeded_random_payload_corpus_never_panics_a_worker() {
     let seed = fuzz_seed();
@@ -203,5 +359,185 @@ fn seeded_random_payload_corpus_never_panics_a_worker() {
     ping_works(&mut s);
     assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
     assert!(server.stats().frames_errored.load(Ordering::Relaxed) >= 150);
+    server.shutdown();
+}
+
+// ----- Negotiated-encoding equivalence (resume, router relay) ------
+
+/// A small fitted two-event model so ingests produce real estimates.
+fn fitted_model() -> pmc_model::model::PowerModel {
+    let rows: Vec<_> = (0..24)
+        .map(|i| pmc_model::dataset::SampleRow {
+            workload_id: i as u32,
+            workload: format!("w{i}"),
+            suite: "syn".into(),
+            phase: "main".into(),
+            threads: 24,
+            freq_mhz: [1200, 1600, 2000, 2400][i % 4],
+            duration_s: 1.0,
+            voltage: 0.8 + 0.05 * (i % 4) as f64,
+            power: 70.0 + 3.0 * (i as f64),
+            rates: (0..pmc_events::PapiEvent::COUNT)
+                .map(|j| ((i * 13 + j * 7) % 41) as f64 / 4100.0)
+                .collect(),
+        })
+        .collect();
+    let data = pmc_model::dataset::Dataset::from_rows(rows);
+    pmc_model::model::PowerModel::fit(
+        &data,
+        &[
+            pmc_events::PapiEvent::PRF_DM,
+            pmc_events::PapiEvent::TOT_CYC,
+        ],
+    )
+    .unwrap()
+}
+
+/// Deterministic two-counter sample `i` of a client's stream.
+fn sample(i: u64) -> pmc_serve::CounterSample {
+    let avail = 24.0 * 2000.0 * 1e6 * 0.25;
+    pmc_serve::CounterSample {
+        time_ns: (i + 1) * 250_000_000,
+        duration_s: 0.25,
+        freq_mhz: 2000,
+        voltage: 0.85,
+        deltas: vec![0.011 * avail, 0.21 * avail],
+        missing: vec![],
+    }
+}
+
+#[test]
+fn resume_behaves_identically_under_both_encodings() {
+    use pmc_serve::PowerClient;
+    let mut server = start_server();
+    let mut admin = PowerClient::connect(server.addr()).unwrap();
+    admin.load_model("hsw", &fitted_model(), true).unwrap();
+    let mut observed = Vec::new();
+    for enc in [Encoding::Json, Encoding::Binary] {
+        let token = format!("resume-{}", enc.as_str());
+        let mut c = PowerClient::connect(server.addr()).unwrap();
+        if enc != Encoding::Json {
+            assert_eq!(c.negotiate_encoding(enc).unwrap(), enc);
+        }
+        let fresh = c.resume(&token).unwrap();
+        let e1 = c.ingest(&sample(0)).unwrap();
+        drop(c);
+        // Reconnect, renegotiate, resume the same token: the sliding
+        // window must pick up where it left off.
+        let mut c = PowerClient::connect(server.addr()).unwrap();
+        if enc != Encoding::Json {
+            assert_eq!(c.negotiate_encoding(enc).unwrap(), enc);
+        }
+        let resumed = c.resume(&token).unwrap();
+        let e2 = c.ingest(&sample(1)).unwrap();
+        observed.push((
+            fresh,
+            resumed,
+            e1.power_w.to_bits(),
+            e2.power_w.to_bits(),
+            e2.window_power_w.to_bits(),
+            e2.samples_in_window,
+        ));
+    }
+    assert_eq!(
+        observed[0], observed[1],
+        "resume semantics must not depend on the wire encoding"
+    );
+    assert_eq!(
+        observed[0].5, 2,
+        "the resumed window must hold both samples"
+    );
+    server.shutdown();
+}
+
+/// Drives one raw connection: optional hello, resume, then `n`
+/// ingests; returns the hello acknowledgement and the raw ingest
+/// response payloads (resume acks echo the token, so they are not
+/// comparable across connections).
+fn drive_ingests(
+    addr: std::net::SocketAddr,
+    enc: Encoding,
+    token: &str,
+    n: u64,
+) -> (Option<Vec<u8>>, Vec<Vec<u8>>) {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let hello_ack = (enc != Encoding::Json).then(|| {
+        let hf = encode_frame_as(
+            &Request::Hello {
+                encoding: enc.as_str().to_string(),
+            }
+            .to_json_value(),
+            Encoding::Json,
+        )
+        .unwrap();
+        s.write_all(&hf).unwrap();
+        read_frame(&mut s).expect("hello must be answered")
+    });
+    let rf = encode_frame_as(
+        &Request::Resume {
+            token: token.to_string(),
+        }
+        .to_json_value(),
+        enc,
+    )
+    .unwrap();
+    s.write_all(&rf).unwrap();
+    read_frame(&mut s).expect("resume must be answered");
+    let responses = (0..n)
+        .map(|i| {
+            let f = encode_frame_as(&Request::Ingest(sample(i)).to_json_value(), enc).unwrap();
+            s.write_all(&f).unwrap();
+            read_frame(&mut s).expect("ingest must be answered")
+        })
+        .collect();
+    (hello_ack, responses)
+}
+
+#[test]
+fn mixed_encoding_clients_through_router_match_direct_bitwise() {
+    use pmc_router::{BackendSpec, PowerRouter, RouterConfig};
+    use pmc_serve::PowerClient;
+    let mut server = start_server();
+    let mut admin = PowerClient::connect(server.addr()).unwrap();
+    admin.load_model("hsw", &fitted_model(), true).unwrap();
+    let mut router = PowerRouter::start(RouterConfig {
+        backends: vec![BackendSpec::parse(&server.addr().to_string()).unwrap()],
+        ..RouterConfig::default()
+    })
+    .unwrap();
+
+    // Direct reference runs against the backend itself.
+    let (direct_json_ack, direct_json) =
+        drive_ingests(server.addr(), Encoding::Json, "mix-json-direct", 4);
+    let (direct_bin_ack, direct_bin) =
+        drive_ingests(server.addr(), Encoding::Binary, "mix-bin-direct", 4);
+    assert!(direct_json_ack.is_none());
+    // The same streams relayed through the router — a JSON client and
+    // a binary client coexisting on the same fleet.
+    let (routed_json_ack, routed_json) =
+        drive_ingests(router.addr(), Encoding::Json, "mix-json-routed", 4);
+    let (routed_bin_ack, routed_bin) =
+        drive_ingests(router.addr(), Encoding::Binary, "mix-bin-routed", 4);
+    assert!(routed_json_ack.is_none());
+
+    // The router's inline hello verdict must be byte-identical to the
+    // backend's own.
+    assert_eq!(direct_bin_ack, routed_bin_ack, "hello ack diverged");
+    // Every relayed response must match the direct one byte-for-byte.
+    for (i, (d, r)) in direct_json.iter().zip(&routed_json).enumerate() {
+        assert_eq!(d, r, "json ingest {i} diverged through the router");
+    }
+    for (i, (d, r)) in direct_bin.iter().zip(&routed_bin).enumerate() {
+        assert_eq!(d, r, "binary ingest {i} diverged through the router");
+    }
+    // And the two encodings really are different wire formats.
+    assert!(routed_bin[0].starts_with(b"PMCB1"));
+    assert!(!routed_json[0].starts_with(b"PMCB1"));
+    let d = decode_binary_payload(&routed_bin[0]).unwrap();
+    assert_eq!(d.str_field("status").unwrap(), "ok");
+
+    router.shutdown();
+    assert_eq!(server.stats().worker_panics.load(Ordering::Relaxed), 0);
     server.shutdown();
 }
