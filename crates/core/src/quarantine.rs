@@ -46,6 +46,21 @@ pub enum QuarantineReason {
         /// The offending event.
         event: PapiEvent,
     },
+    /// A training label (measured watts) was non-finite — the power
+    /// sensor dropped out for the labeled interval.
+    NonFiniteLabel,
+    /// A training label was non-positive or beyond the platform's
+    /// physical power envelope (sensor spike or sign glitch).
+    ImplausibleLabel,
+    /// A training sample's operating point (voltage, frequency) fell
+    /// outside the serving model's training envelope — its label may
+    /// be genuine but cannot be compared against in-envelope
+    /// predictions.
+    OutOfEnvelopeLabel,
+    /// A training sample's design row has leverage far above the
+    /// `p / n` average — a single such observation could drag the
+    /// whole incremental fit (the classic poisoning vector).
+    LeverageOutlier,
 }
 
 impl QuarantineReason {
@@ -60,6 +75,10 @@ impl QuarantineReason {
             QuarantineReason::MissingCounters { .. } => "missing_counters",
             QuarantineReason::NonFiniteCounter { .. } => "non_finite_counter",
             QuarantineReason::ImplausibleCounter { .. } => "implausible_counter",
+            QuarantineReason::NonFiniteLabel => "non_finite_label",
+            QuarantineReason::ImplausibleLabel => "implausible_label",
+            QuarantineReason::OutOfEnvelopeLabel => "out_of_envelope_label",
+            QuarantineReason::LeverageOutlier => "leverage_outlier",
         }
     }
 }
@@ -225,6 +244,21 @@ pub fn triage_profile(
     }
 
     reasons
+}
+
+/// Triage of one training label (measured watts) against the
+/// plausibility envelope. Empty result = plausible. The structural
+/// checks the serving trainer layers on top (envelope membership,
+/// leverage) use the dedicated [`QuarantineReason::OutOfEnvelopeLabel`]
+/// and [`QuarantineReason::LeverageOutlier`] variants.
+pub fn triage_label(power_w: f64, cfg: &QuarantineConfig) -> Vec<QuarantineReason> {
+    if !power_w.is_finite() {
+        vec![QuarantineReason::NonFiniteLabel]
+    } else if power_w <= 0.0 || power_w > cfg.max_power_w {
+        vec![QuarantineReason::ImplausibleLabel]
+    } else {
+        Vec::new()
+    }
 }
 
 impl Dataset {
@@ -396,6 +430,41 @@ mod tests {
             2,
             "{:?}",
             report.quarantined[0].reasons
+        );
+    }
+
+    #[test]
+    fn label_triage_is_typed() {
+        let cfg = QuarantineConfig::default();
+        assert!(triage_label(200.0, &cfg).is_empty());
+        assert_eq!(triage_label(f64::NAN, &cfg)[0].label(), "non_finite_label");
+        assert_eq!(
+            triage_label(f64::INFINITY, &cfg)[0].label(),
+            "non_finite_label"
+        );
+        assert_eq!(triage_label(0.0, &cfg)[0].label(), "implausible_label");
+        assert_eq!(triage_label(-5.0, &cfg)[0].label(), "implausible_label");
+        assert_eq!(
+            triage_label(cfg.max_power_w + 1.0, &cfg)[0].label(),
+            "implausible_label"
+        );
+        // Boundary: exactly at the ceiling is still plausible.
+        assert!(triage_label(cfg.max_power_w, &cfg).is_empty());
+    }
+
+    #[test]
+    fn label_gate_variants_have_stable_labels() {
+        assert_eq!(
+            QuarantineReason::OutOfEnvelopeLabel.label(),
+            "out_of_envelope_label"
+        );
+        assert_eq!(
+            QuarantineReason::LeverageOutlier.label(),
+            "leverage_outlier"
+        );
+        assert_eq!(
+            QuarantineReason::LeverageOutlier.to_string(),
+            "leverage_outlier"
         );
     }
 

@@ -27,8 +27,11 @@
 //! accounting are *conservative* (nothing injected goes unnoticed,
 //! nothing clean is discarded).
 //!
-//! The [`serve`] module extends the same philosophy from data faults
-//! to *process* faults — worker panics, stuck jobs, and torn
+//! The [`poison`] module targets the online-learning loop: seeded
+//! label poisoning (NaN/spiked/negated watts, out-of-envelope voltage
+//! drift, high-leverage counter scaling) proving the `train` op's
+//! quarantine gate holds. The [`serve`] module extends the same
+//! philosophy from data faults to *process* faults — worker panics, stuck jobs, and torn
 //! checkpoint writes — with deterministic sequence-number triggers
 //! instead of seeded rates. The [`net`] module extends it to
 //! *network* faults: a seeded TCP chaos proxy (latency, mid-frame
@@ -41,9 +44,11 @@
 pub mod injector;
 pub mod machine;
 pub mod net;
+pub mod poison;
 pub mod serve;
 
 pub use injector::{FaultInjector, FaultKind, FaultLog, FaultRates};
 pub use machine::FaultyMachine;
 pub use net::{ChaosPlan, NetFaultCounters, NetFaults};
+pub use poison::{LabelPoisoner, PoisonKind, PoisonLog, PoisonRates};
 pub use serve::ServeFaults;

@@ -1,0 +1,347 @@
+//! Seeded label poisoning for the online-learning loop.
+//!
+//! The `train` op accepts *labeled* samples — a counter vector plus
+//! measured watts — and a poisoned label is the cheapest way to wreck
+//! an incremental fit: one NaN propagates through every sufficient
+//! statistic, one spiked label drags the coefficients, and one
+//! high-leverage counter vector can steer the whole regression from a
+//! single observation. [`LabelPoisoner`] reproduces those attacks
+//! deterministically (same `(seed, coordinates)` → same corruption,
+//! independent of processing order, exactly like [`crate::injector`])
+//! so the serving tier's quarantine gate can be proven to hold: tests
+//! compare the poisoner's [`PoisonLog`] against what the gate
+//! quarantined and assert nothing slipped through.
+
+use pmc_cpusim::rng::SplitMix64;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The label-poisoning attack classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PoisonKind {
+    /// The measured-watts label becomes NaN (sensor dropout on the
+    /// labeling wattmeter).
+    NanLabel,
+    /// The label is multiplied 8–20× — far past the physical power
+    /// envelope (sensor spike).
+    SpikeLabel,
+    /// The label flips sign (wiring/firmware glitch).
+    NegativeLabel,
+    /// The reported voltage drifts high — still physically plausible
+    /// for the regulator, but outside the model's training envelope.
+    VoltageDrift,
+    /// Every counter delta is scaled 30–80×: each implied rate stays
+    /// under the plausibility cap, but the design row becomes a
+    /// high-leverage outlier that would dominate the fit.
+    LeverageAttack,
+}
+
+impl PoisonKind {
+    /// Every poison kind, in stable order.
+    pub const ALL: [PoisonKind; 5] = [
+        PoisonKind::NanLabel,
+        PoisonKind::SpikeLabel,
+        PoisonKind::NegativeLabel,
+        PoisonKind::VoltageDrift,
+        PoisonKind::LeverageAttack,
+    ];
+
+    /// Stable index into per-kind tables.
+    pub fn index(self) -> usize {
+        match self {
+            PoisonKind::NanLabel => 0,
+            PoisonKind::SpikeLabel => 1,
+            PoisonKind::NegativeLabel => 2,
+            PoisonKind::VoltageDrift => 3,
+            PoisonKind::LeverageAttack => 4,
+        }
+    }
+
+    /// RNG stream tag. Offset past the observation-fault tags (10–17)
+    /// and the net-chaos streams so poisoning decisions never
+    /// correlate with other injected faults.
+    fn stream_tag(self) -> u64 {
+        40 + self.index() as u64
+    }
+
+    /// Machine-readable label (snake_case).
+    pub fn label(self) -> &'static str {
+        match self {
+            PoisonKind::NanLabel => "nan_label",
+            PoisonKind::SpikeLabel => "spike_label",
+            PoisonKind::NegativeLabel => "negative_label",
+            PoisonKind::VoltageDrift => "voltage_drift",
+            PoisonKind::LeverageAttack => "leverage_attack",
+        }
+    }
+}
+
+impl std::fmt::Display for PoisonKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class poisoning probabilities, each in `[0, 1]`, applied per
+/// labeled sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PoisonRates {
+    /// P(NaN label) per sample.
+    pub nan_label: f64,
+    /// P(spiked label) per sample.
+    pub spike_label: f64,
+    /// P(negated label) per sample.
+    pub negative_label: f64,
+    /// P(out-of-envelope voltage drift) per sample.
+    pub voltage_drift: f64,
+    /// P(high-leverage counter scaling) per sample.
+    pub leverage_attack: f64,
+}
+
+impl PoisonRates {
+    /// All rates zero — a transparent poisoner.
+    pub fn none() -> Self {
+        PoisonRates::default()
+    }
+
+    /// Every class at the same rate `p`.
+    pub fn uniform(p: f64) -> Self {
+        PoisonRates {
+            nan_label: p,
+            spike_label: p,
+            negative_label: p,
+            voltage_drift: p,
+            leverage_attack: p,
+        }
+    }
+
+    /// The rate for one class.
+    pub fn rate(&self, kind: PoisonKind) -> f64 {
+        match kind {
+            PoisonKind::NanLabel => self.nan_label,
+            PoisonKind::SpikeLabel => self.spike_label,
+            PoisonKind::NegativeLabel => self.negative_label,
+            PoisonKind::VoltageDrift => self.voltage_drift,
+            PoisonKind::LeverageAttack => self.leverage_attack,
+        }
+    }
+
+    /// True when every rate is zero.
+    pub fn is_zero(&self) -> bool {
+        PoisonKind::ALL.iter().all(|&k| self.rate(k) <= 0.0)
+    }
+}
+
+/// Thread-safe tally of poisoned samples, per class.
+#[derive(Debug, Default)]
+pub struct PoisonLog {
+    counts: [AtomicU64; 5],
+}
+
+impl PoisonLog {
+    /// Records one injection of `kind`.
+    pub fn record(&self, kind: PoisonKind) {
+        self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of injections of `kind` so far.
+    pub fn count(&self, kind: PoisonKind) -> u64 {
+        self.counts[kind.index()].load(Ordering::Relaxed)
+    }
+
+    /// Total injections across all classes.
+    pub fn total(&self) -> u64 {
+        PoisonKind::ALL.iter().map(|&k| self.count(k)).sum()
+    }
+
+    /// True when nothing has been injected.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Per-class counts in [`PoisonKind::ALL`] order.
+    pub fn snapshot(&self) -> Vec<(PoisonKind, u64)> {
+        PoisonKind::ALL
+            .iter()
+            .map(|&k| (k, self.count(k)))
+            .collect()
+    }
+}
+
+/// The deterministic label poisoner. Identical `(seed, rates,
+/// coordinates)` always produce identical corruption.
+#[derive(Debug, Default)]
+pub struct LabelPoisoner {
+    seed: u64,
+    rates: PoisonRates,
+    log: PoisonLog,
+}
+
+impl LabelPoisoner {
+    /// Creates a poisoner.
+    pub fn new(seed: u64, rates: PoisonRates) -> Self {
+        LabelPoisoner {
+            seed,
+            rates,
+            log: PoisonLog::default(),
+        }
+    }
+
+    /// The configured rates.
+    pub fn rates(&self) -> &PoisonRates {
+        &self.rates
+    }
+
+    /// The tally of injections performed so far.
+    pub fn log(&self) -> &PoisonLog {
+        &self.log
+    }
+
+    /// Rolls one poison class at one sample; on a hit returns the
+    /// derived RNG for drawing attack parameters.
+    fn roll(&self, kind: PoisonKind, coords: &[u64]) -> Option<SplitMix64> {
+        let rate = self.rates.rate(kind).clamp(0.0, 1.0);
+        if rate <= 0.0 {
+            return None;
+        }
+        let mut full = Vec::with_capacity(coords.len() + 1);
+        full.push(kind.stream_tag());
+        full.extend_from_slice(coords);
+        let mut rng = SplitMix64::derive(self.seed, &full);
+        if rng.next_f64() < rate {
+            self.log.record(kind);
+            Some(rng)
+        } else {
+            None
+        }
+    }
+
+    /// Applies the poison classes to one labeled training sample:
+    /// counter deltas, reported voltage, and the measured-watts label.
+    /// `coords` identify the sample (e.g. its stream index). Returns
+    /// the classes that fired.
+    pub fn corrupt_labeled(
+        &self,
+        deltas: &mut [f64],
+        voltage: &mut f64,
+        power_w: &mut f64,
+        coords: &[u64],
+    ) -> Vec<PoisonKind> {
+        let mut fired = Vec::new();
+        if self.roll(PoisonKind::NanLabel, coords).is_some() {
+            *power_w = f64::NAN;
+            fired.push(PoisonKind::NanLabel);
+        }
+        if let Some(mut rng) = self.roll(PoisonKind::SpikeLabel, coords) {
+            *power_w *= rng.uniform(8.0, 20.0);
+            fired.push(PoisonKind::SpikeLabel);
+        }
+        if self.roll(PoisonKind::NegativeLabel, coords).is_some() {
+            *power_w = -power_w.abs();
+            fired.push(PoisonKind::NegativeLabel);
+        }
+        if let Some(mut rng) = self.roll(PoisonKind::VoltageDrift, coords) {
+            // High but regulator-plausible: past any fitted envelope,
+            // under the 1.6 V plausibility ceiling.
+            *voltage = rng.uniform(1.35, 1.55);
+            fired.push(PoisonKind::VoltageDrift);
+        }
+        if let Some(mut rng) = self.roll(PoisonKind::LeverageAttack, coords) {
+            let factor = rng.uniform(30.0, 80.0);
+            for d in deltas.iter_mut() {
+                *d *= factor;
+            }
+            fired.push(PoisonKind::LeverageAttack);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Vec<f64>, f64, f64) {
+        (vec![1e9, 2e9, 3e9], 0.9, 200.0)
+    }
+
+    #[test]
+    fn zero_rates_touch_nothing() {
+        let p = LabelPoisoner::new(1, PoisonRates::none());
+        let (mut d, mut v, mut w) = sample();
+        for i in 0..50u64 {
+            assert!(p.corrupt_labeled(&mut d, &mut v, &mut w, &[i]).is_empty());
+        }
+        assert_eq!((d, v, w), (vec![1e9, 2e9, 3e9], 0.9, 200.0));
+        assert!(p.log().is_empty());
+        assert!(PoisonRates::none().is_zero());
+    }
+
+    #[test]
+    fn certain_rates_always_fire_and_corrupt() {
+        let p = LabelPoisoner::new(1, PoisonRates::uniform(1.0));
+        let (mut d, mut v, mut w) = sample();
+        let fired = p.corrupt_labeled(&mut d, &mut v, &mut w, &[0]);
+        assert_eq!(fired.len(), PoisonKind::ALL.len());
+        assert!(w.is_nan(), "NaN label wins the pile-up");
+        assert!(v > 1.3 && v < 1.6, "drifted voltage stays plausible: {v}");
+        assert!(
+            d[0] >= 30.0 * 1e9,
+            "leverage attack scales deltas: {}",
+            d[0]
+        );
+    }
+
+    #[test]
+    fn spike_alone_exceeds_power_envelope() {
+        let rates = PoisonRates {
+            spike_label: 1.0,
+            ..PoisonRates::none()
+        };
+        let p = LabelPoisoner::new(7, rates);
+        let (mut d, mut v, mut w) = sample();
+        p.corrupt_labeled(&mut d, &mut v, &mut w, &[0]);
+        assert!(w >= 8.0 * 200.0, "spiked label: {w}");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_coords() {
+        let a = LabelPoisoner::new(9, PoisonRates::uniform(0.5));
+        let b = LabelPoisoner::new(9, PoisonRates::uniform(0.5));
+        for i in 0..30u64 {
+            let (mut da, mut va, mut wa) = sample();
+            let (mut db, mut vb, mut wb) = sample();
+            assert_eq!(
+                a.corrupt_labeled(&mut da, &mut va, &mut wa, &[i]),
+                b.corrupt_labeled(&mut db, &mut vb, &mut wb, &[i])
+            );
+            assert_eq!(format!("{da:?} {va} {wa}"), format!("{db:?} {vb} {wb}"));
+        }
+        assert_eq!(a.log().total(), b.log().total());
+    }
+
+    #[test]
+    fn rate_close_to_requested() {
+        let p = LabelPoisoner::new(42, PoisonRates::uniform(0.25));
+        let n = 400u64;
+        for i in 0..n {
+            let (mut d, mut v, mut w) = sample();
+            p.corrupt_labeled(&mut d, &mut v, &mut w, &[i]);
+        }
+        for kind in PoisonKind::ALL {
+            let observed = p.log().count(kind) as f64 / n as f64;
+            assert!(
+                (observed - 0.25).abs() < 0.08,
+                "{kind}: observed rate {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(PoisonKind::NanLabel.to_string(), "nan_label");
+        assert_eq!(PoisonKind::LeverageAttack.label(), "leverage_attack");
+        for (i, k) in PoisonKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+}

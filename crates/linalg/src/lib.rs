@@ -12,6 +12,9 @@
 //!   inverses, e.g. `(XᵀX)⁻¹` in OLS covariance computations),
 //! * Householder [QR](qr::Qr) factorization with a least-squares solver
 //!   (the numerically preferred path for regression fits),
+//! * a rank-1 symmetric inverse update
+//!   ([`sherman_morrison_update`]) for streaming `(XᵀX)⁻¹`
+//!   maintenance in the online-learning loop,
 //! * triangular solves and small utility routines.
 //!
 //! The matrices in the power-modeling workload are tiny by HPC standards
@@ -48,6 +51,7 @@ mod chol;
 mod error;
 mod matrix;
 mod qr;
+mod sherman;
 mod triangular;
 mod vecops;
 
@@ -55,6 +59,7 @@ pub use chol::Cholesky;
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use qr::Qr;
+pub use sherman::sherman_morrison_update;
 pub use triangular::{solve_lower, solve_upper};
 pub use vecops::{axpy, dot, mean, norm2, scale, sub};
 

@@ -1,0 +1,197 @@
+//! Rank-1 symmetric inverse updates (Sherman–Morrison).
+//!
+//! The online-learning loop maintains `(XᵀX)⁻¹` across streaming
+//! observations: appending a row `r` to `X` turns `A = XᵀX` into
+//! `A + rrᵀ`, and Sherman–Morrison updates the inverse in `O(p²)`
+//! instead of refactoring in `O(p³)`:
+//!
+//! ```text
+//! (A + rrᵀ)⁻¹ = A⁻¹ − (A⁻¹ r rᵀ A⁻¹) / (1 + rᵀ A⁻¹ r)
+//! ```
+//!
+//! For a symmetric positive definite `A` the denominator is ≥ 1 in
+//! exact arithmetic, so any non-finite or vanishing denominator is a
+//! *numerical* failure — the update reports it as
+//! [`LinalgError::UnstableUpdate`] **before** touching the matrix, and
+//! the caller falls back to a full refactorization from the exactly
+//! accumulated Gram matrix.
+
+use crate::{vecops, LinalgError, Matrix, Result};
+
+/// The denominator floor below which an update is declared unstable.
+/// For SPD input the true value is ≥ 1; anything this small can only
+/// come from catastrophic cancellation or a corrupted inverse.
+const DENOM_FLOOR: f64 = 1e-12;
+
+/// Updates `inv` (assumed to hold the symmetric inverse `A⁻¹`) in
+/// place to `(A + rrᵀ)⁻¹`, returning the Sherman–Morrison denominator
+/// `1 + rᵀ A⁻¹ r` as a conditioning signal (values near the floor mean
+/// the maintained inverse is drifting and a resync is advisable).
+///
+/// Fails with [`LinalgError::ShapeMismatch`] if `inv` is not square
+/// with side `r.len()`, and with [`LinalgError::UnstableUpdate`] —
+/// leaving `inv` untouched — if the denominator or any intermediate
+/// product is non-finite or the denominator falls below an absolute
+/// floor.
+pub fn sherman_morrison_update(inv: &mut Matrix, r: &[f64]) -> Result<f64> {
+    let p = r.len();
+    if inv.rows() != p || inv.cols() != p {
+        return Err(LinalgError::ShapeMismatch {
+            op: "sherman_morrison_update",
+            left: inv.shape(),
+            right: (p, 1),
+        });
+    }
+    if p == 0 {
+        return Err(LinalgError::Empty {
+            op: "sherman_morrison_update",
+        });
+    }
+    // u = A⁻¹ r; denom = 1 + rᵀu. Both are validated before the matrix
+    // is mutated so a failed update leaves the inverse intact.
+    let u = inv.matvec(r)?;
+    if !u.iter().all(|x| x.is_finite()) {
+        return Err(LinalgError::UnstableUpdate);
+    }
+    let denom = 1.0 + vecops::dot(r, &u);
+    if !denom.is_finite() || denom < DENOM_FLOOR {
+        return Err(LinalgError::UnstableUpdate);
+    }
+    // A⁻¹ ← A⁻¹ − u uᵀ / denom, exploiting symmetry (compute the upper
+    // triangle, mirror the lower) so the result stays exactly
+    // symmetric bit-for-bit.
+    for i in 0..p {
+        let ui = u[i] / denom;
+        for j in i..p {
+            let delta = ui * u[j];
+            inv[(i, j)] -= delta;
+            if j != i {
+                inv[(j, i)] = inv[(i, j)];
+            }
+        }
+    }
+    Ok(denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+    }
+
+    /// Builds A = XᵀX from rows, inverts, then SM-appends `extra` and
+    /// compares against the direct inverse of the grown Gram matrix.
+    fn check_update(rows: &[&[f64]], extra: &[f64]) {
+        let x = Matrix::from_rows(rows).unwrap();
+        let mut inv = x.gram().spd_inverse().unwrap();
+        sherman_morrison_update(&mut inv, extra).unwrap();
+
+        let mut grown: Vec<&[f64]> = rows.to_vec();
+        grown.push(extra);
+        let direct = Matrix::from_rows(&grown)
+            .unwrap()
+            .gram()
+            .spd_inverse()
+            .unwrap();
+        for i in 0..inv.rows() {
+            for j in 0..inv.cols() {
+                assert!(
+                    approx(inv[(i, j)], direct[(i, j)], 1e-9),
+                    "({i},{j}): sm={} direct={}",
+                    inv[(i, j)],
+                    direct[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_inverse_after_append() {
+        check_update(&[&[1.0, 0.5], &[0.3, 2.0], &[1.5, 1.0]], &[0.7, 0.2]);
+        check_update(
+            &[
+                &[1.0, 0.1, 0.2],
+                &[0.4, 2.0, 0.3],
+                &[0.5, 0.6, 3.0],
+                &[1.1, 0.9, 0.8],
+            ],
+            &[0.25, 0.75, 1.25],
+        );
+    }
+
+    #[test]
+    fn repeated_updates_track_growing_gram() {
+        let base = [[1.0, 0.3], [0.2, 1.5], [0.8, 0.4]];
+        let base_rows: Vec<&[f64]> = base.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&base_rows).unwrap();
+        let mut inv = x.gram().spd_inverse().unwrap();
+        let extras = [[0.5, 0.9], [1.2, 0.1], [0.3, 0.7]];
+        let mut all: Vec<&[f64]> = base_rows.clone();
+        for e in &extras {
+            let denom = sherman_morrison_update(&mut inv, e).unwrap();
+            assert!(denom >= 1.0, "SPD denominator must be >= 1, got {denom}");
+            all.push(e);
+        }
+        let direct = Matrix::from_rows(&all)
+            .unwrap()
+            .gram()
+            .spd_inverse()
+            .unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(inv[(i, j)], direct[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn result_stays_symmetric_bitwise() {
+        let x = Matrix::from_rows(&[&[1.0, 0.5, 0.1], &[0.3, 2.0, 0.6], &[1.5, 1.0, 0.2]]).unwrap();
+        let mut inv = x.gram().spd_inverse().unwrap();
+        sherman_morrison_update(&mut inv, &[0.4, 0.8, 1.6]).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(inv[(i, j)].to_bits(), inv[(j, i)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut inv = Matrix::identity(3);
+        assert!(matches!(
+            sherman_morrison_update(&mut inv, &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        let mut empty = Matrix::zeros(0, 0);
+        assert!(matches!(
+            sherman_morrison_update(&mut empty, &[]),
+            Err(LinalgError::Empty { .. })
+        ));
+    }
+
+    #[test]
+    fn overflowing_row_reports_unstable_and_leaves_inverse_intact() {
+        let mut inv = Matrix::identity(2);
+        let before = inv.clone();
+        // rᵀr overflows to +inf → the denominator is non-finite.
+        let huge = [1e200, 1e200];
+        assert_eq!(
+            sherman_morrison_update(&mut inv, &huge),
+            Err(LinalgError::UnstableUpdate)
+        );
+        assert_eq!(inv, before, "failed update must not mutate the inverse");
+    }
+
+    #[test]
+    fn corrupted_inverse_reports_unstable() {
+        // A poisoned inverse (NaN entry) must be detected, not smeared.
+        let mut inv = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, f64::NAN]).unwrap();
+        assert_eq!(
+            sherman_morrison_update(&mut inv, &[1.0, 1.0]),
+            Err(LinalgError::UnstableUpdate)
+        );
+    }
+}

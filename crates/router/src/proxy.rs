@@ -1453,6 +1453,11 @@ fn dispatch(conn: &mut Conn, raw: Vec<u8>, frame: &Json, shared: &Shared) -> Dis
             forward(conn, raw, shared, false)
         }
         "estimate" => forward_estimate(conn, raw, shared),
+        // Labeled training samples go to the token's primary (or the
+        // ephemeral placement) like any write, but touch only the
+        // shard's shared model state — no client window advances, so
+        // no replica-staleness bump.
+        "train" => forward(conn, raw, shared, false),
         _ => forward(conn, raw, shared, false),
     }
 }

@@ -238,3 +238,57 @@ fn router_health_surface_works_with_zero_backends() {
     }
     router.shutdown();
 }
+
+#[test]
+fn train_relays_through_router_with_typed_quarantine_verdicts() {
+    // `train` is a write against the shard's shared model state: the
+    // router must relay it to the token's primary verbatim and hand
+    // the training report (including typed quarantine reasons) back
+    // untouched.
+    let model = tiny_model();
+    let data = tiny_dataset(24);
+    let dir = std::env::temp_dir().join(format!("pmc-train-route-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model_path = dir.join("model.json");
+    std::fs::write(
+        &model_path,
+        ModelArtifact::new("hsw", tiny_model()).to_json().unwrap(),
+    )
+    .unwrap();
+    let backend = spawn_serve(&model_path, None);
+    let config = RouterConfig {
+        backends: vec![BackendSpec::parse(&backend.addr).unwrap()],
+        ..RouterConfig::default()
+    };
+    let mut router = PowerRouter::start(config).unwrap();
+    let mut c = PowerClient::connect(router.addr())
+        .unwrap()
+        .with_retry(RetryPolicy::default());
+    c.resume("train-route-1").unwrap();
+
+    for i in 0..6 {
+        let sample = sample_for(&model, &data, i);
+        let label = data.rows()[i % data.rows().len()].power;
+        let r = c.train(&sample, label).unwrap();
+        assert!(
+            r.field("accepted").unwrap().as_bool().unwrap(),
+            "clean label {i} rejected through the router: {r}"
+        );
+        assert_eq!(r.u64_field("n").unwrap(), i as u64 + 1);
+    }
+    // A poisoned label comes back quarantined with the backend's own
+    // typed reason, not a router-side translation.
+    let r = c.train(&sample_for(&model, &data, 6), f64::NAN).unwrap();
+    assert!(!r.field("accepted").unwrap().as_bool().unwrap());
+    let reasons: Vec<&str> = r
+        .arr_field("reasons")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert_eq!(reasons, vec!["non_finite_label"]);
+
+    router.shutdown();
+    backend.shutdown_clean();
+    let _ = std::fs::remove_dir_all(&dir);
+}

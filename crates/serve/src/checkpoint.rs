@@ -29,6 +29,7 @@
 use crate::engine::{ClientSnapshot, Estimate};
 use crate::error::ServeError;
 use crate::fsutil::{crc32, write_atomic_durable};
+use crate::trainer::TrainingSnapshot;
 use pmc_json::Json;
 use std::path::{Path, PathBuf};
 
@@ -44,6 +45,11 @@ pub struct CheckpointData {
     pub active: Option<(String, u32)>,
     /// Durable (token-keyed) client windows.
     pub clients: Vec<ClientSnapshot>,
+    /// Online-learning state (incremental fit + shadow score windows),
+    /// present once training has started. Absent in checkpoints
+    /// written before online learning existed — those restore with
+    /// cold training, never a boot failure (like the `seq` field).
+    pub training: Option<TrainingSnapshot>,
 }
 
 /// What loading a checkpoint file produced.
@@ -210,17 +216,74 @@ pub fn record_seq(record: &Json) -> u64 {
         .unwrap_or(0)
 }
 
+/// Encodes the online-learning state. Floats and counters use the
+/// same hex-bits encoding as client windows: a restored fit must be
+/// bitwise identical to the snapshotted one.
+fn encode_training(t: &TrainingSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "words",
+            Json::Arr(t.words.iter().map(|&w| hex_u64(w)).collect()),
+        ),
+        (
+            "floats",
+            Json::Arr(t.floats.iter().map(|&f| hex_f64(f)).collect()),
+        ),
+        (
+            "events",
+            Json::Arr(t.events.iter().map(|e| Json::from(e.as_str())).collect()),
+        ),
+        ("base", model_id_json(&t.base)),
+        ("accepted", hex_u64(t.accepted)),
+        (
+            "active_apes",
+            Json::Arr(t.active_apes.iter().map(|&a| hex_f64(a)).collect()),
+        ),
+        (
+            "shadow_apes",
+            Json::Arr(t.shadow_apes.iter().map(|&a| hex_f64(a)).collect()),
+        ),
+    ])
+}
+
+fn decode_training(v: &Json) -> Result<TrainingSnapshot, ServeError> {
+    let hex_u64s = |field: &str| -> Result<Vec<u64>, ServeError> {
+        v.arr_field(field)?.iter().map(parse_hex_u64).collect()
+    };
+    let hex_f64s = |field: &str| -> Result<Vec<f64>, ServeError> {
+        v.arr_field(field)?.iter().map(parse_hex_f64).collect()
+    };
+    Ok(TrainingSnapshot {
+        words: hex_u64s("words")?,
+        floats: hex_f64s("floats")?,
+        events: v
+            .arr_field("events")?
+            .iter()
+            .map(|e| Ok(e.as_str()?.to_string()))
+            .collect::<Result<Vec<_>, ServeError>>()?,
+        base: parse_model_id(v.field("base")?)?,
+        accepted: parse_hex_u64(v.field("accepted")?)?,
+        active_apes: hex_f64s("active_apes")?,
+        shadow_apes: hex_f64s("shadow_apes")?,
+    })
+}
+
 /// Serializes a checkpoint to its full file content (header + payload).
 pub fn encode_checkpoint(data: &CheckpointData) -> String {
-    let payload = Json::obj(vec![
+    let mut fields = vec![
         ("version", Json::from(VERSION)),
         ("active", model_id_json(&data.active)),
         (
             "clients",
             Json::Arr(data.clients.iter().map(encode_client_record).collect()),
         ),
-    ])
-    .to_string();
+    ];
+    // Omitted entirely (not null) when no training has happened, so
+    // pre-training checkpoints stay byte-identical to the old format.
+    if let Some(t) = &data.training {
+        fields.push(("training", encode_training(t)));
+    }
+    let payload = Json::obj(fields).to_string();
     format!("{MAGIC} {:08x}\n{payload}", crc32(payload.as_bytes()))
 }
 
@@ -254,6 +317,14 @@ pub fn decode_checkpoint(content: &str) -> Result<CheckpointData, ServeError> {
             .iter()
             .map(decode_client_record)
             .collect::<Result<Vec<_>, _>>()?,
+        // Absent in checkpoints written before online learning (and
+        // tolerated if malformed): the server restores with cold
+        // training rather than failing the boot — training state only
+        // costs warm-up, exactly like the absent `seq` tolerance.
+        training: match v.field("training") {
+            Ok(raw) => decode_training(raw).ok(),
+            Err(_) => None,
+        },
     })
 }
 
@@ -347,6 +418,15 @@ mod tests {
                     dirty_seq: 0,
                 },
             ],
+            training: Some(TrainingSnapshot {
+                words: vec![2, 9, 256, 7, 2, 1],
+                floats: vec![1.5, -0.0, f64::NAN, 2.0f64.powi(-1060), 4.0, 0.25],
+                events: vec!["PRF_DM".into(), "TOT_CYC".into()],
+                base: Some(("hsw".into(), 3)),
+                accepted: u64::MAX - 5,
+                active_apes: vec![0.05, 0.041],
+                shadow_apes: vec![0.031],
+            }),
         }
     }
 
@@ -369,6 +449,17 @@ mod tests {
             let other_bits: Vec<_> = y.last_rates.iter().map(bits_opt).collect();
             assert_eq!(rate_bits, other_bits);
             assert_eq!(x.dirty_seq, y.dirty_seq);
+        }
+        assert_eq!(a.training.is_some(), b.training.is_some());
+        if let (Some(ta), Some(tb)) = (&a.training, &b.training) {
+            assert_eq!(ta.words, tb.words);
+            let fbits = |f: &[f64]| f.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(fbits(&ta.floats), fbits(&tb.floats));
+            assert_eq!(ta.events, tb.events);
+            assert_eq!(ta.base, tb.base);
+            assert_eq!(ta.accepted, tb.accepted);
+            assert_eq!(fbits(&ta.active_apes), fbits(&tb.active_apes));
+            assert_eq!(fbits(&ta.shadow_apes), fbits(&tb.shadow_apes));
         }
     }
 
@@ -400,6 +491,42 @@ mod tests {
         // And a present field reads back exactly.
         let full = encode_client_record(&sample_data().clients[0]);
         assert_eq!(record_seq(&full), 0x1_0000_0003);
+    }
+
+    /// Satellite: checkpoints written before online learning carry no
+    /// `training` section; they must restore with cold training —
+    /// never a boot failure — mirroring the absent-`seq` tolerance.
+    #[test]
+    fn checkpoint_without_training_section_restores_cold() {
+        let data = CheckpointData {
+            training: None,
+            ..sample_data()
+        };
+        let encoded = encode_checkpoint(&data);
+        assert!(
+            !encoded.contains("\"training\""),
+            "no-training checkpoints must keep the pre-training payload shape"
+        );
+        let decoded = decode_checkpoint(&encoded).unwrap();
+        assert!(decoded.training.is_none());
+        assert_data_eq(&data, &decoded);
+        // A malformed training section is dropped (cold training), not
+        // a boot failure: everything else still restores.
+        let full = encode_checkpoint(&sample_data());
+        let payload = full.split_once('\n').unwrap().1;
+        let mut v = Json::parse(payload).unwrap();
+        if let Json::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "training" {
+                    *val = Json::from("not an object");
+                }
+            }
+        }
+        let tampered = v.to_string();
+        let retagged = format!("PMCCKPT1 {:08x}\n{tampered}", crc32(tampered.as_bytes()));
+        let decoded = decode_checkpoint(&retagged).unwrap();
+        assert!(decoded.training.is_none(), "malformed training must drop");
+        assert_eq!(decoded.clients.len(), 2, "client windows must survive");
     }
 
     #[test]

@@ -702,6 +702,17 @@ impl PowerClient {
         })?;
         Ok(r.str_field("key")?.to_string())
     }
+
+    /// Streams one labeled sample (counters + measured watts) into the
+    /// online-learning loop. Returns the server's full training report:
+    /// `accepted`, typed quarantine `reasons`, rolling MAPEs, and any
+    /// auto-activation or rollback this label triggered.
+    pub fn train(&mut self, sample: &CounterSample, power_w: f64) -> Result<Json, ServeError> {
+        self.call(&Request::Train {
+            sample: sample.clone(),
+            power_w,
+        })
+    }
 }
 
 #[cfg(test)]

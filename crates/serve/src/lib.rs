@@ -80,6 +80,7 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 pub mod tokenhash;
+pub mod trainer;
 
 pub use artifact::ModelArtifact;
 pub use checkpoint::{CheckpointData, CheckpointOutcome};

@@ -590,6 +590,18 @@ pub enum Request {
     /// only the windows that moved, instead of copying every window
     /// every round.
     WindowSeqs,
+    /// Stream one **labeled** sample — a counter vector plus measured
+    /// watts — into the online-learning loop. The sample passes the
+    /// quarantine gate (typed rejection reasons), feeds the incremental
+    /// fit, and scores the shadow candidate against the active model.
+    Train {
+        /// The counter sample (same shape as `ingest`).
+        sample: CounterSample,
+        /// Measured power label, watts. Non-finite labels travel as
+        /// JSON/binary null and decode back to NaN, so the quarantine
+        /// gate — not the codec — rejects them with a typed reason.
+        power_w: f64,
+    },
 }
 
 impl Request {
@@ -647,6 +659,11 @@ impl Request {
                 ("encoding", Json::from(encoding.as_str())),
             ]),
             Request::WindowSeqs => Json::obj(vec![("op", Json::from("window_seqs"))]),
+            Request::Train { sample, power_w } => Json::obj(vec![
+                ("op", Json::from("train")),
+                ("sample", sample.to_json_value()),
+                ("power_w", Json::from(*power_w)),
+            ]),
         }
     }
 
@@ -714,6 +731,13 @@ impl Request {
                     .to_string(),
             }),
             "window_seqs" => Ok(Request::WindowSeqs),
+            "train" => Ok(Request::Train {
+                sample: CounterSample::from_json_value(v.field("sample")?)?,
+                // Non-finite labels encode as null; surface them as NaN
+                // so the training gate quarantines with a typed reason
+                // instead of the codec dropping the sample.
+                power_w: v.f64_field("power_w").unwrap_or(f64::NAN),
+            }),
             other => Err(ServeError::Protocol {
                 reason: format!("unknown op {other:?}"),
             }),
@@ -894,6 +918,43 @@ mod tests {
         roundtrip(Request::Hello {
             encoding: "binary".into(),
         });
+        // Finite labels only: NaN breaks PartialEq, and non-finite
+        // labels intentionally decode differently (see test below).
+        roundtrip(Request::Train {
+            sample: CounterSample {
+                time_ns: 9,
+                duration_s: 0.25,
+                freq_mhz: 2600,
+                voltage: 1.05,
+                deltas: vec![3.0, 4.0],
+                missing: vec![],
+            },
+            power_w: 142.5,
+        });
+    }
+
+    #[test]
+    fn train_nonfinite_label_decodes_as_nan() {
+        // A NaN label encodes as null on the wire (both codecs); the
+        // decoder must hand the gate a NaN, not a protocol error.
+        let req = Request::Train {
+            sample: CounterSample {
+                time_ns: 1,
+                duration_s: 0.5,
+                freq_mhz: 2400,
+                voltage: 1.0,
+                deltas: vec![1.0],
+                missing: vec![],
+            },
+            power_w: f64::NAN,
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &req.to_json_value()).unwrap();
+        let got = read_frame(&mut Cursor::new(&buf)).unwrap().unwrap();
+        match Request::from_json_value(&got).unwrap() {
+            Request::Train { power_w, .. } => assert!(power_w.is_nan()),
+            other => panic!("expected train, got {other:?}"),
+        }
     }
 
     #[test]
@@ -1196,6 +1257,17 @@ mod tests {
             encoding: "binary".into(),
         });
         roundtrip_binary(Request::WindowSeqs);
+        roundtrip_binary(Request::Train {
+            sample: CounterSample {
+                time_ns: 9,
+                duration_s: 0.25,
+                freq_mhz: 2600,
+                voltage: 1.05,
+                deltas: vec![3.0, 4.0],
+                missing: vec![],
+            },
+            power_w: 142.5,
+        });
     }
 
     #[test]

@@ -80,6 +80,7 @@ use crate::protocol::{
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::tokenhash::{resume_key, RESUME_KEY_BIT};
+use crate::trainer::{Trainer, TrainerConfig};
 use pmc_json::Json;
 use pmc_model::model::PowerModel;
 use std::collections::HashMap;
@@ -165,6 +166,9 @@ pub struct ServerConfig {
     /// Deterministic fault hooks (injected worker panics, stalls, torn
     /// checkpoint writes); `None` in production.
     pub faults: Option<Arc<pmc_faults::ServeFaults>>,
+    /// Online-learning thresholds (shadow evaluation, activation
+    /// margin, rollback guard, quarantine envelope).
+    pub trainer: TrainerConfig,
 }
 
 impl Default for ServerConfig {
@@ -192,6 +196,7 @@ impl Default for ServerConfig {
             flap_cap: 5,
             stuck_job_bound: Duration::from_secs(30),
             faults: None,
+            trainer: TrainerConfig::default(),
         }
     }
 }
@@ -356,6 +361,7 @@ struct Service {
     engine: EstimatorEngine,
     stats: Arc<ServerStats>,
     health: Arc<HealthState>,
+    trainer: Arc<Trainer>,
     config: ServerConfig,
 }
 
@@ -523,6 +529,13 @@ impl Service {
                     ("key", Json::from(format!("{key:016x}").as_str())),
                 ]))
             }
+            Request::Train { sample, power_w } => self.trainer.train(
+                &self.registry,
+                &self.stats,
+                self.engine.config().total_cores,
+                &sample,
+                power_w,
+            ),
             Request::WindowSeqs => {
                 let windows = self
                     .engine
@@ -566,6 +579,12 @@ impl Service {
         let stuck = self.stats.workers_stuck.load(Ordering::Relaxed);
         if stuck > 0 {
             reasons.push("worker stuck past the wall-clock bound");
+        }
+        if self.stats.shadow_regressed.load(Ordering::Relaxed) != 0 {
+            // The latest model activation regressed past the guard and
+            // was auto-rolled back; an operator should look before
+            // trusting further refreshes.
+            reasons.push("shadow_regressed");
         }
         Json::obj(vec![
             ("ready", Json::Bool(reasons.is_empty())),
@@ -616,6 +635,7 @@ impl Service {
         let data = CheckpointData {
             active: self.registry.active().map(|a| (a.name.clone(), a.version)),
             clients: self.engine.export_clients(|c| c & RESUME_KEY_BIT != 0),
+            training: self.trainer.snapshot(),
         };
         let clients = data.clients.len();
         match write_checkpoint(&path, &data, self.config.faults.as_deref()) {
@@ -833,6 +853,7 @@ impl PowerServer {
         let stats = Arc::new(ServerStats::default());
         let health = Arc::new(HealthState::default());
         let engine = EstimatorEngine::new(config.engine);
+        let trainer = Arc::new(Trainer::new(config.trainer.clone()));
 
         // Checkpoint restore happens before any thread can touch the
         // engine. A bad checkpoint is quarantined and reported — it
@@ -852,6 +873,14 @@ impl PowerServer {
                         if registry.active().is_none() {
                             let _ = registry.activate(name, *version);
                         }
+                    }
+                    // Online-learning state resumes bitwise (after the
+                    // re-pin so the shadow candidate can rebuild
+                    // against the active envelope). A malformed
+                    // section costs warm training, never the boot.
+                    if let Some(t) = &data.training {
+                        let active = registry.active();
+                        let _ = trainer.restore(t, active.as_ref().map(|a| &a.model));
                     }
                     // Age the restored checkpoint from the file itself,
                     // not from "now" — a probe should see how stale it is.
@@ -887,6 +916,7 @@ impl PowerServer {
             engine,
             stats: Arc::clone(&stats),
             health,
+            trainer,
             config: config.clone(),
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -2322,6 +2352,7 @@ mod tests {
             engine: EstimatorEngine::new(config.engine),
             stats: Arc::new(ServerStats::default()),
             health: Arc::new(HealthState::default()),
+            trainer: Arc::new(Trainer::new(config.trainer.clone())),
             config,
         };
 

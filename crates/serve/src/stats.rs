@@ -84,6 +84,26 @@ pub struct ServerStats {
     pub windows_migrated_out: AtomicU64,
     /// Durable windows replayed into this server by `migrate_import`.
     pub windows_migrated_in: AtomicU64,
+    /// Labeled training samples accepted by the quarantine gate into
+    /// the incremental fit.
+    pub train_samples_accepted: AtomicU64,
+    /// Labeled training samples rejected by the quarantine gate
+    /// (poisoned labels, implausible counters, leverage outliers, …).
+    pub train_samples_quarantined: AtomicU64,
+    /// Shadow candidates auto-activated after winning the rolling-MAPE
+    /// race by the configured margin.
+    pub auto_activations: AtomicU64,
+    /// Automatic rollbacks after a post-activation MAPE regression
+    /// beyond the guard threshold.
+    pub auto_rollbacks: AtomicU64,
+    /// Gauge: 1 while the most recent activation regressed past the
+    /// guard and was rolled back (cleared by the next healthy
+    /// activation verdict). Mirrored as a readiness reason.
+    pub shadow_regressed: AtomicU64,
+    /// Gauge: rolling shadow-model MAPE (percent) against live labels,
+    /// stored as raw `f64` bits (scalars are u64; the exposition
+    /// layers decode).
+    pub shadow_mape_bits: AtomicU64,
 }
 
 /// Upper-exclusive bucket bounds of [`ServerStats::batch_fill`]; the
@@ -168,7 +188,20 @@ impl ServerStats {
             ("binary_conns", read(&self.binary_conns)),
             ("windows_migrated_out", read(&self.windows_migrated_out)),
             ("windows_migrated_in", read(&self.windows_migrated_in)),
+            ("train_samples_accepted", read(&self.train_samples_accepted)),
+            (
+                "train_samples_quarantined",
+                read(&self.train_samples_quarantined),
+            ),
+            ("auto_activations", read(&self.auto_activations)),
+            ("auto_rollbacks", read(&self.auto_rollbacks)),
+            ("shadow_regressed", read(&self.shadow_regressed)),
         ]
+    }
+
+    /// Rolling shadow MAPE (percent) decoded from its bit-store.
+    pub fn shadow_mape(&self) -> f64 {
+        f64::from_bits(self.shadow_mape_bits.load(Ordering::Relaxed))
     }
 
     /// A point-in-time JSON snapshot.
@@ -178,6 +211,7 @@ impl ServerStats {
             .into_iter()
             .map(|(k, v)| (k.to_string(), Json::from(v)))
             .collect();
+        fields.push(("shadow_mape".into(), Json::Num(self.shadow_mape())));
         fields.push((
             "batch_fill".into(),
             Json::Obj(
@@ -203,12 +237,17 @@ impl ServerStats {
             // The two gauges are annotated as such; everything else is
             // a monotone counter.
             let kind = match name {
-                "connections_open" | "supervisor_flapping" | "workers_stuck" => "gauge",
+                "connections_open"
+                | "supervisor_flapping"
+                | "workers_stuck"
+                | "shadow_regressed" => "gauge",
                 _ => "counter",
             };
             let _ = writeln!(out, "# TYPE pmc_serve_{name} {kind}");
             let _ = writeln!(out, "pmc_serve_{name} {value}");
         }
+        let _ = writeln!(out, "# TYPE pmc_serve_shadow_mape gauge");
+        let _ = writeln!(out, "pmc_serve_shadow_mape {}", self.shadow_mape());
         let _ = writeln!(out, "# TYPE pmc_serve_batch_fill histogram");
         let mut cumulative = 0u64;
         for (bound, cell) in BATCH_FILL_BOUNDS.iter().zip(&self.batch_fill) {

@@ -5,6 +5,9 @@
 //! * [`ols`] — ordinary least squares with classical **and**
 //!   heteroscedasticity-consistent covariance estimators (HC0–HC3; the
 //!   paper uses HC3, following Walker et al. and Long & Ervin 2000),
+//! * [`online`] — streaming OLS over exact sufficient statistics with
+//!   rank-1 Sherman–Morrison inverse maintenance and a full-refit
+//!   conditioning fallback (the serving tier's online-learning loop),
 //! * [`vif`] — Variance Inflation Factors, the multicollinearity
 //!   diagnostic that gates counter selection (VIF > 10 ⇒ unstable model),
 //! * [`descriptive`] — means/variances and the Pearson correlation
@@ -28,6 +31,7 @@ mod error;
 pub mod kfold;
 pub mod metrics;
 pub mod ols;
+pub mod online;
 pub mod rng;
 pub mod vif;
 
@@ -37,6 +41,7 @@ pub use error::StatsError;
 pub use kfold::{cross_validate, CvOutcome, Fold, KFold};
 pub use metrics::{mae, mape, max_ape, rmse, ErrorMetrics};
 pub use ols::{CovarianceKind, OlsFit, OlsOptions};
+pub use online::OnlineOls;
 pub use rng::SplitMix64;
 pub use vif::{mean_vif, vif_all, vif_for};
 

@@ -1,0 +1,491 @@
+//! Incremental (streaming) ordinary least squares.
+//!
+//! [`OnlineOls`] accumulates the sufficient statistics of a regression
+//! — `XᵀX`, `Xᵀy`, `yᵀy`, `Σy`, `n` — one observation at a time, and
+//! maintains `(XᵀX)⁻¹` across pushes with rank-1 Sherman–Morrison
+//! updates ([`pmc_linalg::sherman_morrison_update`], `O(p²)` per
+//! sample). The Gram accumulators are always *exact*: the maintained
+//! inverse is a cache, and whenever an update is numerically unsafe
+//! (non-finite denominator, corrupted intermediate) or the configured
+//! resync cadence comes due, the inverse is **rebuilt from scratch**
+//! by a full Cholesky factorization of the exact `XᵀX` — the
+//! conditioning fallback that keeps streaming drift bounded.
+//!
+//! The state is a flat list of `f64`/`u64` words
+//! ([`OnlineOls::state`] / [`OnlineOls::from_state`]) so a server can
+//! checkpoint a fit mid-stream and resume it **bitwise**: the restored
+//! object continues producing exactly the floats the uninterrupted one
+//! would have.
+
+use crate::error::StatsError;
+use crate::Result;
+use pmc_linalg::{sherman_morrison_update, Matrix};
+
+/// Streaming OLS over a fixed design width `p`.
+#[derive(Debug, Clone)]
+pub struct OnlineOls {
+    p: usize,
+    n: u64,
+    /// Exact accumulated Gram matrix `XᵀX` (the source of truth).
+    xtx: Matrix,
+    /// Exact accumulated `Xᵀy`.
+    xty: Vec<f64>,
+    /// Exact accumulated `yᵀy` (for the incremental residual sum).
+    yty: f64,
+    /// Exact accumulated `Σy` (for the incremental total sum).
+    sum_y: f64,
+    /// Cached `(XᵀX)⁻¹`, maintained by rank-1 updates; `None` until
+    /// `n > p` and after an unrecoverable factorization failure.
+    inv: Option<Matrix>,
+    /// Full refactorization every this many samples (0 = only when an
+    /// update fails). Bounds the numerical drift of the cached inverse.
+    resync_every: u64,
+    rank1_updates: u64,
+    full_refits: u64,
+}
+
+impl OnlineOls {
+    /// Creates an empty fit for design width `p`, refactorizing the
+    /// cached inverse every `resync_every` samples (0 disables the
+    /// cadence; the exactness-triggered fallback still applies).
+    pub fn new(p: usize, resync_every: u64) -> Self {
+        OnlineOls {
+            p,
+            n: 0,
+            xtx: Matrix::zeros(p, p),
+            xty: vec![0.0; p],
+            yty: 0.0,
+            sum_y: 0.0,
+            inv: None,
+            resync_every,
+            rank1_updates: 0,
+            full_refits: 0,
+        }
+    }
+
+    /// Design width.
+    pub fn width(&self) -> usize {
+        self.p
+    }
+
+    /// Observations accumulated so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Rank-1 inverse updates applied so far.
+    pub fn rank1_updates(&self) -> u64 {
+        self.rank1_updates
+    }
+
+    /// Full refactorizations attempted so far (cadence resyncs,
+    /// unstable-update fallbacks, and first builds alike).
+    pub fn full_refits(&self) -> u64 {
+        self.full_refits
+    }
+
+    /// True once enough observations exist for a determined system
+    /// (`n > p`) *and* the Gram matrix factorized successfully.
+    pub fn is_warm(&self) -> bool {
+        self.inv.is_some()
+    }
+
+    /// Leverage of a prospective row, `h = rᵀ (XᵀX)⁻¹ r` — the
+    /// self-influence this observation would have on the fit. `None`
+    /// until the fit is warm. Rows with `h` far above the average
+    /// `p / n` are high-leverage outliers.
+    pub fn leverage(&self, row: &[f64]) -> Option<f64> {
+        let inv = self.inv.as_ref()?;
+        if row.len() != self.p {
+            return None;
+        }
+        let u = inv.matvec(row).ok()?;
+        Some(pmc_linalg::dot(row, &u))
+    }
+
+    /// Accumulates one observation and maintains the cached inverse.
+    ///
+    /// Rejects rows of the wrong width and non-finite values (the
+    /// exact accumulators must never be poisoned). A numerically
+    /// unsafe rank-1 update is not an error: it triggers the full
+    /// refactorization fallback.
+    pub fn push(&mut self, row: &[f64], y: f64) -> Result<()> {
+        if row.len() != self.p {
+            return Err(StatsError::DimensionMismatch {
+                what: "online OLS push",
+                rows: self.p,
+                response: row.len(),
+            });
+        }
+        if !y.is_finite() || !row.iter().all(|x| x.is_finite()) {
+            return Err(StatsError::Degenerate {
+                what: "online OLS push",
+                reason: "non-finite observation",
+            });
+        }
+        // Exact accumulation first — the inverse is only a cache.
+        for i in 0..self.p {
+            for j in i..self.p {
+                self.xtx[(i, j)] += row[i] * row[j];
+                if j != i {
+                    self.xtx[(j, i)] = self.xtx[(i, j)];
+                }
+            }
+            self.xty[i] += row[i] * y;
+        }
+        self.yty += y * y;
+        self.sum_y += y;
+        self.n += 1;
+
+        if self.n <= self.p as u64 {
+            // Underdetermined: no inverse exists yet.
+            self.inv = None;
+            return Ok(());
+        }
+        let cadence_due = self.resync_every != 0 && self.n % self.resync_every == 0;
+        match self.inv.take() {
+            Some(mut inv) if !cadence_due => match sherman_morrison_update(&mut inv, row) {
+                Ok(_) => {
+                    self.rank1_updates += 1;
+                    self.inv = Some(inv);
+                }
+                // Conditioning trigger: the incremental update is
+                // numerically unsafe — rebuild from the exact XᵀX.
+                Err(_) => self.refactor(),
+            },
+            _ => self.refactor(),
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the cached inverse from the exact Gram matrix. A
+    /// factorization failure (rank-deficient or non-finite XᵀX) leaves
+    /// the fit cold; later pushes retry automatically.
+    fn refactor(&mut self) {
+        self.full_refits += 1;
+        self.inv = self.xtx.spd_inverse().ok();
+    }
+
+    /// The current coefficient vector `β = (XᵀX)⁻¹ Xᵀy`, or an error
+    /// while the system is underdetermined or degenerate.
+    pub fn coefficients(&self) -> Result<Vec<f64>> {
+        if self.n <= self.p as u64 {
+            return Err(StatsError::TooFewObservations {
+                what: "online OLS coefficients",
+                got: self.n as usize,
+                need: self.p + 1,
+            });
+        }
+        match &self.inv {
+            Some(inv) => Ok(inv.matvec(&self.xty)?),
+            // Cold cache (a refactor failed): solve from the exact
+            // accumulators without caching through &self.
+            None => Ok(self.xtx.spd_inverse()?.matvec(&self.xty)?),
+        }
+    }
+
+    /// Coefficient of determination from the accumulated statistics:
+    /// `R² = 1 − RSS/TSS` with `RSS = yᵀy − 2βᵀXᵀy + βᵀXᵀXβ` and
+    /// centered `TSS = yᵀy − n·ȳ²`. `None` while underdetermined or
+    /// when the response is (numerically) constant.
+    pub fn r_squared(&self) -> Option<f64> {
+        let beta = self.coefficients().ok()?;
+        let xtxb = self.xtx.matvec(&beta).ok()?;
+        let rss =
+            self.yty - 2.0 * pmc_linalg::dot(&beta, &self.xty) + pmc_linalg::dot(&beta, &xtxb);
+        let mean = self.sum_y / self.n as f64;
+        let tss = self.yty - self.n as f64 * mean * mean;
+        if !tss.is_finite() || tss <= f64::EPSILON * self.yty.abs() {
+            return None;
+        }
+        Some(1.0 - rss / tss)
+    }
+
+    /// Serializes the complete fit state — including the cached
+    /// inverse — as `(u64 words, f64 words)`. Restoring via
+    /// [`OnlineOls::from_state`] reproduces the object bit-for-bit, so
+    /// a resumed stream continues exactly where the original would
+    /// have.
+    pub fn state(&self) -> (Vec<u64>, Vec<f64>) {
+        let words = vec![
+            self.p as u64,
+            self.n,
+            self.resync_every,
+            self.rank1_updates,
+            self.full_refits,
+            u64::from(self.inv.is_some()),
+        ];
+        let mut floats = Vec::with_capacity(2 * self.p * self.p + self.p + 2);
+        floats.extend_from_slice(self.xtx.as_slice());
+        floats.extend_from_slice(&self.xty);
+        floats.push(self.yty);
+        floats.push(self.sum_y);
+        if let Some(inv) = &self.inv {
+            floats.extend_from_slice(inv.as_slice());
+        }
+        (words, floats)
+    }
+
+    /// Rebuilds a fit from [`OnlineOls::state`] output. Errors on
+    /// malformed shapes (wrong word counts for the encoded width).
+    pub fn from_state(words: &[u64], floats: &[f64]) -> Result<Self> {
+        let malformed = || StatsError::Degenerate {
+            what: "online OLS state",
+            reason: "malformed serialized fit state",
+        };
+        if words.len() != 6 {
+            return Err(malformed());
+        }
+        let p = words[0] as usize;
+        let has_inv = words[5] != 0;
+        let expect = p * p + p + 2 + if has_inv { p * p } else { 0 };
+        if floats.len() != expect {
+            return Err(malformed());
+        }
+        let (xtx_w, rest) = floats.split_at(p * p);
+        let (xty_w, rest) = rest.split_at(p);
+        let xtx = Matrix::from_vec(p, p, xtx_w.to_vec())?;
+        let inv = if has_inv {
+            Some(Matrix::from_vec(p, p, rest[2..].to_vec())?)
+        } else {
+            None
+        };
+        Ok(OnlineOls {
+            p,
+            n: words[1],
+            xtx,
+            xty: xty_w.to_vec(),
+            yty: rest[0],
+            sum_y: rest[1],
+            inv,
+            resync_every: words[2],
+            rank1_updates: words[3],
+            full_refits: words[4],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ols::OlsFit;
+    use crate::rng::SplitMix64;
+
+    /// Random well-conditioned regression data: rows uniform in
+    /// [0.1, 2), responses from a random true β plus small noise.
+    fn random_problem(rng: &mut SplitMix64, n: usize, p: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let beta: Vec<f64> = (0..p).map(|_| rng.uniform(-5.0, 5.0)).collect();
+        let mut rows = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..p).map(|_| rng.uniform(0.1, 2.0)).collect();
+            let y = pmc_linalg::dot(&row, &beta) + 0.01 * rng.normal();
+            rows.push(row);
+            ys.push(y);
+        }
+        (rows, ys)
+    }
+
+    fn full_fit(rows: &[Vec<f64>], ys: &[f64]) -> OlsFit {
+        let slices: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&slices).unwrap();
+        OlsFit::fit(&x, ys).unwrap()
+    }
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64, ctx: &str) {
+        let scale = b.iter().fold(1.0f64, |m, x| m.max(x.abs()));
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x - y).abs() <= tol * scale,
+                "{ctx}: coef {i} diverged: online={x} full={y}"
+            );
+        }
+    }
+
+    /// Satellite: seeded property test — streaming fit vs. full
+    /// `OlsFit::fit` refit across random widths and sample orders.
+    #[test]
+    fn matches_full_refit_across_widths_and_orders() {
+        let seed: u64 = std::env::var("TRAIN_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42);
+        let mut rng = SplitMix64::new(seed);
+        for p in 2..=6 {
+            for trial in 0..4 {
+                let n = p + 4 + rng.below(40);
+                let (mut rows, mut ys) = random_problem(&mut rng, n, p);
+                // Random arrival order: OLS is order-free, the
+                // streaming fit must be too.
+                let mut order: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut order);
+                let reordered: Vec<Vec<f64>> = order.iter().map(|&i| rows[i].clone()).collect();
+                let reordered_y: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+                rows = reordered;
+                ys = reordered_y;
+
+                let mut online = OnlineOls::new(p, 0);
+                for (row, &y) in rows.iter().zip(&ys) {
+                    online.push(row, y).unwrap();
+                }
+                let full = full_fit(&rows, &ys);
+                let ctx = format!("p={p} n={n} trial={trial} seed={seed}");
+                assert_close(
+                    &online.coefficients().unwrap(),
+                    full.coefficients(),
+                    1e-7,
+                    &ctx,
+                );
+                let r2 = online.r_squared().unwrap();
+                assert!(
+                    (r2 - full.r_squared()).abs() < 1e-6,
+                    "{ctx}: r2 online={r2} full={}",
+                    full.r_squared()
+                );
+                assert!(online.rank1_updates() > 0, "{ctx}: no rank-1 updates ran");
+            }
+        }
+    }
+
+    /// Satellite: the periodic resync cadence forces full refits and
+    /// the answers still match the reference.
+    #[test]
+    fn resync_cadence_refactorizes_and_stays_correct() {
+        let mut rng = SplitMix64::new(7);
+        let (rows, ys) = random_problem(&mut rng, 40, 4);
+        let mut online = OnlineOls::new(4, 6);
+        for (row, &y) in rows.iter().zip(&ys) {
+            online.push(row, y).unwrap();
+        }
+        assert!(online.full_refits() > 1, "cadence never fired");
+        assert!(online.rank1_updates() > 0, "everything refactored");
+        let full = full_fit(&rows, &ys);
+        assert_close(
+            &online.coefficients().unwrap(),
+            full.coefficients(),
+            1e-7,
+            "cadence",
+        );
+    }
+
+    /// Satellite: the ill-conditioned fallback — an overflowing row
+    /// makes the rank-1 update unsafe; the fit falls back to a full
+    /// refactorization instead of panicking or smearing NaNs into a
+    /// previously healthy inverse.
+    #[test]
+    fn unsafe_update_triggers_full_refit_fallback() {
+        let mut rng = SplitMix64::new(3);
+        let (rows, ys) = random_problem(&mut rng, 10, 3);
+        let mut online = OnlineOls::new(3, 0);
+        for (row, &y) in rows.iter().zip(&ys) {
+            online.push(row, y).unwrap();
+        }
+        assert!(online.is_warm());
+        let refits_before = online.full_refits();
+        // rᵀ(XᵀX)⁻¹r overflows to +inf: Sherman–Morrison must refuse.
+        online.push(&[1e200, 1e200, 1e200], 100.0).unwrap();
+        assert!(
+            online.full_refits() > refits_before,
+            "unsafe update must fall back to a full refit"
+        );
+    }
+
+    /// A rank-deficient prefix (identical rows) leaves the fit cold;
+    /// once diverse rows arrive the automatic refactorization retries
+    /// and the fit recovers to match the full reference.
+    #[test]
+    fn recovers_from_rank_deficient_prefix() {
+        let mut online = OnlineOls::new(2, 0);
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+        for _ in 0..4 {
+            rows.push(vec![1.0, 2.0]);
+            ys.push(3.0);
+        }
+        for (row, &y) in rows.iter().zip(&ys) {
+            online.push(row, y).unwrap();
+        }
+        assert!(!online.is_warm(), "singular Gram must leave the fit cold");
+        assert!(online.coefficients().is_err());
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..6 {
+            let row = vec![rng.uniform(0.1, 2.0), rng.uniform(0.1, 2.0)];
+            let y = 4.0 * row[0] - 1.5 * row[1];
+            online.push(&row, y).unwrap();
+            rows.push(row);
+            ys.push(y);
+        }
+        assert!(online.is_warm(), "diverse rows must revive the fit");
+        let full = full_fit(&rows, &ys);
+        assert_close(
+            &online.coefficients().unwrap(),
+            full.coefficients(),
+            1e-7,
+            "recovery",
+        );
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut online = OnlineOls::new(2, 0);
+        assert!(online.push(&[1.0], 1.0).is_err());
+        assert!(online.push(&[1.0, f64::NAN], 1.0).is_err());
+        assert!(online.push(&[1.0, 2.0], f64::INFINITY).is_err());
+        assert_eq!(online.n(), 0, "rejected rows must not accumulate");
+    }
+
+    #[test]
+    fn leverage_flags_distant_rows() {
+        let mut rng = SplitMix64::new(5);
+        let (rows, ys) = random_problem(&mut rng, 30, 3);
+        let mut online = OnlineOls::new(3, 0);
+        for (row, &y) in rows.iter().zip(&ys) {
+            online.push(row, y).unwrap();
+        }
+        let typical = online.leverage(&rows[0]).unwrap();
+        let distant = online.leverage(&[50.0, 50.0, 50.0]).unwrap();
+        assert!(
+            distant > 20.0 * typical,
+            "typical={typical} distant={distant}"
+        );
+        assert!(online.leverage(&[1.0]).is_none(), "wrong width");
+    }
+
+    /// The checkpoint contract: state round-trips bitwise, and a
+    /// restored fit continues producing the exact floats the original
+    /// does.
+    #[test]
+    fn state_roundtrip_is_bitwise_and_continuation_identical() {
+        let mut rng = SplitMix64::new(9);
+        let (rows, ys) = random_problem(&mut rng, 30, 4);
+        let mut original = OnlineOls::new(4, 5);
+        for (row, &y) in rows.iter().zip(&ys).take(17) {
+            original.push(row, y).unwrap();
+        }
+        let (words, floats) = original.state();
+        let mut restored = OnlineOls::from_state(&words, &floats).unwrap();
+        let (w2, f2) = restored.state();
+        assert_eq!(words, w2);
+        assert_eq!(
+            floats.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            f2.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+        for (row, &y) in rows.iter().zip(&ys).skip(17) {
+            original.push(row, y).unwrap();
+            restored.push(row, y).unwrap();
+        }
+        let a = original.coefficients().unwrap();
+        let b = restored.coefficients().unwrap();
+        assert_eq!(
+            a.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            "continuation after restore must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn malformed_state_rejected() {
+        assert!(OnlineOls::from_state(&[1, 2], &[]).is_err());
+        assert!(OnlineOls::from_state(&[2, 0, 0, 0, 0, 0], &[0.0; 3]).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+//! Online-learning end-to-end against a live `pmc-serve` server: the
+//! `train` op's full guarded-refresh loop over real TCP.
+//!
+//! Three contracts, each its own test:
+//!
+//! 1. **Drift → shadow win → auto-activation.** A workload drift the
+//!    active model cannot explain makes the shadow refit win the
+//!    rolling-MAPE race; the server activates it through the versioned
+//!    registry and serving MAPE improves by an order of magnitude.
+//! 2. **Poisoning → quarantine, never a worse model.** A seeded label
+//!    poisoner corrupts a fraction of the stream; every label-class
+//!    attack is quarantined with a typed reason, clean samples pass,
+//!    and no activation ever happens off the poisoned fit.
+//! 3. **Bad activation → automatic rollback.** A deliberately wrong
+//!    model is manually activated; within the guard window the server
+//!    rolls back to the pinned previous version and latches the typed
+//!    `shadow_regressed` readiness reason.
+//!
+//! Seeded via `TRAIN_SEED` (default 1; CI runs 1/7/42), which shifts
+//! the deterministic sample stream and the poisoner's RNG.
+
+use pmc_events::PapiEvent;
+use pmc_faults::{LabelPoisoner, PoisonKind, PoisonRates};
+use pmc_json::Json;
+use pmc_model::dataset::{Dataset, SampleRow};
+use pmc_model::model::PowerModel;
+use pmc_serve::registry::ModelRegistry;
+use pmc_serve::server::{PowerServer, ServerConfig};
+use pmc_serve::trainer::TrainerConfig;
+use pmc_serve::{CounterSample, EngineConfig, PowerClient};
+use std::sync::Arc;
+
+/// Matches the fixture dataset's thread count, so wire deltas divide
+/// back into exactly the rates the model was fitted on.
+const CORES: u32 = 24;
+
+fn train_seed() -> u64 {
+    std::env::var("TRAIN_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Deterministic synthetic campaign: power exactly linear in three
+/// event rates (the serve crate's fixture law), so fits are well-posed
+/// and MAPE reflects only what the tests inject.
+fn tiny_dataset(n: usize) -> Dataset {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+        let f = freq_mhz as f64 / 1000.0;
+        let v = 0.492857 + 0.214286 * f;
+        let mut rates: Vec<f64> = (0..PapiEvent::COUNT)
+            .map(|j| ((31 * i + 17 * j + i * i * (j + 3)) % 97) as f64 / 9700.0)
+            .collect();
+        rates[PapiEvent::PRF_DM.index()] = 0.001 + 0.00002 * (i as f64);
+        rates[PapiEvent::TOT_CYC.index()] = 0.2 + 0.01 * ((i * 7 % 13) as f64);
+        rates[PapiEvent::TLB_IM.index()] = 0.0005 + 0.00001 * ((i * 5 % 11) as f64);
+        let v2f = v * v * f;
+        let power = 5000.0 * rates[PapiEvent::PRF_DM.index()] * v2f
+            + 120.0 * rates[PapiEvent::TOT_CYC.index()] * v2f
+            + 900.0 * rates[PapiEvent::TLB_IM.index()] * v2f
+            + 20.0 * v2f
+            + 40.0 * v
+            + 70.0;
+        rows.push(SampleRow {
+            workload_id: (i % 8) as u32,
+            workload: format!("w{}", i % 8),
+            suite: "roco2".into(),
+            phase: "main".into(),
+            threads: 24,
+            freq_mhz,
+            duration_s: 1.0,
+            voltage: v,
+            power,
+            rates,
+        });
+    }
+    Dataset::from_rows(rows)
+}
+
+fn tiny_model() -> PowerModel {
+    PowerModel::fit(
+        &tiny_dataset(40),
+        &[PapiEvent::PRF_DM, PapiEvent::TOT_CYC, PapiEvent::TLB_IM],
+    )
+    .expect("well-posed synthetic fit")
+}
+
+/// One labeled sample following the fixture law, with `drift_w` watts
+/// the fitted model does not know about added to the label.
+fn labeled(i: usize, drift_w: f64) -> (CounterSample, f64) {
+    let freq_mhz = [1200u32, 1600, 2000, 2400, 2600][i % 5];
+    let f = freq_mhz as f64 / 1000.0;
+    let v = 0.492857 + 0.214286 * f;
+    let r_prf = 0.001 + 0.00002 * (i as f64);
+    let r_cyc = 0.2 + 0.01 * ((i * 7 % 13) as f64);
+    let r_tlb = 0.0005 + 0.00001 * ((i * 5 % 11) as f64);
+    let v2f = v * v * f;
+    let power = 5000.0 * r_prf * v2f
+        + 120.0 * r_cyc * v2f
+        + 900.0 * r_tlb * v2f
+        + 20.0 * v2f
+        + 40.0 * v
+        + 70.0
+        + drift_w;
+    let avail = CORES as f64 * freq_mhz as f64 * 1e6;
+    let sample = CounterSample {
+        time_ns: (i as u64 + 1) * 250_000_000,
+        duration_s: 1.0,
+        freq_mhz,
+        voltage: v,
+        deltas: vec![r_prf * avail, r_cyc * avail, r_tlb * avail],
+        missing: Vec::new(),
+    };
+    (sample, power)
+}
+
+/// A live server with the fixture model active as version 1 and the
+/// given online-learning thresholds.
+fn serve_with(trainer: TrainerConfig) -> (PowerServer, PowerClient) {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 8,
+        engine: EngineConfig {
+            window: 8,
+            total_cores: CORES,
+            staleness_ns: 5_000_000_000,
+        },
+        trainer,
+        ..ServerConfig::default()
+    };
+    let server = PowerServer::start(config, Arc::new(ModelRegistry::default())).unwrap();
+    let mut client = PowerClient::connect(server.addr()).unwrap();
+    assert_eq!(client.load_model("hsw", &tiny_model(), true).unwrap(), 1);
+    (server, client)
+}
+
+/// Scrapes one `pmc_serve_<name> <value>` sample from the metrics body.
+fn scrape(body: &str, name: &str) -> f64 {
+    let prefix = format!("pmc_serve_{name} ");
+    body.lines()
+        .find_map(|line| line.strip_prefix(&prefix))
+        .and_then(|rest| rest.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric pmc_serve_{name} not exposed"))
+}
+
+fn fast_trainer() -> TrainerConfig {
+    TrainerConfig {
+        score_window: 16,
+        min_score_samples: 8,
+        min_train_samples: 12,
+        guard_window: 4,
+        ..TrainerConfig::default()
+    }
+}
+
+#[test]
+fn drifted_workload_shadow_wins_and_activation_improves_mape() {
+    let (mut server, mut c) = serve_with(fast_trainer());
+    let offset = (train_seed() as usize % 17) * 3;
+    let drift = 18.0;
+
+    let mut mape_before_activation = None;
+    let mut activation_version = None;
+    let mut last_mape = None;
+    for i in 0..80 {
+        let (sample, power) = labeled(offset + i, drift);
+        let r = c.train(&sample, power).unwrap();
+        assert!(
+            r.field("accepted").unwrap().as_bool().unwrap(),
+            "clean drifted sample {i} rejected: {r}"
+        );
+        assert!(!r.field("rolled_back").unwrap().as_bool().unwrap());
+        if let Json::Null = r.field("activated").unwrap() {
+        } else if activation_version.is_none() {
+            activation_version = Some(r.field("activated").unwrap().u32_field("version").unwrap());
+            // The window retired at activation; the MAPE the old model
+            // was holding is the last one reported before this call.
+        }
+        if activation_version.is_none() {
+            mape_before_activation = r.f64_field("active_mape").ok();
+        }
+        last_mape = r.f64_field("active_mape").ok();
+    }
+
+    assert_eq!(
+        activation_version,
+        Some(2),
+        "shadow never won against an {drift} W drift"
+    );
+    let before = mape_before_activation.expect("scored window before activation");
+    let after = last_mape.expect("scored window after activation");
+    assert!(
+        after < before / 10.0,
+        "activation did not improve serving MAPE: {before}% -> {after}%"
+    );
+
+    let body = c.metrics().unwrap();
+    assert_eq!(scrape(&body, "auto_activations"), 1.0);
+    assert_eq!(scrape(&body, "auto_rollbacks"), 0.0);
+    assert_eq!(scrape(&body, "shadow_regressed"), 0.0);
+    // The shadow gauge tracks the *current* race; after activation it
+    // restarts, but it must be exposed and finite.
+    assert!(scrape(&body, "shadow_mape").is_finite());
+    // The guarded refresh never cost readiness.
+    assert!(c
+        .readyz()
+        .unwrap()
+        .field("ready")
+        .unwrap()
+        .as_bool()
+        .unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn poisoned_stream_is_quarantined_and_never_activates_a_worse_model() {
+    let (mut server, mut c) = serve_with(fast_trainer());
+    let seed = train_seed();
+    let poisoner = LabelPoisoner::new(seed, PoisonRates::uniform(0.25));
+    // Label-class attacks the gate must catch on *every* sample; a
+    // leverage attack needs a warm fit, so early ones may slip into
+    // the (never-winning) candidate instead.
+    let always_caught = [
+        PoisonKind::NanLabel,
+        PoisonKind::SpikeLabel,
+        PoisonKind::NegativeLabel,
+        PoisonKind::VoltageDrift,
+    ];
+
+    let mut poisoned = 0u64;
+    let mut quarantined = 0u64;
+    for i in 0..80 {
+        let (mut sample, mut power) = labeled(i, 0.0);
+        let mut voltage = sample.voltage;
+        let fired = poisoner.corrupt_labeled(
+            &mut sample.deltas,
+            &mut voltage,
+            &mut power,
+            &[seed, i as u64],
+        );
+        sample.voltage = voltage;
+        let r = c.train(&sample, power).unwrap();
+        let accepted = r.field("accepted").unwrap().as_bool().unwrap();
+        if fired.is_empty() {
+            assert!(accepted, "clean sample {i} rejected: {r}");
+        } else {
+            poisoned += 1;
+            if fired.iter().any(|k| always_caught.contains(k)) {
+                assert!(
+                    !accepted,
+                    "label-poisoned sample {i} ({fired:?}) fed the fit: {r}"
+                );
+            }
+        }
+        if !accepted {
+            quarantined += 1;
+        }
+        // A poisoned stream must never promote a model: the shadow
+        // can only lose against the already-correct active fit.
+        assert!(matches!(r.field("activated").unwrap(), Json::Null));
+        assert!(!r.field("rolled_back").unwrap().as_bool().unwrap());
+    }
+    assert!(
+        poisoned >= 10,
+        "seed {seed} fired only {poisoned} poisonings — rate too low to test anything"
+    );
+    assert!(quarantined >= poisoned / 2);
+
+    let body = c.metrics().unwrap();
+    assert_eq!(
+        scrape(&body, "train_samples_quarantined"),
+        quarantined as f64
+    );
+    assert_eq!(scrape(&body, "auto_activations"), 0.0);
+    assert_eq!(scrape(&body, "auto_rollbacks"), 0.0);
+    // Serving never degraded: the active model still explains clean
+    // labels to machine precision.
+    let (sample, power) = labeled(200, 0.0);
+    let r = c.train(&sample, power).unwrap();
+    let mape = r.f64_field("active_mape").unwrap();
+    assert!(
+        mape < 0.5,
+        "poisoning leaked into serving: rolling MAPE {mape}%"
+    );
+    assert!(c
+        .readyz()
+        .unwrap()
+        .field("ready")
+        .unwrap()
+        .as_bool()
+        .unwrap());
+    server.shutdown();
+}
+
+#[test]
+fn forced_bad_activation_rolls_back_within_guard_window() {
+    // No candidate interference: this test is about the guard alone.
+    let trainer = TrainerConfig {
+        score_window: 12,
+        min_score_samples: 6,
+        min_train_samples: 10_000,
+        guard_window: 4,
+        ..TrainerConfig::default()
+    };
+    let guard_window = trainer.guard_window;
+    let (mut server, mut c) = serve_with(trainer);
+    let offset = (train_seed() as usize % 17) * 3;
+
+    // Establish the baseline the bad activation will be judged by.
+    for i in 0..8 {
+        let (sample, power) = labeled(offset + i, 0.0);
+        let r = c.train(&sample, power).unwrap();
+        assert!(r.field("accepted").unwrap().as_bool().unwrap());
+    }
+
+    // An operator ships a model whose intercept is 60 W off.
+    let mut bad = tiny_model();
+    bad.delta += 60.0;
+    assert_eq!(c.load_model("hsw", &bad, true).unwrap(), 2);
+
+    let mut rolled_back_at = None;
+    for i in 8..8 + guard_window + 2 {
+        let (sample, power) = labeled(offset + i, 0.0);
+        let r = c.train(&sample, power).unwrap();
+        if r.field("rolled_back").unwrap().as_bool().unwrap() {
+            rolled_back_at = Some(i - 8);
+            break;
+        }
+    }
+    let scored = rolled_back_at.expect("guard never rolled back a 60 W regression") + 1;
+    assert!(
+        scored <= guard_window,
+        "rollback took {scored} labels, guard window is {guard_window}"
+    );
+
+    let body = c.metrics().unwrap();
+    assert_eq!(scrape(&body, "auto_rollbacks"), 1.0);
+    assert_eq!(scrape(&body, "auto_activations"), 0.0);
+    // The regression latches the typed readiness reason until a later
+    // activation proves healthy.
+    assert_eq!(scrape(&body, "shadow_regressed"), 1.0);
+    let r = c.readyz().unwrap();
+    assert!(!r.field("ready").unwrap().as_bool().unwrap());
+    let reasons: Vec<&str> = r
+        .arr_field("reasons")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_str().unwrap())
+        .collect();
+    assert!(
+        reasons.contains(&"shadow_regressed"),
+        "readyz reasons: {reasons:?}"
+    );
+
+    // Serving is back on the good version: fresh labels score it at
+    // machine precision again.
+    let (sample, power) = labeled(offset + 40, 0.0);
+    let r = c.train(&sample, power).unwrap();
+    assert!(r.field("accepted").unwrap().as_bool().unwrap());
+    assert!(r.f64_field("active_mape").unwrap() < 0.1);
+    server.shutdown();
+}
