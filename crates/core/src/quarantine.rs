@@ -30,6 +30,9 @@ pub enum QuarantineReason {
     /// Voltage readout was non-finite or outside the regulator's range
     /// (voltage glitch).
     BadVoltage,
+    /// Operating frequency was zero — no cycles were available, so no
+    /// event rate (and no label) can be derived from the interval.
+    BadFrequency,
     /// Counter coverage was incomplete (multiplexing gap).
     MissingCounters {
         /// The uncovered events.
@@ -72,6 +75,7 @@ impl QuarantineReason {
             QuarantineReason::BadPower => "bad_power",
             QuarantineReason::ImplausiblePower => "implausible_power",
             QuarantineReason::BadVoltage => "bad_voltage",
+            QuarantineReason::BadFrequency => "bad_frequency",
             QuarantineReason::MissingCounters { .. } => "missing_counters",
             QuarantineReason::NonFiniteCounter { .. } => "non_finite_counter",
             QuarantineReason::ImplausibleCounter { .. } => "implausible_counter",

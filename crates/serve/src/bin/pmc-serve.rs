@@ -186,6 +186,9 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             if let Some((name, version)) = &report.active_restored {
                 eprintln!("restored active model {name} v{version}");
             }
+            if let Some((name, version)) = &report.previous_restored {
+                eprintln!("restored rollback target {name} v{version}");
+            }
             Arc::new(registry)
         }
         None => Arc::new(ModelRegistry::default()),

@@ -29,7 +29,7 @@
 use crate::engine::{ClientSnapshot, Estimate};
 use crate::error::ServeError;
 use crate::fsutil::{crc32, write_atomic_durable};
-use crate::trainer::TrainingSnapshot;
+use crate::trainer::{GuardSnapshot, TrainingSnapshot};
 use pmc_json::Json;
 use std::path::{Path, PathBuf};
 
@@ -220,7 +220,7 @@ pub fn record_seq(record: &Json) -> u64 {
 /// same hex-bits encoding as client windows: a restored fit must be
 /// bitwise identical to the snapshotted one.
 fn encode_training(t: &TrainingSnapshot) -> Json {
-    Json::obj(vec![
+    let mut fields = vec![
         (
             "words",
             Json::Arr(t.words.iter().map(|&w| hex_u64(w)).collect()),
@@ -243,7 +243,22 @@ fn encode_training(t: &TrainingSnapshot) -> Json {
             "shadow_apes",
             Json::Arr(t.shadow_apes.iter().map(|&a| hex_f64(a)).collect()),
         ),
-    ])
+    ];
+    // Omitted (not null) when no guard is armed, so the common case
+    // keeps the established payload shape.
+    if let Some(g) = &t.guard {
+        fields.push((
+            "guard",
+            Json::obj(vec![
+                ("baseline", hex_f64(g.baseline)),
+                (
+                    "apes",
+                    Json::Arr(g.apes.iter().map(|&a| hex_f64(a)).collect()),
+                ),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn decode_training(v: &Json) -> Result<TrainingSnapshot, ServeError> {
@@ -265,6 +280,19 @@ fn decode_training(v: &Json) -> Result<TrainingSnapshot, ServeError> {
         accepted: parse_hex_u64(v.field("accepted")?)?,
         active_apes: hex_f64s("active_apes")?,
         shadow_apes: hex_f64s("shadow_apes")?,
+        // Absent in checkpoints written before the guard rode along:
+        // those restore with no watch armed, never a boot failure.
+        guard: match v.field("guard") {
+            Ok(g) if !matches!(g, Json::Null) => Some(GuardSnapshot {
+                baseline: parse_hex_f64(g.field("baseline")?)?,
+                apes: g
+                    .arr_field("apes")?
+                    .iter()
+                    .map(parse_hex_f64)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            _ => None,
+        },
     })
 }
 
@@ -426,6 +454,10 @@ mod tests {
                 accepted: u64::MAX - 5,
                 active_apes: vec![0.05, 0.041],
                 shadow_apes: vec![0.031],
+                guard: Some(GuardSnapshot {
+                    baseline: 3.25,
+                    apes: vec![0.07, -0.0],
+                }),
             }),
         }
     }
@@ -460,6 +492,11 @@ mod tests {
             assert_eq!(ta.accepted, tb.accepted);
             assert_eq!(fbits(&ta.active_apes), fbits(&tb.active_apes));
             assert_eq!(fbits(&ta.shadow_apes), fbits(&tb.shadow_apes));
+            assert_eq!(ta.guard.is_some(), tb.guard.is_some());
+            if let (Some(ga), Some(gb)) = (&ta.guard, &tb.guard) {
+                assert_eq!(ga.baseline.to_bits(), gb.baseline.to_bits());
+                assert_eq!(fbits(&ga.apes), fbits(&gb.apes));
+            }
         }
     }
 
@@ -527,6 +564,31 @@ mod tests {
         let decoded = decode_checkpoint(&retagged).unwrap();
         assert!(decoded.training.is_none(), "malformed training must drop");
         assert_eq!(decoded.clients.len(), 2, "client windows must survive");
+    }
+
+    /// Training sections written before the guard rode the checkpoint
+    /// carry no `guard` field: they must decode with no watch armed —
+    /// never a boot failure.
+    #[test]
+    fn training_without_guard_field_decodes_unarmed() {
+        let full = encode_checkpoint(&sample_data());
+        let payload = full.split_once('\n').unwrap().1;
+        let mut v = Json::parse(payload).unwrap();
+        if let Json::Obj(fields) = &mut v {
+            for (k, val) in fields.iter_mut() {
+                if k == "training" {
+                    if let Json::Obj(t) = val {
+                        t.retain(|(k, _)| k != "guard");
+                    }
+                }
+            }
+        }
+        let tampered = v.to_string();
+        let retagged = format!("PMCCKPT1 {:08x}\n{tampered}", crc32(tampered.as_bytes()));
+        let decoded = decode_checkpoint(&retagged).unwrap();
+        let training = decoded.training.expect("training section must survive");
+        assert!(training.guard.is_none());
+        assert_eq!(training.accepted, u64::MAX - 5);
     }
 
     #[test]

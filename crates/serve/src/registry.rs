@@ -12,14 +12,17 @@
 //!
 //! A registry built with [`ModelRegistry::with_persistence`] mirrors
 //! every loaded artifact to disk as
-//! `<dir>/<name>__v<version>.model.json` and the active id to
-//! `<dir>/ACTIVE.json`. All writes are **atomic**: the bytes go to a
+//! `<dir>/<name>__v<version>.model.json`, the active id to
+//! `<dir>/ACTIVE.json`, and the rollback target to
+//! `<dir>/PREVIOUS.json`. All writes are **atomic**: the bytes go to a
 //! `.tmp` sibling, are fsynced, and the file is renamed into place —
 //! a crash at any instant leaves either the old content or the new,
 //! never a torn file. Recovery scans the directory, loads every
 //! fully-written artifact, skips (and reports) anything torn or
 //! invalid, deletes stray `.tmp` leftovers, and restores the active
-//! model if its pointer resolves.
+//! model and the rollback target if their pointers resolve — so an
+//! automatic rollback (the post-activation guard) still has somewhere
+//! to go after a crash-restart.
 
 use crate::artifact::ModelArtifact;
 use crate::error::ServeError;
@@ -68,6 +71,9 @@ pub struct RecoveryReport {
     /// The active model restored from the `ACTIVE.json` pointer, if it
     /// resolved to a loaded artifact.
     pub active_restored: Option<ModelId>,
+    /// The rollback target restored from the `PREVIOUS.json` pointer,
+    /// if it resolved to a loaded artifact.
+    pub previous_restored: Option<ModelId>,
 }
 
 impl RecoveryReport {
@@ -83,6 +89,52 @@ pub struct ModelRegistry {
     inner: RwLock<RegistryInner>,
     scheduler: CounterScheduler,
     persist_dir: Option<PathBuf>,
+}
+
+/// Resolves one persisted `{name, version}` pointer file against the
+/// recovered artifact set. A missing file or a persisted `null`
+/// resolves to nothing silently; an unreadable or dangling pointer is
+/// reported in the recovery report, never fatal.
+fn resolve_pointer(
+    dir: &Path,
+    file: &str,
+    inner: &RegistryInner,
+    report: &mut RecoveryReport,
+) -> Option<(usize, ModelId)> {
+    let path = dir.join(file);
+    if !path.exists() {
+        return None;
+    }
+    let parsed = std::fs::read_to_string(&path)
+        .map_err(ServeError::from)
+        .and_then(|text| Json::parse(&text).map_err(ServeError::from));
+    let v = match parsed {
+        Ok(Json::Null) => return None,
+        Ok(v) => v,
+        Err(e) => {
+            report.skipped.push((file.to_string(), e.to_string()));
+            return None;
+        }
+    };
+    let id = match (v.str_field("name"), v.u32_field("version")) {
+        (Ok(name), Ok(version)) => (name.to_string(), version),
+        _ => {
+            report
+                .skipped
+                .push((file.to_string(), "pointer is not {name, version}".into()));
+            return None;
+        }
+    };
+    match inner.find(&id.0, id.1) {
+        Some(idx) => Some((idx, id)),
+        None => {
+            report.skipped.push((
+                file.to_string(),
+                format!("points at {} v{}, which did not recover", id.0, id.1),
+            ));
+            None
+        }
+    }
 }
 
 /// Recovers a read guard even if a panicking worker poisoned the
@@ -180,26 +232,17 @@ impl ModelRegistry {
             previous: None,
         };
 
-        let active_path = dir.join("ACTIVE.json");
-        if active_path.exists() {
-            let resolved = std::fs::read_to_string(&active_path)
-                .map_err(ServeError::from)
-                .and_then(|text| Json::parse(&text).map_err(ServeError::from))
-                .and_then(|v| {
-                    Ok::<_, ServeError>((v.str_field("name")?.to_string(), v.u32_field("version")?))
-                });
-            match resolved {
-                Ok((name, version)) => match inner.find(&name, version) {
-                    Some(idx) => {
-                        inner.active = Some(idx);
-                        report.active_restored = Some((name, version));
-                    }
-                    None => report.skipped.push((
-                        "ACTIVE.json".into(),
-                        format!("points at {name} v{version}, which did not recover"),
-                    )),
-                },
-                Err(e) => report.skipped.push(("ACTIVE.json".into(), e.to_string())),
+        if let Some((idx, id)) = resolve_pointer(&dir, "ACTIVE.json", &inner, &mut report) {
+            inner.active = Some(idx);
+            report.active_restored = Some(id);
+        }
+        if let Some((idx, id)) = resolve_pointer(&dir, "PREVIOUS.json", &inner, &mut report) {
+            // The rollback target survives the restart — without it, a
+            // post-activation guard restored from the checkpoint would
+            // have nowhere to roll back to.
+            if inner.active != Some(idx) {
+                inner.previous = Some(idx);
+                report.previous_restored = Some(id);
             }
         }
 
@@ -228,19 +271,27 @@ impl ModelRegistry {
         self.persist_active(&inner)
     }
 
-    /// Mirrors the active id (or its absence) to `ACTIVE.json`.
+    /// Mirrors the active id and the rollback target (or their
+    /// absence) to `ACTIVE.json` / `PREVIOUS.json`. The two writes are
+    /// individually atomic; a crash between them leaves a stale
+    /// rollback target, which recovery tolerates (it only costs the
+    /// guard its target, exactly the pre-persistence behavior).
     fn persist_active(&self, inner: &RegistryInner) -> Result<(), ServeError> {
         let Some(dir) = &self.persist_dir else {
             return Ok(());
         };
-        let value = match inner.active.map(|i| &inner.models[i]) {
+        let pointer = |idx: Option<usize>| match idx.map(|i| &inner.models[i]) {
             Some(m) => Json::obj(vec![
                 ("name", Json::from(m.name.as_str())),
                 ("version", Json::from(m.version)),
             ]),
             None => Json::Null,
         };
-        write_atomic_durable(&dir.join("ACTIVE.json"), &value.to_string())
+        write_atomic_durable(&dir.join("ACTIVE.json"), &pointer(inner.active).to_string())?;
+        write_atomic_durable(
+            &dir.join("PREVIOUS.json"),
+            &pointer(inner.previous).to_string(),
+        )
     }
 
     /// Loads an artifact: validates it, assigns the next version under
@@ -497,6 +548,33 @@ mod tests {
         assert_eq!((active.name.as_str(), active.version), ("a", 2));
         // Version numbering continues where it left off.
         assert_eq!(r.load(ModelArtifact::new("a", tiny_model())).unwrap().1, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Review regression: the rollback target did not survive a
+    /// restart, so a post-activation guard restored from the
+    /// checkpoint had nowhere to roll back to — a bad model activated
+    /// just before a crash kept serving unguarded.
+    #[test]
+    fn rollback_target_survives_a_restart() {
+        let dir = scratch_dir("previous");
+        {
+            let (r, _) =
+                ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+            r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+                .unwrap();
+            r.load_and_activate(ModelArtifact::new("a", tiny_model()))
+                .unwrap();
+        }
+        let (r, report) =
+            ModelRegistry::with_persistence(CounterScheduler::haswell_default(), &dir).unwrap();
+        assert!(report.is_clean(), "{:?}", report.skipped);
+        assert_eq!(report.previous_restored, Some(("a".to_string(), 1)));
+        assert_eq!(r.previous().unwrap().version, 1);
+        // The restored pair still rolls back — what a restored
+        // post-activation guard depends on.
+        assert_eq!(r.rollback().unwrap().1, 1);
+        assert_eq!(r.active().unwrap().version, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

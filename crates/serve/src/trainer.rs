@@ -23,10 +23,12 @@
 //!    previous version and latches the `shadow_regressed` readiness
 //!    reason until a later activation proves healthy.
 //!
-//! The fit and both score windows serialize into the engine checkpoint
-//! ([`TrainingSnapshot`]) so a SIGKILL mid-training resumes the fit
-//! **bitwise** — the restored stream produces exactly the coefficients
-//! the uninterrupted one would have.
+//! The fit, both score windows, and any armed activation guard
+//! serialize into the engine checkpoint ([`TrainingSnapshot`]) so a
+//! SIGKILL mid-training resumes the fit **bitwise** — the restored
+//! stream produces exactly the coefficients the uninterrupted one
+//! would have — and a crash right after an activation does not disarm
+//! the rollback watch.
 
 use crate::artifact::ModelArtifact;
 use crate::engine::CounterSample;
@@ -138,6 +140,18 @@ impl Default for TrainerState {
     }
 }
 
+/// [`GuardState`] as it rides the checkpoint: a crash right after an
+/// activation must not disarm the post-activation regression watch —
+/// a bad model activated just before a SIGKILL would otherwise keep
+/// serving with no automatic rollback.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardSnapshot {
+    /// Promised baseline MAPE, percent.
+    pub baseline: f64,
+    /// APEs scored against the newly active model since activation.
+    pub apes: Vec<f64>,
+}
+
 /// Complete serializable training state — what rides the checkpoint.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainingSnapshot {
@@ -155,6 +169,9 @@ pub struct TrainingSnapshot {
     pub active_apes: Vec<f64>,
     /// Rolling APE window of the shadow candidate (fractions).
     pub shadow_apes: Vec<f64>,
+    /// Armed post-activation guard, if an activation was still under
+    /// watch at snapshot time.
+    pub guard: Option<GuardSnapshot>,
 }
 
 /// The shared online-learning loop: one per server, called from any
@@ -178,7 +195,10 @@ fn window_mape(w: &VecDeque<f64>) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = w.iter().copied().collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("APEs are finite"));
+    // total_cmp: the windows only ever receive finite APEs, but a NaN
+    // that somehow slipped in (or rode a checkpoint) must not panic
+    // the whole train path for the window's lifetime.
+    sorted.sort_by(f64::total_cmp);
     let mid = sorted.len() / 2;
     let median = if sorted.len() % 2 == 1 {
         sorted[mid]
@@ -188,7 +208,14 @@ fn window_mape(w: &VecDeque<f64>) -> Option<f64> {
     Some(100.0 * median)
 }
 
+/// Pushes one APE, dropping non-finite scores: a degenerate model's
+/// NaN prediction must never poison a window — a single NaN median
+/// would disable every threshold comparison (NaN compares false) and
+/// ride the checkpoint across restarts.
 fn push_window(w: &mut VecDeque<f64>, ape: f64, cap: usize) {
+    if !ape.is_finite() {
+        return;
+    }
     w.push_back(ape);
     while w.len() > cap.max(1) {
         w.pop_front();
@@ -276,6 +303,12 @@ impl Trainer {
         let mut reasons: Vec<QuarantineReason> = triage_label(power_w, &cfg.quarantine);
         if !(sample.duration_s.is_finite() && sample.duration_s > 0.0) {
             reasons.push(QuarantineReason::BadDuration);
+        }
+        if sample.freq_mhz == 0 {
+            // Mirrors the ingest path's rejection (engine.rs): zero
+            // frequency means zero available cycles, and 0/0 rates
+            // would smear NaN through predictions and score windows.
+            reasons.push(QuarantineReason::BadFrequency);
         }
         if !(sample.voltage.is_finite()
             && sample.voltage >= cfg.quarantine.min_voltage_v
@@ -372,7 +405,9 @@ impl Trainer {
         // ---- Activation guard: the newly active model must hold the
         // MAPE its activation promised. ----
         if let Some(guard) = &mut st.guard {
-            guard.apes.push_back(ape_active);
+            if ape_active.is_finite() {
+                guard.apes.push_back(ape_active);
+            }
             if guard.apes.len() >= cfg.guard_window {
                 let observed = window_mape(&guard.apes).unwrap_or(f64::INFINITY);
                 let bound = guard.baseline * (1.0 + cfg.guard_threshold) + cfg.mape_slack;
@@ -387,7 +422,12 @@ impl Trainer {
                             let events = st.events.clone();
                             self.reset_training(&mut st, &events);
                             st.base = Some(id);
-                            return Ok(self.response(&st, true, &[], None, true));
+                            // `accepted` means "entered the fit" — this
+                            // label triggered the rollback and the fit
+                            // was reset before it could be pushed, so
+                            // it was not accepted (and the accepted
+                            // counters agree).
+                            return Ok(self.response(&st, false, &[], None, true));
                         }
                         // No pinned previous version: nothing to roll
                         // back to; disarm and keep serving.
@@ -542,7 +582,7 @@ impl Trainer {
     /// checkpoints byte-identical to the previous format).
     pub fn snapshot(&self) -> Option<TrainingSnapshot> {
         let st = self.lock();
-        if st.fit.n() == 0 && st.active_apes.is_empty() {
+        if st.fit.n() == 0 && st.active_apes.is_empty() && st.guard.is_none() {
             return None;
         }
         let (words, floats) = st.fit.state();
@@ -554,6 +594,10 @@ impl Trainer {
             accepted: st.accepted,
             active_apes: st.active_apes.iter().copied().collect(),
             shadow_apes: st.shadow_apes.iter().copied().collect(),
+            guard: st.guard.as_ref().map(|g| GuardSnapshot {
+                baseline: g.baseline,
+                apes: g.apes.iter().copied().collect(),
+            }),
         })
     }
 
@@ -594,7 +638,13 @@ impl Trainer {
         st.accepted = snap.accepted;
         st.active_apes = snap.active_apes.iter().copied().collect();
         st.shadow_apes = snap.shadow_apes.iter().copied().collect();
-        st.guard = None;
+        // The regression watch survives the restart: an activation made
+        // just before a crash stays under guard, so a bad model cannot
+        // outlive its rollback window by getting the server killed.
+        st.guard = snap.guard.as_ref().map(|g| GuardState {
+            baseline: g.baseline,
+            apes: g.apes.iter().copied().collect(),
+        });
         st.candidate = None;
         if st.accepted >= self.config.min_train_samples {
             if let Some(model) = active.and_then(|a| self.build_candidate(&st, a)) {
@@ -764,6 +814,42 @@ mod tests {
         assert_eq!(resp.u64_field("n").unwrap(), 1);
     }
 
+    /// Review regression: a zero-frequency sample once sailed past the
+    /// gate — with zero deltas, `rate = 0 / 0 = NaN` passed every
+    /// plausibility comparison, the NaN APE entered the score windows,
+    /// and every later `train` call panicked in the median sort until
+    /// the NaN rolled out (and it rode the checkpoint across
+    /// restarts). The gate must reject it with a typed reason.
+    #[test]
+    fn zero_frequency_sample_is_quarantined_and_never_poisons_windows() {
+        let registry = registry_with_tiny();
+        let stats = ServerStats::default();
+        let trainer = Trainer::new(fast_config());
+        let (mut sample, power) = labeled(0, 0.0);
+        sample.freq_mhz = 0;
+        sample.deltas = vec![0.0; 3];
+        let resp = trainer
+            .train(&registry, &stats, CORES, &sample, power)
+            .unwrap();
+        assert!(!resp.field("accepted").unwrap().as_bool().unwrap());
+        assert!(
+            reasons_of(&resp).iter().any(|r| r == "bad_frequency"),
+            "expected bad_frequency, got {:?}",
+            reasons_of(&resp)
+        );
+        assert_eq!(stats.train_samples_accepted.load(Ordering::Relaxed), 0);
+        // Later labels keep training and computing medians normally —
+        // no NaN reached the windows, nothing panics.
+        for i in 0..8 {
+            let (sample, power) = labeled(i, 0.0);
+            let resp = trainer
+                .train(&registry, &stats, CORES, &sample, power)
+                .unwrap();
+            assert!(resp.field("accepted").unwrap().as_bool().unwrap());
+            assert!(resp.f64_field("active_mape").unwrap().is_finite());
+        }
+    }
+
     #[test]
     fn leverage_outlier_is_quarantined_once_fit_is_warm() {
         let registry = registry_with_tiny();
@@ -904,6 +990,61 @@ mod tests {
         assert_eq!(stats.auto_rollbacks.load(Ordering::Relaxed), 1);
         assert_eq!(stats.shadow_regressed.load(Ordering::Relaxed), 1);
         // Serving is back on the pinned previous version.
+        assert_eq!(registry.active().unwrap().version, 1);
+    }
+
+    /// Review regression: the guard did not ride the snapshot, so a
+    /// crash right after a bad activation silently disarmed the
+    /// regression watch — the bad model kept serving with no automatic
+    /// rollback. The restored trainer must finish the watch and roll
+    /// back within the remaining guard window.
+    #[test]
+    fn guard_rides_snapshot_and_rolls_back_after_restore() {
+        let registry = registry_with_tiny();
+        let stats = ServerStats::default();
+        let trainer = Trainer::new(fast_config());
+        for i in 0..8 {
+            let (sample, power) = labeled(i, 0.0);
+            trainer
+                .train(&registry, &stats, CORES, &sample, power)
+                .unwrap();
+        }
+        // A bad activation arms the guard, which scores one label —
+        // short of the guard window — before the "SIGKILL".
+        let mut bad = tiny_model();
+        bad.delta += 50.0;
+        registry
+            .load_and_activate(ModelArtifact::new("hsw", bad))
+            .unwrap();
+        let (sample, power) = labeled(8, 0.0);
+        trainer
+            .train(&registry, &stats, CORES, &sample, power)
+            .unwrap();
+        let snap = trainer.snapshot().unwrap();
+        assert!(snap.guard.is_some(), "armed guard must ride the snapshot");
+
+        let resumed = Trainer::new(fast_config());
+        resumed
+            .restore(&snap, registry.active().as_ref().map(|a| &a.model))
+            .unwrap();
+        let mut rolled_back = false;
+        for i in 9..9 + fast_config().guard_window {
+            let (sample, power) = labeled(i, 0.0);
+            let resp = resumed
+                .train(&registry, &stats, CORES, &sample, power)
+                .unwrap();
+            if resp.field("rolled_back").unwrap().as_bool().unwrap() {
+                // The rollback-triggering label never entered the
+                // (reset) fit; the response must not claim it did.
+                assert!(!resp.field("accepted").unwrap().as_bool().unwrap());
+                rolled_back = true;
+            }
+        }
+        assert!(
+            rolled_back,
+            "restored guard never fired on a 50 W regression"
+        );
+        assert_eq!(stats.auto_rollbacks.load(Ordering::Relaxed), 1);
         assert_eq!(registry.active().unwrap().version, 1);
     }
 

@@ -238,11 +238,20 @@ impl OnlineOls {
         }
         let p = words[0] as usize;
         let has_inv = words[5] != 0;
-        let expect = p * p + p + 2 + if has_inv { p * p } else { 0 };
+        // The width word comes from an untrusted checkpoint (the CRC
+        // is recomputable): derive the expected length with checked
+        // arithmetic so a tampered `p` is rejected here — before it
+        // can wrap in release builds or drive a huge split/allocation.
+        let pp = p.checked_mul(p).ok_or_else(malformed)?;
+        let expect = pp
+            .checked_add(p)
+            .and_then(|v| v.checked_add(2))
+            .and_then(|v| v.checked_add(if has_inv { pp } else { 0 }))
+            .ok_or_else(malformed)?;
         if floats.len() != expect {
             return Err(malformed());
         }
-        let (xtx_w, rest) = floats.split_at(p * p);
+        let (xtx_w, rest) = floats.split_at(pp);
         let (xty_w, rest) = rest.split_at(p);
         let xtx = Matrix::from_vec(p, p, xtx_w.to_vec())?;
         let inv = if has_inv {
@@ -487,5 +496,19 @@ mod tests {
     fn malformed_state_rejected() {
         assert!(OnlineOls::from_state(&[1, 2], &[]).is_err());
         assert!(OnlineOls::from_state(&[2, 0, 0, 0, 0, 0], &[0.0; 3]).is_err());
+    }
+
+    /// A tampered checkpoint width must fail cleanly before any
+    /// width-derived arithmetic or allocation: `p·p` wrapping in a
+    /// release build could otherwise sneak past the length check.
+    #[test]
+    fn tampered_width_rejected_before_allocation() {
+        for p in [u64::MAX, 1 << 63, 1 << 32, 1 << 20] {
+            assert!(
+                OnlineOls::from_state(&[p, 0, 0, 0, 0, 0], &[0.0; 8]).is_err(),
+                "width {p} accepted"
+            );
+            assert!(OnlineOls::from_state(&[p, 0, 0, 0, 0, 1], &[0.0; 8]).is_err());
+        }
     }
 }
